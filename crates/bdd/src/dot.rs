@@ -1,0 +1,96 @@
+//! Graphviz (DOT) export of BDDs, used to reproduce the diagram figures of
+//! the paper (Fig. 3 and the Example 2/3 diagrams).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::manager::{Bdd, Manager};
+
+impl Manager {
+    /// Renders the BDD rooted at `f` as a Graphviz `digraph`.
+    ///
+    /// `label` names a variable for display; pass `|v| v.to_string()` for
+    /// the default `x0, x1, …` names. Low edges are dashed (the convention
+    /// used in the paper's figures), high edges solid.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(Var(0));
+    /// let b = m.var(Var(1));
+    /// let f = m.or(a, b);
+    /// let dot = m.to_dot(f, |v| format!("e{}", v.index() + 1));
+    /// assert!(dot.contains("digraph bdd"));
+    /// assert!(dot.contains("e1"));
+    /// ```
+    pub fn to_dot<L: Fn(crate::Var) -> String>(&self, f: Bdd, label: L) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph bdd {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(
+            out,
+            "  node [shape=circle, fontname=\"Helvetica\", fixedsize=false];"
+        );
+        let mut seen = HashSet::new();
+        let mut stack = vec![f];
+        let mut reach_terminal = [false, false];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n.0) {
+                continue;
+            }
+            if n.is_terminal() {
+                reach_terminal[n.0 as usize] = true;
+                continue;
+            }
+            let node = self.node(n);
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, label(node.var));
+            let _ = writeln!(out, "  n{} -> n{} [style=dashed];", n.0, node.low.0);
+            let _ = writeln!(out, "  n{} -> n{};", n.0, node.high.0);
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        for (value, reached) in reach_terminal.iter().enumerate() {
+            if *reached {
+                let _ = writeln!(
+                    out,
+                    "  n{value} [shape=square, label=\"{value}\"];"
+                );
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Var;
+
+    #[test]
+    fn dot_for_or_gate_matches_fig3_shape() {
+        // Fig. 3 of the paper: OR over e1, e2 — a chain of two decision
+        // nodes with both terminals.
+        let mut m = Manager::new(2);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let f = m.or(a, b);
+        let dot = m.to_dot(f, |v| format!("e{}", v.index() + 1));
+        assert!(dot.contains("label=\"e1\""));
+        assert!(dot.contains("label=\"e2\""));
+        assert!(dot.contains("shape=square, label=\"0\""));
+        assert!(dot.contains("shape=square, label=\"1\""));
+        // Two interior nodes.
+        assert_eq!(dot.matches("style=dashed").count(), 2);
+    }
+
+    #[test]
+    fn dot_for_terminal() {
+        let m = Manager::new(0);
+        let dot = m.to_dot(m.top(), |v| v.to_string());
+        assert!(dot.contains("label=\"1\""));
+        assert!(!dot.contains("label=\"0\""));
+    }
+}

@@ -1,0 +1,236 @@
+//! Property-based tests: the BDD engine against a brute-force truth-table
+//! oracle on randomly generated Boolean expressions.
+
+use bfl_bdd::{Manager, Var};
+use proptest::prelude::*;
+
+/// A small Boolean expression AST for oracle testing.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+const NVARS: u32 = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, bits: u32) -> bool {
+    match e {
+        Expr::Var(v) => (bits >> v) & 1 == 1,
+        Expr::Not(a) => !eval_expr(a, bits),
+        Expr::And(a, b) => eval_expr(a, bits) && eval_expr(b, bits),
+        Expr::Or(a, b) => eval_expr(a, bits) || eval_expr(b, bits),
+        Expr::Xor(a, b) => eval_expr(a, bits) ^ eval_expr(b, bits),
+        Expr::Ite(a, b, c) => {
+            if eval_expr(a, bits) {
+                eval_expr(b, bits)
+            } else {
+                eval_expr(c, bits)
+            }
+        }
+        Expr::Const(c) => *c,
+    }
+}
+
+fn build_bdd(m: &mut Manager, e: &Expr) -> bfl_bdd::Bdd {
+    match e {
+        Expr::Var(v) => m.var(Var(*v)),
+        Expr::Not(a) => {
+            let x = build_bdd(m, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.xor(x, y)
+        }
+        Expr::Ite(a, b, c) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            let z = build_bdd(m, c);
+            m.ite(x, y, z)
+        }
+        Expr::Const(c) => m.constant(*c),
+    }
+}
+
+proptest! {
+    /// The BDD agrees with direct expression evaluation on every input.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = build_bdd(&mut m, &e);
+        for bits in 0..(1u32 << NVARS) {
+            let expect = eval_expr(&e, bits);
+            let got = m.eval(f, |v| (bits >> v.index()) & 1 == 1);
+            prop_assert_eq!(got, expect, "bits={:b}", bits);
+        }
+    }
+
+    /// Canonicity: two expressions with equal truth tables get equal handles.
+    #[test]
+    fn canonicity(e1 in arb_expr(), e2 in arb_expr()) {
+        let table = |e: &Expr| -> u64 {
+            let mut t = 0u64;
+            for bits in 0..(1u32 << NVARS) {
+                if eval_expr(e, bits) {
+                    t |= 1 << bits;
+                }
+            }
+            t
+        };
+        let mut m = Manager::new(NVARS);
+        let f1 = build_bdd(&mut m, &e1);
+        let f2 = build_bdd(&mut m, &e2);
+        prop_assert_eq!(table(&e1) == table(&e2), f1 == f2);
+    }
+
+    /// sat_count equals the number of true rows of the truth table.
+    #[test]
+    fn sat_count_matches(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = build_bdd(&mut m, &e);
+        let expect = (0..(1u32 << NVARS)).filter(|&b| eval_expr(&e, b)).count() as u128;
+        prop_assert_eq!(m.sat_count(f, NVARS), expect);
+    }
+
+    /// sat_vectors yields exactly the satisfying rows.
+    #[test]
+    fn sat_vectors_match(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = build_bdd(&mut m, &e);
+        let vars: Vec<Var> = (0..NVARS).map(Var).collect();
+        let mut got: Vec<Vec<bool>> = m.sat_vectors(f, &vars).collect();
+        got.sort();
+        got.dedup();
+        let mut expect = Vec::new();
+        for bits in 0..(1u32 << NVARS) {
+            if eval_expr(&e, bits) {
+                expect.push((0..NVARS).map(|v| (bits >> v) & 1 == 1).collect::<Vec<bool>>());
+            }
+        }
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Shannon expansion: f = ite(v, f[v↦1], f[v↦0]).
+    #[test]
+    fn restrict_shannon(e in arb_expr(), v in 0..NVARS) {
+        let mut m = Manager::new(NVARS);
+        let f = build_bdd(&mut m, &e);
+        let f1 = m.restrict(f, Var(v), true);
+        let f0 = m.restrict(f, Var(v), false);
+        let lit = m.var(Var(v));
+        let back = m.ite(lit, f1, f0);
+        prop_assert_eq!(back, f);
+    }
+
+    /// Quantification: ∃v.f is the or of cofactors; ∀v.f the and.
+    #[test]
+    fn quantification(e in arb_expr(), v in 0..NVARS) {
+        let mut m = Manager::new(NVARS);
+        let f = build_bdd(&mut m, &e);
+        let f1 = m.restrict(f, Var(v), true);
+        let f0 = m.restrict(f, Var(v), false);
+        let ex = m.exists(f, &[Var(v)]);
+        let expect_ex = m.or(f0, f1);
+        prop_assert_eq!(ex, expect_ex);
+        let fa = m.forall(f, &[Var(v)]);
+        let expect_fa = m.and(f0, f1);
+        prop_assert_eq!(fa, expect_fa);
+    }
+
+    /// and_exists(f, g, V) = ∃V.(f ∧ g).
+    #[test]
+    fn relational_product(e1 in arb_expr(), e2 in arb_expr(), v1 in 0..NVARS, v2 in 0..NVARS) {
+        let mut m = Manager::new(NVARS);
+        let f = build_bdd(&mut m, &e1);
+        let g = build_bdd(&mut m, &e2);
+        let vars = if v1 == v2 { vec![Var(v1)] } else { vec![Var(v1), Var(v2)] };
+        let fused = m.and_exists(f, g, &vars);
+        let conj = m.and(f, g);
+        let naive = m.exists(conj, &vars);
+        prop_assert_eq!(fused, naive);
+    }
+
+    /// support() returns exactly the variables the function depends on.
+    #[test]
+    fn support_semantic(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = build_bdd(&mut m, &e);
+        let support = m.support(f);
+        for v in 0..NVARS {
+            let f1 = m.restrict(f, Var(v), true);
+            let f0 = m.restrict(f, Var(v), false);
+            let depends = f1 != f0;
+            prop_assert_eq!(support.contains(&Var(v)), depends, "var {}", v);
+        }
+    }
+
+    /// Renaming by an order-preserving shift preserves semantics modulo the
+    /// variable map.
+    #[test]
+    fn rename_shift(e in arb_expr()) {
+        let mut m = Manager::new(2 * NVARS);
+        let f = build_bdd(&mut m, &e);
+        let g = m.rename(f, &|v| Var(v.index() + NVARS));
+        for bits in 0..(1u32 << NVARS) {
+            let ef = m.eval(f, |v| (bits >> v.index()) & 1 == 1);
+            let eg = m.eval(g, |v| {
+                assert!(v.index() >= NVARS);
+                (bits >> (v.index() - NVARS)) & 1 == 1
+            });
+            prop_assert_eq!(ef, eg);
+        }
+    }
+
+    /// compose(f, v, g) equals substitution in the truth table.
+    #[test]
+    fn compose_matches(e1 in arb_expr(), e2 in arb_expr(), v in 0..NVARS) {
+        let mut m = Manager::new(NVARS);
+        let f = build_bdd(&mut m, &e1);
+        let g = build_bdd(&mut m, &e2);
+        let h = m.compose(f, Var(v), g);
+        for bits in 0..(1u32 << NVARS) {
+            let gv = eval_expr(&e2, bits);
+            let newbits = if gv { bits | (1 << v) } else { bits & !(1 << v) };
+            let expect = eval_expr(&e1, newbits);
+            let got = m.eval(h, |u| (bits >> u.index()) & 1 == 1);
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

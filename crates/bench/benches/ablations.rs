@@ -1,0 +1,155 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md`:
+//!
+//! * ABL-ORD: variable orderings (declaration / DFS / BFS / Bouissou);
+//! * ABL-MCS: the paper's primed-variable MCS construction vs Rauzy's
+//!   `minsol`;
+//! * ABL-VOT: dynamic-programming VOT translation vs the paper's literal
+//!   subset expansion;
+//! * ABL-CEX: Algorithm 4 vs the exhaustive nearest-witness baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Sample/measurement settings keeping the full sweep affordable.
+macro_rules! tune {
+    ($group:expr) => {
+        $group.sample_size(20).measurement_time(Duration::from_secs(3))
+    };
+}
+use std::hint::black_box;
+
+use bfl_bdd::Manager;
+use bfl_core::counterexample::{counterexample, nearest_witnesses};
+use bfl_core::{Formula, ModelChecker};
+use bfl_fault_tree::bdd::{vot_naive, vot_threshold, TreeBdd};
+use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
+use bfl_fault_tree::{analysis, corpus, StatusVector, VariableOrdering};
+
+/// ABL-ORD: BDD construction for the COVID tree and a random tree under
+/// each static ordering.
+fn bench_orderings(c: &mut Criterion) {
+    let covid = corpus::covid();
+    let random = random_tree(&RandomTreeConfig {
+        num_basic: 40,
+        num_gates: 25,
+        max_children: 4,
+        vot_probability: 0.1,
+        seed: 7,
+    });
+    let mut group = c.benchmark_group("ablation_ordering");
+    tune!(group);
+    for ordering in VariableOrdering::all() {
+        group.bench_with_input(
+            BenchmarkId::new("covid", format!("{ordering:?}")),
+            &ordering,
+            |b, &ord| {
+                b.iter(|| {
+                    let mut tb = TreeBdd::new(&covid, ord);
+                    black_box(tb.element_bdd(&covid, covid.top()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random40", format!("{ordering:?}")),
+            &ordering,
+            |b, &ord| {
+                b.iter(|| {
+                    let mut tb = TreeBdd::new(&random, ord);
+                    black_box(tb.element_bdd(&random, random.top()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// ABL-MCS: the two MCS engines on the COVID tree and a larger random
+/// tree.
+fn bench_mcs_engines(c: &mut Criterion) {
+    let covid = corpus::covid();
+    let random = random_tree(&RandomTreeConfig {
+        num_basic: 30,
+        num_gates: 20,
+        max_children: 4,
+        vot_probability: 0.0,
+        seed: 11,
+    });
+    let mut group = c.benchmark_group("ablation_mcs_engine");
+    tune!(group);
+    group.bench_function("covid/minsol", |b| {
+        b.iter(|| black_box(analysis::minimal_cut_sets(&covid, covid.top())))
+    });
+    group.bench_function("covid/paper_construction", |b| {
+        b.iter(|| black_box(analysis::minimal_cut_sets_paper(&covid, covid.top())))
+    });
+    group.bench_function("random30/minsol", |b| {
+        b.iter(|| black_box(analysis::minimal_cut_sets(&random, random.top())))
+    });
+    group.bench_function("random30/paper_construction", |b| {
+        b.iter(|| black_box(analysis::minimal_cut_sets_paper(&random, random.top())))
+    });
+    group.bench_function("covid/zdd_bottom_up", |b| {
+        b.iter(|| black_box(bfl_fault_tree::zdd_engine::minimal_cut_sets_zdd(&covid, covid.top())))
+    });
+    group.bench_function("random30/zdd_bottom_up", |b| {
+        b.iter(|| {
+            black_box(bfl_fault_tree::zdd_engine::minimal_cut_sets_zdd(&random, random.top()))
+        })
+    });
+    group.finish();
+}
+
+/// ABL-VOT: threshold DP vs the exponential subset expansion of Def. 6.
+fn bench_vot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_vot");
+    tune!(group);
+    for n in [8u32, 12, 16] {
+        let k = n / 2;
+        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = Manager::new(2 * n);
+                let children: Vec<_> = (0..n).map(|i| m.var(bfl_bdd::Var(2 * i))).collect();
+                black_box(vot_threshold(&mut m, &children, k))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = Manager::new(2 * n);
+                let children: Vec<_> = (0..n).map(|i| m.var(bfl_bdd::Var(2 * i))).collect();
+                black_box(vot_naive(&mut m, &children, k))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// ABL-CEX: Algorithm 4 vs the exhaustive nearest-witness search on the
+/// COVID tree.
+fn bench_counterexample_strategies(c: &mut Criterion) {
+    let tree = corpus::covid();
+    let phi = Formula::atom("IWoS").mcs();
+    let b = StatusVector::all_failed(tree.num_basic_events());
+    let mut group = c.benchmark_group("ablation_counterexample");
+    tune!(group);
+    group.bench_function("algorithm4", |bench| {
+        let mut mc = ModelChecker::new(&tree);
+        let _ = mc.formula_bdd(&phi).expect("warm");
+        bench.iter(|| black_box(counterexample(&mut mc, &b, &phi).expect("checks")))
+    });
+    group.bench_function("nearest_witness", |bench| {
+        let mut mc = ModelChecker::new(&tree);
+        let _ = mc.formula_bdd(&phi).expect("warm");
+        bench.iter(|| black_box(nearest_witnesses(&mut mc, &b, &phi).expect("enumerates")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_orderings,
+    bench_mcs_engines,
+    bench_vot,
+    bench_counterexample_strategies
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Benchmarks for every query of the paper's case study and worked
+//! examples: one Criterion group per experiment id (see `DESIGN.md` §7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bfl_bench::{covid_properties, parse, property_6};
+use bfl_core::parser::{parse_formula, Spec};
+use bfl_core::patterns::{table1_rows, table1_tree};
+use bfl_core::{counterexample, MinimalityScope, ModelChecker};
+use bfl_fault_tree::{analysis, corpus, StatusVector};
+
+/// FIG1: MCS/MPS of the Fig. 1 subtree.
+fn bench_fig1(c: &mut Criterion) {
+    let tree = corpus::fig1();
+    let mut group = c.benchmark_group("fig1_mcs_mps");
+    group.bench_function("mcs", |b| {
+        b.iter(|| black_box(analysis::minimal_cut_sets(&tree, tree.top())))
+    });
+    group.bench_function("mps", |b| {
+        b.iter(|| black_box(analysis::minimal_path_sets(&tree, tree.top())))
+    });
+    group.finish();
+}
+
+/// EX2: Algorithm 2 — vector walk on MCS(e_top) of the OR gate.
+fn bench_algo2_walk(c: &mut Criterion) {
+    let tree = corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    let phi = parse_formula("MCS(Top)").expect("parses");
+    let b = StatusVector::from_bits([false, true]);
+    // Warm the translation cache: the walk itself is the benchmark.
+    let _ = mc.holds(&b, &phi).expect("checks");
+    c.bench_function("algo2_walk", |bench| {
+        bench.iter(|| black_box(mc.holds(&b, &phi).expect("checks")))
+    });
+}
+
+/// EX3: Algorithm 3 — AllSat on MCS(e_top).
+fn bench_algo3_allsat(c: &mut Criterion) {
+    let tree = corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    let phi = parse_formula("MCS(Top)").expect("parses");
+    let _ = mc.satisfying_vectors(&phi).expect("warm");
+    c.bench_function("algo3_allsat", |bench| {
+        bench.iter(|| black_box(mc.satisfying_vectors(&phi).expect("enumerates")))
+    });
+}
+
+/// P1–P9: each case-study property, end to end (cold checker per
+/// iteration batch would dominate, so the translation cache is shared —
+/// matching how the paper envisions repeated queries).
+fn bench_covid_properties(c: &mut Criterion) {
+    let tree = corpus::covid();
+    let mut group = c.benchmark_group("covid_properties");
+    for p in covid_properties() {
+        let spec = parse(p.source);
+        group.bench_function(format!("P{}", p.id), |bench| {
+            let mut mc = ModelChecker::new(&tree);
+            bench.iter(|| match &spec {
+                Spec::Query(q) => black_box(mc.check_query(q).expect("checks")),
+                Spec::Formula(f) => black_box(!mc.satisfying_vectors(f).expect("enumerates").is_empty()),
+            })
+        });
+    }
+    group.bench_function("P6", |bench| {
+        let mut mc = ModelChecker::new(&tree);
+        let q = property_6(&tree);
+        bench.iter(|| black_box(mc.check_query(&q).expect("checks")))
+    });
+    group.finish();
+}
+
+/// P-cold: the dominant cost — building the checker and translating
+/// MCS(IWoS) from scratch.
+fn bench_covid_cold_translation(c: &mut Criterion) {
+    let tree = corpus::covid();
+    let phi = parse_formula("MCS(IWoS)").expect("parses");
+    c.bench_function("covid_cold_mcs_translation", |bench| {
+        bench.iter(|| {
+            let mut mc = ModelChecker::new(&tree);
+            black_box(mc.formula_bdd(&phi).expect("translates"))
+        })
+    });
+}
+
+/// TAB1: Algorithm 4 on every Table I row.
+fn bench_table1_counterexamples(c: &mut Criterion) {
+    let tree = table1_tree();
+    let rows = table1_rows();
+    let mut group = c.benchmark_group("table1_counterexamples");
+    for (i, row) in rows.iter().enumerate() {
+        group.bench_function(format!("row{}", i + 1), |bench| {
+            let mut mc = ModelChecker::new(&tree);
+            if row.needs_support_scope {
+                mc.set_minimality_scope(MinimalityScope::FormulaSupport);
+            }
+            bench.iter(|| {
+                black_box(counterexample(&mut mc, &row.example, &row.formula).expect("checks"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_algo2_walk,
+    bench_algo3_allsat,
+    bench_covid_properties,
+    bench_covid_cold_translation,
+    bench_table1_counterexamples
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Scaling benchmarks: BDD construction, minimal cut sets, model checking
+//! and counterexamples as functions of fault-tree size (SCAL-BDD and
+//! SCAL-MCS of the experiment index).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Sample/measurement settings keeping the full sweep affordable.
+macro_rules! tune {
+    ($group:expr) => {
+        $group.sample_size(20).measurement_time(Duration::from_secs(3))
+    };
+}
+
+use bfl_core::{counterexample, Formula, ModelChecker};
+use bfl_fault_tree::bdd::TreeBdd;
+use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
+use bfl_fault_tree::{analysis, corpus, FaultTree, StatusVector, VariableOrdering};
+
+fn sizes() -> Vec<(usize, usize)> {
+    vec![(10, 6), (20, 12), (40, 25), (80, 50), (160, 100)]
+}
+
+fn tree_of(nb: usize, ng: usize) -> FaultTree {
+    random_tree(&RandomTreeConfig {
+        num_basic: nb,
+        num_gates: ng,
+        max_children: 4,
+        vot_probability: 0.1,
+        seed: 42,
+    })
+}
+
+/// SCAL-BDD: Ψ_FT translation time vs tree size.
+fn bench_bdd_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_bdd_build");
+    tune!(group);
+    for (nb, ng) in sizes() {
+        let tree = tree_of(nb, ng);
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &tree, |b, tree| {
+            b.iter(|| {
+                let mut tb = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+                black_box(tb.element_bdd(tree, tree.top()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// SCAL-MCS: minimal cut sets (minsol engine) vs tree size.
+fn bench_mcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_mcs");
+    tune!(group);
+    for (nb, ng) in sizes() {
+        let tree = tree_of(nb, ng);
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &tree, |b, tree| {
+            b.iter(|| black_box(analysis::minimal_cut_sets(tree, tree.top())))
+        });
+    }
+    group.finish();
+}
+
+/// Model checking a quantified implication on growing trees.
+fn bench_forall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_forall");
+    tune!(group);
+    for (nb, ng) in sizes() {
+        let tree = tree_of(nb, ng);
+        let phi = Formula::atom("be0").implies(Formula::atom("g0"));
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &tree, |b, tree| {
+            b.iter(|| {
+                let mut mc = ModelChecker::new(tree);
+                black_box(
+                    mc.check_query(&bfl_core::Query::Forall(phi.clone()))
+                        .expect("checks"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm 4 on growing trees (all-failed vector, MCS of the top).
+fn bench_counterexample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_counterexample");
+    tune!(group);
+    for (nb, ng) in sizes() {
+        let tree = tree_of(nb, ng);
+        let phi = Formula::atom("g0").mcs();
+        let b = StatusVector::all_failed(tree.num_basic_events());
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &tree, |bench, tree| {
+            let mut mc = ModelChecker::new(tree);
+            let _ = mc.formula_bdd(&phi).expect("warm");
+            bench.iter(|| black_box(counterexample(&mut mc, &b, &phi).expect("checks")))
+        });
+    }
+    group.finish();
+}
+
+/// Balanced AND/OR chains (corpus::chain) — worst-case distinct leaves.
+/// Beyond depth 8 the number of MCSs explodes double-exponentially
+/// (depth 10 has ~10^9), so enumeration is benchmarked up to depth 8 and
+/// *counting* (BDD model counting on the minsol diagram) carries the
+/// series onwards.
+fn bench_chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_chain_depth");
+    tune!(group);
+    for depth in [4u32, 6, 8] {
+        let tree = corpus::chain(depth);
+        group.bench_with_input(
+            BenchmarkId::new("enumerate", depth),
+            &tree,
+            |b, tree| b.iter(|| black_box(analysis::minimal_cut_sets(tree, tree.top()).len())),
+        );
+    }
+    for depth in [4u32, 6, 8, 10, 12] {
+        let tree = corpus::chain(depth);
+        group.bench_with_input(BenchmarkId::new("count", depth), &tree, |b, tree| {
+            b.iter(|| black_box(analysis::count_minimal_cut_sets(tree, tree.top())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bdd_build,
+    bench_mcs,
+    bench_forall,
+    bench_counterexample,
+    bench_chain_depth
+);
+criterion_main!(benches);

@@ -1,0 +1,287 @@
+//! `reproduce` — regenerates every table and figure of the paper and
+//! prints our result next to the paper's expected value.
+//!
+//! ```text
+//! cargo run -p bfl-bench --bin reproduce             # everything
+//! cargo run -p bfl-bench --bin reproduce -- fig1     # one artifact
+//! ```
+//!
+//! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling`.
+
+use bfl_bench::{covid_properties, parse, property_6};
+use bfl_core::parser::{parse_formula, Spec};
+use bfl_core::patterns::{table1_rows, table1_tree};
+use bfl_core::{counterexample, is_valid_counterexample, Counterexample, MinimalityScope, ModelChecker};
+use bfl_fault_tree::bdd::TreeBdd;
+use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
+use bfl_fault_tree::{analysis, corpus, StatusVector, VariableOrdering};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("fig1") {
+        fig1();
+    }
+    if want("fig2") {
+        fig2();
+    }
+    if want("fig3") {
+        fig3();
+    }
+    if want("ex2") {
+        ex2();
+    }
+    if want("ex3") {
+        ex3();
+    }
+    if want("table1") {
+        table1();
+    }
+    if want("covid") {
+        covid();
+    }
+    if want("scaling") {
+        scaling();
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+fn print_sets(prefix: &str, sets: &[Vec<String>]) {
+    for s in sets {
+        println!("{prefix}{{{}}}", s.join(", "));
+    }
+}
+
+/// Fig. 1 / Section II: MCS and MPS of the pathogens/reservoir subtree.
+fn fig1() {
+    banner("FIG1 — Fig. 1 subtree: minimal cut sets and path sets (Sec. II)");
+    let tree = corpus::fig1();
+    let mcs = analysis::minimal_cut_sets_names(&tree, tree.top());
+    println!("paper MCS : {{IW, H3}}, {{IT, H2}}");
+    print_sets("ours  MCS : ", &mcs);
+    let mps = analysis::minimal_path_sets_names(&tree, tree.top());
+    println!("paper MPS : {{IW, IT}}, {{IW, H2}}, {{H3, IT}}, {{H3, H2}}");
+    print_sets("ours  MPS : ", &mps);
+}
+
+/// Fig. 2: shape of the reconstructed COVID-19 fault tree.
+fn fig2() {
+    banner("FIG2 — the COVID-19 fault tree (reconstruction, see DESIGN.md §3)");
+    let tree = corpus::covid();
+    println!(
+        "paper: 'medium-sized' FT, repeated events IT, PP, H1, IW (Sec. IV)"
+    );
+    println!(
+        "ours : {} basic events, {} gates, top = {}",
+        tree.num_basic_events(),
+        tree.num_gates(),
+        tree.name(tree.top())
+    );
+    let mut counts = std::collections::HashMap::new();
+    for g in tree.gates() {
+        for &c in tree.children(g) {
+            if tree.is_basic(c) {
+                *counts.entry(tree.name(c)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut repeated: Vec<&str> = counts
+        .iter()
+        .filter(|(_, &n)| n > 1)
+        .map(|(&k, _)| k)
+        .collect();
+    repeated.sort();
+    println!("ours : repeated events {repeated:?}");
+    for ordering in VariableOrdering::all() {
+        let mut tb = TreeBdd::new(&tree, ordering);
+        let top = tb.element_bdd(&tree, tree.top());
+        println!(
+            "       BDD size under {:?}: {} nodes",
+            ordering,
+            tb.manager().node_count(top)
+        );
+    }
+}
+
+/// Fig. 3: the OR-gate and its BDD.
+fn fig3() {
+    banner("FIG3 — a simple FT (OR-gate) and its BDD");
+    let tree = corpus::or2();
+    let mut tb = TreeBdd::new(&tree, VariableOrdering::DfsPreorder);
+    let top = tb.element_bdd(&tree, tree.top());
+    println!("paper: decision nodes e1, e2 over terminals 0/1 (4 nodes)");
+    println!("ours : {} nodes; DOT:", tb.manager().node_count(top));
+    print!("{}", tb.manager().to_dot(top, |v| format!("e{}", v.index() / 2 + 1)));
+}
+
+/// Example 2: walking B(MCS(Top)) with b = (0, 1).
+fn ex2() {
+    banner("EX2 — Algorithm 2 on MCS(e_top), b = (0,1) (Sec. V-C)");
+    let tree = corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    let phi = parse_formula("MCS(Top)").expect("parses");
+    let b = StatusVector::from_bits([false, true]);
+    println!("paper: b = (0,1) ⊨ MCS(e_top)  ->  true");
+    println!("ours : {}", mc.holds(&b, &phi).expect("checks"));
+}
+
+/// Example 3: AllSat of B(MCS(Top)).
+fn ex3() {
+    banner("EX3 — Algorithm 3 on MCS(e_top) (Sec. V-D)");
+    let tree = corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    let phi = parse_formula("MCS(Top)").expect("parses");
+    let sats = mc.satisfying_vectors(&phi).expect("enumerates");
+    println!("paper: ⟦MCS(e_top)⟧ = {{(0,1), (1,0)}}");
+    let rendered: Vec<String> = sats.iter().map(|v| format!("({v})")).collect();
+    println!("ours : {{{}}}", rendered.join(", "));
+}
+
+/// Table I: the four patterns with example vectors and counterexamples.
+fn table1() {
+    banner("TABLE I — counterexample patterns (Sec. VI)");
+    let tree = table1_tree();
+    println!("tree: e1 = AND(e2, e3), e3 = OR(e4, e5); vectors over (e2, e4, e5)\n");
+    println!(
+        "{:10} {:24} {:10} {:12} {:12} {:7}",
+        "pattern", "formula", "example", "paper cex", "our cex", "valid"
+    );
+    for row in table1_rows() {
+        let mut mc = ModelChecker::new(&tree);
+        if row.needs_support_scope {
+            mc.set_minimality_scope(MinimalityScope::FormulaSupport);
+        }
+        let ours = counterexample(&mut mc, &row.example, &row.formula).expect("checks");
+        let (ours_str, valid) = match &ours {
+            Counterexample::Found(v) => (
+                format!("({v})"),
+                is_valid_counterexample(&mut mc, &row.example, v, &row.formula).expect("checks"),
+            ),
+            other => (format!("{other:?}"), false),
+        };
+        let scope_note = if row.needs_support_scope { "*" } else { " " };
+        println!(
+            "{:10} {:24} ({})      ({})        {:12} {:7}",
+            format!("{}{}", row.pattern.name(), scope_note),
+            row.formula.to_string(),
+            row.example,
+            row.paper_counterexample,
+            ours_str,
+            valid
+        );
+    }
+    println!("\n(*) pattern3 needs the support-relative minimality scope; under the");
+    println!("    paper's formal semantics the conjunction is unsatisfiable (DESIGN.md §4).");
+}
+
+/// Section VII: the full case-study analysis.
+fn covid() {
+    banner("SEC VII — COVID-19 case study: all nine properties");
+    let tree = corpus::covid();
+    let mut mc = ModelChecker::new(&tree);
+    for p in covid_properties() {
+        match parse(p.source) {
+            Spec::Query(q) => {
+                let got = mc.check_query(&q).expect("checks");
+                let expected = p
+                    .expected
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "P{} {:55} paper: {:5}  ours: {}",
+                    p.id, p.question, expected, got
+                );
+            }
+            Spec::Formula(f) => {
+                let vectors = mc.satisfying_vectors(&f).expect("enumerates");
+                println!("P{} {:55} ({} results)", p.id, p.question, vectors.len());
+                if p.id == 5 {
+                    println!("   paper: {{IW,H3,IT,H1,H4,VW}}, {{IT,H2,H1,H4,VW}}");
+                    print_sets("   ours : ", &mc.vectors_to_failed_sets(&vectors));
+                } else if p.id == 7 {
+                    println!("   paper: 12 MPSs incl. {{H1}}, {{VW}}, {{IW,IT}}, {{H3,H2}}, …");
+                    print_sets("   ours : ", &mc.minimal_path_sets("IWoS").expect("enumerates"));
+                }
+            }
+        }
+        // Follow-ups the paper discusses inline.
+        match p.id {
+            1 => {
+                let f = parse_formula("MCS(MoT) & IS").expect("parses");
+                let v = mc.satisfying_vectors(&f).expect("enumerates");
+                println!("   follow-up ⟦MCS(MoT) ∧ IS⟧: paper {{IS, H1, H5}}");
+                print_sets("   ours : ", &mc.vectors_to_failed_sets(&v));
+            }
+            4 => {
+                let f = parse_formula(
+                    "MCS(IWoS) & H1 | MCS(IWoS) & H2 | MCS(IWoS) & H3 | MCS(IWoS) & H4 | MCS(IWoS) & H5",
+                )
+                .expect("parses");
+                println!(
+                    "   follow-up: MCSs requiring human error — paper: 12, ours: {}",
+                    mc.count_satisfying(&f).expect("counts")
+                );
+            }
+            _ => {}
+        }
+    }
+    // Property 6, built programmatically.
+    let q6 = property_6(&tree);
+    println!(
+        "P6 {:55} paper: false  ours: {}",
+        "Is avoiding all human errors a *minimal* prevention?",
+        mc.check_query(&q6).expect("checks")
+    );
+    println!("   pattern-2 counterexamples: paper {{H1}} and {{H2, H3}} — both are MPSs:");
+    let mps = mc.minimal_path_sets("IWoS").expect("enumerates");
+    for target in [vec!["H1".to_string()], vec!["H2".to_string(), "H3".to_string()]] {
+        println!("   {{{}}} in ⟦MPS(IWoS)⟧: {}", target.join(", "), mps.contains(&target));
+    }
+    // Property 8 follow-up.
+    println!("P8 follow-up IBEs: paper — CIO and CIS both depend on H1");
+    println!(
+        "   ours: IBE(CIO) = {:?}, IBE(CIS) = {:?}",
+        mc.influencing_basic_events(&parse_formula("CIO").expect("parses"))
+            .expect("checks"),
+        mc.influencing_basic_events(&parse_formula("CIS").expect("parses"))
+            .expect("checks")
+    );
+}
+
+/// Methodological scaling series (not in the paper; documents our
+/// implementation's behaviour — see EXPERIMENTS.md).
+fn scaling() {
+    banner("SCALING — BDD construction and MCS enumeration on random trees");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>10}",
+        "basic", "gates", "bdd nodes", "#MCS", "ms"
+    );
+    for &(nb, ng) in &[(10, 6), (20, 12), (40, 25), (80, 50), (160, 100)] {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: nb,
+            num_gates: ng,
+            max_children: 4,
+            vot_probability: 0.1,
+            seed: 42,
+        });
+        let start = std::time::Instant::now();
+        let mut tb = TreeBdd::new(&tree, VariableOrdering::DfsPreorder);
+        let top = tb.element_bdd(&tree, tree.top());
+        let nodes = tb.manager().node_count(top);
+        // Counting instead of enumeration: random trees can have
+        // astronomically many cut sets.
+        let mcs_count = analysis::count_minimal_cut_sets(&tree, tree.top());
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        println!(
+            "{:>8} {:>8} {:>12} {:>12} {:>10.2}",
+            nb, ng, nodes, mcs_count, elapsed
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared fixtures for the BFL benchmark harness: the paper's queries as
+//! named workloads, used by both the Criterion benches and the
+//! `reproduce` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bfl_core::parser::{parse_spec, Spec};
+use bfl_core::{Formula, Query};
+use bfl_fault_tree::FaultTree;
+
+/// The nine case-study properties of Sections IV/VII, in DSL form, with
+/// the verdict the paper reports.
+///
+/// `expected` is `Some(bool)` for yes/no properties; `None` for the
+/// enumeration queries (P5, P7) whose expected *sets* are asserted in the
+/// integration tests and printed by `reproduce`.
+pub struct CovidProperty {
+    /// Property number (1–9).
+    pub id: usize,
+    /// The natural-language question, shortened.
+    pub question: &'static str,
+    /// DSL source of the property.
+    pub source: &'static str,
+    /// The paper's verdict for Boolean properties.
+    pub expected: Option<bool>,
+}
+
+/// All nine case-study properties.
+///
+/// P6 is built programmatically (its evidence list covers every basic
+/// event); see [`property_6`].
+pub fn covid_properties() -> Vec<CovidProperty> {
+    vec![
+        CovidProperty {
+            id: 1,
+            question: "Is an infected surface sufficient for transmission?",
+            source: "forall IS => MoT",
+            expected: Some(false),
+        },
+        CovidProperty {
+            id: 2,
+            question: "Does transmission require human errors?",
+            source: "forall MoT => H1 | H2 | H3 | H4 | H5",
+            expected: Some(false),
+        },
+        CovidProperty {
+            id: 3,
+            question: "Is an object disinfection error sufficient for the TLE?",
+            source: "forall H4 => IWoS",
+            expected: Some(false),
+        },
+        CovidProperty {
+            id: 4,
+            question: "Are at least 2 human errors sufficient for the TLE?",
+            source: "forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS",
+            expected: Some(false),
+        },
+        CovidProperty {
+            id: 5,
+            question: "All MCSs for the TLE including H4?",
+            source: "MCS(IWoS) & H4",
+            expected: None,
+        },
+        CovidProperty {
+            id: 7,
+            question: "All minimal ways to prevent the TLE?",
+            source: "MPS(IWoS)",
+            expected: None,
+        },
+        CovidProperty {
+            id: 8,
+            question: "Are CIO and CIS independent scenarios?",
+            source: "IDP(CIO, CIS)",
+            expected: Some(false),
+        },
+        CovidProperty {
+            id: 9,
+            question: "Is physical proximity superfluous for the TLE?",
+            source: "SUP(PP)",
+            expected: Some(false),
+        },
+    ]
+}
+
+/// Property 6: `∃ MPS(IWoS)[H1↦0,…,H5↦0, e↦1 for all other e]`.
+pub fn property_6(tree: &FaultTree) -> Query {
+    let humans = ["H1", "H2", "H3", "H4", "H5"];
+    let mut phi = Formula::atom("IWoS").mps();
+    for h in humans {
+        phi = phi.with_evidence(h, false);
+    }
+    for &be in tree.basic_events() {
+        let name = tree.name(be);
+        if !humans.contains(&name) {
+            phi = phi.with_evidence(name, true);
+        }
+    }
+    Query::Exists(phi)
+}
+
+/// Parses one of the DSL sources above.
+///
+/// # Panics
+///
+/// Panics on invalid sources (they are compile-time constants).
+pub fn parse(source: &str) -> Spec {
+    parse_spec(source).expect("fixture parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_core::ModelChecker;
+    use bfl_fault_tree::corpus;
+
+    #[test]
+    fn all_fixture_sources_parse() {
+        for p in covid_properties() {
+            let _ = parse(p.source);
+        }
+    }
+
+    #[test]
+    fn verdicts_match_paper() {
+        let tree = corpus::covid();
+        let mut mc = ModelChecker::new(&tree);
+        for p in covid_properties() {
+            if let Some(expected) = p.expected {
+                let got = match parse(p.source) {
+                    Spec::Query(q) => mc.check_query(&q).unwrap(),
+                    Spec::Formula(f) => mc.check_query(&Query::Exists(f)).unwrap(),
+                };
+                assert_eq!(got, expected, "P{}", p.id);
+            }
+        }
+        assert!(!mc.check_query(&property_6(&tree)).unwrap());
+    }
+}

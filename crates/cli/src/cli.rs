@@ -1,0 +1,538 @@
+//! Argument parsing and command dispatch (no external dependencies).
+
+use std::fmt::Write as _;
+
+use bfl_core::parser::{parse_formula, parse_spec, Spec};
+use bfl_core::{counterexample, Counterexample, MinimalityScope, ModelChecker};
+use bfl_fault_tree::{galileo, FaultTree, StatusVector, VariableOrdering};
+
+const USAGE: &str = "\
+bfl — Boolean Fault tree Logic (DSN 2022) command line
+
+USAGE:
+    bfl <COMMAND> --ft <FILE> [OPTIONS] [ARGS]
+
+COMMANDS:
+    check    check a formula against a status vector, or a query
+    sat      enumerate all satisfying status vectors of a formula
+    count    count the satisfying status vectors of a formula
+    mcs      minimal cut sets of an element (default: the top event)
+    mps      minimal path sets of an element (default: the top event)
+    cex      counterexample for a formula that the vector fails
+    ibe      influencing basic events of a formula
+    render   failure propagation of a status vector through the tree
+    dot      Graphviz export of the tree (optionally with a vector)
+    prob     top event probability from the model's prob= annotations
+    modules  list the gates that are independent modules
+    help     print this message
+
+OPTIONS:
+    --ft <FILE>        fault tree in Galileo format (required)
+    --failed <A,B,C>   comma-separated failed basic events (default: none)
+    --support-scope    use support-relative MCS/MPS minimality (Table I reading)
+    --ordering <ORD>   BDD variable ordering: dfs (default), bfs,
+                       declaration, bouissou
+    --engine <E>       mcs/mps engine: minsol (default), paper, zdd
+                       (zdd applies to `mcs` only)
+
+EXAMPLES:
+    bfl mcs --ft covid.dft
+    bfl check --ft covid.dft 'forall IS => MoT'
+    bfl check --ft covid.dft --failed IW,H3 'MCS(\"CP/R\")'
+    bfl cex --ft covid.dft --failed IW,H3,IT 'MCS(\"CP/R\")'
+";
+
+/// Parsed common options.
+struct Options {
+    tree: FaultTree,
+    probabilities: Vec<Option<f64>>,
+    failed: Vec<String>,
+    support_scope: bool,
+    ordering: VariableOrdering,
+    engine: Engine,
+    positional: Vec<String>,
+}
+
+/// Cut-set engine selection for `mcs`/`mps`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Minsol,
+    Paper,
+    Zdd,
+}
+
+/// Runs the CLI on `args`, returning the stdout payload.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Err(format!("missing command\n\n{USAGE}"));
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(USAGE.to_string());
+    }
+    let opts = parse_options(&args[1..])?;
+    match command.as_str() {
+        "check" => cmd_check(&opts),
+        "sat" => cmd_sat(&opts),
+        "count" => cmd_count(&opts),
+        "mcs" => cmd_mcs(&opts, true),
+        "mps" => cmd_mcs(&opts, false),
+        "cex" => cmd_cex(&opts),
+        "ibe" => cmd_ibe(&opts),
+        "render" => cmd_render(&opts),
+        "dot" => cmd_dot(&opts),
+        "prob" => cmd_prob(&opts),
+        "modules" => cmd_modules(&opts),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut ft_path = None;
+    let mut failed = Vec::new();
+    let mut support_scope = false;
+    let mut ordering = VariableOrdering::DfsPreorder;
+    let mut engine = Engine::Minsol;
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ft" => {
+                i += 1;
+                ft_path = Some(
+                    args.get(i)
+                        .ok_or("--ft requires a file argument")?
+                        .clone(),
+                );
+            }
+            "--failed" => {
+                i += 1;
+                let list = args.get(i).ok_or("--failed requires a list argument")?;
+                failed = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--support-scope" => support_scope = true,
+            "--ordering" => {
+                i += 1;
+                let name = args.get(i).ok_or("--ordering requires an argument")?;
+                ordering = match name.as_str() {
+                    "dfs" => VariableOrdering::DfsPreorder,
+                    "bfs" => VariableOrdering::BfsLevel,
+                    "declaration" => VariableOrdering::Declaration,
+                    "bouissou" => VariableOrdering::BouissouWeight,
+                    other => return Err(format!("unknown ordering `{other}`")),
+                };
+            }
+            "--engine" => {
+                i += 1;
+                let name = args.get(i).ok_or("--engine requires an argument")?;
+                engine = match name.as_str() {
+                    "minsol" => Engine::Minsol,
+                    "paper" => Engine::Paper,
+                    "zdd" => Engine::Zdd,
+                    other => return Err(format!("unknown engine `{other}`")),
+                };
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let ft_path = ft_path.ok_or("missing required option --ft <FILE>")?;
+    let text = std::fs::read_to_string(&ft_path)
+        .map_err(|e| format!("cannot read `{ft_path}`: {e}"))?;
+    let model = galileo::parse(&text).map_err(|e| e.to_string())?;
+    Ok(Options {
+        tree: model.tree,
+        probabilities: model.probabilities,
+        failed,
+        support_scope,
+        ordering,
+        engine,
+        positional,
+    })
+}
+
+fn checker(opts: &Options) -> ModelChecker<'_> {
+    let mut mc = ModelChecker::with_ordering(&opts.tree, opts.ordering);
+    if opts.support_scope {
+        mc.set_minimality_scope(MinimalityScope::FormulaSupport);
+    }
+    mc
+}
+
+fn vector(opts: &Options) -> Result<StatusVector, String> {
+    let mut v = StatusVector::all_operational(opts.tree.num_basic_events());
+    for name in &opts.failed {
+        let e = opts
+            .tree
+            .element(name)
+            .ok_or_else(|| format!("unknown element `{name}` in --failed"))?;
+        let bi = opts
+            .tree
+            .basic_index(e)
+            .ok_or_else(|| format!("`{name}` is a gate; --failed takes basic events"))?;
+        v.set(bi, true);
+    }
+    Ok(v)
+}
+
+fn spec_arg(opts: &Options) -> Result<&str, String> {
+    opts.positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| "missing formula/query argument".to_string())
+}
+
+fn cmd_check(opts: &Options) -> Result<String, String> {
+    let mut mc = checker(opts);
+    match parse_spec(spec_arg(opts)?).map_err(|e| e.to_string())? {
+        Spec::Query(q) => {
+            let r = mc.check_query(&q).map_err(|e| e.to_string())?;
+            Ok(format!("{r}\n"))
+        }
+        Spec::Formula(f) => {
+            let b = vector(opts)?;
+            let r = mc.holds(&b, &f).map_err(|e| e.to_string())?;
+            Ok(format!("{r}\n"))
+        }
+    }
+}
+
+fn cmd_sat(opts: &Options) -> Result<String, String> {
+    let mut mc = checker(opts);
+    let f = parse_formula(spec_arg(opts)?).map_err(|e| e.to_string())?;
+    let vectors = mc.satisfying_vectors(&f).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} satisfying vectors", vectors.len());
+    for v in &vectors {
+        let _ = writeln!(out, "{v}  {{{}}}", v.failed_names(&opts.tree).join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_count(opts: &Options) -> Result<String, String> {
+    let mut mc = checker(opts);
+    let f = parse_formula(spec_arg(opts)?).map_err(|e| e.to_string())?;
+    let n = mc.count_satisfying(&f).map_err(|e| e.to_string())?;
+    Ok(format!("{n}\n"))
+}
+
+fn cmd_mcs(opts: &Options, cuts: bool) -> Result<String, String> {
+    let element = opts
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| opts.tree.name(opts.tree.top()).to_string());
+    let sets = match (opts.engine, cuts) {
+        (Engine::Zdd, true) => {
+            let e = opts
+                .tree
+                .element(&element)
+                .ok_or_else(|| format!("unknown element `{element}`"))?;
+            let indices = bfl_fault_tree::zdd_engine::minimal_cut_sets_zdd(&opts.tree, e);
+            index_sets_to_names(&opts.tree, &indices)
+        }
+        (Engine::Zdd, false) => {
+            return Err("the zdd engine supports `mcs` only".to_string());
+        }
+        (Engine::Paper, _) => {
+            let e = opts
+                .tree
+                .element(&element)
+                .ok_or_else(|| format!("unknown element `{element}`"))?;
+            let indices = if cuts {
+                bfl_fault_tree::analysis::minimal_cut_sets_paper(&opts.tree, e)
+            } else {
+                bfl_fault_tree::analysis::minimal_path_sets_paper(&opts.tree, e)
+            };
+            index_sets_to_names(&opts.tree, &indices)
+        }
+        (Engine::Minsol, _) => {
+            let mut mc = checker(opts);
+            if cuts {
+                mc.minimal_cut_sets(&element)
+            } else {
+                mc.minimal_path_sets(&element)
+            }
+            .map_err(|e| e.to_string())?
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} minimal {} sets of {element}",
+        sets.len(),
+        if cuts { "cut" } else { "path" }
+    );
+    for s in &sets {
+        let _ = writeln!(out, "{{{}}}", s.join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_cex(opts: &Options) -> Result<String, String> {
+    let mut mc = checker(opts);
+    let f = parse_formula(spec_arg(opts)?).map_err(|e| e.to_string())?;
+    let b = vector(opts)?;
+    match counterexample(&mut mc, &b, &f).map_err(|e| e.to_string())? {
+        Counterexample::AlreadySatisfies => Ok("vector already satisfies the formula\n".into()),
+        Counterexample::Unsatisfiable => Ok("formula is unsatisfiable\n".into()),
+        Counterexample::Found(v) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "counterexample: {v}  {{{}}}", v.failed_names(&opts.tree).join(", "));
+            out.push_str(&bfl_core::render::counterexample_report(&opts.tree, &b, &v));
+            Ok(out)
+        }
+    }
+}
+
+fn cmd_ibe(opts: &Options) -> Result<String, String> {
+    let mut mc = checker(opts);
+    let f = parse_formula(spec_arg(opts)?).map_err(|e| e.to_string())?;
+    let ibe = mc.influencing_basic_events(&f).map_err(|e| e.to_string())?;
+    Ok(format!("{{{}}}\n", ibe.join(", ")))
+}
+
+fn cmd_render(opts: &Options) -> Result<String, String> {
+    let b = vector(opts)?;
+    Ok(bfl_core::render::propagation(&opts.tree, &b))
+}
+
+fn cmd_dot(opts: &Options) -> Result<String, String> {
+    if opts.failed.is_empty() {
+        Ok(bfl_fault_tree::dot::to_dot(&opts.tree))
+    } else {
+        let b = vector(opts)?;
+        Ok(bfl_fault_tree::dot::to_dot_with_status(&opts.tree, Some(&b)))
+    }
+}
+
+fn cmd_prob(opts: &Options) -> Result<String, String> {
+    let missing: Vec<&str> = opts
+        .probabilities
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_none())
+        .map(|(i, _)| opts.tree.name(opts.tree.basic_events()[i]))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "missing prob= annotations for: {}",
+            missing.join(", ")
+        ));
+    }
+    let probs: Vec<f64> = opts.probabilities.iter().map(|p| p.expect("checked")).collect();
+    let p = bfl_fault_tree::prob::top_event_probability(&opts.tree, &probs);
+    Ok(format!("{p}\n"))
+}
+
+fn index_sets_to_names(tree: &FaultTree, sets: &[Vec<usize>]) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = sets
+        .iter()
+        .map(|s| {
+            let mut names: Vec<String> = s
+                .iter()
+                .map(|&i| tree.name(tree.basic_events()[i]).to_string())
+                .collect();
+            names.sort();
+            names
+        })
+        .collect();
+    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    out
+}
+
+fn cmd_modules(opts: &Options) -> Result<String, String> {
+    let mods = bfl_fault_tree::modules::modules(&opts.tree);
+    let mut out = String::new();
+    for g in mods {
+        let _ = writeln!(out, "{}", opts.tree.name(g));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_model() -> tempdir::TempFile {
+        tempdir::TempFile::new(
+            "toplevel T;\nT and A B;\nA prob=0.1;\nB prob=0.2;\n",
+        )
+    }
+
+    /// Minimal self-contained temp-file helper (std only).
+    mod tempdir {
+        use std::path::PathBuf;
+
+        pub struct TempFile {
+            pub path: PathBuf,
+        }
+
+        impl TempFile {
+            pub fn new(contents: &str) -> TempFile {
+                let mut path = std::env::temp_dir();
+                let unique = format!(
+                    "bfl-cli-test-{}-{:?}.dft",
+                    std::process::id(),
+                    std::thread::current().id()
+                );
+                path.push(unique);
+                std::fs::write(&path, contents).expect("write temp model");
+                TempFile { path }
+            }
+
+            pub fn arg(&self) -> String {
+                self.path.to_string_lossy().into_owned()
+            }
+        }
+
+        impl Drop for TempFile {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.path);
+            }
+        }
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args).expect("command succeeds")
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn check_query() {
+        let f = write_model();
+        let out = run_ok(&["check", "--ft", &f.arg(), "forall A & B => T"]);
+        assert_eq!(out, "true\n");
+        let out = run_ok(&["check", "--ft", &f.arg(), "forall A => T"]);
+        assert_eq!(out, "false\n");
+    }
+
+    #[test]
+    fn check_formula_with_vector() {
+        let f = write_model();
+        let out = run_ok(&["check", "--ft", &f.arg(), "--failed", "A,B", "MCS(T)"]);
+        assert_eq!(out, "true\n");
+        let out = run_ok(&["check", "--ft", &f.arg(), "--failed", "A", "MCS(T)"]);
+        assert_eq!(out, "false\n");
+    }
+
+    #[test]
+    fn mcs_and_mps() {
+        let f = write_model();
+        let out = run_ok(&["mcs", "--ft", &f.arg()]);
+        assert!(out.contains("{A, B}"), "{out}");
+        let out = run_ok(&["mps", "--ft", &f.arg()]);
+        assert!(out.contains("{A}"), "{out}");
+        assert!(out.contains("{B}"), "{out}");
+    }
+
+    #[test]
+    fn sat_and_count() {
+        let f = write_model();
+        let out = run_ok(&["count", "--ft", &f.arg(), "T"]);
+        assert_eq!(out, "1\n");
+        let out = run_ok(&["sat", "--ft", &f.arg(), "T"]);
+        assert!(out.contains("1 satisfying vectors"));
+        assert!(out.contains("{A, B}"));
+    }
+
+    #[test]
+    fn counterexample_command() {
+        let f = write_model();
+        let out = run_ok(&["cex", "--ft", &f.arg(), "--failed", "A", "MCS(T)"]);
+        assert!(out.contains("counterexample"), "{out}");
+        assert!(out.contains("changed"), "{out}");
+    }
+
+    #[test]
+    fn ibe_command() {
+        let f = write_model();
+        let out = run_ok(&["ibe", "--ft", &f.arg(), "T"]);
+        assert_eq!(out, "{A, B}\n");
+    }
+
+    #[test]
+    fn render_and_dot() {
+        let f = write_model();
+        let out = run_ok(&["render", "--ft", &f.arg(), "--failed", "A"]);
+        assert!(out.contains("T ·"));
+        assert!(out.contains("A ✗"));
+        let out = run_ok(&["dot", "--ft", &f.arg()]);
+        assert!(out.contains("digraph"));
+    }
+
+    #[test]
+    fn prob_command() {
+        let f = write_model();
+        let out = run_ok(&["prob", "--ft", &f.arg()]);
+        let p: f64 = out.trim().parse().unwrap();
+        assert!((p - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engines_and_orderings_agree() {
+        let f = write_model();
+        let base = run_ok(&["mcs", "--ft", &f.arg()]);
+        for engine in ["minsol", "paper", "zdd"] {
+            let out = run_ok(&["mcs", "--ft", &f.arg(), "--engine", engine]);
+            assert_eq!(out, base, "{engine}");
+        }
+        for ordering in ["dfs", "bfs", "declaration", "bouissou"] {
+            let out = run_ok(&["mcs", "--ft", &f.arg(), "--ordering", ordering]);
+            assert_eq!(out, base, "{ordering}");
+        }
+        let args: Vec<String> = ["mps", "--ft", &f.arg(), "--engine", "zdd"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("mcs"));
+        let args: Vec<String> = ["mcs", "--ft", &f.arg(), "--engine", "bogus"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn modules_command() {
+        let f = write_model();
+        let out = run_ok(&["modules", "--ft", &f.arg()]);
+        assert_eq!(out, "T\n");
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let f = write_model();
+        let args: Vec<String> = ["mcs", "--ft", &f.arg(), "--bogus"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("--bogus"));
+    }
+
+    #[test]
+    fn unknown_failed_element_rejected() {
+        let f = write_model();
+        let args: Vec<String> = ["render", "--ft", &f.arg(), "--failed", "ghost"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("ghost"));
+    }
+}

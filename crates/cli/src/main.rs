@@ -1,0 +1,35 @@
+//! `bfl` — command-line front-end for Boolean Fault tree Logic.
+//!
+//! ```text
+//! bfl check  --ft FILE --failed A,B,C 'FORMULA-or-QUERY'
+//! bfl sat    --ft FILE 'FORMULA'
+//! bfl count  --ft FILE 'FORMULA'
+//! bfl mcs    --ft FILE [ELEMENT]
+//! bfl mps    --ft FILE [ELEMENT]
+//! bfl cex    --ft FILE --failed A,B,C 'FORMULA'
+//! bfl ibe    --ft FILE 'FORMULA'
+//! bfl render --ft FILE --failed A,B,C
+//! bfl dot    --ft FILE [--failed A,B,C]
+//! bfl prob   --ft FILE
+//! ```
+//!
+//! Fault trees are read in the Galileo dialect (see the `bfl-fault-tree`
+//! documentation); formulas/queries in the BFL DSL (see `bfl-core`).
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

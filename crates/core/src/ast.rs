@@ -1,0 +1,544 @@
+//! Abstract syntax of BFL (Section III-A).
+//!
+//! The logic has two layers:
+//!
+//! ```text
+//! ϕ ::= e | ¬ϕ | ϕ∧ϕ | ϕ[e↦0] | ϕ[e↦1] | MCS(ϕ)          (layer 1, [`Formula`])
+//! ψ ::= ∃ϕ | ∀ϕ | IDP(ϕ,ϕ)                               (layer 2, [`Query`])
+//! ```
+//!
+//! plus the syntactic sugar of the paper (`∨ ⇒ ≡ ≢ MPS SUP VOT▷◁k`), which
+//! is represented natively in the AST so that it pretty-prints the way the
+//! user wrote it. `MPS` carries the *maximality* semantics discussed in
+//! `DESIGN.md` §4.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Comparison operator of the voting sugar `VOT▷◁k(ϕ1, …, ϕN)`
+/// (`▷◁ ∈ {<, ≤, =, ≥, >}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Strictly fewer than `k` operands hold.
+    Lt,
+    /// At most `k` operands hold.
+    Le,
+    /// Exactly `k` operands hold.
+    Eq,
+    /// At least `k` operands hold.
+    Ge,
+    /// Strictly more than `k` operands hold.
+    Gt,
+}
+
+impl CmpOp {
+    /// Applies the comparison to a concrete count.
+    pub fn compare(self, count: u32, k: u32) -> bool {
+        match self {
+            CmpOp::Lt => count < k,
+            CmpOp::Le => count <= k,
+            CmpOp::Eq => count == k,
+            CmpOp::Ge => count >= k,
+            CmpOp::Gt => count > k,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A layer-1 BFL formula, evaluated on a fault tree together with a status
+/// vector.
+///
+/// Atoms are fault-tree *element names* — both basic events and
+/// intermediate events are valid atoms. Formulae are cheap to clone
+/// (shared subtrees via [`Arc`]) and hashable, which the model checker
+/// uses for its translation cache (Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use bfl_core::Formula;
+/// // ∀(CP ⇒ CP/R) — Example 1 of the paper (the ∀ lives in [`Query`]).
+/// let phi = Formula::atom("CP").implies(Formula::atom("CP/R"));
+/// assert_eq!(phi.to_string(), "CP => CP/R");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// A constant (`⊤` or `⊥`). Not part of the paper's grammar but
+    /// convenient for the DSL; translated trivially.
+    Const(bool),
+    /// An element of the fault tree (basic or intermediate event): holds
+    /// iff `Φ_T(b, e) = 1`.
+    Atom(String),
+    /// Negation `¬ϕ`.
+    Not(Arc<Formula>),
+    /// Conjunction `ϕ ∧ ϕ′`.
+    And(Arc<Formula>, Arc<Formula>),
+    /// Disjunction `ϕ ∨ ϕ′` (sugar: `¬(¬ϕ ∧ ¬ϕ′)`).
+    Or(Arc<Formula>, Arc<Formula>),
+    /// Implication `ϕ ⇒ ϕ′` (sugar: `¬(ϕ ∧ ¬ϕ′)`).
+    Implies(Arc<Formula>, Arc<Formula>),
+    /// Biconditional `ϕ ≡ ϕ′`.
+    Iff(Arc<Formula>, Arc<Formula>),
+    /// Exclusive or `ϕ ≢ ϕ′`.
+    Neq(Arc<Formula>, Arc<Formula>),
+    /// Evidence `ϕ[e ↦ v]`: evaluate `ϕ` with basic event `e` forced to
+    /// `v`. Note `ϕ[e↦0]` is *not* `ϕ ∧ ¬e` (Section III-A).
+    Evidence {
+        /// The formula under evidence.
+        inner: Arc<Formula>,
+        /// The forced basic event.
+        element: String,
+        /// The forced value (`true` = failed).
+        value: bool,
+    },
+    /// `MCS(ϕ)`: the current vector is a *minimal* vector satisfying `ϕ`.
+    Mcs(Arc<Formula>),
+    /// `MPS(ϕ)`: the current vector is a *maximal* vector satisfying `¬ϕ`
+    /// (equivalently: its operational set is a minimal path set; see
+    /// `DESIGN.md` §4 for why the paper's literal `MCS(¬ϕ)` is adjusted).
+    Mps(Arc<Formula>),
+    /// Voting sugar `VOT▷◁k(ϕ1, …, ϕN)`: the number of operands that hold
+    /// compares `▷◁` with `k`.
+    Vot {
+        /// The comparison `▷◁`.
+        op: CmpOp,
+        /// The threshold `k`.
+        k: u32,
+        /// The operand formulae `ϕ1 … ϕN`.
+        operands: Vec<Formula>,
+    },
+}
+
+impl Formula {
+    /// The atom for element `e`.
+    pub fn atom(name: impl Into<String>) -> Formula {
+        Formula::Atom(name.into())
+    }
+
+    /// The constant `⊤`.
+    pub fn top() -> Formula {
+        Formula::Const(true)
+    }
+
+    /// The constant `⊥`.
+    pub fn bot() -> Formula {
+        Formula::Const(false)
+    }
+
+    /// Negation `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Arc::new(self))
+    }
+
+    /// Conjunction `self ∧ rhs`.
+    pub fn and(self, rhs: Formula) -> Formula {
+        Formula::And(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Disjunction `self ∨ rhs`.
+    pub fn or(self, rhs: Formula) -> Formula {
+        Formula::Or(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Implication `self ⇒ rhs`.
+    pub fn implies(self, rhs: Formula) -> Formula {
+        Formula::Implies(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Biconditional `self ≡ rhs`.
+    pub fn iff(self, rhs: Formula) -> Formula {
+        Formula::Iff(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Exclusive or `self ≢ rhs`.
+    pub fn neq(self, rhs: Formula) -> Formula {
+        Formula::Neq(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Evidence `self[e ↦ value]`.
+    pub fn with_evidence(self, element: impl Into<String>, value: bool) -> Formula {
+        Formula::Evidence {
+            inner: Arc::new(self),
+            element: element.into(),
+            value,
+        }
+    }
+
+    /// Chained evidence `self[e1 ↦ v1, e2 ↦ v2, …]` (left-to-right).
+    pub fn with_evidence_all<I, S>(self, assignments: I) -> Formula
+    where
+        I: IntoIterator<Item = (S, bool)>,
+        S: Into<String>,
+    {
+        assignments
+            .into_iter()
+            .fold(self, |acc, (e, v)| acc.with_evidence(e, v))
+    }
+
+    /// `MCS(self)`.
+    pub fn mcs(self) -> Formula {
+        Formula::Mcs(Arc::new(self))
+    }
+
+    /// `MPS(self)`.
+    pub fn mps(self) -> Formula {
+        Formula::Mps(Arc::new(self))
+    }
+
+    /// `VOT▷◁k(operands)`.
+    pub fn vot<I: IntoIterator<Item = Formula>>(op: CmpOp, k: u32, operands: I) -> Formula {
+        Formula::Vot {
+            op,
+            k,
+            operands: operands.into_iter().collect(),
+        }
+    }
+
+    /// Conjunction of all operands (`⊤` when empty).
+    pub fn and_all<I: IntoIterator<Item = Formula>>(operands: I) -> Formula {
+        let mut iter = operands.into_iter();
+        match iter.next() {
+            None => Formula::top(),
+            Some(first) => iter.fold(first, Formula::and),
+        }
+    }
+
+    /// Disjunction of all operands (`⊥` when empty).
+    pub fn or_all<I: IntoIterator<Item = Formula>>(operands: I) -> Formula {
+        let mut iter = operands.into_iter();
+        match iter.next() {
+            None => Formula::bot(),
+            Some(first) => iter.fold(first, Formula::or),
+        }
+    }
+
+    /// All atom names occurring in the formula, deduplicated, in first
+    /// occurrence order.
+    pub fn atoms(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |f| {
+            if let Formula::Atom(n) = f {
+                if !out.contains(&n.as_str()) {
+                    out.push(n.as_str());
+                }
+            }
+        });
+        out
+    }
+
+    /// All element names mentioned anywhere (atoms and evidence targets).
+    pub fn mentioned_elements(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |f| {
+            let names: &[&str] = match f {
+                Formula::Atom(n) => &[n.as_str()],
+                Formula::Evidence { element, .. } => &[element.as_str()],
+                _ => &[],
+            };
+            for n in names {
+                if !out.contains(n) {
+                    out.push(n);
+                }
+            }
+        });
+        out
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Pre-order traversal.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Formula)) {
+        f(self);
+        match self {
+            Formula::Const(_) | Formula::Atom(_) => {}
+            Formula::Not(a) | Formula::Mcs(a) | Formula::Mps(a) => a.visit(f),
+            Formula::Evidence { inner, .. } => inner.visit(f),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b)
+            | Formula::Neq(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::Vot { operands, .. } => {
+                for o in operands {
+                    o.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Whether the formula contains an `MCS` or `MPS` operator — the
+    /// condition under which Algorithm 2 genuinely needs a BDD (Section V
+    /// notes the check is trivial otherwise).
+    pub fn has_minimality_operator(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |f| {
+            if matches!(f, Formula::Mcs(_) | Formula::Mps(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// A layer-2 BFL query (`ψ`): quantification over status vectors, or
+/// independence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// `∃ϕ`: some status vector satisfies `ϕ`.
+    Exists(Formula),
+    /// `∀ϕ`: every status vector satisfies `ϕ`.
+    Forall(Formula),
+    /// `IDP(ϕ, ϕ′)`: the formulae share no influencing basic event.
+    Idp(Formula, Formula),
+    /// `SUP(e)`: element `e` is superfluous — sugar for `IDP(e, e_top)`.
+    Sup(String),
+}
+
+impl Query {
+    /// `∃ϕ`.
+    pub fn exists(phi: Formula) -> Query {
+        Query::Exists(phi)
+    }
+
+    /// `∀ϕ`.
+    pub fn forall(phi: Formula) -> Query {
+        Query::Forall(phi)
+    }
+
+    /// `IDP(a, b)`.
+    pub fn idp(a: Formula, b: Formula) -> Query {
+        Query::Idp(a, b)
+    }
+
+    /// `SUP(e)`.
+    pub fn sup(name: impl Into<String>) -> Query {
+        Query::Sup(name.into())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printing. The grammar printed here is exactly what `parser` reads;
+// round-tripping is checked by property tests.
+// ---------------------------------------------------------------------------
+
+/// Binding strength for parenthesisation (higher binds tighter).
+fn precedence(f: &Formula) -> u8 {
+    match f {
+        Formula::Iff(..) | Formula::Neq(..) => 1,
+        Formula::Implies(..) => 2,
+        Formula::Or(..) => 3,
+        Formula::And(..) => 4,
+        Formula::Not(..) => 5,
+        Formula::Evidence { .. } => 6,
+        Formula::Const(_) | Formula::Atom(_) | Formula::Mcs(_) | Formula::Mps(_)
+        | Formula::Vot { .. } => 7,
+    }
+}
+
+fn needs_quotes(name: &str) -> bool {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .map(|c| c.is_ascii_alphabetic() || c == '_')
+        .unwrap_or(false);
+    let keyword = matches!(
+        name,
+        "MCS" | "MPS" | "VOT" | "IDP" | "SUP" | "exists" | "forall" | "true" | "false"
+    );
+    !head_ok
+        || keyword
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '/')
+}
+
+fn write_name(f: &mut fmt::Formatter<'_>, name: &str) -> fmt::Result {
+    if needs_quotes(name) {
+        write!(f, "\"{name}\"")
+    } else {
+        f.write_str(name)
+    }
+}
+
+fn write_child(f: &mut fmt::Formatter<'_>, child: &Formula, parent_prec: u8) -> fmt::Result {
+    if precedence(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prec = precedence(self);
+        match self {
+            Formula::Const(true) => f.write_str("true"),
+            Formula::Const(false) => f.write_str("false"),
+            Formula::Atom(n) => write_name(f, n),
+            Formula::Not(a) => {
+                f.write_str("!")?;
+                write_child(f, a, prec + 1)
+            }
+            Formula::And(a, b) => {
+                write_child(f, a, prec)?;
+                f.write_str(" & ")?;
+                write_child(f, b, prec + 1)
+            }
+            Formula::Or(a, b) => {
+                write_child(f, a, prec)?;
+                f.write_str(" | ")?;
+                write_child(f, b, prec + 1)
+            }
+            Formula::Implies(a, b) => {
+                // Right-associative.
+                write_child(f, a, prec + 1)?;
+                f.write_str(" => ")?;
+                write_child(f, b, prec)
+            }
+            Formula::Iff(a, b) => {
+                write_child(f, a, prec + 1)?;
+                f.write_str(" <=> ")?;
+                write_child(f, b, prec + 1)
+            }
+            Formula::Neq(a, b) => {
+                write_child(f, a, prec + 1)?;
+                f.write_str(" != ")?;
+                write_child(f, b, prec + 1)
+            }
+            Formula::Evidence { inner, element, value } => {
+                write_child(f, inner, prec)?;
+                f.write_str("[")?;
+                write_name(f, element)?;
+                write!(f, " := {}]", if *value { 1 } else { 0 })
+            }
+            Formula::Mcs(a) => write!(f, "MCS({a})"),
+            Formula::Mps(a) => write!(f, "MPS({a})"),
+            Formula::Vot { op, k, operands } => {
+                write!(f, "VOT({op}{k}; ")?;
+                for (i, o) in operands.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Exists(p) => write!(f, "exists {p}"),
+            Query::Forall(p) => write!(f, "forall {p}"),
+            Query::Idp(a, b) => write!(f, "IDP({a}, {b})"),
+            Query::Sup(n) => {
+                f.write_str("SUP(")?;
+                write_name(f, n)?;
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let phi = Formula::atom("IS").implies(Formula::atom("MoT"));
+        assert_eq!(phi.to_string(), "IS => MoT");
+        let psi = Query::forall(phi);
+        assert_eq!(psi.to_string(), "forall IS => MoT");
+    }
+
+    #[test]
+    fn parenthesisation() {
+        let a = || Formula::atom("a");
+        let b = || Formula::atom("b");
+        let c = || Formula::atom("c");
+        // (a | b) & c needs parens around the or.
+        let f = a().or(b()).and(c());
+        assert_eq!(f.to_string(), "(a | b) & c");
+        // a | (b & c) does not.
+        let g = a().or(b().and(c()));
+        assert_eq!(g.to_string(), "a | b & c");
+        // ¬(a ∧ b)
+        let h = a().and(b()).not();
+        assert_eq!(h.to_string(), "!(a & b)");
+    }
+
+    #[test]
+    fn evidence_display() {
+        let f = Formula::atom("IWoS").mps().with_evidence_all([("H1", false), ("H2", true)]);
+        assert_eq!(f.to_string(), "MPS(IWoS)[H1 := 0][H2 := 1]");
+    }
+
+    #[test]
+    fn quoted_names() {
+        let f = Formula::atom("CP/R");
+        assert_eq!(f.to_string(), "CP/R"); // '/' allowed bare
+        let g = Formula::atom("a b");
+        assert_eq!(g.to_string(), "\"a b\"");
+        let k = Formula::atom("MCS");
+        assert_eq!(k.to_string(), "\"MCS\"");
+    }
+
+    #[test]
+    fn vot_display() {
+        let f = Formula::vot(
+            CmpOp::Ge,
+            2,
+            ["H1", "H2", "H3"].map(Formula::atom),
+        );
+        assert_eq!(f.to_string(), "VOT(>=2; H1, H2, H3)");
+    }
+
+    #[test]
+    fn atoms_and_size() {
+        let f = Formula::atom("a").and(Formula::atom("b").or(Formula::atom("a")));
+        assert_eq!(f.atoms(), vec!["a", "b"]);
+        assert_eq!(f.size(), 5);
+        assert!(!f.has_minimality_operator());
+        assert!(f.clone().mcs().has_minimality_operator());
+    }
+
+    #[test]
+    fn mentioned_elements_includes_evidence() {
+        // Pre-order: the evidence wrapper is visited before the atom.
+        let f = Formula::atom("a").with_evidence("e", true);
+        assert_eq!(f.mentioned_elements(), vec!["e", "a"]);
+    }
+
+    #[test]
+    fn cmp_op_compare() {
+        assert!(CmpOp::Ge.compare(3, 2));
+        assert!(!CmpOp::Lt.compare(3, 2));
+        assert!(CmpOp::Eq.compare(2, 2));
+        assert!(CmpOp::Le.compare(2, 2));
+        assert!(CmpOp::Gt.compare(3, 2));
+    }
+}

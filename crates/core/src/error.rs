@@ -1,0 +1,54 @@
+//! Error type shared by the evaluator and model checker.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when interpreting a BFL formula against a fault tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BflError {
+    /// The formula mentions an element the tree does not contain.
+    UnknownElement(String),
+    /// Evidence (`ϕ[e↦v]`) targets an intermediate event; the semantics of
+    /// Section III-B defines evidence on status vectors, i.e. on basic
+    /// events only.
+    EvidenceOnGate(String),
+    /// A problem too large for the exhaustive reference evaluator.
+    TooLarge {
+        /// Number of basic events requested.
+        actual: usize,
+        /// The evaluator's limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BflError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BflError::UnknownElement(n) => write!(f, "unknown fault tree element `{n}`"),
+            BflError::EvidenceOnGate(n) => write!(
+                f,
+                "evidence on `{n}` is invalid: only basic events can be set in a status vector"
+            ),
+            BflError::TooLarge { actual, limit } => write!(
+                f,
+                "reference evaluator limited to {limit} basic events, tree has {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for BflError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BflError::UnknownElement("x".into()).to_string().contains("`x`"));
+        assert!(BflError::EvidenceOnGate("g".into()).to_string().contains("basic events"));
+        let e = BflError::TooLarge { actual: 30, limit: 20 };
+        assert!(e.to_string().contains("30"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # `bfl-core` — Boolean Fault tree Logic
+//!
+//! A faithful, production-quality implementation of
+//! *"BFL: a Logic to Reason about Fault Trees"* (Nicoletti, Hahn &
+//! Stoelinga, DSN 2022):
+//!
+//! * the two-layer logic of Section III — [`Formula`] (layer 1: element
+//!   atoms, Boolean connectives, evidence, `MCS`/`MPS`) and [`Query`]
+//!   (layer 2: `∃`, `∀`, `IDP`), plus all the paper's syntactic sugar
+//!   (`⇒ ≡ ≢ SUP VOT▷◁k`);
+//! * reference semantics by direct recursion ([`semantics`]);
+//! * the BDD-based model-checking algorithms of Section V
+//!   ([`ModelChecker`]): formula compilation with caching (Algorithm 1),
+//!   vector checking (Algorithm 2), satisfaction sets (Algorithm 3);
+//! * counterexample generation per Section VI ([`counterexample`],
+//!   Algorithm 4 and Definition 7) with the four patterns of Table I
+//!   ([`patterns`]) and failure-propagation rendering ([`render`]);
+//! * a textual DSL for the logic ([`parser`]) — the paper's third
+//!   future-work item;
+//! * a fault-tree synthesis prototype for the Section V-E discussion
+//!   ([`synthesis`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bfl_core::{ModelChecker, parser};
+//! use bfl_fault_tree::corpus;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tree = corpus::covid();
+//! let mut mc = ModelChecker::new(&tree);
+//!
+//! // Property 1 of the case study: is an infected surface sufficient for
+//! // the transmission of COVID? (It is not.)
+//! let q = parser::parse_query("forall IS => MoT")?;
+//! assert!(!mc.check_query(&q)?);
+//!
+//! // Which minimal cut sets involve the object-disinfection error H4?
+//! let phi = parser::parse_formula("MCS(IWoS) & H4")?;
+//! let sets = mc.satisfying_vectors(&phi)?;
+//! assert_eq!(sets.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod checker;
+pub mod counterexample;
+pub mod error;
+pub mod parser;
+pub mod patterns;
+pub mod quant;
+pub mod render;
+pub mod rewrite;
+pub mod semantics;
+pub mod synthesis;
+
+pub use ast::{CmpOp, Formula, Query};
+pub use checker::{MinimalityScope, ModelChecker};
+pub use counterexample::{counterexample, is_valid_counterexample, Counterexample};
+pub use error::BflError;
+pub use patterns::{Pattern, Table1Row};

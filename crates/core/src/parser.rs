@@ -1,0 +1,857 @@
+//! A textual DSL for BFL — the paper's third future-work item ("a Domain
+//! Specific Language for BFL").
+//!
+//! The grammar (binding strength increasing downwards; `name` is a bare
+//! identifier `[A-Za-z_][A-Za-z0-9_/]*` or a quoted string):
+//!
+//! ```text
+//! query   := ('exists' | '∃') formula
+//!          | ('forall' | '∀') formula
+//!          | 'IDP' '(' formula ',' formula ')'
+//!          | 'SUP' '(' name ')'
+//! formula := iff
+//! iff     := imp (('<=>' | '≡' | '!=' | '≢') imp)*        (left-assoc)
+//! imp     := or ('=>' imp)?                               (right-assoc)
+//! or      := and (('|' | '∨') and)*
+//! and     := unary (('&' | '∧') unary)*
+//! unary   := ('!' | '¬') unary | postfix
+//! postfix := primary ('[' name (':=' | '↦') bit (',' name (':=' | '↦') bit)* ']')*
+//! primary := name | 'true' | 'false' | '(' formula ')'
+//!          | 'MCS' '(' formula ')' | 'MPS' '(' formula ')'
+//!          | 'VOT' '(' cmp nat ';' formula (',' formula)* ')'
+//! cmp     := '<' | '<=' | '=' | '>=' | '>'
+//! bit     := '0' | '1' | 'true' | 'false'
+//! ```
+//!
+//! Pretty-printing ([`Formula`]'s `Display`) emits exactly this grammar;
+//! `parse(format!("{f}")) == f` is enforced by property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use bfl_core::parser::{parse_formula, parse_query};
+//! let phi = parse_formula("MCS(IWoS) & H4")?;
+//! assert_eq!(phi.to_string(), "MCS(IWoS) & H4");
+//! let psi = parse_query("forall VOT(>=2; H1, H2, H3) => IWoS")?;
+//! assert_eq!(psi.to_string(), "forall VOT(>=2; H1, H2, H3) => IWoS");
+//! # Ok::<(), bfl_core::parser::ParseError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{CmpOp, Formula, Query};
+
+/// A parse error with 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Name(String),
+    Number(u32),
+    KwMcs,
+    KwMps,
+    KwVot,
+    KwIdp,
+    KwSup,
+    KwExists,
+    KwForall,
+    KwTrue,
+    KwFalse,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,   // =>
+    IffOp,   // <=>
+    NeqOp,   // !=
+    Assign,  // :=
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Lt,
+    Le,
+    EqCmp,
+    Ge,
+    Gt,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s: String = match self {
+            Tok::Name(n) => format!("name `{n}`"),
+            Tok::Number(n) => format!("number `{n}`"),
+            Tok::KwMcs => "`MCS`".into(),
+            Tok::KwMps => "`MPS`".into(),
+            Tok::KwVot => "`VOT`".into(),
+            Tok::KwIdp => "`IDP`".into(),
+            Tok::KwSup => "`SUP`".into(),
+            Tok::KwExists => "`exists`".into(),
+            Tok::KwForall => "`forall`".into(),
+            Tok::KwTrue => "`true`".into(),
+            Tok::KwFalse => "`false`".into(),
+            Tok::Bang => "`!`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::Arrow => "`=>`".into(),
+            Tok::IffOp => "`<=>`".into(),
+            Tok::NeqOp => "`!=`".into(),
+            Tok::Assign => "`:=`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semicolon => "`;`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::EqCmp => "`=`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Gt => "`>`".into(),
+        };
+        f.write_str(&s)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, c)) = next {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        next
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(&(i, c)) = self.chars.peek() {
+            let (line, col) = (self.line, self.col);
+            let mut push = |tok: Tok| out.push(Spanned { tok, line, col });
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '(' => {
+                    self.bump();
+                    push(Tok::LParen);
+                }
+                ')' => {
+                    self.bump();
+                    push(Tok::RParen);
+                }
+                '[' => {
+                    self.bump();
+                    push(Tok::LBracket);
+                }
+                ']' => {
+                    self.bump();
+                    push(Tok::RBracket);
+                }
+                ',' => {
+                    self.bump();
+                    push(Tok::Comma);
+                }
+                ';' => {
+                    self.bump();
+                    push(Tok::Semicolon);
+                }
+                '&' | '∧' => {
+                    self.bump();
+                    push(Tok::Amp);
+                }
+                '|' | '∨' => {
+                    self.bump();
+                    push(Tok::Pipe);
+                }
+                '¬' => {
+                    self.bump();
+                    push(Tok::Bang);
+                }
+                '≡' => {
+                    self.bump();
+                    push(Tok::IffOp);
+                }
+                '≢' => {
+                    self.bump();
+                    push(Tok::NeqOp);
+                }
+                '⇒' => {
+                    self.bump();
+                    push(Tok::Arrow);
+                }
+                '↦' => {
+                    self.bump();
+                    push(Tok::Assign);
+                }
+                '∃' => {
+                    self.bump();
+                    push(Tok::KwExists);
+                }
+                '∀' => {
+                    self.bump();
+                    push(Tok::KwForall);
+                }
+                '!' => {
+                    self.bump();
+                    if matches!(self.chars.peek(), Some(&(_, '='))) {
+                        self.bump();
+                        push(Tok::NeqOp);
+                    } else {
+                        push(Tok::Bang);
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    if matches!(self.chars.peek(), Some(&(_, '>'))) {
+                        self.bump();
+                        push(Tok::Arrow);
+                    } else {
+                        push(Tok::EqCmp);
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if matches!(self.chars.peek(), Some(&(_, '='))) {
+                        self.bump();
+                        if matches!(self.chars.peek(), Some(&(_, '>'))) {
+                            self.bump();
+                            push(Tok::IffOp);
+                        } else {
+                            push(Tok::Le);
+                        }
+                    } else {
+                        push(Tok::Lt);
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if matches!(self.chars.peek(), Some(&(_, '='))) {
+                        self.bump();
+                        push(Tok::Ge);
+                    } else {
+                        push(Tok::Gt);
+                    }
+                }
+                ':' => {
+                    self.bump();
+                    if matches!(self.chars.peek(), Some(&(_, '='))) {
+                        self.bump();
+                        push(Tok::Assign);
+                    } else {
+                        return Err(self.error("expected `=` after `:`"));
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    let mut name = String::new();
+                    let mut closed = false;
+                    while let Some((_, ch)) = self.bump() {
+                        if ch == '"' {
+                            closed = true;
+                            break;
+                        }
+                        name.push(ch);
+                    }
+                    if !closed {
+                        return Err(self.error("unterminated quoted name"));
+                    }
+                    if name.is_empty() {
+                        return Err(self.error("empty quoted name"));
+                    }
+                    push(Tok::Name(name));
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, ch)) = self.chars.peek() {
+                        if ch.is_ascii_digit() {
+                            end = j + ch.len_utf8();
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &self.src[start..end];
+                    let n: u32 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("number `{text}` out of range")))?;
+                    push(Tok::Number(n));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    let mut end = i + c.len_utf8();
+                    self.bump();
+                    while let Some(&(j, ch)) = self.chars.peek() {
+                        if ch.is_ascii_alphanumeric() || ch == '_' || ch == '/' {
+                            end = j + ch.len_utf8();
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let word = &self.src[start..end];
+                    push(match word {
+                        "MCS" => Tok::KwMcs,
+                        "MPS" => Tok::KwMps,
+                        "VOT" => Tok::KwVot,
+                        "IDP" => Tok::KwIdp,
+                        "SUP" => Tok::KwSup,
+                        "exists" => Tok::KwExists,
+                        "forall" => Tok::KwForall,
+                        "true" => Tok::KwTrue,
+                        "false" => Tok::KwFalse,
+                        _ => Tok::Name(word.to_string()),
+                    });
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character `{other}`")));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    end_line: usize,
+    end_col: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos)
+            .map(|s| (s.line, s.col))
+            .unwrap_or((self.end_line, self.end_col));
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.error_here(format!("expected {tok}, found {t}"))),
+            None => Err(self.error_here(format!("expected {tok}, found end of input"))),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Name(n)) => Ok(n),
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error_here(format!("expected a name, found {t}")))
+            }
+            None => Err(self.error_here("expected a name, found end of input")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        match self.peek() {
+            Some(Tok::KwExists) => {
+                self.bump();
+                Ok(Query::Exists(self.parse_formula()?))
+            }
+            Some(Tok::KwForall) => {
+                self.bump();
+                Ok(Query::Forall(self.parse_formula()?))
+            }
+            Some(Tok::KwIdp) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let a = self.parse_formula()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.parse_formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Query::Idp(a, b))
+            }
+            Some(Tok::KwSup) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let name = self.parse_name()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Query::Sup(name))
+            }
+            _ => Err(self.error_here(
+                "expected a layer-2 query (`exists`, `forall`, `IDP(…)` or `SUP(…)`)",
+            )),
+        }
+    }
+
+    fn parse_formula(&mut self) -> Result<Formula, ParseError> {
+        self.parse_iff()
+    }
+
+    fn parse_iff(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_implies()?;
+        loop {
+            match self.peek() {
+                Some(Tok::IffOp) => {
+                    self.bump();
+                    let rhs = self.parse_implies()?;
+                    lhs = lhs.iff(rhs);
+                }
+                Some(Tok::NeqOp) => {
+                    self.bump();
+                    let rhs = self.parse_implies()?;
+                    lhs = lhs.neq(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.parse_or()?;
+        if matches!(self.peek(), Some(Tok::Arrow)) {
+            self.bump();
+            let rhs = self.parse_implies()?; // right-associative
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Some(Tok::Pipe)) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while matches!(self.peek(), Some(Tok::Amp)) {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        if matches!(self.peek(), Some(Tok::Bang)) {
+            self.bump();
+            Ok(self.parse_unary()?.not())
+        } else {
+            self.parse_postfix()
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.parse_primary()?;
+        while matches!(self.peek(), Some(Tok::LBracket)) {
+            self.bump();
+            loop {
+                let name = self.parse_name()?;
+                self.expect(&Tok::Assign)?;
+                let value = match self.bump() {
+                    Some(Tok::Number(0)) | Some(Tok::KwFalse) => false,
+                    Some(Tok::Number(1)) | Some(Tok::KwTrue) => true,
+                    Some(t) => {
+                        self.pos -= 1;
+                        return Err(self.error_here(format!(
+                            "expected evidence value `0`, `1`, `true` or `false`, found {t}"
+                        )));
+                    }
+                    None => {
+                        return Err(self.error_here("expected evidence value, found end of input"))
+                    }
+                };
+                f = f.with_evidence(name, value);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            self.expect(&Tok::RBracket)?;
+        }
+        Ok(f)
+    }
+
+    fn parse_primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Name(_)) => {
+                let name = self.parse_name()?;
+                Ok(Formula::atom(name))
+            }
+            Some(Tok::KwTrue) => {
+                self.bump();
+                Ok(Formula::top())
+            }
+            Some(Tok::KwFalse) => {
+                self.bump();
+                Ok(Formula::bot())
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.parse_formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f)
+            }
+            Some(Tok::KwMcs) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let f = self.parse_formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f.mcs())
+            }
+            Some(Tok::KwMps) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let f = self.parse_formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f.mps())
+            }
+            Some(Tok::KwVot) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let op = match self.bump() {
+                    Some(Tok::Lt) => CmpOp::Lt,
+                    Some(Tok::Le) => CmpOp::Le,
+                    Some(Tok::EqCmp) => CmpOp::Eq,
+                    Some(Tok::Ge) => CmpOp::Ge,
+                    Some(Tok::Gt) => CmpOp::Gt,
+                    Some(t) => {
+                        self.pos -= 1;
+                        return Err(self.error_here(format!(
+                            "expected comparison (`<`, `<=`, `=`, `>=`, `>`), found {t}"
+                        )));
+                    }
+                    None => {
+                        return Err(self.error_here("expected comparison, found end of input"))
+                    }
+                };
+                let k = match self.bump() {
+                    Some(Tok::Number(n)) => n,
+                    Some(t) => {
+                        self.pos -= 1;
+                        return Err(self.error_here(format!("expected threshold, found {t}")));
+                    }
+                    None => return Err(self.error_here("expected threshold, found end of input")),
+                };
+                self.expect(&Tok::Semicolon)?;
+                let mut operands = vec![self.parse_formula()?];
+                while matches!(self.peek(), Some(Tok::Comma)) {
+                    self.bump();
+                    operands.push(self.parse_formula()?);
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Formula::vot(op, k, operands))
+            }
+            Some(t) => Err(self.error_here(format!("expected a formula, found {t}"))),
+            None => Err(self.error_here("expected a formula, found end of input")),
+        }
+    }
+
+    fn finish(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error_here("unexpected trailing input"))
+        }
+    }
+}
+
+fn make_parser(input: &str) -> Result<Parser, ParseError> {
+    let end_line = input.lines().count().max(1);
+    let end_col = input.lines().last().map(|l| l.chars().count() + 1).unwrap_or(1);
+    let tokens = Lexer::new(input).tokenize()?;
+    Ok(Parser {
+        tokens,
+        pos: 0,
+        end_line,
+        end_col,
+    })
+}
+
+/// Parses a layer-1 formula.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with source position on lexical or grammatical
+/// problems, including trailing input.
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let mut p = make_parser(input)?;
+    let f = p.parse_formula()?;
+    p.finish()?;
+    Ok(f)
+}
+
+/// Parses a layer-2 query (`exists/forall/IDP/SUP`).
+///
+/// # Errors
+///
+/// As [`parse_formula`].
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut p = make_parser(input)?;
+    let q = p.parse_query()?;
+    p.finish()?;
+    Ok(q)
+}
+
+/// Either layer, for tools that accept both (e.g. the CLI).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Spec {
+    /// A layer-1 formula (to be paired with a status vector).
+    Formula(Formula),
+    /// A layer-2 query.
+    Query(Query),
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Spec::Formula(x) => x.fmt(f),
+            Spec::Query(x) => x.fmt(f),
+        }
+    }
+}
+
+/// Parses either a query or a formula (queries are recognised by their
+/// leading keyword).
+///
+/// # Errors
+///
+/// As [`parse_formula`].
+pub fn parse_spec(input: &str) -> Result<Spec, ParseError> {
+    let mut p = make_parser(input)?;
+    let is_query = matches!(
+        p.peek(),
+        Some(Tok::KwExists) | Some(Tok::KwForall) | Some(Tok::KwIdp) | Some(Tok::KwSup)
+    );
+    let spec = if is_query {
+        Spec::Query(p.parse_query()?)
+    } else {
+        Spec::Formula(p.parse_formula()?)
+    };
+    p.finish()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let f = parse_formula(src).unwrap();
+        let printed = f.to_string();
+        let again = parse_formula(&printed).unwrap();
+        assert_eq!(f, again, "printed as `{printed}`");
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let f = parse_formula("a & !b | c => d <=> e").unwrap();
+        // Precedence: (((a & !b) | c) => d) <=> e; `<=>` binds loosest so
+        // the printer needs no parentheses.
+        assert_eq!(f.to_string(), "a & !b | c => d <=> e");
+        assert_eq!(parse_formula(&f.to_string()).unwrap(), f);
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let f = parse_formula("a => b => c").unwrap();
+        assert_eq!(
+            f,
+            Formula::atom("a").implies(Formula::atom("b").implies(Formula::atom("c")))
+        );
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let f = parse_formula("a | b & c").unwrap();
+        assert_eq!(f, Formula::atom("a").or(Formula::atom("b").and(Formula::atom("c"))));
+    }
+
+    #[test]
+    fn unicode_operators() {
+        let f = parse_formula("¬a ∧ b ∨ c ⇒ d").unwrap();
+        let g = parse_formula("!a & b | c => d").unwrap();
+        assert_eq!(f, g);
+        let q = parse_query("∀ a ⇒ b").unwrap();
+        assert_eq!(q, Query::forall(Formula::atom("a").implies(Formula::atom("b"))));
+    }
+
+    #[test]
+    fn evidence_brackets() {
+        let f = parse_formula("MPS(IWoS)[H1 := 0, H2 := 1]").unwrap();
+        assert_eq!(
+            f,
+            Formula::atom("IWoS")
+                .mps()
+                .with_evidence("H1", false)
+                .with_evidence("H2", true)
+        );
+        let g = parse_formula("a[e ↦ 1]").unwrap();
+        assert_eq!(g, Formula::atom("a").with_evidence("e", true));
+    }
+
+    #[test]
+    fn vot_forms() {
+        let f = parse_formula("VOT(>=2; H1, H2, H3)").unwrap();
+        assert_eq!(
+            f,
+            Formula::vot(CmpOp::Ge, 2, ["H1", "H2", "H3"].map(Formula::atom))
+        );
+        for op in ["<", "<=", "=", ">=", ">"] {
+            let src = format!("VOT({op}1; a, b)");
+            assert!(parse_formula(&src).is_ok(), "{src}");
+        }
+    }
+
+    #[test]
+    fn queries() {
+        assert_eq!(
+            parse_query("exists MCS(Top)").unwrap(),
+            Query::Exists(Formula::atom("Top").mcs())
+        );
+        assert_eq!(
+            parse_query("IDP(CIO, CIS)").unwrap(),
+            Query::Idp(Formula::atom("CIO"), Formula::atom("CIS"))
+        );
+        assert_eq!(parse_query("SUP(PP)").unwrap(), Query::Sup("PP".into()));
+    }
+
+    #[test]
+    fn quoted_and_slashed_names() {
+        let f = parse_formula("\"a b\" & CP/R").unwrap();
+        assert_eq!(f, Formula::atom("a b").and(Formula::atom("CP/R")));
+    }
+
+    #[test]
+    fn spec_dispatch() {
+        assert!(matches!(parse_spec("forall a").unwrap(), Spec::Query(_)));
+        assert!(matches!(parse_spec("a & b").unwrap(), Spec::Formula(_)));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_formula("a &\n& b").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 1);
+        let err2 = parse_formula("a b").unwrap_err();
+        assert!(err2.message.contains("trailing"));
+        let err3 = parse_formula("(a").unwrap_err();
+        assert!(err3.message.contains("expected `)`"));
+        let err4 = parse_formula("").unwrap_err();
+        assert!(err4.message.contains("end of input"));
+    }
+
+    #[test]
+    fn paper_properties_parse() {
+        // All nine COVID case-study properties in DSL form.
+        let sources = [
+            "forall IS => MoT",
+            "forall MoT => H1 | H2 | H3 | H4 | H5",
+            "forall H4 => IWoS",
+            "forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS",
+            "MCS(IWoS) & H4",
+            "exists MPS(IWoS)[H1 := 0, H2 := 0, H3 := 0, H4 := 0, H5 := 0]",
+            "MPS(IWoS)",
+            "IDP(CIO, CIS)",
+            "SUP(PP)",
+        ];
+        for src in sources {
+            assert!(parse_spec(src).is_ok(), "{src}");
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        for src in [
+            "a",
+            "!a",
+            "a & b & c",
+            "a | b => c",
+            "(a => b) => c",
+            "MCS(a & b)[e := 0]",
+            "MPS(x) != MCS(y)",
+            "VOT(=2; a, b, c) <=> d",
+            "\"weird name\" & \"MCS\"",
+            "!(a | b)[c := 1]",
+        ] {
+            roundtrip(src);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Counterexample patterns — Definition 8 and Table I of Section VI.
+//!
+//! A *pattern* is a BFL formula with non-terminal placeholders; a pattern
+//! *matches* a formula when instantiating the placeholders yields that
+//! formula. The paper presents four patterns for the minimality operators:
+//!
+//! | id | shape |
+//! |----|-------|
+//! | 1  | `MCS(ϕ)` |
+//! | 2  | `MPS(ϕ)` |
+//! | 3  | `MCS(ϕ1) ∧ … ∧ MCS(ϕn)` |
+//! | 4  | `MPS(ϕ1) ∧ … ∧ MPS(ϕn)` |
+//!
+//! [`table1_rows`] returns the concrete instantiations of Table I on the
+//! five-element tree of Section VI, together with the example vectors and
+//! the counterexamples printed in the paper.
+
+use bfl_fault_tree::{corpus, FaultTree, StatusVector};
+
+use crate::ast::Formula;
+
+/// The four counterexample patterns of Section VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// `pattern1 ::= MCS(ϕ)`.
+    Mcs,
+    /// `pattern2 ::= MPS(ϕ)`.
+    Mps,
+    /// `pattern3 ::= MCS(ϕ1) ∧ … ∧ MCS(ϕn)`.
+    McsConjunction,
+    /// `pattern4 ::= MPS(ϕ1) ∧ … ∧ MPS(ϕn)`.
+    MpsConjunction,
+}
+
+impl Pattern {
+    /// Instantiates the pattern with operand formulae.
+    ///
+    /// Patterns 1 and 2 use only the first operand; patterns 3 and 4
+    /// build the conjunction of all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands` is empty.
+    pub fn instantiate(self, operands: Vec<Formula>) -> Formula {
+        assert!(!operands.is_empty(), "a pattern needs at least one operand");
+        match self {
+            Pattern::Mcs => operands.into_iter().next().expect("non-empty").mcs(),
+            Pattern::Mps => operands.into_iter().next().expect("non-empty").mps(),
+            Pattern::McsConjunction => {
+                Formula::and_all(operands.into_iter().map(Formula::mcs))
+            }
+            Pattern::MpsConjunction => {
+                Formula::and_all(operands.into_iter().map(Formula::mps))
+            }
+        }
+    }
+
+    /// Definition 8: does this pattern *match* the formula, i.e. can the
+    /// formula be generated from the pattern by filling the placeholders?
+    pub fn matches(self, phi: &Formula) -> bool {
+        match self {
+            Pattern::Mcs => matches!(phi, Formula::Mcs(_)),
+            Pattern::Mps => matches!(phi, Formula::Mps(_)),
+            Pattern::McsConjunction => conjunction_of(phi, &|f| matches!(f, Formula::Mcs(_))),
+            Pattern::MpsConjunction => conjunction_of(phi, &|f| matches!(f, Formula::Mps(_))),
+        }
+    }
+
+    /// Short identifier as used in the paper (`pattern1` … `pattern4`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Mcs => "pattern1",
+            Pattern::Mps => "pattern2",
+            Pattern::McsConjunction => "pattern3",
+            Pattern::MpsConjunction => "pattern4",
+        }
+    }
+}
+
+/// Whether `phi` is a non-empty conjunction whose leaves all satisfy
+/// `leaf` (a single satisfying leaf counts as a 1-ary conjunction).
+fn conjunction_of(phi: &Formula, leaf: &dyn Fn(&Formula) -> bool) -> bool {
+    match phi {
+        Formula::And(a, b) => conjunction_of(a, leaf) && conjunction_of(b, leaf),
+        other => leaf(other),
+    }
+}
+
+/// One row of Table I: a pattern instance on the Section VI tree, the
+/// example vector (over `(e2, e4, e5)`) and the counterexample vector
+/// printed in the paper.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Which pattern the row exemplifies.
+    pub pattern: Pattern,
+    /// The instantiated example formula `χ`.
+    pub formula: Formula,
+    /// The example vector `b` (which does not satisfy `χ`).
+    pub example: StatusVector,
+    /// The counterexample `b′` as printed in the paper.
+    pub paper_counterexample: StatusVector,
+    /// Whether the row needs the support-relative minimality scope (see
+    /// [`crate::MinimalityScope`]); true exactly for pattern 3, whose
+    /// formula is unsatisfiable under the formal global-universe
+    /// semantics.
+    pub needs_support_scope: bool,
+}
+
+/// The tree of Section VI (`e1 = AND(e2, e3)`, `e3 = OR(e4, e5)`) that
+/// Table I is evaluated on.
+pub fn table1_tree() -> FaultTree {
+    corpus::table1_tree()
+}
+
+/// The six rows of Table I.
+pub fn table1_rows() -> Vec<Table1Row> {
+    let v = |bits: [u8; 3]| StatusVector::from_bits(bits.map(|b| b == 1));
+    let e1 = || Formula::atom("e1");
+    let e3 = || Formula::atom("e3");
+    vec![
+        Table1Row {
+            pattern: Pattern::Mcs,
+            formula: Pattern::Mcs.instantiate(vec![e1()]),
+            example: v([0, 1, 0]),
+            paper_counterexample: v([1, 1, 0]),
+            needs_support_scope: false,
+        },
+        Table1Row {
+            pattern: Pattern::Mcs,
+            formula: Pattern::Mcs.instantiate(vec![e1()]),
+            example: v([1, 1, 1]),
+            paper_counterexample: v([1, 0, 1]),
+            needs_support_scope: false,
+        },
+        Table1Row {
+            pattern: Pattern::Mps,
+            formula: Pattern::Mps.instantiate(vec![e1()]),
+            example: v([1, 0, 1]),
+            paper_counterexample: v([1, 0, 0]),
+            needs_support_scope: false,
+        },
+        Table1Row {
+            pattern: Pattern::Mps,
+            formula: Pattern::Mps.instantiate(vec![e1()]),
+            example: v([0, 0, 0]),
+            paper_counterexample: v([0, 1, 1]),
+            needs_support_scope: false,
+        },
+        Table1Row {
+            pattern: Pattern::McsConjunction,
+            formula: Pattern::McsConjunction.instantiate(vec![e1(), e3()]),
+            example: v([0, 1, 0]),
+            paper_counterexample: v([1, 1, 0]),
+            needs_support_scope: true,
+        },
+        Table1Row {
+            pattern: Pattern::MpsConjunction,
+            formula: Pattern::MpsConjunction.instantiate(vec![e1(), e3()]),
+            example: v([1, 0, 1]),
+            paper_counterexample: v([1, 0, 0]),
+            needs_support_scope: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{MinimalityScope, ModelChecker};
+    use crate::counterexample::{counterexample, is_valid_counterexample, Counterexample};
+
+    #[test]
+    fn instantiation_shapes() {
+        let f = Pattern::McsConjunction
+            .instantiate(vec![Formula::atom("a"), Formula::atom("b")]);
+        assert_eq!(f.to_string(), "MCS(a) & MCS(b)");
+        let g = Pattern::Mps.instantiate(vec![Formula::atom("a")]);
+        assert_eq!(g.to_string(), "MPS(a)");
+    }
+
+    #[test]
+    fn matching_per_definition_8() {
+        let a = Formula::atom("a");
+        assert!(Pattern::Mcs.matches(&a.clone().mcs()));
+        assert!(!Pattern::Mcs.matches(&a.clone().mps()));
+        let conj = a.clone().mcs().and(Formula::atom("b").mcs());
+        assert!(Pattern::McsConjunction.matches(&conj));
+        assert!(!Pattern::MpsConjunction.matches(&conj));
+        // A lone MCS also matches the conjunction pattern (n = 1).
+        assert!(Pattern::McsConjunction.matches(&a.clone().mcs()));
+        let mixed = a.clone().mcs().and(Formula::atom("b").mps());
+        assert!(!Pattern::McsConjunction.matches(&mixed));
+    }
+
+    #[test]
+    fn all_rows_yield_valid_counterexamples() {
+        let tree = table1_tree();
+        for (i, row) in table1_rows().iter().enumerate() {
+            let mut mc = ModelChecker::new(&tree);
+            if row.needs_support_scope {
+                mc.set_minimality_scope(MinimalityScope::FormulaSupport);
+            }
+            // The example vector does not satisfy the formula…
+            assert!(!mc.holds(&row.example, &row.formula).unwrap(), "row {i}");
+            // …the paper's counterexample does and is Def.-7 minimal…
+            assert!(
+                is_valid_counterexample(&mut mc, &row.example, &row.paper_counterexample, &row.formula)
+                    .unwrap(),
+                "row {i}: paper counterexample invalid"
+            );
+            // …and Algorithm 4 produces a (possibly different) valid one.
+            match counterexample(&mut mc, &row.example, &row.formula).unwrap() {
+                Counterexample::Found(ours) => {
+                    assert!(
+                        is_valid_counterexample(&mut mc, &row.example, &ours, &row.formula)
+                            .unwrap(),
+                        "row {i}: our counterexample invalid"
+                    );
+                }
+                other => panic!("row {i}: expected counterexample, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pattern3_requires_support_scope() {
+        let tree = table1_tree();
+        let row = &table1_rows()[4];
+        assert!(row.needs_support_scope);
+        let mut mc = ModelChecker::new(&tree);
+        // Under the formal semantics the conjunction is unsatisfiable.
+        assert_eq!(
+            counterexample(&mut mc, &row.example, &row.formula).unwrap(),
+            Counterexample::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        assert_eq!(Pattern::Mcs.name(), "pattern1");
+        assert_eq!(Pattern::MpsConjunction.name(), "pattern4");
+    }
+}

@@ -1,0 +1,296 @@
+//! Quantitative (probabilistic) BFL — a prototype of the paper's first
+//! future-work item: *"extend BFL to model probabilities … a probabilistic
+//! fault tree logic will allow users to perform such quantitative
+//! analysis."*
+//!
+//! Given independent basic-event failure probabilities, the probability of
+//! **any** layer-1 BFL formula is the probability mass of its satisfaction
+//! set `⟦ϕ⟧`, computed exactly by a Shannon recursion over the formula's
+//! BDD. On top of it: conditional probabilities, probability-threshold
+//! queries (`P(ϕ) ▷◁ p`) and formula-level Birnbaum importance.
+//!
+//! ```
+//! use bfl_core::{quant, Formula, ModelChecker};
+//! use bfl_fault_tree::corpus;
+//!
+//! # fn main() -> Result<(), bfl_core::BflError> {
+//! let tree = corpus::or2();
+//! let mut mc = ModelChecker::new(&tree);
+//! // P(Top) = 1 - (1-0.1)(1-0.2) = 0.28
+//! let p = quant::probability(&mut mc, &Formula::atom("Top"), &[0.1, 0.2])?;
+//! assert!((p - 0.28).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use bfl_fault_tree::prob::validate_probabilities;
+use bfl_fault_tree::StatusVector;
+
+use crate::ast::{CmpOp, Formula};
+use crate::checker::ModelChecker;
+use crate::error::BflError;
+
+/// Exact probability `P(b ⊨ ϕ)` under independent basic-event failure
+/// probabilities `probs` (indexed by basic index).
+///
+/// Works for *any* layer-1 formula, including `MCS`/`MPS` and evidence —
+/// e.g. `P(MCS(top))` is the probability that the realised failure set is
+/// exactly a minimal cut set.
+///
+/// # Errors
+///
+/// As for [`ModelChecker::formula_bdd`].
+///
+/// # Panics
+///
+/// Panics if `probs` is not a valid probability vector for the tree.
+pub fn probability(
+    mc: &mut ModelChecker<'_>,
+    phi: &Formula,
+    probs: &[f64],
+) -> Result<f64, BflError> {
+    let tree = mc.tree();
+    validate_probabilities(tree, probs).expect("invalid probabilities");
+    let f = mc.formula_bdd(phi)?;
+    let mut memo = std::collections::HashMap::new();
+    Ok(prob_rec(mc, f, probs, &mut memo))
+}
+
+fn prob_rec(
+    mc: &ModelChecker<'_>,
+    f: bfl_bdd::Bdd,
+    probs: &[f64],
+    memo: &mut std::collections::HashMap<u32, f64>,
+) -> f64 {
+    if f.is_false() {
+        return 0.0;
+    }
+    if f.is_true() {
+        return 1.0;
+    }
+    if let Some(&p) = memo.get(&f.id()) {
+        return p;
+    }
+    let node = mc.manager().node(f);
+    debug_assert_eq!(node.var.index() % 2, 0, "primed variable in query BDD");
+    let bi = mc.basic_of_position()[(node.var.index() / 2) as usize];
+    let p = probs[bi];
+    let lo = prob_rec(mc, node.low, probs, memo);
+    let hi = prob_rec(mc, node.high, probs, memo);
+    let r = (1.0 - p) * lo + p * hi;
+    memo.insert(f.id(), r);
+    r
+}
+
+/// Conditional probability `P(ϕ | ψ) = P(ϕ ∧ ψ) / P(ψ)`.
+///
+/// Returns `None` when `P(ψ) = 0`.
+///
+/// # Errors
+///
+/// As for [`probability`].
+pub fn conditional_probability(
+    mc: &mut ModelChecker<'_>,
+    phi: &Formula,
+    given: &Formula,
+    probs: &[f64],
+) -> Result<Option<f64>, BflError> {
+    let joint = probability(mc, &phi.clone().and(given.clone()), probs)?;
+    let base = probability(mc, given, probs)?;
+    if base == 0.0 {
+        Ok(None)
+    } else {
+        Ok(Some(joint / base))
+    }
+}
+
+/// A probability-threshold query `P(ϕ) ▷◁ p` — the natural quantitative
+/// layer-2 judgement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbQuery {
+    /// The formula whose probability is bounded.
+    pub formula: Formula,
+    /// The comparison `▷◁`.
+    pub op: CmpOp,
+    /// The bound `p ∈ [0, 1]`.
+    pub bound: f64,
+}
+
+impl ProbQuery {
+    /// Builds `P(formula) ▷◁ bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is not a probability.
+    pub fn new(formula: Formula, op: CmpOp, bound: f64) -> Self {
+        assert!(
+            bound.is_finite() && (0.0..=1.0).contains(&bound),
+            "bound {bound} outside [0, 1]"
+        );
+        ProbQuery { formula, op, bound }
+    }
+
+    /// Evaluates the query.
+    ///
+    /// # Errors
+    ///
+    /// As for [`probability`].
+    pub fn check(&self, mc: &mut ModelChecker<'_>, probs: &[f64]) -> Result<bool, BflError> {
+        let p = probability(mc, &self.formula, probs)?;
+        Ok(match self.op {
+            CmpOp::Lt => p < self.bound,
+            CmpOp::Le => p <= self.bound,
+            CmpOp::Eq => (p - self.bound).abs() < f64::EPSILON * 4.0,
+            CmpOp::Ge => p >= self.bound,
+            CmpOp::Gt => p > self.bound,
+        })
+    }
+}
+
+impl std::fmt::Display for ProbQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P({}) {} {}", self.formula, self.op, self.bound)
+    }
+}
+
+/// Formula-level Birnbaum importance of basic event `be` for `ϕ`:
+/// `P(ϕ | be failed) − P(ϕ | be operational)`, computed by cofactoring.
+///
+/// # Errors
+///
+/// [`BflError::UnknownElement`] / [`BflError::EvidenceOnGate`] if `be` is
+/// not a basic event of the tree, plus translation errors.
+pub fn birnbaum(
+    mc: &mut ModelChecker<'_>,
+    phi: &Formula,
+    be: &str,
+    probs: &[f64],
+) -> Result<f64, BflError> {
+    let hi = probability(mc, &phi.clone().with_evidence(be, true), probs)?;
+    let lo = probability(mc, &phi.clone().with_evidence(be, false), probs)?;
+    Ok(hi - lo)
+}
+
+/// Exhaustive reference for [`probability`], used by tests.
+///
+/// # Errors
+///
+/// As for the reference evaluator.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 20 basic events or `probs` is
+/// invalid.
+pub fn probability_naive(
+    tree: &bfl_fault_tree::FaultTree,
+    phi: &Formula,
+    probs: &[f64],
+) -> Result<f64, BflError> {
+    assert!(tree.num_basic_events() <= 20, "naive engine limited to 20 events");
+    validate_probabilities(tree, probs).expect("invalid probabilities");
+    let mut total = 0.0;
+    for b in StatusVector::enumerate_all(tree.num_basic_events()) {
+        if crate::semantics::eval(tree, &b, phi)? {
+            let mut w = 1.0;
+            for (i, &p) in probs.iter().enumerate() {
+                w *= if b.get(i) { p } else { 1.0 - p };
+            }
+            total += w;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_fault_tree::corpus;
+
+    #[test]
+    fn matches_element_probability() {
+        let tree = corpus::fig1();
+        let mut mc = ModelChecker::new(&tree);
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let via_logic = probability(&mut mc, &Formula::atom("CP/R"), &probs).unwrap();
+        let via_ft = bfl_fault_tree::prob::top_event_probability(&tree, &probs);
+        assert!((via_logic - via_ft).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcs_probability_matches_naive() {
+        let tree = corpus::covid();
+        let mut mc = ModelChecker::new(&tree);
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n).map(|i| 0.02 + (i as f64) * 0.05).collect();
+        for phi in [
+            Formula::atom("IWoS").mcs(),
+            Formula::atom("MoT").mps(),
+            Formula::atom("CT").with_evidence("H1", true),
+            Formula::atom("CP").implies(Formula::atom("IWoS")),
+        ] {
+            let fast = probability(&mut mc, &phi, &probs).unwrap();
+            let slow = probability_naive(&tree, &phi, &probs).unwrap();
+            assert!((fast - slow).abs() < 1e-9, "{phi}: fast={fast} slow={slow}");
+        }
+    }
+
+    #[test]
+    fn conditional_probability_basics() {
+        let tree = corpus::or2();
+        let mut mc = ModelChecker::new(&tree);
+        let probs = [0.5, 0.5];
+        // P(Top | e1) = 1.
+        let p = conditional_probability(
+            &mut mc,
+            &Formula::atom("Top"),
+            &Formula::atom("e1"),
+            &probs,
+        )
+        .unwrap()
+        .unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+        // Conditioning on an impossible event.
+        let none = conditional_probability(
+            &mut mc,
+            &Formula::atom("Top"),
+            &Formula::atom("e1").and(Formula::atom("e1").not()),
+            &probs,
+        )
+        .unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn threshold_queries() {
+        let tree = corpus::or2();
+        let mut mc = ModelChecker::new(&tree);
+        let probs = [0.1, 0.2];
+        // P(Top) = 0.28
+        let q = ProbQuery::new(Formula::atom("Top"), CmpOp::Le, 0.3);
+        assert!(q.check(&mut mc, &probs).unwrap());
+        let q2 = ProbQuery::new(Formula::atom("Top"), CmpOp::Gt, 0.3);
+        assert!(!q2.check(&mut mc, &probs).unwrap());
+        assert_eq!(q.to_string(), "P(Top) <= 0.3");
+    }
+
+    #[test]
+    fn birnbaum_matches_ft_layer() {
+        let tree = corpus::covid();
+        let mut mc = ModelChecker::new(&tree);
+        let n = tree.num_basic_events();
+        let probs = vec![0.1; n];
+        for name in ["IW", "H1", "VW"] {
+            let via_logic = birnbaum(&mut mc, &Formula::atom("IWoS"), name, &probs).unwrap();
+            let be = tree.element(name).unwrap();
+            let via_ft =
+                bfl_fault_tree::prob::birnbaum_importance(&tree, tree.top(), be, &probs);
+            assert!((via_logic - via_ft).abs() < 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_bound_rejected() {
+        let _ = ProbQuery::new(Formula::atom("x"), CmpOp::Ge, 1.5);
+    }
+}

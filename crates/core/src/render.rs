@@ -1,0 +1,154 @@
+//! Failure-propagation rendering: the textual analogue of the tree
+//! drawings in Table I and Section VII, showing how the failures of a
+//! status vector propagate through the gates.
+
+use std::fmt::Write as _;
+
+use bfl_fault_tree::{ElementId, FaultTree, GateType, StatusVector};
+
+/// Marker used for failed elements.
+pub const FAILED: char = '✗';
+/// Marker used for operational elements.
+pub const OPERATIONAL: char = '·';
+
+/// Renders the tree under `b` as an indented ASCII tree: every element is
+/// annotated with `✗` (failed) or `·` (operational). Shared subtrees are
+/// expanded at every occurrence (trees are DAGs), matching the visual
+/// duplication in the paper's figures.
+///
+/// # Example
+///
+/// ```
+/// use bfl_core::render::propagation;
+/// use bfl_fault_tree::{corpus, StatusVector};
+/// let tree = corpus::fig1();
+/// let b = StatusVector::from_failed_names(&tree, &["IW", "H3"]);
+/// let text = propagation(&tree, &b);
+/// assert!(text.starts_with("CP/R"));
+/// assert!(text.contains('✗'));
+/// ```
+pub fn propagation(tree: &FaultTree, b: &StatusVector) -> String {
+    let statuses = tree.evaluate_all(b);
+    let mut out = String::new();
+    render_node(tree, tree.top(), &statuses, "", true, true, &mut out);
+    out
+}
+
+/// Renders the subtree rooted at `e` under `b`.
+pub fn propagation_from(tree: &FaultTree, e: ElementId, b: &StatusVector) -> String {
+    let statuses = tree.evaluate_all(b);
+    let mut out = String::new();
+    render_node(tree, e, &statuses, "", true, true, &mut out);
+    out
+}
+
+fn render_node(
+    tree: &FaultTree,
+    e: ElementId,
+    statuses: &[bool],
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    out: &mut String,
+) {
+    let marker = if statuses[e.index()] { FAILED } else { OPERATIONAL };
+    let gate = match tree.gate_type(e) {
+        None => String::new(),
+        Some(GateType::And) => " [AND]".to_string(),
+        Some(GateType::Or) => " [OR]".to_string(),
+        Some(GateType::Vot { k }) => format!(" [VOT {k}/{}]", tree.children(e).len()),
+    };
+    if is_root {
+        let _ = writeln!(out, "{} {marker}{gate}", tree.name(e));
+    } else {
+        let branch = if is_last { "└─ " } else { "├─ " };
+        let _ = writeln!(out, "{prefix}{branch}{} {marker}{gate}", tree.name(e));
+    }
+    let child_prefix = if is_root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if is_last { "   " } else { "│  " })
+    };
+    let children = tree.children(e);
+    for (i, &c) in children.iter().enumerate() {
+        render_node(
+            tree,
+            c,
+            statuses,
+            &child_prefix,
+            i + 1 == children.len(),
+            false,
+            out,
+        );
+    }
+}
+
+/// Renders an example/counterexample pair side by side conceptually: the
+/// propagation under `b`, then under `revised`, with a diff line naming
+/// the flipped basic events — the textual form of a Table I row.
+pub fn counterexample_report(
+    tree: &FaultTree,
+    b: &StatusVector,
+    revised: &StatusVector,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "vector b  = {b}");
+    out.push_str(&propagation(tree, b));
+    let _ = writeln!(out, "vector b' = {revised}");
+    out.push_str(&propagation(tree, revised));
+    let flipped: Vec<&str> = (0..b.len())
+        .filter(|&i| b.get(i) != revised.get(i))
+        .map(|i| tree.name(tree.basic_events()[i]))
+        .collect();
+    let _ = writeln!(out, "changed: {{{}}}", flipped.join(", "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_fault_tree::corpus;
+
+    #[test]
+    fn propagation_marks_failures() {
+        let tree = corpus::fig1();
+        let b = StatusVector::from_failed_names(&tree, &["IW", "H3"]);
+        let text = propagation(&tree, &b);
+        // CP fails (both children failed), CR stays operational.
+        assert!(text.contains("CP/R ✗"));
+        assert!(text.contains("CP ✗"));
+        assert!(text.contains("CR ·"));
+        assert!(text.contains("[AND]"));
+        assert!(text.contains("[OR]"));
+    }
+
+    #[test]
+    fn repeated_events_rendered_at_each_occurrence() {
+        let tree = corpus::covid();
+        let b = StatusVector::all_operational(tree.num_basic_events());
+        let text = propagation(&tree, &b);
+        // IW occurs under CP, CIW, DT, AT and CVT.
+        assert!(text.matches("IW ·").count() >= 5);
+    }
+
+    #[test]
+    fn counterexample_report_shows_diff() {
+        let tree = corpus::table1_tree();
+        let b = StatusVector::from_bits([false, true, false]);
+        let revised = StatusVector::from_bits([true, true, false]);
+        let report = counterexample_report(&tree, &b, &revised);
+        assert!(report.contains("vector b  = 010"));
+        assert!(report.contains("vector b' = 110"));
+        assert!(report.contains("changed: {e2}"));
+    }
+
+    #[test]
+    fn subtree_rendering() {
+        let tree = corpus::covid();
+        let mot = tree.element("MoT").unwrap();
+        let b = StatusVector::all_operational(tree.num_basic_events());
+        let text = propagation_from(&tree, mot, &b);
+        assert!(text.starts_with("MoT"));
+        assert!(!text.contains("IWoS"));
+    }
+}

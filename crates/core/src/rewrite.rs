@@ -1,0 +1,371 @@
+//! Formula rewriting: desugaring to the paper's kernel grammar,
+//! negation normal form and simplification.
+//!
+//! Section III-A of the paper presents `∨ ⇒ ≡ ≢ VOT▷◁k` as *syntactic
+//! sugar* over the kernel `ϕ ::= e | ¬ϕ | ϕ∧ϕ | ϕ[e↦v] | MCS(ϕ)`;
+//! [`desugar`] realises those definitions literally (including the
+//! exact-subset expansion of the voting operator), and the test-suite
+//! proves semantic equivalence through BDD canonicity: a formula and its
+//! rewriting compile to the *same* diagram.
+
+use std::sync::Arc;
+
+use crate::ast::{CmpOp, Formula};
+
+/// Rewrites a formula into the kernel grammar
+/// `e | ¬ϕ | ϕ∧ϕ | ϕ[e↦v] | MCS(ϕ) | MPS(ϕ) | const`, expanding all
+/// sugar by the definitions of Section III-A:
+///
+/// ```text
+/// ϕ1 ∨ ϕ2 ::= ¬(¬ϕ1 ∧ ¬ϕ2)        ϕ1 ⇒ ϕ2 ::= ¬(ϕ1 ∧ ¬ϕ2)
+/// ϕ1 ≡ ϕ2 ::= (ϕ1⇒ϕ2) ∧ (ϕ2⇒ϕ1)   ϕ1 ≢ ϕ2 ::= ¬(ϕ1 ≡ ϕ2)
+/// VOT▷◁k(ϕ1,…,ϕN) ::= ⋁_{U:|U|▷◁k} (⋀_{u∈U} ϕu ∧ ⋀_{u∉U} ¬ϕu)
+/// ```
+///
+/// The `VOT` expansion enumerates all `2^N` subsets (as in the paper);
+/// use the model checker's native threshold translation for large `N`.
+///
+/// # Panics
+///
+/// Panics if a `VOT` operator has more than 20 operands.
+pub fn desugar(phi: &Formula) -> Formula {
+    match phi {
+        Formula::Const(_) | Formula::Atom(_) => phi.clone(),
+        Formula::Not(a) => desugar(a).not(),
+        Formula::And(a, b) => desugar(a).and(desugar(b)),
+        // ϕ1 ∨ ϕ2 ::= ¬(¬ϕ1 ∧ ¬ϕ2)
+        Formula::Or(a, b) => desugar(a).not().and(desugar(b).not()).not(),
+        // ϕ1 ⇒ ϕ2 ::= ¬(ϕ1 ∧ ¬ϕ2)
+        Formula::Implies(a, b) => desugar(a).and(desugar(b).not()).not(),
+        // ϕ1 ≡ ϕ2 ::= (ϕ1⇒ϕ2) ∧ (ϕ2⇒ϕ1)
+        Formula::Iff(a, b) => {
+            let da = desugar(a);
+            let db = desugar(b);
+            let fwd = da.clone().and(db.clone().not()).not();
+            let bwd = db.and(da.not()).not();
+            fwd.and(bwd)
+        }
+        // ϕ1 ≢ ϕ2 ::= ¬(ϕ1 ≡ ϕ2)
+        Formula::Neq(a, b) => desugar(&Formula::Iff(a.clone(), b.clone())).not(),
+        Formula::Evidence { inner, element, value } => Formula::Evidence {
+            inner: Arc::new(desugar(inner)),
+            element: element.clone(),
+            value: *value,
+        },
+        Formula::Mcs(a) => desugar(a).mcs(),
+        Formula::Mps(a) => desugar(a).mps(),
+        Formula::Vot { op, k, operands } => {
+            let n = operands.len();
+            assert!(n <= 20, "VOT expansion limited to 20 operands");
+            let desugared: Vec<Formula> = operands.iter().map(desugar).collect();
+            let mut terms = Vec::new();
+            for mask in 0..(1u32 << n) {
+                let size = mask.count_ones();
+                if !op.compare(size, *k) {
+                    continue;
+                }
+                // ⋀_{u∈U} ϕu ∧ ⋀_{u∉U} ¬ϕu — the paper's exact expansion.
+                let lits = (0..n).map(|i| {
+                    if (mask >> i) & 1 == 1 {
+                        desugared[i].clone()
+                    } else {
+                        desugared[i].clone().not()
+                    }
+                });
+                terms.push(Formula::and_all(lits));
+            }
+            // ⋁ over the selected subsets, itself desugared to ¬(∧¬).
+            match terms.len() {
+                0 => Formula::bot(),
+                _ => {
+                    let negated = terms.into_iter().map(Formula::not);
+                    Formula::and_all(negated).not()
+                }
+            }
+        }
+    }
+}
+
+/// Negation normal form: negations pushed down to atoms over
+/// `∧/∨/⇒/≡/≢`. `MCS`, `MPS` and evidence are opaque barriers (their
+/// negations stay put); `VOT` negation flips the comparison operator.
+pub fn to_nnf(phi: &Formula) -> Formula {
+    nnf(phi, false)
+}
+
+fn nnf(phi: &Formula, negate: bool) -> Formula {
+    match phi {
+        Formula::Const(c) => Formula::Const(*c != negate),
+        Formula::Atom(_) => {
+            if negate {
+                phi.clone().not()
+            } else {
+                phi.clone()
+            }
+        }
+        Formula::Not(a) => nnf(a, !negate),
+        Formula::And(a, b) => {
+            if negate {
+                nnf(a, true).or(nnf(b, true))
+            } else {
+                nnf(a, false).and(nnf(b, false))
+            }
+        }
+        Formula::Or(a, b) => {
+            if negate {
+                nnf(a, true).and(nnf(b, true))
+            } else {
+                nnf(a, false).or(nnf(b, false))
+            }
+        }
+        Formula::Implies(a, b) => {
+            if negate {
+                nnf(a, false).and(nnf(b, true))
+            } else {
+                nnf(a, true).or(nnf(b, false))
+            }
+        }
+        Formula::Iff(a, b) => {
+            // ¬(a ≡ b) = a ≢ b; keep the dedicated connectives.
+            let na = nnf(a, false);
+            let nb = nnf(b, false);
+            if negate {
+                na.neq(nb)
+            } else {
+                na.iff(nb)
+            }
+        }
+        Formula::Neq(a, b) => {
+            let na = nnf(a, false);
+            let nb = nnf(b, false);
+            if negate {
+                na.iff(nb)
+            } else {
+                na.neq(nb)
+            }
+        }
+        Formula::Vot { op, k, operands } => {
+            let ops: Vec<Formula> = operands.iter().map(|o| nnf(o, false)).collect();
+            let (op, k) = if negate {
+                // ¬(count ▷◁ k) flips the comparison.
+                match op {
+                    CmpOp::Lt => (CmpOp::Ge, *k),
+                    CmpOp::Le => (CmpOp::Gt, *k),
+                    CmpOp::Ge => (CmpOp::Lt, *k),
+                    CmpOp::Gt => (CmpOp::Le, *k),
+                    CmpOp::Eq => {
+                        // ¬(= k) has no single comparison; wrap instead.
+                        return Formula::vot(CmpOp::Eq, *k, ops).not();
+                    }
+                }
+            } else {
+                (*op, *k)
+            };
+            Formula::vot(op, k, ops)
+        }
+        Formula::Evidence { inner, element, value } => {
+            // ¬(ϕ[e↦v]) ≡ (¬ϕ)[e↦v]: evidence commutes with negation.
+            Formula::Evidence {
+                inner: Arc::new(nnf(inner, negate)),
+                element: element.clone(),
+                value: *value,
+            }
+        }
+        Formula::Mcs(_) | Formula::Mps(_) => {
+            let inner = match phi {
+                Formula::Mcs(a) => nnf(a, false).mcs(),
+                Formula::Mps(a) => nnf(a, false).mps(),
+                _ => unreachable!(),
+            };
+            if negate {
+                inner.not()
+            } else {
+                inner
+            }
+        }
+    }
+}
+
+/// Bottom-up simplification: constant folding, double-negation and
+/// idempotence/absorption with syntactically equal operands. Purely
+/// syntactic — semantic equivalence is guaranteed (checked against the
+/// BDD translation in the tests) but no canonical form is promised.
+pub fn simplify(phi: &Formula) -> Formula {
+    match phi {
+        Formula::Const(_) | Formula::Atom(_) => phi.clone(),
+        Formula::Not(a) => match simplify(a) {
+            Formula::Const(c) => Formula::Const(!c),
+            Formula::Not(inner) => (*inner).clone(),
+            s => s.not(),
+        },
+        Formula::And(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::Const(false), _) | (_, Formula::Const(false)) => Formula::bot(),
+            (Formula::Const(true), s) | (s, Formula::Const(true)) => s,
+            (x, y) if x == y => x,
+            (x, y) => x.and(y),
+        },
+        Formula::Or(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::Const(true), _) | (_, Formula::Const(true)) => Formula::top(),
+            (Formula::Const(false), s) | (s, Formula::Const(false)) => s,
+            (x, y) if x == y => x,
+            (x, y) => x.or(y),
+        },
+        Formula::Implies(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::Const(false), _) | (_, Formula::Const(true)) => Formula::top(),
+            (Formula::Const(true), s) => s,
+            (s, Formula::Const(false)) => s.not(),
+            (x, y) if x == y => Formula::top(),
+            (x, y) => x.implies(y),
+        },
+        Formula::Iff(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::Const(true), s) | (s, Formula::Const(true)) => s,
+            (Formula::Const(false), s) | (s, Formula::Const(false)) => s.not(),
+            (x, y) if x == y => Formula::top(),
+            (x, y) => x.iff(y),
+        },
+        Formula::Neq(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::Const(false), s) | (s, Formula::Const(false)) => s,
+            (Formula::Const(true), s) | (s, Formula::Const(true)) => s.not(),
+            (x, y) if x == y => Formula::bot(),
+            (x, y) => x.neq(y),
+        },
+        Formula::Evidence { inner, element, value } => {
+            let s = simplify(inner);
+            match s {
+                // Evidence on a constant is vacuous.
+                Formula::Const(_) => s,
+                _ => Formula::Evidence {
+                    inner: Arc::new(s),
+                    element: element.clone(),
+                    value: *value,
+                },
+            }
+        }
+        Formula::Mcs(a) => simplify(a).mcs(),
+        Formula::Mps(a) => simplify(a).mps(),
+        Formula::Vot { op, k, operands } => {
+            let ops: Vec<Formula> = operands.iter().map(simplify).collect();
+            Formula::vot(*op, *k, ops)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelChecker;
+    use bfl_fault_tree::corpus;
+
+    /// Semantic equivalence via BDD canonicity.
+    fn equivalent(phi: &Formula, psi: &Formula) -> bool {
+        let tree = corpus::covid();
+        let mut mc = ModelChecker::new(&tree);
+        mc.formula_bdd(phi).unwrap() == mc.formula_bdd(psi).unwrap()
+    }
+
+    #[test]
+    fn desugar_removes_sugar() {
+        let phi = crate::parser::parse_formula(
+            "IS => MoT | VOT(>=2; H1, H2, H3) <=> CT != SH",
+        )
+        .unwrap();
+        let kernel = desugar(&phi);
+        // Only kernel connectives remain.
+        kernel.visit(&mut |f| {
+            assert!(
+                !matches!(
+                    f,
+                    Formula::Or(..)
+                        | Formula::Implies(..)
+                        | Formula::Iff(..)
+                        | Formula::Neq(..)
+                        | Formula::Vot { .. }
+                ),
+                "sugar survived: {f}"
+            );
+        });
+        assert!(equivalent(&phi, &kernel));
+    }
+
+    #[test]
+    fn desugar_vot_matches_native_translation() {
+        for (op, k) in [
+            (CmpOp::Ge, 2),
+            (CmpOp::Le, 1),
+            (CmpOp::Eq, 2),
+            (CmpOp::Lt, 3),
+            (CmpOp::Gt, 0),
+        ] {
+            let phi = Formula::vot(op, k, ["H1", "H2", "H3"].map(Formula::atom));
+            assert!(equivalent(&phi, &desugar(&phi)), "{op:?} {k}");
+        }
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        let phi = crate::parser::parse_formula("!(IS & !(MoT | CT))").unwrap();
+        let n = to_nnf(&phi);
+        // Negations only in front of atoms (or minimality operators).
+        n.visit(&mut |f| {
+            if let Formula::Not(inner) = f {
+                assert!(
+                    matches!(
+                        **inner,
+                        Formula::Atom(_) | Formula::Mcs(_) | Formula::Mps(_)
+                    ),
+                    "negation above {inner}"
+                );
+            }
+        });
+        assert!(equivalent(&phi, &n));
+    }
+
+    #[test]
+    fn nnf_flips_vot_comparisons() {
+        let phi = Formula::vot(CmpOp::Ge, 2, ["H1", "H2", "H3"].map(Formula::atom)).not();
+        let n = to_nnf(&phi);
+        assert!(matches!(n, Formula::Vot { op: CmpOp::Lt, .. }));
+        assert!(equivalent(&phi, &n));
+    }
+
+    #[test]
+    fn nnf_commutes_with_evidence() {
+        let phi = Formula::atom("MoT").with_evidence("H1", true).not();
+        let n = to_nnf(&phi);
+        assert!(matches!(n, Formula::Evidence { .. }));
+        assert!(equivalent(&phi, &n));
+    }
+
+    #[test]
+    fn simplify_constants() {
+        let cases = [
+            ("IS & true", "IS"),
+            ("IS & false", "false"),
+            ("IS | true", "true"),
+            ("!!IS", "IS"),
+            ("IS & IS", "IS"),
+            ("IS => IS", "true"),
+            ("IS != IS", "false"),
+            ("true => MoT", "MoT"),
+        ];
+        for (src, expect) in cases {
+            let phi = crate::parser::parse_formula(src).unwrap();
+            let simplified = simplify(&phi);
+            let expected = crate::parser::parse_formula(expect).unwrap();
+            assert_eq!(simplified, expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        for src in [
+            "!(IS & true) | (MoT & MoT)",
+            "MCS(IWoS & true) & !false",
+            "(IS <=> true) != false",
+            "VOT(>=1; H1 & true, H2 | false)",
+        ] {
+            let phi = crate::parser::parse_formula(src).unwrap();
+            assert!(equivalent(&phi, &simplify(&phi)), "{src}");
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Reference (naive) semantics of BFL — a direct transcription of the
+//! satisfaction relation of Section III-B.
+//!
+//! This evaluator enumerates status vectors explicitly, so it is
+//! exponential in the worst case; it exists as executable ground truth for
+//! the BDD-based model checker ([`crate::checker`]) and is cross-checked
+//! against it by the property-based test-suite. Use the model checker for
+//! real workloads.
+
+use bfl_fault_tree::{FaultTree, StatusVector};
+
+use crate::ast::{Formula, Query};
+use crate::error::BflError;
+
+/// Hard cap on `|BE|` for the exhaustive quantifier/`IBE` enumerations.
+pub const NAIVE_LIMIT: usize = 20;
+
+/// Evaluates `b, T ⊨ ϕ` by direct recursion over the satisfaction
+/// relation (Section III-B).
+///
+/// # Errors
+///
+/// * [`BflError::UnknownElement`] if an atom or evidence target is not in
+///   the tree;
+/// * [`BflError::EvidenceOnGate`] if evidence targets an intermediate
+///   event.
+///
+/// # Panics
+///
+/// Panics if `b` does not cover the tree's basic events.
+pub fn eval(tree: &FaultTree, b: &StatusVector, phi: &Formula) -> Result<bool, BflError> {
+    match phi {
+        Formula::Const(c) => Ok(*c),
+        Formula::Atom(name) => {
+            let e = tree
+                .element(name)
+                .ok_or_else(|| BflError::UnknownElement(name.clone()))?;
+            Ok(tree.evaluate(b, e))
+        }
+        Formula::Not(a) => Ok(!eval(tree, b, a)?),
+        Formula::And(x, y) => Ok(eval(tree, b, x)? && eval(tree, b, y)?),
+        Formula::Or(x, y) => Ok(eval(tree, b, x)? || eval(tree, b, y)?),
+        Formula::Implies(x, y) => Ok(!eval(tree, b, x)? || eval(tree, b, y)?),
+        Formula::Iff(x, y) => Ok(eval(tree, b, x)? == eval(tree, b, y)?),
+        Formula::Neq(x, y) => Ok(eval(tree, b, x)? != eval(tree, b, y)?),
+        Formula::Evidence { inner, element, value } => {
+            let e = tree
+                .element(element)
+                .ok_or_else(|| BflError::UnknownElement(element.clone()))?;
+            let bi = tree
+                .basic_index(e)
+                .ok_or_else(|| BflError::EvidenceOnGate(element.clone()))?;
+            let forced = b.with(bi, *value);
+            eval(tree, &forced, inner)
+        }
+        Formula::Mcs(a) => {
+            // b ⊨ ϕ and no b′ ⊂ b satisfies ϕ.
+            if !eval(tree, b, a)? {
+                return Ok(false);
+            }
+            for smaller in proper_subvectors(b) {
+                if eval(tree, &smaller, a)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Mps(a) => {
+            // b ⊨ ¬ϕ and no b′ ⊃ b satisfies ¬ϕ (maximality; DESIGN.md §4).
+            if eval(tree, b, a)? {
+                return Ok(false);
+            }
+            for bigger in proper_supervectors(b) {
+                if !eval(tree, &bigger, a)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Vot { op, k, operands } => {
+            let mut count = 0u32;
+            for o in operands {
+                if eval(tree, b, o)? {
+                    count += 1;
+                }
+            }
+            Ok(op.compare(count, *k))
+        }
+    }
+}
+
+/// All vectors whose failed set is a proper subset of `b`'s.
+fn proper_subvectors(b: &StatusVector) -> Vec<StatusVector> {
+    let failed = b.failed_indices();
+    let mut out = Vec::new();
+    // Every proper subset of the failed set.
+    let n = failed.len();
+    assert!(n < 26, "too many failures for exhaustive subset enumeration");
+    for mask in 0..(1u32 << n) {
+        if mask == (1u32 << n) - 1 {
+            continue; // the improper subset (b itself)
+        }
+        let mut v = StatusVector::all_operational(b.len());
+        for (j, &idx) in failed.iter().enumerate() {
+            if (mask >> j) & 1 == 1 {
+                v.set(idx, true);
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// All vectors whose failed set is a proper superset of `b`'s.
+fn proper_supervectors(b: &StatusVector) -> Vec<StatusVector> {
+    let operational: Vec<usize> = (0..b.len()).filter(|&i| !b.get(i)).collect();
+    let n = operational.len();
+    assert!(n < 26, "too many operational events for exhaustive superset enumeration");
+    let mut out = Vec::new();
+    for mask in 1..(1u32 << n) {
+        let mut v = b.clone();
+        for (j, &idx) in operational.iter().enumerate() {
+            if (mask >> j) & 1 == 1 {
+                v.set(idx, true);
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Evaluates a layer-2 query `T ⊨ ψ` by exhaustive enumeration.
+///
+/// # Errors
+///
+/// Everything [`eval`] reports, plus [`BflError::TooLarge`] when the tree
+/// exceeds [`NAIVE_LIMIT`] basic events.
+pub fn eval_query(tree: &FaultTree, psi: &Query) -> Result<bool, BflError> {
+    let n = tree.num_basic_events();
+    if n > NAIVE_LIMIT {
+        return Err(BflError::TooLarge {
+            actual: n,
+            limit: NAIVE_LIMIT,
+        });
+    }
+    match psi {
+        Query::Exists(phi) => {
+            for b in StatusVector::enumerate_all(n) {
+                if eval(tree, &b, phi)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Query::Forall(phi) => {
+            for b in StatusVector::enumerate_all(n) {
+                if !eval(tree, &b, phi)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Query::Idp(a, b) => {
+            let ia = influencing_basic_events(tree, a)?;
+            let ib = influencing_basic_events(tree, b)?;
+            Ok(ia.iter().all(|e| !ib.contains(e)))
+        }
+        Query::Sup(name) => {
+            // SUP(e) ::= IDP(e, e_top).
+            let top = tree.name(tree.top()).to_string();
+            eval_query(
+                tree,
+                &Query::Idp(Formula::atom(name.clone()), Formula::atom(top)),
+            )
+        }
+    }
+}
+
+/// The influencing basic events `IBE(ϕ)` by the definition of
+/// Section III-B: events `e` for which some vector distinguishes
+/// `ϕ[e↦0]` from `ϕ[e↦1]`.
+///
+/// # Errors
+///
+/// Everything [`eval`] reports, plus [`BflError::TooLarge`] when the tree
+/// exceeds [`NAIVE_LIMIT`] basic events.
+pub fn influencing_basic_events(
+    tree: &FaultTree,
+    phi: &Formula,
+) -> Result<Vec<String>, BflError> {
+    let n = tree.num_basic_events();
+    if n > NAIVE_LIMIT {
+        return Err(BflError::TooLarge {
+            actual: n,
+            limit: NAIVE_LIMIT,
+        });
+    }
+    let mut out = Vec::new();
+    for (bi, &e) in tree.basic_events().iter().enumerate() {
+        let mut influences = false;
+        for b in StatusVector::enumerate_all(n) {
+            let v0 = eval(tree, &b.with(bi, false), phi)?;
+            let v1 = eval(tree, &b.with(bi, true), phi)?;
+            if v0 != v1 {
+                influences = true;
+                break;
+            }
+        }
+        if influences {
+            out.push(tree.name(e).to_string());
+        }
+    }
+    Ok(out)
+}
+
+/// All satisfying vectors `⟦ϕ⟧`, by exhaustive enumeration.
+///
+/// # Errors
+///
+/// Everything [`eval`] reports, plus [`BflError::TooLarge`] when the tree
+/// exceeds [`NAIVE_LIMIT`] basic events.
+pub fn satisfying_vectors(
+    tree: &FaultTree,
+    phi: &Formula,
+) -> Result<Vec<StatusVector>, BflError> {
+    let n = tree.num_basic_events();
+    if n > NAIVE_LIMIT {
+        return Err(BflError::TooLarge {
+            actual: n,
+            limit: NAIVE_LIMIT,
+        });
+    }
+    let mut out = Vec::new();
+    for b in StatusVector::enumerate_all(n) {
+        if eval(tree, &b, phi)? {
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_fault_tree::corpus;
+
+    #[test]
+    fn atom_and_connectives() {
+        let tree = corpus::fig1();
+        let b = StatusVector::from_failed_names(&tree, &["IW", "H3"]);
+        assert!(eval(&tree, &b, &Formula::atom("CP")).unwrap());
+        assert!(eval(&tree, &b, &Formula::atom("CP/R")).unwrap());
+        assert!(!eval(&tree, &b, &Formula::atom("CR")).unwrap());
+        let phi = Formula::atom("CP").and(Formula::atom("CR").not());
+        assert!(eval(&tree, &b, &phi).unwrap());
+    }
+
+    #[test]
+    fn evidence_is_not_conjunction() {
+        // (¬e)[e↦0] ⊨ true even when e has failed (Section III-A).
+        let tree = corpus::or2();
+        let b = StatusVector::from_failed_names(&tree, &["e1"]);
+        let phi = Formula::atom("e1").not().with_evidence("e1", false);
+        assert!(eval(&tree, &b, &phi).unwrap());
+        let psi = Formula::atom("e1").not().and(Formula::atom("e1").not());
+        assert!(!eval(&tree, &b, &psi).unwrap());
+    }
+
+    #[test]
+    fn evidence_on_gate_rejected() {
+        let tree = corpus::fig1();
+        let b = StatusVector::all_operational(4);
+        let phi = Formula::atom("IW").with_evidence("CP", true);
+        assert_eq!(
+            eval(&tree, &b, &phi).unwrap_err(),
+            BflError::EvidenceOnGate("CP".into())
+        );
+    }
+
+    #[test]
+    fn unknown_element_rejected() {
+        let tree = corpus::or2();
+        let b = StatusVector::all_operational(2);
+        assert_eq!(
+            eval(&tree, &b, &Formula::atom("ghost")).unwrap_err(),
+            BflError::UnknownElement("ghost".into())
+        );
+    }
+
+    #[test]
+    fn mcs_of_example_2() {
+        // Example 2: OR gate, b = (0,1) satisfies MCS(Top).
+        let tree = corpus::or2();
+        let phi = Formula::atom("Top").mcs();
+        let b = StatusVector::from_bits([false, true]);
+        assert!(eval(&tree, &b, &phi).unwrap());
+        // (1,1) is a cut set but not minimal.
+        let b2 = StatusVector::from_bits([true, true]);
+        assert!(!eval(&tree, &b2, &phi).unwrap());
+        // (0,0) is not a cut set at all.
+        let b3 = StatusVector::from_bits([false, false]);
+        assert!(!eval(&tree, &b3, &phi).unwrap());
+    }
+
+    #[test]
+    fn mps_maximality() {
+        let tree = corpus::table1_tree();
+        let phi = Formula::atom("e1").mps();
+        // (1,0,0): e2 failed, e4/e5 operational — MPS {e4,e5}.
+        assert!(eval(&tree, &StatusVector::from_bits([true, false, false]), &phi).unwrap());
+        // (0,1,1): only e2 operational — MPS {e2}.
+        assert!(eval(&tree, &StatusVector::from_bits([false, true, true]), &phi).unwrap());
+        // (0,0,0): path set but not maximal.
+        assert!(!eval(&tree, &StatusVector::from_bits([false, false, false]), &phi).unwrap());
+        // (1,0,1): not even a path set (e1 fails).
+        assert!(!eval(&tree, &StatusVector::from_bits([true, false, true]), &phi).unwrap());
+    }
+
+    #[test]
+    fn quantifiers() {
+        let tree = corpus::fig1();
+        // ∀(CP ⇒ CP/R) holds (Example 1).
+        let q = Query::forall(Formula::atom("CP").implies(Formula::atom("CP/R")));
+        assert!(eval_query(&tree, &q).unwrap());
+        // ∃(CP ∧ CR) holds.
+        let q2 = Query::exists(Formula::atom("CP").and(Formula::atom("CR")));
+        assert!(eval_query(&tree, &q2).unwrap());
+        // ∀(IW ⇒ CP/R) fails: IW alone does not fail the OR of two ANDs.
+        let q3 = Query::forall(Formula::atom("IW").implies(Formula::atom("CP/R")));
+        assert!(!eval_query(&tree, &q3).unwrap());
+    }
+
+    #[test]
+    fn ibe_of_gates() {
+        let tree = corpus::fig1();
+        let ibe = influencing_basic_events(&tree, &Formula::atom("CP")).unwrap();
+        assert_eq!(ibe, vec!["IW".to_string(), "H3".to_string()]);
+        // A tautology has no influencing events.
+        let taut = Formula::atom("IW").or(Formula::atom("IW").not());
+        assert!(influencing_basic_events(&tree, &taut).unwrap().is_empty());
+    }
+
+    #[test]
+    fn idp_and_sup() {
+        let tree = corpus::fig1();
+        // CP and CR share no basic events.
+        let q = Query::idp(Formula::atom("CP"), Formula::atom("CR"));
+        assert!(eval_query(&tree, &q).unwrap());
+        // CP and CP/R do.
+        let q2 = Query::idp(Formula::atom("CP"), Formula::atom("CP/R"));
+        assert!(!eval_query(&tree, &q2).unwrap());
+        // No event is superfluous in Fig. 1.
+        for name in ["IW", "H3", "IT", "H2"] {
+            assert!(!eval_query(&tree, &Query::sup(name)).unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn vot_counting() {
+        let tree = corpus::fig1();
+        let b = StatusVector::from_failed_names(&tree, &["IW", "IT"]);
+        let ops = ["IW", "H3", "IT", "H2"].map(Formula::atom);
+        use crate::ast::CmpOp;
+        assert!(eval(&tree, &b, &Formula::vot(CmpOp::Eq, 2, ops.clone())).unwrap());
+        assert!(eval(&tree, &b, &Formula::vot(CmpOp::Ge, 2, ops.clone())).unwrap());
+        assert!(!eval(&tree, &b, &Formula::vot(CmpOp::Gt, 2, ops.clone())).unwrap());
+        assert!(eval(&tree, &b, &Formula::vot(CmpOp::Le, 2, ops.clone())).unwrap());
+        assert!(!eval(&tree, &b, &Formula::vot(CmpOp::Lt, 2, ops)).unwrap());
+    }
+
+    #[test]
+    fn satisfying_vectors_of_mcs() {
+        let tree = corpus::or2();
+        let sats = satisfying_vectors(&tree, &Formula::atom("Top").mcs()).unwrap();
+        assert_eq!(
+            sats,
+            vec![
+                StatusVector::from_bits([true, false]),
+                StatusVector::from_bits([false, true]),
+            ]
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Fault-tree synthesis — a prototype for the problem discussed in
+//! Section V-E: given a status vector `b` and a formula `χ`, find a fault
+//! tree `T` such that `b, T ⊨ χ`.
+//!
+//! The paper only sketches this direction ("more complex procedures — out
+//! of the scope of this paper — can infer the structure of a FT from given
+//! vector(s)", citing evolutionary approaches). We implement an honest
+//! baseline in that spirit: seeded random search over well-formed
+//! candidate trees followed by gate-type hill-climbing mutations. It is
+//! complete for none but useful for small specifications, and it doubles
+//! as a stress-test for the model checker.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bfl_fault_tree::{FaultTree, FaultTreeBuilder, GateType, StatusVector};
+
+use crate::ast::Formula;
+use crate::checker::ModelChecker;
+use crate::error::BflError;
+
+/// Configuration for [`synthesize`].
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Gate names available to the candidate trees (the formula may
+    /// reference them); `gates[0]` is always the top element.
+    pub gate_names: Vec<String>,
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Hill-climbing mutations per restart.
+    pub mutations: usize,
+    /// RNG seed (deterministic search).
+    pub seed: u64,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            gate_names: vec!["top".to_string(), "g1".to_string(), "g2".to_string()],
+            restarts: 64,
+            mutations: 64,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Searches for a fault tree over the given basic events satisfying
+/// `b, T ⊨ χ`.
+///
+/// The returned tree (if any) uses exactly `basic_events` as its leaves
+/// and `config.gate_names` as its gates, with `config.gate_names[0]` as
+/// the top element. Returns `None` when the search budget is exhausted
+/// without a witness — which does **not** prove unsatisfiability.
+///
+/// # Errors
+///
+/// Propagates checker errors other than unknown elements (candidate trees
+/// legitimately lack elements the formula mentions; such candidates are
+/// skipped).
+///
+/// # Panics
+///
+/// Panics if `basic_events` or `config.gate_names` is empty, or if `b`
+/// does not have one bit per basic event.
+///
+/// # Example
+///
+/// ```
+/// use bfl_core::{synthesis::{synthesize, SynthesisConfig}, Formula};
+/// use bfl_fault_tree::StatusVector;
+///
+/// # fn main() -> Result<(), bfl_core::BflError> {
+/// // Find a tree for which (1,0) is a minimal cut set of the top gate.
+/// let b = StatusVector::from_bits([true, false]);
+/// let phi = Formula::atom("top").mcs();
+/// let tree = synthesize(&["a", "b"], &b, &phi, &SynthesisConfig::default())?
+///     .expect("synthesis succeeds");
+/// assert_eq!(tree.name(tree.top()), "top");
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(
+    basic_events: &[&str],
+    b: &StatusVector,
+    phi: &Formula,
+    config: &SynthesisConfig,
+) -> Result<Option<FaultTree>, BflError> {
+    assert!(!basic_events.is_empty(), "need at least one basic event");
+    assert!(!config.gate_names.is_empty(), "need at least one gate name");
+    assert_eq!(b.len(), basic_events.len(), "vector length mismatch");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.restarts {
+        let mut candidate = random_candidate(basic_events, &config.gate_names, &mut rng);
+        for _ in 0..config.mutations {
+            match satisfies(&candidate.tree, b, phi) {
+                Ok(true) => return Ok(Some(candidate.tree)),
+                Ok(false) => {}
+                Err(BflError::UnknownElement(_)) => break, // formula names a missing gate
+                Err(e) => return Err(e),
+            }
+            candidate.mutate(&mut rng);
+        }
+    }
+    Ok(None)
+}
+
+fn satisfies(tree: &FaultTree, b: &StatusVector, phi: &Formula) -> Result<bool, BflError> {
+    let mut mc = ModelChecker::new(tree);
+    mc.holds(b, phi)
+}
+
+/// A candidate: gate structure over a fixed skeleton (gate `i` may use
+/// gates `> i` and any basic event as children).
+struct Candidate {
+    basic: Vec<String>,
+    gates: Vec<String>,
+    gate_types: Vec<GateType>,
+    children: Vec<Vec<String>>,
+    tree: FaultTree,
+}
+
+impl Candidate {
+    fn rebuild(&mut self) {
+        let mut builder = FaultTreeBuilder::new();
+        builder
+            .basic_events(self.basic.iter().map(String::as_str))
+            .expect("fresh names");
+        for (i, g) in self.gates.iter().enumerate() {
+            builder
+                .gate(g, self.gate_types[i], self.children[i].iter().map(String::as_str))
+                .expect("fresh name");
+        }
+        self.tree = builder.build(&self.gates[0]).expect("candidate is well-formed");
+    }
+
+    fn mutate(&mut self, rng: &mut StdRng) {
+        // Flip a random gate's type, or rewire one child.
+        let gi = rng.gen_range(0..self.gates.len());
+        if rng.gen_bool(0.5) {
+            self.gate_types[gi] = match self.gate_types[gi] {
+                GateType::And => GateType::Or,
+                GateType::Or => GateType::And,
+                GateType::Vot { .. } => GateType::And,
+            };
+        } else {
+            let pool = self.child_pool(gi);
+            let ci = rng.gen_range(0..self.children[gi].len());
+            let pick = pool[rng.gen_range(0..pool.len())].clone();
+            if !self.children[gi].contains(&pick) {
+                self.children[gi][ci] = pick;
+            }
+        }
+        self.ensure_reachable();
+        self.rebuild();
+    }
+
+    /// Valid children for gate `gi`: strictly later gates plus every basic
+    /// event (guarantees acyclicity).
+    fn child_pool(&self, gi: usize) -> Vec<String> {
+        self.gates[gi + 1..]
+            .iter()
+            .chain(self.basic.iter())
+            .cloned()
+            .collect()
+    }
+
+    /// Appends unreached elements as extra children so validation passes.
+    fn ensure_reachable(&mut self) {
+        loop {
+            let mut reached: Vec<String> = vec![self.gates[0].clone()];
+            let mut stack = vec![0usize];
+            let mut seen = vec![false; self.gates.len()];
+            seen[0] = true;
+            let mut reached_basic: Vec<&String> = Vec::new();
+            while let Some(i) = stack.pop() {
+                for c in &self.children[i] {
+                    if let Some(j) = self.gates.iter().position(|g| g == c) {
+                        if !seen[j] {
+                            seen[j] = true;
+                            reached.push(c.clone());
+                            stack.push(j);
+                        }
+                    } else if !reached_basic.contains(&c) {
+                        reached_basic.push(c);
+                    }
+                }
+            }
+            let missing_gate = (0..self.gates.len()).find(|&j| !seen[j]);
+            let missing_basic = self
+                .basic
+                .iter()
+                .find(|b| !reached_basic.contains(b))
+                .cloned();
+            match (missing_gate, missing_basic) {
+                (Some(j), _) => {
+                    // Attach gate j under an earlier reached gate.
+                    let host = (0..j).rev().find(|&i| seen[i]).unwrap_or(0);
+                    let name = self.gates[j].clone();
+                    self.children[host].push(name);
+                }
+                (None, Some(be)) => {
+                    let host = self.gates.len() - 1;
+                    self.children[host].push(be);
+                }
+                (None, None) => return,
+            }
+        }
+    }
+}
+
+fn random_candidate(basic: &[&str], gates: &[String], rng: &mut StdRng) -> Candidate {
+    let basic: Vec<String> = basic.iter().map(|s| s.to_string()).collect();
+    let gates: Vec<String> = gates.to_vec();
+    let mut gate_types = Vec::with_capacity(gates.len());
+    let mut children: Vec<Vec<String>> = Vec::with_capacity(gates.len());
+    for i in 0..gates.len() {
+        gate_types.push(if rng.gen_bool(0.5) { GateType::And } else { GateType::Or });
+        let pool: Vec<String> = gates[i + 1..].iter().chain(basic.iter()).cloned().collect();
+        let arity = rng.gen_range(1..=pool.len().min(3));
+        let mut picked = Vec::new();
+        while picked.len() < arity {
+            let p = pool[rng.gen_range(0..pool.len())].clone();
+            if !picked.contains(&p) {
+                picked.push(p);
+            }
+        }
+        children.push(picked);
+    }
+    let mut c = Candidate {
+        basic,
+        gates,
+        gate_types,
+        children,
+        tree: bfl_fault_tree::corpus::or2(), // placeholder, replaced below
+    };
+    c.ensure_reachable();
+    c.rebuild();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesizes_mcs_witness() {
+        let b = StatusVector::from_bits([true, true, false]);
+        let phi = Formula::atom("top").mcs();
+        let tree = synthesize(&["a", "b", "c"], &b, &phi, &SynthesisConfig::default())
+            .unwrap()
+            .expect("found");
+        let mut mc = ModelChecker::new(&tree);
+        assert!(mc.holds(&b, &phi).unwrap());
+    }
+
+    #[test]
+    fn synthesizes_implication_property() {
+        // Find a tree in which the failure of `a` alone fails the top.
+        let b = StatusVector::from_bits([true, false]);
+        let phi = Formula::atom("a").implies(Formula::atom("top"));
+        let tree = synthesize(&["a", "b"], &b, &phi, &SynthesisConfig::default())
+            .unwrap()
+            .expect("found");
+        let mut mc = ModelChecker::new(&tree);
+        assert!(mc.holds(&b, &phi).unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_spec_returns_none() {
+        let b = StatusVector::from_bits([true]);
+        let phi = Formula::atom("top").and(Formula::atom("top").not());
+        let cfg = SynthesisConfig {
+            restarts: 8,
+            mutations: 8,
+            ..Default::default()
+        };
+        assert!(synthesize(&["a"], &b, &phi, &cfg).unwrap().is_none());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let b = StatusVector::from_bits([true, false]);
+        let phi = Formula::atom("top").mcs();
+        let cfg = SynthesisConfig::default();
+        let t1 = synthesize(&["a", "b"], &b, &phi, &cfg).unwrap().unwrap();
+        let t2 = synthesize(&["a", "b"], &b, &phi, &cfg).unwrap().unwrap();
+        let shape = |t: &FaultTree| {
+            t.iter()
+                .map(|e| (t.name(e).to_string(), t.children(e).len()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&t1), shape(&t2));
+    }
+}

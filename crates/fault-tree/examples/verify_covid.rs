@@ -1,0 +1,24 @@
+//! Prints the qualitative analysis of the reconstructed COVID-19 tree —
+//! the raw oracle data used to validate the Fig. 2 reconstruction
+//! (see `DESIGN.md` §3). The full paper reproduction lives in the
+//! `bfl-bench` crate's `reproduce` binary.
+//!
+//! Run with: `cargo run -p bfl-fault-tree --example verify_covid`
+
+use bfl_fault_tree::{analysis, corpus};
+
+fn main() {
+    let tree = corpus::covid();
+    let mcs = analysis::minimal_cut_sets_names(&tree, tree.top());
+    println!("MCS(IWoS) ({}):", mcs.len());
+    for s in &mcs { println!("  {{{}}}", s.join(", ")); }
+    let mps = analysis::minimal_path_sets_names(&tree, tree.top());
+    println!("MPS(IWoS) ({}):", mps.len());
+    for s in &mps { println!("  {{{}}}", s.join(", ")); }
+    let mot = tree.element("MoT").unwrap();
+    let mcs_mot = analysis::minimal_cut_sets_names(&tree, mot);
+    println!("MCS(MoT) with IS:");
+    for s in mcs_mot.iter().filter(|s| s.contains(&"IS".to_string())) { println!("  {{{}}}", s.join(", ")); }
+    println!("MCS(IWoS) with H4:");
+    for s in mcs.iter().filter(|s| s.contains(&"H4".to_string())) { println!("  {{{}}}", s.join(", ")); }
+}

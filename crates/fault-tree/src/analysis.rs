@@ -1,0 +1,527 @@
+//! Qualitative fault-tree analysis: cut sets and path sets
+//! (Definitions 3–4), and their minimal variants computed by two
+//! independent engines:
+//!
+//! 1. the paper's primed-variable BDD construction (the `MCS` case of
+//!    Algorithm 1), and
+//! 2. Rauzy's minimal-solutions algorithm (`minsol`), together with the
+//!    dual construction for minimal path sets.
+//!
+//! Both engines return identical canonical results; the test-suite
+//! cross-checks them against each other and against an exhaustive
+//! reference on small trees.
+
+use std::collections::HashMap;
+
+use bfl_bdd::{Bdd, Manager, Var};
+
+use crate::bdd::TreeBdd;
+use crate::model::{ElementId, FaultTree};
+use crate::order::VariableOrdering;
+use crate::status::StatusVector;
+
+impl FaultTree {
+    /// Is `b` a cut set for `e` (Definition 3): `Φ_T(b, e) = 1`?
+    pub fn is_cut_set(&self, b: &StatusVector, e: ElementId) -> bool {
+        self.evaluate(b, e)
+    }
+
+    /// Is `b` a path set for `e` (Definition 4): `Φ_T(b, e) = 0`?
+    pub fn is_path_set(&self, b: &StatusVector, e: ElementId) -> bool {
+        !self.evaluate(b, e)
+    }
+
+    /// Is `b` a *minimal* cut set for `e`: a cut set no proper sub-vector
+    /// of which is a cut set?
+    ///
+    /// For the monotone structure functions of fault trees it suffices to
+    /// check the vectors obtained by repairing one failed event.
+    pub fn is_minimal_cut_set(&self, b: &StatusVector, e: ElementId) -> bool {
+        if !self.is_cut_set(b, e) {
+            return false;
+        }
+        b.failed_indices()
+            .into_iter()
+            .all(|i| !self.is_cut_set(&b.with(i, false), e))
+    }
+
+    /// Is `b` a *minimal* path set vector for `e`: a path set such that
+    /// failing any further event destroys the path set? (Maximal vector
+    /// semantics; the set of *operational* events is minimal.)
+    pub fn is_minimal_path_set(&self, b: &StatusVector, e: ElementId) -> bool {
+        if !self.is_path_set(b, e) {
+            return false;
+        }
+        (0..b.len())
+            .filter(|&i| !b.get(i))
+            .all(|i| !self.is_path_set(&b.with(i, true), e))
+    }
+}
+
+/// Canonicalises a list of index sets: each set ascending, sets ordered by
+/// (cardinality, lexicographic).
+fn canonicalise(mut sets: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for s in &mut sets {
+        s.sort_unstable();
+    }
+    sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    sets.dedup();
+    sets
+}
+
+fn names_of(tree: &FaultTree, sets: &[Vec<usize>]) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = sets
+        .iter()
+        .map(|s| {
+            let mut names: Vec<String> = s
+                .iter()
+                .map(|&i| tree.name(tree.basic_events()[i]).to_string())
+                .collect();
+            names.sort();
+            names
+        })
+        .collect();
+    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    out
+}
+
+/// Minimal cut sets of element `e`, as sets of basic-event indices
+/// (canonically ordered). Uses the `minsol` engine with the default DFS
+/// ordering.
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::{corpus, analysis};
+/// let tree = corpus::fig1();
+/// let mcs = analysis::minimal_cut_sets_names(&tree, tree.top());
+/// assert_eq!(mcs.len(), 2); // {IW,H3} and {IT,H2}
+/// ```
+pub fn minimal_cut_sets(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+    let mut tb = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+    minimal_cut_sets_with(tree, &mut tb, e)
+}
+
+/// Minimal cut sets as sorted name lists.
+pub fn minimal_cut_sets_names(tree: &FaultTree, e: ElementId) -> Vec<Vec<String>> {
+    names_of(tree, &minimal_cut_sets(tree, e))
+}
+
+/// Minimal path sets of element `e`, as sets of basic-event indices of the
+/// *operational* events (canonically ordered).
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::{corpus, analysis};
+/// let tree = corpus::fig1();
+/// let mps = analysis::minimal_path_sets_names(&tree, tree.top());
+/// assert_eq!(mps.len(), 4); // {IW,IT} {IW,H2} {H3,IT} {H3,H2}
+/// ```
+pub fn minimal_path_sets(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+    let mut tb = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+    minimal_path_sets_with(tree, &mut tb, e)
+}
+
+/// Minimal path sets as sorted name lists.
+pub fn minimal_path_sets_names(tree: &FaultTree, e: ElementId) -> Vec<Vec<String>> {
+    names_of(tree, &minimal_path_sets(tree, e))
+}
+
+/// `minsol`-engine minimal cut sets using an existing [`TreeBdd`].
+pub fn minimal_cut_sets_with(
+    tree: &FaultTree,
+    tb: &mut TreeBdd,
+    e: ElementId,
+) -> Vec<Vec<usize>> {
+    let f = tb.element_bdd(tree, e);
+    let universe = tb.unprimed_vars();
+    let ms = minsol(tb.manager_mut(), f, &universe);
+    extract_one_sets(tree, tb, ms)
+}
+
+/// `minsol`-engine minimal path sets using an existing [`TreeBdd`].
+///
+/// A minimal path set of `Φ` is a minimal solution of the *dual* function
+/// `Φ^d(b) = ¬Φ(¬b)`; the ones of each solution are the operational
+/// events.
+pub fn minimal_path_sets_with(
+    tree: &FaultTree,
+    tb: &mut TreeBdd,
+    e: ElementId,
+) -> Vec<Vec<usize>> {
+    let f = tb.element_bdd(tree, e);
+    let universe = tb.unprimed_vars();
+    let m = tb.manager_mut();
+    let nf = m.not(f);
+    let dual = flip_polarity(m, nf);
+    let ms = minsol(m, dual, &universe);
+    extract_one_sets(tree, tb, ms)
+}
+
+/// Reads off the satisfying vectors of a minimal-solutions BDD as sets of
+/// basic-event indices (positions of ones).
+fn extract_one_sets(tree: &FaultTree, tb: &TreeBdd, ms: Bdd) -> Vec<Vec<usize>> {
+    let universe = tb.unprimed_vars();
+    let mut sets = Vec::new();
+    for vector in tb.manager().sat_vectors(ms, &universe) {
+        let sv = tb.vector_from_positions(tree, &vector);
+        sets.push(sv.failed_indices());
+    }
+    canonicalise(sets)
+}
+
+/// Rauzy-style minimal solutions of a *monotone* function `f` over the
+/// variable `universe` (ascending levels): returns the BDD whose
+/// satisfying vectors are exactly the minimal satisfying vectors of `f`.
+///
+/// Variables of the universe on which `f` does not depend are forced to
+/// `0` in every solution.
+///
+/// # Panics
+///
+/// Panics if the support of `f` is not contained in `universe`.
+pub fn minsol(m: &mut Manager, f: Bdd, universe: &[Var]) -> Bdd {
+    for v in m.support(f) {
+        assert!(universe.contains(&v), "support {v} outside universe");
+    }
+    let mut memo = HashMap::new();
+    minsol_rec(m, f, universe, 0, &mut memo)
+}
+
+fn minsol_rec(
+    m: &mut Manager,
+    f: Bdd,
+    universe: &[Var],
+    idx: usize,
+    memo: &mut HashMap<(u32, usize), Bdd>,
+) -> Bdd {
+    if f.is_false() {
+        return m.bot();
+    }
+    if idx == universe.len() {
+        debug_assert!(f.is_true(), "support outside universe");
+        return m.top();
+    }
+    if f.is_true() {
+        // The empty extension is the unique minimal solution: all
+        // remaining variables must be 0.
+        let mut acc = m.top();
+        for &v in universe[idx..].iter().rev() {
+            let lit = m.nvar(v);
+            acc = m.and(lit, acc);
+        }
+        return acc;
+    }
+    if let Some(&r) = memo.get(&(f.id(), idx)) {
+        return r;
+    }
+    let v = universe[idx];
+    let (f0, f1) = {
+        let node = m.node(f);
+        if node.var == v {
+            (node.low, node.high)
+        } else {
+            debug_assert!(node.var > v, "universe must be ascending levels");
+            (f, f)
+        }
+    };
+    let m0 = minsol_rec(m, f0, universe, idx + 1, memo);
+    let m1 = minsol_rec(m, f1, universe, idx + 1, memo);
+    // A vector with v = 1 is minimal iff it is minimal for f1 and does not
+    // already satisfy f0 (else clearing v would give a smaller solution).
+    let nf0 = m.not(f0);
+    let high = m.and(m1, nf0);
+    let lit = m.var(v);
+    let r = m.ite(lit, high, m0);
+    memo.insert((f.id(), idx), r);
+    r
+}
+
+/// Swaps the polarity of every variable: the result satisfies exactly the
+/// complemented vectors of `f` (`flip(f)(b) = f(¬b)`).
+pub fn flip_polarity(m: &mut Manager, f: Bdd) -> Bdd {
+    let mut memo = HashMap::new();
+    flip_rec(m, f, &mut memo)
+}
+
+fn flip_rec(m: &mut Manager, f: Bdd, memo: &mut HashMap<u32, Bdd>) -> Bdd {
+    if f.is_terminal() {
+        return f;
+    }
+    if let Some(&r) = memo.get(&f.id()) {
+        return r;
+    }
+    let node = m.node(f);
+    let low = flip_rec(m, node.low, memo);
+    let high = flip_rec(m, node.high, memo);
+    // Swap the children: the flipped node takes `high` when the variable
+    // is 0 and `low` when it is 1.
+    let lit = m.var(node.var);
+    let r = m.ite(lit, low, high);
+    memo.insert(f.id(), r);
+    r
+}
+
+/// The paper's primed-variable construction of the minimal cut sets
+/// (`MCS` case of Algorithm 1):
+///
+/// `B_mcs = B ∧ ¬∃V′. (V′ ⊂ V ∧ B[V ↷ V′])`.
+///
+/// Returns the BDD over unprimed variables whose satisfying vectors are
+/// the MCS vectors. This is the construction benchmarked against
+/// [`minsol`] in `ablation: mcs engines`.
+pub fn mcs_bdd_paper(tb: &mut TreeBdd, f: Bdd) -> Bdd {
+    let pairs = tb.var_pairs();
+    let primed: Vec<Var> = tb.primed_vars();
+    let m = tb.manager_mut();
+    let subset = m.strict_subset(&pairs);
+    let f_primed = m.rename(f, &|v| Var(v.index() + 1));
+    let exists_smaller = m.and_exists(subset, f_primed, &primed);
+    let not_smaller = m.not(exists_smaller);
+    m.and(f, not_smaller)
+}
+
+/// The dual construction for minimal path sets (maximal vectors satisfying
+/// `¬f`; see `DESIGN.md` §4):
+///
+/// `B_mps = ¬B ∧ ¬∃V′. (V′ ⊃ V ∧ ¬B[V ↷ V′])`.
+pub fn mps_bdd_paper(tb: &mut TreeBdd, f: Bdd) -> Bdd {
+    let pairs = tb.var_pairs();
+    let primed: Vec<Var> = tb.primed_vars();
+    let m = tb.manager_mut();
+    let superset = m.strict_superset(&pairs);
+    let nf = m.not(f);
+    let nf_primed = m.rename(nf, &|v| Var(v.index() + 1));
+    let exists_bigger = m.and_exists(superset, nf_primed, &primed);
+    let not_bigger = m.not(exists_bigger);
+    m.and(nf, not_bigger)
+}
+
+/// Paper-construction minimal cut sets (for cross-checks and ablation).
+pub fn minimal_cut_sets_paper(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+    let mut tb = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+    let f = tb.element_bdd(tree, e);
+    let ms = mcs_bdd_paper(&mut tb, f);
+    extract_one_sets(tree, &tb, ms)
+}
+
+/// Paper-construction minimal path sets: satisfying vectors are *maximal*;
+/// the returned sets contain the indices of the **operational** events.
+pub fn minimal_path_sets_paper(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+    let mut tb = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+    let f = tb.element_bdd(tree, e);
+    let ms = mps_bdd_paper(&mut tb, f);
+    let universe = tb.unprimed_vars();
+    let mut sets = Vec::new();
+    for vector in tb.manager().sat_vectors(ms, &universe) {
+        let sv = tb.vector_from_positions(tree, &vector);
+        // Operational events = zeros of the maximal vector.
+        sets.push((0..sv.len()).filter(|&i| !sv.get(i)).collect());
+    }
+    canonicalise(sets)
+}
+
+/// Number of minimal cut sets of `e`, computed on the `minsol` BDD by
+/// model counting — no enumeration, so it stays cheap even when the
+/// number of cut sets is astronomically large (e.g. deep alternating
+/// AND/OR trees).
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::{corpus, analysis};
+/// let tree = corpus::covid();
+/// assert_eq!(analysis::count_minimal_cut_sets(&tree, tree.top()), 12);
+/// ```
+pub fn count_minimal_cut_sets(tree: &FaultTree, e: ElementId) -> u128 {
+    let mut tb = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+    let f = tb.element_bdd(tree, e);
+    let universe = tb.unprimed_vars();
+    let ms = minsol(tb.manager_mut(), f, &universe);
+    tb.manager().sat_count_over(ms, &universe)
+}
+
+/// Number of minimal path sets of `e` (see [`count_minimal_cut_sets`]).
+pub fn count_minimal_path_sets(tree: &FaultTree, e: ElementId) -> u128 {
+    let mut tb = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+    let f = tb.element_bdd(tree, e);
+    let universe = tb.unprimed_vars();
+    let m = tb.manager_mut();
+    let nf = m.not(f);
+    let dual = flip_polarity(m, nf);
+    let ms = minsol(m, dual, &universe);
+    tb.manager().sat_count_over(ms, &universe)
+}
+
+/// Exhaustive reference implementation of minimal cut sets (all `2^n`
+/// vectors); used by the test-suite as ground truth.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 20 basic events.
+pub fn minimal_cut_sets_naive(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+    assert!(tree.num_basic_events() <= 20, "naive engine limited to 20 events");
+    let mut sets = Vec::new();
+    for b in StatusVector::enumerate_all(tree.num_basic_events()) {
+        if tree.is_minimal_cut_set(&b, e) {
+            sets.push(b.failed_indices());
+        }
+    }
+    canonicalise(sets)
+}
+
+/// Exhaustive reference implementation of minimal path sets (sets of
+/// operational events).
+///
+/// # Panics
+///
+/// Panics if the tree has more than 20 basic events.
+pub fn minimal_path_sets_naive(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+    assert!(tree.num_basic_events() <= 20, "naive engine limited to 20 events");
+    let mut sets = Vec::new();
+    for b in StatusVector::enumerate_all(tree.num_basic_events()) {
+        if tree.is_minimal_path_set(&b, e) {
+            sets.push((0..b.len()).filter(|&i| !b.get(i)).collect());
+        }
+    }
+    canonicalise(sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn fig1_minimal_cut_sets() {
+        let tree = corpus::fig1();
+        let mcs = minimal_cut_sets_names(&tree, tree.top());
+        assert_eq!(
+            mcs,
+            vec![
+                vec!["H2".to_string(), "IT".to_string()],
+                vec!["H3".to_string(), "IW".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn fig1_minimal_path_sets() {
+        let tree = corpus::fig1();
+        let mps = minimal_path_sets_names(&tree, tree.top());
+        assert_eq!(
+            mps,
+            vec![
+                vec!["H2".to_string(), "H3".to_string()],
+                vec!["H2".to_string(), "IW".to_string()],
+                vec!["H3".to_string(), "IT".to_string()],
+                vec!["IT".to_string(), "IW".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_fig1() {
+        let tree = corpus::fig1();
+        assert_eq!(
+            minimal_cut_sets(&tree, tree.top()),
+            minimal_cut_sets_paper(&tree, tree.top())
+        );
+        assert_eq!(
+            minimal_cut_sets(&tree, tree.top()),
+            minimal_cut_sets_naive(&tree, tree.top())
+        );
+        assert_eq!(
+            minimal_path_sets(&tree, tree.top()),
+            minimal_path_sets_paper(&tree, tree.top())
+        );
+        assert_eq!(
+            minimal_path_sets(&tree, tree.top()),
+            minimal_path_sets_naive(&tree, tree.top())
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_covid() {
+        let tree = corpus::covid();
+        for &e in &[tree.top(), tree.element("MoT").unwrap(), tree.element("CT").unwrap()] {
+            assert_eq!(minimal_cut_sets(&tree, e), minimal_cut_sets_paper(&tree, e));
+            assert_eq!(minimal_path_sets(&tree, e), minimal_path_sets_paper(&tree, e));
+            assert_eq!(minimal_cut_sets(&tree, e), minimal_cut_sets_naive(&tree, e));
+            assert_eq!(minimal_path_sets(&tree, e), minimal_path_sets_naive(&tree, e));
+        }
+    }
+
+    #[test]
+    fn mcs_vectors_are_minimal_cut_sets() {
+        let tree = corpus::covid();
+        for set in minimal_cut_sets(&tree, tree.top()) {
+            let mut b = StatusVector::all_operational(tree.num_basic_events());
+            for i in set {
+                b.set(i, true);
+            }
+            assert!(tree.is_minimal_cut_set(&b, tree.top()), "{b}");
+        }
+    }
+
+    #[test]
+    fn mps_sets_are_minimal_path_sets() {
+        let tree = corpus::covid();
+        for set in minimal_path_sets(&tree, tree.top()) {
+            // Vector: everything failed except the path set.
+            let mut b = StatusVector::all_failed(tree.num_basic_events());
+            for i in set {
+                b.set(i, false);
+            }
+            assert!(tree.is_minimal_path_set(&b, tree.top()), "{b}");
+        }
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        for tree in [corpus::fig1(), corpus::covid(), corpus::table1_tree()] {
+            assert_eq!(
+                count_minimal_cut_sets(&tree, tree.top()),
+                minimal_cut_sets(&tree, tree.top()).len() as u128
+            );
+            assert_eq!(
+                count_minimal_path_sets(&tree, tree.top()),
+                minimal_path_sets(&tree, tree.top()).len() as u128
+            );
+        }
+    }
+
+    #[test]
+    fn counting_scales_where_enumeration_cannot() {
+        // Depth-10 alternating AND/OR chain: ~10^9 minimal cut sets.
+        let tree = corpus::chain(10);
+        let count = count_minimal_cut_sets(&tree, tree.top());
+        assert!(count > 1_000_000_000, "{count}");
+    }
+
+    #[test]
+    fn flip_polarity_involution() {
+        let tree = corpus::covid();
+        let mut tb = TreeBdd::new(&tree, VariableOrdering::DfsPreorder);
+        let f = tb.element_bdd(&tree, tree.top());
+        let m = tb.manager_mut();
+        let g = flip_polarity(m, f);
+        let h = flip_polarity(m, g);
+        assert_eq!(f, h);
+    }
+
+    #[test]
+    fn minsol_of_or_gate() {
+        let tree = corpus::or2();
+        let mut tb = TreeBdd::new(&tree, VariableOrdering::DfsPreorder);
+        let f = tb.element_bdd(&tree, tree.top());
+        let universe = tb.unprimed_vars();
+        let ms = minsol(tb.manager_mut(), f, &universe);
+        // Minimal solutions: exactly (1,0) and (0,1) over the two unprimed
+        // variables; the two primed variables are don't-cares (2 models × 4).
+        assert_eq!(tb.manager().sat_count(ms, 4), 8);
+        let sets = extract_one_sets(&tree, &tb, ms);
+        assert_eq!(sets, vec![vec![0], vec![1]]);
+    }
+}

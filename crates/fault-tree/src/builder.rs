@@ -1,0 +1,202 @@
+//! Incremental construction of well-formed fault trees.
+
+use std::collections::HashMap;
+
+use crate::model::{Element, ElementId, ElementKind, FaultTree, FaultTreeError, GateType};
+
+/// A builder for [`FaultTree`]s.
+///
+/// Elements may be declared in any order; gates may reference children
+/// declared later (forward references are resolved at
+/// [`build`](FaultTreeBuilder::build) time). `build` validates
+/// well-formedness per Definition 1.
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::{FaultTreeBuilder, GateType};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = FaultTreeBuilder::new();
+/// b.gate("top", GateType::Vot { k: 2 }, ["a", "b", "c"])?;
+/// b.basic_events(["a", "b", "c"])?;
+/// let tree = b.build("top")?;
+/// assert_eq!(tree.num_basic_events(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultTreeBuilder {
+    declared: Vec<(String, Option<(GateType, Vec<String>)>)>,
+    names: HashMap<String, usize>,
+}
+
+impl FaultTreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn declare(
+        &mut self,
+        name: &str,
+        body: Option<(GateType, Vec<String>)>,
+    ) -> Result<(), FaultTreeError> {
+        if self.names.contains_key(name) {
+            return Err(FaultTreeError::DuplicateName(name.to_string()));
+        }
+        self.names.insert(name.to_string(), self.declared.len());
+        self.declared.push((name.to_string(), body));
+        Ok(())
+    }
+
+    /// Declares a basic event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultTreeError::DuplicateName`] if the name is taken.
+    pub fn basic_event(&mut self, name: &str) -> Result<&mut Self, FaultTreeError> {
+        self.declare(name, None)?;
+        Ok(self)
+    }
+
+    /// Declares several basic events at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultTreeError::DuplicateName`] on the first taken name.
+    pub fn basic_events<I, S>(&mut self, names: I) -> Result<&mut Self, FaultTreeError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for n in names {
+            self.basic_event(n.as_ref())?;
+        }
+        Ok(self)
+    }
+
+    /// Declares a gate with the given type and children (by name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultTreeError::DuplicateName`] if the name is taken.
+    pub fn gate<I, S>(
+        &mut self,
+        name: &str,
+        gate_type: GateType,
+        children: I,
+    ) -> Result<&mut Self, FaultTreeError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let children: Vec<String> = children.into_iter().map(|s| s.as_ref().to_string()).collect();
+        self.declare(name, Some((gate_type, children)))?;
+        Ok(self)
+    }
+
+    /// Finishes construction with `top` as the top element.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first well-formedness violation found: unknown child or
+    /// top names, duplicate names, empty gates, bad VOT arity, cycles, or
+    /// elements unreachable from `top`.
+    pub fn build(&self, top: &str) -> Result<FaultTree, FaultTreeError> {
+        let mut elements = Vec::with_capacity(self.declared.len());
+        let mut by_name = HashMap::new();
+        for (i, (name, body)) in self.declared.iter().enumerate() {
+            let kind = match body {
+                None => ElementKind::Basic,
+                Some((t, _)) => ElementKind::Gate(*t),
+            };
+            let children = match body {
+                None => Vec::new(),
+                Some((_, child_names)) => {
+                    let mut ids = Vec::with_capacity(child_names.len());
+                    for c in child_names {
+                        let idx = self
+                            .names
+                            .get(c)
+                            .ok_or_else(|| FaultTreeError::UnknownElement(c.clone()))?;
+                        ids.push(ElementId(*idx as u32));
+                    }
+                    ids
+                }
+            };
+            by_name.insert(name.clone(), ElementId(i as u32));
+            elements.push(Element {
+                name: name.clone(),
+                kind,
+                children,
+            });
+        }
+        let top_id = *by_name
+            .get(top)
+            .ok_or_else(|| FaultTreeError::UnknownElement(top.to_string()))?;
+        let mut basic = Vec::new();
+        let mut basic_index = vec![None; elements.len()];
+        for (i, el) in elements.iter().enumerate() {
+            if matches!(el.kind, ElementKind::Basic) {
+                basic_index[i] = Some(basic.len());
+                basic.push(ElementId(i as u32));
+            }
+        }
+        let tree = FaultTree {
+            elements,
+            by_name,
+            top: top_id,
+            basic,
+            basic_index,
+        };
+        tree.validate()?;
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = FaultTreeBuilder::new();
+        b.gate("top", GateType::Or, ["later"]).unwrap();
+        b.basic_event("later").unwrap();
+        let t = b.build("top").unwrap();
+        assert_eq!(t.num_basic_events(), 1);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = FaultTreeBuilder::new();
+        b.basic_event("x").unwrap();
+        let err = b.basic_event("x").unwrap_err();
+        assert_eq!(err, FaultTreeError::DuplicateName("x".to_string()));
+    }
+
+    #[test]
+    fn unknown_child_rejected() {
+        let mut b = FaultTreeBuilder::new();
+        b.gate("top", GateType::And, ["ghost"]).unwrap();
+        let err = b.build("top").unwrap_err();
+        assert_eq!(err, FaultTreeError::UnknownElement("ghost".to_string()));
+    }
+
+    #[test]
+    fn unknown_top_rejected() {
+        let b = FaultTreeBuilder::new();
+        let err = b.build("top").unwrap_err();
+        assert_eq!(err, FaultTreeError::UnknownElement("top".to_string()));
+    }
+
+    #[test]
+    fn basic_index_in_declaration_order() {
+        let mut b = FaultTreeBuilder::new();
+        b.basic_event("b0").unwrap();
+        b.gate("g", GateType::Or, ["b0", "b1"]).unwrap();
+        b.basic_event("b1").unwrap();
+        let t = b.build("g").unwrap();
+        assert_eq!(t.basic_event_names(), vec!["b0", "b1"]);
+    }
+}

@@ -1,0 +1,339 @@
+//! The fault trees used throughout the paper, reconstructed from its
+//! figures and published analysis results.
+//!
+//! * [`or2`] — the single OR-gate tree of Fig. 3 / Examples 2–3;
+//! * [`fig1`] — the COVID pathogens/reservoir subtree of Fig. 1;
+//! * [`table1_tree`] — the five-element tree of Section VI / Table I;
+//! * [`covid`] — the full COVID-19 fault tree of Fig. 2 (see `DESIGN.md`
+//!   §3 for the reconstruction argument and the oracles it satisfies);
+//! * [`kofn`] and [`chain`] — parametric families for benchmarks.
+
+use crate::builder::FaultTreeBuilder;
+use crate::model::{FaultTree, GateType};
+
+/// The smallest significant tree (Fig. 3, Examples 2 and 3): a single
+/// OR-gate `Top = OR(e1, e2)`.
+pub fn or2() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    b.basic_events(["e1", "e2"]).expect("fresh names");
+    b.gate("Top", GateType::Or, ["e1", "e2"]).expect("fresh name");
+    b.build("Top").expect("well-formed")
+}
+
+/// The subtree of Fig. 1: *Existence of COVID-19 Pathogens/Reservoir*.
+///
+/// ```text
+/// CP/R = OR(CP, CR);  CP = AND(IW, H3);  CR = AND(IT, H2)
+/// ```
+///
+/// Its minimal cut sets are `{IW, H3}` and `{IT, H2}`; its minimal path
+/// sets `{IW, IT}`, `{IW, H2}`, `{H3, IT}` and `{H3, H2}` (Section II).
+pub fn fig1() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    b.basic_events(["IW", "H3", "IT", "H2"]).expect("fresh names");
+    b.gate("CP", GateType::And, ["IW", "H3"]).expect("fresh name");
+    b.gate("CR", GateType::And, ["IT", "H2"]).expect("fresh name");
+    b.gate("CP/R", GateType::Or, ["CP", "CR"]).expect("fresh name");
+    b.build("CP/R").expect("well-formed")
+}
+
+/// The five-element tree of Section VI used for Table I:
+///
+/// ```text
+/// e1 = AND(e2, e3);  e3 = OR(e4, e5)
+/// ```
+///
+/// with basic events `e2, e4, e5` (status vectors are ordered
+/// `(e2, e4, e5)` as in the paper). Its MCSs for `e1` are `{e2,e4}` and
+/// `{e2,e5}`; its MPSs are `{e2}` and `{e4,e5}`.
+pub fn table1_tree() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    b.basic_events(["e2", "e4", "e5"]).expect("fresh names");
+    b.gate("e3", GateType::Or, ["e4", "e5"]).expect("fresh name");
+    b.gate("e1", GateType::And, ["e2", "e3"]).expect("fresh name");
+    b.build("e1").expect("well-formed")
+}
+
+/// The full COVID-19 fault tree of Fig. 2: *COVID-19 infected Worker on
+/// Site* (IWoS), a slightly modified version of Bakeli & Hafidi (2020).
+///
+/// The tree has 13 basic events and 15 gates; the basic events
+/// `IT`, `PP`, `H1` and `IW` are repeated (occur under several gates), as
+/// stated in Section IV. The structure below reproduces **every**
+/// qualitative result published in Sections IV and VII; the derivation is
+/// documented in `DESIGN.md` §3.
+///
+/// Basic events (H1–H5 are the human errors):
+///
+/// | name | meaning |
+/// |------|---------|
+/// | IW   | infected worker joins the team |
+/// | IT   | infected object/tool used by the team |
+/// | IS   | infected surface |
+/// | PP   | physical proximity |
+/// | VW   | vulnerable worker |
+/// | AB   | absence of barriers/face protection |
+/// | MV   | mechanical ventilation spreading aerosols |
+/// | UT   | unknown transmission mode |
+/// | H1   | non-respect of outbreak procedures |
+/// | H2   | general disinfection error |
+/// | H3   | detection error |
+/// | H4   | object disinfection error |
+/// | H5   | surface disinfection error |
+pub fn covid() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    b.basic_events([
+        "IW", "IT", "IS", "PP", "VW", "AB", "MV", "UT", "H1", "H2", "H3", "H4", "H5",
+    ])
+    .expect("fresh names");
+    // Existence of COVID-19 pathogens / reservoir (purple subtree, Fig. 1).
+    b.gate("CP", GateType::And, ["IW", "H3"]).expect("fresh name");
+    b.gate("CR", GateType::And, ["IT", "H2"]).expect("fresh name");
+    b.gate("CP/R", GateType::Or, ["CP", "CR"]).expect("fresh name");
+    // Modes of transmission (teal subtree).
+    b.gate("CIW", GateType::And, ["IW", "PP"]).expect("fresh name");
+    b.gate("MH1", GateType::And, ["H1", "H4"]).expect("fresh name");
+    b.gate("CIO", GateType::And, ["IT", "MH1"]).expect("fresh name");
+    b.gate("MH2", GateType::And, ["H1", "H5"]).expect("fresh name");
+    b.gate("CIS", GateType::And, ["IS", "MH2"]).expect("fresh name");
+    b.gate("CT", GateType::Or, ["CIW", "CIO", "CIS"]).expect("fresh name");
+    b.gate("DT", GateType::And, ["IW", "AB"]).expect("fresh name");
+    b.gate("AT", GateType::And, ["IW", "MV"]).expect("fresh name");
+    b.gate("CVT", GateType::And, ["IW", "PP", "H1"]).expect("fresh name");
+    b.gate("MoT", GateType::Or, ["CT", "DT", "AT", "CVT", "UT"]).expect("fresh name");
+    // Susceptible host (orange subtree).
+    b.gate("SH", GateType::And, ["H1", "VW"]).expect("fresh name");
+    // Top level event.
+    b.gate("IWoS", GateType::And, ["CP/R", "MoT", "SH"]).expect("fresh name");
+    b.build("IWoS").expect("well-formed")
+}
+
+/// A simplified variant of the classical *pressure tank* example from the
+/// fault-tree literature: rupture of a pressure tank caused either by a
+/// tank defect or by over-pressure, which requires the pump to keep
+/// running (stuck relay or a control failure) while the relief path fails
+/// (blocked or mis-calibrated valve).
+///
+/// 6 basic events, 5 gates, no repeated events — every gate is a module,
+/// making it the counterpoint to [`covid`] in the module-detection tests
+/// and a natural demo tree for the probability layer.
+pub fn pressure_tank() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    b.basic_events([
+        "TankDefect",
+        "K2Stuck",
+        "PSwitchStuck",
+        "TimerFail",
+        "ValveBlocked",
+        "ValveMiscal",
+    ])
+    .expect("fresh names");
+    b.gate("ControlFail", GateType::And, ["PSwitchStuck", "TimerFail"])
+        .expect("fresh name");
+    b.gate("PumpRuns", GateType::Or, ["K2Stuck", "ControlFail"])
+        .expect("fresh name");
+    b.gate("ReliefFails", GateType::Or, ["ValveBlocked", "ValveMiscal"])
+        .expect("fresh name");
+    b.gate("Overpressure", GateType::And, ["PumpRuns", "ReliefFails"])
+        .expect("fresh name");
+    b.gate("Rupture", GateType::Or, ["TankDefect", "Overpressure"])
+        .expect("fresh name");
+    b.build("Rupture").expect("well-formed")
+}
+
+/// An *attack tree* — structurally identical to a fault tree (Section V-A
+/// of the paper notes BDD techniques apply to this security-related
+/// counterpart). The "top event" is a successful compromise of a
+/// credential vault; basic events are attacker actions.
+///
+/// ```text
+/// Compromise  = OR(Insider, External)
+/// Insider     = AND(Recruit, BadgeAccess)
+/// External    = AND(GainEntry, Exfiltrate)
+/// GainEntry   = OR(Phish, ExploitVpn)
+/// Phish       = AND(CraftMail, UserClicks)
+/// Exfiltrate  = AND(FindVault, CrackKey)
+/// ```
+///
+/// `UserClicks` doubles as the shared social-engineering step under both
+/// `Phish` and `Recruit`'s success, mirroring repeated events in Fig. 2.
+pub fn attack_tree() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    b.basic_events([
+        "Recruit",
+        "BadgeAccess",
+        "CraftMail",
+        "UserClicks",
+        "ExploitVpn",
+        "FindVault",
+        "CrackKey",
+    ])
+    .expect("fresh names");
+    b.gate("Insider", GateType::And, ["Recruit", "BadgeAccess", "UserClicks"])
+        .expect("fresh name");
+    b.gate("Phish", GateType::And, ["CraftMail", "UserClicks"])
+        .expect("fresh name");
+    b.gate("GainEntry", GateType::Or, ["Phish", "ExploitVpn"])
+        .expect("fresh name");
+    b.gate("Exfiltrate", GateType::And, ["FindVault", "CrackKey"])
+        .expect("fresh name");
+    b.gate("External", GateType::And, ["GainEntry", "Exfiltrate"])
+        .expect("fresh name");
+    b.gate("Compromise", GateType::Or, ["Insider", "External"])
+        .expect("fresh name");
+    b.build("Compromise").expect("well-formed")
+}
+
+/// A `VOT(k/N)` gate over `n` fresh basic events `b0 … b{n-1}`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ n`.
+pub fn kofn(k: u32, n: u32) -> FaultTree {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut b = FaultTreeBuilder::new();
+    let names: Vec<String> = (0..n).map(|i| format!("b{i}")).collect();
+    b.basic_events(names.iter().map(String::as_str)).expect("fresh names");
+    b.gate("Top", GateType::Vot { k }, names.iter().map(String::as_str))
+        .expect("fresh name");
+    b.build("Top").expect("well-formed")
+}
+
+/// A balanced alternating AND/OR tree of the given depth with `2^depth`
+/// distinct basic events; useful for scaling benchmarks.
+///
+/// # Panics
+///
+/// Panics if `depth` is 0 or greater than 16.
+pub fn chain(depth: u32) -> FaultTree {
+    assert!(depth >= 1 && depth <= 16, "depth out of range");
+    let mut b = FaultTreeBuilder::new();
+    let leaves = 1u32 << depth;
+    let names: Vec<String> = (0..leaves).map(|i| format!("b{i}")).collect();
+    b.basic_events(names.iter().map(String::as_str)).expect("fresh names");
+    // Build bottom-up: layer d has 2^d nodes.
+    let mut layer: Vec<String> = names;
+    let mut level = 0u32;
+    while layer.len() > 1 {
+        let gate_type = if level % 2 == 0 { GateType::And } else { GateType::Or };
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (i, pair) in layer.chunks(2).enumerate() {
+            let name = format!("g{level}_{i}");
+            b.gate(&name, gate_type, pair.iter().map(String::as_str))
+                .expect("fresh name");
+            next.push(name);
+        }
+        layer = next;
+        level += 1;
+    }
+    b.build(&layer[0]).expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covid_tree_shape() {
+        let t = covid();
+        assert_eq!(t.num_basic_events(), 13);
+        assert_eq!(t.num_gates(), 15);
+        assert_eq!(t.name(t.top()), "IWoS");
+    }
+
+    #[test]
+    fn covid_repeated_events_are_exactly_the_four_of_the_paper() {
+        let t = covid();
+        // Count occurrences of each basic event as a child.
+        let mut occurrences = std::collections::HashMap::new();
+        for g in t.gates() {
+            for &c in t.children(g) {
+                if t.is_basic(c) {
+                    *occurrences.entry(t.name(c).to_string()).or_insert(0usize) += 1;
+                }
+            }
+        }
+        let mut repeated: Vec<String> = occurrences
+            .iter()
+            .filter(|(_, &n)| n > 1)
+            .map(|(k, _)| k.clone())
+            .collect();
+        repeated.sort();
+        assert_eq!(repeated, vec!["H1", "IT", "IW", "PP"]);
+    }
+
+    #[test]
+    fn fig1_matches_subtree_of_covid() {
+        let small = fig1();
+        let big = covid();
+        let mcs_small = crate::analysis::minimal_cut_sets_names(&small, small.top());
+        let cpr = big.element("CP/R").unwrap();
+        let mcs_big = crate::analysis::minimal_cut_sets_names(&big, cpr);
+        assert_eq!(mcs_small, mcs_big);
+    }
+
+    #[test]
+    fn table1_tree_cut_and_path_sets() {
+        let t = table1_tree();
+        let mcs = crate::analysis::minimal_cut_sets_names(&t, t.top());
+        assert_eq!(
+            mcs,
+            vec![
+                vec!["e2".to_string(), "e4".to_string()],
+                vec!["e2".to_string(), "e5".to_string()],
+            ]
+        );
+        let mps = crate::analysis::minimal_path_sets_names(&t, t.top());
+        assert_eq!(
+            mps,
+            vec![
+                vec!["e2".to_string()],
+                vec!["e4".to_string(), "e5".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn pressure_tank_analysis() {
+        let t = pressure_tank();
+        assert_eq!(t.num_basic_events(), 6);
+        assert_eq!(t.num_gates(), 5);
+        let mcs = crate::analysis::minimal_cut_sets_names(&t, t.top());
+        assert_eq!(
+            mcs,
+            vec![
+                vec!["TankDefect".to_string()],
+                vec!["K2Stuck".to_string(), "ValveBlocked".to_string()],
+                vec!["K2Stuck".to_string(), "ValveMiscal".to_string()],
+                vec![
+                    "PSwitchStuck".to_string(),
+                    "TimerFail".to_string(),
+                    "ValveBlocked".to_string()
+                ],
+                vec![
+                    "PSwitchStuck".to_string(),
+                    "TimerFail".to_string(),
+                    "ValveMiscal".to_string()
+                ],
+            ]
+        );
+        // No repeated events: every gate is a module.
+        let mods = crate::modules::modules(&t);
+        assert_eq!(mods.len(), t.num_gates());
+    }
+
+    #[test]
+    fn kofn_counts() {
+        let t = kofn(2, 4);
+        let mcs = crate::analysis::minimal_cut_sets(&t, t.top());
+        assert_eq!(mcs.len(), 6); // C(4,2)
+        assert!(mcs.iter().all(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn chain_is_well_formed() {
+        let t = chain(4);
+        assert_eq!(t.num_basic_events(), 16);
+        assert_eq!(t.num_gates(), 8 + 4 + 2 + 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Graphviz export of fault trees, with optional status decoration
+//! (the failure-propagation views of Table I and Section VII).
+
+use std::fmt::Write as _;
+
+use crate::model::{FaultTree, GateType};
+use crate::status::StatusVector;
+
+/// Renders the tree as a Graphviz `digraph`.
+///
+/// Gates are drawn as boxes labelled with their type, basic events as
+/// ellipses.
+pub fn to_dot(tree: &FaultTree) -> String {
+    to_dot_with_status(tree, None)
+}
+
+/// Renders the tree with failure propagation for `b`: failed elements are
+/// filled red, operational ones green — the visual language of the
+/// counterexample representations in Table I.
+pub fn to_dot_with_status(tree: &FaultTree, b: Option<&StatusVector>) -> String {
+    let statuses = b.map(|v| tree.evaluate_all(v));
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph fault_tree {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for e in tree.iter() {
+        let shape = if tree.is_basic(e) { "ellipse" } else { "box" };
+        let label = match tree.gate_type(e) {
+            None => tree.name(e).to_string(),
+            Some(GateType::And) => format!("{}\\nAND", tree.name(e)),
+            Some(GateType::Or) => format!("{}\\nOR", tree.name(e)),
+            Some(GateType::Vot { k }) => {
+                format!("{}\\nVOT({k}/{})", tree.name(e), tree.children(e).len())
+            }
+        };
+        let colour = match &statuses {
+            None => String::new(),
+            Some(s) => {
+                if s[e.index()] {
+                    ", style=filled, fillcolor=\"#ffb3b3\"".to_string()
+                } else {
+                    ", style=filled, fillcolor=\"#b3ffb3\"".to_string()
+                }
+            }
+        };
+        let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"{colour}];", e.index());
+    }
+    for e in tree.iter() {
+        for &c in tree.children(e) {
+            let _ = writeln!(out, "  n{} -> n{};", e.index(), c.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let tree = corpus::covid();
+        let dot = to_dot(&tree);
+        for e in tree.iter() {
+            assert!(dot.contains(tree.name(e)), "{}", tree.name(e));
+        }
+        assert!(dot.contains("VOT") == false);
+        assert!(dot.contains("AND"));
+        assert!(dot.contains("OR"));
+    }
+
+    #[test]
+    fn status_colours_failed_nodes() {
+        let tree = corpus::fig1();
+        let b = StatusVector::from_failed_names(&tree, &["IW", "H3"]);
+        let dot = to_dot_with_status(&tree, Some(&b));
+        assert!(dot.contains("#ffb3b3"));
+        assert!(dot.contains("#b3ffb3"));
+    }
+
+    #[test]
+    fn vot_label_present() {
+        let tree = corpus::kofn(2, 3);
+        let dot = to_dot(&tree);
+        assert!(dot.contains("VOT(2/3)"));
+    }
+}

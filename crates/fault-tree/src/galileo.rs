@@ -1,0 +1,458 @@
+//! A Galileo-style textual format for static fault trees.
+//!
+//! The grammar follows the classical Galileo dialect used by FTA tools
+//! (Storm, DFTCalc), restricted to static gates and extended with an
+//! optional `prob=` attribute feeding the probability layer:
+//!
+//! ```text
+//! toplevel "IWoS";
+//! "IWoS" and "CP/R" "MoT" "SH";
+//! "MoT"  or  "CT" "DT" "AT" "CVT" "UT";
+//! "V"    2of3 "a" "b" "c";
+//! "IW"   prob=0.05;        // basic event with probability
+//! "UT";                    // bare basic event
+//! ```
+//!
+//! Names may be quoted (any characters except `"`) or bare identifiers.
+//! Comments run from `//` to the end of the line. Events that are
+//! referenced but never declared are implicitly basic events.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::FaultTreeBuilder;
+use crate::model::{FaultTree, FaultTreeError, GateType};
+
+/// A parsed Galileo model: the tree plus any `prob=` annotations.
+#[derive(Debug, Clone)]
+pub struct GalileoModel {
+    /// The fault tree.
+    pub tree: FaultTree,
+    /// Basic-event probabilities by basic index (1.0e0-bounded), `None`
+    /// where no `prob=` was given.
+    pub probabilities: Vec<Option<f64>>,
+}
+
+/// Errors produced by the Galileo parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GalileoError {
+    /// 1-based source line of the offence (0 when global).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for GalileoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "galileo: {}", self.message)
+        } else {
+            write!(f, "galileo: line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for GalileoError {}
+
+impl From<FaultTreeError> for GalileoError {
+    fn from(e: FaultTreeError) -> Self {
+        GalileoError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Name(String),
+    Keyword(String),
+    Prob(f64),
+    Vot(u32, u32),
+    Semicolon,
+}
+
+fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, GalileoError> {
+    let line = match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let mut tokens = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    let err = |msg: String| GalileoError {
+        line: lineno,
+        message: msg,
+    };
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if c == ';' {
+            tokens.push(Token::Semicolon);
+            chars.next();
+            continue;
+        }
+        if c == '"' {
+            chars.next();
+            let mut name = String::new();
+            let mut closed = false;
+            for (_, ch) in chars.by_ref() {
+                if ch == '"' {
+                    closed = true;
+                    break;
+                }
+                name.push(ch);
+            }
+            if !closed {
+                return Err(err("unterminated quoted name".to_string()));
+            }
+            if name.is_empty() {
+                return Err(err("empty quoted name".to_string()));
+            }
+            tokens.push(Token::Name(name));
+            continue;
+        }
+        // Bare word: read until whitespace, quote or semicolon.
+        let start = i;
+        let mut end = i;
+        while let Some(&(j, ch)) = chars.peek() {
+            if ch.is_whitespace() || ch == ';' || ch == '"' {
+                break;
+            }
+            end = j + ch.len_utf8();
+            chars.next();
+        }
+        let word = &line[start..end];
+        if let Some(rest) = word.strip_prefix("prob=") {
+            let p: f64 = rest
+                .parse()
+                .map_err(|_| err(format!("invalid probability `{rest}`")))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(err(format!("probability {p} outside [0, 1]")));
+            }
+            tokens.push(Token::Prob(p));
+        } else if let Some((k, n)) = parse_kofn(word) {
+            tokens.push(Token::Vot(k, n));
+        } else if word.eq_ignore_ascii_case("toplevel")
+            || word.eq_ignore_ascii_case("and")
+            || word.eq_ignore_ascii_case("or")
+        {
+            tokens.push(Token::Keyword(word.to_ascii_lowercase()));
+        } else {
+            tokens.push(Token::Name(word.to_string()));
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_kofn(word: &str) -> Option<(u32, u32)> {
+    let lower = word.to_ascii_lowercase();
+    let (k, n) = lower.split_once("of")?;
+    let k: u32 = k.parse().ok()?;
+    let n: u32 = n.parse().ok()?;
+    Some((k, n))
+}
+
+/// Parses a Galileo model from text.
+///
+/// # Errors
+///
+/// Returns a [`GalileoError`] with the offending line for lexical or
+/// grammatical problems, a missing/duplicate `toplevel`, duplicate
+/// definitions, or any well-formedness violation of the resulting tree.
+pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
+    struct GateDef {
+        gate_type: GateType,
+        children: Vec<String>,
+        declared_n: Option<u32>,
+        line: usize,
+    }
+    let mut toplevel: Option<(String, usize)> = None;
+    let mut gates: Vec<(String, GateDef)> = Vec::new();
+    let mut basics: Vec<(String, Option<f64>, usize)> = Vec::new();
+    let mut defined: HashMap<String, usize> = HashMap::new();
+    let mut referenced: Vec<String> = Vec::new();
+
+    for (lineno0, raw_line) in input.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let tokens = tokenize_line(raw_line, lineno)?;
+        let err = |msg: String| GalileoError {
+            line: lineno,
+            message: msg,
+        };
+        // Split on semicolons: each statement parsed independently.
+        for stmt in tokens.split(|t| *t == Token::Semicolon) {
+            if stmt.is_empty() {
+                continue;
+            }
+            match &stmt[0] {
+                Token::Keyword(k) if k == "toplevel" => {
+                    let name = match stmt.get(1) {
+                        Some(Token::Name(n)) => n.clone(),
+                        _ => return Err(err("expected name after `toplevel`".to_string())),
+                    };
+                    if stmt.len() > 2 {
+                        return Err(err("unexpected tokens after toplevel name".to_string()));
+                    }
+                    if toplevel.is_some() {
+                        return Err(err("duplicate `toplevel` declaration".to_string()));
+                    }
+                    toplevel = Some((name, lineno));
+                }
+                Token::Name(name) => {
+                    if let Some(prev) = defined.get(name) {
+                        return Err(err(format!(
+                            "`{name}` already defined on line {prev}"
+                        )));
+                    }
+                    defined.insert(name.clone(), lineno);
+                    match stmt.get(1) {
+                        None => basics.push((name.clone(), None, lineno)),
+                        Some(Token::Prob(p)) => {
+                            if stmt.len() > 2 {
+                                return Err(err("unexpected tokens after probability".to_string()));
+                            }
+                            basics.push((name.clone(), Some(*p), lineno));
+                        }
+                        Some(Token::Keyword(k)) if k == "and" || k == "or" => {
+                            let gate_type = if k == "and" { GateType::And } else { GateType::Or };
+                            let children = stmt[2..]
+                                .iter()
+                                .map(|t| match t {
+                                    Token::Name(n) => {
+                                        referenced.push(n.clone());
+                                        Ok(n.clone())
+                                    }
+                                    other => Err(err(format!(
+                                        "expected child name, found {other:?}"
+                                    ))),
+                                })
+                                .collect::<Result<Vec<_>, _>>()?;
+                            if children.is_empty() {
+                                return Err(err(format!("gate `{name}` has no children")));
+                            }
+                            gates.push((
+                                name.clone(),
+                                GateDef {
+                                    gate_type,
+                                    children,
+                                    declared_n: None,
+                                    line: lineno,
+                                },
+                            ));
+                        }
+                        Some(Token::Vot(kk, nn)) => {
+                            let children = stmt[2..]
+                                .iter()
+                                .map(|t| match t {
+                                    Token::Name(n) => {
+                                        referenced.push(n.clone());
+                                        Ok(n.clone())
+                                    }
+                                    other => Err(err(format!(
+                                        "expected child name, found {other:?}"
+                                    ))),
+                                })
+                                .collect::<Result<Vec<_>, _>>()?;
+                            gates.push((
+                                name.clone(),
+                                GateDef {
+                                    gate_type: GateType::Vot { k: *kk },
+                                    children,
+                                    declared_n: Some(*nn),
+                                    line: lineno,
+                                },
+                            ));
+                        }
+                        Some(other) => {
+                            return Err(err(format!(
+                                "expected gate keyword or probability, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                other => return Err(err(format!("unexpected token {other:?}"))),
+            }
+        }
+    }
+
+    let (top, _) = toplevel.ok_or(GalileoError {
+        line: 0,
+        message: "missing `toplevel` declaration".to_string(),
+    })?;
+
+    // Referenced-but-undefined names become implicit basic events.
+    for name in referenced {
+        if !defined.contains_key(&name) {
+            defined.insert(name.clone(), 0);
+            basics.push((name, None, 0));
+        }
+    }
+
+    // VOT arity sanity against the declared N.
+    for (name, def) in &gates {
+        if let Some(n) = def.declared_n {
+            if def.children.len() != n as usize {
+                return Err(GalileoError {
+                    line: def.line,
+                    message: format!(
+                        "gate `{name}` declares VOT(_/{n}) but has {} children",
+                        def.children.len()
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut builder = FaultTreeBuilder::new();
+    let mut probs: Vec<(String, Option<f64>)> = Vec::new();
+    for (name, p, _) in &basics {
+        builder.basic_event(name)?;
+        probs.push((name.clone(), *p));
+    }
+    for (name, def) in &gates {
+        builder.gate(name, def.gate_type, def.children.iter().map(String::as_str))?;
+    }
+    let tree = builder.build(&top)?;
+    let mut probabilities = vec![None; tree.num_basic_events()];
+    for (name, p) in probs {
+        let e = tree.element(&name).expect("declared");
+        let bi = tree.basic_index(e).expect("basic");
+        probabilities[bi] = p;
+    }
+    Ok(GalileoModel { tree, probabilities })
+}
+
+/// Serialises a fault tree (and optional probabilities by basic index)
+/// back to Galileo text. The output round-trips through [`parse`].
+pub fn to_galileo(tree: &FaultTree, probabilities: Option<&[Option<f64>]>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "toplevel \"{}\";", tree.name(tree.top()));
+    for g in tree.gates() {
+        let kw = match tree.gate_type(g).expect("gate") {
+            GateType::And => "and".to_string(),
+            GateType::Or => "or".to_string(),
+            GateType::Vot { k } => format!("{k}of{}", tree.children(g).len()),
+        };
+        let children: Vec<String> = tree
+            .children(g)
+            .iter()
+            .map(|&c| format!("\"{}\"", tree.name(c)))
+            .collect();
+        let _ = writeln!(out, "\"{}\" {kw} {};", tree.name(g), children.join(" "));
+    }
+    for (bi, &e) in tree.basic_events().iter().enumerate() {
+        match probabilities.and_then(|p| p.get(bi).copied().flatten()) {
+            Some(p) => {
+                let _ = writeln!(out, "\"{}\" prob={p};", tree.name(e));
+            }
+            None => {
+                let _ = writeln!(out, "\"{}\";", tree.name(e));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn parse_simple_model() {
+        let model = parse(
+            r#"
+            toplevel "Top";
+            "Top" and "A" "B"; // comment
+            "A" prob=0.25;
+            "B";
+            "#,
+        )
+        .unwrap();
+        assert_eq!(model.tree.num_basic_events(), 2);
+        let a = model.tree.element("A").unwrap();
+        let bi = model.tree.basic_index(a).unwrap();
+        assert_eq!(model.probabilities[bi], Some(0.25));
+    }
+
+    #[test]
+    fn implicit_basic_events() {
+        let model = parse("toplevel T; T or x y;").unwrap();
+        assert_eq!(model.tree.num_basic_events(), 2);
+        assert!(model.probabilities.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn vot_gate_parses() {
+        let model = parse("toplevel T; T 2of3 a b c;").unwrap();
+        assert_eq!(
+            model.tree.gate_type(model.tree.top()),
+            Some(GateType::Vot { k: 2 })
+        );
+    }
+
+    #[test]
+    fn vot_arity_mismatch_rejected() {
+        let err = parse("toplevel T; T 2of3 a b;").unwrap_err();
+        assert!(err.message.contains("VOT"), "{err}");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let err = parse("toplevel T;\nT or a;\nT and b;").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("already defined"));
+    }
+
+    #[test]
+    fn missing_toplevel_rejected() {
+        let err = parse("\"T\" or a b;").unwrap_err();
+        assert!(err.message.contains("missing `toplevel`"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let err = parse("toplevel \"T;").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let err = parse("toplevel T; T or a; a prob=1.5;").unwrap_err();
+        assert!(err.message.contains("outside"));
+    }
+
+    #[test]
+    fn covid_round_trips() {
+        let tree = corpus::covid();
+        let text = to_galileo(&tree, None);
+        let model = parse(&text).unwrap();
+        assert_eq!(model.tree.num_basic_events(), tree.num_basic_events());
+        assert_eq!(model.tree.num_gates(), tree.num_gates());
+        // Same minimal cut sets — structural equivalence.
+        assert_eq!(
+            crate::analysis::minimal_cut_sets_names(&tree, tree.top()),
+            crate::analysis::minimal_cut_sets_names(&model.tree, model.tree.top()),
+        );
+    }
+
+    #[test]
+    fn probabilities_round_trip() {
+        let model = parse("toplevel T; T or a b; a prob=0.125; b prob=0.5;").unwrap();
+        let text = to_galileo(&model.tree, Some(&model.probabilities));
+        let model2 = parse(&text).unwrap();
+        assert_eq!(model.probabilities, model2.probabilities);
+    }
+
+    #[test]
+    fn quoted_names_with_special_characters() {
+        let model = parse("toplevel \"CP/R\"; \"CP/R\" or \"a b\" c;").unwrap();
+        assert!(model.tree.element("a b").is_some());
+        assert!(model.tree.element("CP/R").is_some());
+    }
+}

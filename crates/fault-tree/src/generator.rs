@@ -1,0 +1,192 @@
+//! Seeded random fault-tree generation for benchmarks and property-based
+//! tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::FaultTreeBuilder;
+use crate::model::{FaultTree, GateType};
+
+/// Parameters for [`random_tree`].
+#[derive(Debug, Clone)]
+pub struct RandomTreeConfig {
+    /// Number of basic events (≥ 1).
+    pub num_basic: usize,
+    /// Number of gates (≥ 1); the first generated gate becomes the top.
+    pub num_gates: usize,
+    /// Children per gate are drawn uniformly from `2..=max_children`.
+    pub max_children: usize,
+    /// Probability that a gate is `VOT` (with random `k`); the remainder
+    /// splits evenly between `AND` and `OR`.
+    pub vot_probability: f64,
+    /// RNG seed — equal configs with equal seeds generate equal trees.
+    pub seed: u64,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig {
+            num_basic: 12,
+            num_gates: 8,
+            max_children: 4,
+            vot_probability: 0.15,
+            seed: 0xB0F1,
+        }
+    }
+}
+
+/// Generates a pseudo-random well-formed fault tree.
+///
+/// Gates are generated top-down: gate `i` draws children from gates
+/// `i+1..` and the basic events, which guarantees acyclicity; a repair
+/// pass attaches any unreachable element to a random reachable gate, so
+/// the result always passes validation. Basic events may be shared by
+/// several gates (repeated events, as in the paper's Fig. 2).
+///
+/// # Panics
+///
+/// Panics if `num_basic` or `num_gates` is zero, or `max_children < 2`.
+pub fn random_tree(config: &RandomTreeConfig) -> FaultTree {
+    assert!(config.num_basic >= 1, "need at least one basic event");
+    assert!(config.num_gates >= 1, "need at least one gate");
+    assert!(config.max_children >= 2, "need max_children >= 2");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let basic_names: Vec<String> = (0..config.num_basic).map(|i| format!("be{i}")).collect();
+    let gate_names: Vec<String> = (0..config.num_gates).map(|i| format!("g{i}")).collect();
+
+    // children[i] = names drawn for gate i.
+    let mut children: Vec<Vec<usize>> = Vec::with_capacity(config.num_gates);
+    // Universe indices: 0..num_gates are gates, then basic events.
+    let universe = config.num_gates + config.num_basic;
+    for i in 0..config.num_gates {
+        let later_gates = config.num_gates - i - 1;
+        let pool = later_gates + config.num_basic;
+        let arity = rng.gen_range(2..=config.max_children.min(pool.max(2)));
+        let mut picked = Vec::new();
+        while picked.len() < arity.min(pool) {
+            // Draw from later gates and basics, no duplicate children.
+            let raw = rng.gen_range(0..pool);
+            let idx = if raw < later_gates {
+                i + 1 + raw
+            } else {
+                config.num_gates + (raw - later_gates)
+            };
+            if !picked.contains(&idx) {
+                picked.push(idx);
+            }
+        }
+        children.push(picked);
+    }
+
+    // Reachability repair: attach unreached elements to random reached
+    // gates (keeping acyclicity: element j attaches to a gate i < j for
+    // gates, or to any gate for basics).
+    let mut reached = vec![false; universe];
+    let mut stack = vec![0usize];
+    while let Some(x) = stack.pop() {
+        if reached[x] {
+            continue;
+        }
+        reached[x] = true;
+        if x < config.num_gates {
+            stack.extend(children[x].iter().copied());
+        }
+    }
+    for j in 0..universe {
+        if reached[j] {
+            continue;
+        }
+        let host = if j < config.num_gates {
+            // Attach gate j under some reached gate with smaller index.
+            (0..j).filter(|&i| reached[i]).max().unwrap_or(0)
+        } else {
+            rng.gen_range(0..config.num_gates.min(j))
+        };
+        children[host].push(j);
+        // Newly reached subtree:
+        let mut stack = vec![j];
+        while let Some(x) = stack.pop() {
+            if reached[x] {
+                continue;
+            }
+            reached[x] = true;
+            if x < config.num_gates {
+                stack.extend(children[x].iter().copied());
+            }
+        }
+    }
+
+    let mut b = FaultTreeBuilder::new();
+    b.basic_events(basic_names.iter().map(String::as_str))
+        .expect("fresh names");
+    for i in 0..config.num_gates {
+        let n = children[i].len() as u32;
+        let gate_type = if rng.gen_bool(config.vot_probability.clamp(0.0, 1.0)) && n >= 2 {
+            GateType::Vot {
+                k: rng.gen_range(1..=n),
+            }
+        } else if rng.gen_bool(0.5) {
+            GateType::And
+        } else {
+            GateType::Or
+        };
+        let child_names: Vec<&str> = children[i]
+            .iter()
+            .map(|&idx| {
+                if idx < config.num_gates {
+                    gate_names[idx].as_str()
+                } else {
+                    basic_names[idx - config.num_gates].as_str()
+                }
+            })
+            .collect();
+        b.gate(&gate_names[i], gate_type, child_names)
+            .expect("fresh name");
+    }
+    b.build(&gate_names[0]).expect("generated tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomTreeConfig::default();
+        let t1 = random_tree(&cfg);
+        let t2 = random_tree(&cfg);
+        assert_eq!(t1.len(), t2.len());
+        let names1: Vec<_> = t1.iter().map(|e| t1.name(e).to_string()).collect();
+        let names2: Vec<_> = t2.iter().map(|e| t2.name(e).to_string()).collect();
+        assert_eq!(names1, names2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t1 = random_tree(&RandomTreeConfig { seed: 1, ..Default::default() });
+        let t2 = random_tree(&RandomTreeConfig { seed: 2, ..Default::default() });
+        // Extremely unlikely to coincide: compare child structure.
+        let shape = |t: &FaultTree| -> Vec<Vec<usize>> {
+            t.iter().map(|e| t.children(e).iter().map(|c| c.index()).collect()).collect()
+        };
+        assert_ne!(shape(&t1), shape(&t2));
+    }
+
+    #[test]
+    fn generated_trees_validate_across_sizes() {
+        for seed in 0..20 {
+            for (nb, ng) in [(3, 2), (10, 6), (25, 15), (60, 40)] {
+                let cfg = RandomTreeConfig {
+                    num_basic: nb,
+                    num_gates: ng,
+                    max_children: 5,
+                    vot_probability: 0.2,
+                    seed,
+                };
+                let t = random_tree(&cfg);
+                assert_eq!(t.num_basic_events(), nb);
+                assert_eq!(t.num_gates(), ng);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Module detection: gates whose cone is *independent* of the rest of the
+//! tree (no element below the gate occurs anywhere else).
+//!
+//! Modules are the classical enabler of compositional fault-tree analysis
+//! (Dutuit & Rauzy, 1996): a module can be analysed in isolation and its
+//! result substituted as a virtual basic event. They also connect to the
+//! paper's `IDP` operator — a module is independent (shares no
+//! influencing basic events) of every disjoint part of the tree.
+
+use crate::model::{ElementId, FaultTree};
+
+/// Returns all gates that are modules of `tree`, in declaration order.
+/// The top element is always a module.
+///
+/// A gate `g` is a *module* when every element in its cone (its proper
+/// descendants) is reachable from outside the cone only through `g`.
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::{corpus, modules};
+/// let tree = corpus::fig1();
+/// let mods = modules::modules(&tree);
+/// let names: Vec<&str> = mods.iter().map(|&g| tree.name(g)).collect();
+/// // No shared events in Fig. 1: every gate is a module.
+/// assert_eq!(names, vec!["CP", "CR", "CP/R"]);
+/// ```
+pub fn modules(tree: &FaultTree) -> Vec<ElementId> {
+    // parents[x] = gates having x as a child.
+    let mut parents: Vec<Vec<ElementId>> = vec![Vec::new(); tree.len()];
+    for g in tree.gates() {
+        for &c in tree.children(g) {
+            parents[c.index()].push(g);
+        }
+    }
+    let mut out = Vec::new();
+    for g in tree.gates() {
+        if is_module_with_parents(tree, g, &parents) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Whether a single gate is a module (see [`modules`]).
+pub fn is_module(tree: &FaultTree, gate: ElementId) -> bool {
+    let mut parents: Vec<Vec<ElementId>> = vec![Vec::new(); tree.len()];
+    for g in tree.gates() {
+        for &c in tree.children(g) {
+            parents[c.index()].push(g);
+        }
+    }
+    is_module_with_parents(tree, gate, &parents)
+}
+
+fn is_module_with_parents(
+    tree: &FaultTree,
+    gate: ElementId,
+    parents: &[Vec<ElementId>],
+) -> bool {
+    // Cone of `gate`: all proper descendants.
+    let mut in_cone = vec![false; tree.len()];
+    let mut stack: Vec<ElementId> = tree.children(gate).to_vec();
+    while let Some(x) = stack.pop() {
+        if in_cone[x.index()] {
+            continue;
+        }
+        in_cone[x.index()] = true;
+        stack.extend(tree.children(x).iter().copied());
+    }
+    // A descendant's parents must all be the gate itself or inside the
+    // cone; otherwise some other part of the tree shares it.
+    for x in tree.iter() {
+        if !in_cone[x.index()] {
+            continue;
+        }
+        for &p in &parents[x.index()] {
+            if p != gate && !in_cone[p.index()] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{corpus, FaultTreeBuilder, GateType};
+
+    fn names(tree: &FaultTree, mods: &[ElementId]) -> Vec<String> {
+        mods.iter().map(|&g| tree.name(g).to_string()).collect()
+    }
+
+    #[test]
+    fn top_is_always_a_module() {
+        for tree in [corpus::fig1(), corpus::covid(), corpus::or2()] {
+            assert!(is_module(&tree, tree.top()), "{}", tree.name(tree.top()));
+        }
+    }
+
+    #[test]
+    fn fig1_every_gate_is_a_module() {
+        let tree = corpus::fig1();
+        assert_eq!(names(&tree, &modules(&tree)), vec!["CP", "CR", "CP/R"]);
+    }
+
+    #[test]
+    fn covid_shared_events_break_modularity() {
+        let tree = corpus::covid();
+        let mods = modules(&tree);
+        let mod_names = names(&tree, &mods);
+        // IWoS is a module (it is the top); CP is not (IW is shared with
+        // CIW, DT, AT, CVT); CR is not (IT shared with CIO).
+        assert!(mod_names.contains(&"IWoS".to_string()));
+        assert!(!mod_names.contains(&"CP".to_string()));
+        assert!(!mod_names.contains(&"CR".to_string()));
+        assert!(!mod_names.contains(&"SH".to_string())); // H1 is shared
+    }
+
+    #[test]
+    fn shared_gate_is_not_inside_two_modules() {
+        // top = AND(g1, g2); g1 = OR(shared, a); g2 = OR(shared, b);
+        // shared = AND(x, y). Neither g1 nor g2 is a module, but shared is.
+        let mut b = FaultTreeBuilder::new();
+        b.basic_events(["a", "b", "x", "y"]).unwrap();
+        b.gate("shared", GateType::And, ["x", "y"]).unwrap();
+        b.gate("g1", GateType::Or, ["shared", "a"]).unwrap();
+        b.gate("g2", GateType::Or, ["shared", "b"]).unwrap();
+        b.gate("top", GateType::And, ["g1", "g2"]).unwrap();
+        let tree = b.build("top").unwrap();
+        let mod_names = names(&tree, &modules(&tree));
+        assert_eq!(mod_names, vec!["shared", "top"]);
+    }
+
+    #[test]
+    fn module_is_idp_of_disjoint_parts() {
+        // Cross-check with the logic's IDP notion: a module's cone shares
+        // no basic events with the rest, so the module gate and any gate
+        // outside its cone with disjoint leaves are independent.
+        let tree = corpus::fig1();
+        // CP and CR are both modules with disjoint cones.
+        let cp_cone = tree.basic_events_under(tree.element("CP").unwrap());
+        let cr_cone = tree.basic_events_under(tree.element("CR").unwrap());
+        assert!(cp_cone.iter().all(|e| !cr_cone.contains(e)));
+    }
+}

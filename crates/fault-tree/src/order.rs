@@ -1,0 +1,181 @@
+//! Variable-ordering heuristics for the fault-tree → BDD translation.
+//!
+//! BDD sizes are notoriously sensitive to the variable order (Section V-A
+//! of the paper). This module provides the static orderings compared in the
+//! `ablation_ordering` benchmark, including a weight-based heuristic in the
+//! spirit of Bouissou's RAMS'96 ordering (reference [6] of the paper).
+
+use std::collections::VecDeque;
+
+use crate::model::{ElementId, FaultTree};
+
+/// Strategy for ordering the basic events of a fault tree as BDD
+/// variables (top of the order first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum VariableOrdering {
+    /// Basic events in declaration order.
+    Declaration,
+    /// First visit in a depth-first, left-to-right traversal from the top
+    /// element — the classical FTA ordering, and the default.
+    #[default]
+    DfsPreorder,
+    /// First visit in a breadth-first traversal from the top element.
+    BfsLevel,
+    /// Bouissou-style weight heuristic: basic events sorted by the minimum
+    /// depth at which they occur (shallow first), ties broken by DFS rank.
+    /// Repeated events rise towards the root, which tends to keep shared
+    /// cones together.
+    BouissouWeight,
+}
+
+impl VariableOrdering {
+    /// Computes the ordered list of basic events for `tree` (first element
+    /// = top-most BDD variable).
+    ///
+    /// The result is always a permutation of
+    /// [`basic_events`](FaultTree::basic_events).
+    pub fn order(self, tree: &FaultTree) -> Vec<ElementId> {
+        match self {
+            VariableOrdering::Declaration => tree.basic_events().to_vec(),
+            VariableOrdering::DfsPreorder => dfs_order(tree),
+            VariableOrdering::BfsLevel => bfs_order(tree),
+            VariableOrdering::BouissouWeight => bouissou_order(tree),
+        }
+    }
+
+    /// All orderings, for sweeps and benchmarks.
+    pub fn all() -> [VariableOrdering; 4] {
+        [
+            VariableOrdering::Declaration,
+            VariableOrdering::DfsPreorder,
+            VariableOrdering::BfsLevel,
+            VariableOrdering::BouissouWeight,
+        ]
+    }
+}
+
+fn dfs_order(tree: &FaultTree) -> Vec<ElementId> {
+    let mut seen = vec![false; tree.len()];
+    let mut out = Vec::with_capacity(tree.num_basic_events());
+    let mut stack = vec![tree.top()];
+    while let Some(e) = stack.pop() {
+        if seen[e.index()] {
+            continue;
+        }
+        seen[e.index()] = true;
+        if tree.is_basic(e) {
+            out.push(e);
+        } else {
+            // Push in reverse so the left-most child is visited first.
+            for &c in tree.children(e).iter().rev() {
+                stack.push(c);
+            }
+        }
+    }
+    out
+}
+
+fn bfs_order(tree: &FaultTree) -> Vec<ElementId> {
+    let mut seen = vec![false; tree.len()];
+    let mut out = Vec::with_capacity(tree.num_basic_events());
+    let mut queue = VecDeque::from([tree.top()]);
+    seen[tree.top().index()] = true;
+    while let Some(e) = queue.pop_front() {
+        if tree.is_basic(e) {
+            out.push(e);
+        } else {
+            for &c in tree.children(e) {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bouissou_order(tree: &FaultTree) -> Vec<ElementId> {
+    // Minimum depth of each element from the top.
+    let mut depth = vec![usize::MAX; tree.len()];
+    let mut queue = VecDeque::from([(tree.top(), 0usize)]);
+    while let Some((e, d)) = queue.pop_front() {
+        if d >= depth[e.index()] {
+            continue;
+        }
+        depth[e.index()] = d;
+        for &c in tree.children(e) {
+            queue.push_back((c, d + 1));
+        }
+    }
+    // DFS rank as tie-breaker keeps related leaves adjacent.
+    let dfs = dfs_order(tree);
+    let mut rank = vec![0usize; tree.len()];
+    for (i, &e) in dfs.iter().enumerate() {
+        rank[e.index()] = i;
+    }
+    let mut order = dfs;
+    order.sort_by_key(|&e| (depth[e.index()], rank[e.index()]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultTreeBuilder, GateType};
+
+    fn sample() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        b.basic_events(["d1", "d2", "s"]).unwrap();
+        b.gate("g1", GateType::And, ["d1", "s"]).unwrap();
+        b.gate("g2", GateType::And, ["s", "d2"]).unwrap();
+        b.gate("top", GateType::Or, ["g1", "g2", "s"]).unwrap();
+        b.build("top").unwrap()
+    }
+
+    fn names(tree: &FaultTree, order: &[ElementId]) -> Vec<String> {
+        order.iter().map(|&e| tree.name(e).to_string()).collect()
+    }
+
+    #[test]
+    fn every_ordering_is_a_permutation() {
+        let t = sample();
+        for ord in VariableOrdering::all() {
+            let mut o = ord.order(&t);
+            assert_eq!(o.len(), t.num_basic_events(), "{ord:?}");
+            o.sort();
+            let mut expect = t.basic_events().to_vec();
+            expect.sort();
+            assert_eq!(o, expect, "{ord:?}");
+        }
+    }
+
+    #[test]
+    fn dfs_is_left_to_right() {
+        let t = sample();
+        let o = VariableOrdering::DfsPreorder.order(&t);
+        assert_eq!(names(&t, &o), vec!["d1", "s", "d2"]);
+    }
+
+    #[test]
+    fn bouissou_prefers_shallow_events() {
+        let t = sample();
+        let o = VariableOrdering::BouissouWeight.order(&t);
+        // `s` occurs directly under the top (depth 1) as well as at depth 2,
+        // so it is ordered first.
+        assert_eq!(names(&t, &o)[0], "s");
+    }
+
+    #[test]
+    fn declaration_order_is_stable() {
+        let t = sample();
+        let o = VariableOrdering::Declaration.order(&t);
+        assert_eq!(names(&t, &o), vec!["d1", "d2", "s"]);
+    }
+
+    #[test]
+    fn default_is_dfs() {
+        assert_eq!(VariableOrdering::default(), VariableOrdering::DfsPreorder);
+    }
+}

@@ -1,0 +1,230 @@
+//! Probability layer — the paper's first future-work item ("extend BFL to
+//! model probabilities").
+//!
+//! Given independent basic-event failure probabilities, the top-event
+//! (or any element's) failure probability is computed *exactly* by a
+//! Shannon recursion over the element's BDD — the classical
+//! Rauzy-style quantitative fault-tree analysis. On top of it we provide
+//! the two most common importance measures.
+
+use std::collections::HashMap;
+
+use bfl_bdd::Bdd;
+
+use crate::bdd::TreeBdd;
+use crate::model::{ElementId, FaultTree};
+
+/// Validates a probability slice (one entry per basic index).
+///
+/// # Errors
+///
+/// Returns a message naming the offending basic event if the length is
+/// wrong or a value is outside `[0, 1]` or not finite.
+pub fn validate_probabilities(tree: &FaultTree, probs: &[f64]) -> Result<(), String> {
+    if probs.len() != tree.num_basic_events() {
+        return Err(format!(
+            "expected {} probabilities, got {}",
+            tree.num_basic_events(),
+            probs.len()
+        ));
+    }
+    for (i, &p) in probs.iter().enumerate() {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(format!(
+                "probability of `{}` is {p}, outside [0, 1]",
+                tree.name(tree.basic_events()[i])
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Exact failure probability of the function `f` under independent
+/// basic-event probabilities `probs` (indexed by basic index).
+///
+/// # Panics
+///
+/// Panics if `probs` fails [`validate_probabilities`] for the `TreeBdd`'s
+/// tree, or if `f` mentions primed variables.
+pub fn bdd_probability(tree: &FaultTree, tb: &TreeBdd, f: Bdd, probs: &[f64]) -> f64 {
+    validate_probabilities(tree, probs).expect("invalid probabilities");
+    let mut memo: HashMap<u32, f64> = HashMap::new();
+    probability_rec(tree, tb, f, probs, &mut memo)
+}
+
+fn probability_rec(
+    tree: &FaultTree,
+    tb: &TreeBdd,
+    f: Bdd,
+    probs: &[f64],
+    memo: &mut HashMap<u32, f64>,
+) -> f64 {
+    if f.is_false() {
+        return 0.0;
+    }
+    if f.is_true() {
+        return 1.0;
+    }
+    if let Some(&p) = memo.get(&f.id()) {
+        return p;
+    }
+    let node = tb.manager().node(f);
+    let bi = tb
+        .basic_of_var(node.var)
+        .expect("probability of a primed variable");
+    let _ = tree; // tree is only used for validation and error reporting
+    let p = probs[bi];
+    let lo = probability_rec(tree, tb, node.low, probs, memo);
+    let hi = probability_rec(tree, tb, node.high, probs, memo);
+    let r = (1.0 - p) * lo + p * hi;
+    memo.insert(f.id(), r);
+    r
+}
+
+/// Exact failure probability of element `e` of `tree`.
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::{corpus, prob};
+/// let tree = corpus::or2();
+/// // P(Top) = 1 - (1-0.1)(1-0.2) = 0.28
+/// let p = prob::element_probability(&tree, tree.top(), &[0.1, 0.2]);
+/// assert!((p - 0.28).abs() < 1e-12);
+/// ```
+pub fn element_probability(tree: &FaultTree, e: ElementId, probs: &[f64]) -> f64 {
+    let mut tb = TreeBdd::new(tree, crate::order::VariableOrdering::DfsPreorder);
+    let f = tb.element_bdd(tree, e);
+    bdd_probability(tree, &tb, f, probs)
+}
+
+/// Top-event unreliability.
+pub fn top_event_probability(tree: &FaultTree, probs: &[f64]) -> f64 {
+    element_probability(tree, tree.top(), probs)
+}
+
+/// Birnbaum importance of basic event `be` for element `e`:
+/// `I_B = P(e fails | be failed) − P(e fails | be operational)`.
+///
+/// # Panics
+///
+/// Panics if `be` is not a basic event or `probs` is invalid.
+pub fn birnbaum_importance(tree: &FaultTree, e: ElementId, be: ElementId, probs: &[f64]) -> f64 {
+    let bi = tree
+        .basic_index(be)
+        .unwrap_or_else(|| panic!("`{}` is not a basic event", tree.name(be)));
+    let mut hi = probs.to_vec();
+    hi[bi] = 1.0;
+    let mut lo = probs.to_vec();
+    lo[bi] = 0.0;
+    element_probability(tree, e, &hi) - element_probability(tree, e, &lo)
+}
+
+/// Improvement potential of basic event `be` for element `e`:
+/// `I_IP = P(e fails) − P(e fails | be operational)`.
+///
+/// # Panics
+///
+/// Panics if `be` is not a basic event or `probs` is invalid.
+pub fn improvement_potential(
+    tree: &FaultTree,
+    e: ElementId,
+    be: ElementId,
+    probs: &[f64],
+) -> f64 {
+    let bi = tree
+        .basic_index(be)
+        .unwrap_or_else(|| panic!("`{}` is not a basic event", tree.name(be)));
+    let mut lo = probs.to_vec();
+    lo[bi] = 0.0;
+    element_probability(tree, e, probs) - element_probability(tree, e, &lo)
+}
+
+/// Exhaustive reference: probability by summing over all `2^n` vectors.
+/// Used as ground truth in tests.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 20 basic events.
+pub fn probability_naive(tree: &FaultTree, e: ElementId, probs: &[f64]) -> f64 {
+    assert!(tree.num_basic_events() <= 20, "naive engine limited to 20 events");
+    validate_probabilities(tree, probs).expect("invalid probabilities");
+    let mut total = 0.0;
+    for b in crate::status::StatusVector::enumerate_all(tree.num_basic_events()) {
+        if tree.evaluate(&b, e) {
+            let mut w = 1.0;
+            for (i, &p) in probs.iter().enumerate() {
+                w *= if b.get(i) { p } else { 1.0 - p };
+            }
+            total += w;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn and_gate_probability_is_product() {
+        let tree = corpus::fig1();
+        let cp = tree.element("CP").unwrap();
+        // CP = AND(IW, H3); order of basics: IW H3 IT H2
+        let probs = [0.3, 0.5, 0.0, 0.0];
+        let p = element_probability(&tree, cp, &probs);
+        assert!((p - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_on_covid() {
+        let tree = corpus::covid();
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n).map(|i| 0.05 + 0.9 * (i as f64) / (n as f64)).collect();
+        let fast = top_event_probability(&tree, &probs);
+        let slow = probability_naive(&tree, tree.top(), &probs);
+        assert!((fast - slow).abs() < 1e-10, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn repeated_events_handled_exactly() {
+        // x OR x must have probability p, not 1-(1-p)^2.
+        let mut b = crate::FaultTreeBuilder::new();
+        b.basic_event("x").unwrap();
+        b.gate("top", crate::GateType::Or, ["x", "x"]).unwrap();
+        let tree = b.build("top").unwrap();
+        let p = top_event_probability(&tree, &[0.3]);
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birnbaum_of_series_system() {
+        // Top = OR(a, b): I_B(a) = 1 - P(b)
+        let tree = corpus::or2();
+        let a = tree.element("e1").unwrap();
+        let i = birnbaum_importance(&tree, tree.top(), a, &[0.1, 0.2]);
+        assert!((i - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_potential_bounds() {
+        let tree = corpus::covid();
+        let n = tree.num_basic_events();
+        let probs = vec![0.1; n];
+        let top_p = top_event_probability(&tree, &probs);
+        for &be in tree.basic_events() {
+            let ip = improvement_potential(&tree, tree.top(), be, &probs);
+            assert!(ip >= -1e-12 && ip <= top_p + 1e-12, "{}", tree.name(be));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let tree = corpus::or2();
+        assert!(validate_probabilities(&tree, &[0.5]).is_err());
+        assert!(validate_probabilities(&tree, &[0.5, 1.5]).is_err());
+        assert!(validate_probabilities(&tree, &[0.5, f64::NAN]).is_err());
+        assert!(validate_probabilities(&tree, &[0.0, 1.0]).is_ok());
+    }
+}

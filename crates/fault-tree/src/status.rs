@@ -1,0 +1,247 @@
+//! Status vectors (Definition 2): one bit per basic event, `1` = failed.
+
+use std::fmt;
+
+use crate::model::FaultTree;
+
+/// A status vector `b = (b_1, …, b_n)` over the basic events of a fault
+/// tree: bit `i` is `1` iff the `i`-th basic event (in
+/// [`basic_events`](crate::FaultTree::basic_events) order) has failed.
+///
+/// Vectors are compared as *sets of failed events*: `b′ ⊂ b` means the
+/// failed set of `b′` is a strict subset of that of `b` — the order used by
+/// the `MCS`/`MPS` semantics.
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::StatusVector;
+/// let b = StatusVector::from_bits([false, true, false]);
+/// let c = StatusVector::from_bits([true, true, false]);
+/// assert!(b.is_strict_subset_of(&c));
+/// assert_eq!(b.to_string(), "010");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl StatusVector {
+    /// The all-operational vector of length `len`.
+    pub fn all_operational(len: usize) -> Self {
+        StatusVector {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The all-failed vector of length `len`.
+    pub fn all_failed(len: usize) -> Self {
+        let mut v = Self::all_operational(len);
+        for i in 0..len {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Builds a vector from explicit bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = Self::all_operational(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            v.set(i, *b);
+        }
+        v
+    }
+
+    /// Builds the vector for `tree` in which exactly the named basic
+    /// events have failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown or names a gate; use
+    /// [`FaultTree::require`] for fallible lookup.
+    pub fn from_failed_names(tree: &FaultTree, failed: &[&str]) -> Self {
+        let mut v = Self::all_operational(tree.num_basic_events());
+        for name in failed {
+            let e = tree
+                .element(name)
+                .unwrap_or_else(|| panic!("unknown element `{name}`"));
+            let idx = tree
+                .basic_index(e)
+                .unwrap_or_else(|| panic!("`{name}` is not a basic event"));
+            v.set(idx, true);
+        }
+        v
+    }
+
+    /// Number of basic events covered by this vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty (no basic events).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The status of basic event `i` (`true` = failed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the status of basic event `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, failed: bool) {
+        assert!(i < self.len, "index {i} out of range");
+        if failed {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Returns a copy with bit `i` set to `failed`.
+    pub fn with(&self, i: usize, failed: bool) -> Self {
+        let mut v = self.clone();
+        v.set(i, failed);
+        v
+    }
+
+    /// Number of failed basic events.
+    pub fn count_failed(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of failed basic events, ascending.
+    pub fn failed_indices(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+
+    /// Names of failed basic events of `tree`, in basic-index order.
+    pub fn failed_names<'t>(&self, tree: &'t FaultTree) -> Vec<&'t str> {
+        self.failed_indices()
+            .into_iter()
+            .map(|i| tree.name(tree.basic_events()[i]))
+            .collect()
+    }
+
+    /// Iterates over all bits (`true` = failed).
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// Set inclusion on failed events: `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Strict set inclusion on failed events: `self ⊂ other`.
+    pub fn is_strict_subset_of(&self, other: &Self) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// Enumerates every vector of length `len` (all `2^len` combinations),
+    /// in increasing binary order with index 0 as the least-significant
+    /// bit. Intended for small `len` in tests and reference algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn enumerate_all(len: usize) -> impl Iterator<Item = StatusVector> {
+        assert!(len <= 32, "exhaustive enumeration limited to 32 events");
+        (0..(1u64 << len)).map(move |bits| {
+            StatusVector::from_bits((0..len).map(|i| (bits >> i) & 1 == 1))
+        })
+    }
+}
+
+impl fmt::Display for StatusVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for StatusVector {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultTreeBuilder, GateType};
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut v = StatusVector::all_operational(70);
+        v.set(0, true);
+        v.set(65, true);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(65));
+        assert_eq!(v.count_failed(), 2);
+        assert_eq!(v.failed_indices(), vec![0, 65]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = StatusVector::from_bits([true, false, false]);
+        let b = StatusVector::from_bits([true, true, false]);
+        assert!(a.is_subset_of(&b));
+        assert!(a.is_strict_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(!a.is_strict_subset_of(&a));
+        let c = StatusVector::from_bits([false, false, true]);
+        assert!(!a.is_subset_of(&c));
+        assert!(!c.is_subset_of(&a));
+    }
+
+    #[test]
+    fn from_failed_names_maps_indices() {
+        let mut b = FaultTreeBuilder::new();
+        b.basic_events(["x", "y", "z"]).unwrap();
+        b.gate("top", GateType::Or, ["x", "y", "z"]).unwrap();
+        let t = b.build("top").unwrap();
+        let v = StatusVector::from_failed_names(&t, &["y"]);
+        assert_eq!(v.to_string(), "010");
+        assert_eq!(v.failed_names(&t), vec!["y"]);
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        assert_eq!(StatusVector::enumerate_all(4).count(), 16);
+        let first = StatusVector::enumerate_all(2).next().unwrap();
+        assert_eq!(first.to_string(), "00");
+    }
+
+    #[test]
+    fn display_is_bitstring() {
+        let v = StatusVector::from_bits([false, true]);
+        assert_eq!(format!("{v}"), "01");
+    }
+
+    #[test]
+    fn all_failed_sets_every_bit() {
+        let v = StatusVector::all_failed(65);
+        assert_eq!(v.count_failed(), 65);
+    }
+}

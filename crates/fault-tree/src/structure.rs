@@ -1,0 +1,160 @@
+//! The structure function `Φ_T` of Definition 2.
+
+use crate::model::{ElementId, FaultTree, GateType};
+use crate::status::StatusVector;
+
+impl FaultTree {
+    /// Evaluates the structure function `Φ_T(b, e)`: the status of element
+    /// `e` (`true` = failed) given the status vector `b` over the basic
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not have exactly
+    /// [`num_basic_events`](FaultTree::num_basic_events) bits.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_fault_tree::{corpus, StatusVector};
+    /// let tree = corpus::fig1();
+    /// let b = StatusVector::from_failed_names(&tree, &["IW", "H3"]);
+    /// assert!(tree.evaluate(&b, tree.top()));
+    /// ```
+    pub fn evaluate(&self, b: &StatusVector, e: ElementId) -> bool {
+        let statuses = self.evaluate_all(b);
+        statuses[e.index()]
+    }
+
+    /// Evaluates the structure function for *every* element at once,
+    /// returning a vector indexed by [`ElementId::index`]. Shared subtrees
+    /// are evaluated once (the tree is a DAG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn evaluate_all(&self, b: &StatusVector) -> Vec<bool> {
+        assert_eq!(
+            b.len(),
+            self.num_basic_events(),
+            "status vector length {} does not match |BE| = {}",
+            b.len(),
+            self.num_basic_events()
+        );
+        let mut value = vec![false; self.len()];
+        let mut done = vec![false; self.len()];
+        // Iterative post-order over the DAG from the top; every element is
+        // reachable from the top in a well-formed tree.
+        let mut stack: Vec<(ElementId, bool)> = vec![(self.top(), false)];
+        while let Some((e, expanded)) = stack.pop() {
+            if done[e.index()] {
+                continue;
+            }
+            if let Some(bi) = self.basic_index(e) {
+                value[e.index()] = b.get(bi);
+                done[e.index()] = true;
+                continue;
+            }
+            if !expanded {
+                stack.push((e, true));
+                for &c in self.children(e) {
+                    if !done[c.index()] {
+                        stack.push((c, false));
+                    }
+                }
+                continue;
+            }
+            let children = self.children(e);
+            let failed_children = children.iter().filter(|&&c| value[c.index()]).count();
+            value[e.index()] = match self.gate_type(e).expect("gate") {
+                GateType::And => failed_children == children.len(),
+                GateType::Or => failed_children >= 1,
+                GateType::Vot { k } => failed_children >= k as usize,
+            };
+            done[e.index()] = true;
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultTreeBuilder, GateType, StatusVector};
+
+    fn tree_and_or() -> FaultTree {
+        let mut b = FaultTreeBuilder::new();
+        b.basic_events(["a", "b", "c"]).unwrap();
+        b.gate("g", GateType::And, ["a", "b"]).unwrap();
+        b.gate("top", GateType::Or, ["g", "c"]).unwrap();
+        b.build("top").unwrap()
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let t = tree_and_or();
+        let cases = [
+            // (a, b, c) -> top
+            ([false, false, false], false),
+            ([true, false, false], false),
+            ([true, true, false], true),
+            ([false, false, true], true),
+            ([true, true, true], true),
+        ];
+        for (bits, expect) in cases {
+            let v = StatusVector::from_bits(bits);
+            assert_eq!(t.evaluate(&v, t.top()), expect, "bits {bits:?}");
+        }
+    }
+
+    #[test]
+    fn vot_semantics_matches_counting() {
+        for k in 1..=3u32 {
+            let mut b = FaultTreeBuilder::new();
+            b.basic_events(["a", "b", "c"]).unwrap();
+            b.gate("top", GateType::Vot { k }, ["a", "b", "c"]).unwrap();
+            let t = b.build("top").unwrap();
+            for v in StatusVector::enumerate_all(3) {
+                let expect = v.count_failed() >= k as usize;
+                assert_eq!(t.evaluate(&v, t.top()), expect, "k={k} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_elements_evaluated() {
+        let t = tree_and_or();
+        let g = t.element("g").unwrap();
+        let v = StatusVector::from_bits([true, true, false]);
+        assert!(t.evaluate(&v, g));
+        let statuses = t.evaluate_all(&v);
+        assert!(statuses[g.index()]);
+        assert!(statuses[t.top().index()]);
+        let c = t.element("c").unwrap();
+        assert!(!statuses[c.index()]);
+    }
+
+    #[test]
+    fn vot_1_is_or_and_vot_n_is_and() {
+        let mut b1 = FaultTreeBuilder::new();
+        b1.basic_events(["a", "b"]).unwrap();
+        b1.gate("top", GateType::Vot { k: 1 }, ["a", "b"]).unwrap();
+        let t1 = b1.build("top").unwrap();
+        let mut b2 = FaultTreeBuilder::new();
+        b2.basic_events(["a", "b"]).unwrap();
+        b2.gate("top", GateType::Vot { k: 2 }, ["a", "b"]).unwrap();
+        let t2 = b2.build("top").unwrap();
+        for v in StatusVector::enumerate_all(2) {
+            assert_eq!(t1.evaluate(&v, t1.top()), v.count_failed() >= 1);
+            assert_eq!(t2.evaluate(&v, t2.top()), v.count_failed() == 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn wrong_length_panics() {
+        let t = tree_and_or();
+        let v = StatusVector::all_operational(2);
+        let _ = t.evaluate(&v, t.top());
+    }
+}

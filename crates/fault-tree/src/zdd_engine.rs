@@ -1,0 +1,233 @@
+//! Bottom-up minimal-cut-set computation on zero-suppressed decision
+//! diagrams — Rauzy's classical algorithm ("New algorithms for fault
+//! trees analysis", reference [5] of the paper), our third independent
+//! MCS engine.
+//!
+//! Cut-set families are composed structurally: a basic event contributes
+//! the singleton family `{{e}}`, an OR gate the minimised union of its
+//! children's families, an AND gate the minimised product, and a
+//! `VOT(k/N)` gate a dynamic program over union/product. Minimising at
+//! every step is sound for coherent (monotone) trees: a dominated set
+//! can only ever produce dominated compositions.
+//!
+//! The engine cross-checks against the `minsol` BDD engine and the
+//! paper's primed construction in the test-suite, and is compared against
+//! them in the `ablation_mcs_engine` benchmark.
+
+use bfl_bdd::{Var, Zdd, ZddManager};
+
+use crate::model::{ElementId, FaultTree, GateType};
+use crate::order::VariableOrdering;
+
+/// Minimal cut sets of `e` computed bottom-up on ZDDs, as canonically
+/// ordered sets of basic-event indices (same contract as
+/// [`minimal_cut_sets`](crate::analysis::minimal_cut_sets)).
+pub fn minimal_cut_sets_zdd(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+    let families = cut_set_families(tree, e);
+    extract(tree, &families.manager, families.family_of(e))
+}
+
+/// Number of minimal cut sets of `e`, by ZDD counting.
+pub fn count_minimal_cut_sets_zdd(tree: &FaultTree, e: ElementId) -> u128 {
+    let families = cut_set_families(tree, e);
+    families.manager.count(families.family_of(e))
+}
+
+/// The cut-set families of every element in the cone of `e`.
+pub struct CutSetFamilies {
+    /// The ZDD manager holding all families.
+    pub manager: ZddManager,
+    /// Per element index: the family handle (unset elements map to the
+    /// empty family).
+    families: Vec<Option<Zdd>>,
+    /// basic index -> ZDD variable position.
+    position: Vec<usize>,
+}
+
+impl CutSetFamilies {
+    /// The family computed for `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` was outside the requested cone.
+    pub fn family_of(&self, e: ElementId) -> Zdd {
+        self.families[e.index()].expect("element outside the computed cone")
+    }
+
+    /// The ZDD variable encoding basic index `bi`.
+    pub fn var_of_basic(&self, bi: usize) -> Var {
+        Var(self.position[bi] as u32)
+    }
+}
+
+/// Computes cut-set families bottom-up for the cone of `e`, using the DFS
+/// variable ordering (shared with the BDD engines).
+pub fn cut_set_families(tree: &FaultTree, e: ElementId) -> CutSetFamilies {
+    let order = VariableOrdering::DfsPreorder.order(tree);
+    let mut position = vec![usize::MAX; tree.num_basic_events()];
+    for (pos, &be) in order.iter().enumerate() {
+        position[tree.basic_index(be).expect("basic")] = pos;
+    }
+    let mut manager = ZddManager::new(tree.num_basic_events() as u32);
+    let mut families: Vec<Option<Zdd>> = vec![None; tree.len()];
+
+    // Iterative post-order over the cone.
+    let mut stack = vec![(e, false)];
+    while let Some((x, expanded)) = stack.pop() {
+        if families[x.index()].is_some() {
+            continue;
+        }
+        if let Some(bi) = tree.basic_index(x) {
+            let v = Var(position[bi] as u32);
+            families[x.index()] = Some(manager.singleton(v));
+            continue;
+        }
+        if !expanded {
+            stack.push((x, true));
+            for &c in tree.children(x) {
+                stack.push((c, false));
+            }
+            continue;
+        }
+        let children: Vec<Zdd> = tree
+            .children(x)
+            .iter()
+            .map(|c| families[c.index()].expect("post-order"))
+            .collect();
+        let family = match tree.gate_type(x).expect("gate") {
+            GateType::Or => {
+                let mut acc = manager.empty();
+                for c in children {
+                    acc = manager.union(acc, c);
+                }
+                manager.minimal(acc)
+            }
+            GateType::And => {
+                let mut acc = manager.unit();
+                for c in children {
+                    acc = manager.product(acc, c);
+                    acc = manager.minimal(acc);
+                }
+                acc
+            }
+            GateType::Vot { k } => vot_family(&mut manager, &children, k),
+        };
+        families[x.index()] = Some(family);
+    }
+    CutSetFamilies {
+        manager,
+        families,
+        position,
+    }
+}
+
+/// "At least `k` of `children` fail" as a cut-set family, by the same
+/// dynamic program as the BDD translation, with minimisation per step.
+fn vot_family(m: &mut ZddManager, children: &[Zdd], k: u32) -> Zdd {
+    let k = k as usize;
+    if k == 0 {
+        return m.unit();
+    }
+    if k > children.len() {
+        return m.empty();
+    }
+    let mut row: Vec<Zdd> = vec![m.empty(); k + 1];
+    row[0] = m.unit();
+    for &c in children {
+        for j in (1..=k).rev() {
+            let with = m.product(c, row[j - 1]);
+            let u = m.union(with, row[j]);
+            row[j] = m.minimal(u);
+        }
+    }
+    row[k]
+}
+
+fn extract(tree: &FaultTree, manager: &ZddManager, family: Zdd) -> Vec<Vec<usize>> {
+    // Invert position -> basic index.
+    let order = VariableOrdering::DfsPreorder.order(tree);
+    let mut sets: Vec<Vec<usize>> = manager
+        .sets(family)
+        .into_iter()
+        .map(|vars| {
+            let mut s: Vec<usize> = vars
+                .into_iter()
+                .map(|v| tree.basic_index(order[v.0 as usize]).expect("basic"))
+                .collect();
+            s.sort_unstable();
+            s
+        })
+        .collect();
+    sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    sets.dedup();
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analysis, corpus};
+
+    #[test]
+    fn agrees_with_minsol_on_corpus() {
+        for tree in [
+            corpus::fig1(),
+            corpus::covid(),
+            corpus::table1_tree(),
+            corpus::pressure_tank(),
+            corpus::attack_tree(),
+            corpus::kofn(2, 4),
+            corpus::kofn(3, 5),
+        ] {
+            assert_eq!(
+                minimal_cut_sets_zdd(&tree, tree.top()),
+                analysis::minimal_cut_sets(&tree, tree.top()),
+                "{}",
+                tree.name(tree.top())
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_on_intermediate_elements() {
+        let tree = corpus::covid();
+        for name in ["MoT", "CT", "CIS", "SH", "CP/R"] {
+            let e = tree.element(name).unwrap();
+            assert_eq!(
+                minimal_cut_sets_zdd(&tree, e),
+                analysis::minimal_cut_sets(&tree, e),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let tree = corpus::covid();
+        assert_eq!(count_minimal_cut_sets_zdd(&tree, tree.top()), 12);
+        assert_eq!(
+            count_minimal_cut_sets_zdd(&tree, tree.top()),
+            analysis::count_minimal_cut_sets(&tree, tree.top())
+        );
+    }
+
+    #[test]
+    fn counting_scales_on_deep_chains() {
+        let tree = corpus::chain(10);
+        let zdd_count = count_minimal_cut_sets_zdd(&tree, tree.top());
+        let bdd_count = analysis::count_minimal_cut_sets(&tree, tree.top());
+        assert_eq!(zdd_count, bdd_count);
+        assert!(zdd_count > 1_000_000_000);
+    }
+
+    #[test]
+    fn repeated_events_handled() {
+        // top = AND(OR(x, y), x): MCS = {{x}} despite the repetition.
+        let mut b = crate::FaultTreeBuilder::new();
+        b.basic_events(["x", "y"]).unwrap();
+        b.gate("g", crate::GateType::Or, ["x", "y"]).unwrap();
+        b.gate("top", crate::GateType::And, ["g", "x"]).unwrap();
+        let tree = b.build("top").unwrap();
+        assert_eq!(minimal_cut_sets_zdd(&tree, tree.top()), vec![vec![0]]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Counterexample generation (Section VI): Table I reproduced with
+//! failure-propagation renderings.
+//!
+//! Run with: `cargo run --example counterexamples`
+
+use bfl::logic::patterns::{table1_rows, table1_tree};
+use bfl::logic::render;
+use bfl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = table1_tree();
+    println!("Tree of Section VI: e1 = AND(e2, e3), e3 = OR(e4, e5)");
+    println!("status vectors are ordered (e2, e4, e5)\n");
+
+    for (i, row) in table1_rows().iter().enumerate() {
+        let mut mc = ModelChecker::new(&tree);
+        if row.needs_support_scope {
+            mc.set_minimality_scope(MinimalityScope::FormulaSupport);
+        }
+        println!("── Table I, row {} ── {} ──", i + 1, row.pattern.name());
+        println!("χ = {}", row.formula);
+        println!("example vector b = {} (b ⊨ χ: {})", row.example, mc.holds(&row.example, &row.formula)?);
+        match counterexample(&mut mc, &row.example, &row.formula)? {
+            Counterexample::Found(v) => {
+                println!("Algorithm 4 counterexample b' = {v}");
+                println!(
+                    "paper's counterexample        = {} (both valid per Def. 7: {} / {})",
+                    row.paper_counterexample,
+                    is_valid_counterexample(&mut mc, &row.example, &v, &row.formula)?,
+                    is_valid_counterexample(
+                        &mut mc,
+                        &row.example,
+                        &row.paper_counterexample,
+                        &row.formula
+                    )?
+                );
+                println!("{}", render::counterexample_report(&tree, &row.example, &v));
+            }
+            other => println!("no counterexample: {other:?}"),
+        }
+    }
+
+    // The Section VI warm-up on Fig. 1: {IW, H3, IT} is a cut set but not
+    // an MCS; the counterexample is the MCS {IW, H3} contained in it.
+    let fig1 = bfl::ft::corpus::fig1();
+    let mut mc = ModelChecker::new(&fig1);
+    let b = StatusVector::from_failed_names(&fig1, &["IW", "H3", "IT"]);
+    let phi = parse_formula("MCS(\"CP/R\")")?;
+    println!("── Section VI warm-up on Fig. 1 ──");
+    println!("χ = {phi}, b fails {{IW, H3, IT}}");
+    if let Counterexample::Found(v) = counterexample(&mut mc, &b, &phi)? {
+        println!("counterexample fails {{{}}}", v.failed_names(&fig1).join(", "));
+        println!("{}", render::counterexample_report(&fig1, &b, &v));
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! The full COVID-19 case study of Sections IV and VII: all nine
+//! properties, with the same analysis narrative as the paper.
+//!
+//! Run with: `cargo run --example covid_case_study`
+
+use bfl::prelude::*;
+
+fn show_sets(label: &str, sets: &[Vec<String>]) {
+    println!("{label} ({} sets):", sets.len());
+    for s in sets {
+        println!("    {{{}}}", s.join(", "));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = bfl::ft::corpus::covid();
+    let mut mc = ModelChecker::new(&tree);
+    println!(
+        "COVID-19 fault tree (Fig. 2): {} basic events, {} gates, top = {}\n",
+        tree.num_basic_events(),
+        tree.num_gates(),
+        tree.name(tree.top())
+    );
+
+    // Property 1 ---------------------------------------------------------
+    let q1 = parse_query("forall IS => MoT")?;
+    println!("P1  forall IS => MoT: {}", mc.check_query(&q1)?);
+    let phi = parse_formula("MCS(MoT) & IS")?;
+    let vectors = mc.satisfying_vectors(&phi)?;
+    show_sets("    MCS(MoT) & IS", &mc.vectors_to_failed_sets(&vectors));
+
+    // Property 2 ---------------------------------------------------------
+    let q2 = parse_query("forall MoT => H1 | H2 | H3 | H4 | H5")?;
+    println!("P2  forall MoT => any human error: {}", mc.check_query(&q2)?);
+    println!("    (droplet/airborne transmission needs no human error)");
+
+    // Property 3 ---------------------------------------------------------
+    let q3 = parse_query("forall H4 => IWoS")?;
+    println!("P3  forall H4 => IWoS: {}", mc.check_query(&q3)?);
+
+    // Property 4 ---------------------------------------------------------
+    let q4 = parse_query("forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS")?;
+    println!("P4  forall VOT(>=2; H1..H5) => IWoS: {}", mc.check_query(&q4)?);
+    let phi4 = parse_formula(
+        "MCS(IWoS) & H1 | MCS(IWoS) & H2 | MCS(IWoS) & H3 | MCS(IWoS) & H4 | MCS(IWoS) & H5",
+    )?;
+    println!(
+        "    MCSs requiring a human error: {}",
+        mc.count_satisfying(&phi4)?
+    );
+
+    // Property 5 ---------------------------------------------------------
+    let phi5 = parse_formula("MCS(IWoS) & H4")?;
+    let vectors = mc.satisfying_vectors(&phi5)?;
+    show_sets("P5  MCS(IWoS) & H4", &mc.vectors_to_failed_sets(&vectors));
+
+    // Property 6 ---------------------------------------------------------
+    let humans = ["H1", "H2", "H3", "H4", "H5"];
+    let mut phi6 = parse_formula("MPS(IWoS)")?;
+    for h in humans {
+        phi6 = phi6.with_evidence(h, false);
+    }
+    for &be in tree.basic_events() {
+        let name = tree.name(be);
+        if !humans.contains(&name) {
+            phi6 = phi6.with_evidence(name, true);
+        }
+    }
+    println!(
+        "P6  exists MPS(IWoS)[H1..H5 := 0, rest := 1]: {}",
+        mc.check_query(&Query::Exists(phi6))?
+    );
+    println!("    (avoiding all five human errors prevents the TLE, but not minimally;");
+    println!("     the minimal ways within the human errors are {{H1}} and {{H2, H3}})");
+
+    // Property 7 ---------------------------------------------------------
+    let mps = mc.minimal_path_sets("IWoS")?;
+    show_sets("P7  MPS(IWoS)", &mps);
+
+    // Property 8 ---------------------------------------------------------
+    let q8 = parse_query("IDP(CIO, CIS)")?;
+    println!("P8  IDP(CIO, CIS): {}", mc.check_query(&q8)?);
+    println!(
+        "    IBE(CIO) = {:?}, IBE(CIS) = {:?}",
+        mc.influencing_basic_events(&parse_formula("CIO")?)?,
+        mc.influencing_basic_events(&parse_formula("CIS")?)?
+    );
+
+    // Property 9 ---------------------------------------------------------
+    let q9 = parse_query("SUP(PP)")?;
+    println!("P9  SUP(PP): {}", mc.check_query(&q9)?);
+    println!("    (PP is not superfluous: it must not be removed from the tree)");
+
+    Ok(())
+}

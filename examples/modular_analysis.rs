@@ -1,0 +1,72 @@
+//! Module detection and compositional reasoning: where the `IDP` operator
+//! of the logic meets the classical notion of fault-tree modules.
+//!
+//! Run with: `cargo run --example modular_analysis`
+
+use bfl::ft::modules;
+use bfl::prelude::*;
+
+fn report(tree: &FaultTree, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("── {label} ──");
+    let mods = modules::modules(tree);
+    let names: Vec<&str> = mods.iter().map(|&g| tree.name(g)).collect();
+    println!("modules: {names:?}");
+
+    // Cross-check with the logic: two disjoint modules are IDP.
+    let mut mc = ModelChecker::new(tree);
+    for (i, &a) in mods.iter().enumerate() {
+        for &b in mods.iter().skip(i + 1) {
+            let cone_a = tree.basic_events_under(a);
+            let cone_b = tree.basic_events_under(b);
+            let disjoint = cone_a.iter().all(|e| !cone_b.contains(e));
+            let nested = cone_a.iter().all(|e| cone_b.contains(e))
+                || cone_b.iter().all(|e| cone_a.contains(e));
+            if disjoint {
+                let q = Query::idp(
+                    Formula::atom(tree.name(a)),
+                    Formula::atom(tree.name(b)),
+                );
+                let idp = mc.check_query(&q)?;
+                println!(
+                    "IDP({}, {}) = {idp}   (disjoint modules are independent)",
+                    tree.name(a),
+                    tree.name(b)
+                );
+                assert!(idp);
+            } else if !nested {
+                println!(
+                    "modules {} and {} overlap without nesting (impossible)",
+                    tree.name(a),
+                    tree.name(b)
+                );
+            }
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The pressure-tank tree has no shared events: every gate is a module
+    // and can be analysed in isolation.
+    report(&bfl::ft::corpus::pressure_tank(), "pressure tank")?;
+
+    // The COVID tree shares IW, IT, PP and H1 across branches: almost
+    // nothing is a module, which is exactly why the paper's IDP queries
+    // are interesting there.
+    report(&bfl::ft::corpus::covid(), "COVID-19 (Fig. 2)")?;
+
+    // Module-local analysis: compute the MCSs of a module independently
+    // and observe they embed into the global analysis unchanged.
+    let tree = bfl::ft::corpus::pressure_tank();
+    let mut mc = ModelChecker::new(&tree);
+    println!("MCS(Overpressure) analysed as its own module:");
+    for s in mc.minimal_cut_sets("Overpressure")? {
+        println!("  {{{}}}", s.join(", "));
+    }
+    println!("MCS(Rupture) — the module's cut sets appear verbatim:");
+    for s in mc.minimal_cut_sets("Rupture")? {
+        println!("  {{{}}}", s.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Quickstart: build a fault tree, ask BFL questions about it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bfl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build the fault tree of the paper's Fig. 1: existence of COVID-19
+    // pathogens (CP) or a COVID-19 reservoir (CR) on the workplace.
+    let mut builder = FaultTreeBuilder::new();
+    builder.basic_events(["IW", "H3", "IT", "H2"])?;
+    builder.gate("CP", GateType::And, ["IW", "H3"])?;
+    builder.gate("CR", GateType::And, ["IT", "H2"])?;
+    builder.gate("CP/R", GateType::Or, ["CP", "CR"])?;
+    let tree = builder.build("CP/R")?;
+
+    let mut mc = ModelChecker::new(&tree);
+
+    // Layer-2 query: does the failure of CP always lead to the top event?
+    let q = parse_query("forall CP => \"CP/R\"")?;
+    println!("forall CP => CP/R          : {}", mc.check_query(&q)?);
+
+    // Layer-1 formula checked against a concrete status vector: is
+    // {IW, H3} a minimal cut set?
+    let phi = parse_formula("MCS(\"CP/R\")")?;
+    let b = StatusVector::from_failed_names(&tree, &["IW", "H3"]);
+    println!("(IW, H3) is an MCS         : {}", mc.holds(&b, &phi)?);
+
+    // Enumerate all minimal cut sets and path sets.
+    println!("minimal cut sets           : {:?}", mc.minimal_cut_sets("CP/R")?);
+    println!("minimal path sets          : {:?}", mc.minimal_path_sets("CP/R")?);
+
+    // What-if scenario via evidence: the MCSs given that H2 cannot occur.
+    let phi = parse_formula("MCS(\"CP/R\")[H2 := 0]")?;
+    let vectors = mc.satisfying_vectors(&phi)?;
+    println!("MCS given H2 impossible    : {:?}", mc.vectors_to_failed_sets(&vectors));
+
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The probability layer (the paper's first future-work item): exact
+//! top-event probability, importance measures, and a probability sweep on
+//! the COVID-19 case study.
+//!
+//! Run with: `cargo run --example reliability`
+
+use bfl::ft::prob;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = bfl::ft::corpus::covid();
+    let n = tree.num_basic_events();
+
+    // A plausible probability profile: hazards are rarer than human errors.
+    let p_of = |name: &str| -> f64 {
+        match name {
+            "IW" => 0.05,  // infected worker joins
+            "IT" => 0.03,  // infected object
+            "IS" => 0.04,  // infected surface
+            "PP" => 0.60,  // physical proximity is common
+            "VW" => 0.20,  // vulnerable worker present
+            "AB" => 0.30,  // no barriers
+            "MV" => 0.25,  // mechanical ventilation
+            "UT" => 0.01,  // unknown transmission
+            _ => 0.10,     // human errors H1..H5
+        }
+    };
+    let probs: Vec<f64> = tree
+        .basic_events()
+        .iter()
+        .map(|&e| p_of(tree.name(e)))
+        .collect();
+
+    let top = prob::top_event_probability(&tree, &probs);
+    println!("P(IWoS) = {top:.6}  ({n} basic events)\n");
+
+    println!("{:<6} {:>12} {:>14}", "event", "Birnbaum", "improvement");
+    let mut rows: Vec<(String, f64, f64)> = tree
+        .basic_events()
+        .iter()
+        .map(|&e| {
+            (
+                tree.name(e).to_string(),
+                prob::birnbaum_importance(&tree, tree.top(), e, &probs),
+                prob::improvement_potential(&tree, tree.top(), e, &probs),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (name, bir, ip) in &rows {
+        println!("{name:<6} {bir:>12.6} {ip:>14.6}");
+    }
+
+    // Sweep: how does the top-event probability react to the rate of
+    // procedure violations (H1, the most critical event)?
+    println!("\nP(IWoS) as a function of P(H1):");
+    let h1 = tree.require("H1")?;
+    let bi = tree.basic_index(h1).expect("basic");
+    for step in 0..=10 {
+        let p = step as f64 / 10.0;
+        let mut ps = probs.clone();
+        ps[bi] = p;
+        println!("  P(H1) = {p:.1}  ->  P(IWoS) = {:.6}", prob::top_event_probability(&tree, &ps));
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # `bfl` — Boolean Fault tree Logic
+//!
+//! Umbrella crate for the BFL suite, a from-scratch Rust implementation of
+//! *"BFL: a Logic to Reason about Fault Trees"* (Nicoletti, Hahn &
+//! Stoelinga, DSN 2022). It re-exports the three member crates:
+//!
+//! * [`bdd`] ([`bfl_bdd`]) — the reduced ordered BDD engine;
+//! * [`ft`] ([`bfl_fault_tree`]) — fault trees: model, structure function,
+//!   Galileo parser, BDD translation, minimal cut/path sets, probability;
+//! * [`logic`] ([`bfl_core`]) — the BFL logic: syntax, DSL, semantics,
+//!   model checking, counterexamples, patterns, synthesis.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture and
+//! `EXPERIMENTS.md` for the paper-reproduction results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bfl::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The COVID-19 fault tree of the paper's case study (Fig. 2).
+//! let tree = bfl::ft::corpus::covid();
+//! let mut mc = ModelChecker::new(&tree);
+//!
+//! // "Are at least 2 human errors sufficient for the top event?" — no:
+//! let q = parse_query("forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS")?;
+//! assert!(!mc.check_query(&q)?);
+//!
+//! // "What are the minimal ways to prevent the top event?"
+//! let mps = mc.minimal_path_sets("IWoS")?;
+//! assert_eq!(mps.len(), 12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bfl_bdd as bdd;
+pub use bfl_core as logic;
+pub use bfl_fault_tree as ft;
+
+/// One-stop imports for applications using the suite.
+pub mod prelude {
+    pub use bfl_core::parser::{parse_formula, parse_query, parse_spec, Spec};
+    pub use bfl_core::{
+        counterexample, is_valid_counterexample, BflError, CmpOp, Counterexample, Formula,
+        MinimalityScope, ModelChecker, Pattern, Query,
+    };
+    pub use bfl_fault_tree::{
+        FaultTree, FaultTreeBuilder, GateType, StatusVector, VariableOrdering,
+    };
+}

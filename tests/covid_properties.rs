@@ -1,0 +1,265 @@
+//! Section IV/VII of the paper: the nine properties of the COVID-19 case
+//! study, checked against the exact published answers.
+//!
+//! Every assertion in this file is an oracle taken verbatim from the
+//! paper; `EXPERIMENTS.md` cross-references them.
+
+use bfl::prelude::*;
+
+fn covid() -> FaultTree {
+    bfl::ft::corpus::covid()
+}
+
+fn sets(names: &[&[&str]]) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = names
+        .iter()
+        .map(|s| {
+            let mut v: Vec<String> = s.iter().map(|x| x.to_string()).collect();
+            v.sort();
+            v
+        })
+        .collect();
+    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    out
+}
+
+/// Property 1: "Is an infected surface sufficient for the transmission of
+/// COVID?" — ∀(IS ⇒ MoT) does **not** hold; the follow-up query
+/// ⟦MCS(MoT) ∧ IS⟧ returns the single MCS {IS, H1, H5}.
+#[test]
+fn property_1_infected_surface() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    let q = parse_query("forall IS => MoT").unwrap();
+    assert!(!mc.check_query(&q).unwrap());
+
+    let phi = parse_formula("MCS(MoT) & IS").unwrap();
+    let vectors = mc.satisfying_vectors(&phi).unwrap();
+    assert_eq!(
+        mc.vectors_to_failed_sets(&vectors),
+        sets(&[&["IS", "H1", "H5"]])
+    );
+}
+
+/// Property 2: "Does the occurrence of Mode of Transmission require human
+/// errors?" — ∀(MoT ⇒ (H1∨H2∨H3∨H4∨H5)) does **not** hold (droplet or
+/// airborne transmission needs no human error).
+#[test]
+fn property_2_human_errors_not_required_for_mot() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    let q = parse_query("forall MoT => H1 | H2 | H3 | H4 | H5").unwrap();
+    assert!(!mc.check_query(&q).unwrap());
+
+    // The paper's explanation: DT or AT can occur with no human error.
+    // Witness: fail exactly {IW, AB} (droplet transmission).
+    let b = StatusVector::from_failed_names(&tree, &["IW", "AB"]);
+    assert!(mc.holds(&b, &parse_formula("MoT").unwrap()).unwrap());
+    assert!(!mc
+        .holds(&b, &parse_formula("H1 | H2 | H3 | H4 | H5").unwrap())
+        .unwrap());
+}
+
+/// Property 3: "Is an object disinfection error sufficient for the
+/// occurrence of the TLE?" — ∀(H4 ⇒ IWoS) does **not** hold.
+#[test]
+fn property_3_h4_not_sufficient() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    let q = parse_query("forall H4 => IWoS").unwrap();
+    assert!(!mc.check_query(&q).unwrap());
+}
+
+/// Property 4: "Are at least 2 human errors sufficient for the occurrence
+/// of the TLE?" — ∀(VOT≥2(H1,…,H5) ⇒ IWoS) does **not** hold; the
+/// follow-up query for MCSs containing a human error returns **twelve**
+/// MCSs.
+#[test]
+fn property_4_two_human_errors_not_sufficient() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    let q = parse_query("forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS").unwrap();
+    assert!(!mc.check_query(&q).unwrap());
+
+    // ⟦(MCS(IWoS)∧H1) ∨ … ∨ (MCS(IWoS)∧H5)⟧ — twelve MCSs.
+    let phi = parse_formula(
+        "MCS(IWoS) & H1 | MCS(IWoS) & H2 | MCS(IWoS) & H3 | MCS(IWoS) & H4 | MCS(IWoS) & H5",
+    )
+    .unwrap();
+    let vectors = mc.satisfying_vectors(&phi).unwrap();
+    assert_eq!(vectors.len(), 12);
+    // Sanity: these are exactly all MCSs (every MCS contains H1).
+    let all = mc.satisfying_vectors(&parse_formula("MCS(IWoS)").unwrap()).unwrap();
+    assert_eq!(vectors, all);
+}
+
+/// Property 5: "What are all the MCSs for the TLE that include errors in
+/// disinfecting objects?" — ⟦MCS(IWoS) ∧ H4⟧ =
+/// {IW, H3, IT, H1, H4, VW} and {IT, H2, H1, H4, VW}.
+#[test]
+fn property_5_mcs_with_h4() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    let phi = parse_formula("MCS(IWoS) & H4").unwrap();
+    let vectors = mc.satisfying_vectors(&phi).unwrap();
+    assert_eq!(
+        mc.vectors_to_failed_sets(&vectors),
+        sets(&[
+            &["IW", "H3", "IT", "H1", "H4", "VW"],
+            &["IT", "H2", "H1", "H4", "VW"],
+        ])
+    );
+}
+
+/// Property 6: "Is not committing any human error sufficient to prevent
+/// the occurrence of the TLE?" — the specific vector (all human errors
+/// operational, everything else failed) is a path set but **not**
+/// minimal, so ∃MPS(IWoS)[H1↦0,…,H5↦0, rest↦1] is false; following
+/// pattern 2, counterexamples identify the MPSs {H1} and {H2, H3}.
+#[test]
+fn property_6_all_human_errors_not_minimal() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+
+    // Build MPS(IWoS)[H1↦0,…,H5↦0, e↦1 for every other basic event].
+    let mut phi = parse_formula("MPS(IWoS)").unwrap();
+    let humans = ["H1", "H2", "H3", "H4", "H5"];
+    for h in humans {
+        phi = phi.with_evidence(h, false);
+    }
+    for &be in tree.basic_events() {
+        let name = tree.name(be);
+        if !humans.contains(&name) {
+            phi = phi.with_evidence(name, true);
+        }
+    }
+    // All variables are fixed by evidence, so ∃ asks for the single
+    // remaining valuation — false, the vector is not maximal.
+    assert!(!mc.check_query(&Query::Exists(phi)).unwrap());
+
+    // The vector itself is a path set (H1 operational keeps SH up)…
+    let failed: Vec<&str> = tree
+        .basic_event_names()
+        .into_iter()
+        .filter(|n| !humans.contains(n))
+        .collect();
+    let b = StatusVector::from_failed_names(&tree, &failed);
+    assert!(tree.is_path_set(&b, tree.top()));
+    // …and the two pattern-2 counterexamples of the paper are MPSs:
+    // {H1} and {H2, H3} (operational sets).
+    let mps = mc.minimal_path_sets("IWoS").unwrap();
+    assert!(mps.contains(&vec!["H1".to_string()]));
+    assert!(mps.contains(&vec!["H2".to_string(), "H3".to_string()]));
+    // Both are reachable from b by Algorithm 4 style revision: check
+    // Def. 7 validity of the corresponding maximal vectors.
+    let phi_mps = parse_formula("MPS(IWoS)").unwrap();
+    for keep in [vec!["H1"], vec!["H2", "H3"]] {
+        let failed: Vec<&str> = tree
+            .basic_event_names()
+            .into_iter()
+            .filter(|n| !keep.contains(n))
+            .collect();
+        let v = StatusVector::from_failed_names(&tree, &failed);
+        assert!(mc.holds(&v, &phi_mps).unwrap(), "{keep:?}");
+        assert!(is_valid_counterexample(&mut mc, &b, &v, &phi_mps).unwrap(), "{keep:?}");
+    }
+}
+
+/// Property 7: "What are all the minimal ways to prevent the occurrence of
+/// the TLE?" — ⟦MPS(IWoS)⟧: the twelve MPSs printed in the paper.
+#[test]
+fn property_7_all_mps() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    let mps = mc.minimal_path_sets("IWoS").unwrap();
+    assert_eq!(
+        mps,
+        sets(&[
+            &["IW", "IT"],
+            &["IW", "H2"],
+            &["IW", "H4", "IS", "UT"],
+            &["IW", "H4", "H5", "UT"],
+            &["H3", "IT"],
+            &["H3", "H2"],
+            &["IT", "PP", "IS", "AB", "MV", "UT"],
+            &["IT", "PP", "H5", "AB", "MV", "UT"],
+            &["PP", "H4", "IS", "AB", "MV", "UT"],
+            &["PP", "H4", "H5", "AB", "MV", "UT"],
+            &["H1"],
+            &["VW"],
+        ])
+    );
+}
+
+/// Property 8: "Are a contact with an infected object and a contact with
+/// an infected surface independent scenarios?" — IDP(CIO, CIS) is
+/// **false**; both depend on H1.
+#[test]
+fn property_8_cio_cis_not_independent() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    let q = parse_query("IDP(CIO, CIS)").unwrap();
+    assert!(!mc.check_query(&q).unwrap());
+
+    let ibe_cio = mc
+        .influencing_basic_events(&parse_formula("CIO").unwrap())
+        .unwrap();
+    let ibe_cis = mc
+        .influencing_basic_events(&parse_formula("CIS").unwrap())
+        .unwrap();
+    let shared: Vec<&String> = ibe_cio.iter().filter(|e| ibe_cis.contains(e)).collect();
+    assert_eq!(shared, vec!["H1"]);
+    // Full IBE sets, for the record.
+    assert_eq!(ibe_cio, vec!["IT", "H1", "H4"]);
+    assert_eq!(ibe_cis, vec!["IS", "H1", "H5"]);
+}
+
+/// Property 9: "Is physical proximity superfluous for the occurrence of
+/// the TLE?" — SUP(PP) is **false**: PP must not be removed from the
+/// tree's leaves.
+#[test]
+fn property_9_pp_not_superfluous() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    assert!(!mc.check_query(&parse_query("SUP(PP)").unwrap()).unwrap());
+    // Indeed PP influences the top event.
+    let ibe = mc
+        .influencing_basic_events(&parse_formula("IWoS").unwrap())
+        .unwrap();
+    assert!(ibe.contains(&"PP".to_string()));
+    // Every basic event influences the top event in this tree — none is
+    // superfluous.
+    for name in tree.basic_event_names() {
+        assert!(
+            !mc.check_query(&Query::sup(name)).unwrap(),
+            "{name} unexpectedly superfluous"
+        );
+    }
+}
+
+/// The repeated basic events of Fig. 2 are exactly IT, PP, H1, IW
+/// (Section IV).
+#[test]
+fn fig2_repeated_events() {
+    let tree = covid();
+    let mut counts = std::collections::HashMap::new();
+    for g in tree.gates() {
+        for &c in tree.children(g) {
+            if tree.is_basic(c) {
+                *counts.entry(tree.name(c)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut repeated: Vec<&str> = counts.iter().filter(|(_, &n)| n > 1).map(|(&k, _)| k).collect();
+    repeated.sort();
+    assert_eq!(repeated, vec!["H1", "IT", "IW", "PP"]);
+}
+
+/// Example 1 of the paper (Section III): ∀(CP ⇒ CP/R) and ∃(CP ∧ CR).
+#[test]
+fn example_1_queries() {
+    let tree = covid();
+    let mut mc = ModelChecker::new(&tree);
+    assert!(mc.check_query(&parse_query("forall CP => \"CP/R\"").unwrap()).unwrap());
+    assert!(mc.check_query(&parse_query("exists CP & CR").unwrap()).unwrap());
+}

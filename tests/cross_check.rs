@@ -1,0 +1,223 @@
+//! Property-based cross-checks: the BDD model checker against the naive
+//! reference semantics on random trees, formulae and vectors, plus
+//! structural invariants of the analyses.
+
+use bfl::ft::generator::{random_tree, RandomTreeConfig};
+use bfl::logic::semantics;
+use bfl::prelude::*;
+use proptest::prelude::*;
+
+/// A strategy for small random fault trees (6 basic events, 4 gates).
+fn arb_tree() -> impl Strategy<Value = FaultTree> {
+    (0u64..5000).prop_map(|seed| {
+        random_tree(&RandomTreeConfig {
+            num_basic: 6,
+            num_gates: 4,
+            max_children: 3,
+            vot_probability: 0.2,
+            seed,
+        })
+    })
+}
+
+/// A strategy for formulae over the element names of the generated trees
+/// (gates g0..g3, basic events be0..be5).
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let atom_names = prop_oneof![
+        (0u32..4).prop_map(|i| format!("g{i}")),
+        (0u32..6).prop_map(|i| format!("be{i}")),
+    ];
+    let leaf = prop_oneof![
+        atom_names.prop_map(Formula::atom),
+        Just(Formula::top()),
+        Just(Formula::bot()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            (inner.clone(), (0u32..6), any::<bool>())
+                .prop_map(|(f, i, v)| f.with_evidence(format!("be{i}"), v)),
+            inner.clone().prop_map(|f| f.mcs()),
+            inner.clone().prop_map(|f| f.mps()),
+            (proptest::collection::vec(inner, 1..4), 0u32..4).prop_map(|(ops, k)| {
+                Formula::vot(CmpOp::Ge, k, ops)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm 2 agrees with the reference semantics on every vector.
+    #[test]
+    fn checker_matches_reference(tree in arb_tree(), phi in arb_formula(), bits in 0u64..64) {
+        let mut mc = ModelChecker::new(&tree);
+        let b = StatusVector::from_bits((0..6).map(|i| (bits >> i) & 1 == 1));
+        let fast = mc.holds(&b, &phi).unwrap();
+        let slow = semantics::eval(&tree, &b, &phi).unwrap();
+        prop_assert_eq!(fast, slow, "{} at {}", phi, b);
+    }
+
+    /// Algorithm 3 agrees with exhaustive enumeration.
+    #[test]
+    fn satisfying_vectors_match_reference(tree in arb_tree(), phi in arb_formula()) {
+        let mut mc = ModelChecker::new(&tree);
+        let fast = mc.satisfying_vectors(&phi).unwrap();
+        let slow = semantics::satisfying_vectors(&tree, &phi).unwrap();
+        let slow_sorted = {
+            let mut s = slow;
+            s.sort();
+            s
+        };
+        prop_assert_eq!(fast.len() as u128, mc.count_satisfying(&phi).unwrap());
+        prop_assert_eq!(fast, slow_sorted, "{}", phi);
+    }
+
+    /// Layer-2 queries agree with exhaustive enumeration.
+    #[test]
+    fn queries_match_reference(tree in arb_tree(), phi in arb_formula()) {
+        let mut mc = ModelChecker::new(&tree);
+        for q in [Query::Exists(phi.clone()), Query::Forall(phi.clone())] {
+            let fast = mc.check_query(&q).unwrap();
+            let slow = semantics::eval_query(&tree, &q).unwrap();
+            prop_assert_eq!(fast, slow, "{}", q);
+        }
+    }
+
+    /// IBE via BDD support equals the definitional IBE.
+    #[test]
+    fn ibe_matches_reference(tree in arb_tree(), phi in arb_formula()) {
+        let mut mc = ModelChecker::new(&tree);
+        let fast = mc.influencing_basic_events(&phi).unwrap();
+        let slow = semantics::influencing_basic_events(&tree, &phi).unwrap();
+        // Reference returns basic-index order; ours too.
+        prop_assert_eq!(fast, slow, "{}", phi);
+    }
+
+    /// Algorithm 4 always returns a Definition-7-valid counterexample when
+    /// the formula is satisfiable.
+    #[test]
+    fn counterexamples_are_valid(tree in arb_tree(), phi in arb_formula(), bits in 0u64..64) {
+        let mut mc = ModelChecker::new(&tree);
+        let b = StatusVector::from_bits((0..6).map(|i| (bits >> i) & 1 == 1));
+        match counterexample(&mut mc, &b, &phi).unwrap() {
+            Counterexample::Found(v) => {
+                prop_assert!(is_valid_counterexample(&mut mc, &b, &v, &phi).unwrap(),
+                    "{} at {} gave {}", phi, b, v);
+            }
+            Counterexample::AlreadySatisfies => {
+                prop_assert!(mc.holds(&b, &phi).unwrap());
+            }
+            Counterexample::Unsatisfiable => {
+                prop_assert!(mc.satisfying_vectors(&phi).unwrap().is_empty());
+            }
+        }
+    }
+
+    /// MCS/MPS of random trees: the minsol engine, the paper construction,
+    /// the bottom-up ZDD engine and the exhaustive reference all agree.
+    #[test]
+    fn mcs_engines_agree(tree in arb_tree()) {
+        use bfl::ft::{analysis, zdd_engine};
+        let top = tree.top();
+        let minsol = analysis::minimal_cut_sets(&tree, top);
+        prop_assert_eq!(&minsol, &analysis::minimal_cut_sets_paper(&tree, top));
+        prop_assert_eq!(&minsol, &analysis::minimal_cut_sets_naive(&tree, top));
+        prop_assert_eq!(&minsol, &zdd_engine::minimal_cut_sets_zdd(&tree, top));
+        prop_assert_eq!(
+            minsol.len() as u128,
+            zdd_engine::count_minimal_cut_sets_zdd(&tree, top)
+        );
+        let mps = analysis::minimal_path_sets(&tree, top);
+        prop_assert_eq!(&mps, &analysis::minimal_path_sets_paper(&tree, top));
+        prop_assert_eq!(&mps, &analysis::minimal_path_sets_naive(&tree, top));
+    }
+
+    /// Duality: the MPSs of a tree are the MCSs of its dual (AND↔OR), for
+    /// trees without VOT gates.
+    #[test]
+    fn mps_equals_mcs_of_dual(seed in 0u64..2000) {
+        use bfl::ft::analysis;
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 6,
+            num_gates: 4,
+            max_children: 3,
+            vot_probability: 0.0,
+            seed,
+        });
+        // Build the dual tree.
+        let mut b = FaultTreeBuilder::new();
+        for &e in tree.basic_events() {
+            b.basic_event(tree.name(e)).unwrap();
+        }
+        for g in tree.gates() {
+            let dual_type = match tree.gate_type(g).unwrap() {
+                GateType::And => GateType::Or,
+                GateType::Or => GateType::And,
+                GateType::Vot { .. } => unreachable!("vot_probability = 0"),
+            };
+            let children: Vec<&str> = tree.children(g).iter().map(|&c| tree.name(c)).collect();
+            b.gate(tree.name(g), dual_type, children).unwrap();
+        }
+        let dual = b.build(tree.name(tree.top())).unwrap();
+        prop_assert_eq!(
+            analysis::minimal_path_sets(&tree, tree.top()),
+            analysis::minimal_cut_sets(&dual, dual.top())
+        );
+    }
+
+    /// The DSL round-trips every generated formula.
+    #[test]
+    fn dsl_roundtrip(phi in arb_formula()) {
+        let printed = phi.to_string();
+        let parsed = parse_formula(&printed).unwrap();
+        prop_assert_eq!(phi, parsed, "printed `{}`", printed);
+    }
+
+    /// Rewrites preserve semantics: desugaring, NNF and simplification all
+    /// compile to the same BDD as the original (canonicity gives semantic
+    /// equality).
+    #[test]
+    fn rewrites_preserve_semantics(tree in arb_tree(), phi in arb_formula()) {
+        use bfl::logic::rewrite;
+        let mut mc = ModelChecker::new(&tree);
+        let original = mc.formula_bdd(&phi).unwrap();
+        for rewritten in [rewrite::desugar(&phi), rewrite::to_nnf(&phi), rewrite::simplify(&phi)] {
+            let f = mc.formula_bdd(&rewritten).unwrap();
+            prop_assert_eq!(original, f, "{} vs {}", phi, rewritten);
+        }
+    }
+
+    /// Galileo round-trips random trees structurally (same MCS).
+    #[test]
+    fn galileo_roundtrip(tree in arb_tree()) {
+        use bfl::ft::{analysis, galileo};
+        let text = galileo::to_galileo(&tree, None);
+        let model = galileo::parse(&text).unwrap();
+        prop_assert_eq!(
+            analysis::minimal_cut_sets_names(&tree, tree.top()),
+            analysis::minimal_cut_sets_names(&model.tree, model.tree.top())
+        );
+    }
+
+    /// Probability via BDD equals the exhaustive sum on random trees.
+    #[test]
+    fn probability_matches_reference(tree in arb_tree(), seed in 0u64..1000) {
+        use bfl::ft::prob;
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(i as u32 * 7);
+                (x % 1000) as f64 / 1000.0
+            })
+            .collect();
+        let fast = prob::top_event_probability(&tree, &probs);
+        let slow = prob::probability_naive(&tree, tree.top(), &probs);
+        prop_assert!((fast - slow).abs() < 1e-9, "fast={} slow={}", fast, slow);
+    }
+}

@@ -1,0 +1,151 @@
+//! Structural invariants of fault-tree analysis, checked on random trees
+//! and under random model mutations.
+
+use bfl::ft::generator::{random_tree, RandomTreeConfig};
+use bfl::prelude::*;
+use proptest::prelude::*;
+
+fn arb_tree() -> impl Strategy<Value = FaultTree> {
+    (0u64..3000).prop_map(|seed| {
+        random_tree(&RandomTreeConfig {
+            num_basic: 7,
+            num_gates: 5,
+            max_children: 3,
+            vot_probability: 0.25,
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coherence: fault trees are monotone — failing one more event never
+    /// repairs the top.
+    #[test]
+    fn structure_function_is_monotone(tree in arb_tree(), bits in 0u64..128, extra in 0usize..7) {
+        let b = StatusVector::from_bits((0..7).map(|i| (bits >> i) & 1 == 1));
+        let before = tree.evaluate(&b, tree.top());
+        let more = b.with(extra, true);
+        let after = tree.evaluate(&more, tree.top());
+        prop_assert!(!before || after, "failure repaired the top: {} -> {}", b, more);
+    }
+
+    /// Every enumerated MCS is a minimal cut set, and every MPS vector a
+    /// minimal path set, per the Definition 3/4 predicates.
+    #[test]
+    fn enumerated_sets_satisfy_definitions(tree in arb_tree()) {
+        use bfl::ft::analysis;
+        let n = tree.num_basic_events();
+        for set in analysis::minimal_cut_sets(&tree, tree.top()) {
+            let mut b = StatusVector::all_operational(n);
+            for i in set {
+                b.set(i, true);
+            }
+            prop_assert!(tree.is_minimal_cut_set(&b, tree.top()), "{}", b);
+        }
+        for set in analysis::minimal_path_sets(&tree, tree.top()) {
+            let mut b = StatusVector::all_failed(n);
+            for i in set {
+                b.set(i, false);
+            }
+            prop_assert!(tree.is_minimal_path_set(&b, tree.top()), "{}", b);
+        }
+    }
+
+    /// MCS families are antichains: no member contains another.
+    #[test]
+    fn mcs_family_is_an_antichain(tree in arb_tree()) {
+        use bfl::ft::analysis;
+        let sets = analysis::minimal_cut_sets(&tree, tree.top());
+        for (i, a) in sets.iter().enumerate() {
+            for b in sets.iter().skip(i + 1) {
+                let a_in_b = a.iter().all(|x| b.contains(x));
+                let b_in_a = b.iter().all(|x| a.contains(x));
+                prop_assert!(!a_in_b && !b_in_a, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// Mutation robustness: flipping one gate's type still yields a valid
+    /// tree on which all engines agree.
+    #[test]
+    fn gate_flip_mutation_keeps_engines_consistent(seed in 0u64..1500, which in 0usize..5) {
+        use bfl::ft::{analysis, zdd_engine};
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 7,
+            num_gates: 5,
+            max_children: 3,
+            vot_probability: 0.0,
+            seed,
+        });
+        // Rebuild with one gate's type flipped.
+        let mut b = FaultTreeBuilder::new();
+        for &e in tree.basic_events() {
+            b.basic_event(tree.name(e)).unwrap();
+        }
+        for (gi, g) in tree.gates().enumerate() {
+            let t = match tree.gate_type(g).unwrap() {
+                GateType::And if gi == which => GateType::Or,
+                GateType::Or if gi == which => GateType::And,
+                t => t,
+            };
+            let children: Vec<&str> = tree.children(g).iter().map(|&c| tree.name(c)).collect();
+            b.gate(tree.name(g), t, children).unwrap();
+        }
+        let mutated = b.build(tree.name(tree.top())).unwrap();
+        let mcs = analysis::minimal_cut_sets(&mutated, mutated.top());
+        prop_assert_eq!(&mcs, &analysis::minimal_cut_sets_naive(&mutated, mutated.top()));
+        prop_assert_eq!(&mcs, &zdd_engine::minimal_cut_sets_zdd(&mutated, mutated.top()));
+    }
+
+    /// The top event probability is monotone in each basic-event
+    /// probability (coherent systems).
+    #[test]
+    fn probability_is_monotone(tree in arb_tree(), which in 0usize..7) {
+        use bfl::ft::prob;
+        let n = tree.num_basic_events();
+        let base = vec![0.3; n];
+        let p0 = prob::top_event_probability(&tree, &base);
+        let mut raised = base.clone();
+        raised[which] = 0.8;
+        let p1 = prob::top_event_probability(&tree, &raised);
+        prop_assert!(p1 >= p0 - 1e-12, "p0={p0} p1={p1}");
+    }
+
+    /// Modules are sound: a module gate's cone shares no basic event with
+    /// the rest of the tree.
+    #[test]
+    fn modules_have_private_cones(tree in arb_tree()) {
+        use bfl::ft::modules;
+        for m in modules::modules(&tree) {
+            if m == tree.top() {
+                continue;
+            }
+            // Everything reachable from the module gate is "inside"; no
+            // outside gate may reference an inside element except m.
+            let mut inside = vec![false; tree.len()];
+            let mut stack = vec![m];
+            while let Some(x) = stack.pop() {
+                if inside[x.index()] {
+                    continue;
+                }
+                inside[x.index()] = true;
+                stack.extend(tree.children(x).iter().copied());
+            }
+            for g in tree.gates() {
+                if inside[g.index()] {
+                    continue;
+                }
+                for &c in tree.children(g) {
+                    prop_assert!(
+                        c == m || !inside[c.index()],
+                        "module {} leaks {}",
+                        tree.name(m),
+                        tree.name(c)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The `MPS` semantic subtlety documented in `DESIGN.md` §4.
+//!
+//! The paper defines `MPS(ϕ) ::= MCS(¬ϕ)` with `MCS` selecting *minimal*
+//! satisfying vectors. On monotone structure functions this literal
+//! reading collapses: the all-operational vector is the unique minimal
+//! vector satisfying `¬ϕ`, contradicting the paper's own Table I and
+//! case-study results, which use *maximal* vectors. These tests pin down
+//! both readings.
+
+use bfl::prelude::*;
+
+/// The literal reading `MCS(¬e1)` has exactly one satisfying vector: all
+/// zeros.
+#[test]
+fn literal_mcs_of_negation_collapses() {
+    let tree = bfl::ft::corpus::table1_tree();
+    let mut mc = ModelChecker::new(&tree);
+    let literal = Formula::atom("e1").not().mcs();
+    let sats = mc.satisfying_vectors(&literal).unwrap();
+    assert_eq!(sats, vec![StatusVector::all_operational(3)]);
+}
+
+/// Our first-class `MPS` (maximal vectors satisfying `¬ϕ`) matches every
+/// published example.
+#[test]
+fn maximal_mps_matches_paper_examples() {
+    let tree = bfl::ft::corpus::table1_tree();
+    let mut mc = ModelChecker::new(&tree);
+    let mps = Formula::atom("e1").mps();
+    let sats = mc.satisfying_vectors(&mps).unwrap();
+    assert_eq!(
+        sats,
+        vec![
+            // {e4, e5} operational: (1,0,0); {e2} operational: (0,1,1).
+            StatusVector::from_bits([true, false, false]),
+            StatusVector::from_bits([false, true, true]),
+        ]
+    );
+}
+
+/// On the COVID tree the two readings differ dramatically: the literal
+/// one yields only the all-operational vector, while the maximal one
+/// yields the paper's twelve MPSs.
+#[test]
+fn covid_mps_reading_comparison() {
+    let tree = bfl::ft::corpus::covid();
+    let mut mc = ModelChecker::new(&tree);
+    let n = tree.num_basic_events();
+
+    let literal = Formula::atom("IWoS").not().mcs();
+    let lit_sats = mc.satisfying_vectors(&literal).unwrap();
+    assert_eq!(lit_sats, vec![StatusVector::all_operational(n)]);
+
+    let maximal = Formula::atom("IWoS").mps();
+    assert_eq!(mc.count_satisfying(&maximal).unwrap(), 12);
+}
+
+/// Duality sanity: for any element, the maximal-MPS vectors are exactly
+/// the complements of the minimal cut vectors of the dual function. We
+/// check it through the independent `analysis` engines on the COVID tree.
+#[test]
+fn mps_engines_and_logic_agree() {
+    let tree = bfl::ft::corpus::covid();
+    let mut mc = ModelChecker::new(&tree);
+    for name in ["IWoS", "MoT", "CT", "CP/R", "SH"] {
+        let via_logic = mc.minimal_path_sets(name).unwrap();
+        let e = tree.element(name).unwrap();
+        let via_analysis = bfl::ft::analysis::minimal_path_sets_names(&tree, e);
+        assert_eq!(via_logic, via_analysis, "{name}");
+    }
+}
+
+/// `MPS(¬ϕ)` under the maximal reading is the MCS notion reflected:
+/// maximal vectors satisfying `ϕ` itself. For the OR gate these are the
+/// all-failed vector only.
+#[test]
+fn mps_of_negation_is_maximal_sat() {
+    let tree = bfl::ft::corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    // MPS(¬Top): maximal vectors satisfying Top.
+    let phi = Formula::atom("Top").not().mps();
+    let sats = mc.satisfying_vectors(&phi).unwrap();
+    assert_eq!(sats, vec![StatusVector::from_bits([true, true])]);
+}

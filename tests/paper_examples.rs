@@ -1,0 +1,99 @@
+//! The small worked examples of the paper: Fig. 1 (Section II), Fig. 3 and
+//! Examples 2–3 (Section V).
+
+use bfl::prelude::*;
+
+/// Section II: the MCSs and MPSs of the Fig. 1 subtree.
+#[test]
+fn fig1_cut_and_path_sets() {
+    let tree = bfl::ft::corpus::fig1();
+    let mut mc = ModelChecker::new(&tree);
+    let mcs = mc.minimal_cut_sets("CP/R").unwrap();
+    assert_eq!(
+        mcs,
+        vec![
+            vec!["H2".to_string(), "IT".to_string()],
+            vec!["H3".to_string(), "IW".to_string()],
+        ]
+    );
+    let mps = mc.minimal_path_sets("CP/R").unwrap();
+    assert_eq!(
+        mps,
+        vec![
+            vec!["H2".to_string(), "H3".to_string()],
+            vec!["H2".to_string(), "IW".to_string()],
+            vec!["H3".to_string(), "IT".to_string()],
+            vec!["IT".to_string(), "IW".to_string()],
+        ]
+    );
+}
+
+/// Fig. 3: the OR-gate fault tree translates to the two-node BDD drawn in
+/// the paper (plus the two terminals).
+#[test]
+fn fig3_or_gate_bdd_shape() {
+    let tree = bfl::ft::corpus::or2();
+    let mut tb = bfl::ft::bdd::TreeBdd::new(&tree, VariableOrdering::DfsPreorder);
+    let top = tb.element_bdd(&tree, tree.top());
+    assert_eq!(tb.manager().node_count(top), 4);
+    let dot = tb.manager().to_dot(top, |v| format!("e{}", v.index() / 2 + 1));
+    assert!(dot.contains("e1"));
+    assert!(dot.contains("e2"));
+}
+
+/// Example 2: walking the BDD of MCS(e_top) for the OR gate with
+/// b = (0, 1) ends in the 1 terminal.
+#[test]
+fn example_2_vector_check() {
+    let tree = bfl::ft::corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    let phi = parse_formula("MCS(Top)").unwrap();
+    let b = StatusVector::from_bits([false, true]);
+    assert!(mc.holds(&b, &phi).unwrap());
+}
+
+/// Example 3: AllSat of MCS(e_top) yields exactly (0,1) and (1,0).
+#[test]
+fn example_3_all_satisfying_vectors() {
+    let tree = bfl::ft::corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    let phi = parse_formula("MCS(Top)").unwrap();
+    let vectors = mc.satisfying_vectors(&phi).unwrap();
+    assert_eq!(
+        vectors,
+        vec![
+            StatusVector::from_bits([true, false]),
+            StatusVector::from_bits([false, true]),
+        ]
+    );
+}
+
+/// Section VI warm-up: {IW, H3, IT} is a cut set of CP/R but not minimal;
+/// the counterexample {IW, H3} is contained in it.
+#[test]
+fn section_6_warmup_counterexample() {
+    let tree = bfl::ft::corpus::fig1();
+    let mut mc = ModelChecker::new(&tree);
+    let b = StatusVector::from_failed_names(&tree, &["IW", "H3", "IT"]);
+    assert!(tree.is_cut_set(&b, tree.top()));
+    assert!(!tree.is_minimal_cut_set(&b, tree.top()));
+    let phi = parse_formula("MCS(\"CP/R\")").unwrap();
+    let cex = counterexample(&mut mc, &b, &phi).unwrap();
+    let v = cex.vector().expect("counterexample").clone();
+    let mut names = v.failed_names(&tree);
+    names.sort();
+    assert_eq!(names, vec!["H3", "IW"]);
+    assert!(is_valid_counterexample(&mut mc, &b, &v, &phi).unwrap());
+}
+
+/// The `(¬e)[e↦0]` vs `(¬e)∧¬e` distinction of Section III-A.
+#[test]
+fn evidence_is_not_conjunction() {
+    let tree = bfl::ft::corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    let b = StatusVector::from_bits([true, false]);
+    let with_evidence = parse_formula("(!e1)[e1 := 0]").unwrap();
+    assert!(mc.holds(&b, &with_evidence).unwrap());
+    let with_conjunction = parse_formula("!e1 & !e1").unwrap();
+    assert!(!mc.holds(&b, &with_conjunction).unwrap());
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the quantitative extension (the paper's first
+//! future-work item) on the case-study tree: probabilities of arbitrary
+//! BFL formulas, conditionals, thresholds and importance.
+
+use bfl::logic::quant;
+use bfl::prelude::*;
+
+fn covid_probs(tree: &FaultTree) -> Vec<f64> {
+    tree.basic_events()
+        .iter()
+        .map(|&e| match tree.name(e) {
+            "IW" => 0.05,
+            "IT" => 0.03,
+            "IS" => 0.04,
+            "PP" => 0.60,
+            "VW" => 0.20,
+            "AB" => 0.30,
+            "MV" => 0.25,
+            "UT" => 0.01,
+            _ => 0.10, // human errors
+        })
+        .collect()
+}
+
+#[test]
+fn formula_probability_matches_reference() {
+    let tree = bfl::ft::corpus::covid();
+    let mut mc = ModelChecker::new(&tree);
+    let probs = covid_probs(&tree);
+    for src in [
+        "IWoS",
+        "MoT & !SH",
+        "MCS(IWoS)",
+        "MPS(MoT)",
+        "IWoS[H1 := 1]",
+        "VOT(>=2; H1, H2, H3, H4, H5)",
+    ] {
+        let phi = parse_formula(src).unwrap();
+        let fast = quant::probability(&mut mc, &phi, &probs).unwrap();
+        let slow = quant::probability_naive(&tree, &phi, &probs).unwrap();
+        assert!((fast - slow).abs() < 1e-9, "{src}: {fast} vs {slow}");
+    }
+}
+
+#[test]
+fn evidence_is_conditioning_free() {
+    // P(ϕ[e↦1]) is the probability of ϕ with e forced, *not* P(ϕ | e):
+    // conditioning rescales by P(e), forcing does not.
+    let tree = bfl::ft::corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    let probs = [0.1, 0.2];
+    let forced = quant::probability(
+        &mut mc,
+        &parse_formula("Top[e1 := 1]").unwrap(),
+        &probs,
+    )
+    .unwrap();
+    assert!((forced - 1.0).abs() < 1e-12);
+    let conditioned = quant::conditional_probability(
+        &mut mc,
+        &parse_formula("Top").unwrap(),
+        &parse_formula("e1").unwrap(),
+        &probs,
+    )
+    .unwrap()
+    .unwrap();
+    assert!((conditioned - 1.0).abs() < 1e-12);
+    // They differ on non-trivial conditions: P(Top | ¬e1) = P(e2) = 0.2.
+    let cond2 = quant::conditional_probability(
+        &mut mc,
+        &parse_formula("Top").unwrap(),
+        &parse_formula("!e1").unwrap(),
+        &probs,
+    )
+    .unwrap()
+    .unwrap();
+    assert!((cond2 - 0.2).abs() < 1e-12);
+}
+
+#[test]
+fn threshold_queries_on_covid() {
+    let tree = bfl::ft::corpus::covid();
+    let mut mc = ModelChecker::new(&tree);
+    let probs = covid_probs(&tree);
+    let p = quant::probability(&mut mc, &parse_formula("IWoS").unwrap(), &probs).unwrap();
+    // The top event is rare under this profile.
+    assert!(p < 0.01, "{p}");
+    let q = quant::ProbQuery::new(parse_formula("IWoS").unwrap(), CmpOp::Le, 0.01);
+    assert!(q.check(&mut mc, &probs).unwrap());
+}
+
+#[test]
+fn birnbaum_ranks_h1_highest() {
+    // H1 appears in SH (hence in every cut set): it should dominate the
+    // Birnbaum ranking of the human errors.
+    let tree = bfl::ft::corpus::covid();
+    let mut mc = ModelChecker::new(&tree);
+    let probs = covid_probs(&tree);
+    let phi = parse_formula("IWoS").unwrap();
+    let h1 = quant::birnbaum(&mut mc, &phi, "H1", &probs).unwrap();
+    for other in ["H2", "H3", "H4", "H5"] {
+        let b = quant::birnbaum(&mut mc, &phi, other, &probs).unwrap();
+        assert!(h1 > b, "H1={h1} vs {other}={b}");
+    }
+}
+
+#[test]
+fn probability_of_mutually_exclusive_split_sums() {
+    // P(ϕ) = P(ϕ ∧ ψ) + P(ϕ ∧ ¬ψ) — exercised through the checker.
+    let tree = bfl::ft::corpus::covid();
+    let mut mc = ModelChecker::new(&tree);
+    let probs = covid_probs(&tree);
+    let phi = parse_formula("IWoS").unwrap();
+    let psi = parse_formula("CT").unwrap();
+    let total = quant::probability(&mut mc, &phi, &probs).unwrap();
+    let with = quant::probability(&mut mc, &phi.clone().and(psi.clone()), &probs).unwrap();
+    let without = quant::probability(&mut mc, &phi.and(psi.not()), &probs).unwrap();
+    assert!((total - (with + without)).abs() < 1e-12);
+}

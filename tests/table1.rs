@@ -1,0 +1,116 @@
+//! Table I of the paper: the four counterexample patterns on the
+//! Section VI tree, with the published example vectors and
+//! counterexamples.
+
+use bfl::logic::patterns::{table1_rows, table1_tree};
+use bfl::prelude::*;
+
+/// Every row: the example vector does not satisfy the instantiated
+/// pattern, the paper's counterexample is valid per Definition 7, and our
+/// Algorithm 4 produces a valid counterexample.
+#[test]
+fn table1_rows_reproduce() {
+    let tree = table1_tree();
+    for (i, row) in table1_rows().iter().enumerate() {
+        let mut mc = ModelChecker::new(&tree);
+        if row.needs_support_scope {
+            mc.set_minimality_scope(MinimalityScope::FormulaSupport);
+        }
+        assert!(
+            !mc.holds(&row.example, &row.formula).unwrap(),
+            "row {i}: example unexpectedly satisfies {}",
+            row.formula
+        );
+        assert!(
+            mc.holds(&row.paper_counterexample, &row.formula).unwrap(),
+            "row {i}: paper counterexample does not satisfy {}",
+            row.formula
+        );
+        assert!(
+            is_valid_counterexample(&mut mc, &row.example, &row.paper_counterexample, &row.formula)
+                .unwrap(),
+            "row {i}: paper counterexample not Def.7-minimal"
+        );
+        let ours = counterexample(&mut mc, &row.example, &row.formula).unwrap();
+        let v = ours.vector().expect("found").clone();
+        assert!(
+            is_valid_counterexample(&mut mc, &row.example, &v, &row.formula).unwrap(),
+            "row {i}: our counterexample not Def.7-minimal"
+        );
+    }
+}
+
+/// The rows our walk reproduces *bit-for-bit* (see `EXPERIMENTS.md` for
+/// the two rows where Algorithm 4 legitimately returns a different but
+/// equally valid counterexample).
+#[test]
+fn table1_exact_vectors() {
+    let tree = table1_tree();
+    let rows = table1_rows();
+    let exact = [0usize, 2, 3, 5];
+    for &i in &exact {
+        let row = &rows[i];
+        let mut mc = ModelChecker::new(&tree);
+        if row.needs_support_scope {
+            mc.set_minimality_scope(MinimalityScope::FormulaSupport);
+        }
+        let ours = counterexample(&mut mc, &row.example, &row.formula).unwrap();
+        assert_eq!(
+            ours.vector().expect("found"),
+            &row.paper_counterexample,
+            "row {i}"
+        );
+    }
+}
+
+/// Pattern 1, row 2 (b = (1,1,1)): the counterexample is one of the two
+/// MCS vectors; the paper prints (1,0,1), our variable order yields the
+/// equally valid (1,1,0).
+#[test]
+fn table1_row2_alternative() {
+    let tree = table1_tree();
+    let rows = table1_rows();
+    let row = &rows[1];
+    let mut mc = ModelChecker::new(&tree);
+    let ours = counterexample(&mut mc, &row.example, &row.formula).unwrap();
+    let v = ours.vector().expect("found").clone();
+    let mcs_vectors = [
+        StatusVector::from_bits([true, true, false]),
+        StatusVector::from_bits([true, false, true]),
+    ];
+    assert!(mcs_vectors.contains(&v));
+}
+
+/// Pattern 3 (MCS(e1) ∧ MCS(e3)) distinguishes the two minimality scopes:
+/// unsatisfiable under the formal global semantics, satisfiable (with the
+/// paper's counterexample) under the support-relative reading.
+#[test]
+fn pattern3_scope_dependence() {
+    let tree = table1_tree();
+    let rows = table1_rows();
+    let row = &rows[4];
+
+    let mut strict = ModelChecker::new(&tree);
+    assert_eq!(
+        counterexample(&mut strict, &row.example, &row.formula).unwrap(),
+        Counterexample::Unsatisfiable
+    );
+
+    let mut relaxed = ModelChecker::new(&tree);
+    relaxed.set_minimality_scope(MinimalityScope::FormulaSupport);
+    let ours = counterexample(&mut relaxed, &row.example, &row.formula).unwrap();
+    assert_eq!(ours.vector().expect("found"), &row.paper_counterexample);
+}
+
+/// The rendered failure-propagation report of a Table I row mentions the
+/// flipped event, mirroring the figures in the table.
+#[test]
+fn table1_rendering() {
+    let tree = table1_tree();
+    let rows = table1_rows();
+    let row = &rows[0];
+    let report =
+        bfl::logic::render::counterexample_report(&tree, &row.example, &row.paper_counterexample);
+    assert!(report.contains("changed: {e2}"));
+    assert!(report.contains("e1"));
+}
