@@ -53,10 +53,7 @@ impl Manager {
         }
         for (value, reached) in reach_terminal.iter().enumerate() {
             if *reached {
-                let _ = writeln!(
-                    out,
-                    "  n{value} [shape=square, label=\"{value}\"];"
-                );
+                let _ = writeln!(out, "  n{value} [shape=square, label=\"{value}\"];");
             }
         }
         let _ = writeln!(out, "}}");

@@ -26,10 +26,7 @@ impl Manager {
         if let Some(r) = self.ite_cache_get(f, g, h) {
             return r;
         }
-        let top = self
-            .level(f)
-            .min(self.level(g))
-            .min(self.level(h));
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
         debug_assert_ne!(top, TERMINAL_LEVEL);
         let v = Var(top);
         let (f0, f1) = self.cofactors(f, v);
@@ -187,13 +184,7 @@ impl Manager {
         self.restrict_rec(f, v, value, &mut memo)
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: Bdd,
-        v: Var,
-        value: bool,
-        memo: &mut HashMap<u32, Bdd>,
-    ) -> Bdd {
+    fn restrict_rec(&mut self, f: Bdd, v: Var, value: bool, memo: &mut HashMap<u32, Bdd>) -> Bdd {
         let level = self.level(f);
         if level > v.0 {
             // Terminal, or the whole sub-BDD is below v: v cannot occur.

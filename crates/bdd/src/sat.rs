@@ -17,7 +17,11 @@ impl Manager {
         let mut cur = f;
         while !cur.is_terminal() {
             let node = self.node(cur);
-            cur = if assign(node.var) { node.high } else { node.low };
+            cur = if assign(node.var) {
+                node.high
+            } else {
+                node.low
+            };
         }
         cur.is_true()
     }
@@ -165,9 +169,7 @@ impl Manager {
         }
         let remaining = (universe.len() - idx) as u32;
         if f.is_true() {
-            return 1u128
-                .checked_shl(remaining)
-                .expect("sat count overflow");
+            return 1u128.checked_shl(remaining).expect("sat count overflow");
         }
         debug_assert!(idx < universe.len(), "support outside universe");
         if let Some(&c) = memo.get(&(f.id(), idx)) {
@@ -209,7 +211,10 @@ impl Manager {
     pub fn sat_vectors<'a>(&'a self, f: Bdd, vars: &[Var]) -> SatVectors<'a> {
         let support = self.support(f);
         for v in &support {
-            assert!(vars.contains(v), "support variable {v} missing from universe");
+            assert!(
+                vars.contains(v),
+                "support variable {v} missing from universe"
+            );
         }
         SatVectors {
             paths: SatPaths::new(self, f),
@@ -382,10 +387,7 @@ mod tests {
         let paths: Vec<SatPath> = m.sat_paths(f).collect();
         assert_eq!(
             paths,
-            vec![
-                vec![(Var(0), false), (Var(1), true)],
-                vec![(Var(0), true)],
-            ]
+            vec![vec![(Var(0), false), (Var(1), true)], vec![(Var(0), true)],]
         );
     }
 
@@ -399,11 +401,7 @@ mod tests {
         vecs.sort();
         assert_eq!(
             vecs,
-            vec![
-                vec![false, true],
-                vec![true, false],
-                vec![true, true],
-            ]
+            vec![vec![false, true], vec![true, false], vec![true, true],]
         );
     }
 

@@ -205,10 +205,18 @@ impl ZddManager {
             return self.empty();
         }
         if a.is_unit_family() {
-            return if self.contains_empty(b) { a } else { self.empty() };
+            return if self.contains_empty(b) {
+                a
+            } else {
+                self.empty()
+            };
         }
         if b.is_unit_family() {
-            return if self.contains_empty(a) { b } else { self.empty() };
+            return if self.contains_empty(a) {
+                b
+            } else {
+                self.empty()
+            };
         }
         let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         if let Some(r) = self.cached(ZOp::Intersection, a, b) {
@@ -289,7 +297,11 @@ impl ZddManager {
         }
         if a.is_unit_family() {
             // ∅ ⊇ t only for t = ∅.
-            return if self.contains_empty(b) { self.empty() } else { a };
+            return if self.contains_empty(b) {
+                self.empty()
+            } else {
+                a
+            };
         }
         if let Some(r) = self.cached(ZOp::NoSupersets, a, b) {
             return r;
@@ -556,14 +568,22 @@ mod tests {
                 sa.intersection(&sb).cloned().collect::<Family>()
             );
             let d = z.difference(a, b);
-            assert_eq!(to_family(&z, d), sa.difference(&sb).cloned().collect::<Family>());
+            assert_eq!(
+                to_family(&z, d),
+                sa.difference(&sb).cloned().collect::<Family>()
+            );
 
             let p = z.product(a, b);
             let mut expect_p = Family::new();
             for s in &sa {
                 for t in &sb {
-                    let mut st: Vec<u32> =
-                        s.iter().chain(t.iter()).copied().collect::<BTreeSet<_>>().into_iter().collect();
+                    let mut st: Vec<u32> = s
+                        .iter()
+                        .chain(t.iter())
+                        .copied()
+                        .collect::<BTreeSet<_>>()
+                        .into_iter()
+                        .collect();
                     st.sort_unstable();
                     expect_p.insert(st);
                 }
@@ -573,9 +593,7 @@ mod tests {
             let ns = z.no_supersets(a, b);
             let expect_ns: Family = sa
                 .iter()
-                .filter(|s| {
-                    !sb.iter().any(|t| t.iter().all(|v| s.contains(v)))
-                })
+                .filter(|s| !sb.iter().any(|t| t.iter().all(|v| s.contains(v))))
                 .cloned()
                 .collect();
             assert_eq!(to_family(&z, ns), expect_ns, "seed {seed}");
@@ -584,9 +602,8 @@ mod tests {
             let expect_m: Family = sa
                 .iter()
                 .filter(|s| {
-                    !sa.iter().any(|t| {
-                        t.len() < s.len() && t.iter().all(|v| s.contains(v))
-                    })
+                    !sa.iter()
+                        .any(|t| t.len() < s.len() && t.iter().all(|v| s.contains(v)))
                 })
                 .cloned()
                 .collect();

@@ -11,7 +11,9 @@
 use bfl_bench::{covid_properties, parse, property_6};
 use bfl_core::parser::{parse_formula, Spec};
 use bfl_core::patterns::{table1_rows, table1_tree};
-use bfl_core::{counterexample, is_valid_counterexample, Counterexample, MinimalityScope, ModelChecker};
+use bfl_core::{
+    counterexample, is_valid_counterexample, Counterexample, MinimalityScope, ModelChecker,
+};
 use bfl_fault_tree::bdd::TreeBdd;
 use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
 use bfl_fault_tree::{analysis, corpus, StatusVector, VariableOrdering};
@@ -75,9 +77,7 @@ fn fig1() {
 fn fig2() {
     banner("FIG2 — the COVID-19 fault tree (reconstruction, see DESIGN.md §3)");
     let tree = corpus::covid();
-    println!(
-        "paper: 'medium-sized' FT, repeated events IT, PP, H1, IW (Sec. IV)"
-    );
+    println!("paper: 'medium-sized' FT, repeated events IT, PP, H1, IW (Sec. IV)");
     println!(
         "ours : {} basic events, {} gates, top = {}",
         tree.num_basic_events(),
@@ -118,7 +118,11 @@ fn fig3() {
     let top = tb.element_bdd(&tree, tree.top());
     println!("paper: decision nodes e1, e2 over terminals 0/1 (4 nodes)");
     println!("ours : {} nodes; DOT:", tb.manager().node_count(top));
-    print!("{}", tb.manager().to_dot(top, |v| format!("e{}", v.index() / 2 + 1)));
+    print!(
+        "{}",
+        tb.manager()
+            .to_dot(top, |v| format!("e{}", v.index() / 2 + 1))
+    );
 }
 
 /// Example 2: walking B(MCS(Top)) with b = (0, 1).
@@ -207,7 +211,10 @@ fn covid() {
                     print_sets("   ours : ", &mc.vectors_to_failed_sets(&vectors));
                 } else if p.id == 7 {
                     println!("   paper: 12 MPSs incl. {{H1}}, {{VW}}, {{IW,IT}}, {{H3,H2}}, …");
-                    print_sets("   ours : ", &mc.minimal_path_sets("IWoS").expect("enumerates"));
+                    print_sets(
+                        "   ours : ",
+                        &mc.minimal_path_sets("IWoS").expect("enumerates"),
+                    );
                 }
             }
         }
@@ -241,8 +248,15 @@ fn covid() {
     );
     println!("   pattern-2 counterexamples: paper {{H1}} and {{H2, H3}} — both are MPSs:");
     let mps = mc.minimal_path_sets("IWoS").expect("enumerates");
-    for target in [vec!["H1".to_string()], vec!["H2".to_string(), "H3".to_string()]] {
-        println!("   {{{}}} in ⟦MPS(IWoS)⟧: {}", target.join(", "), mps.contains(&target));
+    for target in [
+        vec!["H1".to_string()],
+        vec!["H2".to_string(), "H3".to_string()],
+    ] {
+        println!(
+            "   {{{}}} in ⟦MPS(IWoS)⟧: {}",
+            target.join(", "),
+            mps.contains(&target)
+        );
     }
     // Property 8 follow-up.
     println!("P8 follow-up IBEs: paper — CIO and CIS both depend on H1");

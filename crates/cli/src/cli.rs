@@ -1,10 +1,18 @@
 //! Argument parsing and command dispatch (no external dependencies).
+//!
+//! Every command is a thin veneer over one [`AnalysisSession`]: options
+//! configure the session once (ordering, minimality scope, cut-set
+//! backend, probabilities from the model's `prob=` annotations) and the
+//! command methods map 1:1 onto session methods. `--json` switches any
+//! query command to the structured [`Report`] schema.
 
 use std::fmt::Write as _;
 
-use bfl_core::parser::{parse_formula, parse_spec, Spec};
-use bfl_core::{counterexample, Counterexample, MinimalityScope, ModelChecker};
-use bfl_fault_tree::{galileo, FaultTree, StatusVector, VariableOrdering};
+use bfl_core::engine::{AnalysisSession, Backend};
+use bfl_core::parser::{parse_formula, parse_spec};
+use bfl_core::report::{json_name_sets, Spec, SpecItem};
+use bfl_core::{Counterexample, MinimalityScope};
+use bfl_fault_tree::{galileo, StatusVector, VariableOrdering};
 
 const USAGE: &str = "\
 bfl — Boolean Fault tree Logic (DSN 2022) command line
@@ -14,6 +22,7 @@ USAGE:
 
 COMMANDS:
     check    check a formula against a status vector, or a query
+    run      evaluate a batch spec file (one query per line) in one pass
     sat      enumerate all satisfying status vectors of a formula
     count    count the satisfying status vectors of a formula
     mcs      minimal cut sets of an element (default: the top event)
@@ -32,33 +41,24 @@ OPTIONS:
     --support-scope    use support-relative MCS/MPS minimality (Table I reading)
     --ordering <ORD>   BDD variable ordering: dfs (default), bfs,
                        declaration, bouissou
-    --engine <E>       mcs/mps engine: minsol (default), paper, zdd
-                       (zdd applies to `mcs` only)
+    --engine <E>       mcs/mps backend: minsol (default), paper, zdd
+    --json             structured JSON output (check, run, sat, count,
+                       mcs, mps, ibe, prob)
 
 EXAMPLES:
-    bfl mcs --ft covid.dft
+    bfl mcs --ft covid.dft --engine zdd
     bfl check --ft covid.dft 'forall IS => MoT'
     bfl check --ft covid.dft --failed IW,H3 'MCS(\"CP/R\")'
+    bfl run --ft covid.dft properties.bfl --json
     bfl cex --ft covid.dft --failed IW,H3,IT 'MCS(\"CP/R\")'
 ";
 
-/// Parsed common options.
+/// Parsed common options: one configured session plus command arguments.
 struct Options {
-    tree: FaultTree,
-    probabilities: Vec<Option<f64>>,
+    session: AnalysisSession,
     failed: Vec<String>,
-    support_scope: bool,
-    ordering: VariableOrdering,
-    engine: Engine,
+    json: bool,
     positional: Vec<String>,
-}
-
-/// Cut-set engine selection for `mcs`/`mps`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Engine {
-    Minsol,
-    Paper,
-    Zdd,
 }
 
 /// Runs the CLI on `args`, returning the stdout payload.
@@ -72,6 +72,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
         "check" => cmd_check(&opts),
+        "run" => cmd_run(&opts),
         "sat" => cmd_sat(&opts),
         "count" => cmd_count(&opts),
         "mcs" => cmd_mcs(&opts, true),
@@ -91,18 +92,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut failed = Vec::new();
     let mut support_scope = false;
     let mut ordering = VariableOrdering::DfsPreorder;
-    let mut engine = Engine::Minsol;
+    let mut backend = Backend::Minsol;
+    let mut json = false;
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--ft" => {
                 i += 1;
-                ft_path = Some(
-                    args.get(i)
-                        .ok_or("--ft requires a file argument")?
-                        .clone(),
-                );
+                ft_path = Some(args.get(i).ok_or("--ft requires a file argument")?.clone());
             }
             "--failed" => {
                 i += 1;
@@ -114,6 +112,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .collect();
             }
             "--support-scope" => support_scope = true,
+            "--json" => json = true,
             "--ordering" => {
                 i += 1;
                 let name = args.get(i).ok_or("--ordering requires an argument")?;
@@ -125,15 +124,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown ordering `{other}`")),
                 };
             }
-            "--engine" => {
+            "--engine" | "--backend" => {
                 i += 1;
                 let name = args.get(i).ok_or("--engine requires an argument")?;
-                engine = match name.as_str() {
-                    "minsol" => Engine::Minsol,
-                    "paper" => Engine::Paper,
-                    "zdd" => Engine::Zdd,
-                    other => return Err(format!("unknown engine `{other}`")),
-                };
+                backend = name.parse::<Backend>()?;
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
@@ -143,42 +137,40 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         i += 1;
     }
     let ft_path = ft_path.ok_or("missing required option --ft <FILE>")?;
-    let text = std::fs::read_to_string(&ft_path)
-        .map_err(|e| format!("cannot read `{ft_path}`: {e}"))?;
+    let text =
+        std::fs::read_to_string(&ft_path).map_err(|e| format!("cannot read `{ft_path}`: {e}"))?;
     let model = galileo::parse(&text).map_err(|e| e.to_string())?;
+    let scope = if support_scope {
+        MinimalityScope::FormulaSupport
+    } else {
+        MinimalityScope::GlobalUniverse
+    };
+    let session = AnalysisSession::builder()
+        .ordering(ordering)
+        .minimality_scope(scope)
+        .backend(backend)
+        .probabilities(model.probabilities)
+        .build(model.tree);
     Ok(Options {
-        tree: model.tree,
-        probabilities: model.probabilities,
+        session,
         failed,
-        support_scope,
-        ordering,
-        engine,
+        json,
         positional,
     })
 }
 
-fn checker(opts: &Options) -> ModelChecker<'_> {
-    let mut mc = ModelChecker::with_ordering(&opts.tree, opts.ordering);
-    if opts.support_scope {
-        mc.set_minimality_scope(MinimalityScope::FormulaSupport);
-    }
-    mc
-}
-
 fn vector(opts: &Options) -> Result<StatusVector, String> {
-    let mut v = StatusVector::all_operational(opts.tree.num_basic_events());
-    for name in &opts.failed {
-        let e = opts
-            .tree
-            .element(name)
-            .ok_or_else(|| format!("unknown element `{name}` in --failed"))?;
-        let bi = opts
-            .tree
-            .basic_index(e)
-            .ok_or_else(|| format!("`{name}` is a gate; --failed takes basic events"))?;
-        v.set(bi, true);
-    }
-    Ok(v)
+    opts.session
+        .vector_of_failed(&opts.failed)
+        .map_err(|e| match e {
+            bfl_core::BflError::UnknownElement(n) => {
+                format!("unknown element `{n}` in --failed")
+            }
+            bfl_core::BflError::EvidenceOnGate(n) => {
+                format!("`{n}` is a gate; --failed takes basic events")
+            }
+            other => other.to_string(),
+        })
 }
 
 fn spec_arg(opts: &Options) -> Result<&str, String> {
@@ -188,80 +180,98 @@ fn spec_arg(opts: &Options) -> Result<&str, String> {
         .ok_or_else(|| "missing formula/query argument".to_string())
 }
 
+/// Runs a one-item spec through the session, rendering text or JSON.
+fn report_one(opts: &Options, item: SpecItem) -> Result<String, String> {
+    let spec = Spec::from_items([item]);
+    let report = opts.session.run(&spec).map_err(|e| e.to_string())?;
+    if opts.json {
+        Ok(format!("{}\n", report.to_json()))
+    } else {
+        let o = &report.outcomes[0];
+        Ok(format!("{}\n", o.holds))
+    }
+}
+
 fn cmd_check(opts: &Options) -> Result<String, String> {
-    let mut mc = checker(opts);
-    match parse_spec(spec_arg(opts)?).map_err(|e| e.to_string())? {
-        Spec::Query(q) => {
-            let r = mc.check_query(&q).map_err(|e| e.to_string())?;
-            Ok(format!("{r}\n"))
-        }
-        Spec::Formula(f) => {
-            let b = vector(opts)?;
-            let r = mc.holds(&b, &f).map_err(|e| e.to_string())?;
-            Ok(format!("{r}\n"))
-        }
+    let parsed = parse_spec(spec_arg(opts)?).map_err(|e| e.to_string())?;
+    let item = match parsed {
+        bfl_core::parser::Spec::Query(q) => SpecItem::query(q),
+        bfl_core::parser::Spec::Formula(f) => SpecItem::vector(opts.failed.clone(), f),
+    };
+    report_one(opts, item)
+}
+
+fn cmd_run(opts: &Options) -> Result<String, String> {
+    if !opts.failed.is_empty() {
+        return Err(
+            "--failed does not apply to `run`; give each formula line its own \
+             `[A, B]` failed-events prefix in the spec file"
+                .to_string(),
+        );
+    }
+    let path = spec_arg(opts)?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read spec `{path}`: {e}"))?;
+    let spec = Spec::parse(&text).map_err(|e| e.to_string())?;
+    let report = opts.session.run(&spec).map_err(|e| e.to_string())?;
+    if opts.json {
+        Ok(format!("{}\n", report.to_json()))
+    } else {
+        Ok(report.to_string())
     }
 }
 
 fn cmd_sat(opts: &Options) -> Result<String, String> {
-    let mut mc = checker(opts);
     let f = parse_formula(spec_arg(opts)?).map_err(|e| e.to_string())?;
-    let vectors = mc.satisfying_vectors(&f).map_err(|e| e.to_string())?;
+    let vectors = opts
+        .session
+        .satisfying_vectors(&f)
+        .map_err(|e| e.to_string())?;
+    if opts.json {
+        return Ok(format!(
+            "{}\n",
+            json_name_sets(&opts.session.vectors_to_failed_sets(&vectors))
+        ));
+    }
     let mut out = String::new();
     let _ = writeln!(out, "{} satisfying vectors", vectors.len());
     for v in &vectors {
-        let _ = writeln!(out, "{v}  {{{}}}", v.failed_names(&opts.tree).join(", "));
+        let _ = writeln!(
+            out,
+            "{v}  {{{}}}",
+            v.failed_names(opts.session.tree()).join(", ")
+        );
     }
     Ok(out)
 }
 
 fn cmd_count(opts: &Options) -> Result<String, String> {
-    let mut mc = checker(opts);
     let f = parse_formula(spec_arg(opts)?).map_err(|e| e.to_string())?;
-    let n = mc.count_satisfying(&f).map_err(|e| e.to_string())?;
-    Ok(format!("{n}\n"))
+    let n = opts
+        .session
+        .count_satisfying(&f)
+        .map_err(|e| e.to_string())?;
+    if opts.json {
+        Ok(format!("{{\"count\":{n}}}\n"))
+    } else {
+        Ok(format!("{n}\n"))
+    }
 }
 
 fn cmd_mcs(opts: &Options, cuts: bool) -> Result<String, String> {
-    let element = opts
-        .positional
-        .first()
-        .cloned()
-        .unwrap_or_else(|| opts.tree.name(opts.tree.top()).to_string());
-    let sets = match (opts.engine, cuts) {
-        (Engine::Zdd, true) => {
-            let e = opts
-                .tree
-                .element(&element)
-                .ok_or_else(|| format!("unknown element `{element}`"))?;
-            let indices = bfl_fault_tree::zdd_engine::minimal_cut_sets_zdd(&opts.tree, e);
-            index_sets_to_names(&opts.tree, &indices)
-        }
-        (Engine::Zdd, false) => {
-            return Err("the zdd engine supports `mcs` only".to_string());
-        }
-        (Engine::Paper, _) => {
-            let e = opts
-                .tree
-                .element(&element)
-                .ok_or_else(|| format!("unknown element `{element}`"))?;
-            let indices = if cuts {
-                bfl_fault_tree::analysis::minimal_cut_sets_paper(&opts.tree, e)
-            } else {
-                bfl_fault_tree::analysis::minimal_path_sets_paper(&opts.tree, e)
-            };
-            index_sets_to_names(&opts.tree, &indices)
-        }
-        (Engine::Minsol, _) => {
-            let mut mc = checker(opts);
-            if cuts {
-                mc.minimal_cut_sets(&element)
-            } else {
-                mc.minimal_path_sets(&element)
-            }
-            .map_err(|e| e.to_string())?
-        }
-    };
+    let element = opts.positional.first().cloned().unwrap_or_else(|| {
+        let tree = opts.session.tree();
+        tree.name(tree.top()).to_string()
+    });
+    let sets = if cuts {
+        opts.session.minimal_cut_sets(&element)
+    } else {
+        opts.session.minimal_path_sets(&element)
+    }
+    .map_err(|e| e.to_string())?;
+    if opts.json {
+        return Ok(format!("{}\n", json_name_sets(&sets)));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -276,82 +286,76 @@ fn cmd_mcs(opts: &Options, cuts: bool) -> Result<String, String> {
 }
 
 fn cmd_cex(opts: &Options) -> Result<String, String> {
-    let mut mc = checker(opts);
     let f = parse_formula(spec_arg(opts)?).map_err(|e| e.to_string())?;
     let b = vector(opts)?;
-    match counterexample(&mut mc, &b, &f).map_err(|e| e.to_string())? {
+    match opts
+        .session
+        .counterexample(&b, &f)
+        .map_err(|e| e.to_string())?
+    {
         Counterexample::AlreadySatisfies => Ok("vector already satisfies the formula\n".into()),
         Counterexample::Unsatisfiable => Ok("formula is unsatisfiable\n".into()),
         Counterexample::Found(v) => {
+            let tree = opts.session.tree();
             let mut out = String::new();
-            let _ = writeln!(out, "counterexample: {v}  {{{}}}", v.failed_names(&opts.tree).join(", "));
-            out.push_str(&bfl_core::render::counterexample_report(&opts.tree, &b, &v));
+            let _ = writeln!(
+                out,
+                "counterexample: {v}  {{{}}}",
+                v.failed_names(tree).join(", ")
+            );
+            out.push_str(&bfl_core::render::counterexample_report(tree, &b, &v));
             Ok(out)
         }
     }
 }
 
 fn cmd_ibe(opts: &Options) -> Result<String, String> {
-    let mut mc = checker(opts);
     let f = parse_formula(spec_arg(opts)?).map_err(|e| e.to_string())?;
-    let ibe = mc.influencing_basic_events(&f).map_err(|e| e.to_string())?;
-    Ok(format!("{{{}}}\n", ibe.join(", ")))
+    let ibe = opts
+        .session
+        .influencing_basic_events(&f)
+        .map_err(|e| e.to_string())?;
+    if opts.json {
+        let names: Vec<Vec<String>> = vec![ibe];
+        Ok(format!("{}\n", json_name_sets(&names)))
+    } else {
+        Ok(format!("{{{}}}\n", ibe.join(", ")))
+    }
 }
 
 fn cmd_render(opts: &Options) -> Result<String, String> {
     let b = vector(opts)?;
-    Ok(bfl_core::render::propagation(&opts.tree, &b))
+    Ok(bfl_core::render::propagation(opts.session.tree(), &b))
 }
 
 fn cmd_dot(opts: &Options) -> Result<String, String> {
+    let tree = opts.session.tree();
     if opts.failed.is_empty() {
-        Ok(bfl_fault_tree::dot::to_dot(&opts.tree))
+        Ok(bfl_fault_tree::dot::to_dot(tree))
     } else {
         let b = vector(opts)?;
-        Ok(bfl_fault_tree::dot::to_dot_with_status(&opts.tree, Some(&b)))
+        Ok(bfl_fault_tree::dot::to_dot_with_status(tree, Some(&b)))
     }
 }
 
 fn cmd_prob(opts: &Options) -> Result<String, String> {
-    let missing: Vec<&str> = opts
-        .probabilities
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.is_none())
-        .map(|(i, _)| opts.tree.name(opts.tree.basic_events()[i]))
-        .collect();
-    if !missing.is_empty() {
-        return Err(format!(
-            "missing prob= annotations for: {}",
-            missing.join(", ")
-        ));
+    let p = opts
+        .session
+        .top_event_probability()
+        .map_err(|e| e.to_string())?;
+    if opts.json {
+        Ok(format!("{{\"probability\":{p}}}\n"))
+    } else {
+        Ok(format!("{p}\n"))
     }
-    let probs: Vec<f64> = opts.probabilities.iter().map(|p| p.expect("checked")).collect();
-    let p = bfl_fault_tree::prob::top_event_probability(&opts.tree, &probs);
-    Ok(format!("{p}\n"))
-}
-
-fn index_sets_to_names(tree: &FaultTree, sets: &[Vec<usize>]) -> Vec<Vec<String>> {
-    let mut out: Vec<Vec<String>> = sets
-        .iter()
-        .map(|s| {
-            let mut names: Vec<String> = s
-                .iter()
-                .map(|&i| tree.name(tree.basic_events()[i]).to_string())
-                .collect();
-            names.sort();
-            names
-        })
-        .collect();
-    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
-    out
 }
 
 fn cmd_modules(opts: &Options) -> Result<String, String> {
-    let mods = bfl_fault_tree::modules::modules(&opts.tree);
+    let tree = opts.session.tree();
+    let mods = bfl_fault_tree::modules::modules(tree);
     let mut out = String::new();
     for g in mods {
-        let _ = writeln!(out, "{}", opts.tree.name(g));
+        let _ = writeln!(out, "{}", tree.name(g));
     }
     Ok(out)
 }
@@ -361,26 +365,28 @@ mod tests {
     use super::*;
 
     fn write_model() -> tempdir::TempFile {
-        tempdir::TempFile::new(
-            "toplevel T;\nT and A B;\nA prob=0.1;\nB prob=0.2;\n",
-        )
+        tempdir::TempFile::new("toplevel T;\nT and A B;\nA prob=0.1;\nB prob=0.2;\n", "dft")
     }
 
     /// Minimal self-contained temp-file helper (std only).
     mod tempdir {
         use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
 
         pub struct TempFile {
             pub path: PathBuf,
         }
 
         impl TempFile {
-            pub fn new(contents: &str) -> TempFile {
+            pub fn new(contents: &str, ext: &str) -> TempFile {
                 let mut path = std::env::temp_dir();
                 let unique = format!(
-                    "bfl-cli-test-{}-{:?}.dft",
+                    "bfl-cli-test-{}-{:?}-{}.{ext}",
                     std::process::id(),
-                    std::thread::current().id()
+                    std::thread::current().id(),
+                    COUNTER.fetch_add(1, Ordering::Relaxed),
                 );
                 path.push(unique);
                 std::fs::write(&path, contents).expect("write temp model");
@@ -433,6 +439,64 @@ mod tests {
     }
 
     #[test]
+    fn check_json_is_structured() {
+        let f = write_model();
+        let out = run_ok(&["check", "--ft", &f.arg(), "--json", "forall A & B => T"]);
+        assert!(out.contains("\"holds\":true"), "{out}");
+        assert!(out.contains("\"cache_misses\""), "{out}");
+        let out = run_ok(&["check", "--ft", &f.arg(), "--json", "forall A => T"]);
+        assert!(out.contains("\"holds\":false"), "{out}");
+        assert!(out.contains("\"counterexamples\":[["), "{out}");
+    }
+
+    #[test]
+    fn run_command_batches_a_spec_file() {
+        let f = write_model();
+        let spec = tempdir::TempFile::new(
+            "# demo spec\nQ1: forall A & B => T\nQ2: forall A => T\nV1: [A, B] MCS(T)\n",
+            "bfl",
+        );
+        let out = run_ok(&["run", "--ft", &f.arg(), &spec.arg()]);
+        assert!(out.contains("PASS  Q1"), "{out}");
+        assert!(out.contains("FAIL  Q2"), "{out}");
+        assert!(out.contains("PASS  V1"), "{out}");
+        assert!(out.contains("2/3 hold"), "{out}");
+        let out = run_ok(&["run", "--ft", &f.arg(), &spec.arg(), "--json"]);
+        assert!(out.contains("\"label\":\"Q1\""), "{out}");
+        assert!(out.contains("\"totals\""), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_failed_flag() {
+        let f = write_model();
+        let spec = tempdir::TempFile::new("forall A => T\n", "bfl");
+        let args: Vec<String> = ["run", "--ft", &f.arg(), "--failed", "A", &spec.arg()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--failed"), "{err}");
+        assert!(err.contains("prefix"), "{err}");
+    }
+
+    #[test]
+    fn support_scope_is_backend_independent() {
+        let f = write_model();
+        let base = run_ok(&["mcs", "--ft", &f.arg(), "--support-scope"]);
+        for engine in ["minsol", "paper", "zdd"] {
+            let out = run_ok(&[
+                "mcs",
+                "--ft",
+                &f.arg(),
+                "--support-scope",
+                "--engine",
+                engine,
+            ]);
+            assert_eq!(out, base, "{engine}");
+        }
+    }
+
+    #[test]
     fn mcs_and_mps() {
         let f = write_model();
         let out = run_ok(&["mcs", "--ft", &f.arg()]);
@@ -450,6 +514,8 @@ mod tests {
         let out = run_ok(&["sat", "--ft", &f.arg(), "T"]);
         assert!(out.contains("1 satisfying vectors"));
         assert!(out.contains("{A, B}"));
+        let out = run_ok(&["sat", "--ft", &f.arg(), "--json", "T"]);
+        assert_eq!(out, "[[\"A\",\"B\"]]\n");
     }
 
     #[test]
@@ -488,20 +554,20 @@ mod tests {
     #[test]
     fn engines_and_orderings_agree() {
         let f = write_model();
-        let base = run_ok(&["mcs", "--ft", &f.arg()]);
+        let base_mcs = run_ok(&["mcs", "--ft", &f.arg()]);
+        let base_mps = run_ok(&["mps", "--ft", &f.arg()]);
+        // Every backend now supports BOTH mcs and mps (zdd included —
+        // path sets run on the dual tree).
         for engine in ["minsol", "paper", "zdd"] {
             let out = run_ok(&["mcs", "--ft", &f.arg(), "--engine", engine]);
-            assert_eq!(out, base, "{engine}");
+            assert_eq!(out, base_mcs, "{engine}");
+            let out = run_ok(&["mps", "--ft", &f.arg(), "--engine", engine]);
+            assert_eq!(out, base_mps, "{engine}");
         }
         for ordering in ["dfs", "bfs", "declaration", "bouissou"] {
             let out = run_ok(&["mcs", "--ft", &f.arg(), "--ordering", ordering]);
-            assert_eq!(out, base, "{ordering}");
+            assert_eq!(out, base_mcs, "{ordering}");
         }
-        let args: Vec<String> = ["mps", "--ft", &f.arg(), "--engine", "zdd"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert!(run(&args).unwrap_err().contains("mcs"));
         let args: Vec<String> = ["mcs", "--ft", &f.arg(), "--engine", "bogus"]
             .iter()
             .map(|s| s.to_string())

@@ -1,17 +1,22 @@
 //! `bfl` — command-line front-end for Boolean Fault tree Logic.
 //!
 //! ```text
-//! bfl check  --ft FILE --failed A,B,C 'FORMULA-or-QUERY'
+//! bfl check  --ft FILE --failed A,B,C 'FORMULA-or-QUERY' [--json]
+//! bfl run    --ft FILE SPECFILE [--json]
 //! bfl sat    --ft FILE 'FORMULA'
 //! bfl count  --ft FILE 'FORMULA'
-//! bfl mcs    --ft FILE [ELEMENT]
-//! bfl mps    --ft FILE [ELEMENT]
+//! bfl mcs    --ft FILE [ELEMENT] [--engine minsol|paper|zdd]
+//! bfl mps    --ft FILE [ELEMENT] [--engine minsol|paper|zdd]
 //! bfl cex    --ft FILE --failed A,B,C 'FORMULA'
 //! bfl ibe    --ft FILE 'FORMULA'
 //! bfl render --ft FILE --failed A,B,C
 //! bfl dot    --ft FILE [--failed A,B,C]
 //! bfl prob   --ft FILE
 //! ```
+//!
+//! Every command runs through one `AnalysisSession` configured by the
+//! common options; `run` evaluates a whole spec file in one pass over
+//! shared BDD caches.
 //!
 //! Fault trees are read in the Galileo dialect (see the `bfl-fault-tree`
 //! documentation); formulas/queries in the BFL DSL (see `bfl-core`).

@@ -351,7 +351,10 @@ fn precedence(f: &Formula) -> u8 {
         Formula::And(..) => 4,
         Formula::Not(..) => 5,
         Formula::Evidence { .. } => 6,
-        Formula::Const(_) | Formula::Atom(_) | Formula::Mcs(_) | Formula::Mps(_)
+        Formula::Const(_)
+        | Formula::Atom(_)
+        | Formula::Mcs(_)
+        | Formula::Mps(_)
         | Formula::Vot { .. } => 7,
     }
 }
@@ -426,7 +429,11 @@ impl fmt::Display for Formula {
                 f.write_str(" != ")?;
                 write_child(f, b, prec + 1)
             }
-            Formula::Evidence { inner, element, value } => {
+            Formula::Evidence {
+                inner,
+                element,
+                value,
+            } => {
                 write_child(f, inner, prec)?;
                 f.write_str("[")?;
                 write_name(f, element)?;
@@ -493,7 +500,9 @@ mod tests {
 
     #[test]
     fn evidence_display() {
-        let f = Formula::atom("IWoS").mps().with_evidence_all([("H1", false), ("H2", true)]);
+        let f = Formula::atom("IWoS")
+            .mps()
+            .with_evidence_all([("H1", false), ("H2", true)]);
         assert_eq!(f.to_string(), "MPS(IWoS)[H1 := 0][H2 := 1]");
     }
 
@@ -509,11 +518,7 @@ mod tests {
 
     #[test]
     fn vot_display() {
-        let f = Formula::vot(
-            CmpOp::Ge,
-            2,
-            ["H1", "H2", "H3"].map(Formula::atom),
-        );
+        let f = Formula::vot(CmpOp::Ge, 2, ["H1", "H2", "H3"].map(Formula::atom));
         assert_eq!(f.to_string(), "VOT(>=2; H1, H2, H3)");
     }
 

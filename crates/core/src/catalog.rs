@@ -125,9 +125,7 @@ pub fn independent(a: &str, b: &str) -> Query {
 /// # Errors
 ///
 /// As for [`ModelChecker::check_query`](crate::ModelChecker::check_query).
-pub fn superfluous_events(
-    mc: &mut crate::ModelChecker<'_>,
-) -> Result<Vec<String>, crate::BflError> {
+pub fn superfluous_events(mc: &mut crate::ModelChecker) -> Result<Vec<String>, crate::BflError> {
     let names: Vec<String> = mc
         .tree()
         .basic_event_names()
@@ -154,10 +152,14 @@ mod tests {
         let tree = corpus::covid();
         let mut mc = ModelChecker::new(&tree);
         // P3: H4 alone is not sufficient.
-        assert!(!mc.check_query(&sufficient_for(&tree, "H4", "IWoS")).unwrap());
+        assert!(!mc
+            .check_query(&sufficient_for(&tree, "H4", "IWoS"))
+            .unwrap());
         // But the whole SH subtree failing together with CP/R and MoT is —
         // trivially, the top itself.
-        assert!(mc.check_query(&sufficient_for(&tree, "IWoS", "IWoS")).unwrap());
+        assert!(mc
+            .check_query(&sufficient_for(&tree, "IWoS", "IWoS"))
+            .unwrap());
     }
 
     #[test]
@@ -169,8 +171,12 @@ mod tests {
         assert!(mc.check_query(&necessary_for(&tree, "VW", "IWoS")).unwrap());
         assert!(!mc.check_query(&necessary_for(&tree, "H4", "IWoS")).unwrap());
         // Equivalent formulation through occurs_without.
-        assert!(!mc.check_query(&occurs_without(&tree, "IWoS", "H1")).unwrap());
-        assert!(mc.check_query(&occurs_without(&tree, "IWoS", "H4")).unwrap());
+        assert!(!mc
+            .check_query(&occurs_without(&tree, "IWoS", "H1"))
+            .unwrap());
+        assert!(mc
+            .check_query(&occurs_without(&tree, "IWoS", "H4"))
+            .unwrap());
     }
 
     #[test]

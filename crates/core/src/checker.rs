@@ -14,6 +14,7 @@
 //!   *reduced* diagrams coincide exactly with the influencing basic events.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bfl_bdd::{Bdd, Manager, Var};
 use bfl_fault_tree::analysis::{mcs_bdd_paper, mps_bdd_paper};
@@ -64,25 +65,38 @@ pub enum MinimalityScope {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct ModelChecker<'t> {
-    tree: &'t FaultTree,
+pub struct ModelChecker {
+    tree: Arc<FaultTree>,
     tb: TreeBdd,
     cache: HashMap<(Formula, MinimalityScope), Bdd>,
     scope: MinimalityScope,
     /// ordering position -> basic index (inverse of the TreeBdd map).
     basic_of_position: Vec<usize>,
+    /// Formula-translation cache hits/misses since the last reset, over
+    /// every recursive `formula_bdd` step.
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
-impl<'t> ModelChecker<'t> {
+impl ModelChecker {
     /// Creates a checker with the default DFS variable ordering and the
     /// formal (global-universe) minimality scope.
-    pub fn new(tree: &'t FaultTree) -> Self {
+    ///
+    /// The checker *owns* its tree (it clones `tree` into an
+    /// [`Arc`]); use [`ModelChecker::from_arc`] to share an existing
+    /// allocation.
+    pub fn new(tree: &FaultTree) -> Self {
         Self::with_ordering(tree, VariableOrdering::DfsPreorder)
     }
 
     /// Creates a checker with an explicit variable ordering.
-    pub fn with_ordering(tree: &'t FaultTree, ordering: VariableOrdering) -> Self {
-        let tb = TreeBdd::new(tree, ordering);
+    pub fn with_ordering(tree: &FaultTree, ordering: VariableOrdering) -> Self {
+        Self::from_arc(Arc::new(tree.clone()), ordering)
+    }
+
+    /// Creates a checker sharing ownership of an existing tree.
+    pub fn from_arc(tree: Arc<FaultTree>, ordering: VariableOrdering) -> Self {
+        let tb = TreeBdd::new(&tree, ordering);
         let basic_of_position = tb
             .order()
             .iter()
@@ -94,6 +108,8 @@ impl<'t> ModelChecker<'t> {
             cache: HashMap::new(),
             scope: MinimalityScope::default(),
             basic_of_position,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -109,8 +125,32 @@ impl<'t> ModelChecker<'t> {
     }
 
     /// The fault tree under analysis.
-    pub fn tree(&self) -> &'t FaultTree {
-        self.tree
+    pub fn tree(&self) -> &FaultTree {
+        &self.tree
+    }
+
+    /// Shared handle to the fault tree under analysis.
+    pub fn tree_arc(&self) -> Arc<FaultTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// Translation-cache hits since construction or the last
+    /// [`ModelChecker::reset_cache_stats`], counted over every recursive
+    /// step of Algorithm 1.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Translation-cache misses (sub-formulae compiled for the first
+    /// time); the cache holds exactly this many entries per scope.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Zeroes the hit/miss counters (the cache itself is kept).
+    pub fn reset_cache_stats(&mut self) {
+        self.cache_hits = 0;
+        self.cache_misses = 0;
     }
 
     /// The underlying BDD manager (for statistics and rendering).
@@ -139,13 +179,15 @@ impl<'t> ModelChecker<'t> {
     pub fn formula_bdd(&mut self, phi: &Formula) -> Result<Bdd, BflError> {
         let key = (phi.clone(), self.scope);
         if let Some(&b) = self.cache.get(&key) {
+            self.cache_hits += 1;
             return Ok(b);
         }
+        self.cache_misses += 1;
         let result = match phi {
             Formula::Const(c) => self.tb.manager().constant(*c),
             Formula::Atom(name) => {
                 let e = self.resolve(name)?;
-                self.tb.element_bdd(self.tree, e)
+                self.tb.element_bdd(&self.tree, e)
             }
             Formula::Not(a) => {
                 let x = self.formula_bdd(a)?;
@@ -176,7 +218,11 @@ impl<'t> ModelChecker<'t> {
                 let y = self.formula_bdd(b)?;
                 self.tb.manager_mut().xor(x, y)
             }
-            Formula::Evidence { inner, element, value } => {
+            Formula::Evidence {
+                inner,
+                element,
+                value,
+            } => {
                 let e = self.resolve(element)?;
                 let bi = self
                     .tree
@@ -291,7 +337,33 @@ impl<'t> ModelChecker<'t> {
             .tb
             .manager()
             .sat_vectors(f, &universe)
-            .map(|assignment| self.tb.vector_from_positions(self.tree, &assignment))
+            .map(|assignment| self.tb.vector_from_positions(&self.tree, &assignment))
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Up to `limit` satisfying vectors of `phi` — Algorithm 3 truncated
+    /// after `limit` BDD paths, for cheap witness extraction on formulae
+    /// whose full satisfaction set is astronomically large.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelChecker::formula_bdd`].
+    pub fn some_satisfying_vectors(
+        &mut self,
+        phi: &Formula,
+        limit: usize,
+    ) -> Result<Vec<StatusVector>, BflError> {
+        let f = self.formula_bdd(phi)?;
+        let universe = self.tb.unprimed_vars();
+        let mut out: Vec<StatusVector> = self
+            .tb
+            .manager()
+            .sat_vectors(f, &universe)
+            .take(limit)
+            .map(|assignment| self.tb.vector_from_positions(&self.tree, &assignment))
             .collect();
         out.sort();
         out.dedup();
@@ -334,10 +406,7 @@ impl<'t> ModelChecker<'t> {
             Query::Sup(name) => {
                 // SUP(e) ::= IDP(e, e_top).
                 let top = self.tree.name(self.tree.top()).to_string();
-                self.check_query(&Query::Idp(
-                    Formula::atom(name.clone()),
-                    Formula::atom(top),
-                ))
+                self.check_query(&Query::Idp(Formula::atom(name.clone()), Formula::atom(top)))
             }
         }
     }
@@ -408,7 +477,7 @@ impl<'t> ModelChecker<'t> {
             .iter()
             .map(|v| {
                 let mut names: Vec<String> = v
-                    .failed_names(self.tree)
+                    .failed_names(&self.tree)
                     .into_iter()
                     .map(str::to_string)
                     .collect();
@@ -443,9 +512,15 @@ mod tests {
         let tree = corpus::or2();
         let mut mc = ModelChecker::new(&tree);
         let phi = Formula::atom("Top").mcs();
-        assert!(mc.holds(&StatusVector::from_bits([false, true]), &phi).unwrap());
-        assert!(!mc.holds(&StatusVector::from_bits([true, true]), &phi).unwrap());
-        assert!(!mc.holds(&StatusVector::from_bits([false, false]), &phi).unwrap());
+        assert!(mc
+            .holds(&StatusVector::from_bits([false, true]), &phi)
+            .unwrap());
+        assert!(!mc
+            .holds(&StatusVector::from_bits([true, true]), &phi)
+            .unwrap());
+        assert!(!mc
+            .holds(&StatusVector::from_bits([false, false]), &phi)
+            .unwrap());
     }
 
     #[test]
@@ -502,7 +577,9 @@ mod tests {
             .check_query(&Query::forall(Formula::atom("CP/R")))
             .unwrap());
         assert!(!mc
-            .check_query(&Query::exists(Formula::atom("CP").and(Formula::atom("CP").not())))
+            .check_query(&Query::exists(
+                Formula::atom("CP").and(Formula::atom("CP").not())
+            ))
             .unwrap());
     }
 
@@ -553,12 +630,10 @@ mod tests {
         let tree = corpus::covid();
         let mut mc = ModelChecker::new(&tree);
         let via_logic = mc.minimal_cut_sets("IWoS").unwrap();
-        let via_analysis =
-            bfl_fault_tree::analysis::minimal_cut_sets_names(&tree, tree.top());
+        let via_analysis = bfl_fault_tree::analysis::minimal_cut_sets_names(&tree, tree.top());
         assert_eq!(via_logic, via_analysis);
         let mps_logic = mc.minimal_path_sets("IWoS").unwrap();
-        let mps_analysis =
-            bfl_fault_tree::analysis::minimal_path_sets_names(&tree, tree.top());
+        let mps_analysis = bfl_fault_tree::analysis::minimal_path_sets_names(&tree, tree.top());
         assert_eq!(mps_logic, mps_analysis);
     }
 

@@ -72,7 +72,7 @@ impl Counterexample {
 /// # }
 /// ```
 pub fn counterexample(
-    mc: &mut ModelChecker<'_>,
+    mc: &mut ModelChecker,
     b: &StatusVector,
     phi: &Formula,
 ) -> Result<Counterexample, BflError> {
@@ -121,7 +121,7 @@ pub fn counterexample(
 ///
 /// As for [`ModelChecker::formula_bdd`].
 pub fn is_valid_counterexample(
-    mc: &mut ModelChecker<'_>,
+    mc: &mut ModelChecker,
     b: &StatusVector,
     revised: &StatusVector,
     phi: &Formula,
@@ -152,7 +152,7 @@ pub fn is_valid_counterexample(
 ///
 /// As for [`ModelChecker::formula_bdd`].
 pub fn all_counterexamples(
-    mc: &mut ModelChecker<'_>,
+    mc: &mut ModelChecker,
     b: &StatusVector,
     phi: &Formula,
 ) -> Result<Vec<StatusVector>, BflError> {
@@ -178,14 +178,13 @@ pub fn all_counterexamples(
 ///
 /// As for [`ModelChecker::formula_bdd`].
 pub fn nearest_witnesses(
-    mc: &mut ModelChecker<'_>,
+    mc: &mut ModelChecker,
     b: &StatusVector,
     phi: &Formula,
 ) -> Result<Vec<StatusVector>, BflError> {
     let sats = mc.satisfying_vectors(phi)?;
-    let distance = |x: &StatusVector| -> usize {
-        (0..b.len()).filter(|&i| x.get(i) != b.get(i)).count()
-    };
+    let distance =
+        |x: &StatusVector| -> usize { (0..b.len()).filter(|&i| x.get(i) != b.get(i)).count() };
     let best = sats.iter().map(distance).min();
     Ok(match best {
         None => Vec::new(),
@@ -342,7 +341,10 @@ mod tests {
             let b = StatusVector::from_bits(bits);
             match counterexample(&mut mc, &b, &phi).unwrap() {
                 Counterexample::Found(v) => {
-                    assert!(is_valid_counterexample(&mut mc, &b, &v, &phi).unwrap(), "{b}");
+                    assert!(
+                        is_valid_counterexample(&mut mc, &b, &v, &phi).unwrap(),
+                        "{b}"
+                    );
                 }
                 Counterexample::AlreadySatisfies => {}
                 Counterexample::Unsatisfiable => panic!("MCS(IWoS) is satisfiable"),

@@ -1,0 +1,775 @@
+//! The `AnalysisSession` engine — an owned, thread-safe, batch-first
+//! façade over the whole BFL stack.
+//!
+//! The paper's workflow is *session-shaped*: one fault tree, many
+//! layer-1/layer-2 questions, with Algorithms 1–3 explicitly designed to
+//! share BDD translations across questions. [`AnalysisSession`] is that
+//! workflow as a type:
+//!
+//! * **owned** — the session holds its tree behind an
+//!   [`Arc<FaultTree>`], so it has no borrow lifetime and moves freely
+//!   across threads and into services;
+//! * **thread-safe** — `AnalysisSession: Send + Sync`; interior
+//!   mutability of the shared BDD caches is a private [`Mutex`];
+//! * **configurable** — [`SessionBuilder`] selects the BDD variable
+//!   ordering, the `MCS`/`MPS` minimality scope, the cut-set
+//!   [`Backend`] and probability annotations up front;
+//! * **batch-first** — [`AnalysisSession::run`] evaluates a whole
+//!   [`Spec`] in one pass over shared caches, and every question returns
+//!   a structured [`Outcome`] (verdict, witness vectors, counterexample,
+//!   [`EvalStats`]) instead of a bare `bool`.
+//!
+//! [`ModelChecker`] remains the internal workhorse (Algorithms 1–3); the
+//! session wraps one and layers batch evaluation, backend dispatch,
+//! statistics and probability on top.
+//!
+//! # Migration from `ModelChecker`
+//!
+//! | before (lifetime-bound)             | after (owned)                          |
+//! |-------------------------------------|----------------------------------------|
+//! | `ModelChecker::new(&tree)`          | `AnalysisSession::new(tree)`           |
+//! | `mc.check_query(&q)? -> bool`       | `s.check_query(&q)?.holds` + stats     |
+//! | `mc.holds(&b, &phi)?`               | `s.check_vector(&b, &phi)?.holds`      |
+//! | `counterexample(&mut mc, &b, &phi)` | `s.counterexample(&b, &phi)?`          |
+//! | `mc.minimal_cut_sets("Top")`        | `s.minimal_cut_sets("Top")?` (backend) |
+//! | `zdd_engine::minimal_cut_sets_zdd`  | `.backend(Backend::Zdd)` at build time |
+//! | per-query loops                     | `s.run(&spec)? -> Report`              |
+//!
+//! # Example
+//!
+//! ```
+//! use bfl_core::engine::{AnalysisSession, Backend};
+//! use bfl_core::report::Spec;
+//! use bfl_fault_tree::corpus;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let session = AnalysisSession::builder()
+//!     .backend(Backend::Zdd)
+//!     .build(corpus::covid());
+//!
+//! // One question, structured result:
+//! let q = bfl_core::parser::parse_query("forall IS => MoT")?;
+//! let outcome = session.check_query(&q)?;
+//! assert!(!outcome.holds);
+//! assert!(!outcome.counterexamples.is_empty());
+//!
+//! // A whole batch in one pass over shared caches:
+//! let spec = Spec::parse("P1: forall IS => MoT\nP9: SUP(PP)\n")?;
+//! let report = session.run(&spec)?;
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert!(report.totals.cache_hits > 0); // `IS => MoT` shares sub-BDDs
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use bfl_fault_tree::{prob, FaultTree, StatusVector, VariableOrdering};
+
+pub use bfl_fault_tree::backend::{Backend, CutSetEngine};
+
+use crate::ast::{Formula, Query};
+use crate::checker::{MinimalityScope, ModelChecker};
+use crate::counterexample::{counterexample, Counterexample};
+use crate::error::BflError;
+use crate::quant;
+use crate::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
+
+/// Configures and builds an [`AnalysisSession`].
+///
+/// Every knob has a sensible default; `build` is infallible.
+///
+/// ```
+/// use bfl_core::engine::{AnalysisSession, Backend};
+/// use bfl_core::MinimalityScope;
+/// use bfl_fault_tree::{corpus, VariableOrdering};
+///
+/// let session = AnalysisSession::builder()
+///     .ordering(VariableOrdering::BouissouWeight)
+///     .minimality_scope(MinimalityScope::FormulaSupport)
+///     .backend(Backend::Paper)
+///     .witness_limit(5)
+///     .build(corpus::fig1());
+/// assert_eq!(session.backend(), Backend::Paper);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    ordering: VariableOrdering,
+    scope: MinimalityScope,
+    backend: Backend,
+    witness_limit: usize,
+    probabilities: Option<Vec<Option<f64>>>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            ordering: VariableOrdering::DfsPreorder,
+            scope: MinimalityScope::default(),
+            backend: Backend::default(),
+            witness_limit: 3,
+            probabilities: None,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with all defaults (DFS ordering, global-universe scope,
+    /// `minsol` backend, witness limit 3, no probabilities).
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// The BDD variable ordering.
+    pub fn ordering(mut self, ordering: VariableOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// The `MCS`/`MPS` minimality scope (see [`MinimalityScope`]).
+    pub fn minimality_scope(mut self, scope: MinimalityScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// The cut-set backend used by [`AnalysisSession::minimal_cut_sets`]
+    /// and [`AnalysisSession::minimal_path_sets`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Maximum number of witness / refuting vectors attached to each
+    /// [`Outcome`] (default 3; `0` disables witness extraction).
+    pub fn witness_limit(mut self, limit: usize) -> Self {
+        self.witness_limit = limit;
+        self
+    }
+
+    /// Per-basic-event failure probabilities (basic-index order, `None`
+    /// for unannotated events), e.g. from
+    /// [`galileo::GalileoModel`](bfl_fault_tree::galileo::GalileoModel).
+    pub fn probabilities(mut self, probabilities: Vec<Option<f64>>) -> Self {
+        self.probabilities = Some(probabilities);
+        self
+    }
+
+    /// Builds the session. Accepts a `FaultTree` by value or an existing
+    /// `Arc<FaultTree>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities were given and their length differs from
+    /// the tree's basic-event count.
+    pub fn build(self, tree: impl Into<Arc<FaultTree>>) -> AnalysisSession {
+        let tree: Arc<FaultTree> = tree.into();
+        if let Some(p) = &self.probabilities {
+            assert_eq!(
+                p.len(),
+                tree.num_basic_events(),
+                "one probability slot per basic event"
+            );
+        }
+        let mut checker = ModelChecker::from_arc(Arc::clone(&tree), self.ordering);
+        checker.set_minimality_scope(self.scope);
+        AnalysisSession {
+            tree,
+            ordering: self.ordering,
+            scope: self.scope,
+            backend: self.backend,
+            witness_limit: self.witness_limit,
+            probabilities: self.probabilities,
+            checker: Mutex::new(checker),
+        }
+    }
+}
+
+/// An owned, thread-safe analysis session over one fault tree.
+///
+/// See the [module docs](self) for the design and a migration table. All
+/// query methods take `&self`; the shared BDD state is synchronised
+/// internally, so a session can serve queries from many threads (queries
+/// are serialised — for parallelism across *trees*, use one session per
+/// tree).
+#[derive(Debug)]
+pub struct AnalysisSession {
+    tree: Arc<FaultTree>,
+    ordering: VariableOrdering,
+    scope: MinimalityScope,
+    backend: Backend,
+    witness_limit: usize,
+    probabilities: Option<Vec<Option<f64>>>,
+    checker: Mutex<ModelChecker>,
+}
+
+impl AnalysisSession {
+    /// A session with default configuration (see [`SessionBuilder`]).
+    pub fn new(tree: impl Into<Arc<FaultTree>>) -> Self {
+        SessionBuilder::new().build(tree)
+    }
+
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The fault tree under analysis.
+    pub fn tree(&self) -> &FaultTree {
+        &self.tree
+    }
+
+    /// Shared handle to the fault tree (cheap to clone into other
+    /// sessions or threads).
+    pub fn tree_arc(&self) -> Arc<FaultTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// The configured BDD variable ordering.
+    pub fn ordering(&self) -> VariableOrdering {
+        self.ordering
+    }
+
+    /// The configured minimality scope.
+    pub fn minimality_scope(&self) -> MinimalityScope {
+        self.scope
+    }
+
+    /// The configured cut-set backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The configured probability annotations, if any.
+    pub fn probabilities(&self) -> Option<&[Option<f64>]> {
+        self.probabilities.as_deref()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ModelChecker> {
+        // A poisoned lock only means another query panicked; the checker's
+        // caches are append-only and remain valid.
+        self.checker.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Cumulative statistics since the session was built: current arena
+    /// size and total translation-cache hits/misses.
+    pub fn stats(&self) -> EvalStats {
+        let mc = self.lock();
+        EvalStats {
+            bdd_nodes: 0,
+            arena_nodes: mc.manager().arena_size(),
+            cache_hits: mc.cache_hits(),
+            cache_misses: mc.cache_misses(),
+            duration_micros: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Single questions, structured results.
+    // ------------------------------------------------------------------
+
+    /// Evaluates a layer-2 query `T ⊨ ψ` into a structured [`Outcome`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::check_query`].
+    pub fn check_query(&self, psi: &Query) -> Result<Outcome, BflError> {
+        let mut mc = self.lock();
+        self.query_outcome(&mut mc, None, psi.to_string(), psi)
+    }
+
+    /// Checks `b, T ⊨ χ` (Algorithm 2) into a structured [`Outcome`];
+    /// failed checks carry the Definition-7 counterexample of
+    /// Algorithm 4.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::holds`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not cover the tree's basic events.
+    pub fn check_vector(&self, b: &StatusVector, phi: &Formula) -> Result<Outcome, BflError> {
+        let mut mc = self.lock();
+        self.vector_outcome(&mut mc, None, phi.to_string(), b, phi)
+    }
+
+    /// Evaluates one prepared [`SpecItem`].
+    ///
+    /// # Errors
+    ///
+    /// As the underlying algorithms; unknown failed-event names in a
+    /// vector item surface as [`BflError::UnknownElement`].
+    pub fn eval(&self, item: &SpecItem) -> Result<Outcome, BflError> {
+        let mut mc = self.lock();
+        self.item_outcome(&mut mc, item)
+    }
+
+    /// **Batch evaluation**: runs every item of `spec` in one pass over
+    /// the shared translation caches and returns a [`Report`].
+    ///
+    /// Equivalent to calling [`AnalysisSession::eval`] per item (the
+    /// test-suite asserts this), but the lock is taken once and repeated
+    /// sub-formulae across items hit the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// The first item error aborts the batch.
+    pub fn run(&self, spec: &Spec) -> Result<Report, BflError> {
+        let mut mc = self.lock();
+        let mut report = Report::new(Arc::clone(&self.tree));
+        for item in &spec.items {
+            let outcome = self.item_outcome(&mut mc, item)?;
+            report.push(outcome);
+        }
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Capabilities previously scattered across the stack.
+    // ------------------------------------------------------------------
+
+    /// The satisfaction set `⟦χ⟧` (Algorithm 3), ascending.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::satisfying_vectors`].
+    pub fn satisfying_vectors(&self, phi: &Formula) -> Result<Vec<StatusVector>, BflError> {
+        self.lock().satisfying_vectors(phi)
+    }
+
+    /// `|⟦χ⟧|` without enumeration.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::count_satisfying`].
+    pub fn count_satisfying(&self, phi: &Formula) -> Result<u128, BflError> {
+        self.lock().count_satisfying(phi)
+    }
+
+    /// The influencing basic events `IBE(ϕ)`, in basic-index order.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::influencing_basic_events`].
+    pub fn influencing_basic_events(&self, phi: &Formula) -> Result<Vec<String>, BflError> {
+        self.lock().influencing_basic_events(phi)
+    }
+
+    /// Minimal cut sets of `element` as sorted name lists, via the
+    /// configured [`Backend`].
+    ///
+    /// Under [`MinimalityScope::FormulaSupport`] every backend routes
+    /// through the shared checker (the dedicated engines implement the
+    /// default global-universe semantics only), so results depend on the
+    /// configured scope but never on the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::UnknownElement`] if `element` is not in the tree.
+    pub fn minimal_cut_sets(&self, element: &str) -> Result<Vec<Vec<String>>, BflError> {
+        self.cut_or_path_sets(element, true)
+    }
+
+    /// Minimal path sets of `element` as sorted name lists of the
+    /// *operational* events, via the configured [`Backend`] (the ZDD
+    /// backend computes them on the dual tree).
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::UnknownElement`] if `element` is not in the tree.
+    pub fn minimal_path_sets(&self, element: &str) -> Result<Vec<Vec<String>>, BflError> {
+        self.cut_or_path_sets(element, false)
+    }
+
+    fn cut_or_path_sets(&self, element: &str, cuts: bool) -> Result<Vec<Vec<String>>, BflError> {
+        // The dedicated Paper/Zdd engines implement the default
+        // global-universe minimality only; under the Table-I support
+        // scope every backend routes through the checker so the session's
+        // configured semantics always wins over the backend knob.
+        let backend = if self.scope == MinimalityScope::FormulaSupport {
+            Backend::Minsol
+        } else {
+            self.backend
+        };
+        match backend {
+            // The minsol engine shares the session's compiled BDDs.
+            Backend::Minsol => {
+                let mut mc = self.lock();
+                if cuts {
+                    mc.minimal_cut_sets(element)
+                } else {
+                    mc.minimal_path_sets(element)
+                }
+            }
+            other => {
+                let e = self
+                    .tree
+                    .element(element)
+                    .ok_or_else(|| BflError::UnknownElement(element.to_string()))?;
+                let engine = other.engine();
+                let sets = if cuts {
+                    engine.minimal_cut_sets(&self.tree, e)
+                } else {
+                    engine.minimal_path_sets(&self.tree, e)
+                };
+                Ok(bfl_fault_tree::analysis::index_sets_to_names(
+                    &self.tree, &sets,
+                ))
+            }
+        }
+    }
+
+    /// Algorithm 4: a Definition-7 counterexample for a vector that fails
+    /// `χ`.
+    ///
+    /// # Errors
+    ///
+    /// As the underlying [`counterexample`].
+    pub fn counterexample(
+        &self,
+        b: &StatusVector,
+        phi: &Formula,
+    ) -> Result<Counterexample, BflError> {
+        counterexample(&mut self.lock(), b, phi)
+    }
+
+    /// Renders vectors as sorted lists of failed-event names.
+    pub fn vectors_to_failed_sets(&self, vectors: &[StatusVector]) -> Vec<Vec<String>> {
+        self.lock().vectors_to_failed_sets(vectors)
+    }
+
+    /// Resolves failed basic-event names into a [`StatusVector`].
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::UnknownElement`] for unknown names and
+    /// [`BflError::EvidenceOnGate`] for gates.
+    pub fn vector_of_failed(&self, failed: &[String]) -> Result<StatusVector, BflError> {
+        let mut v = StatusVector::all_operational(self.tree.num_basic_events());
+        for name in failed {
+            let e = self
+                .tree
+                .element(name)
+                .ok_or_else(|| BflError::UnknownElement(name.clone()))?;
+            let bi = self
+                .tree
+                .basic_index(e)
+                .ok_or_else(|| BflError::EvidenceOnGate(name.clone()))?;
+            v.set(bi, true);
+        }
+        Ok(v)
+    }
+
+    // ------------------------------------------------------------------
+    // Probability (requires annotations at build time).
+    // ------------------------------------------------------------------
+
+    /// The complete probability vector.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::MissingProbabilities`] naming every unannotated basic
+    /// event (or all of them when no annotations were configured).
+    fn full_probabilities(&self) -> Result<Vec<f64>, BflError> {
+        let slots = self.probabilities.as_deref().unwrap_or(&[]);
+        let missing: Vec<String> = (0..self.tree.num_basic_events())
+            .filter(|&i| slots.get(i).copied().flatten().is_none())
+            .map(|i| self.tree.name(self.tree.basic_events()[i]).to_string())
+            .collect();
+        if !missing.is_empty() {
+            return Err(BflError::MissingProbabilities { events: missing });
+        }
+        Ok(slots.iter().map(|p| p.expect("checked")).collect())
+    }
+
+    /// Top-event failure probability from the configured annotations.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::MissingProbabilities`] if any annotation is absent.
+    pub fn top_event_probability(&self) -> Result<f64, BflError> {
+        let probs = self.full_probabilities()?;
+        Ok(prob::top_event_probability(&self.tree, &probs))
+    }
+
+    /// `P(⟦χ⟧)` — the probability that a random status vector satisfies
+    /// `χ` under the configured annotations.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::MissingProbabilities`] or the checker's errors.
+    pub fn formula_probability(&self, phi: &Formula) -> Result<f64, BflError> {
+        let probs = self.full_probabilities()?;
+        quant::probability(&mut self.lock(), phi, &probs)
+    }
+
+    // ------------------------------------------------------------------
+    // Outcome construction.
+    // ------------------------------------------------------------------
+
+    fn item_outcome(&self, mc: &mut ModelChecker, item: &SpecItem) -> Result<Outcome, BflError> {
+        match &item.kind {
+            SpecKind::Query(q) => {
+                self.query_outcome(mc, item.label.clone(), item.source.clone(), q)
+            }
+            SpecKind::Vector { failed, formula } => {
+                let b = self.vector_of_failed(failed)?;
+                self.vector_outcome(mc, item.label.clone(), item.source.clone(), &b, formula)
+            }
+        }
+    }
+
+    fn query_outcome(
+        &self,
+        mc: &mut ModelChecker,
+        label: Option<String>,
+        source: String,
+        psi: &Query,
+    ) -> Result<Outcome, BflError> {
+        let start = Instant::now();
+        let (hits0, misses0) = (mc.cache_hits(), mc.cache_misses());
+        let mut outcome = match psi {
+            Query::Exists(phi) => {
+                let f = mc.formula_bdd(phi)?;
+                let holds = !f.is_false();
+                let mut o = Outcome::bare(label, source, holds);
+                o.stats.bdd_nodes = mc.bdd_size(f);
+                if holds && self.witness_limit > 0 {
+                    o.witnesses = mc.some_satisfying_vectors(phi, self.witness_limit)?;
+                }
+                o
+            }
+            Query::Forall(phi) => {
+                let f = mc.formula_bdd(phi)?;
+                let holds = f.is_true();
+                let mut o = Outcome::bare(label, source, holds);
+                o.stats.bdd_nodes = mc.bdd_size(f);
+                if !holds && self.witness_limit > 0 {
+                    let negated = phi.clone().not();
+                    o.counterexamples = mc.some_satisfying_vectors(&negated, self.witness_limit)?;
+                }
+                o
+            }
+            Query::Idp(a, b) => self.idp_outcome(mc, label, source, a, b)?,
+            Query::Sup(name) => {
+                let top = Formula::atom(self.tree.name(self.tree.top()));
+                self.idp_outcome(mc, label, source, &Formula::atom(name.clone()), &top)?
+            }
+        };
+        outcome.stats.arena_nodes = mc.manager().arena_size();
+        outcome.stats.cache_hits = mc.cache_hits() - hits0;
+        outcome.stats.cache_misses = mc.cache_misses() - misses0;
+        outcome.stats.duration_micros = start.elapsed().as_micros();
+        Ok(outcome)
+    }
+
+    fn idp_outcome(
+        &self,
+        mc: &mut ModelChecker,
+        label: Option<String>,
+        source: String,
+        a: &Formula,
+        b: &Formula,
+    ) -> Result<Outcome, BflError> {
+        let ia = mc.influencing_basic_events(a)?;
+        let ib = mc.influencing_basic_events(b)?;
+        let shared: Vec<String> = ia.into_iter().filter(|e| ib.contains(e)).collect();
+        let fa = mc.formula_bdd(a)?;
+        let fb = mc.formula_bdd(b)?;
+        let mut o = Outcome::bare(label, source, shared.is_empty());
+        o.stats.bdd_nodes = mc.bdd_size(fa) + mc.bdd_size(fb);
+        o.shared_events = shared;
+        Ok(o)
+    }
+
+    fn vector_outcome(
+        &self,
+        mc: &mut ModelChecker,
+        label: Option<String>,
+        source: String,
+        b: &StatusVector,
+        phi: &Formula,
+    ) -> Result<Outcome, BflError> {
+        let start = Instant::now();
+        let (hits0, misses0) = (mc.cache_hits(), mc.cache_misses());
+        let holds = mc.holds(b, phi)?;
+        let mut outcome = Outcome::bare(label, source, holds);
+        let f = mc.formula_bdd(phi)?;
+        outcome.stats.bdd_nodes = mc.bdd_size(f);
+        if holds {
+            if self.witness_limit > 0 {
+                outcome.witnesses = vec![b.clone()];
+            }
+        } else {
+            outcome.counterexample = Some(counterexample(mc, b, phi)?);
+        }
+        outcome.stats.arena_nodes = mc.manager().arena_size();
+        outcome.stats.cache_hits = mc.cache_hits() - hits0;
+        outcome.stats.cache_misses = mc.cache_misses() - misses0;
+        outcome.stats.duration_micros = start.elapsed().as_micros();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_formula, parse_query};
+    use bfl_fault_tree::corpus;
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisSession>();
+    }
+
+    #[test]
+    fn owns_its_tree() {
+        let session;
+        {
+            let tree = corpus::fig1();
+            session = AnalysisSession::new(tree);
+            // `tree` moved in; the session survives any outer scope.
+        }
+        assert_eq!(session.tree().num_basic_events(), 4);
+        let q = Query::forall(Formula::atom("CP").implies(Formula::atom("CP/R")));
+        assert!(session.check_query(&q).unwrap().holds);
+    }
+
+    #[test]
+    fn exists_outcome_carries_witnesses() {
+        let session = AnalysisSession::new(corpus::fig1());
+        let q = parse_query("exists CP & CR").unwrap();
+        let o = session.check_query(&q).unwrap();
+        assert!(o.holds);
+        assert!(!o.witnesses.is_empty());
+        assert!(o.witnesses.len() <= 3);
+        assert!(o.stats.bdd_nodes > 0);
+        // Every witness really satisfies the formula.
+        let phi = parse_formula("CP & CR").unwrap();
+        for w in &o.witnesses {
+            assert!(session.check_vector(w, &phi).unwrap().holds);
+        }
+    }
+
+    #[test]
+    fn forall_failure_carries_refuting_vectors() {
+        let session = AnalysisSession::new(corpus::covid());
+        let q = parse_query("forall IS => MoT").unwrap();
+        let o = session.check_query(&q).unwrap();
+        assert!(!o.holds);
+        assert!(!o.counterexamples.is_empty());
+        let phi = parse_formula("!(IS => MoT)").unwrap();
+        for c in &o.counterexamples {
+            assert!(session.check_vector(c, &phi).unwrap().holds);
+        }
+    }
+
+    #[test]
+    fn idp_failure_names_shared_events() {
+        let session = AnalysisSession::new(corpus::covid());
+        let q = parse_query("IDP(CIO, CIS)").unwrap();
+        let o = session.check_query(&q).unwrap();
+        assert!(!o.holds);
+        assert_eq!(o.shared_events, vec!["H1"]);
+    }
+
+    #[test]
+    fn failed_vector_check_carries_definition7_counterexample() {
+        let session = AnalysisSession::new(corpus::or2());
+        let phi = Formula::atom("Top").mcs();
+        let b = StatusVector::from_bits([true, true]);
+        let o = session.check_vector(&b, &phi).unwrap();
+        assert!(!o.holds);
+        match o.counterexample {
+            Some(Counterexample::Found(v)) => assert_eq!(v.count_failed(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_shares_caches_across_items() {
+        let session = AnalysisSession::new(corpus::covid());
+        let spec = Spec::parse(
+            "P1: forall IS => MoT\n\
+             P1b: forall IS => MoT\n\
+             P3: forall H4 => IWoS\n",
+        )
+        .unwrap();
+        let report = session.run(&spec).unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        // The repeated query is answered wholly from cache.
+        assert_eq!(report.outcomes[1].stats.cache_misses, 0);
+        assert!(report.outcomes[1].stats.cache_hits > 0);
+        assert!(report.outcomes[1].holds == report.outcomes[0].holds);
+    }
+
+    #[test]
+    fn backend_dispatch_agrees() {
+        let tree = Arc::new(corpus::covid());
+        let base = AnalysisSession::new(Arc::clone(&tree));
+        let mcs = base.minimal_cut_sets("IWoS").unwrap();
+        let mps = base.minimal_path_sets("IWoS").unwrap();
+        for backend in Backend::ALL {
+            let s = AnalysisSession::builder()
+                .backend(backend)
+                .build(Arc::clone(&tree));
+            assert_eq!(s.minimal_cut_sets("IWoS").unwrap(), mcs, "{backend}");
+            assert_eq!(s.minimal_path_sets("IWoS").unwrap(), mps, "{backend}");
+        }
+    }
+
+    #[test]
+    fn support_scope_overrides_backend_choice() {
+        let tree = Arc::new(corpus::table1_tree());
+        let reference = AnalysisSession::builder()
+            .minimality_scope(MinimalityScope::FormulaSupport)
+            .build(Arc::clone(&tree));
+        let mcs = reference.minimal_cut_sets("e3").unwrap();
+        for backend in Backend::ALL {
+            let s = AnalysisSession::builder()
+                .minimality_scope(MinimalityScope::FormulaSupport)
+                .backend(backend)
+                .build(Arc::clone(&tree));
+            assert_eq!(s.minimal_cut_sets("e3").unwrap(), mcs, "{backend}");
+            assert_eq!(
+                s.minimal_path_sets("e3").unwrap(),
+                reference.minimal_path_sets("e3").unwrap(),
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_requires_annotations() {
+        let session = AnalysisSession::new(corpus::or2());
+        match session.top_event_probability() {
+            Err(BflError::MissingProbabilities { events }) => {
+                assert_eq!(events.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let with = AnalysisSession::builder()
+            .probabilities(vec![Some(0.1), Some(0.2)])
+            .build(corpus::or2());
+        let p = with.top_event_probability().unwrap();
+        assert!((p - (1.0 - 0.9 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_work_across_threads() {
+        let session = Arc::new(AnalysisSession::new(corpus::covid()));
+        let q = parse_query("exists MCS(IWoS) & H4").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&session);
+                let q = q.clone();
+                std::thread::spawn(move || s.check_query(&q).unwrap().holds)
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+    }
+}

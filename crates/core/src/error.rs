@@ -20,6 +20,13 @@ pub enum BflError {
         /// The evaluator's limit.
         limit: usize,
     },
+    /// A probabilistic query was issued against a session whose model
+    /// lacks `prob=` annotations for the listed basic events.
+    MissingProbabilities {
+        /// Basic events without a probability annotation, in basic-index
+        /// order.
+        events: Vec<String>,
+    },
 }
 
 impl fmt::Display for BflError {
@@ -34,6 +41,9 @@ impl fmt::Display for BflError {
                 f,
                 "reference evaluator limited to {limit} basic events, tree has {actual}"
             ),
+            BflError::MissingProbabilities { events } => {
+                write!(f, "missing prob= annotations for: {}", events.join(", "))
+            }
         }
     }
 }
@@ -46,9 +56,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(BflError::UnknownElement("x".into()).to_string().contains("`x`"));
-        assert!(BflError::EvidenceOnGate("g".into()).to_string().contains("basic events"));
-        let e = BflError::TooLarge { actual: 30, limit: 20 };
+        assert!(BflError::UnknownElement("x".into())
+            .to_string()
+            .contains("`x`"));
+        assert!(BflError::EvidenceOnGate("g".into())
+            .to_string()
+            .contains("basic events"));
+        let e = BflError::TooLarge {
+            actual: 30,
+            limit: 20,
+        };
         assert!(e.to_string().contains("30"));
     }
 }

@@ -18,30 +18,50 @@
 //! * a textual DSL for the logic ([`parser`]) — the paper's third
 //!   future-work item;
 //! * a fault-tree synthesis prototype for the Section V-E discussion
-//!   ([`synthesis`]).
+//!   ([`synthesis`]);
+//! * the **[`AnalysisSession`] engine** ([`engine`], [`report`]) — an
+//!   owned, `Send + Sync`, batch-first façade over all of the above.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use bfl_core::{ModelChecker, parser};
+//! use bfl_core::engine::AnalysisSession;
+//! use bfl_core::report::Spec;
+//! use bfl_core::parser;
 //! use bfl_fault_tree::corpus;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let tree = corpus::covid();
-//! let mut mc = ModelChecker::new(&tree);
+//! let session = AnalysisSession::new(corpus::covid());
 //!
 //! // Property 1 of the case study: is an infected surface sufficient for
-//! // the transmission of COVID? (It is not.)
+//! // the transmission of COVID? (It is not — and the outcome says why.)
 //! let q = parser::parse_query("forall IS => MoT")?;
-//! assert!(!mc.check_query(&q)?);
+//! let outcome = session.check_query(&q)?;
+//! assert!(!outcome.holds);
+//! assert!(!outcome.counterexamples.is_empty());
 //!
 //! // Which minimal cut sets involve the object-disinfection error H4?
 //! let phi = parser::parse_formula("MCS(IWoS) & H4")?;
-//! let sets = mc.satisfying_vectors(&phi)?;
+//! let sets = session.satisfying_vectors(&phi)?;
 //! assert_eq!(sets.len(), 2);
+//!
+//! // Whole specs evaluate in one pass over shared BDD caches.
+//! let report = session.run(&Spec::parse("P8: IDP(CIO, CIS)\nP9: SUP(PP)\n")?)?;
+//! assert_eq!(report.holding(), 0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Migration note: `ModelChecker` → `AnalysisSession`
+//!
+//! [`ModelChecker`] (lifetime-bound, `&mut`, bare `bool` answers) remains
+//! available as the session's internal workhorse, but the public face is
+//! now [`AnalysisSession`]: owned tree (`Arc<FaultTree>`, no lifetime
+//! parameter), `Send + Sync`, structured [`report::Outcome`]s with
+//! witnesses/counterexamples/statistics, cut-set [`Backend`] selection as
+//! configuration, and batch evaluation via
+//! [`AnalysisSession::run`](engine::AnalysisSession::run). See the
+//! migration table in the [`engine`] module docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,11 +70,13 @@ pub mod ast;
 pub mod catalog;
 pub mod checker;
 pub mod counterexample;
+pub mod engine;
 pub mod error;
 pub mod parser;
 pub mod patterns;
 pub mod quant;
 pub mod render;
+pub mod report;
 pub mod rewrite;
 pub mod semantics;
 pub mod synthesis;
@@ -62,5 +84,7 @@ pub mod synthesis;
 pub use ast::{CmpOp, Formula, Query};
 pub use checker::{MinimalityScope, ModelChecker};
 pub use counterexample::{counterexample, is_valid_counterexample, Counterexample};
+pub use engine::{AnalysisSession, Backend, SessionBuilder};
 pub use error::BflError;
 pub use patterns::{Pattern, Table1Row};
+pub use report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};

@@ -55,7 +55,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -77,10 +81,10 @@ enum Tok {
     Bang,
     Amp,
     Pipe,
-    Arrow,   // =>
-    IffOp,   // <=>
-    NeqOp,   // !=
-    Assign,  // :=
+    Arrow,  // =>
+    IffOp,  // <=>
+    NeqOp,  // !=
+    Assign, // :=
     LParen,
     RParen,
     LBracket,
@@ -447,9 +451,8 @@ impl Parser {
                 self.expect(&Tok::RParen)?;
                 Ok(Query::Sup(name))
             }
-            _ => Err(self.error_here(
-                "expected a layer-2 query (`exists`, `forall`, `IDP(…)` or `SUP(…)`)",
-            )),
+            _ => Err(self
+                .error_here("expected a layer-2 query (`exists`, `forall`, `IDP(…)` or `SUP(…)`)")),
         }
     }
 
@@ -598,9 +601,7 @@ impl Parser {
                             "expected comparison (`<`, `<=`, `=`, `>=`, `>`), found {t}"
                         )));
                     }
-                    None => {
-                        return Err(self.error_here("expected comparison, found end of input"))
-                    }
+                    None => return Err(self.error_here("expected comparison, found end of input")),
                 };
                 let k = match self.bump() {
                     Some(Tok::Number(n)) => n,
@@ -635,7 +636,11 @@ impl Parser {
 
 fn make_parser(input: &str) -> Result<Parser, ParseError> {
     let end_line = input.lines().count().max(1);
-    let end_col = input.lines().last().map(|l| l.chars().count() + 1).unwrap_or(1);
+    let end_col = input
+        .lines()
+        .last()
+        .map(|l| l.chars().count() + 1)
+        .unwrap_or(1);
     let tokens = Lexer::new(input).tokenize()?;
     Ok(Parser {
         tokens,
@@ -741,7 +746,10 @@ mod tests {
     #[test]
     fn and_binds_tighter_than_or() {
         let f = parse_formula("a | b & c").unwrap();
-        assert_eq!(f, Formula::atom("a").or(Formula::atom("b").and(Formula::atom("c"))));
+        assert_eq!(
+            f,
+            Formula::atom("a").or(Formula::atom("b").and(Formula::atom("c")))
+        );
     }
 
     #[test]
@@ -750,7 +758,10 @@ mod tests {
         let g = parse_formula("!a & b | c => d").unwrap();
         assert_eq!(f, g);
         let q = parse_query("∀ a ⇒ b").unwrap();
-        assert_eq!(q, Query::forall(Formula::atom("a").implies(Formula::atom("b"))));
+        assert_eq!(
+            q,
+            Query::forall(Formula::atom("a").implies(Formula::atom("b")))
+        );
     }
 
     #[test]

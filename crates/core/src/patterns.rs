@@ -46,12 +46,8 @@ impl Pattern {
         match self {
             Pattern::Mcs => operands.into_iter().next().expect("non-empty").mcs(),
             Pattern::Mps => operands.into_iter().next().expect("non-empty").mps(),
-            Pattern::McsConjunction => {
-                Formula::and_all(operands.into_iter().map(Formula::mcs))
-            }
-            Pattern::MpsConjunction => {
-                Formula::and_all(operands.into_iter().map(Formula::mps))
-            }
+            Pattern::McsConjunction => Formula::and_all(operands.into_iter().map(Formula::mcs)),
+            Pattern::MpsConjunction => Formula::and_all(operands.into_iter().map(Formula::mps)),
         }
     }
 
@@ -171,8 +167,7 @@ mod tests {
 
     #[test]
     fn instantiation_shapes() {
-        let f = Pattern::McsConjunction
-            .instantiate(vec![Formula::atom("a"), Formula::atom("b")]);
+        let f = Pattern::McsConjunction.instantiate(vec![Formula::atom("a"), Formula::atom("b")]);
         assert_eq!(f.to_string(), "MCS(a) & MCS(b)");
         let g = Pattern::Mps.instantiate(vec![Formula::atom("a")]);
         assert_eq!(g.to_string(), "MPS(a)");
@@ -204,8 +199,13 @@ mod tests {
             assert!(!mc.holds(&row.example, &row.formula).unwrap(), "row {i}");
             // …the paper's counterexample does and is Def.-7 minimal…
             assert!(
-                is_valid_counterexample(&mut mc, &row.example, &row.paper_counterexample, &row.formula)
-                    .unwrap(),
+                is_valid_counterexample(
+                    &mut mc,
+                    &row.example,
+                    &row.paper_counterexample,
+                    &row.formula
+                )
+                .unwrap(),
                 "row {i}: paper counterexample invalid"
             );
             // …and Algorithm 4 produces a (possibly different) valid one.

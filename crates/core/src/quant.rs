@@ -44,11 +44,7 @@ use crate::error::BflError;
 /// # Panics
 ///
 /// Panics if `probs` is not a valid probability vector for the tree.
-pub fn probability(
-    mc: &mut ModelChecker<'_>,
-    phi: &Formula,
-    probs: &[f64],
-) -> Result<f64, BflError> {
+pub fn probability(mc: &mut ModelChecker, phi: &Formula, probs: &[f64]) -> Result<f64, BflError> {
     let tree = mc.tree();
     validate_probabilities(tree, probs).expect("invalid probabilities");
     let f = mc.formula_bdd(phi)?;
@@ -57,7 +53,7 @@ pub fn probability(
 }
 
 fn prob_rec(
-    mc: &ModelChecker<'_>,
+    mc: &ModelChecker,
     f: bfl_bdd::Bdd,
     probs: &[f64],
     memo: &mut std::collections::HashMap<u32, f64>,
@@ -90,7 +86,7 @@ fn prob_rec(
 ///
 /// As for [`probability`].
 pub fn conditional_probability(
-    mc: &mut ModelChecker<'_>,
+    mc: &mut ModelChecker,
     phi: &Formula,
     given: &Formula,
     probs: &[f64],
@@ -135,7 +131,7 @@ impl ProbQuery {
     /// # Errors
     ///
     /// As for [`probability`].
-    pub fn check(&self, mc: &mut ModelChecker<'_>, probs: &[f64]) -> Result<bool, BflError> {
+    pub fn check(&self, mc: &mut ModelChecker, probs: &[f64]) -> Result<bool, BflError> {
         let p = probability(mc, &self.formula, probs)?;
         Ok(match self.op {
             CmpOp::Lt => p < self.bound,
@@ -161,7 +157,7 @@ impl std::fmt::Display for ProbQuery {
 /// [`BflError::UnknownElement`] / [`BflError::EvidenceOnGate`] if `be` is
 /// not a basic event of the tree, plus translation errors.
 pub fn birnbaum(
-    mc: &mut ModelChecker<'_>,
+    mc: &mut ModelChecker,
     phi: &Formula,
     be: &str,
     probs: &[f64],
@@ -186,7 +182,10 @@ pub fn probability_naive(
     phi: &Formula,
     probs: &[f64],
 ) -> Result<f64, BflError> {
-    assert!(tree.num_basic_events() <= 20, "naive engine limited to 20 events");
+    assert!(
+        tree.num_basic_events() <= 20,
+        "naive engine limited to 20 events"
+    );
     validate_probabilities(tree, probs).expect("invalid probabilities");
     let mut total = 0.0;
     for b in StatusVector::enumerate_all(tree.num_basic_events()) {
@@ -240,14 +239,10 @@ mod tests {
         let mut mc = ModelChecker::new(&tree);
         let probs = [0.5, 0.5];
         // P(Top | e1) = 1.
-        let p = conditional_probability(
-            &mut mc,
-            &Formula::atom("Top"),
-            &Formula::atom("e1"),
-            &probs,
-        )
-        .unwrap()
-        .unwrap();
+        let p =
+            conditional_probability(&mut mc, &Formula::atom("Top"), &Formula::atom("e1"), &probs)
+                .unwrap()
+                .unwrap();
         assert!((p - 1.0).abs() < 1e-12);
         // Conditioning on an impossible event.
         let none = conditional_probability(
@@ -282,8 +277,7 @@ mod tests {
         for name in ["IW", "H1", "VW"] {
             let via_logic = birnbaum(&mut mc, &Formula::atom("IWoS"), name, &probs).unwrap();
             let be = tree.element(name).unwrap();
-            let via_ft =
-                bfl_fault_tree::prob::birnbaum_importance(&tree, tree.top(), be, &probs);
+            let via_ft = bfl_fault_tree::prob::birnbaum_importance(&tree, tree.top(), be, &probs);
             assert!((via_logic - via_ft).abs() < 1e-12, "{name}");
         }
     }

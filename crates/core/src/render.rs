@@ -51,7 +51,11 @@ fn render_node(
     is_root: bool,
     out: &mut String,
 ) {
-    let marker = if statuses[e.index()] { FAILED } else { OPERATIONAL };
+    let marker = if statuses[e.index()] {
+        FAILED
+    } else {
+        OPERATIONAL
+    };
     let gate = match tree.gate_type(e) {
         None => String::new(),
         Some(GateType::And) => " [AND]".to_string(),
@@ -86,11 +90,7 @@ fn render_node(
 /// Renders an example/counterexample pair side by side conceptually: the
 /// propagation under `b`, then under `revised`, with a diff line naming
 /// the flipped basic events — the textual form of a Table I row.
-pub fn counterexample_report(
-    tree: &FaultTree,
-    b: &StatusVector,
-    revised: &StatusVector,
-) -> String {
+pub fn counterexample_report(tree: &FaultTree, b: &StatusVector, revised: &StatusVector) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "vector b  = {b}");
     out.push_str(&propagation(tree, b));

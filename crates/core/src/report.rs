@@ -1,0 +1,588 @@
+//! Batch specifications and structured analysis reports.
+//!
+//! The paper's workflow is *batch-shaped*: a user loads one fault tree
+//! and fires many layer-1/layer-2 questions at it (all nine properties of
+//! the COVID case study, the four patterns of Table I). A [`Spec`] holds
+//! such a batch — one [`SpecItem`] per question, optionally labelled —
+//! and [`AnalysisSession::run`](crate::engine::AnalysisSession::run)
+//! evaluates it in one pass over shared BDD caches, returning a
+//! [`Report`] of structured [`Outcome`]s.
+//!
+//! ## Spec text format
+//!
+//! One item per line; blank lines and `#` comments are skipped:
+//!
+//! ```text
+//! # COVID case study, properties 1 and 8
+//! P1: forall IS => MoT
+//! P8: IDP(CIO, CIS)
+//! # a layer-1 formula, checked against the vector failing IW and H3
+//! P4: [IW, H3] MCS("CP/R")
+//! ```
+//!
+//! Labels (`P1:`) are optional. A layer-1 formula line may carry a
+//! leading `[A, B, C]` list of failed basic events; without one the
+//! formula is checked against the all-operational vector.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bfl_fault_tree::{FaultTree, StatusVector};
+
+use crate::ast::{Formula, Query};
+use crate::counterexample::Counterexample;
+use crate::parser::{self, ParseError};
+
+/// A batch of BFL questions to be evaluated against one fault tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// The questions, in evaluation order.
+    pub items: Vec<SpecItem>,
+}
+
+/// One labelled question of a [`Spec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecItem {
+    /// Optional label (`P1`), carried into the [`Outcome`].
+    pub label: Option<String>,
+    /// The question's concrete syntax (pretty-printed for programmatic
+    /// items).
+    pub source: String,
+    /// What to evaluate.
+    pub kind: SpecKind,
+}
+
+/// The two shapes of a question.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecKind {
+    /// A layer-2 query: `T ⊨ ψ`.
+    Query(Query),
+    /// A layer-1 formula checked against a status vector given as failed
+    /// basic-event names: `b, T ⊨ χ`.
+    Vector {
+        /// Names of the failed basic events (the rest are operational).
+        failed: Vec<String>,
+        /// The formula to check.
+        formula: Formula,
+    },
+}
+
+impl SpecItem {
+    /// Wraps a query as an unlabelled item.
+    pub fn query(q: Query) -> Self {
+        SpecItem {
+            label: None,
+            source: q.to_string(),
+            kind: SpecKind::Query(q),
+        }
+    }
+
+    /// Wraps a formula + failed-event vector as an unlabelled item.
+    pub fn vector<S: Into<String>>(failed: impl IntoIterator<Item = S>, formula: Formula) -> Self {
+        let failed: Vec<String> = failed.into_iter().map(Into::into).collect();
+        let source = if failed.is_empty() {
+            format!("[] {formula}")
+        } else {
+            format!("[{}] {formula}", failed.join(", "))
+        };
+        SpecItem {
+            label: None,
+            source,
+            kind: SpecKind::Vector { failed, formula },
+        }
+    }
+
+    /// Returns the item with a label attached.
+    pub fn labelled<S: Into<String>>(mut self, label: S) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+impl From<Query> for SpecItem {
+    fn from(q: Query) -> Self {
+        SpecItem::query(q)
+    }
+}
+
+impl From<parser::Spec> for SpecItem {
+    fn from(s: parser::Spec) -> Self {
+        match s {
+            parser::Spec::Query(q) => SpecItem::query(q),
+            parser::Spec::Formula(f) => SpecItem::vector(Vec::<String>::new(), f),
+        }
+    }
+}
+
+impl Spec {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Spec::default()
+    }
+
+    /// Builds a batch from anything convertible to items (queries,
+    /// parsed [`parser::Spec`]s, prepared [`SpecItem`]s).
+    pub fn from_items<I, T>(items: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<SpecItem>,
+    {
+        Spec {
+            items: items.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: impl Into<SpecItem>) -> &mut Self {
+        self.items.push(item.into());
+        self
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Parses the line-oriented spec format (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// The first [`ParseError`], with the line number of the offending
+    /// item.
+    pub fn parse(text: &str) -> Result<Spec, ParseError> {
+        let mut items = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (label, rest) = split_label(line);
+            // Character offset of `rest` within `raw`, so inner parse
+            // errors report columns relative to the original line.
+            let rest_start = raw.find(rest).unwrap_or(0);
+            let col_offset = raw[..rest_start].chars().count();
+            let item = parse_item(rest).map_err(|mut e| {
+                e.line = lineno + 1;
+                e.col += col_offset;
+                e
+            })?;
+            items.push(SpecItem {
+                label: label.map(str::to_string),
+                source: rest.to_string(),
+                ..item
+            });
+        }
+        Ok(Spec { items })
+    }
+}
+
+/// Splits an optional `label:` prefix off a spec line. A label is a bare
+/// `[A-Za-z0-9_.-]+` immediately followed by `:` and not by `=` (so
+/// evidence `:=` never masquerades as a label).
+fn split_label(line: &str) -> (Option<&str>, &str) {
+    let Some(colon) = line.find(':') else {
+        return (None, line);
+    };
+    let head = &line[..colon];
+    let tail = &line[colon + 1..];
+    let is_label = !head.is_empty()
+        && head
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        && !tail.starts_with('=');
+    if is_label {
+        (Some(head), tail.trim_start())
+    } else {
+        (None, line)
+    }
+}
+
+fn parse_item(rest: &str) -> Result<SpecItem, ParseError> {
+    if let Some(after) = rest.strip_prefix('[') {
+        let close = after.find(']').ok_or(ParseError {
+            line: 1,
+            col: 1,
+            message: "unclosed `[failed-events]` vector prefix".to_string(),
+        })?;
+        let failed: Vec<String> = after[..close]
+            .split(',')
+            .map(|s| s.trim().trim_matches('"').to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let formula = parser::parse_formula(&after[close + 1..]).map_err(|mut e| {
+            // Shift past the `[…]` prefix so the column points into the
+            // whole item, not the formula substring.
+            e.col += after[..close].chars().count() + 2;
+            e
+        })?;
+        Ok(SpecItem::vector(failed, formula))
+    } else {
+        Ok(parser::parse_spec(rest)?.into())
+    }
+}
+
+impl fmt::Display for Spec {
+    /// One line per item, re-parseable by [`Spec::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for item in &self.items {
+            match &item.label {
+                Some(l) => writeln!(f, "{l}: {}", item.source)?,
+                None => writeln!(f, "{}", item.source)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-query evaluation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Nodes of the BDD(s) compiled for this query (`0` for queries that
+    /// bypass the BDD layer).
+    pub bdd_nodes: usize,
+    /// Total nodes in the session's shared BDD arena after the query.
+    pub arena_nodes: usize,
+    /// Translation-cache hits during the query (shared sub-formulae).
+    pub cache_hits: u64,
+    /// Translation-cache misses (sub-formulae compiled for the first
+    /// time).
+    pub cache_misses: u64,
+    /// Wall-clock evaluation time in microseconds.
+    pub duration_micros: u128,
+}
+
+impl EvalStats {
+    /// Component-wise accumulation (`arena_nodes` takes the maximum — it
+    /// is a level, not a delta).
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.bdd_nodes += other.bdd_nodes;
+        self.arena_nodes = self.arena_nodes.max(other.arena_nodes);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.duration_micros += other.duration_micros;
+    }
+}
+
+/// The structured result of one question — verdict, explanatory vectors
+/// and statistics, never a bare `bool`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Label from the [`SpecItem`], if any.
+    pub label: Option<String>,
+    /// Concrete syntax of the question.
+    pub source: String,
+    /// The verdict.
+    pub holds: bool,
+    /// Vectors demonstrating a positive verdict (satisfying vectors of an
+    /// `exists`, capped at the session's witness limit).
+    pub witnesses: Vec<StatusVector>,
+    /// Vectors refuting a negative `forall` (satisfying `¬ϕ`), capped at
+    /// the witness limit.
+    pub counterexamples: Vec<StatusVector>,
+    /// For failed vector checks: the Definition-7 counterexample of
+    /// Algorithm 4 (closest satisfying vector).
+    pub counterexample: Option<Counterexample>,
+    /// For failed `IDP`/`SUP` queries: the shared influencing basic
+    /// events.
+    pub shared_events: Vec<String>,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl Outcome {
+    /// A minimal outcome carrying only a verdict; the session fills the
+    /// explanatory fields in.
+    pub(crate) fn bare(label: Option<String>, source: String, holds: bool) -> Self {
+        Outcome {
+            label,
+            source,
+            holds,
+            witnesses: Vec::new(),
+            counterexamples: Vec::new(),
+            counterexample: None,
+            shared_events: Vec::new(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// `label: source` or just the source.
+    pub fn title(&self) -> String {
+        match &self.label {
+            Some(l) => format!("{l}: {}", self.source),
+            None => self.source.clone(),
+        }
+    }
+}
+
+/// The result of a batch [`Spec`] evaluation: one [`Outcome`] per item
+/// plus aggregate statistics, rendered as text ([`fmt::Display`]) or JSON
+/// ([`Report::to_json`]).
+#[derive(Debug, Clone)]
+pub struct Report {
+    tree: Arc<FaultTree>,
+    /// Per-item outcomes, in spec order.
+    pub outcomes: Vec<Outcome>,
+    /// Component-wise aggregate of every outcome's statistics.
+    pub totals: EvalStats,
+}
+
+impl Report {
+    pub(crate) fn new(tree: Arc<FaultTree>) -> Self {
+        Report {
+            tree,
+            outcomes: Vec::new(),
+            totals: EvalStats::default(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, outcome: Outcome) {
+        self.totals.absorb(&outcome.stats);
+        self.outcomes.push(outcome);
+    }
+
+    /// The tree the report was computed against.
+    pub fn tree(&self) -> &FaultTree {
+        &self.tree
+    }
+
+    /// Number of questions that hold.
+    pub fn holding(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.holds).count()
+    }
+
+    /// Renders a status vector as its failed-event names.
+    fn failed_names(&self, v: &StatusVector) -> Vec<&str> {
+        v.failed_names(&self.tree)
+    }
+
+    /// Serialises the report as a self-contained JSON document.
+    ///
+    /// The suite is dependency-free, so this is a small hand-rolled
+    /// writer; the schema is stable:
+    ///
+    /// ```json
+    /// {"tree": "...", "outcomes": [{"label": "P1", "source": "...",
+    ///  "holds": true, "witnesses": [["A","B"]], "counterexamples": [],
+    ///  "counterexample": null, "shared_events": [],
+    ///  "stats": {"bdd_nodes": 1, "arena_nodes": 2, "cache_hits": 3,
+    ///            "cache_misses": 4, "duration_micros": 5}}],
+    ///  "totals": {...}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"tree\":{}",
+            json_str(self.tree.name(self.tree.top()))
+        ));
+        out.push_str(",\"outcomes\":[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            match &o.label {
+                Some(l) => out.push_str(&format!("\"label\":{}", json_str(l))),
+                None => out.push_str("\"label\":null"),
+            }
+            out.push_str(&format!(",\"source\":{}", json_str(&o.source)));
+            out.push_str(&format!(",\"holds\":{}", o.holds));
+            out.push_str(&format!(
+                ",\"witnesses\":{}",
+                self.json_vectors(&o.witnesses)
+            ));
+            out.push_str(&format!(
+                ",\"counterexamples\":{}",
+                self.json_vectors(&o.counterexamples)
+            ));
+            out.push_str(",\"counterexample\":");
+            match &o.counterexample {
+                Some(Counterexample::Found(v)) => {
+                    out.push_str(&json_names(&self.failed_names(v)));
+                }
+                Some(Counterexample::Unsatisfiable) => out.push_str("\"unsatisfiable\""),
+                Some(Counterexample::AlreadySatisfies) => {
+                    out.push_str("\"already-satisfies\"");
+                }
+                None => out.push_str("null"),
+            }
+            let shared: Vec<&str> = o.shared_events.iter().map(String::as_str).collect();
+            out.push_str(&format!(",\"shared_events\":{}", json_names(&shared)));
+            out.push_str(&format!(",\"stats\":{}", json_stats(&o.stats)));
+            out.push('}');
+        }
+        out.push_str(&format!("],\"totals\":{}", json_stats(&self.totals)));
+        out.push('}');
+        out
+    }
+
+    fn json_vectors(&self, vectors: &[StatusVector]) -> String {
+        let parts: Vec<String> = vectors
+            .iter()
+            .map(|v| json_names(&self.failed_names(v)))
+            .collect();
+        format!("[{}]", parts.join(","))
+    }
+}
+
+/// Serialises a string as a JSON string literal with full escaping —
+/// the same writer [`Report::to_json`] uses. Exposed so front-ends
+/// (e.g. the CLI) emit valid JSON for arbitrary element names.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialises a name list as a JSON array of escaped strings.
+pub fn json_names(names: &[&str]) -> String {
+    let parts: Vec<String> = names.iter().map(|n| json_str(n)).collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Serialises a list of name sets as a JSON array of arrays (escaped).
+pub fn json_name_sets(sets: &[Vec<String>]) -> String {
+    let parts: Vec<String> = sets
+        .iter()
+        .map(|s| {
+            let refs: Vec<&str> = s.iter().map(String::as_str).collect();
+            json_names(&refs)
+        })
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn json_stats(s: &EvalStats) -> String {
+    format!(
+        "{{\"bdd_nodes\":{},\"arena_nodes\":{},\"cache_hits\":{},\"cache_misses\":{},\"duration_micros\":{}}}",
+        s.bdd_nodes, s.arena_nodes, s.cache_hits, s.cache_misses, s.duration_micros
+    )
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "{}  {}",
+                if o.holds { "PASS" } else { "FAIL" },
+                o.title()
+            )?;
+            for w in &o.witnesses {
+                writeln!(f, "      witness {{{}}}", self.failed_names(w).join(", "))?;
+            }
+            for c in &o.counterexamples {
+                writeln!(
+                    f,
+                    "      refuted by {{{}}}",
+                    self.failed_names(c).join(", ")
+                )?;
+            }
+            if let Some(Counterexample::Found(v)) = &o.counterexample {
+                writeln!(
+                    f,
+                    "      counterexample {{{}}}",
+                    self.failed_names(v).join(", ")
+                )?;
+            }
+            if !o.shared_events.is_empty() {
+                writeln!(f, "      shared events {{{}}}", o.shared_events.join(", "))?;
+            }
+        }
+        writeln!(
+            f,
+            "{}/{} hold · {} arena nodes · {} cache hits / {} misses · {} µs",
+            self.holding(),
+            self.outcomes.len(),
+            self.totals.arena_nodes,
+            self.totals.cache_hits,
+            self.totals.cache_misses,
+            self.totals.duration_micros
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_labels_comments_and_vectors() {
+        let spec = Spec::parse(
+            "# header\n\
+             P1: forall IS => MoT\n\
+             \n\
+             IDP(A, B)\n\
+             P4: [IW, H3] MCS(\"CP/R\")\n\
+             [] Top\n",
+        )
+        .unwrap();
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec.items[0].label.as_deref(), Some("P1"));
+        assert!(matches!(spec.items[0].kind, SpecKind::Query(_)));
+        assert_eq!(spec.items[1].label, None);
+        match &spec.items[2].kind {
+            SpecKind::Vector { failed, .. } => assert_eq!(failed, &["IW", "H3"]),
+            other => panic!("{other:?}"),
+        }
+        match &spec.items[3].kind {
+            SpecKind::Vector { failed, .. } => assert!(failed.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn evidence_colon_is_not_a_label() {
+        let spec = Spec::parse("exists Top[A := 1]\n").unwrap();
+        assert_eq!(spec.items[0].label, None);
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let err = Spec::parse("forall A => B\n\nP2: forall (((\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn parse_error_column_accounts_for_prefixes() {
+        // Without a prefix the column is the parser's own.
+        let base = Spec::parse("forall (((\n").unwrap_err();
+        // A `P2: ` label shifts the same error 4 characters right.
+        let labelled = Spec::parse("P2: forall (((\n").unwrap_err();
+        assert_eq!(labelled.col, base.col + 4);
+        // A `[A] ` vector prefix shifts a formula error past the bracket.
+        let plain = Spec::parse("[] &\n").unwrap_err();
+        let vectored = Spec::parse("[ABC] &\n").unwrap_err();
+        assert_eq!(vectored.col, plain.col + 3);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "P1: forall IS => MoT\n[IW, H3] MCS(IWoS)\n";
+        let spec = Spec::parse(text).unwrap();
+        let again = Spec::parse(&spec.to_string()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_names(&["x", "y"]), "[\"x\",\"y\"]");
+    }
+}

@@ -47,7 +47,11 @@ pub fn desugar(phi: &Formula) -> Formula {
         }
         // ϕ1 ≢ ϕ2 ::= ¬(ϕ1 ≡ ϕ2)
         Formula::Neq(a, b) => desugar(&Formula::Iff(a.clone(), b.clone())).not(),
-        Formula::Evidence { inner, element, value } => Formula::Evidence {
+        Formula::Evidence {
+            inner,
+            element,
+            value,
+        } => Formula::Evidence {
             inner: Arc::new(desugar(inner)),
             element: element.clone(),
             value: *value,
@@ -163,7 +167,11 @@ fn nnf(phi: &Formula, negate: bool) -> Formula {
             };
             Formula::vot(op, k, ops)
         }
-        Formula::Evidence { inner, element, value } => {
+        Formula::Evidence {
+            inner,
+            element,
+            value,
+        } => {
             // ¬(ϕ[e↦v]) ≡ (¬ϕ)[e↦v]: evidence commutes with negation.
             Formula::Evidence {
                 inner: Arc::new(nnf(inner, negate)),
@@ -229,7 +237,11 @@ pub fn simplify(phi: &Formula) -> Formula {
             (x, y) if x == y => Formula::bot(),
             (x, y) => x.neq(y),
         },
-        Formula::Evidence { inner, element, value } => {
+        Formula::Evidence {
+            inner,
+            element,
+            value,
+        } => {
             let s = simplify(inner);
             match s {
                 // Evidence on a constant is vacuous.
@@ -265,10 +277,8 @@ mod tests {
 
     #[test]
     fn desugar_removes_sugar() {
-        let phi = crate::parser::parse_formula(
-            "IS => MoT | VOT(>=2; H1, H2, H3) <=> CT != SH",
-        )
-        .unwrap();
+        let phi =
+            crate::parser::parse_formula("IS => MoT | VOT(>=2; H1, H2, H3) <=> CT != SH").unwrap();
         let kernel = desugar(&phi);
         // Only kernel connectives remain.
         kernel.visit(&mut |f| {

@@ -43,7 +43,11 @@ pub fn eval(tree: &FaultTree, b: &StatusVector, phi: &Formula) -> Result<bool, B
         Formula::Implies(x, y) => Ok(!eval(tree, b, x)? || eval(tree, b, y)?),
         Formula::Iff(x, y) => Ok(eval(tree, b, x)? == eval(tree, b, y)?),
         Formula::Neq(x, y) => Ok(eval(tree, b, x)? != eval(tree, b, y)?),
-        Formula::Evidence { inner, element, value } => {
+        Formula::Evidence {
+            inner,
+            element,
+            value,
+        } => {
             let e = tree
                 .element(element)
                 .ok_or_else(|| BflError::UnknownElement(element.clone()))?;
@@ -95,7 +99,10 @@ fn proper_subvectors(b: &StatusVector) -> Vec<StatusVector> {
     let mut out = Vec::new();
     // Every proper subset of the failed set.
     let n = failed.len();
-    assert!(n < 26, "too many failures for exhaustive subset enumeration");
+    assert!(
+        n < 26,
+        "too many failures for exhaustive subset enumeration"
+    );
     for mask in 0..(1u32 << n) {
         if mask == (1u32 << n) - 1 {
             continue; // the improper subset (b itself)
@@ -115,7 +122,10 @@ fn proper_subvectors(b: &StatusVector) -> Vec<StatusVector> {
 fn proper_supervectors(b: &StatusVector) -> Vec<StatusVector> {
     let operational: Vec<usize> = (0..b.len()).filter(|&i| !b.get(i)).collect();
     let n = operational.len();
-    assert!(n < 26, "too many operational events for exhaustive superset enumeration");
+    assert!(
+        n < 26,
+        "too many operational events for exhaustive superset enumeration"
+    );
     let mut out = Vec::new();
     for mask in 1..(1u32 << n) {
         let mut v = b.clone();
@@ -184,10 +194,7 @@ pub fn eval_query(tree: &FaultTree, psi: &Query) -> Result<bool, BflError> {
 ///
 /// Everything [`eval`] reports, plus [`BflError::TooLarge`] when the tree
 /// exceeds [`NAIVE_LIMIT`] basic events.
-pub fn influencing_basic_events(
-    tree: &FaultTree,
-    phi: &Formula,
-) -> Result<Vec<String>, BflError> {
+pub fn influencing_basic_events(tree: &FaultTree, phi: &Formula) -> Result<Vec<String>, BflError> {
     let n = tree.num_basic_events();
     if n > NAIVE_LIMIT {
         return Err(BflError::TooLarge {
@@ -219,10 +226,7 @@ pub fn influencing_basic_events(
 ///
 /// Everything [`eval`] reports, plus [`BflError::TooLarge`] when the tree
 /// exceeds [`NAIVE_LIMIT`] basic events.
-pub fn satisfying_vectors(
-    tree: &FaultTree,
-    phi: &Formula,
-) -> Result<Vec<StatusVector>, BflError> {
+pub fn satisfying_vectors(tree: &FaultTree, phi: &Formula) -> Result<Vec<StatusVector>, BflError> {
     let n = tree.num_basic_events();
     if n > NAIVE_LIMIT {
         return Err(BflError::TooLarge {

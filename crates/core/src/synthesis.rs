@@ -10,9 +10,7 @@
 //! complete for none but useful for small specifications, and it doubles
 //! as a stress-test for the model checker.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use bfl_fault_tree::rng::Prng;
 use bfl_fault_tree::{FaultTree, FaultTreeBuilder, GateType, StatusVector};
 
 use crate::ast::Formula;
@@ -88,7 +86,7 @@ pub fn synthesize(
     assert!(!basic_events.is_empty(), "need at least one basic event");
     assert!(!config.gate_names.is_empty(), "need at least one gate name");
     assert_eq!(b.len(), basic_events.len(), "vector length mismatch");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     for _ in 0..config.restarts {
         let mut candidate = random_candidate(basic_events, &config.gate_names, &mut rng);
         for _ in 0..config.mutations {
@@ -127,13 +125,19 @@ impl Candidate {
             .expect("fresh names");
         for (i, g) in self.gates.iter().enumerate() {
             builder
-                .gate(g, self.gate_types[i], self.children[i].iter().map(String::as_str))
+                .gate(
+                    g,
+                    self.gate_types[i],
+                    self.children[i].iter().map(String::as_str),
+                )
                 .expect("fresh name");
         }
-        self.tree = builder.build(&self.gates[0]).expect("candidate is well-formed");
+        self.tree = builder
+            .build(&self.gates[0])
+            .expect("candidate is well-formed");
     }
 
-    fn mutate(&mut self, rng: &mut StdRng) {
+    fn mutate(&mut self, rng: &mut Prng) {
         // Flip a random gate's type, or rewire one child.
         let gi = rng.gen_range(0..self.gates.len());
         if rng.gen_bool(0.5) {
@@ -208,13 +212,17 @@ impl Candidate {
     }
 }
 
-fn random_candidate(basic: &[&str], gates: &[String], rng: &mut StdRng) -> Candidate {
+fn random_candidate(basic: &[&str], gates: &[String], rng: &mut Prng) -> Candidate {
     let basic: Vec<String> = basic.iter().map(|s| s.to_string()).collect();
     let gates: Vec<String> = gates.to_vec();
     let mut gate_types = Vec::with_capacity(gates.len());
     let mut children: Vec<Vec<String>> = Vec::with_capacity(gates.len());
     for i in 0..gates.len() {
-        gate_types.push(if rng.gen_bool(0.5) { GateType::And } else { GateType::Or });
+        gate_types.push(if rng.gen_bool(0.5) {
+            GateType::And
+        } else {
+            GateType::Or
+        });
         let pool: Vec<String> = gates[i + 1..].iter().chain(basic.iter()).cloned().collect();
         let arity = rng.gen_range(1..=pool.len().min(3));
         let mut picked = Vec::new();

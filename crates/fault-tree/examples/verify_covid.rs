@@ -11,14 +11,22 @@ fn main() {
     let tree = corpus::covid();
     let mcs = analysis::minimal_cut_sets_names(&tree, tree.top());
     println!("MCS(IWoS) ({}):", mcs.len());
-    for s in &mcs { println!("  {{{}}}", s.join(", ")); }
+    for s in &mcs {
+        println!("  {{{}}}", s.join(", "));
+    }
     let mps = analysis::minimal_path_sets_names(&tree, tree.top());
     println!("MPS(IWoS) ({}):", mps.len());
-    for s in &mps { println!("  {{{}}}", s.join(", ")); }
+    for s in &mps {
+        println!("  {{{}}}", s.join(", "));
+    }
     let mot = tree.element("MoT").unwrap();
     let mcs_mot = analysis::minimal_cut_sets_names(&tree, mot);
     println!("MCS(MoT) with IS:");
-    for s in mcs_mot.iter().filter(|s| s.contains(&"IS".to_string())) { println!("  {{{}}}", s.join(", ")); }
+    for s in mcs_mot.iter().filter(|s| s.contains(&"IS".to_string())) {
+        println!("  {{{}}}", s.join(", "));
+    }
     println!("MCS(IWoS) with H4:");
-    for s in mcs.iter().filter(|s| s.contains(&"H4".to_string())) { println!("  {{{}}}", s.join(", ")); }
+    for s in mcs.iter().filter(|s| s.contains(&"H4".to_string())) {
+        println!("  {{{}}}", s.join(", "));
+    }
 }

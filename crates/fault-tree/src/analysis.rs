@@ -69,7 +69,10 @@ fn canonicalise(mut sets: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
     sets
 }
 
-fn names_of(tree: &FaultTree, sets: &[Vec<usize>]) -> Vec<Vec<String>> {
+/// Renders index sets as sorted name lists in the canonical order (each
+/// set's names ascending; sets by cardinality, then lexicographically) —
+/// the shared presentation used by every backend and the session layer.
+pub fn index_sets_to_names(tree: &FaultTree, sets: &[Vec<usize>]) -> Vec<Vec<String>> {
     let mut out: Vec<Vec<String>> = sets
         .iter()
         .map(|s| {
@@ -104,7 +107,7 @@ pub fn minimal_cut_sets(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
 
 /// Minimal cut sets as sorted name lists.
 pub fn minimal_cut_sets_names(tree: &FaultTree, e: ElementId) -> Vec<Vec<String>> {
-    names_of(tree, &minimal_cut_sets(tree, e))
+    index_sets_to_names(tree, &minimal_cut_sets(tree, e))
 }
 
 /// Minimal path sets of element `e`, as sets of basic-event indices of the
@@ -125,15 +128,11 @@ pub fn minimal_path_sets(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
 
 /// Minimal path sets as sorted name lists.
 pub fn minimal_path_sets_names(tree: &FaultTree, e: ElementId) -> Vec<Vec<String>> {
-    names_of(tree, &minimal_path_sets(tree, e))
+    index_sets_to_names(tree, &minimal_path_sets(tree, e))
 }
 
 /// `minsol`-engine minimal cut sets using an existing [`TreeBdd`].
-pub fn minimal_cut_sets_with(
-    tree: &FaultTree,
-    tb: &mut TreeBdd,
-    e: ElementId,
-) -> Vec<Vec<usize>> {
+pub fn minimal_cut_sets_with(tree: &FaultTree, tb: &mut TreeBdd, e: ElementId) -> Vec<Vec<usize>> {
     let f = tb.element_bdd(tree, e);
     let universe = tb.unprimed_vars();
     let ms = minsol(tb.manager_mut(), f, &universe);
@@ -145,11 +144,7 @@ pub fn minimal_cut_sets_with(
 /// A minimal path set of `Φ` is a minimal solution of the *dual* function
 /// `Φ^d(b) = ¬Φ(¬b)`; the ones of each solution are the operational
 /// events.
-pub fn minimal_path_sets_with(
-    tree: &FaultTree,
-    tb: &mut TreeBdd,
-    e: ElementId,
-) -> Vec<Vec<usize>> {
+pub fn minimal_path_sets_with(tree: &FaultTree, tb: &mut TreeBdd, e: ElementId) -> Vec<Vec<usize>> {
     let f = tb.element_bdd(tree, e);
     let universe = tb.unprimed_vars();
     let m = tb.manager_mut();
@@ -361,7 +356,10 @@ pub fn count_minimal_path_sets(tree: &FaultTree, e: ElementId) -> u128 {
 ///
 /// Panics if the tree has more than 20 basic events.
 pub fn minimal_cut_sets_naive(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
-    assert!(tree.num_basic_events() <= 20, "naive engine limited to 20 events");
+    assert!(
+        tree.num_basic_events() <= 20,
+        "naive engine limited to 20 events"
+    );
     let mut sets = Vec::new();
     for b in StatusVector::enumerate_all(tree.num_basic_events()) {
         if tree.is_minimal_cut_set(&b, e) {
@@ -378,7 +376,10 @@ pub fn minimal_cut_sets_naive(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>>
 ///
 /// Panics if the tree has more than 20 basic events.
 pub fn minimal_path_sets_naive(tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
-    assert!(tree.num_basic_events() <= 20, "naive engine limited to 20 events");
+    assert!(
+        tree.num_basic_events() <= 20,
+        "naive engine limited to 20 events"
+    );
     let mut sets = Vec::new();
     for b in StatusVector::enumerate_all(tree.num_basic_events()) {
         if tree.is_minimal_path_set(&b, e) {
@@ -445,11 +446,21 @@ mod tests {
     #[test]
     fn engines_agree_on_covid() {
         let tree = corpus::covid();
-        for &e in &[tree.top(), tree.element("MoT").unwrap(), tree.element("CT").unwrap()] {
+        for &e in &[
+            tree.top(),
+            tree.element("MoT").unwrap(),
+            tree.element("CT").unwrap(),
+        ] {
             assert_eq!(minimal_cut_sets(&tree, e), minimal_cut_sets_paper(&tree, e));
-            assert_eq!(minimal_path_sets(&tree, e), minimal_path_sets_paper(&tree, e));
+            assert_eq!(
+                minimal_path_sets(&tree, e),
+                minimal_path_sets_paper(&tree, e)
+            );
             assert_eq!(minimal_cut_sets(&tree, e), minimal_cut_sets_naive(&tree, e));
-            assert_eq!(minimal_path_sets(&tree, e), minimal_path_sets_naive(&tree, e));
+            assert_eq!(
+                minimal_path_sets(&tree, e),
+                minimal_path_sets_naive(&tree, e)
+            );
         }
     }
 

@@ -1,0 +1,276 @@
+//! Cut-set backend selection — one knob over the three independent
+//! MCS/MPS engines of the suite.
+//!
+//! The suite ships three ways to compute minimal cut and path sets:
+//!
+//! * [`Backend::Minsol`] — Rauzy's minimal-solutions algorithm on the
+//!   shared BDDs ([`analysis::minsol`](crate::analysis::minsol));
+//! * [`Backend::Paper`] — the paper's primed-variable `MCS`/`MPS`
+//!   translation (Algorithm 1's construction);
+//! * [`Backend::Zdd`] — bottom-up cut-set families on zero-suppressed
+//!   diagrams ([`zdd_engine`](crate::zdd_engine)).
+//!
+//! All three agree on every input (cross-checked in the test-suites) but
+//! have very different performance envelopes, so the choice is exposed as
+//! a first-class configuration value that higher layers (the
+//! `AnalysisSession` in `bfl-core`, the CLI) thread through. The ZDD
+//! engine historically computed cut sets only; path sets are obtained by
+//! running it on the [`dual_tree`], closing the `mcs`-only gap.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::analysis;
+use crate::builder::FaultTreeBuilder;
+use crate::model::{ElementId, FaultTree, GateType};
+use crate::zdd_engine;
+
+/// Which engine computes minimal cut/path sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Rauzy minimal solutions on the shared BDD (the default).
+    #[default]
+    Minsol,
+    /// The paper's primed-variable construction.
+    Paper,
+    /// Bottom-up ZDD cut-set families (path sets via the dual tree).
+    Zdd,
+}
+
+impl Backend {
+    /// Every backend, for exhaustive sweeps in tests and benches.
+    pub const ALL: [Backend; 3] = [Backend::Minsol, Backend::Paper, Backend::Zdd];
+
+    /// The engine implementing this backend.
+    pub fn engine(self) -> &'static dyn CutSetEngine {
+        match self {
+            Backend::Minsol => &MinsolEngine,
+            Backend::Paper => &PaperEngine,
+            Backend::Zdd => &ZddEngine,
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Minsol => "minsol",
+            Backend::Paper => "paper",
+            Backend::Zdd => "zdd",
+        })
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "minsol" => Ok(Backend::Minsol),
+            "paper" => Ok(Backend::Paper),
+            "zdd" => Ok(Backend::Zdd),
+            other => Err(format!(
+                "unknown backend `{other}` (expected `minsol`, `paper` or `zdd`)"
+            )),
+        }
+    }
+}
+
+/// A minimal cut/path set engine.
+///
+/// Implementations return canonically ordered index sets (each set
+/// ascending; sets ordered by cardinality, then lexicographically) so
+/// results are comparable across backends.
+pub trait CutSetEngine: Send + Sync {
+    /// Engine name, matching the [`Backend`] spelling.
+    fn name(&self) -> &'static str;
+
+    /// Minimal cut sets of `e` as sets of basic-event indices.
+    fn minimal_cut_sets(&self, tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>>;
+
+    /// Minimal path sets of `e` as sets of basic-event indices of the
+    /// *operational* events.
+    fn minimal_path_sets(&self, tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>>;
+}
+
+struct MinsolEngine;
+
+impl CutSetEngine for MinsolEngine {
+    fn name(&self) -> &'static str {
+        "minsol"
+    }
+
+    fn minimal_cut_sets(&self, tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+        analysis::minimal_cut_sets(tree, e)
+    }
+
+    fn minimal_path_sets(&self, tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+        analysis::minimal_path_sets(tree, e)
+    }
+}
+
+struct PaperEngine;
+
+impl CutSetEngine for PaperEngine {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn minimal_cut_sets(&self, tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+        analysis::minimal_cut_sets_paper(tree, e)
+    }
+
+    fn minimal_path_sets(&self, tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+        analysis::minimal_path_sets_paper(tree, e)
+    }
+}
+
+struct ZddEngine;
+
+impl CutSetEngine for ZddEngine {
+    fn name(&self) -> &'static str {
+        "zdd"
+    }
+
+    fn minimal_cut_sets(&self, tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+        zdd_engine::minimal_cut_sets_zdd(tree, e)
+    }
+
+    fn minimal_path_sets(&self, tree: &FaultTree, e: ElementId) -> Vec<Vec<usize>> {
+        // MPS(e) in T = MCS(e) in the dual of T; the dual preserves ids
+        // and basic indices, so the result needs no re-indexing.
+        let dual = dual_tree(tree);
+        zdd_engine::minimal_cut_sets_zdd(&dual, e)
+    }
+}
+
+/// The dual fault tree: `AND ↔ OR`, `VOT(k/N) ↦ VOT(N−k+1/N)`.
+///
+/// Element names, declaration order (hence [`ElementId`]s and basic
+/// indices) and the top element are preserved, and the dual's structure
+/// function is `Φ^d(b) = ¬Φ(¬b)` element-wise — so the cut sets of the
+/// dual are exactly the path sets of the original (and vice versa).
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::{backend::dual_tree, corpus, analysis};
+/// let tree = corpus::fig1();
+/// let dual = dual_tree(&tree);
+/// assert_eq!(
+///     analysis::minimal_cut_sets(&dual, dual.top()),
+///     analysis::minimal_path_sets(&tree, tree.top()),
+/// );
+/// ```
+pub fn dual_tree(tree: &FaultTree) -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    for e in tree.iter() {
+        let name = tree.name(e);
+        match tree.gate_type(e) {
+            None => {
+                b.basic_event(name)
+                    .expect("names are unique in a well-formed tree");
+            }
+            Some(t) => {
+                let n = tree.children(e).len() as u32;
+                let dual_type = match t {
+                    GateType::And => GateType::Or,
+                    GateType::Or => GateType::And,
+                    GateType::Vot { k } => GateType::Vot { k: n - k + 1 },
+                };
+                let children = tree.children(e).iter().map(|&c| tree.name(c));
+                b.gate(name, dual_type, children).expect("names are unique");
+            }
+        }
+    }
+    b.build(tree.name(tree.top()))
+        .expect("dual of a well-formed tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    fn corpus_trees() -> Vec<FaultTree> {
+        vec![
+            corpus::or2(),
+            corpus::fig1(),
+            corpus::covid(),
+            corpus::table1_tree(),
+            corpus::pressure_tank(),
+            corpus::attack_tree(),
+            corpus::kofn(2, 4),
+            corpus::kofn(3, 5),
+        ]
+    }
+
+    #[test]
+    fn dual_preserves_ids_and_top() {
+        let tree = corpus::covid();
+        let dual = dual_tree(&tree);
+        assert_eq!(dual.len(), tree.len());
+        assert_eq!(dual.top(), tree.top());
+        for e in tree.iter() {
+            assert_eq!(dual.name(e), tree.name(e));
+            assert_eq!(dual.basic_index(e), tree.basic_index(e));
+        }
+    }
+
+    #[test]
+    fn dual_is_involutive() {
+        for tree in corpus_trees() {
+            let twice = dual_tree(&dual_tree(&tree));
+            for e in tree.iter() {
+                assert_eq!(twice.gate_type(e), tree.gate_type(e), "{}", tree.name(e));
+                assert_eq!(twice.children(e), tree.children(e));
+            }
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_corpus() {
+        for tree in corpus_trees() {
+            let base_mcs = Backend::Minsol.engine().minimal_cut_sets(&tree, tree.top());
+            let base_mps = Backend::Minsol
+                .engine()
+                .minimal_path_sets(&tree, tree.top());
+            for backend in Backend::ALL {
+                let engine = backend.engine();
+                assert_eq!(
+                    engine.minimal_cut_sets(&tree, tree.top()),
+                    base_mcs,
+                    "mcs via {backend} on {}",
+                    tree.name(tree.top())
+                );
+                assert_eq!(
+                    engine.minimal_path_sets(&tree, tree.top()),
+                    base_mps,
+                    "mps via {backend} on {}",
+                    tree.name(tree.top())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backend_round_trips_through_strings() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.to_string().parse::<Backend>().unwrap(), backend);
+            assert_eq!(backend.engine().name(), backend.to_string());
+        }
+        assert!("bogus".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn vot_dual_threshold() {
+        // 2-of-3 fails iff 2 fail; its dual must fail iff 2 are... failed
+        // under complemented inputs: VOT(2/3)^d = VOT(2/3) here (n−k+1 = 2).
+        let tree = corpus::kofn(2, 3);
+        let dual = dual_tree(&tree);
+        assert_eq!(dual.gate_type(dual.top()), Some(GateType::Vot { k: 2 }));
+        let tree = corpus::kofn(1, 3); // OR-like: dual is AND-like VOT(3/3)
+        let dual = dual_tree(&tree);
+        assert_eq!(dual.gate_type(dual.top()), Some(GateType::Vot { k: 3 }));
+    }
+}

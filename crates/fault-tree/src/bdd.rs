@@ -63,7 +63,10 @@ impl TreeBdd {
             assert_eq!(position[bi], usize::MAX, "duplicate event in order");
             position[bi] = pos;
         }
-        assert!(position.iter().all(|&p| p != usize::MAX), "incomplete order");
+        assert!(
+            position.iter().all(|&p| p != usize::MAX),
+            "incomplete order"
+        );
         let manager = Manager::new(2 * order.len() as u32);
         TreeBdd {
             manager,
@@ -103,13 +106,16 @@ impl TreeBdd {
     ///
     /// Returns `None` for primed variables.
     pub fn basic_of_var(&self, v: Var) -> Option<usize> {
-        if v.index() % 2 != 0 {
+        if !v.index().is_multiple_of(2) {
             return None;
         }
         let pos = (v.index() / 2) as usize;
         self.order.get(pos).map(|&_e| {
             // position -> basic index: invert `position`.
-            self.position.iter().position(|&p| p == pos).expect("bijection")
+            self.position
+                .iter()
+                .position(|&p| p == pos)
+                .expect("bijection")
         })
     }
 
@@ -120,7 +126,9 @@ impl TreeBdd {
 
     /// All primed variables, in order.
     pub fn primed_vars(&self) -> Vec<Var> {
-        (0..self.order.len()).map(|p| Var(2 * p as u32 + 1)).collect()
+        (0..self.order.len())
+            .map(|p| Var(2 * p as u32 + 1))
+            .collect()
     }
 
     /// `(unprimed, primed)` pairs, in order — input to
@@ -146,7 +154,11 @@ impl TreeBdd {
     ///
     /// Panics if `tree` is not the tree this `TreeBdd` was created for.
     pub fn element_bdd(&mut self, tree: &FaultTree, e: ElementId) -> Bdd {
-        assert_eq!(tree.len(), self.tree_len, "TreeBdd used with a different tree");
+        assert_eq!(
+            tree.len(),
+            self.tree_len,
+            "TreeBdd used with a different tree"
+        );
         if let Some(&b) = self.cache.get(&(e.index() as u32)) {
             return b;
         }
@@ -334,7 +346,8 @@ mod tests {
     fn vot_gate_in_tree() {
         let mut b = FaultTreeBuilder::new();
         b.basic_events(["a", "b", "c", "d"]).unwrap();
-        b.gate("top", GateType::Vot { k: 3 }, ["a", "b", "c", "d"]).unwrap();
+        b.gate("top", GateType::Vot { k: 3 }, ["a", "b", "c", "d"])
+            .unwrap();
         let tree = b.build("top").unwrap();
         let mut tb = TreeBdd::new(&tree, VariableOrdering::Declaration);
         let top = tb.element_bdd(&tree, tree.top());
@@ -350,7 +363,11 @@ mod tests {
         let _ = tb.element_bdd(&tree, tree.top());
         // After translating the top, every element is cached.
         for e in tree.iter() {
-            assert!(tb.cache.contains_key(&(e.index() as u32)), "{}", tree.name(e));
+            assert!(
+                tb.cache.contains_key(&(e.index() as u32)),
+                "{}",
+                tree.name(e)
+            );
         }
     }
 

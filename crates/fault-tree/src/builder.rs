@@ -4,6 +4,9 @@ use std::collections::HashMap;
 
 use crate::model::{Element, ElementId, ElementKind, FaultTree, FaultTreeError, GateType};
 
+/// A declared element: its name, and for gates the type and child names.
+type Declared = (String, Option<(GateType, Vec<String>)>);
+
 /// A builder for [`FaultTree`]s.
 ///
 /// Elements may be declared in any order; gates may reference children
@@ -26,7 +29,7 @@ use crate::model::{Element, ElementId, ElementKind, FaultTree, FaultTreeError, G
 /// ```
 #[derive(Debug, Default)]
 pub struct FaultTreeBuilder {
-    declared: Vec<(String, Option<(GateType, Vec<String>)>)>,
+    declared: Vec<Declared>,
     names: HashMap<String, usize>,
 }
 
@@ -90,7 +93,10 @@ impl FaultTreeBuilder {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let children: Vec<String> = children.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let children: Vec<String> = children
+            .into_iter()
+            .map(|s| s.as_ref().to_string())
+            .collect();
         self.declare(name, Some((gate_type, children)))?;
         Ok(self)
     }

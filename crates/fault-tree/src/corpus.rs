@@ -16,7 +16,8 @@ use crate::model::{FaultTree, GateType};
 pub fn or2() -> FaultTree {
     let mut b = FaultTreeBuilder::new();
     b.basic_events(["e1", "e2"]).expect("fresh names");
-    b.gate("Top", GateType::Or, ["e1", "e2"]).expect("fresh name");
+    b.gate("Top", GateType::Or, ["e1", "e2"])
+        .expect("fresh name");
     b.build("Top").expect("well-formed")
 }
 
@@ -30,10 +31,14 @@ pub fn or2() -> FaultTree {
 /// sets `{IW, IT}`, `{IW, H2}`, `{H3, IT}` and `{H3, H2}` (Section II).
 pub fn fig1() -> FaultTree {
     let mut b = FaultTreeBuilder::new();
-    b.basic_events(["IW", "H3", "IT", "H2"]).expect("fresh names");
-    b.gate("CP", GateType::And, ["IW", "H3"]).expect("fresh name");
-    b.gate("CR", GateType::And, ["IT", "H2"]).expect("fresh name");
-    b.gate("CP/R", GateType::Or, ["CP", "CR"]).expect("fresh name");
+    b.basic_events(["IW", "H3", "IT", "H2"])
+        .expect("fresh names");
+    b.gate("CP", GateType::And, ["IW", "H3"])
+        .expect("fresh name");
+    b.gate("CR", GateType::And, ["IT", "H2"])
+        .expect("fresh name");
+    b.gate("CP/R", GateType::Or, ["CP", "CR"])
+        .expect("fresh name");
     b.build("CP/R").expect("well-formed")
 }
 
@@ -49,8 +54,10 @@ pub fn fig1() -> FaultTree {
 pub fn table1_tree() -> FaultTree {
     let mut b = FaultTreeBuilder::new();
     b.basic_events(["e2", "e4", "e5"]).expect("fresh names");
-    b.gate("e3", GateType::Or, ["e4", "e5"]).expect("fresh name");
-    b.gate("e1", GateType::And, ["e2", "e3"]).expect("fresh name");
+    b.gate("e3", GateType::Or, ["e4", "e5"])
+        .expect("fresh name");
+    b.gate("e1", GateType::And, ["e2", "e3"])
+        .expect("fresh name");
     b.build("e1").expect("well-formed")
 }
 
@@ -87,24 +94,39 @@ pub fn covid() -> FaultTree {
     ])
     .expect("fresh names");
     // Existence of COVID-19 pathogens / reservoir (purple subtree, Fig. 1).
-    b.gate("CP", GateType::And, ["IW", "H3"]).expect("fresh name");
-    b.gate("CR", GateType::And, ["IT", "H2"]).expect("fresh name");
-    b.gate("CP/R", GateType::Or, ["CP", "CR"]).expect("fresh name");
+    b.gate("CP", GateType::And, ["IW", "H3"])
+        .expect("fresh name");
+    b.gate("CR", GateType::And, ["IT", "H2"])
+        .expect("fresh name");
+    b.gate("CP/R", GateType::Or, ["CP", "CR"])
+        .expect("fresh name");
     // Modes of transmission (teal subtree).
-    b.gate("CIW", GateType::And, ["IW", "PP"]).expect("fresh name");
-    b.gate("MH1", GateType::And, ["H1", "H4"]).expect("fresh name");
-    b.gate("CIO", GateType::And, ["IT", "MH1"]).expect("fresh name");
-    b.gate("MH2", GateType::And, ["H1", "H5"]).expect("fresh name");
-    b.gate("CIS", GateType::And, ["IS", "MH2"]).expect("fresh name");
-    b.gate("CT", GateType::Or, ["CIW", "CIO", "CIS"]).expect("fresh name");
-    b.gate("DT", GateType::And, ["IW", "AB"]).expect("fresh name");
-    b.gate("AT", GateType::And, ["IW", "MV"]).expect("fresh name");
-    b.gate("CVT", GateType::And, ["IW", "PP", "H1"]).expect("fresh name");
-    b.gate("MoT", GateType::Or, ["CT", "DT", "AT", "CVT", "UT"]).expect("fresh name");
+    b.gate("CIW", GateType::And, ["IW", "PP"])
+        .expect("fresh name");
+    b.gate("MH1", GateType::And, ["H1", "H4"])
+        .expect("fresh name");
+    b.gate("CIO", GateType::And, ["IT", "MH1"])
+        .expect("fresh name");
+    b.gate("MH2", GateType::And, ["H1", "H5"])
+        .expect("fresh name");
+    b.gate("CIS", GateType::And, ["IS", "MH2"])
+        .expect("fresh name");
+    b.gate("CT", GateType::Or, ["CIW", "CIO", "CIS"])
+        .expect("fresh name");
+    b.gate("DT", GateType::And, ["IW", "AB"])
+        .expect("fresh name");
+    b.gate("AT", GateType::And, ["IW", "MV"])
+        .expect("fresh name");
+    b.gate("CVT", GateType::And, ["IW", "PP", "H1"])
+        .expect("fresh name");
+    b.gate("MoT", GateType::Or, ["CT", "DT", "AT", "CVT", "UT"])
+        .expect("fresh name");
     // Susceptible host (orange subtree).
-    b.gate("SH", GateType::And, ["H1", "VW"]).expect("fresh name");
+    b.gate("SH", GateType::And, ["H1", "VW"])
+        .expect("fresh name");
     // Top level event.
-    b.gate("IWoS", GateType::And, ["CP/R", "MoT", "SH"]).expect("fresh name");
+    b.gate("IWoS", GateType::And, ["CP/R", "MoT", "SH"])
+        .expect("fresh name");
     b.build("IWoS").expect("well-formed")
 }
 
@@ -169,8 +191,12 @@ pub fn attack_tree() -> FaultTree {
         "CrackKey",
     ])
     .expect("fresh names");
-    b.gate("Insider", GateType::And, ["Recruit", "BadgeAccess", "UserClicks"])
-        .expect("fresh name");
+    b.gate(
+        "Insider",
+        GateType::And,
+        ["Recruit", "BadgeAccess", "UserClicks"],
+    )
+    .expect("fresh name");
     b.gate("Phish", GateType::And, ["CraftMail", "UserClicks"])
         .expect("fresh name");
     b.gate("GainEntry", GateType::Or, ["Phish", "ExploitVpn"])
@@ -193,7 +219,8 @@ pub fn kofn(k: u32, n: u32) -> FaultTree {
     assert!(k >= 1 && k <= n, "need 1 <= k <= n");
     let mut b = FaultTreeBuilder::new();
     let names: Vec<String> = (0..n).map(|i| format!("b{i}")).collect();
-    b.basic_events(names.iter().map(String::as_str)).expect("fresh names");
+    b.basic_events(names.iter().map(String::as_str))
+        .expect("fresh names");
     b.gate("Top", GateType::Vot { k }, names.iter().map(String::as_str))
         .expect("fresh name");
     b.build("Top").expect("well-formed")
@@ -206,16 +233,21 @@ pub fn kofn(k: u32, n: u32) -> FaultTree {
 ///
 /// Panics if `depth` is 0 or greater than 16.
 pub fn chain(depth: u32) -> FaultTree {
-    assert!(depth >= 1 && depth <= 16, "depth out of range");
+    assert!((1..=16).contains(&depth), "depth out of range");
     let mut b = FaultTreeBuilder::new();
     let leaves = 1u32 << depth;
     let names: Vec<String> = (0..leaves).map(|i| format!("b{i}")).collect();
-    b.basic_events(names.iter().map(String::as_str)).expect("fresh names");
+    b.basic_events(names.iter().map(String::as_str))
+        .expect("fresh names");
     // Build bottom-up: layer d has 2^d nodes.
     let mut layer: Vec<String> = names;
     let mut level = 0u32;
     while layer.len() > 1 {
-        let gate_type = if level % 2 == 0 { GateType::And } else { GateType::Or };
+        let gate_type = if level.is_multiple_of(2) {
+            GateType::And
+        } else {
+            GateType::Or
+        };
         let mut next = Vec::with_capacity(layer.len() / 2);
         for (i, pair) in layer.chunks(2).enumerate() {
             let name = format!("g{level}_{i}");

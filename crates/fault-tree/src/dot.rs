@@ -43,7 +43,11 @@ pub fn to_dot_with_status(tree: &FaultTree, b: Option<&StatusVector>) -> String 
                 }
             }
         };
-        let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"{colour}];", e.index());
+        let _ = writeln!(
+            out,
+            "  n{} [shape={shape}, label=\"{label}\"{colour}];",
+            e.index()
+        );
     }
     for e in tree.iter() {
         for &c in tree.children(e) {
@@ -66,7 +70,7 @@ mod tests {
         for e in tree.iter() {
             assert!(dot.contains(tree.name(e)), "{}", tree.name(e));
         }
-        assert!(dot.contains("VOT") == false);
+        assert!(!dot.contains("VOT"));
         assert!(dot.contains("AND"));
         assert!(dot.contains("OR"));
     }

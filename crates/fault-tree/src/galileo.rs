@@ -203,9 +203,7 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
                 }
                 Token::Name(name) => {
                     if let Some(prev) = defined.get(name) {
-                        return Err(err(format!(
-                            "`{name}` already defined on line {prev}"
-                        )));
+                        return Err(err(format!("`{name}` already defined on line {prev}")));
                     }
                     defined.insert(name.clone(), lineno);
                     match stmt.get(1) {
@@ -217,7 +215,11 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
                             basics.push((name.clone(), Some(*p), lineno));
                         }
                         Some(Token::Keyword(k)) if k == "and" || k == "or" => {
-                            let gate_type = if k == "and" { GateType::And } else { GateType::Or };
+                            let gate_type = if k == "and" {
+                                GateType::And
+                            } else {
+                                GateType::Or
+                            };
                             let children = stmt[2..]
                                 .iter()
                                 .map(|t| match t {
@@ -225,9 +227,9 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
                                         referenced.push(n.clone());
                                         Ok(n.clone())
                                     }
-                                    other => Err(err(format!(
-                                        "expected child name, found {other:?}"
-                                    ))),
+                                    other => {
+                                        Err(err(format!("expected child name, found {other:?}")))
+                                    }
                                 })
                                 .collect::<Result<Vec<_>, _>>()?;
                             if children.is_empty() {
@@ -251,9 +253,9 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
                                         referenced.push(n.clone());
                                         Ok(n.clone())
                                     }
-                                    other => Err(err(format!(
-                                        "expected child name, found {other:?}"
-                                    ))),
+                                    other => {
+                                        Err(err(format!("expected child name, found {other:?}")))
+                                    }
                                 })
                                 .collect::<Result<Vec<_>, _>>()?;
                             gates.push((
@@ -322,7 +324,10 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
         let bi = tree.basic_index(e).expect("basic");
         probabilities[bi] = p;
     }
-    Ok(GalileoModel { tree, probabilities })
+    Ok(GalileoModel {
+        tree,
+        probabilities,
+    })
 }
 
 /// Serialises a fault tree (and optional probabilities by basic index)

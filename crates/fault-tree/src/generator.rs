@@ -1,11 +1,9 @@
 //! Seeded random fault-tree generation for benchmarks and property-based
 //! tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::FaultTreeBuilder;
 use crate::model::{FaultTree, GateType};
+use crate::rng::Prng;
 
 /// Parameters for [`random_tree`].
 #[derive(Debug, Clone)]
@@ -50,7 +48,7 @@ pub fn random_tree(config: &RandomTreeConfig) -> FaultTree {
     assert!(config.num_basic >= 1, "need at least one basic event");
     assert!(config.num_gates >= 1, "need at least one gate");
     assert!(config.max_children >= 2, "need max_children >= 2");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let basic_names: Vec<String> = (0..config.num_basic).map(|i| format!("be{i}")).collect();
     let gate_names: Vec<String> = (0..config.num_gates).map(|i| format!("g{i}")).collect();
 
@@ -123,7 +121,7 @@ pub fn random_tree(config: &RandomTreeConfig) -> FaultTree {
         let n = children[i].len() as u32;
         let gate_type = if rng.gen_bool(config.vot_probability.clamp(0.0, 1.0)) && n >= 2 {
             GateType::Vot {
-                k: rng.gen_range(1..=n),
+                k: rng.gen_range(1..=n as usize) as u32,
             }
         } else if rng.gen_bool(0.5) {
             GateType::And
@@ -143,7 +141,8 @@ pub fn random_tree(config: &RandomTreeConfig) -> FaultTree {
         b.gate(&gate_names[i], gate_type, child_names)
             .expect("fresh name");
     }
-    b.build(&gate_names[0]).expect("generated tree is well-formed")
+    b.build(&gate_names[0])
+        .expect("generated tree is well-formed")
 }
 
 #[cfg(test)]
@@ -163,11 +162,19 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let t1 = random_tree(&RandomTreeConfig { seed: 1, ..Default::default() });
-        let t2 = random_tree(&RandomTreeConfig { seed: 2, ..Default::default() });
+        let t1 = random_tree(&RandomTreeConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let t2 = random_tree(&RandomTreeConfig {
+            seed: 2,
+            ..Default::default()
+        });
         // Extremely unlikely to coincide: compare child structure.
         let shape = |t: &FaultTree| -> Vec<Vec<usize>> {
-            t.iter().map(|e| t.children(e).iter().map(|c| c.index()).collect()).collect()
+            t.iter()
+                .map(|e| t.children(e).iter().map(|c| c.index()).collect())
+                .collect()
         };
         assert_ne!(shape(&t1), shape(&t2));
     }

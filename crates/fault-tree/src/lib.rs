@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod backend;
 pub mod bdd;
 pub mod builder;
 pub mod corpus;
@@ -59,10 +60,12 @@ pub mod model;
 pub mod modules;
 pub mod order;
 pub mod prob;
+pub mod rng;
 pub mod status;
 pub mod structure;
 pub mod zdd_engine;
 
+pub use backend::{Backend, CutSetEngine};
 pub use builder::FaultTreeBuilder;
 pub use model::{ElementId, FaultTree, FaultTreeError, GateType};
 pub use order::VariableOrdering;

@@ -104,7 +104,10 @@ impl fmt::Display for FaultTreeError {
             FaultTreeError::UnknownElement(n) => write!(f, "unknown element `{n}`"),
             FaultTreeError::EmptyChildren(n) => write!(f, "gate `{n}` has no children"),
             FaultTreeError::VotArity { name, k, n } => {
-                write!(f, "gate `{name}` is VOT({k}/{n}) but requires 1 <= k <= {n}")
+                write!(
+                    f,
+                    "gate `{name}` is VOT({k}/{n}) but requires 1 <= k <= {n}"
+                )
             }
             FaultTreeError::Cycle(n) => write!(f, "cycle through element `{n}`"),
             FaultTreeError::Unreachable(n) => {

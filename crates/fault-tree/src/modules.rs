@@ -53,11 +53,7 @@ pub fn is_module(tree: &FaultTree, gate: ElementId) -> bool {
     is_module_with_parents(tree, gate, &parents)
 }
 
-fn is_module_with_parents(
-    tree: &FaultTree,
-    gate: ElementId,
-    parents: &[Vec<ElementId>],
-) -> bool {
+fn is_module_with_parents(tree: &FaultTree, gate: ElementId, parents: &[Vec<ElementId>]) -> bool {
     // Cone of `gate`: all proper descendants.
     let mut in_cone = vec![false; tree.len()];
     let mut stack: Vec<ElementId> = tree.children(gate).to_vec();

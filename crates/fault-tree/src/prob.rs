@@ -126,12 +126,7 @@ pub fn birnbaum_importance(tree: &FaultTree, e: ElementId, be: ElementId, probs:
 /// # Panics
 ///
 /// Panics if `be` is not a basic event or `probs` is invalid.
-pub fn improvement_potential(
-    tree: &FaultTree,
-    e: ElementId,
-    be: ElementId,
-    probs: &[f64],
-) -> f64 {
+pub fn improvement_potential(tree: &FaultTree, e: ElementId, be: ElementId, probs: &[f64]) -> f64 {
     let bi = tree
         .basic_index(be)
         .unwrap_or_else(|| panic!("`{}` is not a basic event", tree.name(be)));
@@ -147,7 +142,10 @@ pub fn improvement_potential(
 ///
 /// Panics if the tree has more than 20 basic events.
 pub fn probability_naive(tree: &FaultTree, e: ElementId, probs: &[f64]) -> f64 {
-    assert!(tree.num_basic_events() <= 20, "naive engine limited to 20 events");
+    assert!(
+        tree.num_basic_events() <= 20,
+        "naive engine limited to 20 events"
+    );
     validate_probabilities(tree, probs).expect("invalid probabilities");
     let mut total = 0.0;
     for b in crate::status::StatusVector::enumerate_all(tree.num_basic_events()) {
@@ -181,7 +179,9 @@ mod tests {
     fn matches_naive_on_covid() {
         let tree = corpus::covid();
         let n = tree.num_basic_events();
-        let probs: Vec<f64> = (0..n).map(|i| 0.05 + 0.9 * (i as f64) / (n as f64)).collect();
+        let probs: Vec<f64> = (0..n)
+            .map(|i| 0.05 + 0.9 * (i as f64) / (n as f64))
+            .collect();
         let fast = top_event_probability(&tree, &probs);
         let slow = probability_naive(&tree, tree.top(), &probs);
         assert!((fast - slow).abs() < 1e-10, "fast={fast} slow={slow}");

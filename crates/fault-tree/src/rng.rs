@@ -1,0 +1,105 @@
+//! A tiny deterministic pseudo-random number generator (SplitMix64).
+//!
+//! The suite's randomised components — the fault-tree
+//! [`generator`](crate::generator) and the synthesis search in
+//! `bfl-core` — only need seeded, reproducible uniform draws, not
+//! cryptographic quality. Keeping the generator in-tree keeps the whole
+//! workspace dependency-free, which matters in the offline build
+//! environments this project targets.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) passes BigCrush for this
+//! output width and is the stream generator `rand` itself uses to seed
+//! its StdRng, so the statistical quality is more than adequate for
+//! randomised testing.
+
+use std::ops::{Bound, RangeBounds};
+
+/// A seeded SplitMix64 generator. Equal seeds yield equal streams.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `range` (any `usize` range with a bounded end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or unbounded above.
+    pub fn gen_range<R: RangeBounds<usize>>(&mut self, range: R) -> usize {
+        let lo = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi_inclusive = match range.end_bound() {
+            Bound::Included(&e) => e,
+            Bound::Excluded(&e) => e.checked_sub(1).expect("empty range"),
+            Bound::Unbounded => panic!("gen_range requires a bounded end"),
+        };
+        assert!(lo <= hi_inclusive, "empty range");
+        let span = (hi_inclusive - lo) as u64 + 1;
+        // Multiply-shift mapping (Lemire); the bias for spans this small
+        // (≪ 2^64) is negligible for test generation.
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Prng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y = r.gen_range(2..=5);
+            assert!((2..=5).contains(&y));
+            let z = r.gen_range(4..5);
+            assert_eq!(z, 4);
+        }
+    }
+
+    #[test]
+    fn bools_roughly_follow_p() {
+        let mut r = Prng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

@@ -163,9 +163,8 @@ impl StatusVector {
     /// Panics if `len > 32`.
     pub fn enumerate_all(len: usize) -> impl Iterator<Item = StatusVector> {
         assert!(len <= 32, "exhaustive enumeration limited to 32 events");
-        (0..(1u64 << len)).map(move |bits| {
-            StatusVector::from_bits((0..len).map(|i| (bits >> i) & 1 == 1))
-        })
+        (0..(1u64 << len))
+            .map(move |bits| StatusVector::from_bits((0..len).map(|i| (bits >> i) & 1 == 1)))
     }
 }
 

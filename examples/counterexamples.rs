@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("── Table I, row {} ── {} ──", i + 1, row.pattern.name());
         println!("χ = {}", row.formula);
-        println!("example vector b = {} (b ⊨ χ: {})", row.example, mc.holds(&row.example, &row.formula)?);
+        println!(
+            "example vector b = {} (b ⊨ χ: {})",
+            row.example,
+            mc.holds(&row.example, &row.formula)?
+        );
         match counterexample(&mut mc, &row.example, &row.formula)? {
             Counterexample::Found(v) => {
                 println!("Algorithm 4 counterexample b' = {v}");
@@ -49,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("── Section VI warm-up on Fig. 1 ──");
     println!("χ = {phi}, b fails {{IW, H3, IT}}");
     if let Counterexample::Found(v) = counterexample(&mut mc, &b, &phi)? {
-        println!("counterexample fails {{{}}}", v.failed_names(&fig1).join(", "));
+        println!(
+            "counterexample fails {{{}}}",
+            v.failed_names(&fig1).join(", ")
+        );
         println!("{}", render::counterexample_report(&fig1, &b, &v));
     }
     Ok(())

@@ -1,5 +1,11 @@
 //! The full COVID-19 case study of Sections IV and VII: all nine
-//! properties, with the same analysis narrative as the paper.
+//! properties through one `AnalysisSession`, with the same analysis
+//! narrative as the paper.
+//!
+//! The layer-2 verdicts run as one batch (`session.run`), sharing BDD
+//! translations across properties exactly as Algorithm 1 intends; the
+//! enumeration-shaped properties (P5–P7) use the session's satisfaction
+//! and path-set methods.
 //!
 //! Run with: `cargo run --example covid_case_study`
 
@@ -13,8 +19,8 @@ fn show_sets(label: &str, sets: &[Vec<String>]) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let tree = bfl::ft::corpus::covid();
-    let mut mc = ModelChecker::new(&tree);
+    let session = AnalysisSession::new(bfl::ft::corpus::covid());
+    let tree = session.tree_arc();
     println!(
         "COVID-19 fault tree (Fig. 2): {} basic events, {} gates, top = {}\n",
         tree.num_basic_events(),
@@ -22,37 +28,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tree.name(tree.top())
     );
 
-    // Property 1 ---------------------------------------------------------
-    let q1 = parse_query("forall IS => MoT")?;
-    println!("P1  forall IS => MoT: {}", mc.check_query(&q1)?);
+    // The layer-2 verdicts as one batch: labels, verdicts, witnesses and
+    // per-query statistics in one structured report.
+    let spec = Spec::parse(
+        "P1: forall IS => MoT\n\
+         P2: forall MoT => H1 | H2 | H3 | H4 | H5\n\
+         P3: forall H4 => IWoS\n\
+         P4: forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS\n\
+         P8: IDP(CIO, CIS)\n\
+         P9: SUP(PP)\n",
+    )?;
+    print!("{}", session.run(&spec)?);
+
+    // Property 1, the narrative detail: which MCSs involve the surface?
     let phi = parse_formula("MCS(MoT) & IS")?;
-    let vectors = mc.satisfying_vectors(&phi)?;
-    show_sets("    MCS(MoT) & IS", &mc.vectors_to_failed_sets(&vectors));
+    let vectors = session.satisfying_vectors(&phi)?;
+    show_sets(
+        "\nP1  MCS(MoT) & IS",
+        &session.vectors_to_failed_sets(&vectors),
+    );
 
-    // Property 2 ---------------------------------------------------------
-    let q2 = parse_query("forall MoT => H1 | H2 | H3 | H4 | H5")?;
-    println!("P2  forall MoT => any human error: {}", mc.check_query(&q2)?);
-    println!("    (droplet/airborne transmission needs no human error)");
+    // Property 2: droplet/airborne transmission needs no human error.
+    println!("P2  (droplet/airborne transmission needs no human error)");
 
-    // Property 3 ---------------------------------------------------------
-    let q3 = parse_query("forall H4 => IWoS")?;
-    println!("P3  forall H4 => IWoS: {}", mc.check_query(&q3)?);
-
-    // Property 4 ---------------------------------------------------------
-    let q4 = parse_query("forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS")?;
-    println!("P4  forall VOT(>=2; H1..H5) => IWoS: {}", mc.check_query(&q4)?);
+    // Property 4: how many MCSs do require a human error?
     let phi4 = parse_formula(
         "MCS(IWoS) & H1 | MCS(IWoS) & H2 | MCS(IWoS) & H3 | MCS(IWoS) & H4 | MCS(IWoS) & H5",
     )?;
     println!(
-        "    MCSs requiring a human error: {}",
-        mc.count_satisfying(&phi4)?
+        "P4  MCSs requiring a human error: {}",
+        session.count_satisfying(&phi4)?
     );
 
     // Property 5 ---------------------------------------------------------
     let phi5 = parse_formula("MCS(IWoS) & H4")?;
-    let vectors = mc.satisfying_vectors(&phi5)?;
-    show_sets("P5  MCS(IWoS) & H4", &mc.vectors_to_failed_sets(&vectors));
+    let vectors = session.satisfying_vectors(&phi5)?;
+    show_sets(
+        "P5  MCS(IWoS) & H4",
+        &session.vectors_to_failed_sets(&vectors),
+    );
 
     // Property 6 ---------------------------------------------------------
     let humans = ["H1", "H2", "H3", "H4", "H5"];
@@ -68,28 +82,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "P6  exists MPS(IWoS)[H1..H5 := 0, rest := 1]: {}",
-        mc.check_query(&Query::Exists(phi6))?
+        session.check_query(&Query::Exists(phi6))?.holds
     );
     println!("    (avoiding all five human errors prevents the TLE, but not minimally;");
     println!("     the minimal ways within the human errors are {{H1}} and {{H2, H3}})");
 
     // Property 7 ---------------------------------------------------------
-    let mps = mc.minimal_path_sets("IWoS")?;
+    let mps = session.minimal_path_sets("IWoS")?;
     show_sets("P7  MPS(IWoS)", &mps);
 
-    // Property 8 ---------------------------------------------------------
-    let q8 = parse_query("IDP(CIO, CIS)")?;
-    println!("P8  IDP(CIO, CIS): {}", mc.check_query(&q8)?);
+    // Property 8, the narrative detail: the shared dependency.
     println!(
-        "    IBE(CIO) = {:?}, IBE(CIS) = {:?}",
-        mc.influencing_basic_events(&parse_formula("CIO")?)?,
-        mc.influencing_basic_events(&parse_formula("CIS")?)?
+        "P8  IBE(CIO) = {:?}, IBE(CIS) = {:?}",
+        session.influencing_basic_events(&parse_formula("CIO")?)?,
+        session.influencing_basic_events(&parse_formula("CIS")?)?
     );
 
     // Property 9 ---------------------------------------------------------
-    let q9 = parse_query("SUP(PP)")?;
-    println!("P9  SUP(PP): {}", mc.check_query(&q9)?);
-    println!("    (PP is not superfluous: it must not be removed from the tree)");
+    println!("P9  (PP is not superfluous: it must not be removed from the tree)");
 
+    // The batch-level statistics show the cache sharing at work.
+    let stats = session.stats();
+    println!(
+        "\nsession stats: {} BDD arena nodes, {} cache hits / {} misses",
+        stats.arena_nodes, stats.cache_hits, stats.cache_misses
+    );
     Ok(())
 }

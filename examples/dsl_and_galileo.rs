@@ -1,6 +1,7 @@
 //! End-to-end textual workflow: parse a fault tree from Galileo text,
-//! parse BFL properties from the DSL, model-check them — the tool-chain
-//! the paper's future work sketches for practitioners.
+//! parse a batch of BFL properties from the spec DSL, and evaluate them
+//! in one `AnalysisSession::run` pass — the tool-chain the paper's
+//! future work sketches for practitioners.
 //!
 //! Run with: `cargo run --example dsl_and_galileo`
 
@@ -24,50 +25,53 @@ toplevel "System";
 "S3"      prob=0.05;
 "#;
 
-const PROPERTIES: &[(&str, &str)] = &[
-    ("power alone kills both pumps", "forall Power => PumpsDown"),
-    ("a single sensor is harmless", "forall S1 => System"),
-    ("pumps and sensors independent", "IDP(PumpsDown, Sensors)"),
-    ("power is not superfluous", "SUP(Power)"),
-    ("two sensors fail the system", "forall VOT(>=2; S1, S2, S3) => System"),
-];
+/// The whole property batch in the line-oriented spec format: labels,
+/// comments, layer-1 and layer-2 questions side by side.
+const PROPERTIES: &str = "\
+# pump-system properties
+power-kills-pumps:   forall Power => PumpsDown
+sensor-harmless:     forall S1 => System
+pumps-sensors-idp:   IDP(PumpsDown, Sensors)
+power-needed:        SUP(Power)
+two-sensors-fatal:   forall VOT(>=2; S1, S2, S3) => System
+";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = galileo::parse(MODEL)?;
-    let tree = &model.tree;
     println!(
         "parsed `System`: {} basic events, {} gates",
-        tree.num_basic_events(),
-        tree.num_gates()
+        model.tree.num_basic_events(),
+        model.tree.num_gates()
     );
 
-    let mut mc = ModelChecker::new(tree);
-    println!("\nproperties:");
-    for (label, src) in PROPERTIES {
-        match parse_spec(src)? {
-            Spec::Query(q) => {
-                println!("  {label:34} {src:45} = {}", mc.check_query(&q)?);
-            }
-            Spec::Formula(f) => {
-                let n = mc.count_satisfying(&f)?;
-                println!("  {label:34} {src:45} = {n} vectors");
-            }
-        }
-    }
+    // One owned session: tree, probabilities and configuration in one
+    // place, no lifetimes to thread around.
+    let session = AnalysisSession::builder()
+        .probabilities(model.probabilities.clone())
+        .build(model.tree);
+
+    // The batch evaluates in a single pass over shared BDD caches, and
+    // every outcome carries its witnesses/counterexamples and stats.
+    let spec = Spec::parse(PROPERTIES)?;
+    let report = session.run(&spec)?;
+    print!("\n{report}");
 
     println!("\nminimal cut sets:");
-    for s in mc.minimal_cut_sets("System")? {
+    for s in session.minimal_cut_sets("System")? {
         println!("  {{{}}}", s.join(", "));
     }
 
     // The probability layer uses the prob= annotations from the model.
+    println!(
+        "\ntop event probability: {:.6}",
+        session.top_event_probability()?
+    );
+    let tree = session.tree();
     let probs: Vec<f64> = model
         .probabilities
         .iter()
         .map(|p| p.unwrap_or(0.0))
         .collect();
-    let top_p = bfl::ft::prob::top_event_probability(tree, &probs);
-    println!("\ntop event probability: {top_p:.6}");
     let power = tree.require("Power")?;
     println!(
         "Birnbaum importance of Power: {:.6}",
@@ -75,6 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Round-trip: print the tree back as Galileo.
-    println!("\nround-tripped model:\n{}", galileo::to_galileo(tree, Some(&model.probabilities)));
+    println!(
+        "\nround-tripped model:\n{}",
+        galileo::to_galileo(tree, Some(&model.probabilities))
+    );
     Ok(())
 }

@@ -22,10 +22,7 @@ fn report(tree: &FaultTree, label: &str) -> Result<(), Box<dyn std::error::Error
             let nested = cone_a.iter().all(|e| cone_b.contains(e))
                 || cone_b.iter().all(|e| cone_a.contains(e));
             if disjoint {
-                let q = Query::idp(
-                    Formula::atom(tree.name(a)),
-                    Formula::atom(tree.name(b)),
-                );
+                let q = Query::idp(Formula::atom(tree.name(a)), Formula::atom(tree.name(b)));
                 let idp = mc.check_query(&q)?;
                 println!(
                     "IDP({}, {}) = {idp}   (disjoint modules are independent)",

@@ -1,4 +1,5 @@
-//! Quickstart: build a fault tree, ask BFL questions about it.
+//! Quickstart: build a fault tree, open an `AnalysisSession`, ask BFL
+//! questions about it.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -14,26 +15,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     builder.gate("CP/R", GateType::Or, ["CP", "CR"])?;
     let tree = builder.build("CP/R")?;
 
-    let mut mc = ModelChecker::new(&tree);
+    // The session owns the tree — no lifetimes — and shares one BDD
+    // cache across every question below.
+    let session = AnalysisSession::new(tree);
 
     // Layer-2 query: does the failure of CP always lead to the top event?
     let q = parse_query("forall CP => \"CP/R\"")?;
-    println!("forall CP => CP/R          : {}", mc.check_query(&q)?);
+    println!(
+        "forall CP => CP/R          : {}",
+        session.check_query(&q)?.holds
+    );
 
     // Layer-1 formula checked against a concrete status vector: is
     // {IW, H3} a minimal cut set?
     let phi = parse_formula("MCS(\"CP/R\")")?;
-    let b = StatusVector::from_failed_names(&tree, &["IW", "H3"]);
-    println!("(IW, H3) is an MCS         : {}", mc.holds(&b, &phi)?);
+    let b = StatusVector::from_failed_names(session.tree(), &["IW", "H3"]);
+    println!(
+        "(IW, H3) is an MCS         : {}",
+        session.check_vector(&b, &phi)?.holds
+    );
 
-    // Enumerate all minimal cut sets and path sets.
-    println!("minimal cut sets           : {:?}", mc.minimal_cut_sets("CP/R")?);
-    println!("minimal path sets          : {:?}", mc.minimal_path_sets("CP/R")?);
+    // Enumerate all minimal cut sets and path sets (the configured
+    // backend computes these; see `SessionBuilder::backend`).
+    println!(
+        "minimal cut sets           : {:?}",
+        session.minimal_cut_sets("CP/R")?
+    );
+    println!(
+        "minimal path sets          : {:?}",
+        session.minimal_path_sets("CP/R")?
+    );
 
     // What-if scenario via evidence: the MCSs given that H2 cannot occur.
     let phi = parse_formula("MCS(\"CP/R\")[H2 := 0]")?;
-    let vectors = mc.satisfying_vectors(&phi)?;
-    println!("MCS given H2 impossible    : {:?}", mc.vectors_to_failed_sets(&vectors));
+    let vectors = session.satisfying_vectors(&phi)?;
+    println!(
+        "MCS given H2 impossible    : {:?}",
+        session.vectors_to_failed_sets(&vectors)
+    );
+
+    // Batches evaluate in one pass and return a structured report.
+    let spec = Spec::parse(
+        "cp-fatal:  forall CP => \"CP/R\"\n\
+         cr-fatal:  forall CR => \"CP/R\"\n\
+         idp:       IDP(CP, CR)\n",
+    )?;
+    print!("\n{}", session.run(&spec)?);
 
     Ok(())
 }

@@ -13,15 +13,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A plausible probability profile: hazards are rarer than human errors.
     let p_of = |name: &str| -> f64 {
         match name {
-            "IW" => 0.05,  // infected worker joins
-            "IT" => 0.03,  // infected object
-            "IS" => 0.04,  // infected surface
-            "PP" => 0.60,  // physical proximity is common
-            "VW" => 0.20,  // vulnerable worker present
-            "AB" => 0.30,  // no barriers
-            "MV" => 0.25,  // mechanical ventilation
-            "UT" => 0.01,  // unknown transmission
-            _ => 0.10,     // human errors H1..H5
+            "IW" => 0.05, // infected worker joins
+            "IT" => 0.03, // infected object
+            "IS" => 0.04, // infected surface
+            "PP" => 0.60, // physical proximity is common
+            "VW" => 0.20, // vulnerable worker present
+            "AB" => 0.30, // no barriers
+            "MV" => 0.25, // mechanical ventilation
+            "UT" => 0.01, // unknown transmission
+            _ => 0.10,    // human errors H1..H5
         }
     };
     let probs: Vec<f64> = tree
@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let p = step as f64 / 10.0;
         let mut ps = probs.clone();
         ps[bi] = p;
-        println!("  P(H1) = {p:.1}  ->  P(IWoS) = {:.6}", prob::top_event_probability(&tree, &ps));
+        println!(
+            "  P(H1) = {p:.1}  ->  P(IWoS) = {:.6}",
+            prob::top_event_probability(&tree, &ps)
+        );
     }
     Ok(())
 }

@@ -18,10 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("searching for T with b = {b} (over {bes:?}) such that b, T ⊨ {phi}");
     match synthesize(&bes, &b, &phi, &SynthesisConfig::default())? {
         Some(tree) => {
-            println!("\nfound a witness tree:\n{}", galileo::to_galileo(&tree, None));
+            println!(
+                "\nfound a witness tree:\n{}",
+                galileo::to_galileo(&tree, None)
+            );
             let mut mc = ModelChecker::new(&tree);
             println!("verification: b ⊨ χ = {}", mc.holds(&b, &phi)?);
-            println!("MCS(top) of the synthesized tree: {:?}", mc.minimal_cut_sets("top")?);
+            println!(
+                "MCS(top) of the synthesized tree: {:?}",
+                mc.minimal_cut_sets("top")?
+            );
         }
         None => println!("no witness found within the search budget"),
     }

@@ -8,16 +8,21 @@
 use bfl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let tree = bfl::ft::corpus::covid();
-    let mut mc = ModelChecker::new(&tree);
+    // One owned session for the whole scenario sweep: every evidence
+    // projection below reuses the same compiled BDDs.
+    let session = AnalysisSession::new(bfl::ft::corpus::covid());
+    let tree = session.tree_arc();
 
     println!("What-if scenarios on the COVID-19 fault tree\n");
 
     // Scenario 1: an infected worker has certainly joined the team.
     // Which minimal cut scenarios remain (projected by evidence)?
     let phi = parse_formula("MCS(IWoS)[IW := 1]")?;
-    let vectors = mc.satisfying_vectors(&phi)?;
-    println!("1. vectors satisfying MCS(IWoS)[IW := 1]: {}", vectors.len());
+    let vectors = session.satisfying_vectors(&phi)?;
+    println!(
+        "1. vectors satisfying MCS(IWoS)[IW := 1]: {}",
+        vectors.len()
+    );
     for v in &vectors {
         println!("   {{{}}}", v.failed_names(&tree).join(", "));
     }
@@ -25,27 +30,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scenario 2: suppose surface disinfection is guaranteed (H5 := 0) —
     // can the surface route still cause a transmission?
     let q = parse_query("exists MoT[H5 := 0] & IS & !IW & !IT & !UT")?;
-    println!("\n2. transmission via a surface without H5, IW, IT, UT possible: {}",
-        mc.check_query(&q)?);
+    println!(
+        "\n2. transmission via a surface without H5, IW, IT, UT possible: {}",
+        session.check_query(&q)?.holds
+    );
 
     // Scenario 3: if the vulnerable worker is protected, the top event is
     // impossible (VW is in every cut set).
     let q = parse_query("exists IWoS[VW := 0]")?;
-    println!("3. top event possible with VW protected: {}", mc.check_query(&q)?);
+    println!(
+        "3. top event possible with VW protected: {}",
+        session.check_query(&q)?.holds
+    );
 
     // Scenario 4: independence — are the pathogen branch and the
     // susceptible-host branch independent? (They are not: IW is shared
     // between CP and the transmission modes, H1 between SH and others.)
     for (a, b) in [("CP", "SH"), ("CP", "CR"), ("DT", "AT"), ("CIW", "CIS")] {
         let q = Query::idp(Formula::atom(a), Formula::atom(b));
-        println!("4. IDP({a}, {b}) = {}", mc.check_query(&q)?);
+        println!("4. IDP({a}, {b}) = {}", session.check_query(&q)?.holds);
     }
 
     // Scenario 5: superfluousness sweep — no basic event is superfluous.
     println!("\n5. superfluous events:");
     let mut any = false;
     for name in tree.basic_event_names() {
-        if mc.check_query(&Query::sup(name))? {
+        if session.check_query(&Query::sup(name))?.holds {
             println!("   {name}");
             any = true;
         }
@@ -59,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q = parse_query(
         "forall VOT(>=4; H1, H2, H3, H4, H5) & IW & IT & VW & PP & IS & AB & MV & UT => IWoS",
     )?;
-    println!("\n6. four human errors + all hazards guarantee the TLE: {}", mc.check_query(&q)?);
+    println!(
+        "\n6. four human errors + all hazards guarantee the TLE: {}",
+        session.check_query(&q)?.holds
+    );
 
     Ok(())
 }

@@ -6,33 +6,59 @@
 //!
 //! * [`bdd`] ([`bfl_bdd`]) — the reduced ordered BDD engine;
 //! * [`ft`] ([`bfl_fault_tree`]) — fault trees: model, structure function,
-//!   Galileo parser, BDD translation, minimal cut/path sets, probability;
+//!   Galileo parser, BDD translation, cut-set backends, probability;
 //! * [`logic`] ([`bfl_core`]) — the BFL logic: syntax, DSL, semantics,
-//!   model checking, counterexamples, patterns, synthesis.
+//!   model checking, counterexamples, patterns, synthesis, and the
+//!   [`AnalysisSession`](bfl_core::engine::AnalysisSession) engine.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and
 //! `EXPERIMENTS.md` for the paper-reproduction results.
 //!
 //! ## Quickstart
 //!
+//! The entry point is the **`AnalysisSession`**: an owned, thread-safe,
+//! batch-first façade over the whole stack. Configure once, query many
+//! times — repeated sub-formulae share one BDD cache.
+//!
 //! ```
 //! use bfl::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // The COVID-19 fault tree of the paper's case study (Fig. 2).
-//! let tree = bfl::ft::corpus::covid();
-//! let mut mc = ModelChecker::new(&tree);
+//! let session = AnalysisSession::new(bfl::ft::corpus::covid());
 //!
-//! // "Are at least 2 human errors sufficient for the top event?" — no:
+//! // "Are at least 2 human errors sufficient for the top event?" — no,
+//! // and the outcome carries refuting vectors and evaluation stats:
 //! let q = parse_query("forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS")?;
-//! assert!(!mc.check_query(&q)?);
+//! let outcome = session.check_query(&q)?;
+//! assert!(!outcome.holds);
+//! assert!(!outcome.counterexamples.is_empty());
 //!
 //! // "What are the minimal ways to prevent the top event?"
-//! let mps = mc.minimal_path_sets("IWoS")?;
+//! let mps = session.minimal_path_sets("IWoS")?;
 //! assert_eq!(mps.len(), 12);
+//!
+//! // Whole batches evaluate in one pass over shared caches:
+//! let spec = Spec::parse("P1: forall IS => MoT\nP9: SUP(PP)\n")?;
+//! let report = session.run(&spec)?;
+//! assert_eq!(report.holding(), 0); // both properties fail, as in the paper
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Migration note (`ModelChecker` → `AnalysisSession`)
+//!
+//! Before this release the public face was the lifetime-bound
+//! [`ModelChecker<'t>`](bfl_core::ModelChecker) plus free functions
+//! (`counterexample`, the `analysis` and `zdd_engine` modules). Those
+//! APIs remain available — `ModelChecker` is the session's internal
+//! workhorse — but new code should build an
+//! [`AnalysisSession`](bfl_core::engine::AnalysisSession): it owns its
+//! tree (`Arc<FaultTree>`, no lifetime), is `Send + Sync`, returns
+//! structured [`Outcome`](bfl_core::report::Outcome)s instead of bare
+//! `bool`s, and selects the cut-set [`Backend`](bfl_core::engine::Backend)
+//! (`minsol`/`paper`/`zdd`) as configuration rather than as different
+//! entry points. See the migration table in [`bfl_core::engine`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,7 +69,9 @@ pub use bfl_fault_tree as ft;
 
 /// One-stop imports for applications using the suite.
 pub mod prelude {
-    pub use bfl_core::parser::{parse_formula, parse_query, parse_spec, Spec};
+    pub use bfl_core::engine::{AnalysisSession, Backend, SessionBuilder};
+    pub use bfl_core::parser::{parse_formula, parse_query, parse_spec};
+    pub use bfl_core::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
     pub use bfl_core::{
         counterexample, is_valid_counterexample, BflError, CmpOp, Counterexample, Formula,
         MinimalityScope, ModelChecker, Pattern, Query,

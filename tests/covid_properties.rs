@@ -89,7 +89,9 @@ fn property_4_two_human_errors_not_sufficient() {
     let vectors = mc.satisfying_vectors(&phi).unwrap();
     assert_eq!(vectors.len(), 12);
     // Sanity: these are exactly all MCSs (every MCS contains H1).
-    let all = mc.satisfying_vectors(&parse_formula("MCS(IWoS)").unwrap()).unwrap();
+    let all = mc
+        .satisfying_vectors(&parse_formula("MCS(IWoS)").unwrap())
+        .unwrap();
     assert_eq!(vectors, all);
 }
 
@@ -161,7 +163,10 @@ fn property_6_all_human_errors_not_minimal() {
             .collect();
         let v = StatusVector::from_failed_names(&tree, &failed);
         assert!(mc.holds(&v, &phi_mps).unwrap(), "{keep:?}");
-        assert!(is_valid_counterexample(&mut mc, &b, &v, &phi_mps).unwrap(), "{keep:?}");
+        assert!(
+            is_valid_counterexample(&mut mc, &b, &v, &phi_mps).unwrap(),
+            "{keep:?}"
+        );
     }
 }
 
@@ -250,7 +255,11 @@ fn fig2_repeated_events() {
             }
         }
     }
-    let mut repeated: Vec<&str> = counts.iter().filter(|(_, &n)| n > 1).map(|(&k, _)| k).collect();
+    let mut repeated: Vec<&str> = counts
+        .iter()
+        .filter(|(_, &n)| n > 1)
+        .map(|(&k, _)| k)
+        .collect();
     repeated.sort();
     assert_eq!(repeated, vec!["H1", "IT", "IW", "PP"]);
 }
@@ -260,6 +269,10 @@ fn fig2_repeated_events() {
 fn example_1_queries() {
     let tree = covid();
     let mut mc = ModelChecker::new(&tree);
-    assert!(mc.check_query(&parse_query("forall CP => \"CP/R\"").unwrap()).unwrap());
-    assert!(mc.check_query(&parse_query("exists CP & CR").unwrap()).unwrap());
+    assert!(mc
+        .check_query(&parse_query("forall CP => \"CP/R\"").unwrap())
+        .unwrap());
+    assert!(mc
+        .check_query(&parse_query("exists CP & CR").unwrap())
+        .unwrap());
 }

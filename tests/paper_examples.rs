@@ -36,7 +36,9 @@ fn fig3_or_gate_bdd_shape() {
     let mut tb = bfl::ft::bdd::TreeBdd::new(&tree, VariableOrdering::DfsPreorder);
     let top = tb.element_bdd(&tree, tree.top());
     assert_eq!(tb.manager().node_count(top), 4);
-    let dot = tb.manager().to_dot(top, |v| format!("e{}", v.index() / 2 + 1));
+    let dot = tb
+        .manager()
+        .to_dot(top, |v| format!("e{}", v.index() / 2 + 1));
     assert!(dot.contains("e1"));
     assert!(dot.contains("e2"));
 }

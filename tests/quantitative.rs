@@ -49,12 +49,8 @@ fn evidence_is_conditioning_free() {
     let tree = bfl::ft::corpus::or2();
     let mut mc = ModelChecker::new(&tree);
     let probs = [0.1, 0.2];
-    let forced = quant::probability(
-        &mut mc,
-        &parse_formula("Top[e1 := 1]").unwrap(),
-        &probs,
-    )
-    .unwrap();
+    let forced =
+        quant::probability(&mut mc, &parse_formula("Top[e1 := 1]").unwrap(), &probs).unwrap();
     assert!((forced - 1.0).abs() < 1e-12);
     let conditioned = quant::conditional_probability(
         &mut mc,

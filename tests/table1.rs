@@ -27,8 +27,13 @@ fn table1_rows_reproduce() {
             row.formula
         );
         assert!(
-            is_valid_counterexample(&mut mc, &row.example, &row.paper_counterexample, &row.formula)
-                .unwrap(),
+            is_valid_counterexample(
+                &mut mc,
+                &row.example,
+                &row.paper_counterexample,
+                &row.formula
+            )
+            .unwrap(),
             "row {i}: paper counterexample not Def.7-minimal"
         );
         let ours = counterexample(&mut mc, &row.example, &row.formula).unwrap();
