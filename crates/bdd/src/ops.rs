@@ -209,13 +209,67 @@ impl Manager {
         r
     }
 
-    /// Restriction by several assignments at once.
+    /// Restriction by several assignments at once, applied sequentially.
+    ///
+    /// Equivalent to (and implemented as) [`Manager::restrict_many`]: for
+    /// distinct variables simultaneous and sequential restriction agree,
+    /// and for a repeated variable the *first* assignment wins in both —
+    /// once restricted, the variable no longer occurs, so later
+    /// assignments to it are identities. This matches the semantics of
+    /// chained BFL evidence `ϕ[e↦v][e↦v′]`.
     pub fn restrict_all(&mut self, f: Bdd, assignments: &[(Var, bool)]) -> Bdd {
-        let mut acc = f;
-        for &(v, value) in assignments {
-            acc = self.restrict(acc, v, value);
+        self.restrict_many(f, assignments)
+    }
+
+    /// Simultaneous restriction `f[v1 ↦ b1, …, vk ↦ bk]` in a **single
+    /// traversal** of the diagram, instead of one pass per variable.
+    ///
+    /// This is the cofactoring workhorse of scenario evaluation
+    /// (evidence-as-restriction): a compiled query BDD is specialised to a
+    /// whole scenario of evidence bindings at once. For a repeated
+    /// variable the first assignment wins (see [`Manager::restrict_all`]);
+    /// a variable outside the declared range is an identity, exactly as
+    /// in single-variable [`Manager::restrict`] (which walks by level and
+    /// can never meet it).
+    pub fn restrict_many(&mut self, f: Bdd, assignments: &[(Var, bool)]) -> Bdd {
+        if assignments.is_empty() {
+            return f;
         }
-        acc
+        let mut value: Vec<Option<bool>> = vec![None; self.num_vars() as usize];
+        // Reverse order + overwrite ⇒ the first occurrence wins.
+        for &(v, b) in assignments.iter().rev() {
+            if let Some(slot) = value.get_mut(v.0 as usize) {
+                *slot = Some(b);
+            }
+        }
+        let mut memo = HashMap::new();
+        self.restrict_many_rec(f, &value, &mut memo)
+    }
+
+    fn restrict_many_rec(
+        &mut self,
+        f: Bdd,
+        value: &[Option<bool>],
+        memo: &mut HashMap<u32, Bdd>,
+    ) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f.0) {
+            return r;
+        }
+        let node = self.node(f);
+        let r = match value[node.var.0 as usize] {
+            Some(true) => self.restrict_many_rec(node.high, value, memo),
+            Some(false) => self.restrict_many_rec(node.low, value, memo),
+            None => {
+                let low = self.restrict_many_rec(node.low, value, memo);
+                let high = self.restrict_many_rec(node.high, value, memo);
+                self.mk(node.var, low, high)
+            }
+        };
+        memo.insert(f.0, r);
+        r
     }
 
     /// Existential quantification `∃ vars. f`.
@@ -429,6 +483,49 @@ mod tests {
         assert_eq!(f1, b);
         let f0 = m.restrict(f, Var(0), false);
         assert!(f0.is_false());
+    }
+
+    #[test]
+    fn restrict_many_matches_sequential() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let cases: &[&[(Var, bool)]] = &[
+            &[],
+            &[(Var(0), true)],
+            &[(Var(0), true), (Var(2), false)],
+            &[(Var(2), false), (Var(0), true)],
+            &[(Var(0), false), (Var(1), true), (Var(2), false)],
+        ];
+        for assignments in cases {
+            let mut seq = f;
+            for &(v, value) in *assignments {
+                seq = m.restrict(seq, v, value);
+            }
+            assert_eq!(m.restrict_many(f, assignments), seq, "{assignments:?}");
+        }
+    }
+
+    #[test]
+    fn restrict_many_out_of_range_var_is_identity() {
+        // Matches single-variable `restrict`, which walks by level and
+        // never meets an undeclared variable.
+        let (mut m, a, b, _) = setup();
+        let f = m.or(a, b);
+        let r = m.restrict_many(f, &[(Var(7), true)]);
+        assert_eq!(r, f);
+        let mixed = m.restrict_many(f, &[(Var(7), true), (Var(0), false)]);
+        assert_eq!(mixed, b);
+    }
+
+    #[test]
+    fn restrict_many_first_assignment_wins() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        // Sequentially, [x0↦1][x0↦0] leaves b: the second restriction is
+        // an identity because x0 is already gone.
+        let r = m.restrict_many(f, &[(Var(0), true), (Var(0), false)]);
+        assert_eq!(r, b);
     }
 
     #[test]

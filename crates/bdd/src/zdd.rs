@@ -1,6 +1,6 @@
 //! Zero-suppressed decision diagrams (ZDDs) for families of sets —
 //! the classical representation of cut-set collections (Minato 1993;
-//! Coudert–Madre; Rauzy's fault-tree algorithms, reference [5] of the
+//! Coudert–Madre; Rauzy's fault-tree algorithms, reference \[5\] of the
 //! paper).
 //!
 //! A [`Zdd`] node `(v, lo, hi)` represents the family

@@ -1,0 +1,79 @@
+//! PREP: compiled query plans vs per-scenario recompilation.
+//!
+//! The workload of Section VI's what-if analyses: one layer-2 property,
+//! many evidence hypotheses. Three contenders:
+//!
+//! * `recompile`: the classic path — wrap the query in evidence
+//!   operators per scenario and `check_query` it (AST rewriting + BDD
+//!   pipeline each time, fresh session so nothing is amortised);
+//! * `prepare_cold`: `session.prepare` once, then `sweep` a fresh
+//!   prepared query (restriction per scenario, memo cold);
+//! * `prepare_warm`: sweep an already-swept prepared query (pure memo
+//!   lookups — the steady-state serving cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use bfl_core::parser::parse_query;
+use bfl_core::scenario::ScenarioSet;
+use bfl_core::AnalysisSession;
+use bfl_fault_tree::corpus;
+
+fn scenarios(session: &AnalysisSession) -> ScenarioSet {
+    let mut set = ScenarioSet::new();
+    for name in session.tree().basic_event_names() {
+        set.push(bfl_core::Scenario::new().bind(name, true));
+        set.push(bfl_core::Scenario::new().bind(name, false));
+    }
+    set
+}
+
+fn bench_prepared_sweep(c: &mut Criterion) {
+    let query = "exists MCS(IWoS) & H4";
+    let mut group = c.benchmark_group("prepared_sweep");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("recompile", |b| {
+        b.iter(|| {
+            // Fresh session per iteration: every scenario pays the whole
+            // pipeline, as the pre-`prepare` examples did.
+            let session = AnalysisSession::new(corpus::covid());
+            let q = parse_query(query).expect("parses");
+            let top = session.tree().name(session.tree().top()).to_string();
+            let set = scenarios(&session);
+            let mut holding = 0usize;
+            for s in &set {
+                let specialised = s.specialise_query(&q, &top);
+                if session.check_query(&specialised).expect("checks").holds {
+                    holding += 1;
+                }
+            }
+            black_box(holding)
+        })
+    });
+
+    group.bench_function("prepare_cold", |b| {
+        b.iter(|| {
+            let session = AnalysisSession::new(corpus::covid());
+            let q = parse_query(query).expect("parses");
+            let prepared = session.prepare(&q).expect("prepares");
+            let set = scenarios(&session);
+            black_box(prepared.sweep(&set).expect("sweeps").holding())
+        })
+    });
+
+    group.bench_function("prepare_warm", |b| {
+        let session = AnalysisSession::new(corpus::covid());
+        let q = parse_query(query).expect("parses");
+        let prepared = session.prepare(&q).expect("prepares");
+        let set = scenarios(&session);
+        let _ = prepared.sweep(&set).expect("warms the memo");
+        b.iter(|| black_box(prepared.sweep(&set).expect("sweeps").holding()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepared_sweep);
+criterion_main!(benches);

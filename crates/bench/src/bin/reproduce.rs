@@ -6,7 +6,7 @@
 //! cargo run -p bfl-bench --bin reproduce -- fig1     # one artifact
 //! ```
 //!
-//! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling`.
+//! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling sweep`.
 
 use bfl_bench::{covid_properties, parse, property_6};
 use bfl_core::parser::{parse_formula, Spec};
@@ -46,6 +46,9 @@ fn main() {
     }
     if want("scaling") {
         scaling();
+    }
+    if want("sweep") {
+        sweep();
     }
 }
 
@@ -298,4 +301,66 @@ fn scaling() {
             nb, ng, nodes, mcs_count, elapsed
         );
     }
+}
+
+/// PREP: prepared queries vs per-scenario recompilation (the Section VI
+/// what-if workload, timed offline — the criterion version lives in
+/// `benches/prepared_sweep.rs`).
+fn sweep() {
+    use bfl_core::scenario::{Scenario, ScenarioSet};
+    use bfl_core::AnalysisSession;
+
+    banner("SWEEP — evidence-as-restriction vs recompile-per-scenario");
+    let query = "exists MCS(IWoS) & H4";
+    let session = AnalysisSession::new(corpus::covid());
+    let q = bfl_core::parser::parse_query(query).expect("parses");
+    let top = session.tree().name(session.tree().top()).to_string();
+    let mut set = ScenarioSet::new();
+    for name in session.tree().basic_event_names() {
+        set.push(Scenario::new().bind(name, true));
+        set.push(Scenario::new().bind(name, false));
+    }
+    println!("query: {query} · {} scenarios", set.len());
+
+    let start = std::time::Instant::now();
+    let fresh = AnalysisSession::new(corpus::covid());
+    let mut recompiled = 0usize;
+    for s in &set {
+        if fresh
+            .check_query(&s.specialise_query(&q, &top))
+            .expect("checks")
+            .holds
+        {
+            recompiled += 1;
+        }
+    }
+    let t_recompile = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let prepared = session.prepare(&q).expect("prepares");
+    let cold = prepared.sweep(&set).expect("sweeps");
+    let t_cold = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let warm = prepared.sweep(&set).expect("sweeps");
+    let t_warm = start.elapsed();
+
+    assert_eq!(recompiled, cold.holding());
+    assert_eq!(cold.holding(), warm.holding());
+    println!(
+        "recompile per scenario: {:>9.3} ms",
+        t_recompile.as_secs_f64() * 1000.0
+    );
+    println!(
+        "prepare + cold sweep:   {:>9.3} ms  ({} restrictions, {} translation misses)",
+        t_cold.as_secs_f64() * 1000.0,
+        cold.stats.memo_misses,
+        cold.stats.translation_misses
+    );
+    println!(
+        "warm sweep:             {:>9.3} ms  ({} memo hits, arena growth {})",
+        t_warm.as_secs_f64() * 1000.0,
+        warm.stats.memo_hits,
+        warm.stats.arena_growth()
+    );
 }

@@ -4,13 +4,18 @@
 //! configure the session once (ordering, minimality scope, cut-set
 //! backend, probabilities from the model's `prob=` annotations) and the
 //! command methods map 1:1 onto session methods. `--json` switches any
-//! query command to the structured [`Report`] schema.
+//! query command to the structured [`Report`](bfl_core::Report) schema.
+//! The `sweep` and `explain` commands go through
+//! [`AnalysisSession::prepare`]: compile the query once, evaluate a
+//! scenario file by BDD restriction, or print the compiled
+//! [`Plan`](bfl_core::Plan).
 
 use std::fmt::Write as _;
 
 use bfl_core::engine::{AnalysisSession, Backend};
 use bfl_core::parser::{parse_formula, parse_spec};
 use bfl_core::report::{json_name_sets, Spec, SpecItem};
+use bfl_core::scenario::ScenarioSet;
 use bfl_core::{Counterexample, MinimalityScope};
 use bfl_fault_tree::{galileo, StatusVector, VariableOrdering};
 
@@ -23,6 +28,9 @@ USAGE:
 COMMANDS:
     check    check a formula against a status vector, or a query
     run      evaluate a batch spec file (one query per line) in one pass
+    sweep    prepare a query once, evaluate it under a file of what-if
+             scenarios (evidence bindings) by BDD restriction
+    explain  show the compiled query plan (pass sizes, BDD statistics)
     sat      enumerate all satisfying status vectors of a formula
     count    count the satisfying status vectors of a formula
     mcs      minimal cut sets of an element (default: the top event)
@@ -42,14 +50,20 @@ OPTIONS:
     --ordering <ORD>   BDD variable ordering: dfs (default), bfs,
                        declaration, bouissou
     --engine <E>       mcs/mps backend: minsol (default), paper, zdd
-    --json             structured JSON output (check, run, sat, count,
-                       mcs, mps, ibe, prob)
+    --json             structured JSON output (check, run, sweep, explain,
+                       sat, count, mcs, mps, ibe, prob)
+
+SCENARIO FILES (sweep):
+    one scenario per line: `label: event = 0|1, event = 0|1, ...`
+    a label with no bindings is the baseline; `#` comments are skipped
 
 EXAMPLES:
     bfl mcs --ft covid.dft --engine zdd
     bfl check --ft covid.dft 'forall IS => MoT'
     bfl check --ft covid.dft --failed IW,H3 'MCS(\"CP/R\")'
     bfl run --ft covid.dft properties.bfl --json
+    bfl sweep --ft covid.dft 'exists IWoS' whatif.scenarios
+    bfl explain --ft covid.dft 'forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS'
     bfl cex --ft covid.dft --failed IW,H3,IT 'MCS(\"CP/R\")'
 ";
 
@@ -73,6 +87,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match command.as_str() {
         "check" => cmd_check(&opts),
         "run" => cmd_run(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "explain" => cmd_explain(&opts),
         "sat" => cmd_sat(&opts),
         "count" => cmd_count(&opts),
         "mcs" => cmd_mcs(&opts, true),
@@ -218,6 +234,48 @@ fn cmd_run(opts: &Options) -> Result<String, String> {
         Ok(format!("{}\n", report.to_json()))
     } else {
         Ok(report.to_string())
+    }
+}
+
+/// Prepares the positional query once; shared by `sweep` and `explain`.
+fn prepare_query(opts: &Options, command: &str) -> Result<bfl_core::PreparedQuery, String> {
+    if !opts.failed.is_empty() {
+        return Err(format!(
+            "--failed does not apply to `{command}`; evidence goes into the \
+             scenario bindings (`event = 1` marks a failed event)"
+        ));
+    }
+    let q = bfl_core::parser::parse_query(spec_arg(opts)?).map_err(|e| e.to_string())?;
+    opts.session.prepare(&q).map_err(|e| e.to_string())
+}
+
+fn cmd_sweep(opts: &Options) -> Result<String, String> {
+    let prepared = prepare_query(opts, "sweep")?;
+    let path = opts
+        .positional
+        .get(1)
+        .ok_or("sweep needs a scenarios file: bfl sweep --ft <FILE> '<QUERY>' <SCENARIOS>")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read scenarios `{path}`: {e}"))?;
+    let set = ScenarioSet::parse(&text).map_err(|e| e.to_string())?;
+    if set.is_empty() {
+        return Err(format!("no scenarios in `{path}`"));
+    }
+    let report = prepared.sweep(&set).map_err(|e| e.to_string())?;
+    if opts.json {
+        Ok(format!("{}\n", report.to_json()))
+    } else {
+        Ok(report.to_string())
+    }
+}
+
+fn cmd_explain(opts: &Options) -> Result<String, String> {
+    let prepared = prepare_query(opts, "explain")?;
+    let plan = prepared.explain();
+    if opts.json {
+        Ok(format!("{}\n", plan.to_json()))
+    } else {
+        Ok(plan.to_string())
     }
 }
 
@@ -464,6 +522,66 @@ mod tests {
         let out = run_ok(&["run", "--ft", &f.arg(), &spec.arg(), "--json"]);
         assert!(out.contains("\"label\":\"Q1\""), "{out}");
         assert!(out.contains("\"totals\""), "{out}");
+    }
+
+    #[test]
+    fn sweep_command_evaluates_scenarios() {
+        let f = write_model();
+        let scenarios = tempdir::TempFile::new(
+            "# what-ifs\nbaseline:\nA-failed: A = 1\nA-fixed: A = 0\n",
+            "scenarios",
+        );
+        let out = run_ok(&["sweep", "--ft", &f.arg(), "exists T", &scenarios.arg()]);
+        assert!(out.contains("PASS  baseline"), "{out}");
+        assert!(out.contains("PASS  A-failed"), "{out}");
+        assert!(out.contains("FAIL  A-fixed"), "{out}");
+        assert!(out.contains("2/3 hold"), "{out}");
+        let out = run_ok(&[
+            "sweep",
+            "--ft",
+            &f.arg(),
+            "--json",
+            "exists T",
+            &scenarios.arg(),
+        ]);
+        assert!(out.contains("\"label\":\"A-fixed\""), "{out}");
+        assert!(out.contains("\"translation_misses\":0"), "{out}");
+    }
+
+    #[test]
+    fn sweep_and_explain_reject_failed_flag() {
+        let f = write_model();
+        for command in ["sweep", "explain"] {
+            let args: Vec<String> = [command, "--ft", &f.arg(), "--failed", "A", "exists T"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let err = run(&args).unwrap_err();
+            assert!(err.contains("--failed"), "{command}: {err}");
+            assert!(err.contains(command), "{command}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_requires_scenarios_file() {
+        let f = write_model();
+        let args: Vec<String> = ["sweep", "--ft", &f.arg(), "exists T"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("scenarios file"));
+    }
+
+    #[test]
+    fn explain_command_shows_plan() {
+        let f = write_model();
+        let out = run_ok(&["explain", "--ft", &f.arg(), "forall A & B => T"]);
+        assert!(out.contains("plan for"), "{out}");
+        assert!(out.contains("minimality fast path: yes"), "{out}");
+        assert!(out.contains("simplify"), "{out}");
+        let out = run_ok(&["explain", "--ft", &f.arg(), "--json", "exists MCS(T)"]);
+        assert!(out.contains("\"minimality_fast_path\":false"), "{out}");
+        assert!(out.contains("\"kind\":\"exists\""), "{out}");
     }
 
     #[test]

@@ -228,10 +228,11 @@ impl Formula {
     /// All atom names occurring in the formula, deduplicated, in first
     /// occurrence order.
     pub fn atoms(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         self.visit(&mut |f| {
             if let Formula::Atom(n) = f {
-                if !out.contains(&n.as_str()) {
+                if seen.insert(n.as_str()) {
                     out.push(n.as_str());
                 }
             }
@@ -241,6 +242,7 @@ impl Formula {
 
     /// All element names mentioned anywhere (atoms and evidence targets).
     pub fn mentioned_elements(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         self.visit(&mut |f| {
             let names: &[&str] = match f {
@@ -248,8 +250,8 @@ impl Formula {
                 Formula::Evidence { element, .. } => &[element.as_str()],
                 _ => &[],
             };
-            for n in names {
-                if !out.contains(n) {
+            for &n in names {
+                if seen.insert(n) {
                     out.push(n);
                 }
             }

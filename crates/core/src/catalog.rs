@@ -2,7 +2,7 @@
 //!
 //! BFL was designed around "concrete insights and needs gathered through
 //! series of questions targeted at a FT practitioner from industry"
-//! (Section I and reference [4] of the paper). This module packages the
+//! (Section I and reference \[4\] of the paper). This module packages the
 //! recurring question shapes from the paper's introduction and case study
 //! as documented constructors, so applications can ask them without
 //! assembling ASTs by hand:

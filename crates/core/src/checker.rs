@@ -332,16 +332,7 @@ impl ModelChecker {
     /// As for [`ModelChecker::formula_bdd`].
     pub fn satisfying_vectors(&mut self, phi: &Formula) -> Result<Vec<StatusVector>, BflError> {
         let f = self.formula_bdd(phi)?;
-        let universe = self.tb.unprimed_vars();
-        let mut out: Vec<StatusVector> = self
-            .tb
-            .manager()
-            .sat_vectors(f, &universe)
-            .map(|assignment| self.tb.vector_from_positions(&self.tree, &assignment))
-            .collect();
-        out.sort();
-        out.dedup();
-        Ok(out)
+        Ok(self.vectors_of_bdd(f, usize::MAX))
     }
 
     /// Up to `limit` satisfying vectors of `phi` — Algorithm 3 truncated
@@ -357,6 +348,14 @@ impl ModelChecker {
         limit: usize,
     ) -> Result<Vec<StatusVector>, BflError> {
         let f = self.formula_bdd(phi)?;
+        Ok(self.vectors_of_bdd(f, limit))
+    }
+
+    /// Up to `limit` satisfying vectors of an already-compiled diagram —
+    /// the handle-level core of Algorithm 3, shared with the prepared
+    /// query evaluator (which restricts compiled BDDs instead of
+    /// recompiling formulae).
+    pub(crate) fn vectors_of_bdd(&self, f: Bdd, limit: usize) -> Vec<StatusVector> {
         let universe = self.tb.unprimed_vars();
         let mut out: Vec<StatusVector> = self
             .tb
@@ -367,7 +366,27 @@ impl ModelChecker {
             .collect();
         out.sort();
         out.dedup();
-        Ok(out)
+        out
+    }
+
+    /// Names of the basic events in the support of an already-compiled
+    /// diagram, in basic-index order — the handle-level core of `IBE`.
+    pub(crate) fn support_basic_names(&self, f: Bdd) -> Vec<String> {
+        let mut indices: Vec<usize> = self
+            .tb
+            .manager()
+            .support(f)
+            .into_iter()
+            .map(|v| {
+                debug_assert_eq!(v.index() % 2, 0, "primed variable in query BDD");
+                self.basic_of_position[(v.index() / 2) as usize]
+            })
+            .collect();
+        indices.sort_unstable();
+        indices
+            .into_iter()
+            .map(|bi| self.tree.name(self.tree.basic_events()[bi]).to_string())
+            .collect()
     }
 
     /// Number of satisfying vectors `|⟦χ⟧|` without enumerating them.
@@ -420,21 +439,7 @@ impl ModelChecker {
     /// As for [`ModelChecker::formula_bdd`].
     pub fn influencing_basic_events(&mut self, phi: &Formula) -> Result<Vec<String>, BflError> {
         let f = self.formula_bdd(phi)?;
-        let mut indices: Vec<usize> = self
-            .tb
-            .manager()
-            .support(f)
-            .into_iter()
-            .map(|v| {
-                debug_assert_eq!(v.index() % 2, 0, "primed variable in query BDD");
-                self.basic_of_position[(v.index() / 2) as usize]
-            })
-            .collect();
-        indices.sort_unstable();
-        Ok(indices
-            .into_iter()
-            .map(|bi| self.tree.name(self.tree.basic_events()[bi]).to_string())
-            .collect())
+        Ok(self.support_basic_names(f))
     }
 
     /// Convenience: the minimal cut sets of element `e` as sorted name
@@ -493,6 +498,13 @@ impl ModelChecker {
     /// generator and the benches).
     pub(crate) fn tree_bdd_mut(&mut self) -> &mut TreeBdd {
         &mut self.tb
+    }
+
+    /// The unprimed BDD variable encoding basic index `bi` — used by the
+    /// prepared-query evaluator to turn scenario bindings into
+    /// restrictions.
+    pub(crate) fn var_of_basic(&self, bi: usize) -> Var {
+        self.tb.var_of_basic(bi)
     }
 
     /// Position-to-basic-index mapping shared with the walk of Algorithm 4.

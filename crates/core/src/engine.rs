@@ -73,6 +73,7 @@ use crate::ast::{Formula, Query};
 use crate::checker::{MinimalityScope, ModelChecker};
 use crate::counterexample::{counterexample, Counterexample};
 use crate::error::BflError;
+use crate::plan::PreparedQuery;
 use crate::quant;
 use crate::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
 
@@ -174,14 +175,39 @@ impl SessionBuilder {
         let mut checker = ModelChecker::from_arc(Arc::clone(&tree), self.ordering);
         checker.set_minimality_scope(self.scope);
         AnalysisSession {
-            tree,
-            ordering: self.ordering,
-            scope: self.scope,
-            backend: self.backend,
-            witness_limit: self.witness_limit,
-            probabilities: self.probabilities,
-            checker: Mutex::new(checker),
+            inner: Arc::new(SessionInner {
+                tree,
+                ordering: self.ordering,
+                scope: self.scope,
+                backend: self.backend,
+                witness_limit: self.witness_limit,
+                probabilities: self.probabilities,
+                checker: Mutex::new(checker),
+            }),
         }
+    }
+}
+
+/// The shared core of a session: configuration plus the synchronised
+/// model checker. [`AnalysisSession`] and every [`PreparedQuery`] hold it
+/// behind an [`Arc`], so prepared queries stay valid (and keep sharing
+/// the translation caches) independently of the session value itself.
+#[derive(Debug)]
+pub(crate) struct SessionInner {
+    pub(crate) tree: Arc<FaultTree>,
+    pub(crate) ordering: VariableOrdering,
+    pub(crate) scope: MinimalityScope,
+    pub(crate) backend: Backend,
+    pub(crate) witness_limit: usize,
+    pub(crate) probabilities: Option<Vec<Option<f64>>>,
+    pub(crate) checker: Mutex<ModelChecker>,
+}
+
+impl SessionInner {
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ModelChecker> {
+        // A poisoned lock only means another query panicked; the checker's
+        // caches are append-only and remain valid.
+        self.checker.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -194,13 +220,7 @@ impl SessionBuilder {
 /// tree).
 #[derive(Debug)]
 pub struct AnalysisSession {
-    tree: Arc<FaultTree>,
-    ordering: VariableOrdering,
-    scope: MinimalityScope,
-    backend: Backend,
-    witness_limit: usize,
-    probabilities: Option<Vec<Option<f64>>>,
-    checker: Mutex<ModelChecker>,
+    inner: Arc<SessionInner>,
 }
 
 impl AnalysisSession {
@@ -216,39 +236,58 @@ impl AnalysisSession {
 
     /// The fault tree under analysis.
     pub fn tree(&self) -> &FaultTree {
-        &self.tree
+        &self.inner.tree
     }
 
     /// Shared handle to the fault tree (cheap to clone into other
     /// sessions or threads).
     pub fn tree_arc(&self) -> Arc<FaultTree> {
-        Arc::clone(&self.tree)
+        Arc::clone(&self.inner.tree)
     }
 
     /// The configured BDD variable ordering.
     pub fn ordering(&self) -> VariableOrdering {
-        self.ordering
+        self.inner.ordering
     }
 
     /// The configured minimality scope.
     pub fn minimality_scope(&self) -> MinimalityScope {
-        self.scope
+        self.inner.scope
     }
 
     /// The configured cut-set backend.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.inner.backend
     }
 
     /// The configured probability annotations, if any.
     pub fn probabilities(&self) -> Option<&[Option<f64>]> {
-        self.probabilities.as_deref()
+        self.inner.probabilities.as_deref()
     }
 
     fn lock(&self) -> MutexGuard<'_, ModelChecker> {
-        // A poisoned lock only means another query panicked; the checker's
-        // caches are append-only and remain valid.
-        self.checker.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.lock()
+    }
+
+    /// **Compiles a layer-2 query once** into an owned, `Send + Sync`
+    /// [`PreparedQuery`] sharing this session's caches — the
+    /// prepared-statement analogue of [`AnalysisSession::run`].
+    ///
+    /// The full pass pipeline (desugar → NNF → simplify → BDD build)
+    /// runs here, once; afterwards
+    /// [`PreparedQuery::eval`](crate::plan::PreparedQuery::eval)
+    /// answers each what-if [`Scenario`](crate::scenario::Scenario) by
+    /// *restricting* the compiled diagram (BDD cofactoring) instead of
+    /// rewriting the AST and recompiling, and
+    /// [`PreparedQuery::sweep`](crate::plan::PreparedQuery::sweep) fans a
+    /// whole scenario set across threads.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::formula_bdd`] — unknown elements and evidence
+    /// on gates are reported at prepare time.
+    pub fn prepare(&self, psi: &Query) -> Result<PreparedQuery, BflError> {
+        PreparedQuery::compile(Arc::clone(&self.inner), psi)
     }
 
     /// Cumulative statistics since the session was built: current arena
@@ -317,7 +356,7 @@ impl AnalysisSession {
     /// The first item error aborts the batch.
     pub fn run(&self, spec: &Spec) -> Result<Report, BflError> {
         let mut mc = self.lock();
-        let mut report = Report::new(Arc::clone(&self.tree));
+        let mut report = Report::new(Arc::clone(&self.inner.tree));
         for item in &spec.items {
             let outcome = self.item_outcome(&mut mc, item)?;
             report.push(outcome);
@@ -387,10 +426,10 @@ impl AnalysisSession {
         // global-universe minimality only; under the Table-I support
         // scope every backend routes through the checker so the session's
         // configured semantics always wins over the backend knob.
-        let backend = if self.scope == MinimalityScope::FormulaSupport {
+        let backend = if self.inner.scope == MinimalityScope::FormulaSupport {
             Backend::Minsol
         } else {
-            self.backend
+            self.inner.backend
         };
         match backend {
             // The minsol engine shares the session's compiled BDDs.
@@ -404,17 +443,19 @@ impl AnalysisSession {
             }
             other => {
                 let e = self
+                    .inner
                     .tree
                     .element(element)
                     .ok_or_else(|| BflError::UnknownElement(element.to_string()))?;
                 let engine = other.engine();
                 let sets = if cuts {
-                    engine.minimal_cut_sets(&self.tree, e)
+                    engine.minimal_cut_sets(&self.inner.tree, e)
                 } else {
-                    engine.minimal_path_sets(&self.tree, e)
+                    engine.minimal_path_sets(&self.inner.tree, e)
                 };
                 Ok(bfl_fault_tree::analysis::index_sets_to_names(
-                    &self.tree, &sets,
+                    &self.inner.tree,
+                    &sets,
                 ))
             }
         }
@@ -446,13 +487,15 @@ impl AnalysisSession {
     /// [`BflError::UnknownElement`] for unknown names and
     /// [`BflError::EvidenceOnGate`] for gates.
     pub fn vector_of_failed(&self, failed: &[String]) -> Result<StatusVector, BflError> {
-        let mut v = StatusVector::all_operational(self.tree.num_basic_events());
+        let mut v = StatusVector::all_operational(self.inner.tree.num_basic_events());
         for name in failed {
             let e = self
+                .inner
                 .tree
                 .element(name)
                 .ok_or_else(|| BflError::UnknownElement(name.clone()))?;
             let bi = self
+                .inner
                 .tree
                 .basic_index(e)
                 .ok_or_else(|| BflError::EvidenceOnGate(name.clone()))?;
@@ -472,10 +515,15 @@ impl AnalysisSession {
     /// [`BflError::MissingProbabilities`] naming every unannotated basic
     /// event (or all of them when no annotations were configured).
     fn full_probabilities(&self) -> Result<Vec<f64>, BflError> {
-        let slots = self.probabilities.as_deref().unwrap_or(&[]);
-        let missing: Vec<String> = (0..self.tree.num_basic_events())
+        let slots = self.inner.probabilities.as_deref().unwrap_or(&[]);
+        let missing: Vec<String> = (0..self.inner.tree.num_basic_events())
             .filter(|&i| slots.get(i).copied().flatten().is_none())
-            .map(|i| self.tree.name(self.tree.basic_events()[i]).to_string())
+            .map(|i| {
+                self.inner
+                    .tree
+                    .name(self.inner.tree.basic_events()[i])
+                    .to_string()
+            })
             .collect();
         if !missing.is_empty() {
             return Err(BflError::MissingProbabilities { events: missing });
@@ -490,7 +538,7 @@ impl AnalysisSession {
     /// [`BflError::MissingProbabilities`] if any annotation is absent.
     pub fn top_event_probability(&self) -> Result<f64, BflError> {
         let probs = self.full_probabilities()?;
-        Ok(prob::top_event_probability(&self.tree, &probs))
+        Ok(prob::top_event_probability(&self.inner.tree, &probs))
     }
 
     /// `P(⟦χ⟧)` — the probability that a random status vector satisfies
@@ -502,6 +550,35 @@ impl AnalysisSession {
     pub fn formula_probability(&self, phi: &Formula) -> Result<f64, BflError> {
         let probs = self.full_probabilities()?;
         quant::probability(&mut self.lock(), phi, &probs)
+    }
+
+    /// Conditional probability `P(ϕ | ψ) = P(ϕ ∧ ψ) / P(ψ)` under the
+    /// configured annotations; `None` when `P(ψ) = 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::MissingProbabilities`] or the checker's errors.
+    pub fn conditional_probability(
+        &self,
+        phi: &Formula,
+        given: &Formula,
+    ) -> Result<Option<f64>, BflError> {
+        let probs = self.full_probabilities()?;
+        quant::conditional_probability(&mut self.lock(), phi, given, &probs)
+    }
+
+    /// Birnbaum importance of basic event `be` for `ϕ`:
+    /// `P(ϕ | be failed) − P(ϕ | be operational)`, computed by evidence
+    /// cofactoring under the configured annotations.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::MissingProbabilities`], plus
+    /// [`BflError::UnknownElement`] / [`BflError::EvidenceOnGate`] if
+    /// `be` is not a basic event of the tree.
+    pub fn birnbaum(&self, phi: &Formula, be: &str) -> Result<f64, BflError> {
+        let probs = self.full_probabilities()?;
+        quant::birnbaum(&mut self.lock(), phi, be, &probs)
     }
 
     // ------------------------------------------------------------------
@@ -535,8 +612,8 @@ impl AnalysisSession {
                 let holds = !f.is_false();
                 let mut o = Outcome::bare(label, source, holds);
                 o.stats.bdd_nodes = mc.bdd_size(f);
-                if holds && self.witness_limit > 0 {
-                    o.witnesses = mc.some_satisfying_vectors(phi, self.witness_limit)?;
+                if holds && self.inner.witness_limit > 0 {
+                    o.witnesses = mc.some_satisfying_vectors(phi, self.inner.witness_limit)?;
                 }
                 o
             }
@@ -545,15 +622,16 @@ impl AnalysisSession {
                 let holds = f.is_true();
                 let mut o = Outcome::bare(label, source, holds);
                 o.stats.bdd_nodes = mc.bdd_size(f);
-                if !holds && self.witness_limit > 0 {
+                if !holds && self.inner.witness_limit > 0 {
                     let negated = phi.clone().not();
-                    o.counterexamples = mc.some_satisfying_vectors(&negated, self.witness_limit)?;
+                    o.counterexamples =
+                        mc.some_satisfying_vectors(&negated, self.inner.witness_limit)?;
                 }
                 o
             }
             Query::Idp(a, b) => self.idp_outcome(mc, label, source, a, b)?,
             Query::Sup(name) => {
-                let top = Formula::atom(self.tree.name(self.tree.top()));
+                let top = Formula::atom(self.inner.tree.name(self.inner.tree.top()));
                 self.idp_outcome(mc, label, source, &Formula::atom(name.clone()), &top)?
             }
         };
@@ -598,7 +676,7 @@ impl AnalysisSession {
         let f = mc.formula_bdd(phi)?;
         outcome.stats.bdd_nodes = mc.bdd_size(f);
         if holds {
-            if self.witness_limit > 0 {
+            if self.inner.witness_limit > 0 {
                 outcome.witnesses = vec![b.clone()];
             }
         } else {
@@ -755,6 +833,53 @@ mod tests {
             .build(corpus::or2());
         let p = with.top_event_probability().unwrap();
         assert!((p - (1.0 - 0.9 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_probability_and_birnbaum_on_the_session() {
+        // Previously only reachable as free `quant::*` functions over a
+        // hand-built ModelChecker; now first-class on the session.
+        let session = AnalysisSession::builder()
+            .probabilities(vec![Some(0.1), Some(0.2)])
+            .build(corpus::or2());
+        let top = Formula::atom("Top");
+        let e1 = Formula::atom("e1");
+        // P(Top | e1) = 1.
+        let p = session.conditional_probability(&top, &e1).unwrap().unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+        // Conditioning on an impossible event yields None.
+        let none = session
+            .conditional_probability(&top, &e1.clone().and(e1.clone().not()))
+            .unwrap();
+        assert!(none.is_none());
+        // Birnbaum importance of e1 for an OR gate: 1 - P(e2) = 0.8.
+        let b = session.birnbaum(&top, "e1").unwrap();
+        assert!((b - 0.8).abs() < 1e-12);
+        // Without annotations both report the missing events.
+        let bare = AnalysisSession::new(corpus::or2());
+        assert!(matches!(
+            bare.conditional_probability(&top, &e1),
+            Err(BflError::MissingProbabilities { .. })
+        ));
+        assert!(matches!(
+            bare.birnbaum(&top, "e1"),
+            Err(BflError::MissingProbabilities { .. })
+        ));
+    }
+
+    #[test]
+    fn prepare_compiles_through_the_session() {
+        let session = AnalysisSession::new(corpus::covid());
+        let prepared = session
+            .prepare(&parse_query("forall IS => MoT").unwrap())
+            .unwrap();
+        let outcome = prepared.eval(&crate::scenario::Scenario::new()).unwrap();
+        // Baseline scenario agrees with the direct query path.
+        let direct = session
+            .check_query(&parse_query("forall IS => MoT").unwrap())
+            .unwrap();
+        assert_eq!(outcome.holds, direct.holds);
+        assert_eq!(outcome.counterexamples, direct.counterexamples);
     }
 
     #[test]

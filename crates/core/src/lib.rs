@@ -12,7 +12,7 @@
 //! * the BDD-based model-checking algorithms of Section V
 //!   ([`ModelChecker`]): formula compilation with caching (Algorithm 1),
 //!   vector checking (Algorithm 2), satisfaction sets (Algorithm 3);
-//! * counterexample generation per Section VI ([`counterexample`],
+//! * counterexample generation per Section VI ([`counterexample()`],
 //!   Algorithm 4 and Definition 7) with the four patterns of Table I
 //!   ([`patterns`]) and failure-propagation rendering ([`render`]);
 //! * a textual DSL for the logic ([`parser`]) — the paper's third
@@ -20,7 +20,14 @@
 //! * a fault-tree synthesis prototype for the Section V-E discussion
 //!   ([`synthesis`]);
 //! * the **[`AnalysisSession`] engine** ([`engine`], [`report`]) — an
-//!   owned, `Send + Sync`, batch-first façade over all of the above.
+//!   owned, `Send + Sync`, batch-first façade over all of the above;
+//! * **compiled query plans** ([`plan`], [`scenario`]) — prepare a
+//!   layer-2 query once, then evaluate it under arbitrary what-if
+//!   [`Scenario`]s (evidence bindings `e←b`) by BDD restriction, sweep
+//!   whole scenario sets across threads, and [`explain`] the compiled
+//!   plan pass by pass.
+//!
+//! [`explain`]: plan::PreparedQuery::explain
 //!
 //! ## Quickstart
 //!
@@ -48,9 +55,34 @@
 //! // Whole specs evaluate in one pass over shared BDD caches.
 //! let report = session.run(&Spec::parse("P8: IDP(CIO, CIS)\nP9: SUP(PP)\n")?)?;
 //! assert_eq!(report.holding(), 0);
+//!
+//! // What-if sweeps: prepare once, evaluate scenarios by restriction.
+//! let prepared = session.prepare(&parser::parse_query("exists IWoS")?)?;
+//! let scenarios = bfl_core::scenario::ScenarioSet::parse("protected: VW = 0\nworst: IW = 1\n")?;
+//! let sweep = prepared.sweep(&scenarios)?;
+//! assert_eq!(sweep.holding(), 1);
+//! assert_eq!(sweep.stats.translation_misses, 0); // no recompilation
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Migration note: per-scenario `with_evidence` loops → `prepare`/`sweep`
+//!
+//! Before, every what-if hypothesis was baked into the AST and paid the
+//! whole pipeline again; now evidence is applied to the *compiled*
+//! diagram by restriction (cofactoring):
+//!
+//! | before (recompile per scenario)                       | after (compile once)                     |
+//! |-------------------------------------------------------|------------------------------------------|
+//! | `let phi2 = phi.clone().with_evidence("IW", true);`   | `session.prepare(&q)?` once, then        |
+//! | `session.check_query(&Query::Exists(phi2))?`          | `prepared.eval(&Scenario::new().bind("IW", true))?` |
+//! | loop over hypotheses, one compile each                | `prepared.sweep(&ScenarioSet::parse(..)?)?` |
+//! | no visibility into the pipeline                       | `prepared.explain()` → [`Plan`] (text/JSON) |
+//!
+//! The two paths agree exactly — verdicts *and* witnesses — because the
+//! checker compiles outermost evidence as BDD restriction and BDDs are
+//! canonical; `tests/prepared_query.rs` asserts the agreement on the
+//! case study and on randomized trees.
 //!
 //! ## Migration note: `ModelChecker` → `AnalysisSession`
 //!
@@ -74,10 +106,12 @@ pub mod engine;
 pub mod error;
 pub mod parser;
 pub mod patterns;
+pub mod plan;
 pub mod quant;
 pub mod render;
 pub mod report;
 pub mod rewrite;
+pub mod scenario;
 pub mod semantics;
 pub mod synthesis;
 
@@ -87,4 +121,6 @@ pub use counterexample::{counterexample, is_valid_counterexample, Counterexample
 pub use engine::{AnalysisSession, Backend, SessionBuilder};
 pub use error::BflError;
 pub use patterns::{Pattern, Table1Row};
+pub use plan::{Plan, PreparedQuery, PreparedStats, SweepReport, SweepStats};
 pub use report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
+pub use scenario::{Scenario, ScenarioSet};

@@ -1,0 +1,1024 @@
+//! Compiled query plans: [`PreparedQuery`], [`Plan`] and [`SweepReport`].
+//!
+//! BFL's what-if workload ("does the property still hold, given that
+//! these events are known failed/operational?") runs the *same* layer-2
+//! query under many evidence hypotheses. Recompiling the whole pipeline
+//! per hypothesis — wrap the formula in evidence operators, desugar,
+//! translate to a BDD, minimise — wastes all the work that does not
+//! depend on the evidence. This module is the prepared-statement answer:
+//!
+//! * [`AnalysisSession::prepare`](crate::engine::AnalysisSession::prepare)
+//!   runs the pass pipeline **once** — desugar → NNF → simplify → BDD
+//!   build (with the `MCS`/`MPS` primed-variable minimisation where the
+//!   formula needs it) — and returns an owned, `Send + Sync`
+//!   [`PreparedQuery`] sharing the session's caches;
+//! * [`PreparedQuery::eval`] answers one [`Scenario`] by **restriction**
+//!   (cofactoring) of the compiled diagram — the cheap operation on an
+//!   already-built BDD — and memoises the result, so repeated scenarios
+//!   are pure cache lookups;
+//! * [`PreparedQuery::sweep`] fans a whole [`ScenarioSet`] across
+//!   `std::thread::scope` workers over the shared caches and returns a
+//!   [`SweepReport`];
+//! * [`PreparedQuery::explain`] exposes the [`Plan`]: pass-by-pass
+//!   formula sizes, compiled BDD node counts and whether the minimality
+//!   machinery was needed, rendered as text or JSON.
+//!
+//! Soundness of evidence-as-restriction: the checker compiles an
+//! outermost evidence chain `ϕ[e1↦v1]…[ek↦vk]` as
+//! `restrict(…restrict(B(ϕ), v1, b1)…)`, and BDDs are canonical — so
+//! restricting the *prepared* diagram yields the **identical** node the
+//! recompile-per-scenario path ends at, witnesses included. The
+//! cross-check suite (`tests/prepared_query.rs`) asserts this agreement
+//! on the COVID case study and on randomized trees and formulas.
+//!
+//! # Migration: per-scenario recompile → prepare/sweep
+//!
+//! | before (evidence in the AST)                          | after (evidence as restriction)        |
+//! |-------------------------------------------------------|----------------------------------------|
+//! | `phi.with_evidence("IW", true)` per scenario          | `Scenario::named("s").bind("IW", true)`|
+//! | loop { `session.check_query(&wrapped)?` }             | `prepared.sweep(&scenarios)?`          |
+//! | one full pipeline run per scenario                    | one `session.prepare(&q)?`, then       |
+//! |                                                       | restriction + memo per scenario        |
+//! | stats scattered per query                             | `SweepReport` totals + `SweepStats`    |
+//!
+//! # Example
+//!
+//! ```
+//! use bfl_core::engine::AnalysisSession;
+//! use bfl_core::parser::parse_query;
+//! use bfl_core::scenario::{Scenario, ScenarioSet};
+//! use bfl_fault_tree::corpus;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let session = AnalysisSession::new(corpus::covid());
+//! let prepared = session.prepare(&parse_query("exists IWoS")?)?;
+//!
+//! // Is the top event still reachable if the vulnerable worker is
+//! // protected? (No: VW is in every cut set.)
+//! let protected = Scenario::named("protected").bind("VW", false);
+//! assert!(!prepared.eval(&protected)?.holds);
+//!
+//! // Sweep: force each human error operational in turn.
+//! let set = ScenarioSet::parse("no-H1: H1 = 0\nno-H4: H4 = 0\n")?;
+//! let report = prepared.sweep(&set)?;
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert_eq!(report.stats.translation_misses, 0); // no recompilation
+//!
+//! // The plan shows what `prepare` did, pass by pass.
+//! println!("{}", prepared.explain());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bfl_bdd::{Bdd, Var};
+use bfl_fault_tree::{FaultTree, StatusVector};
+
+use crate::ast::{Formula, Query};
+use crate::checker::ModelChecker;
+use crate::engine::SessionInner;
+use crate::error::BflError;
+use crate::report::{json_outcome, json_stats, json_str, EvalStats, Outcome};
+use crate::rewrite::{desugar, simplify, to_nnf};
+use crate::scenario::{Scenario, ScenarioSet};
+
+/// `VOT` operators wider than this skip the (exponential) desugar pass;
+/// the native threshold translation compiles them directly.
+const DESUGAR_VOT_LIMIT: usize = 8;
+
+/// Formula renderings in the [`Plan`] are truncated to this many
+/// characters; sizes are always exact.
+const RENDER_LIMIT: usize = 96;
+
+// ---------------------------------------------------------------------------
+// The plan: what `prepare` did.
+// ---------------------------------------------------------------------------
+
+/// One rewriting pass over one operand formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStep {
+    /// Pass name: `parse`, `desugar`, `nnf` or `simplify`.
+    pub pass: &'static str,
+    /// Whether the pass ran (`desugar` is skipped for very wide `VOT`
+    /// operators, whose native threshold translation is exponentially
+    /// smaller).
+    pub applied: bool,
+    /// AST size after the pass.
+    pub size: usize,
+    /// The formula after the pass, truncated to a display-friendly
+    /// length.
+    pub rendered: String,
+}
+
+/// The compilation record of one operand formula of a prepared query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperandPlan {
+    /// The operand's role in the query (`operand`, `left`, `right`).
+    pub role: &'static str,
+    /// The rewriting passes, in execution order.
+    pub passes: Vec<PassStep>,
+    /// Node count of the compiled diagram.
+    pub bdd_nodes: usize,
+    /// Number of basic events in the diagram's support (= `IBE`).
+    pub support: usize,
+    /// `Some(b)` when the operand compiled to the constant `b` — the
+    /// query is then scenario-independent.
+    pub constant: Option<bool>,
+}
+
+/// The compiled query plan: pass-by-pass formula sizes, BDD statistics
+/// and build cost. Rendered human-readably by [`fmt::Display`] and
+/// machine-readably by [`Plan::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Concrete syntax of the prepared query.
+    pub query: String,
+    /// Query shape: `exists`, `forall`, `idp` or `sup`.
+    pub kind: &'static str,
+    /// `true` when no operand contains `MCS`/`MPS`, i.e. the compile
+    /// skipped the primed-variable minimisation machinery entirely (the
+    /// fast path Section V notes for minimality-free formulas).
+    pub minimality_fast_path: bool,
+    /// Per-operand compilation records.
+    pub operands: Vec<OperandPlan>,
+    /// Cost of the one-time compile: duration, translation-cache
+    /// hits/misses and arena size after the build.
+    pub prepare: EvalStats,
+}
+
+impl Plan {
+    /// Serialises the plan as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"query\":{}", json_str(&self.query)));
+        out.push_str(&format!(",\"kind\":{}", json_str(self.kind)));
+        out.push_str(&format!(
+            ",\"minimality_fast_path\":{}",
+            self.minimality_fast_path
+        ));
+        out.push_str(",\"operands\":[");
+        for (i, op) in self.operands.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            out.push_str(&format!("\"role\":{}", json_str(op.role)));
+            out.push_str(",\"passes\":[");
+            for (j, p) in op.passes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"pass\":{},\"applied\":{},\"size\":{},\"rendered\":{}}}",
+                    json_str(p.pass),
+                    p.applied,
+                    p.size,
+                    json_str(&p.rendered)
+                ));
+            }
+            out.push(']');
+            out.push_str(&format!(",\"bdd_nodes\":{}", op.bdd_nodes));
+            out.push_str(&format!(",\"support\":{}", op.support));
+            match op.constant {
+                Some(b) => out.push_str(&format!(",\"constant\":{b}")),
+                None => out.push_str(",\"constant\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str(&format!("],\"prepare\":{}", json_stats(&self.prepare)));
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan for `{}`", self.query)?;
+        writeln!(
+            f,
+            "  kind: {} · minimality fast path: {}",
+            self.kind,
+            if self.minimality_fast_path {
+                "yes (no MCS/MPS operators)"
+            } else {
+                "no (primed-variable minimisation required)"
+            }
+        )?;
+        for op in &self.operands {
+            writeln!(f, "  {}:", op.role)?;
+            for p in &op.passes {
+                if p.applied {
+                    writeln!(f, "    {:<9} size {:<4} {}", p.pass, p.size, p.rendered)?;
+                } else {
+                    writeln!(f, "    {:<9} (skipped)", p.pass)?;
+                }
+            }
+            match op.constant {
+                Some(b) => writeln!(f, "    BDD: constant {b} · scenario-independent")?,
+                None => writeln!(
+                    f,
+                    "    BDD: {} nodes · support {} basic events",
+                    op.bdd_nodes, op.support
+                )?,
+            }
+        }
+        writeln!(
+            f,
+            "  prepared in {} µs · {} cache hits / {} misses · arena {} nodes",
+            self.prepare.duration_micros,
+            self.prepare.cache_hits,
+            self.prepare.cache_misses,
+            self.prepare.arena_nodes
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compiled query.
+// ---------------------------------------------------------------------------
+
+/// The compiled shape of a layer-2 query: everything scenario evaluation
+/// needs is one or two BDD roots.
+#[derive(Debug, Clone, Copy)]
+enum Compiled {
+    /// `∃ϕ` (`exists = true`) or `∀ϕ`.
+    Quantifier { root: Bdd, exists: bool },
+    /// `IDP(ϕ, ϕ′)`; `SUP(e)` compiles to its defining independence.
+    Independence { left: Bdd, right: Bdd },
+}
+
+/// A scenario evaluation, memoised under the resolved bindings.
+#[derive(Debug, Clone)]
+struct CachedEval {
+    holds: bool,
+    witnesses: Vec<StatusVector>,
+    counterexamples: Vec<StatusVector>,
+    shared_events: Vec<String>,
+    bdd_nodes: usize,
+    arena_nodes: usize,
+}
+
+/// A layer-2 query compiled once against a session, evaluable under
+/// arbitrary evidence [`Scenario`]s without recompilation.
+///
+/// Created by
+/// [`AnalysisSession::prepare`](crate::engine::AnalysisSession::prepare).
+/// The handle is owned and `Send + Sync`: it keeps the session's shared
+/// core (tree, BDD manager, translation caches) alive via an [`Arc`], so
+/// it outlives the `AnalysisSession` value it came from and can be moved
+/// freely across threads. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    inner: Arc<SessionInner>,
+    query: Query,
+    source: String,
+    compiled: Compiled,
+    plan: Plan,
+    memo: Mutex<HashMap<Vec<(usize, bool)>, CachedEval>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+/// Cumulative evaluation statistics of one [`PreparedQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreparedStats {
+    /// Total number of [`PreparedQuery::eval`] calls.
+    pub evals: u64,
+    /// Evaluations answered from the scenario memo (pure lookups).
+    pub memo_hits: u64,
+    /// Evaluations that computed a restriction (first sight of a
+    /// scenario).
+    pub memo_misses: u64,
+    /// Distinct scenarios memoised.
+    pub distinct_scenarios: usize,
+}
+
+impl PreparedQuery {
+    /// Runs the full pass pipeline once and compiles the query. Called
+    /// via [`AnalysisSession::prepare`](crate::engine::AnalysisSession::prepare).
+    pub(crate) fn compile(inner: Arc<SessionInner>, psi: &Query) -> Result<Self, BflError> {
+        let source = psi.to_string();
+        let start = Instant::now();
+        let mut mc = inner.lock();
+        let (hits0, misses0) = (mc.cache_hits(), mc.cache_misses());
+        let (compiled, kind, operands, fast_path) = match psi {
+            Query::Exists(phi) | Query::Forall(phi) => {
+                let exists = matches!(psi, Query::Exists(_));
+                let (op, root) = compile_operand(&mut mc, "operand", phi)?;
+                (
+                    Compiled::Quantifier { root, exists },
+                    if exists { "exists" } else { "forall" },
+                    vec![op],
+                    !phi.has_minimality_operator(),
+                )
+            }
+            Query::Idp(a, b) => {
+                let (la, left) = compile_operand(&mut mc, "left", a)?;
+                let (rb, right) = compile_operand(&mut mc, "right", b)?;
+                (
+                    Compiled::Independence { left, right },
+                    "idp",
+                    vec![la, rb],
+                    !a.has_minimality_operator() && !b.has_minimality_operator(),
+                )
+            }
+            Query::Sup(name) => {
+                // SUP(e) ::= IDP(e, e_top).
+                let a = Formula::atom(name.clone());
+                let top = Formula::atom(inner.tree.name(inner.tree.top()));
+                let (la, left) = compile_operand(&mut mc, "left", &a)?;
+                let (rb, right) = compile_operand(&mut mc, "right", &top)?;
+                (
+                    Compiled::Independence { left, right },
+                    "sup",
+                    vec![la, rb],
+                    true,
+                )
+            }
+        };
+        let plan = Plan {
+            query: source.clone(),
+            kind,
+            minimality_fast_path: fast_path,
+            operands,
+            prepare: EvalStats {
+                bdd_nodes: 0,
+                arena_nodes: mc.manager().arena_size(),
+                cache_hits: mc.cache_hits() - hits0,
+                cache_misses: mc.cache_misses() - misses0,
+                duration_micros: start.elapsed().as_micros(),
+            },
+        };
+        drop(mc);
+        Ok(PreparedQuery {
+            inner,
+            query: psi.clone(),
+            source,
+            compiled,
+            plan,
+            memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The prepared query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Concrete syntax of the prepared query.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The fault tree the query was compiled against.
+    pub fn tree(&self) -> &FaultTree {
+        &self.inner.tree
+    }
+
+    /// The compiled query plan (pass sizes, BDD statistics, build cost).
+    pub fn explain(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Cumulative evaluation statistics since `prepare`.
+    pub fn stats(&self) -> PreparedStats {
+        let hits = self.memo_hits.load(Ordering::Relaxed);
+        let misses = self.memo_misses.load(Ordering::Relaxed);
+        PreparedStats {
+            evals: hits + misses,
+            memo_hits: hits,
+            memo_misses: misses,
+            distinct_scenarios: self.memo.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        }
+    }
+
+    /// Resolves a scenario's bindings against the tree: basic indices,
+    /// first-binding-wins for repeated events, sorted for memo keying.
+    fn resolve(&self, scenario: &Scenario) -> Result<Vec<(usize, bool)>, BflError> {
+        let tree = &self.inner.tree;
+        let mut resolved: Vec<(usize, bool)> = Vec::with_capacity(scenario.bindings().len());
+        for (name, value) in scenario.bindings() {
+            let e = tree
+                .element(name)
+                .ok_or_else(|| BflError::UnknownElement(name.clone()))?;
+            let bi = tree
+                .basic_index(e)
+                .ok_or_else(|| BflError::EvidenceOnGate(name.clone()))?;
+            if !resolved.iter().any(|&(b, _)| b == bi) {
+                resolved.push((bi, *value));
+            }
+        }
+        resolved.sort_unstable_by_key(|&(bi, _)| bi);
+        Ok(resolved)
+    }
+
+    /// Evaluates the prepared query under one scenario — BDD restriction
+    /// on the compiled diagram, memoised so repeated scenarios are pure
+    /// cache lookups.
+    ///
+    /// The returned [`Outcome`] agrees exactly (verdict *and*
+    /// witnesses/counterexamples) with wrapping the query in the
+    /// scenario's evidence and re-checking it from scratch; its
+    /// `stats.cache_hits`/`cache_misses` count the **scenario memo** (1
+    /// hit for a memoised scenario, 1 miss for a fresh restriction).
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::UnknownElement`] / [`BflError::EvidenceOnGate`] for
+    /// bindings that do not name a basic event of the tree.
+    pub fn eval(&self, scenario: &Scenario) -> Result<Outcome, BflError> {
+        let key = self.resolve(scenario)?;
+        Ok(self.eval_resolved(scenario, key))
+    }
+
+    /// The post-resolution evaluation core — shared by [`eval`] and
+    /// [`sweep`], which validates (and thereby resolves) every scenario
+    /// up front and hands the keys through.
+    ///
+    /// [`eval`]: PreparedQuery::eval
+    /// [`sweep`]: PreparedQuery::sweep
+    fn eval_resolved(&self, scenario: &Scenario, key: Vec<(usize, bool)>) -> Outcome {
+        let start = Instant::now();
+        let cached = self.lookup(&key);
+        let (cached, memo_hit) = match cached {
+            Some(c) => {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                (c, true)
+            }
+            None => {
+                let computed = self.restrict_and_judge(&key);
+                self.memo_misses.fetch_add(1, Ordering::Relaxed);
+                self.memo
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(key)
+                    .or_insert_with(|| computed.clone());
+                (computed, false)
+            }
+        };
+        let label = scenario.name().map(str::to_string);
+        let source = if scenario.is_baseline() {
+            self.source.clone()
+        } else {
+            format!("{} [{}]", self.source, scenario.bindings_string())
+        };
+        let mut o = Outcome::bare(label, source, cached.holds);
+        o.witnesses = cached.witnesses;
+        o.counterexamples = cached.counterexamples;
+        o.shared_events = cached.shared_events;
+        o.stats = EvalStats {
+            bdd_nodes: cached.bdd_nodes,
+            arena_nodes: cached.arena_nodes,
+            cache_hits: u64::from(memo_hit),
+            cache_misses: u64::from(!memo_hit),
+            duration_micros: start.elapsed().as_micros(),
+        };
+        o
+    }
+
+    fn lookup(&self, key: &[(usize, bool)]) -> Option<CachedEval> {
+        self.memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// The restriction core: specialises the compiled diagram(s) to the
+    /// resolved bindings in one traversal each and judges the result.
+    fn restrict_and_judge(&self, key: &[(usize, bool)]) -> CachedEval {
+        let limit = self.inner.witness_limit;
+        let mut mc = self.inner.lock();
+        let assignments = to_vars(&mc, key);
+        match self.compiled {
+            Compiled::Quantifier { root, exists } => {
+                let r = mc
+                    .tree_bdd_mut()
+                    .manager_mut()
+                    .restrict_many(root, &assignments);
+                let holds = if exists { !r.is_false() } else { r.is_true() };
+                let mut witnesses = Vec::new();
+                let mut counterexamples = Vec::new();
+                if exists && holds && limit > 0 {
+                    witnesses = mc.vectors_of_bdd(r, limit);
+                } else if !exists && !holds && limit > 0 {
+                    let nr = mc.tree_bdd_mut().manager_mut().not(r);
+                    counterexamples = mc.vectors_of_bdd(nr, limit);
+                }
+                CachedEval {
+                    holds,
+                    witnesses,
+                    counterexamples,
+                    shared_events: Vec::new(),
+                    bdd_nodes: mc.bdd_size(r),
+                    arena_nodes: mc.manager().arena_size(),
+                }
+            }
+            Compiled::Independence { left, right } => {
+                let m = mc.tree_bdd_mut().manager_mut();
+                let ra = m.restrict_many(left, &assignments);
+                let rb = m.restrict_many(right, &assignments);
+                let ia = mc.support_basic_names(ra);
+                let ib = mc.support_basic_names(rb);
+                let shared: Vec<String> = ia.into_iter().filter(|e| ib.contains(e)).collect();
+                CachedEval {
+                    holds: shared.is_empty(),
+                    witnesses: Vec::new(),
+                    counterexamples: Vec::new(),
+                    shared_events: shared,
+                    bdd_nodes: mc.bdd_size(ra) + mc.bdd_size(rb),
+                    arena_nodes: mc.manager().arena_size(),
+                }
+            }
+        }
+    }
+
+    /// **Sweeps** a whole scenario set: validates every scenario up
+    /// front, then fans the evaluations across `std::thread::scope`
+    /// workers sharing this query's memo and the session's caches.
+    ///
+    /// Fresh restrictions mutate the session's shared BDD manager, so
+    /// those computes serialise on its lock (as all session queries do —
+    /// see [`AnalysisSession`](crate::engine::AnalysisSession)); the
+    /// fan-out overlaps memoised lookups, outcome assembly and witness
+    /// rendering, which run outside it. For parallelism across the
+    /// *compute* itself, use one session per shard of scenarios.
+    ///
+    /// # Errors
+    ///
+    /// The first scenario whose bindings fail to resolve aborts the sweep
+    /// before any worker starts.
+    pub fn sweep(&self, set: &ScenarioSet) -> Result<SweepReport, BflError> {
+        // Validate everything first so workers cannot fail; the resolved
+        // keys are handed through so nothing is resolved twice.
+        let keys: Vec<Vec<(usize, bool)>> = set
+            .iter()
+            .map(|s| self.resolve(s))
+            .collect::<Result<_, _>>()?;
+        let before = self.stats();
+        let (arena_before, translation_misses0) = {
+            let mc = self.inner.lock();
+            (mc.manager().arena_size(), mc.cache_misses())
+        };
+
+        let n = set.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n)
+            .max(1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Outcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let o = self.eval_resolved(&set.scenarios[i], keys[i].clone());
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(o);
+                });
+            }
+        });
+
+        let after = self.stats();
+        let (translation_misses, arena_after) = {
+            let mc = self.inner.lock();
+            (
+                mc.cache_misses() - translation_misses0,
+                mc.manager().arena_size(),
+            )
+        };
+        let mut report = SweepReport {
+            tree: Arc::clone(&self.inner.tree),
+            query: self.source.clone(),
+            outcomes: Vec::with_capacity(n),
+            totals: EvalStats::default(),
+            stats: SweepStats {
+                scenarios: n,
+                workers,
+                memo_hits: after.memo_hits - before.memo_hits,
+                memo_misses: after.memo_misses - before.memo_misses,
+                translation_misses,
+                arena_before,
+                arena_after,
+            },
+        };
+        for slot in slots {
+            let outcome = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker filled every slot");
+            report.totals.absorb(&outcome.stats);
+            report.outcomes.push(outcome);
+        }
+        Ok(report)
+    }
+}
+
+/// Maps resolved `(basic index, value)` bindings to BDD variables.
+fn to_vars(mc: &ModelChecker, key: &[(usize, bool)]) -> Vec<(Var, bool)> {
+    key.iter()
+        .map(|&(bi, value)| (mc.var_of_basic(bi), value))
+        .collect()
+}
+
+/// Runs the rewriting pipeline on one operand and compiles it.
+fn compile_operand(
+    mc: &mut ModelChecker,
+    role: &'static str,
+    phi: &Formula,
+) -> Result<(OperandPlan, Bdd), BflError> {
+    let mut passes = vec![PassStep {
+        pass: "parse",
+        applied: true,
+        size: phi.size(),
+        rendered: truncate(&phi.to_string()),
+    }];
+    let mut current = phi.clone();
+    if max_vot_arity(&current) <= DESUGAR_VOT_LIMIT {
+        current = desugar(&current);
+        passes.push(PassStep {
+            pass: "desugar",
+            applied: true,
+            size: current.size(),
+            rendered: truncate(&current.to_string()),
+        });
+    } else {
+        passes.push(PassStep {
+            pass: "desugar",
+            applied: false,
+            size: current.size(),
+            rendered: String::new(),
+        });
+    }
+    current = to_nnf(&current);
+    passes.push(PassStep {
+        pass: "nnf",
+        applied: true,
+        size: current.size(),
+        rendered: truncate(&current.to_string()),
+    });
+    current = simplify(&current);
+    passes.push(PassStep {
+        pass: "simplify",
+        applied: true,
+        size: current.size(),
+        rendered: truncate(&current.to_string()),
+    });
+    // BDD canonicity makes the rewritten formula compile to the same
+    // diagram as the original; compiling the rewritten form keeps the
+    // plan honest about what was built.
+    let root = mc.formula_bdd(&current)?;
+    let support = mc.support_basic_names(root).len();
+    let constant = if root.is_true() {
+        Some(true)
+    } else if root.is_false() {
+        Some(false)
+    } else {
+        None
+    };
+    Ok((
+        OperandPlan {
+            role,
+            passes,
+            bdd_nodes: mc.bdd_size(root),
+            support,
+            constant,
+        },
+        root,
+    ))
+}
+
+fn max_vot_arity(phi: &Formula) -> usize {
+    let mut max = 0;
+    phi.visit(&mut |f| {
+        if let Formula::Vot { operands, .. } = f {
+            max = max.max(operands.len());
+        }
+    });
+    max
+}
+
+fn truncate(s: &str) -> String {
+    if s.chars().count() <= RENDER_LIMIT {
+        s.to_string()
+    } else {
+        let mut t: String = s.chars().take(RENDER_LIMIT).collect();
+        t.push('…');
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sweep report.
+// ---------------------------------------------------------------------------
+
+/// Aggregate statistics of one [`PreparedQuery::sweep`].
+///
+/// The counts are before/after deltas over the session's shared
+/// counters, attributed to this sweep's window: if *other* queries run
+/// on the same session (or prepared query) concurrently with the sweep,
+/// their translations, memo traffic and arena growth land in the window
+/// too. For attribution-grade numbers, let the sweep be the session's
+/// only activity while it runs (as the test-suite's assertions do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Number of scenarios evaluated.
+    pub scenarios: usize,
+    /// Number of `std::thread::scope` workers spawned (fresh restrictions
+    /// still serialise on the session's shared BDD manager; see
+    /// [`PreparedQuery::sweep`]).
+    pub workers: usize,
+    /// Evaluations answered from the scenario memo.
+    pub memo_hits: u64,
+    /// Evaluations that computed a fresh restriction.
+    pub memo_misses: u64,
+    /// Formula-translation cache misses during the sweep — **0**: the
+    /// sweep path never recompiles a formula (asserted by the
+    /// cross-check suite).
+    pub translation_misses: u64,
+    /// BDD arena size when the sweep started.
+    pub arena_before: usize,
+    /// BDD arena size when the sweep finished.
+    pub arena_after: usize,
+}
+
+impl SweepStats {
+    /// Nodes added to the shared arena during the sweep (restriction may
+    /// build a few residual nodes on first sight of a scenario; memoised
+    /// sweeps add none).
+    pub fn arena_growth(&self) -> usize {
+        self.arena_after - self.arena_before
+    }
+}
+
+/// The result of sweeping a prepared query over a scenario set: one
+/// [`Outcome`] per scenario (in set order) plus sweep-level statistics,
+/// rendered as text ([`fmt::Display`]) or JSON ([`SweepReport::to_json`]).
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    tree: Arc<FaultTree>,
+    /// Concrete syntax of the prepared query.
+    pub query: String,
+    /// Per-scenario outcomes, in scenario-set order.
+    pub outcomes: Vec<Outcome>,
+    /// Component-wise aggregate of every outcome's statistics.
+    pub totals: EvalStats,
+    /// Sweep-level cache and arena statistics.
+    pub stats: SweepStats,
+}
+
+impl SweepReport {
+    /// The tree the sweep ran against.
+    pub fn tree(&self) -> &FaultTree {
+        &self.tree
+    }
+
+    /// Number of scenarios under which the query holds.
+    pub fn holding(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.holds).count()
+    }
+
+    /// Serialises the report as a self-contained JSON document (the
+    /// outcome schema matches [`Report::to_json`](crate::report::Report::to_json)).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"query\":{}", json_str(&self.query)));
+        out.push_str(&format!(
+            ",\"tree\":{}",
+            json_str(self.tree.name(self.tree.top()))
+        ));
+        out.push_str(",\"outcomes\":[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_outcome(&self.tree, o));
+        }
+        out.push_str(&format!("],\"totals\":{}", json_stats(&self.totals)));
+        let s = &self.stats;
+        out.push_str(&format!(
+            ",\"sweep\":{{\"scenarios\":{},\"workers\":{},\"memo_hits\":{},\"memo_misses\":{},\"translation_misses\":{},\"arena_before\":{},\"arena_after\":{}}}",
+            s.scenarios, s.workers, s.memo_hits, s.memo_misses, s.translation_misses,
+            s.arena_before, s.arena_after
+        ));
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sweep `{}` over {} scenarios ({} workers)",
+            self.query, self.stats.scenarios, self.stats.workers
+        )?;
+        let failed_names = |v: &StatusVector| v.failed_names(&self.tree).join(", ");
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "{}  {}",
+                if o.holds { "PASS" } else { "FAIL" },
+                o.title()
+            )?;
+            for w in &o.witnesses {
+                writeln!(f, "      witness {{{}}}", failed_names(w))?;
+            }
+            for c in &o.counterexamples {
+                writeln!(f, "      refuted by {{{}}}", failed_names(c))?;
+            }
+            if !o.shared_events.is_empty() {
+                writeln!(f, "      shared events {{{}}}", o.shared_events.join(", "))?;
+            }
+        }
+        writeln!(
+            f,
+            "{}/{} hold · {} restrictions / {} memoised · {} translation misses · arena {} → {}",
+            self.holding(),
+            self.outcomes.len(),
+            self.stats.memo_misses,
+            self.stats.memo_hits,
+            self.stats.translation_misses,
+            self.stats.arena_before,
+            self.stats.arena_after
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AnalysisSession;
+    use crate::parser::parse_query;
+    use bfl_fault_tree::corpus;
+
+    #[test]
+    fn prepared_query_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedQuery>();
+        assert_send_sync::<SweepReport>();
+    }
+
+    #[test]
+    fn prepared_outlives_its_session() {
+        let prepared;
+        {
+            let session = AnalysisSession::new(corpus::covid());
+            prepared = session
+                .prepare(&parse_query("exists IWoS").unwrap())
+                .unwrap();
+            // `session` drops here; the prepared query keeps the core alive.
+        }
+        assert!(prepared.eval(&Scenario::new()).unwrap().holds);
+        assert!(
+            !prepared
+                .eval(&Scenario::new().bind("VW", false))
+                .unwrap()
+                .holds
+        );
+    }
+
+    #[test]
+    fn eval_is_memoised() {
+        let session = AnalysisSession::new(corpus::covid());
+        let prepared = session
+            .prepare(&parse_query("exists IWoS").unwrap())
+            .unwrap();
+        let s = Scenario::named("s").bind("IW", true);
+        let first = prepared.eval(&s).unwrap();
+        assert_eq!(first.stats.cache_misses, 1);
+        assert_eq!(first.stats.cache_hits, 0);
+        let second = prepared.eval(&s).unwrap();
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(first.holds, second.holds);
+        let stats = prepared.stats();
+        assert_eq!(stats.evals, 2);
+        assert_eq!(stats.distinct_scenarios, 1);
+    }
+
+    #[test]
+    fn binding_order_does_not_matter_for_memoisation() {
+        let session = AnalysisSession::new(corpus::covid());
+        let prepared = session
+            .prepare(&parse_query("exists IWoS").unwrap())
+            .unwrap();
+        let a = Scenario::from_pairs([("IW", true), ("H5", false)]);
+        let b = Scenario::from_pairs([("H5", false), ("IW", true)]);
+        let _ = prepared.eval(&a).unwrap();
+        let o = prepared.eval(&b).unwrap();
+        assert_eq!(o.stats.cache_hits, 1);
+        assert_eq!(prepared.stats().distinct_scenarios, 1);
+    }
+
+    #[test]
+    fn invalid_bindings_are_rejected() {
+        let session = AnalysisSession::new(corpus::covid());
+        let prepared = session
+            .prepare(&parse_query("exists IWoS").unwrap())
+            .unwrap();
+        assert_eq!(
+            prepared.eval(&Scenario::new().bind("ghost", true)),
+            Err(BflError::UnknownElement("ghost".into()))
+        );
+        assert_eq!(
+            prepared.eval(&Scenario::new().bind("MoT", true)),
+            Err(BflError::EvidenceOnGate("MoT".into()))
+        );
+        // A bad scenario aborts a sweep before any evaluation.
+        let set = ScenarioSet::from_scenarios([
+            Scenario::new().bind("IW", true),
+            Scenario::new().bind("ghost", true),
+        ]);
+        assert!(prepared.sweep(&set).is_err());
+        assert_eq!(prepared.stats().evals, 0);
+    }
+
+    #[test]
+    fn plan_records_passes_and_fast_path() {
+        let session = AnalysisSession::new(corpus::covid());
+        let plain = session
+            .prepare(&parse_query("forall IS => MoT").unwrap())
+            .unwrap();
+        let plan = plain.explain();
+        assert_eq!(plan.kind, "forall");
+        assert!(plan.minimality_fast_path);
+        assert_eq!(plan.operands.len(), 1);
+        let passes: Vec<&str> = plan.operands[0].passes.iter().map(|p| p.pass).collect();
+        assert_eq!(passes, ["parse", "desugar", "nnf", "simplify"]);
+        assert!(plan.operands[0].bdd_nodes > 0);
+        assert!(plan.prepare.cache_misses > 0);
+
+        let minimal = session
+            .prepare(&parse_query("exists MCS(IWoS)").unwrap())
+            .unwrap();
+        assert!(!minimal.explain().minimality_fast_path);
+
+        let text = plan.to_string();
+        assert!(text.contains("forall"), "{text}");
+        assert!(text.contains("simplify"), "{text}");
+        let json = plan.to_json();
+        assert!(json.contains("\"kind\":\"forall\""), "{json}");
+        assert!(json.contains("\"minimality_fast_path\":true"), "{json}");
+    }
+
+    #[test]
+    fn wide_vot_skips_desugar() {
+        let mut b = bfl_fault_tree::FaultTreeBuilder::new();
+        let names: Vec<String> = (0..10).map(|i| format!("e{i}")).collect();
+        b.basic_events(names.iter().map(String::as_str)).unwrap();
+        b.gate(
+            "top",
+            bfl_fault_tree::GateType::Or,
+            names.iter().map(String::as_str),
+        )
+        .unwrap();
+        let tree = b.build("top").unwrap();
+        let session = AnalysisSession::new(tree);
+        let operands = names.iter().map(|n| Formula::atom(n.clone()));
+        let q = Query::exists(Formula::vot(crate::ast::CmpOp::Ge, 9, operands));
+        let prepared = session.prepare(&q).unwrap();
+        let desugar_step = &prepared.explain().operands[0].passes[1];
+        assert_eq!(desugar_step.pass, "desugar");
+        assert!(!desugar_step.applied);
+        assert!(prepared.eval(&Scenario::new()).unwrap().holds);
+    }
+
+    #[test]
+    fn sup_compiles_to_independence() {
+        let session = AnalysisSession::new(corpus::covid());
+        let prepared = session.prepare(&parse_query("SUP(PP)").unwrap()).unwrap();
+        assert_eq!(prepared.explain().kind, "sup");
+        let o = prepared.eval(&Scenario::new()).unwrap();
+        assert!(!o.holds);
+        assert!(o.shared_events.contains(&"PP".to_string()));
+    }
+
+    #[test]
+    fn sweep_report_renders_text_and_json() {
+        let session = AnalysisSession::new(corpus::covid());
+        let prepared = session
+            .prepare(&parse_query("exists IWoS").unwrap())
+            .unwrap();
+        let set = ScenarioSet::parse("baseline:\nprotected: VW = 0\n").unwrap();
+        let report = prepared.sweep(&set).unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.holding(), 1);
+        let text = report.to_string();
+        assert!(text.contains("PASS  baseline"), "{text}");
+        assert!(text.contains("FAIL  protected"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"sweep\""), "{json}");
+        assert!(json.contains("\"translation_misses\":0"), "{json}");
+    }
+}

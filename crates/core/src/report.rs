@@ -161,7 +161,7 @@ impl Spec {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (label, rest) = split_label(line);
+            let (label, rest) = split_label(line, false);
             // Character offset of `rest` within `raw`, so inner parse
             // errors report columns relative to the original line.
             let rest_start = raw.find(rest).unwrap_or(0);
@@ -181,19 +181,21 @@ impl Spec {
     }
 }
 
-/// Splits an optional `label:` prefix off a spec line. A label is a bare
-/// `[A-Za-z0-9_.-]+` immediately followed by `:` and not by `=` (so
-/// evidence `:=` never masquerades as a label).
-fn split_label(line: &str) -> (Option<&str>, &str) {
+/// Splits an optional `label:` prefix off a spec or scenario line. A
+/// label is a bare `[A-Za-z0-9_.-]+` (plus interior spaces when
+/// `allow_spaces` — scenario files accept them, spec files do not)
+/// immediately followed by `:` and not by `=` (so evidence `:=` never
+/// masquerades as a label).
+pub(crate) fn split_label(line: &str, allow_spaces: bool) -> (Option<&str>, &str) {
     let Some(colon) = line.find(':') else {
         return (None, line);
     };
-    let head = &line[..colon];
+    let head = line[..colon].trim();
     let tail = &line[colon + 1..];
     let is_label = !head.is_empty()
-        && head
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        && head.chars().all(|c| {
+            c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-') || (allow_spaces && c == ' ')
+        })
         && !tail.starts_with('=');
     if is_label {
         (Some(head), tail.trim_start())
@@ -384,49 +386,54 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
-            out.push('{');
-            match &o.label {
-                Some(l) => out.push_str(&format!("\"label\":{}", json_str(l))),
-                None => out.push_str("\"label\":null"),
-            }
-            out.push_str(&format!(",\"source\":{}", json_str(&o.source)));
-            out.push_str(&format!(",\"holds\":{}", o.holds));
-            out.push_str(&format!(
-                ",\"witnesses\":{}",
-                self.json_vectors(&o.witnesses)
-            ));
-            out.push_str(&format!(
-                ",\"counterexamples\":{}",
-                self.json_vectors(&o.counterexamples)
-            ));
-            out.push_str(",\"counterexample\":");
-            match &o.counterexample {
-                Some(Counterexample::Found(v)) => {
-                    out.push_str(&json_names(&self.failed_names(v)));
-                }
-                Some(Counterexample::Unsatisfiable) => out.push_str("\"unsatisfiable\""),
-                Some(Counterexample::AlreadySatisfies) => {
-                    out.push_str("\"already-satisfies\"");
-                }
-                None => out.push_str("null"),
-            }
-            let shared: Vec<&str> = o.shared_events.iter().map(String::as_str).collect();
-            out.push_str(&format!(",\"shared_events\":{}", json_names(&shared)));
-            out.push_str(&format!(",\"stats\":{}", json_stats(&o.stats)));
-            out.push('}');
+            out.push_str(&json_outcome(&self.tree, o));
         }
         out.push_str(&format!("],\"totals\":{}", json_stats(&self.totals)));
         out.push('}');
         out
     }
+}
 
-    fn json_vectors(&self, vectors: &[StatusVector]) -> String {
+/// Serialises one [`Outcome`] as a JSON object (vectors rendered as
+/// failed-event name lists against `tree`) — shared by [`Report`] and the
+/// sweep reports of the prepared-query layer.
+pub(crate) fn json_outcome(tree: &FaultTree, o: &Outcome) -> String {
+    let failed_names = |v: &StatusVector| -> Vec<&str> { v.failed_names(tree) };
+    let json_vectors = |vectors: &[StatusVector]| -> String {
         let parts: Vec<String> = vectors
             .iter()
-            .map(|v| json_names(&self.failed_names(v)))
+            .map(|v| json_names(&failed_names(v)))
             .collect();
         format!("[{}]", parts.join(","))
+    };
+    let mut out = String::from("{");
+    match &o.label {
+        Some(l) => out.push_str(&format!("\"label\":{}", json_str(l))),
+        None => out.push_str("\"label\":null"),
     }
+    out.push_str(&format!(",\"source\":{}", json_str(&o.source)));
+    out.push_str(&format!(",\"holds\":{}", o.holds));
+    out.push_str(&format!(",\"witnesses\":{}", json_vectors(&o.witnesses)));
+    out.push_str(&format!(
+        ",\"counterexamples\":{}",
+        json_vectors(&o.counterexamples)
+    ));
+    out.push_str(",\"counterexample\":");
+    match &o.counterexample {
+        Some(Counterexample::Found(v)) => {
+            out.push_str(&json_names(&failed_names(v)));
+        }
+        Some(Counterexample::Unsatisfiable) => out.push_str("\"unsatisfiable\""),
+        Some(Counterexample::AlreadySatisfies) => {
+            out.push_str("\"already-satisfies\"");
+        }
+        None => out.push_str("null"),
+    }
+    let shared: Vec<&str> = o.shared_events.iter().map(String::as_str).collect();
+    out.push_str(&format!(",\"shared_events\":{}", json_names(&shared)));
+    out.push_str(&format!(",\"stats\":{}", json_stats(&o.stats)));
+    out.push('}');
+    out
 }
 
 /// Serialises a string as a JSON string literal with full escaping —
@@ -468,7 +475,7 @@ pub fn json_name_sets(sets: &[Vec<String>]) -> String {
     format!("[{}]", parts.join(","))
 }
 
-fn json_stats(s: &EvalStats) -> String {
+pub(crate) fn json_stats(s: &EvalStats) -> String {
     format!(
         "{{\"bdd_nodes\":{},\"arena_nodes\":{},\"cache_hits\":{},\"cache_misses\":{},\"duration_micros\":{}}}",
         s.bdd_nodes, s.arena_nodes, s.cache_hits, s.cache_misses, s.duration_micros

@@ -1,0 +1,454 @@
+//! What-if scenarios: named bundles of evidence bindings `e ← b`.
+//!
+//! BFL's evidence operator `ϕ[e↦b]` (Definition 5) is the logic's
+//! hypothesis mechanism: "suppose basic event `e` is known to have
+//! failed (or to be operational) — does the property still hold?"
+//! Section VI's what-if analyses ask exactly this, for *many*
+//! hypotheses against the *same* property. A [`Scenario`] reifies one
+//! such hypothesis as data (instead of baking it into the formula AST),
+//! and a [`ScenarioSet`] holds a whole sweep of them.
+//!
+//! Scenarios are deliberately tree-independent — just names and Boolean
+//! values. They are validated against a concrete fault tree when they
+//! are *applied*: by
+//! [`PreparedQuery::eval`](crate::plan::PreparedQuery::eval) (which
+//! implements them as BDD restriction on an already-compiled diagram)
+//! or by [`Scenario::specialise`]/[`Scenario::specialise_query`] (which
+//! produce the equivalent evidence-wrapped AST for the classic
+//! recompile-per-scenario path).
+//!
+//! ## Text format
+//!
+//! One scenario per line; blank lines and `#` comments are skipped:
+//!
+//! ```text
+//! # COVID what-ifs
+//! baseline:
+//! infected-worker: IW = 1
+//! disinfected:     H5 = 0, H4 = 0
+//! ```
+//!
+//! A leading `label:` names the scenario (optional). Bindings are
+//! comma-separated `event = 0|1` pairs (`:=` is also accepted, matching
+//! the evidence syntax); a line with no bindings is the baseline
+//! scenario (no evidence), and a bare `-` is the *unnamed* baseline.
+
+use std::fmt;
+
+use crate::ast::{Formula, Query};
+use crate::parser::ParseError;
+
+/// One named what-if hypothesis: an ordered list of evidence bindings
+/// `e ← b` over basic-event names.
+///
+/// Bindings apply in order with **first-binding-wins** semantics for a
+/// repeated event — exactly the semantics of chained evidence
+/// `ϕ[e↦v][e↦v′]`, where the inner (first) restriction eliminates the
+/// variable and the outer one becomes an identity.
+///
+/// ```
+/// use bfl_core::scenario::Scenario;
+/// let s = Scenario::named("lockdown").bind("IW", false).bind("IS", false);
+/// assert_eq!(s.to_string(), "lockdown: IW = 0, IS = 0");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Scenario {
+    name: Option<String>,
+    bindings: Vec<(String, bool)>,
+}
+
+impl Scenario {
+    /// The empty (baseline) scenario: no evidence.
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// An empty scenario carrying a display name.
+    pub fn named(name: impl Into<String>) -> Self {
+        Scenario {
+            name: Some(name.into()),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Builds a scenario from `(event, value)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, bool)>,
+        S: Into<String>,
+    {
+        Scenario {
+            name: None,
+            bindings: pairs.into_iter().map(|(e, v)| (e.into(), v)).collect(),
+        }
+    }
+
+    /// Adds the binding `event ← value` (builder style).
+    pub fn bind(mut self, event: impl Into<String>, value: bool) -> Self {
+        self.bindings.push((event.into(), value));
+        self
+    }
+
+    /// Renames the scenario (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The scenario's display name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The evidence bindings, in binding order.
+    pub fn bindings(&self) -> &[(String, bool)] {
+        &self.bindings
+    }
+
+    /// Whether the scenario binds nothing (the baseline).
+    pub fn is_baseline(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// The bindings rendered without the name: `A = 1, B = 0`.
+    pub fn bindings_string(&self) -> String {
+        self.bindings
+            .iter()
+            .map(|(e, v)| format!("{e} = {}", u8::from(*v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The classic AST encoding of this scenario: `ϕ[e1↦v1][e2↦v2]…` —
+    /// what a per-scenario `with_evidence` + recompile loop would build.
+    /// Used by the cross-check tests and the migration docs; the
+    /// prepared-query path evaluates the same semantics by restriction.
+    pub fn specialise(&self, phi: &Formula) -> Formula {
+        self.bindings
+            .iter()
+            .fold(phi.clone(), |acc, (e, v)| acc.with_evidence(e.clone(), *v))
+    }
+
+    /// Lifts [`Scenario::specialise`] to layer-2 queries: evidence wraps
+    /// the quantified formula (`∃ϕ` → `∃ϕ[…]`) and both operands of an
+    /// `IDP`; `SUP(e)` expands to its defining `IDP(e, e_top)` first,
+    /// with the top element resolved by name at evaluation time.
+    pub fn specialise_query(&self, psi: &Query, top_name: &str) -> Query {
+        match psi {
+            Query::Exists(phi) => Query::Exists(self.specialise(phi)),
+            Query::Forall(phi) => Query::Forall(self.specialise(phi)),
+            Query::Idp(a, b) => Query::Idp(self.specialise(a), self.specialise(b)),
+            Query::Sup(name) => Query::Idp(
+                self.specialise(&Formula::atom(name.clone())),
+                self.specialise(&Formula::atom(top_name)),
+            ),
+        }
+    }
+
+    /// Parses one scenario line (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] (line 1) on malformed bindings.
+    pub fn parse(line: &str) -> Result<Scenario, ParseError> {
+        parse_line(line, 1)
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name, self.bindings.is_empty()) {
+            (Some(n), true) => write!(f, "{n}:"),
+            (Some(n), false) => write!(f, "{n}: {}", self.bindings_string()),
+            (None, true) => write!(f, "(baseline)"),
+            (None, false) => write!(f, "{}", self.bindings_string()),
+        }
+    }
+}
+
+/// A batch of scenarios to sweep a prepared query over.
+///
+/// ```
+/// use bfl_core::scenario::ScenarioSet;
+/// let set = ScenarioSet::parse("baseline:\nworst: IW = 1, H5 = 1\n").unwrap();
+/// assert_eq!(set.len(), 2);
+/// assert!(set.scenarios[0].is_baseline());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScenarioSet {
+    /// The scenarios, in sweep order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ScenarioSet::default()
+    }
+
+    /// Builds a set from scenarios.
+    pub fn from_scenarios<I: IntoIterator<Item = Scenario>>(scenarios: I) -> Self {
+        ScenarioSet {
+            scenarios: scenarios.into_iter().collect(),
+        }
+    }
+
+    /// Appends a scenario.
+    pub fn push(&mut self, scenario: Scenario) -> &mut Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Iterates over the scenarios.
+    pub fn iter(&self) -> std::slice::Iter<'_, Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// Parses the line-oriented scenario format (see the
+    /// [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// The first [`ParseError`], with the line number of the offending
+    /// scenario.
+    pub fn parse(text: &str) -> Result<ScenarioSet, ParseError> {
+        let mut scenarios = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            scenarios.push(parse_line(line, lineno + 1)?);
+        }
+        Ok(ScenarioSet { scenarios })
+    }
+
+    /// Every single-event scenario `e ← value` over the given names — the
+    /// classic "fail (or fix) each component in turn" sweep.
+    pub fn singletons<I, S>(names: I, value: bool) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        // Label charset excludes `=`, so the names spell the value out —
+        // keeping the whole set re-parseable through `Display`.
+        let verdict = if value { "failed" } else { "operational" };
+        ScenarioSet {
+            scenarios: names
+                .into_iter()
+                .map(|n| {
+                    let n = n.into();
+                    Scenario::named(format!("{n} {verdict}")).bind(n, value)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioSet {
+    /// One line per scenario, re-parseable by [`ScenarioSet::parse`]. An
+    /// unnamed baseline scenario renders as the bare `-` line (a blank
+    /// line would be skipped by the parser).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.scenarios {
+            match (&s.name, s.bindings.is_empty()) {
+                (Some(n), true) => writeln!(f, "{n}:")?,
+                (Some(n), false) => writeln!(f, "{n}: {}", s.bindings_string())?,
+                (None, true) => writeln!(f, "-")?,
+                (None, false) => writeln!(f, "{}", s.bindings_string())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a ScenarioSet {
+    type Item = &'a Scenario;
+    type IntoIter = std::slice::Iter<'a, Scenario>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.scenarios.iter()
+    }
+}
+
+impl From<Scenario> for ScenarioSet {
+    fn from(s: Scenario) -> Self {
+        ScenarioSet { scenarios: vec![s] }
+    }
+}
+
+impl FromIterator<Scenario> for ScenarioSet {
+    fn from_iter<I: IntoIterator<Item = Scenario>>(iter: I) -> Self {
+        ScenarioSet::from_scenarios(iter)
+    }
+}
+
+fn err(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        col,
+        message: message.into(),
+    }
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Scenario, ParseError> {
+    // A bare `-` is the unnamed baseline (the form `Display` emits for
+    // it; a blank line would be skipped entirely).
+    if line.trim() == "-" {
+        return Ok(Scenario::new());
+    }
+    // Spec-file label splitting, with spaces allowed in scenario names.
+    let (label, rest) = crate::report::split_label(line.trim(), true);
+    let mut scenario = Scenario {
+        name: label.map(str::to_string),
+        bindings: Vec::new(),
+    };
+    if rest.is_empty() {
+        return Ok(scenario);
+    }
+    for part in rest.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        // `event = value` with `:=` accepted as in evidence syntax.
+        let (name, value) = match part.split_once(":=").or_else(|| part.split_once('=')) {
+            Some((n, v)) => (n.trim().trim_matches('"'), v.trim()),
+            None => {
+                return Err(err(
+                    lineno,
+                    1,
+                    format!("binding `{part}` is not of the form `event = 0|1`"),
+                ))
+            }
+        };
+        if name.is_empty() {
+            return Err(err(
+                lineno,
+                1,
+                format!("binding `{part}` has no event name"),
+            ));
+        }
+        let value = match value {
+            "0" | "false" => false,
+            "1" | "true" => true,
+            other => {
+                return Err(err(
+                    lineno,
+                    1,
+                    format!("binding value `{other}` is not 0/1 (or false/true)"),
+                ))
+            }
+        };
+        scenario.bindings.push((name.to_string(), value));
+    }
+    Ok(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_formula, parse_query};
+
+    #[test]
+    fn builder_and_display() {
+        let s = Scenario::named("lockdown")
+            .bind("IW", false)
+            .bind("IS", false);
+        assert_eq!(s.name(), Some("lockdown"));
+        assert_eq!(s.bindings().len(), 2);
+        assert_eq!(s.to_string(), "lockdown: IW = 0, IS = 0");
+        assert_eq!(Scenario::new().to_string(), "(baseline)");
+        assert!(Scenario::new().is_baseline());
+    }
+
+    #[test]
+    fn specialise_matches_with_evidence_chain() {
+        let phi = parse_formula("MCS(IWoS)").unwrap();
+        let s = Scenario::from_pairs([("IW", true), ("H5", false)]);
+        let expected = phi
+            .clone()
+            .with_evidence("IW", true)
+            .with_evidence("H5", false);
+        assert_eq!(s.specialise(&phi), expected);
+    }
+
+    #[test]
+    fn specialise_query_covers_all_shapes() {
+        let s = Scenario::from_pairs([("H1", true)]);
+        let q = parse_query("forall IS => MoT").unwrap();
+        match s.specialise_query(&q, "IWoS") {
+            Query::Forall(Formula::Evidence { element, value, .. }) => {
+                assert_eq!(element, "H1");
+                assert!(value);
+            }
+            other => panic!("{other:?}"),
+        }
+        let sup = parse_query("SUP(PP)").unwrap();
+        match s.specialise_query(&sup, "IWoS") {
+            Query::Idp(a, b) => {
+                assert!(matches!(a, Formula::Evidence { .. }));
+                assert!(matches!(b, Formula::Evidence { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_set_round_trips() {
+        let text = "# sweep\nbaseline:\ninfected: IW = 1\nboth: H5 = 0, H4 = 1\n-\n";
+        let set = ScenarioSet::parse(text).unwrap();
+        assert_eq!(set.len(), 4);
+        assert!(set.scenarios[0].is_baseline());
+        assert_eq!(set.scenarios[0].name(), Some("baseline"));
+        assert_eq!(set.scenarios[1].bindings(), &[("IW".to_string(), true)]);
+        assert_eq!(
+            set.scenarios[2].bindings(),
+            &[("H5".to_string(), false), ("H4".to_string(), true)]
+        );
+        // The unnamed baseline renders as `-` and survives the round-trip
+        // (a blank line would be skipped by the parser).
+        assert_eq!(set.scenarios[3], Scenario::new());
+        let again = ScenarioSet::parse(&set.to_string()).unwrap();
+        assert_eq!(set, again);
+    }
+
+    #[test]
+    fn parse_accepts_evidence_style_bindings() {
+        let s = Scenario::parse("A := 1, B := false").unwrap();
+        assert_eq!(
+            s.bindings(),
+            &[("A".to_string(), true), ("B".to_string(), false)]
+        );
+        assert_eq!(s.name(), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = ScenarioSet::parse("ok: A = 1\nbad: A ? 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("A ? 1"), "{e}");
+        let e = ScenarioSet::parse("v: A = 2\n").unwrap_err();
+        assert!(e.message.contains("`2`"), "{e}");
+    }
+
+    #[test]
+    fn singletons_sweep() {
+        let set = ScenarioSet::singletons(["A", "B"], false);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.scenarios[0].to_string(), "A operational: A = 0");
+        assert_eq!(set.scenarios[1].bindings(), &[("B".to_string(), false)]);
+        // Labels avoid `=`, so a rendered set of singletons re-parses.
+        let again = ScenarioSet::parse(&set.to_string()).unwrap();
+        assert_eq!(set, again);
+    }
+}

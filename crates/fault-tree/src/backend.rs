@@ -4,11 +4,11 @@
 //! The suite ships three ways to compute minimal cut and path sets:
 //!
 //! * [`Backend::Minsol`] — Rauzy's minimal-solutions algorithm on the
-//!   shared BDDs ([`analysis::minsol`](crate::analysis::minsol));
+//!   shared BDDs ([`analysis::minsol`]);
 //! * [`Backend::Paper`] — the paper's primed-variable `MCS`/`MPS`
 //!   translation (Algorithm 1's construction);
 //! * [`Backend::Zdd`] — bottom-up cut-set families on zero-suppressed
-//!   diagrams ([`zdd_engine`](crate::zdd_engine)).
+//!   diagrams ([`zdd_engine`]).
 //!
 //! All three agree on every input (cross-checked in the test-suites) but
 //! have very different performance envelopes, so the choice is exposed as

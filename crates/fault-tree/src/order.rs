@@ -3,7 +3,7 @@
 //! BDD sizes are notoriously sensitive to the variable order (Section V-A
 //! of the paper). This module provides the static orderings compared in the
 //! `ablation_ordering` benchmark, including a weight-based heuristic in the
-//! spirit of Bouissou's RAMS'96 ordering (reference [6] of the paper).
+//! spirit of Bouissou's RAMS'96 ordering (reference \[6\] of the paper).
 
 use std::collections::VecDeque;
 

@@ -1,6 +1,6 @@
 //! Bottom-up minimal-cut-set computation on zero-suppressed decision
 //! diagrams — Rauzy's classical algorithm ("New algorithms for fault
-//! trees analysis", reference [5] of the paper), our third independent
+//! trees analysis", reference \[5\] of the paper), our third independent
 //! MCS engine.
 //!
 //! Cut-set families are composed structurally: a basic event contributes

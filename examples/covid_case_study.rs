@@ -69,20 +69,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Property 6 ---------------------------------------------------------
+    // The evidence list covers every basic event — a what-if scenario on
+    // a prepared query, applied by BDD restriction rather than by
+    // wrapping 13 evidence operators around the formula and recompiling.
     let humans = ["H1", "H2", "H3", "H4", "H5"];
-    let mut phi6 = parse_formula("MPS(IWoS)")?;
+    let prepared6 = session.prepare(&parse_query("exists MPS(IWoS)")?)?;
+    let mut scenario6 = Scenario::named("no human error, everything else failed");
     for h in humans {
-        phi6 = phi6.with_evidence(h, false);
+        scenario6 = scenario6.bind(h, false);
     }
     for &be in tree.basic_events() {
         let name = tree.name(be);
         if !humans.contains(&name) {
-            phi6 = phi6.with_evidence(name, true);
+            scenario6 = scenario6.bind(name, true);
         }
     }
     println!(
         "P6  exists MPS(IWoS)[H1..H5 := 0, rest := 1]: {}",
-        session.check_query(&Query::Exists(phi6))?.holds
+        prepared6.eval(&scenario6)?.holds
     );
     println!("    (avoiding all five human errors prevents the TLE, but not minimally;");
     println!("     the minimal ways within the human errors are {{H1}} and {{H2, H3}})");

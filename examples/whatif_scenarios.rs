@@ -1,58 +1,94 @@
-//! What-if analysis with the evidence operator, independence and
-//! superfluousness — the scenario-style queries the paper motivates in
-//! Section I ("what are the MCSs, given that basic event A or subsystem B
-//! has failed?").
+//! What-if analysis with the evidence operator — the scenario-style
+//! queries the paper motivates in Section I ("what are the MCSs, given
+//! that basic event A or subsystem B has failed?"), on the compiled
+//! query-plan API: `prepare` once, then `eval`/`sweep` arbitrary
+//! evidence scenarios by BDD restriction instead of recompiling the
+//! pipeline per hypothesis.
 //!
 //! Run with: `cargo run --example whatif_scenarios`
 
 use bfl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // One owned session for the whole scenario sweep: every evidence
-    // projection below reuses the same compiled BDDs.
+    // One owned session for the whole analysis: every query below reuses
+    // the same compiled BDDs.
     let session = AnalysisSession::new(bfl::ft::corpus::covid());
     let tree = session.tree_arc();
 
     println!("What-if scenarios on the COVID-19 fault tree\n");
 
-    // Scenario 1: an infected worker has certainly joined the team.
-    // Which minimal cut scenarios remain (projected by evidence)?
+    // ---------------------------------------------------------------
+    // 1. Compile once, sweep many: is a transmission still possible
+    //    under each hypothesis? The old way wrapped the formula in
+    //    `with_evidence` and recompiled per scenario; `prepare` runs the
+    //    pass pipeline once and each scenario is a BDD restriction.
+    // ---------------------------------------------------------------
+    let prepared = session.prepare(&parse_query("exists IWoS")?)?;
+    let scenarios = ScenarioSet::parse(
+        "baseline:\n\
+         infected worker:    IW = 1\n\
+         protected worker:   VW = 0\n\
+         surface route only: IW = 0, IT = 0, UT = 0\n\
+         all hygiene fails:  H1 = 1, H2 = 1, H3 = 1, H4 = 1, H5 = 1\n",
+    )?;
+    let report = prepared.sweep(&scenarios)?;
+    print!("{report}");
+
+    // The sweep never recompiled a formula: evidence was applied by
+    // restriction on the prepared diagram.
+    assert_eq!(report.stats.translation_misses, 0);
+
+    // ---------------------------------------------------------------
+    // 2. The compiled plan: what `prepare` actually did.
+    // ---------------------------------------------------------------
+    let boundary = session.prepare(&parse_query(
+        "forall VOT(>=4; H1, H2, H3, H4, H5) & IW & IT & VW & PP & IS & AB & MV & UT => IWoS",
+    )?)?;
+    println!("\n{}", boundary.explain());
+    println!(
+        "2. four human errors + all hazards guarantee the TLE: {}",
+        boundary.eval(&Scenario::new())?.holds
+    );
+
+    // ---------------------------------------------------------------
+    // 3. Individual what-ifs on another prepared property: can the
+    //    surface route still cause a transmission once disinfection is
+    //    guaranteed?
+    // ---------------------------------------------------------------
+    let surface = session.prepare(&parse_query("exists MoT & IS & !IW & !IT & !UT")?)?;
+    let s = Scenario::named("disinfected").bind("H5", false);
+    println!(
+        "\n3. transmission via a surface without H5, IW, IT, UT possible: {}",
+        surface.eval(&s)?.holds
+    );
+
+    // Scenario evaluations are memoised: asking again is a cache lookup.
+    let again = surface.eval(&s)?;
+    assert_eq!(again.stats.cache_hits, 1);
+
+    // ---------------------------------------------------------------
+    // 4. Evidence projections still compose with the rest of the logic:
+    //    which minimal cut scenarios remain once IW is known failed?
+    // ---------------------------------------------------------------
     let phi = parse_formula("MCS(IWoS)[IW := 1]")?;
     let vectors = session.satisfying_vectors(&phi)?;
     println!(
-        "1. vectors satisfying MCS(IWoS)[IW := 1]: {}",
+        "\n4. vectors satisfying MCS(IWoS)[IW := 1]: {}",
         vectors.len()
     );
     for v in &vectors {
         println!("   {{{}}}", v.failed_names(&tree).join(", "));
     }
 
-    // Scenario 2: suppose surface disinfection is guaranteed (H5 := 0) —
-    // can the surface route still cause a transmission?
-    let q = parse_query("exists MoT[H5 := 0] & IS & !IW & !IT & !UT")?;
-    println!(
-        "\n2. transmission via a surface without H5, IW, IT, UT possible: {}",
-        session.check_query(&q)?.holds
-    );
-
-    // Scenario 3: if the vulnerable worker is protected, the top event is
-    // impossible (VW is in every cut set).
-    let q = parse_query("exists IWoS[VW := 0]")?;
-    println!(
-        "3. top event possible with VW protected: {}",
-        session.check_query(&q)?.holds
-    );
-
-    // Scenario 4: independence — are the pathogen branch and the
-    // susceptible-host branch independent? (They are not: IW is shared
-    // between CP and the transmission modes, H1 between SH and others.)
+    // ---------------------------------------------------------------
+    // 5–6. Independence and superfluousness sweeps (layer 2 as before).
+    // ---------------------------------------------------------------
     for (a, b) in [("CP", "SH"), ("CP", "CR"), ("DT", "AT"), ("CIW", "CIS")] {
         let q = Query::idp(Formula::atom(a), Formula::atom(b));
-        println!("4. IDP({a}, {b}) = {}", session.check_query(&q)?.holds);
+        println!("5. IDP({a}, {b}) = {}", session.check_query(&q)?.holds);
     }
 
-    // Scenario 5: superfluousness sweep — no basic event is superfluous.
-    println!("\n5. superfluous events:");
+    println!("\n6. superfluous events:");
     let mut any = false;
     for name in tree.basic_event_names() {
         if session.check_query(&Query::sup(name))?.holds {
@@ -63,16 +99,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !any {
         println!("   (none — every leaf matters, as the paper finds for PP)");
     }
-
-    // Scenario 6: boundaries — would the top event always occur if at
-    // most one of the transmission-independent safeguards held?
-    let q = parse_query(
-        "forall VOT(>=4; H1, H2, H3, H4, H5) & IW & IT & VW & PP & IS & AB & MV & UT => IWoS",
-    )?;
-    println!(
-        "\n6. four human errors + all hazards guarantee the TLE: {}",
-        session.check_query(&q)?.holds
-    );
 
     Ok(())
 }

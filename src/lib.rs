@@ -71,7 +71,9 @@ pub use bfl_fault_tree as ft;
 pub mod prelude {
     pub use bfl_core::engine::{AnalysisSession, Backend, SessionBuilder};
     pub use bfl_core::parser::{parse_formula, parse_query, parse_spec};
+    pub use bfl_core::plan::{Plan, PreparedQuery, PreparedStats, SweepReport, SweepStats};
     pub use bfl_core::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
+    pub use bfl_core::scenario::{Scenario, ScenarioSet};
     pub use bfl_core::{
         counterexample, is_valid_counterexample, BflError, CmpOp, Counterexample, Formula,
         MinimalityScope, ModelChecker, Pattern, Query,

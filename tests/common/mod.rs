@@ -1,0 +1,90 @@
+//! Helpers shared by the integration suites (`mod common;` from each
+//! registered test target — this directory is not a test target itself).
+
+#![allow(dead_code)]
+
+use bfl::prelude::*;
+use bfl_fault_tree::rng::Prng;
+
+/// A seeded random layer-1 formula over the given element names, with
+/// every `Formula` constructor reachable: atoms and constants at the
+/// leaves; negation, all binary connectives, evidence (targeting basic
+/// events only), `MCS`/`MPS` and `VOT` above them.
+pub fn random_formula(
+    rng: &mut Prng,
+    names: &[String],
+    basics: &[String],
+    depth: usize,
+) -> Formula {
+    let leaf = |rng: &mut Prng| -> Formula {
+        if rng.gen_bool(0.1) {
+            Formula::Const(rng.gen_bool(0.5))
+        } else {
+            Formula::atom(names[rng.gen_range(0..names.len())].clone())
+        }
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..11) {
+        0 => leaf(rng),
+        1 => random_formula(rng, names, basics, depth - 1).not(),
+        2 => random_formula(rng, names, basics, depth - 1).and(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        3 => random_formula(rng, names, basics, depth - 1).or(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        4 => random_formula(rng, names, basics, depth - 1).implies(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        5 => random_formula(rng, names, basics, depth - 1).iff(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        6 => random_formula(rng, names, basics, depth - 1).neq(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        7 => random_formula(rng, names, basics, depth - 1).with_evidence(
+            basics[rng.gen_range(0..basics.len())].clone(),
+            rng.gen_bool(0.5),
+        ),
+        8 => random_formula(rng, names, basics, depth - 1).mcs(),
+        9 => random_formula(rng, names, basics, depth - 1).mps(),
+        _ => {
+            let n = rng.gen_range(2..=3);
+            let ops: Vec<Formula> = (0..n)
+                .map(|_| random_formula(rng, names, basics, depth - 1))
+                .collect();
+            let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt][rng.gen_range(0..5)];
+            Formula::vot(op, rng.gen_range(0..=n + 1) as u32, ops)
+        }
+    }
+}
+
+/// A random scenario of up to 3 evidence bindings over the basic events.
+pub fn random_scenario(rng: &mut Prng, basics: &[String]) -> Scenario {
+    let k = rng.gen_range(0..=3);
+    let mut s = Scenario::new();
+    for _ in 0..k {
+        s = s.bind(
+            basics[rng.gen_range(0..basics.len())].clone(),
+            rng.gen_bool(0.5),
+        );
+    }
+    s
+}

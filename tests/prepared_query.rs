@@ -1,0 +1,201 @@
+//! Cross-checks for the compiled query-plan layer: `prepare`/`eval`/
+//! `sweep` must agree **exactly** — verdicts, witnesses,
+//! counterexamples, shared events — with the classic path that wraps the
+//! query in evidence operators and recompiles it per scenario; and after
+//! `prepare`, a sweep must never rebuild a BDD (no formula-translation
+//! misses; repeated sweeps are pure memo hits with zero arena growth).
+
+use bfl::prelude::*;
+use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
+use bfl_fault_tree::rng::Prng;
+
+mod common;
+use common::{random_formula, random_scenario};
+
+/// All scenario/evidence cross-checks compare these two paths:
+/// the prepared query evaluated under `scenario` (BDD restriction),
+/// versus the session re-checking the evidence-specialised query
+/// (AST rewriting + compile).
+fn assert_paths_agree(session: &AnalysisSession, q: &Query, scenario: &Scenario) {
+    let prepared = session.prepare(q).expect("prepare");
+    let fast = prepared.eval(scenario).expect("eval");
+    let top = session.tree().name(session.tree().top()).to_string();
+    let slow = session
+        .check_query(&scenario.specialise_query(q, &top))
+        .expect("check_query");
+    assert_eq!(fast.holds, slow.holds, "{q} under {scenario}");
+    assert_eq!(fast.witnesses, slow.witnesses, "{q} under {scenario}");
+    assert_eq!(
+        fast.counterexamples, slow.counterexamples,
+        "{q} under {scenario}"
+    );
+    assert_eq!(
+        fast.shared_events, slow.shared_events,
+        "{q} under {scenario}"
+    );
+}
+
+#[test]
+fn covid_case_study_scenarios_agree_with_evidence_path() {
+    let session = AnalysisSession::new(bfl::ft::corpus::covid());
+    let queries = [
+        "exists IWoS",
+        "forall IS => MoT",
+        "forall MoT => H1 | H2 | H3 | H4 | H5",
+        "exists MCS(IWoS) & H4",
+        "exists MPS(IWoS)",
+        "forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS",
+        "IDP(CIO, CIS)",
+        "SUP(PP)",
+    ];
+    // The baseline, every single-event hypothesis (both polarities) and a
+    // few compound what-ifs.
+    let mut scenarios = vec![Scenario::new()];
+    for name in session.tree().basic_event_names() {
+        scenarios.push(Scenario::new().bind(name, true));
+        scenarios.push(Scenario::new().bind(name, false));
+    }
+    scenarios.push(Scenario::from_pairs([("IW", true), ("H5", false)]));
+    scenarios.push(Scenario::from_pairs([
+        ("VW", false),
+        ("H1", true),
+        ("H2", true),
+    ]));
+    scenarios.push(Scenario::from_pairs([
+        ("IT", false),
+        ("UT", false),
+        ("IW", false),
+    ]));
+
+    for src in queries {
+        let q = parse_query(src).unwrap();
+        for scenario in &scenarios {
+            assert_paths_agree(&session, &q, scenario);
+        }
+    }
+}
+
+#[test]
+fn randomized_trees_and_formulas_agree_with_evidence_path() {
+    let mut rng = Prng::seed_from_u64(0xC0FFEE);
+    for seed in 0..8u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 8,
+            num_gates: 5,
+            max_children: 3,
+            vot_probability: 0.2,
+            seed: 0x5EED + seed,
+        });
+        let names: Vec<String> = tree.iter().map(|e| tree.name(e).to_string()).collect();
+        let basics: Vec<String> = tree
+            .basic_event_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let session = AnalysisSession::new(tree);
+        for _ in 0..4 {
+            let phi = random_formula(&mut rng, &names, &basics, 3);
+            let q = match rng.gen_range(0..3) {
+                0 => Query::exists(phi),
+                1 => Query::forall(phi),
+                _ => Query::idp(phi, random_formula(&mut rng, &names, &basics, 2)),
+            };
+            for _ in 0..4 {
+                let scenario = random_scenario(&mut rng, &basics);
+                assert_paths_agree(&session, &q, &scenario);
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_rebuilds_zero_bdds_after_prepare() {
+    let session = AnalysisSession::new(bfl::ft::corpus::covid());
+    let prepared = session
+        .prepare(&parse_query("exists MCS(IWoS) & H4").unwrap())
+        .unwrap();
+    let misses_after_prepare = session.stats().cache_misses;
+
+    // Sweep every single-event what-if, twice.
+    let names: Vec<&str> = session.tree().basic_event_names();
+    let set = ScenarioSet::singletons(names, true);
+    let n = set.len() as u64;
+
+    let first = prepared.sweep(&set).unwrap();
+    // No formula was (re)compiled: evidence is restriction, not AST
+    // rewriting. "Cache hits only" — every evaluation missed only the
+    // scenario memo, never the translation cache.
+    assert_eq!(first.stats.translation_misses, 0);
+    assert_eq!(first.stats.memo_misses, n);
+    assert_eq!(first.stats.memo_hits, 0);
+    assert_eq!(session.stats().cache_misses, misses_after_prepare);
+
+    let second = prepared.sweep(&set).unwrap();
+    // The repeat sweep is pure cache lookups: zero restrictions, zero
+    // node growth across scenarios.
+    assert_eq!(second.stats.memo_misses, 0);
+    assert_eq!(second.stats.memo_hits, n);
+    assert_eq!(second.stats.translation_misses, 0);
+    assert_eq!(second.stats.arena_growth(), 0);
+    for o in &second.outcomes {
+        assert_eq!(o.stats.cache_misses, 0);
+        assert_eq!(o.stats.cache_hits, 1);
+    }
+
+    // Same verdicts, in scenario order, both times.
+    let v1: Vec<bool> = first.outcomes.iter().map(|o| o.holds).collect();
+    let v2: Vec<bool> = second.outcomes.iter().map(|o| o.holds).collect();
+    assert_eq!(v1, v2);
+}
+
+#[test]
+fn sweep_matches_one_by_one_eval_and_is_thread_consistent() {
+    let session = AnalysisSession::new(bfl::ft::corpus::covid());
+    let prepared = std::sync::Arc::new(
+        session
+            .prepare(&parse_query("forall IS => MoT").unwrap())
+            .unwrap(),
+    );
+    let set = ScenarioSet::parse("baseline:\nh1: H1 = 1\nh5-off: H5 = 0\npair: IW = 1, H3 = 0\n")
+        .unwrap();
+    let report = prepared.sweep(&set).unwrap();
+    assert_eq!(report.outcomes.len(), set.len());
+    for (scenario, outcome) in set.iter().zip(&report.outcomes) {
+        let direct = prepared.eval(scenario).unwrap();
+        assert_eq!(direct.holds, outcome.holds, "{scenario}");
+        assert_eq!(direct.counterexamples, outcome.counterexamples);
+    }
+
+    // The prepared handle is Send + Sync: hammer it from threads and
+    // check everyone sees the same verdicts.
+    let expected: Vec<bool> = report.outcomes.iter().map(|o| o.holds).collect();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let p = std::sync::Arc::clone(&prepared);
+            let set = set.clone();
+            std::thread::spawn(move || {
+                set.iter()
+                    .map(|s| p.eval(s).unwrap().holds)
+                    .collect::<Vec<bool>>()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), expected);
+    }
+}
+
+#[test]
+fn prepared_queries_share_the_session_translation_cache() {
+    let session = AnalysisSession::new(bfl::ft::corpus::covid());
+    let _first = session
+        .prepare(&parse_query("exists MCS(IWoS)").unwrap())
+        .unwrap();
+    // A second prepare of the same query is answered from the shared
+    // cache: zero new translations.
+    let second = session
+        .prepare(&parse_query("exists MCS(IWoS)").unwrap())
+        .unwrap();
+    assert_eq!(second.explain().prepare.cache_misses, 0);
+    assert!(second.explain().prepare.cache_hits > 0);
+}

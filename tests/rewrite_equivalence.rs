@@ -1,0 +1,109 @@
+//! Exhaustive semantic-equivalence tests for the rewriting pipeline:
+//! `desugar`, `to_nnf` and `simplify` (and their composition, the
+//! prepared-query pipeline) must preserve truth-table semantics over
+//! **all** status vectors, for generated formulas over a tree with ≤ 4
+//! atoms — including `Vot` and `Evidence` nodes, which have the
+//! trickiest rewritings (subset expansion, comparison flipping,
+//! commuting with negation).
+
+use bfl::prelude::*;
+use bfl_core::rewrite::{desugar, simplify, to_nnf};
+use bfl_core::semantics;
+use bfl_fault_tree::rng::Prng;
+
+mod common;
+use common::random_formula;
+
+/// A 4-basic-event tree with both gate types, shared subtrees included.
+fn small_tree() -> FaultTree {
+    let mut b = FaultTreeBuilder::new();
+    b.basic_events(["a", "b", "c", "d"]).unwrap();
+    b.gate("g1", GateType::Or, ["a", "b"]).unwrap();
+    b.gate("g2", GateType::And, ["c", "d"]).unwrap();
+    b.gate("top", GateType::Or, ["g1", "g2"]).unwrap();
+    b.build("top").unwrap()
+}
+
+/// Asserts `phi ≡ psi` by the reference semantics on **every** status
+/// vector of the tree (2⁴ = 16 vectors).
+fn assert_equivalent(tree: &FaultTree, phi: &Formula, psi: &Formula, what: &str) {
+    for b in StatusVector::enumerate_all(tree.num_basic_events()) {
+        let lhs = semantics::eval(tree, &b, phi).unwrap();
+        let rhs = semantics::eval(tree, &b, psi).unwrap();
+        assert_eq!(lhs, rhs, "{what} broke `{phi}` at {b}: rewrote to `{psi}`");
+    }
+}
+
+fn assert_pipeline_preserves(tree: &FaultTree, phi: &Formula) {
+    let d = desugar(phi);
+    assert_equivalent(tree, phi, &d, "desugar");
+    let n = to_nnf(phi);
+    assert_equivalent(tree, phi, &n, "to_nnf");
+    let s = simplify(phi);
+    assert_equivalent(tree, phi, &s, "simplify");
+    // The prepared-query pipeline composes all three.
+    let p = simplify(&to_nnf(&desugar(phi)));
+    assert_equivalent(tree, phi, &p, "pipeline");
+}
+
+/// Systematic formulas exercising every connective, evidence on both
+/// polarities, minimality operators and voting with every comparison.
+#[test]
+fn pipeline_preserves_semantics_on_systematic_formulas() {
+    let tree = small_tree();
+    let sources = [
+        "true",
+        "false",
+        "a",
+        "top",
+        "!a",
+        "!!g1",
+        "a & b",
+        "a | b & c",
+        "a => b => c",
+        "a <=> b",
+        "a != b",
+        "!(a & !(b | c))",
+        "(a <=> b) != (c <=> d)",
+        "g1 & !g2",
+        "a[b := 1]",
+        "(a & b)[a := 0]",
+        "!(a | c)[c := 1][a := 0]",
+        "MCS(top)",
+        "MPS(top)",
+        "!MCS(g1)",
+        "MCS(a | b) & !c",
+        "MPS(g2)[d := 1]",
+        "VOT(>=2; a, b, c)",
+        "VOT(<2; a, b, c)",
+        "VOT(<=1; a, b, c, d)",
+        "VOT(=2; a, b, c, d)",
+        "VOT(>0; a, b)",
+        "!VOT(>=2; a, b, c)",
+        "VOT(>=1; a & b, c | d)",
+        "VOT(=0; a, b)",
+        "a & true",
+    ];
+    for src in sources {
+        let phi = parse_formula(src).unwrap();
+        assert_pipeline_preserves(&tree, &phi);
+    }
+}
+
+/// Seeded random formulas over all ten constructors, depth ≤ 3, checked
+/// on all 16 status vectors each.
+#[test]
+fn pipeline_preserves_semantics_on_generated_formulas() {
+    let tree = small_tree();
+    let names: Vec<String> = tree.iter().map(|e| tree.name(e).to_string()).collect();
+    let basics: Vec<String> = tree
+        .basic_event_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rng = Prng::seed_from_u64(0xBF1_2024);
+    for _ in 0..300 {
+        let phi = random_formula(&mut rng, &names, &basics, 3);
+        assert_pipeline_preserves(&tree, &phi);
+    }
+}
