@@ -23,13 +23,21 @@
 //! * the subset/superset vector relations of the paper's Algorithm 1
 //!   ([`strict_subset`](Manager::strict_subset),
 //!   [`strict_superset`](Manager::strict_superset));
+//! * **dynamic maintenance**: Rudell-style sifting reordering
+//!   ([`sift`](Manager::sift), built on the in-place
+//!   [`swap_adjacent_levels`](Manager::swap_adjacent_levels) primitive)
+//!   and mark-and-sweep garbage collection with arena compaction
+//!   ([`collect_garbage`](Manager::collect_garbage));
 //! * Graphviz export ([`to_dot`](Manager::to_dot)) used to reproduce the
 //!   BDD figures of the paper.
 //!
-//! Variables are identified by their *level* in the (fixed) variable order:
-//! [`Var(k)`](Var) is the `k`-th variable from the root. Clients that need a
-//! domain-specific order (e.g. fault-tree orderings) maintain the mapping
-//! between domain objects and levels; see the `bfl-fault-tree` crate.
+//! Variables are identified by a stable id: a fresh manager places
+//! [`Var(k)`](Var) at level `k`, and dynamic reordering moves variables
+//! between levels without changing their identity ([`Manager::level_of`]
+//! / [`Manager::var_at_level`] expose the current order). Clients that
+//! need a domain-specific order (e.g. fault-tree orderings) maintain the
+//! mapping between domain objects and variable ids; see the
+//! `bfl-fault-tree` crate.
 //!
 //! ## Example
 //!
@@ -49,12 +57,16 @@
 #![warn(missing_docs)]
 
 mod dot;
+mod gc;
 mod manager;
 mod ops;
+mod reorder;
 mod sat;
 mod subset;
 pub mod zdd;
 
+pub use gc::{Gc, GcStats};
 pub use manager::{Bdd, Manager, Node, Var};
+pub use reorder::{SiftOptions, SiftStats};
 pub use sat::{SatPath, SatPaths, SatVectors};
 pub use zdd::{Zdd, ZddManager};

@@ -3,11 +3,14 @@
 use std::collections::HashMap;
 use std::fmt;
 
-/// A BDD variable, identified by its *level* in the global variable order.
+/// A BDD variable, identified by a stable numeric id.
 ///
-/// `Var(0)` is the top-most variable (closest to the root), `Var(1)` the
-/// next one, and so on. The ordering of levels is total and fixed for the
-/// lifetime of a [`Manager`].
+/// A fresh [`Manager`] places `Var(k)` at *level* `k` of the variable
+/// order (`Var(0)` top-most, closest to the root). Dynamic reordering
+/// ([`Manager::sift`]) moves variables between levels, but a `Var` keeps
+/// its identity: handles, caches and client-side maps from domain objects
+/// to variables stay valid across reorders. Use [`Manager::level_of`] and
+/// [`Manager::var_at_level`] to inspect the current order.
 ///
 /// # Example
 ///
@@ -97,10 +100,18 @@ pub(crate) enum Op {
 /// created at most once, which makes equality of [`Bdd`] handles equivalent
 /// to semantic equality of the represented functions.
 ///
-/// Nodes are never garbage-collected; the arena only grows. This is the
-/// usual trade-off for analysis workloads that build a model, query it and
-/// drop the whole manager. [`Manager::clear_caches`] can be used to drop
-/// memoisation tables (but not nodes) between phases.
+/// Two dynamic-maintenance services keep long-lived managers small:
+///
+/// * [`Manager::collect_garbage`] — mark-and-sweep over caller-supplied
+///   roots with arena compaction (handles are remapped through the
+///   returned [`Gc`](crate::Gc));
+/// * [`Manager::sift`] — Rudell-style dynamic variable reordering built
+///   on the adjacent-level [`swap`](Manager::swap_adjacent_levels)
+///   primitive (which never invalidates handles; the sift remaps its
+///   root list in place when it compacts swap debris).
+///
+/// [`Manager::clear_caches`] can be used to drop memoisation tables (but
+/// not nodes) between phases.
 ///
 /// # Panics
 ///
@@ -121,13 +132,17 @@ pub(crate) enum Op {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Manager {
-    nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    op_cache: HashMap<(Op, u32, u32), u32>,
-    ite_cache: HashMap<(u32, u32, u32), u32>,
-    not_cache: HashMap<u32, u32>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<(u32, u32, u32), u32>,
+    pub(crate) op_cache: HashMap<(Op, u32, u32), u32>,
+    pub(crate) ite_cache: HashMap<(u32, u32, u32), u32>,
+    pub(crate) not_cache: HashMap<u32, u32>,
     num_vars: u32,
     node_limit: usize,
+    /// variable id -> current level (index by `Var::index`).
+    pub(crate) var2level: Vec<u32>,
+    /// current level -> variable id (inverse of `var2level`).
+    pub(crate) level2var: Vec<u32>,
 }
 
 impl Manager {
@@ -136,7 +151,21 @@ impl Manager {
 
     /// Creates a manager over `num_vars` variables `Var(0) .. Var(num_vars)`.
     ///
-    /// More variables can be added later with [`Manager::add_vars`].
+    /// Initially `Var(k)` sits at level `k` of the variable order; more
+    /// variables can be added later with [`Manager::add_vars`], and the
+    /// order can be changed dynamically with [`Manager::sift`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(2);
+    /// assert_eq!(m.num_vars(), 2);
+    /// let x = m.var(Var(0));
+    /// let y = m.var(Var(1));
+    /// let f = m.and(x, y);
+    /// assert!(m.eval(f, |_| true));
+    /// ```
     pub fn new(num_vars: u32) -> Self {
         let terminal = |b: u32| Node {
             var: Var(TERMINAL_LEVEL),
@@ -151,6 +180,8 @@ impl Manager {
             not_cache: HashMap::new(),
             num_vars,
             node_limit: Self::DEFAULT_NODE_LIMIT,
+            var2level: (0..num_vars).collect(),
+            level2var: (0..num_vars).collect(),
         }
     }
 
@@ -183,7 +214,50 @@ impl Manager {
     pub fn add_vars(&mut self, extra: u32) -> Var {
         let first = self.num_vars;
         self.num_vars += extra;
+        for id in first..self.num_vars {
+            self.var2level.push(self.level2var.len() as u32);
+            self.level2var.push(id);
+        }
         Var(first)
+    }
+
+    /// The current level of variable `v` (`0` = top of the order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a declared variable of this manager.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let m = Manager::new(3);
+    /// assert_eq!(m.level_of(Var(2)), 2); // fresh managers use the identity order
+    /// ```
+    pub fn level_of(&self, v: Var) -> u32 {
+        self.var2level[v.0 as usize]
+    }
+
+    /// The variable currently sitting at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= num_vars`.
+    pub fn var_at_level(&self, level: u32) -> Var {
+        Var(self.level2var[level as usize])
+    }
+
+    /// The current variable order, top level first.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let m = Manager::new(3);
+    /// assert_eq!(m.current_order(), vec![Var(0), Var(1), Var(2)]);
+    /// ```
+    pub fn current_order(&self) -> Vec<Var> {
+        self.level2var.iter().map(|&id| Var(id)).collect()
     }
 
     /// Total number of nodes allocated in the arena (including terminals).
@@ -218,7 +292,12 @@ impl Manager {
 
     /// The decision level of the root of `f` (`u32::MAX` for terminals).
     pub(crate) fn level(&self, f: Bdd) -> u32 {
-        self.nodes[f.0 as usize].var.0
+        let id = self.nodes[f.0 as usize].var.0;
+        if id == TERMINAL_LEVEL {
+            TERMINAL_LEVEL
+        } else {
+            self.var2level[id as usize]
+        }
     }
 
     /// Returns the single-node BDD for the positive literal `v`.
@@ -226,6 +305,17 @@ impl Manager {
     /// # Panics
     ///
     /// Panics if `v` is not a declared variable of this manager.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(1);
+    /// let x = m.var(Var(0));
+    /// assert!(m.eval(x, |_| true));
+    /// assert!(!m.eval(x, |_| false));
+    /// assert_eq!(m.var(Var(0)), x); // hash-consed: same node every time
+    /// ```
     pub fn var(&mut self, v: Var) -> Bdd {
         assert!(v.0 < self.num_vars, "undeclared variable {v}");
         let bot = self.bot();
@@ -252,7 +342,7 @@ impl Manager {
             return low;
         }
         debug_assert!(
-            var.0 < self.level(low) && var.0 < self.level(high),
+            self.level_of(var) < self.level(low) && self.level_of(var) < self.level(high),
             "variable order violated: {} above children",
             var
         );
@@ -297,7 +387,20 @@ impl Manager {
 
     /// Number of nodes reachable from `f` (including the terminals reached).
     ///
-    /// This is the conventional "BDD size" reported in the literature.
+    /// This is the conventional "BDD size" reported in the literature,
+    /// and the quantity [`Manager::sift`] minimises.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(Var(0));
+    /// let b = m.var(Var(1));
+    /// let f = m.or(a, b);
+    /// assert_eq!(m.node_count(f), 4); // two decision nodes + two terminals
+    /// assert_eq!(m.node_count(m.top()), 1);
+    /// ```
     pub fn node_count(&self, f: Bdd) -> usize {
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![f];

@@ -28,7 +28,7 @@ impl Manager {
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         debug_assert_ne!(top, TERMINAL_LEVEL);
-        let v = Var(top);
+        let v = self.var_at_level(top);
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -82,7 +82,7 @@ impl Manager {
             return r;
         }
         let top = self.level(f).min(self.level(g));
-        let v = Var(top);
+        let v = self.var_at_level(top);
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let low = self.apply(op, f0, g0);
@@ -131,11 +131,34 @@ impl Manager {
     }
 
     /// Conjunction `f ∧ g`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(Var(0));
+    /// let b = m.var(Var(1));
+    /// let ab = m.and(a, b);
+    /// assert_eq!(m.sat_count(ab, 2), 1);
+    /// assert_eq!(m.and(ab, a), ab); // absorption, for free via canonicity
+    /// ```
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
         self.apply(Op::And, f, g)
     }
 
     /// Disjunction `f ∨ g`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(Var(0));
+    /// let b = m.var(Var(1));
+    /// let f = m.or(a, b);
+    /// assert_eq!(m.sat_count(f, 2), 3); // 01, 10, 11
+    /// ```
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
         self.apply(Op::Or, f, g)
     }
@@ -186,7 +209,7 @@ impl Manager {
 
     fn restrict_rec(&mut self, f: Bdd, v: Var, value: bool, memo: &mut HashMap<u32, Bdd>) -> Bdd {
         let level = self.level(f);
-        if level > v.0 {
+        if level > self.level_of(v) {
             // Terminal, or the whole sub-BDD is below v: v cannot occur.
             return f;
         }
@@ -231,6 +254,21 @@ impl Manager {
     /// a variable outside the declared range is an identity, exactly as
     /// in single-variable [`Manager::restrict`] (which walks by level and
     /// can never meet it).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(3);
+    /// let a = m.var(Var(0));
+    /// let b = m.var(Var(1));
+    /// let c = m.var(Var(2));
+    /// let ab = m.and(a, b);
+    /// let f = m.or(ab, c);
+    /// // f[x0 ↦ 1, x2 ↦ 0] = x1, in one traversal.
+    /// let r = m.restrict_many(f, &[(Var(0), true), (Var(2), false)]);
+    /// assert_eq!(r, b);
+    /// ```
     pub fn restrict_many(&mut self, f: Bdd, assignments: &[(Var, bool)]) -> Bdd {
         if assignments.is_empty() {
             return f;
@@ -339,10 +377,10 @@ impl Manager {
             return r;
         }
         let top = self.level(f).min(self.level(g));
-        let v = Var(top);
+        let v = self.var_at_level(top);
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
-        let r = if mask[top as usize] {
+        let r = if mask[v.0 as usize] {
             let low = self.and_exists_rec(f0, g0, mask, memo);
             if low.is_true() {
                 // Short-circuit: ∨ with ⊤ is ⊤.

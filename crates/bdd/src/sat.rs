@@ -76,70 +76,27 @@ impl Manager {
     /// Number of satisfying assignments of `f` over the variable universe
     /// `Var(0) .. Var(num_vars)`.
     ///
+    /// The count is a property of the represented *function*: it does not
+    /// change when the variable order does (e.g. after
+    /// [`Manager::sift`]).
+    ///
     /// # Panics
     ///
     /// Panics if `num_vars` is smaller than a variable in the support of
     /// `f`, or if the count overflows `u128`.
     pub fn sat_count(&self, f: Bdd, num_vars: u32) -> u128 {
-        let mut memo = std::collections::HashMap::new();
-        let total = self.sat_count_rec(f, num_vars, &mut memo);
-        // sat_count_rec counts models over exactly the levels below the
-        // root; scale by the variables above the root.
-        let root_level = if f.is_terminal() {
-            num_vars
-        } else {
-            let l = self.node(f).var.0;
-            assert!(l < num_vars, "num_vars smaller than support");
-            l
-        };
-        total
-            .checked_mul(1u128.checked_shl(root_level).expect("overflow"))
-            .expect("sat count overflow")
-    }
-
-    /// Counts models over the levels strictly below the node's own level
-    /// (treating the node's level as the first decision) within a universe
-    /// of `num_vars` variables.
-    fn sat_count_rec(
-        &self,
-        f: Bdd,
-        num_vars: u32,
-        memo: &mut std::collections::HashMap<u32, u128>,
-    ) -> u128 {
-        if f.is_false() {
-            return 0;
-        }
-        if f.is_true() {
-            return 1;
-        }
-        if let Some(&c) = memo.get(&f.0) {
-            return c;
-        }
-        let node = self.node(f);
-        assert!(node.var.0 < num_vars, "num_vars smaller than support");
-        let scale = |child: Bdd, this: &Self, memo: &mut std::collections::HashMap<u32, u128>| {
-            let c = this.sat_count_rec(child, num_vars, memo);
-            let child_level = if child.is_terminal() {
-                num_vars
-            } else {
-                this.node(child).var.0
-            };
-            let gap = child_level - node.var.0 - 1;
-            c.checked_mul(1u128.checked_shl(gap).expect("overflow"))
-                .expect("sat count overflow")
-        };
-        let lo = scale(node.low, self, memo);
-        let hi = scale(node.high, self, memo);
-        let total = lo.checked_add(hi).expect("sat count overflow");
-        memo.insert(f.0, total);
-        total
+        let universe: Vec<Var> = (0..num_vars).map(Var).collect();
+        self.sat_count_over(f, &universe)
     }
 
     /// Number of satisfying assignments of `f` over an explicit variable
-    /// `universe` (strictly ascending levels). Unlike
+    /// `universe` (strictly ascending variable ids). Unlike
     /// [`Manager::sat_count`], variables outside the universe are ignored
     /// entirely, so managers hosting auxiliary (e.g. primed) variables can
     /// count over just their primary variables.
+    ///
+    /// The walk follows the *current* variable order internally, so the
+    /// count stays correct after dynamic reordering.
     ///
     /// # Panics
     ///
@@ -153,8 +110,12 @@ impl Manager {
         for v in self.support(f) {
             assert!(universe.contains(&v), "support {v} outside universe");
         }
+        // The recursion consumes the universe top level first; sort a copy
+        // by the current order so the walk matches the diagram.
+        let mut by_level: Vec<Var> = universe.to_vec();
+        by_level.sort_unstable_by_key(|&v| self.level_of(v));
         let mut memo = std::collections::HashMap::new();
-        self.sat_count_over_rec(f, universe, 0, &mut memo)
+        self.sat_count_over_rec(f, &by_level, 0, &mut memo)
     }
 
     fn sat_count_over_rec(
@@ -182,7 +143,10 @@ impl Manager {
             let hi = self.sat_count_over_rec(node.high, universe, idx + 1, memo);
             lo.checked_add(hi).expect("sat count overflow")
         } else {
-            debug_assert!(node.var > v, "universe must cover the support in order");
+            debug_assert!(
+                self.level_of(node.var) > self.level_of(v),
+                "universe must cover the support in order"
+            );
             let sub = self.sat_count_over_rec(f, universe, idx + 1, memo);
             sub.checked_mul(2).expect("sat count overflow")
         };

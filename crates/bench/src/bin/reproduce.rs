@@ -4,9 +4,13 @@
 //! ```text
 //! cargo run -p bfl-bench --bin reproduce             # everything
 //! cargo run -p bfl-bench --bin reproduce -- fig1     # one artifact
+//! cargo run -p bfl-bench --bin reproduce -- reorder --smoke  # tiny trees
 //! ```
 //!
-//! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling sweep`.
+//! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling sweep reorder`.
+//! The `reorder` artifact additionally writes `BENCH_reorder.json` (node
+//! counts and timings of dynamic sifting + GC vs the static DFS order);
+//! `--smoke` restricts it to the tiny paper trees for CI.
 
 use bfl_bench::{covid_properties, parse, property_6};
 use bfl_core::parser::{parse_formula, Spec};
@@ -49,6 +53,9 @@ fn main() {
     }
     if want("sweep") {
         sweep();
+    }
+    if want("reorder") {
+        reorder(args.iter().any(|a| a == "--smoke"));
     }
 }
 
@@ -363,4 +370,119 @@ fn sweep() {
         warm.stats.memo_hits,
         warm.stats.arena_growth()
     );
+}
+
+/// REORDER: dynamic sifting + garbage collection vs the static DFS
+/// order, on the paper trees plus (full mode) a randomized series.
+/// Writes the `BENCH_reorder.json` artifact.
+fn reorder(smoke: bool) {
+    use bfl_fault_tree::FaultTree;
+
+    banner("REORDER — sifting + GC vs the static DfsPreorder order");
+    let mut trees: Vec<(String, FaultTree)> = vec![
+        ("or2".into(), corpus::or2()),
+        ("fig1".into(), corpus::fig1()),
+        ("table1".into(), corpus::table1_tree()),
+    ];
+    if !smoke {
+        trees.push(("covid".into(), corpus::covid()));
+        trees.push(("pressure_tank".into(), corpus::pressure_tank()));
+        trees.push(("attack_tree".into(), corpus::attack_tree()));
+        trees.push(("chain6".into(), corpus::chain(6)));
+        for &(nb, ng, seed) in &[
+            (20, 12, 1u64),
+            (40, 25, 7),
+            (50, 30, 5),
+            (60, 40, 13),
+            (80, 50, 42),
+            (100, 60, 99),
+        ] {
+            let tree = random_tree(&RandomTreeConfig {
+                num_basic: nb,
+                num_gates: ng,
+                max_children: 4,
+                vot_probability: 0.1,
+                seed,
+            });
+            trees.push((format!("rand-{nb}x{ng}-s{seed}"), tree));
+        }
+    }
+
+    println!(
+        "{:<18} {:>6} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9} {:>10}",
+        "tree", "basic", "dfs nodes", "sifted", "Δ%", "swaps", "sift ms", "gc freed", "mcs Δms"
+    );
+    let mut rows = String::new();
+    let mut improved = 0usize;
+    for (name, tree) in &trees {
+        let mut tb = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+        let top = tb.element_bdd(tree, tree.top());
+        let nodes_dfs = tb.manager().node_count(top);
+        let universe = tb.unprimed_vars();
+        // MCS counting (minsol + model count) before sifting…
+        let t = std::time::Instant::now();
+        let ms_static = analysis::minsol(tb.manager_mut(), top, &universe);
+        let count_static = tb.manager().sat_count_over(ms_static, &universe);
+        let mcs_ms_static = t.elapsed().as_secs_f64() * 1000.0;
+        // …then sift + collect and measure the same query again. Only the
+        // top cone stays rooted: it is the "live BDD" the artifact tracks.
+        tb.retain_elements(&[tree.top()]);
+        let t = std::time::Instant::now();
+        let stats = tb.sift();
+        let sift_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let gc = tb.collect_garbage();
+        let top = tb.element_bdd(tree, tree.top()); // remapped handle
+        let nodes_sifted = tb.manager().node_count(top);
+        let t = std::time::Instant::now();
+        let ms_sifted = analysis::minsol(tb.manager_mut(), top, &universe);
+        let count_sifted = tb.manager().sat_count_over(ms_sifted, &universe);
+        let mcs_ms_sifted = t.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(
+            count_static, count_sifted,
+            "{name}: MCS count diverged after maintenance"
+        );
+        let reduction = 100.0 * (1.0 - nodes_sifted as f64 / nodes_dfs as f64);
+        if reduction >= 20.0 {
+            improved += 1;
+        }
+        println!(
+            "{:<18} {:>6} {:>10} {:>10} {:>7.1}% {:>8} {:>9.2} {:>9} {:>10.2}",
+            name,
+            tree.num_basic_events(),
+            nodes_dfs,
+            nodes_sifted,
+            reduction,
+            stats.swaps,
+            sift_ms,
+            gc.collected,
+            mcs_ms_static - mcs_ms_sifted,
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "{{\"tree\":\"{name}\",\"basic_events\":{},\"nodes_dfs\":{nodes_dfs},\
+             \"nodes_sifted\":{nodes_sifted},\"reduction_pct\":{reduction:.2},\
+             \"swaps\":{},\"sift_ms\":{sift_ms:.3},\"gc_collected\":{},\
+             \"arena_after\":{},\"mcs_count\":{count_static},\
+             \"mcs_ms_static\":{mcs_ms_static:.3},\"mcs_ms_sifted\":{mcs_ms_sifted:.3}}}",
+            tree.num_basic_events(),
+            stats.swaps,
+            gc.collected,
+            tb.manager().arena_size(),
+        ));
+    }
+    let json = format!(
+        "{{\"artifact\":\"reorder\",\"mode\":\"{}\",\"baseline\":\"DfsPreorder\",\
+         \"trees_with_20pct_reduction\":{improved},\"trees\":[{rows}]}}\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let path = "BENCH_reorder.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!(
+            "\nwrote {path} ({improved}/{} trees ≥ 20% smaller)",
+            trees.len()
+        ),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
 }

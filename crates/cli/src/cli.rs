@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 
-use bfl_core::engine::{AnalysisSession, Backend};
+use bfl_core::engine::{AnalysisSession, Backend, ReorderPolicy};
 use bfl_core::parser::{parse_formula, parse_spec};
 use bfl_core::report::{json_name_sets, Spec, SpecItem};
 use bfl_core::scenario::ScenarioSet;
@@ -48,7 +48,13 @@ OPTIONS:
     --failed <A,B,C>   comma-separated failed basic events (default: none)
     --support-scope    use support-relative MCS/MPS minimality (Table I reading)
     --ordering <ORD>   BDD variable ordering: dfs (default), bfs,
-                       declaration, bouissou
+                       declaration, bouissou, sifted (dfs start + dynamic
+                       sifting, implies --reorder auto)
+    --reorder <POL>    dynamic reordering policy: none (default), prepare
+                       (sift after every query compile), auto[:FACTOR]
+                       (sift when the BDD arena grows FACTOR-fold, default 2)
+    --gc               mark-and-sweep BDD garbage collection at maintenance
+                       points (on by default whenever --reorder is active)
     --engine <E>       mcs/mps backend: minsol (default), paper, zdd
     --json             structured JSON output (check, run, sweep, explain,
                        sat, count, mcs, mps, ibe, prob)
@@ -59,6 +65,8 @@ SCENARIO FILES (sweep):
 
 EXAMPLES:
     bfl mcs --ft covid.dft --engine zdd
+    bfl explain --ft covid.dft --ordering sifted 'exists MCS(IWoS)'
+    bfl sweep --ft covid.dft --reorder prepare --gc 'exists IWoS' whatif.scenarios
     bfl check --ft covid.dft 'forall IS => MoT'
     bfl check --ft covid.dft --failed IW,H3 'MCS(\"CP/R\")'
     bfl run --ft covid.dft properties.bfl --json
@@ -110,6 +118,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut ordering = VariableOrdering::DfsPreorder;
     let mut backend = Backend::Minsol;
     let mut json = false;
+    let mut reorder: Option<ReorderPolicy> = None;
+    let mut gc: Option<bool> = None;
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -137,9 +147,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     "bfs" => VariableOrdering::BfsLevel,
                     "declaration" => VariableOrdering::Declaration,
                     "bouissou" => VariableOrdering::BouissouWeight,
+                    "sifted" => VariableOrdering::Sifted,
                     other => return Err(format!("unknown ordering `{other}`")),
                 };
             }
+            "--reorder" => {
+                i += 1;
+                let name = args.get(i).ok_or("--reorder requires an argument")?;
+                reorder = Some(parse_reorder(name)?);
+            }
+            "--gc" => gc = Some(true),
+            "--no-gc" => gc = Some(false),
             "--engine" | "--backend" => {
                 i += 1;
                 let name = args.get(i).ok_or("--engine requires an argument")?;
@@ -161,18 +179,49 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     } else {
         MinimalityScope::GlobalUniverse
     };
-    let session = AnalysisSession::builder()
+    let mut builder = AnalysisSession::builder()
         .ordering(ordering)
         .minimality_scope(scope)
         .backend(backend)
-        .probabilities(model.probabilities)
-        .build(model.tree);
+        .probabilities(model.probabilities);
+    if let Some(policy) = reorder {
+        builder = builder.reorder(policy);
+    }
+    if let Some(enabled) = gc {
+        builder = builder.gc(enabled);
+    }
+    let session = builder.build(model.tree);
     Ok(Options {
         session,
         failed,
         json,
         positional,
     })
+}
+
+/// Parses a `--reorder` policy: `none`, `prepare`, `auto` or
+/// `auto:<factor>` with factor > 1.
+fn parse_reorder(name: &str) -> Result<ReorderPolicy, String> {
+    match name {
+        "none" => Ok(ReorderPolicy::None),
+        "prepare" => Ok(ReorderPolicy::OnPrepare),
+        "auto" => Ok(ReorderPolicy::auto()),
+        other => {
+            if let Some(factor) = other.strip_prefix("auto:") {
+                let growth_factor: f64 = factor
+                    .parse()
+                    .map_err(|_| format!("invalid growth factor `{factor}`"))?;
+                if growth_factor <= 1.0 {
+                    return Err(format!("growth factor must exceed 1, got `{factor}`"));
+                }
+                Ok(ReorderPolicy::Auto { growth_factor })
+            } else {
+                Err(format!(
+                    "unknown reorder policy `{other}` (use none, prepare, auto or auto:<factor>)"
+                ))
+            }
+        }
+    }
 }
 
 fn vector(opts: &Options) -> Result<StatusVector, String> {
@@ -682,7 +731,7 @@ mod tests {
             let out = run_ok(&["mps", "--ft", &f.arg(), "--engine", engine]);
             assert_eq!(out, base_mps, "{engine}");
         }
-        for ordering in ["dfs", "bfs", "declaration", "bouissou"] {
+        for ordering in ["dfs", "bfs", "declaration", "bouissou", "sifted"] {
             let out = run_ok(&["mcs", "--ft", &f.arg(), "--ordering", ordering]);
             assert_eq!(out, base_mcs, "{ordering}");
         }
@@ -691,6 +740,69 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(run(&args).unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn reorder_and_gc_flags_are_accepted_and_answers_agree() {
+        let f = write_model();
+        let ft = f.arg();
+        let base = run_ok(&["check", "--ft", &ft, "forall A & B => T"]);
+        for extra in [
+            vec!["--reorder", "none"],
+            vec!["--reorder", "prepare"],
+            vec!["--reorder", "auto"],
+            vec!["--reorder", "auto:3.5"],
+            vec!["--reorder", "prepare", "--gc"],
+            vec!["--reorder", "auto", "--no-gc"],
+            vec!["--gc"],
+            vec!["--ordering", "sifted"],
+        ] {
+            let mut args = vec!["check", "--ft", ft.as_str()];
+            args.extend(extra.iter().copied());
+            args.push("forall A & B => T");
+            assert_eq!(run_ok(&args), base, "{extra:?}");
+        }
+    }
+
+    #[test]
+    fn bad_reorder_policies_are_rejected() {
+        let f = write_model();
+        for bad in ["bogus", "auto:0.5", "auto:x"] {
+            let args: Vec<String> = ["check", "--ft", &f.arg(), "--reorder", bad, "exists T"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let err = run(&args).unwrap_err();
+            assert!(err.contains(bad.split(':').next_back().unwrap()), "{err}");
+        }
+    }
+
+    #[test]
+    fn explain_reports_prepare_time_maintenance() {
+        let f = write_model();
+        let out = run_ok(&[
+            "explain",
+            "--ft",
+            &f.arg(),
+            "--reorder",
+            "prepare",
+            "exists MCS(T)",
+        ]);
+        assert!(out.contains("maintenance:"), "{out}");
+        let out = run_ok(&[
+            "explain",
+            "--ft",
+            &f.arg(),
+            "--reorder",
+            "prepare",
+            "--json",
+            "exists MCS(T)",
+        ]);
+        assert!(out.contains("\"maintenance\":{"), "{out}");
+        assert!(out.contains("\"sift\""), "{out}");
+        // Without a policy the field is null.
+        let out = run_ok(&["explain", "--ft", &f.arg(), "--json", "exists MCS(T)"]);
+        assert!(out.contains("\"maintenance\":null"), "{out}");
     }
 
     #[test]

@@ -62,9 +62,10 @@
 //! # }
 //! ```
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
 use std::time::Instant;
 
+use bfl_bdd::{GcStats, SiftStats};
 use bfl_fault_tree::{prob, FaultTree, StatusVector, VariableOrdering};
 
 pub use bfl_fault_tree::backend::{Backend, CutSetEngine};
@@ -73,9 +74,89 @@ use crate::ast::{Formula, Query};
 use crate::checker::{MinimalityScope, ModelChecker};
 use crate::counterexample::{counterexample, Counterexample};
 use crate::error::BflError;
-use crate::plan::PreparedQuery;
+use crate::plan::{PlanRoots, PreparedQuery};
 use crate::quant;
 use crate::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
+
+/// When the session runs dynamic BDD maintenance (sifting reordering and
+/// garbage collection) over the shared manager.
+///
+/// Whatever the policy, maintenance only ever runs *between* operations
+/// — never inside one — and every retained handle (element and formula
+/// caches, prepared-query roots) is remapped through each collection, so
+/// results are bit-identical to the static path (asserted by
+/// `tests/reorder_gc.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ReorderPolicy {
+    /// Never reorder; the static [`VariableOrdering`] is final. Garbage
+    /// collection may still run if enabled via [`SessionBuilder::gc`].
+    #[default]
+    None,
+    /// Sift once after every [`AnalysisSession::prepare`] (recorded in
+    /// the prepared query's [`Plan`](crate::plan::Plan)), and whenever
+    /// the arena-growth trigger of [`ReorderPolicy::auto`] fires.
+    OnPrepare,
+    /// Sift (and collect, when GC is enabled) whenever the arena has
+    /// grown by `growth_factor` (> 1) since the last maintenance.
+    Auto {
+        /// Arena growth factor that triggers maintenance (e.g. `2.0` =
+        /// maintain when the arena doubles).
+        growth_factor: f64,
+    },
+}
+
+impl ReorderPolicy {
+    /// The default automatic policy: maintain when the arena doubles.
+    pub const fn auto() -> Self {
+        ReorderPolicy::Auto { growth_factor: 2.0 }
+    }
+
+    /// `true` unless the policy is [`ReorderPolicy::None`].
+    pub fn is_active(self) -> bool {
+        !matches!(self, ReorderPolicy::None)
+    }
+}
+
+/// The outcome of one maintenance run ([`AnalysisSession::maintain`] or
+/// an automatic trigger): live sizes around the run plus the individual
+/// GC/sift statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MaintenanceReport {
+    /// Live nodes (reachable from every cache and prepared root) before.
+    pub live_before: usize,
+    /// Live nodes after.
+    pub live_after: usize,
+    /// Merged statistics of the collections run (pre- and post-sift),
+    /// `None` when GC was off for this run.
+    pub gc: Option<GcStats>,
+    /// Sifting statistics, `None` when reordering was off for this run.
+    pub sift: Option<SiftStats>,
+}
+
+/// Cumulative maintenance counters of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintenanceStats {
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Sifting passes run.
+    pub sift_runs: u64,
+    /// Total nodes reclaimed by GC.
+    pub nodes_collected: u64,
+    /// Total adjacent-level swaps performed by sifting.
+    pub swaps: u64,
+}
+
+/// Growth bookkeeping behind the automatic triggers.
+#[derive(Debug)]
+struct MaintenanceState {
+    /// Arena size right after the last maintenance (or at build time).
+    last_arena: usize,
+    totals: MaintenanceStats,
+}
+
+/// Arenas smaller than this never auto-trigger (the fixed cost would
+/// dwarf the gain).
+const AUTO_MIN_ARENA: usize = 1 << 12;
 
 /// Configures and builds an [`AnalysisSession`].
 ///
@@ -101,6 +182,10 @@ pub struct SessionBuilder {
     backend: Backend,
     witness_limit: usize,
     probabilities: Option<Vec<Option<f64>>>,
+    /// `None` = derive from the ordering (`Sifted` ⇒ [`ReorderPolicy::auto`]).
+    reorder: Option<ReorderPolicy>,
+    /// `None` = enable GC exactly when the reorder policy is active.
+    gc: Option<bool>,
 }
 
 impl Default for SessionBuilder {
@@ -111,6 +196,8 @@ impl Default for SessionBuilder {
             backend: Backend::default(),
             witness_limit: 3,
             probabilities: None,
+            reorder: None,
+            gc: None,
         }
     }
 }
@@ -156,6 +243,34 @@ impl SessionBuilder {
         self
     }
 
+    /// The dynamic-reordering policy (default: [`ReorderPolicy::None`],
+    /// unless the ordering is [`VariableOrdering::Sifted`], which implies
+    /// [`ReorderPolicy::auto`]).
+    ///
+    /// ```
+    /// use bfl_core::engine::{AnalysisSession, ReorderPolicy};
+    /// use bfl_fault_tree::corpus;
+    ///
+    /// let session = AnalysisSession::builder()
+    ///     .reorder(ReorderPolicy::OnPrepare)
+    ///     .gc(true)
+    ///     .build(corpus::covid());
+    /// assert_eq!(session.reorder_policy(), ReorderPolicy::OnPrepare);
+    /// assert!(session.gc_enabled());
+    /// ```
+    pub fn reorder(mut self, policy: ReorderPolicy) -> Self {
+        self.reorder = Some(policy);
+        self
+    }
+
+    /// Enables or disables mark-and-sweep garbage collection at
+    /// maintenance points (default: enabled exactly when the reorder
+    /// policy is active).
+    pub fn gc(mut self, enabled: bool) -> Self {
+        self.gc = Some(enabled);
+        self
+    }
+
     /// Builds the session. Accepts a `FaultTree` by value or an existing
     /// `Arc<FaultTree>`.
     ///
@@ -174,6 +289,13 @@ impl SessionBuilder {
         }
         let mut checker = ModelChecker::from_arc(Arc::clone(&tree), self.ordering);
         checker.set_minimality_scope(self.scope);
+        let reorder = self.reorder.unwrap_or(if self.ordering.is_dynamic() {
+            ReorderPolicy::auto()
+        } else {
+            ReorderPolicy::None
+        });
+        let gc = self.gc.unwrap_or(reorder.is_active());
+        let last_arena = checker.manager().arena_size();
         AnalysisSession {
             inner: Arc::new(SessionInner {
                 tree,
@@ -182,7 +304,14 @@ impl SessionBuilder {
                 backend: self.backend,
                 witness_limit: self.witness_limit,
                 probabilities: self.probabilities,
+                reorder,
+                gc,
                 checker: Mutex::new(checker),
+                maintenance: Mutex::new(MaintenanceState {
+                    last_arena,
+                    totals: MaintenanceStats::default(),
+                }),
+                plans: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -200,7 +329,15 @@ pub(crate) struct SessionInner {
     pub(crate) backend: Backend,
     pub(crate) witness_limit: usize,
     pub(crate) probabilities: Option<Vec<Option<f64>>>,
+    pub(crate) reorder: ReorderPolicy,
+    pub(crate) gc: bool,
     pub(crate) checker: Mutex<ModelChecker>,
+    maintenance: Mutex<MaintenanceState>,
+    /// Every live prepared query registers its compiled roots here so a
+    /// collection can remap them (dead weak refs are pruned lazily).
+    /// Lock order: `checker` first, then `plans`/`PlanRoots`, never the
+    /// reverse.
+    pub(crate) plans: Mutex<Vec<Weak<PlanRoots>>>,
 }
 
 impl SessionInner {
@@ -208,6 +345,142 @@ impl SessionInner {
         // A poisoned lock only means another query panicked; the checker's
         // caches are append-only and remain valid.
         self.checker.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers the compiled roots of a freshly prepared query.
+    pub(crate) fn register_plan(&self, roots: &Arc<PlanRoots>) {
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        plans.retain(|w| w.strong_count() > 0);
+        plans.push(Arc::downgrade(roots));
+    }
+
+    /// Snapshot of every live prepared query's roots (the `Arc`s keep
+    /// them pinned between read-out and write-back).
+    fn plan_roots(&self) -> Vec<Arc<PlanRoots>> {
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        plans.retain(|w| w.strong_count() > 0);
+        plans.iter().filter_map(Weak::upgrade).collect()
+    }
+
+    /// Runs maintenance now: GC (if `do_gc`) around sifting (if
+    /// `do_sift`), over every root the session tracks. Caller holds the
+    /// checker lock.
+    pub(crate) fn maintain_locked(
+        &self,
+        mc: &mut ModelChecker,
+        do_gc: bool,
+        do_sift: bool,
+    ) -> MaintenanceReport {
+        let plans = self.plan_roots();
+        // Read every prepared root out (checker lock is held, so no eval
+        // can race the remap).
+        let mut handles = Vec::new();
+        let mut spans = Vec::with_capacity(plans.len());
+        for p in &plans {
+            let start = handles.len();
+            p.extend_roots(&mut handles);
+            spans.push((start, handles.len()));
+        }
+        let mut report = MaintenanceReport {
+            live_before: mc.live_node_count(&handles),
+            ..MaintenanceReport::default()
+        };
+        report.live_after = report.live_before;
+        let mut gc_stats: Option<GcStats> = None;
+        let mut run_gc = |mc: &mut ModelChecker, handles: &mut Vec<bfl_bdd::Bdd>| {
+            let stats = mc.collect_garbage_with(handles);
+            match &mut gc_stats {
+                Some(acc) => acc.absorb(&stats),
+                None => gc_stats = Some(stats),
+            }
+        };
+        if do_gc {
+            // Pre-sift collection: sifting rewrites dead nodes too, so a
+            // lean arena makes the sweep phase cheaper.
+            run_gc(mc, &mut handles);
+        }
+        if do_sift {
+            report.sift = Some(mc.sift_with_extra(&mut handles));
+            if do_gc {
+                // Post-sift collection reclaims the swap debris.
+                run_gc(mc, &mut handles);
+            }
+        }
+        report.gc = gc_stats;
+        // Write the (possibly remapped) roots back.
+        for (p, &(start, end)) in plans.iter().zip(&spans) {
+            p.set_roots(&handles[start..end]);
+        }
+        report.live_after = mc.live_node_count(&handles);
+        let mut state = self.maintenance.lock().unwrap_or_else(|e| e.into_inner());
+        state.last_arena = mc.manager().arena_size();
+        if let Some(gc) = report.gc {
+            state.totals.gc_runs += 1;
+            state.totals.nodes_collected += gc.collected as u64;
+        }
+        if let Some(sift) = report.sift {
+            state.totals.sift_runs += 1;
+            state.totals.swaps += sift.swaps as u64;
+        }
+        report
+    }
+
+    /// The growth factor governing automatic triggers, `None` when no
+    /// automatic maintenance applies.
+    fn auto_factor(&self) -> Option<f64> {
+        match (self.reorder, self.gc) {
+            (ReorderPolicy::Auto { growth_factor }, _) => Some(growth_factor.max(1.0)),
+            // OnPrepare promises the default growth trigger between
+            // prepares (with or without GC), and GC alone compacts on
+            // the same doubling trigger.
+            (ReorderPolicy::OnPrepare, _) | (ReorderPolicy::None, true) => Some(2.0),
+            (ReorderPolicy::None, false) => None,
+        }
+    }
+
+    /// Whether the arena has outgrown the policy's growth factor since
+    /// the last maintenance.
+    fn growth_due(&self, mc: &ModelChecker) -> bool {
+        let Some(factor) = self.auto_factor() else {
+            return false;
+        };
+        let arena = mc.manager().arena_size();
+        let last = {
+            let state = self.maintenance.lock().unwrap_or_else(|e| e.into_inner());
+            state.last_arena
+        };
+        arena >= AUTO_MIN_ARENA && (arena as f64) >= factor * last.max(1) as f64
+    }
+
+    /// Automatic trigger, called between operations while the checker
+    /// lock is held: maintains when the arena outgrew the policy's
+    /// factor.
+    pub(crate) fn maybe_maintain(&self, mc: &mut ModelChecker) {
+        if self.growth_due(mc) {
+            let _ = self.maintain_locked(mc, self.gc, self.reorder.is_active());
+        }
+    }
+
+    /// Prepare-time maintenance: an active reorder policy sifts after
+    /// every compile (that is the point of
+    /// [`VariableOrdering::Sifted`]); GC-only sessions compact on the
+    /// growth trigger.
+    pub(crate) fn maintain_at_prepare(&self, mc: &mut ModelChecker) -> Option<MaintenanceReport> {
+        if self.reorder.is_active() {
+            Some(self.maintain_locked(mc, self.gc, true))
+        } else if self.gc && self.growth_due(mc) {
+            Some(self.maintain_locked(mc, true, false))
+        } else {
+            None
+        }
+    }
+
+    /// Cumulative maintenance counters.
+    pub(crate) fn maintenance_stats(&self) -> MaintenanceStats {
+        self.maintenance
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .totals
     }
 }
 
@@ -265,6 +538,33 @@ impl AnalysisSession {
         self.inner.probabilities.as_deref()
     }
 
+    /// The configured dynamic-reordering policy.
+    pub fn reorder_policy(&self) -> ReorderPolicy {
+        self.inner.reorder
+    }
+
+    /// Whether garbage collection runs at maintenance points.
+    pub fn gc_enabled(&self) -> bool {
+        self.inner.gc
+    }
+
+    /// Runs maintenance **now** — garbage collection and sifting over
+    /// every root the session tracks (element/formula caches and live
+    /// prepared queries) — regardless of the configured policy.
+    ///
+    /// All retained handles are remapped; subsequent queries return
+    /// identical results (only faster/smaller). See
+    /// [`ReorderPolicy`] for the automatic triggers.
+    pub fn maintain(&self) -> MaintenanceReport {
+        let mut mc = self.lock();
+        self.inner.maintain_locked(&mut mc, true, true)
+    }
+
+    /// Cumulative maintenance counters since the session was built.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.inner.maintenance_stats()
+    }
+
     fn lock(&self) -> MutexGuard<'_, ModelChecker> {
         self.inner.lock()
     }
@@ -314,7 +614,9 @@ impl AnalysisSession {
     /// As [`ModelChecker::check_query`].
     pub fn check_query(&self, psi: &Query) -> Result<Outcome, BflError> {
         let mut mc = self.lock();
-        self.query_outcome(&mut mc, None, psi.to_string(), psi)
+        let outcome = self.query_outcome(&mut mc, None, psi.to_string(), psi);
+        self.inner.maybe_maintain(&mut mc);
+        outcome
     }
 
     /// Checks `b, T ⊨ χ` (Algorithm 2) into a structured [`Outcome`];
@@ -330,7 +632,9 @@ impl AnalysisSession {
     /// Panics if `b` does not cover the tree's basic events.
     pub fn check_vector(&self, b: &StatusVector, phi: &Formula) -> Result<Outcome, BflError> {
         let mut mc = self.lock();
-        self.vector_outcome(&mut mc, None, phi.to_string(), b, phi)
+        let outcome = self.vector_outcome(&mut mc, None, phi.to_string(), b, phi);
+        self.inner.maybe_maintain(&mut mc);
+        outcome
     }
 
     /// Evaluates one prepared [`SpecItem`].
@@ -341,7 +645,9 @@ impl AnalysisSession {
     /// vector item surface as [`BflError::UnknownElement`].
     pub fn eval(&self, item: &SpecItem) -> Result<Outcome, BflError> {
         let mut mc = self.lock();
-        self.item_outcome(&mut mc, item)
+        let outcome = self.item_outcome(&mut mc, item);
+        self.inner.maybe_maintain(&mut mc);
+        outcome
     }
 
     /// **Batch evaluation**: runs every item of `spec` in one pass over
@@ -360,6 +666,7 @@ impl AnalysisSession {
         for item in &spec.items {
             let outcome = self.item_outcome(&mut mc, item)?;
             report.push(outcome);
+            self.inner.maybe_maintain(&mut mc);
         }
         Ok(report)
     }
@@ -880,6 +1187,96 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.holds, direct.holds);
         assert_eq!(outcome.counterexamples, direct.counterexamples);
+    }
+
+    #[test]
+    fn sifted_session_agrees_with_static_session() {
+        let tree = Arc::new(corpus::covid());
+        let stat = AnalysisSession::new(Arc::clone(&tree));
+        let dyn_ = AnalysisSession::builder()
+            .ordering(VariableOrdering::Sifted)
+            .build(Arc::clone(&tree));
+        assert_eq!(dyn_.reorder_policy(), ReorderPolicy::auto());
+        assert!(dyn_.gc_enabled());
+        for src in [
+            "forall IS => MoT",
+            "exists MCS(IWoS) & H4",
+            "IDP(CIO, CIS)",
+            "SUP(PP)",
+            "exists MPS(IWoS)",
+        ] {
+            let q = parse_query(src).unwrap();
+            assert_eq!(
+                stat.check_query(&q).unwrap().holds,
+                dyn_.check_query(&q).unwrap().holds,
+                "{src}"
+            );
+        }
+        // Full satisfaction sets are order-independent and must agree.
+        let phi = parse_formula("MCS(IWoS)").unwrap();
+        assert_eq!(
+            stat.satisfying_vectors(&phi).unwrap(),
+            dyn_.satisfying_vectors(&phi).unwrap()
+        );
+        assert_eq!(
+            stat.count_satisfying(&phi).unwrap(),
+            dyn_.count_satisfying(&phi).unwrap()
+        );
+    }
+
+    #[test]
+    fn explicit_maintain_shrinks_and_preserves_results() {
+        let session = AnalysisSession::new(corpus::covid());
+        let phi = parse_formula("MCS(IWoS)").unwrap();
+        let before = session.satisfying_vectors(&phi).unwrap();
+        let count = session.count_satisfying(&phi).unwrap();
+        let arena_before = session.stats().arena_nodes;
+        let report = session.maintain();
+        assert!(report.gc.is_some());
+        assert!(report.sift.is_some());
+        assert!(report.live_after <= report.live_before);
+        assert!(session.stats().arena_nodes <= arena_before);
+        let stats = session.maintenance_stats();
+        assert!(stats.gc_runs >= 1);
+        assert_eq!(stats.sift_runs, 1);
+        // Cached formulae were remapped: identical answers, no recompile.
+        assert_eq!(session.satisfying_vectors(&phi).unwrap(), before);
+        assert_eq!(session.count_satisfying(&phi).unwrap(), count);
+        // And probabilities computed on remapped diagrams agree.
+        let with = AnalysisSession::builder()
+            .probabilities(vec![Some(0.1), Some(0.2)])
+            .build(corpus::or2());
+        let p0 = with.formula_probability(&Formula::atom("Top")).unwrap();
+        with.maintain();
+        let p1 = with.formula_probability(&Formula::atom("Top")).unwrap();
+        assert!((p0 - p1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prepared_queries_survive_maintenance() {
+        let session = AnalysisSession::builder()
+            .reorder(ReorderPolicy::OnPrepare)
+            .gc(true)
+            .build(corpus::covid());
+        let prepared = session
+            .prepare(&parse_query("exists MCS(IWoS) & H4").unwrap())
+            .unwrap();
+        // OnPrepare: the plan records the maintenance that ran.
+        let plan = prepared.explain();
+        let m = plan.maintenance.expect("OnPrepare maintains at compile");
+        assert!(m.sift.is_some());
+        assert!(m.gc.is_some());
+        let baseline = prepared.eval(&crate::scenario::Scenario::new()).unwrap();
+        // Explicit maintenance between evals remaps the prepared roots.
+        session.maintain();
+        let after = prepared.eval(&crate::scenario::Scenario::new()).unwrap();
+        assert_eq!(baseline.holds, after.holds);
+        assert_eq!(baseline.witnesses, after.witnesses);
+        // A fresh scenario restriction also works on the remapped root.
+        let o = prepared
+            .eval(&crate::scenario::Scenario::new().bind("H4", false))
+            .unwrap();
+        assert!(!o.holds);
     }
 
     #[test]

@@ -118,7 +118,9 @@ pub mod synthesis;
 pub use ast::{CmpOp, Formula, Query};
 pub use checker::{MinimalityScope, ModelChecker};
 pub use counterexample::{counterexample, is_valid_counterexample, Counterexample};
-pub use engine::{AnalysisSession, Backend, SessionBuilder};
+pub use engine::{
+    AnalysisSession, Backend, MaintenanceReport, MaintenanceStats, ReorderPolicy, SessionBuilder,
+};
 pub use error::BflError;
 pub use patterns::{Pattern, Table1Row};
 pub use plan::{Plan, PreparedQuery, PreparedStats, SweepReport, SweepStats};

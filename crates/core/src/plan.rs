@@ -81,7 +81,7 @@ use bfl_fault_tree::{FaultTree, StatusVector};
 
 use crate::ast::{Formula, Query};
 use crate::checker::ModelChecker;
-use crate::engine::SessionInner;
+use crate::engine::{MaintenanceReport, SessionInner};
 use crate::error::BflError;
 use crate::report::{json_outcome, json_stats, json_str, EvalStats, Outcome};
 use crate::rewrite::{desugar, simplify, to_nnf};
@@ -149,6 +149,11 @@ pub struct Plan {
     /// Cost of the one-time compile: duration, translation-cache
     /// hits/misses and arena size after the build.
     pub prepare: EvalStats,
+    /// Dynamic maintenance run right after the compile (per the session's
+    /// [`ReorderPolicy`](crate::engine::ReorderPolicy)): live node counts
+    /// before/after plus the GC and sifting statistics. `None` when no
+    /// maintenance was due.
+    pub maintenance: Option<MaintenanceReport>,
 }
 
 impl Plan {
@@ -191,6 +196,30 @@ impl Plan {
             out.push('}');
         }
         out.push_str(&format!("],\"prepare\":{}", json_stats(&self.prepare)));
+        match &self.maintenance {
+            None => out.push_str(",\"maintenance\":null"),
+            Some(m) => {
+                out.push_str(&format!(
+                    ",\"maintenance\":{{\"live_before\":{},\"live_after\":{}",
+                    m.live_before, m.live_after
+                ));
+                match m.gc {
+                    Some(gc) => out.push_str(&format!(
+                        ",\"gc\":{{\"arena_before\":{},\"arena_after\":{},\"collected\":{}}}",
+                        gc.arena_before, gc.arena_after, gc.collected
+                    )),
+                    None => out.push_str(",\"gc\":null"),
+                }
+                match m.sift {
+                    Some(s) => out.push_str(&format!(
+                        ",\"sift\":{{\"live_before\":{},\"live_after\":{},\"swaps\":{},\"blocks_sifted\":{}}}",
+                        s.live_before, s.live_after, s.swaps, s.blocks_sifted
+                    )),
+                    None => out.push_str(",\"sift\":null"),
+                }
+                out.push('}');
+            }
+        }
         out.push('}');
         out
     }
@@ -234,7 +263,22 @@ impl fmt::Display for Plan {
             self.prepare.cache_hits,
             self.prepare.cache_misses,
             self.prepare.arena_nodes
-        )
+        )?;
+        if let Some(m) = &self.maintenance {
+            write!(
+                f,
+                "  maintenance: {} -> {} live nodes",
+                m.live_before, m.live_after
+            )?;
+            if let Some(s) = m.sift {
+                write!(f, " · sift {} swaps", s.swaps)?;
+            }
+            if let Some(gc) = m.gc {
+                write!(f, " · gc reclaimed {}", gc.collected)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
     }
 }
 
@@ -250,6 +294,55 @@ enum Compiled {
     Quantifier { root: Bdd, exists: bool },
     /// `IDP(ϕ, ϕ′)`; `SUP(e)` compiles to its defining independence.
     Independence { left: Bdd, right: Bdd },
+}
+
+/// The remappable root slots of one prepared query.
+///
+/// Garbage collection compacts the arena and rewrites handles; prepared
+/// queries outlive collections, so their roots live behind a mutex that
+/// the session's maintenance (which registers a weak reference per
+/// prepared query) rewrites in place. All reads and writes happen while
+/// the session's checker lock is held, which serialises evaluation
+/// against remapping.
+#[derive(Debug)]
+pub(crate) struct PlanRoots {
+    compiled: Mutex<Compiled>,
+}
+
+impl PlanRoots {
+    fn new(compiled: Compiled) -> Arc<Self> {
+        Arc::new(PlanRoots {
+            compiled: Mutex::new(compiled),
+        })
+    }
+
+    fn snapshot(&self) -> Compiled {
+        *self.compiled.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends this query's root handles (in slot order) to `out`.
+    pub(crate) fn extend_roots(&self, out: &mut Vec<Bdd>) {
+        match self.snapshot() {
+            Compiled::Quantifier { root, .. } => out.push(root),
+            Compiled::Independence { left, right } => {
+                out.push(left);
+                out.push(right);
+            }
+        }
+    }
+
+    /// Writes remapped handles back, in the order produced by
+    /// [`PlanRoots::extend_roots`].
+    pub(crate) fn set_roots(&self, roots: &[Bdd]) {
+        let mut c = self.compiled.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *c {
+            Compiled::Quantifier { root, .. } => *root = roots[0],
+            Compiled::Independence { left, right } => {
+                *left = roots[0];
+                *right = roots[1];
+            }
+        }
+    }
 }
 
 /// A scenario evaluation, memoised under the resolved bindings.
@@ -277,7 +370,9 @@ pub struct PreparedQuery {
     inner: Arc<SessionInner>,
     query: Query,
     source: String,
-    compiled: Compiled,
+    /// Compiled roots, shared with the session's maintenance so garbage
+    /// collection can remap them (see [`PlanRoots`]).
+    roots: Arc<PlanRoots>,
     plan: Plan,
     memo: Mutex<HashMap<Vec<(usize, bool)>, CachedEval>>,
     memo_hits: AtomicU64,
@@ -341,25 +436,34 @@ impl PreparedQuery {
                 )
             }
         };
+        // The `prepare` stats describe the compile alone: snapshot them
+        // before the prepare-time maintenance, which reports separately.
+        let prepare = EvalStats {
+            bdd_nodes: 0,
+            arena_nodes: mc.manager().arena_size(),
+            cache_hits: mc.cache_hits() - hits0,
+            cache_misses: mc.cache_misses() - misses0,
+            duration_micros: start.elapsed().as_micros(),
+        };
+        // Register the compiled roots with the session *before* the
+        // prepare-time maintenance: a collection remaps them in place.
+        let roots = PlanRoots::new(compiled);
+        inner.register_plan(&roots);
+        let maintenance = inner.maintain_at_prepare(&mut mc);
         let plan = Plan {
             query: source.clone(),
             kind,
             minimality_fast_path: fast_path,
             operands,
-            prepare: EvalStats {
-                bdd_nodes: 0,
-                arena_nodes: mc.manager().arena_size(),
-                cache_hits: mc.cache_hits() - hits0,
-                cache_misses: mc.cache_misses() - misses0,
-                duration_micros: start.elapsed().as_micros(),
-            },
+            prepare,
+            maintenance,
         };
         drop(mc);
         Ok(PreparedQuery {
             inner,
             query: psi.clone(),
             source,
-            compiled,
+            roots,
             plan,
             memo: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
@@ -496,8 +600,11 @@ impl PreparedQuery {
     fn restrict_and_judge(&self, key: &[(usize, bool)]) -> CachedEval {
         let limit = self.inner.witness_limit;
         let mut mc = self.inner.lock();
+        // Snapshot the roots only while holding the checker lock: the
+        // session's maintenance (which may remap them) also runs under it.
+        let compiled = self.roots.snapshot();
         let assignments = to_vars(&mc, key);
-        match self.compiled {
+        let cached = match compiled {
             Compiled::Quantifier { root, exists } => {
                 let r = mc
                     .tree_bdd_mut()
@@ -537,7 +644,11 @@ impl PreparedQuery {
                     arena_nodes: mc.manager().arena_size(),
                 }
             }
-        }
+        };
+        // The restriction result is fully extracted (vectors, counts);
+        // maintenance may now reorder/compact freely.
+        self.inner.maybe_maintain(&mut mc);
+        cached
     }
 
     /// **Sweeps** a whole scenario set: validates every scenario up

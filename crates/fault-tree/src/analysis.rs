@@ -180,8 +180,12 @@ pub fn minsol(m: &mut Manager, f: Bdd, universe: &[Var]) -> Bdd {
     for v in m.support(f) {
         assert!(universe.contains(&v), "support {v} outside universe");
     }
+    // Walk the universe in the manager's *current* level order so the
+    // recursion stays aligned with the diagram after dynamic reordering.
+    let mut by_level: Vec<Var> = universe.to_vec();
+    by_level.sort_unstable_by_key(|&v| m.level_of(v));
     let mut memo = HashMap::new();
-    minsol_rec(m, f, universe, 0, &mut memo)
+    minsol_rec(m, f, &by_level, 0, &mut memo)
 }
 
 fn minsol_rec(
@@ -217,7 +221,10 @@ fn minsol_rec(
         if node.var == v {
             (node.low, node.high)
         } else {
-            debug_assert!(node.var > v, "universe must be ascending levels");
+            debug_assert!(
+                m.level_of(node.var) > m.level_of(v),
+                "universe must be ascending levels"
+            );
             (f, f)
         }
     };

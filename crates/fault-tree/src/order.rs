@@ -1,9 +1,16 @@
 //! Variable-ordering heuristics for the fault-tree → BDD translation.
 //!
 //! BDD sizes are notoriously sensitive to the variable order (Section V-A
-//! of the paper). This module provides the static orderings compared in the
-//! `ablation_ordering` benchmark, including a weight-based heuristic in the
-//! spirit of Bouissou's RAMS'96 ordering (reference \[6\] of the paper).
+//! of the paper). This module provides the orderings compared in the
+//! `ablation_ordering` benchmark and the `reproduce -- reorder` artifact:
+//! four *static* heuristics — [`Declaration`](VariableOrdering::Declaration),
+//! [`DfsPreorder`](VariableOrdering::DfsPreorder),
+//! [`BfsLevel`](VariableOrdering::BfsLevel) and a weight-based
+//! [`BouissouWeight`](VariableOrdering::BouissouWeight) in the spirit of
+//! Bouissou's RAMS'96 ordering (reference \[6\] of the paper) — plus the
+//! *dynamic* [`Sifted`](VariableOrdering::Sifted), which starts from the
+//! DFS order and improves it after translation with Rudell sifting
+//! (`TreeBdd::sift`, backed by `bfl_bdd::Manager::sift`).
 
 use std::collections::VecDeque;
 
@@ -27,6 +34,16 @@ pub enum VariableOrdering {
     /// Repeated events rise towards the root, which tends to keep shared
     /// cones together.
     BouissouWeight,
+    /// Dynamic ordering: translation starts from the
+    /// [`DfsPreorder`](VariableOrdering::DfsPreorder) order and the
+    /// manager is then improved in place by Rudell sifting
+    /// ([`TreeBdd::sift`](crate::bdd::TreeBdd::sift)). The [`order`]
+    /// method returns the *initial* (DFS) permutation; the dynamic
+    /// improvement is driven by the layer that owns the `TreeBdd` (the
+    /// `bfl-core` engine's `ReorderPolicy`, or an explicit `sift` call).
+    ///
+    /// [`order`]: VariableOrdering::order
+    Sifted,
 }
 
 impl VariableOrdering {
@@ -38,13 +55,18 @@ impl VariableOrdering {
     pub fn order(self, tree: &FaultTree) -> Vec<ElementId> {
         match self {
             VariableOrdering::Declaration => tree.basic_events().to_vec(),
-            VariableOrdering::DfsPreorder => dfs_order(tree),
+            VariableOrdering::DfsPreorder | VariableOrdering::Sifted => dfs_order(tree),
             VariableOrdering::BfsLevel => bfs_order(tree),
             VariableOrdering::BouissouWeight => bouissou_order(tree),
         }
     }
 
-    /// All orderings, for sweeps and benchmarks.
+    /// The static orderings, for sweeps and benchmarks ([`Sifted`] is
+    /// excluded: its starting permutation is [`DfsPreorder`]'s, so static
+    /// comparisons would double-count it).
+    ///
+    /// [`Sifted`]: VariableOrdering::Sifted
+    /// [`DfsPreorder`]: VariableOrdering::DfsPreorder
     pub fn all() -> [VariableOrdering; 4] {
         [
             VariableOrdering::Declaration,
@@ -52,6 +74,12 @@ impl VariableOrdering {
             VariableOrdering::BfsLevel,
             VariableOrdering::BouissouWeight,
         ]
+    }
+
+    /// `true` for orderings that expect dynamic improvement after
+    /// translation (currently only [`Sifted`](VariableOrdering::Sifted)).
+    pub fn is_dynamic(self) -> bool {
+        self == VariableOrdering::Sifted
     }
 }
 
@@ -177,5 +205,18 @@ mod tests {
     #[test]
     fn default_is_dfs() {
         assert_eq!(VariableOrdering::default(), VariableOrdering::DfsPreorder);
+    }
+
+    #[test]
+    fn sifted_starts_from_the_dfs_permutation() {
+        let t = sample();
+        assert_eq!(
+            VariableOrdering::Sifted.order(&t),
+            VariableOrdering::DfsPreorder.order(&t)
+        );
+        assert!(VariableOrdering::Sifted.is_dynamic());
+        assert!(!VariableOrdering::DfsPreorder.is_dynamic());
+        // The static sweep list stays sift-free.
+        assert!(!VariableOrdering::all().contains(&VariableOrdering::Sifted));
     }
 }

@@ -69,7 +69,10 @@ pub use bfl_fault_tree as ft;
 
 /// One-stop imports for applications using the suite.
 pub mod prelude {
-    pub use bfl_core::engine::{AnalysisSession, Backend, SessionBuilder};
+    pub use bfl_core::engine::{
+        AnalysisSession, Backend, MaintenanceReport, MaintenanceStats, ReorderPolicy,
+        SessionBuilder,
+    };
     pub use bfl_core::parser::{parse_formula, parse_query, parse_spec};
     pub use bfl_core::plan::{Plan, PreparedQuery, PreparedStats, SweepReport, SweepStats};
     pub use bfl_core::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};

@@ -205,6 +205,30 @@ proptest! {
         );
     }
 
+    /// With dynamic maintenance interleaved — sifting reordering plus
+    /// mark-and-sweep GC between queries — the checker still agrees with
+    /// the reference semantics on every vector and satisfaction set.
+    #[test]
+    fn checker_with_sift_and_gc_matches_reference(
+        tree in arb_tree(),
+        phi in arb_formula(),
+        bits in 0u64..64,
+    ) {
+        let mut mc = ModelChecker::new(&tree);
+        let b = StatusVector::from_bits((0..6).map(|i| (bits >> i) & 1 == 1));
+        // Warm the caches, maintain, then ask everything again.
+        let _ = mc.holds(&b, &phi).unwrap();
+        let _ = mc.sift();
+        let _ = mc.collect_garbage();
+        let fast = mc.holds(&b, &phi).unwrap();
+        let slow = semantics::eval(&tree, &b, &phi).unwrap();
+        prop_assert_eq!(fast, slow, "{} at {}", phi, b);
+        let sats = mc.satisfying_vectors(&phi).unwrap();
+        let mut reference = semantics::satisfying_vectors(&tree, &phi).unwrap();
+        reference.sort();
+        prop_assert_eq!(sats, reference, "{}", phi);
+    }
+
     /// Probability via BDD equals the exhaustive sum on random trees.
     #[test]
     fn probability_matches_reference(tree in arb_tree(), seed in 0u64..1000) {

@@ -1,0 +1,300 @@
+//! Property tests for dynamic BDD maintenance: random builds interleaved
+//! with `sift()` / `collect_garbage()` must stay semantically equivalent
+//! to an untouched manager — SAT counts, evaluations and witness sets
+//! agree, and handles remapped by a collection evaluate identically.
+
+use bfl::bdd::{Bdd, Manager, Var};
+use bfl::prelude::*;
+use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
+use bfl_fault_tree::rng::Prng;
+
+mod common;
+use common::{random_formula, random_scenario};
+
+/// Builds the same random expression DAG in two managers, returning the
+/// parallel handle vectors. Ops cover vars, negation, the apply family,
+/// ite and restriction.
+fn random_build(
+    rng: &mut Prng,
+    a: &mut Manager,
+    b: &mut Manager,
+    num_vars: u32,
+    steps: usize,
+    fa: &mut Vec<Bdd>,
+    fb: &mut Vec<Bdd>,
+) {
+    let pick = |rng: &mut Prng, len: usize| rng.gen_range(0..len);
+    for _ in 0..steps {
+        let op = rng.gen_range(0..7);
+        let (x, y, z) = (
+            pick(rng, fa.len()),
+            pick(rng, fa.len()),
+            pick(rng, fa.len()),
+        );
+        let v = Var(rng.gen_range(0..num_vars as usize) as u32);
+        let value = rng.gen_bool(0.5);
+        let (na, nb) = match op {
+            0 => (a.var(v), b.var(v)),
+            1 => (a.not(fa[x]), b.not(fb[x])),
+            2 => (a.and(fa[x], fa[y]), b.and(fb[x], fb[y])),
+            3 => (a.or(fa[x], fa[y]), b.or(fb[x], fb[y])),
+            4 => (a.xor(fa[x], fa[y]), b.xor(fb[x], fb[y])),
+            5 => (a.ite(fa[x], fa[y], fa[z]), b.ite(fb[x], fb[y], fb[z])),
+            _ => (a.restrict(fa[x], v, value), b.restrict(fb[x], v, value)),
+        };
+        fa.push(na);
+        fb.push(nb);
+    }
+}
+
+/// Asserts that the two handle vectors represent the same functions:
+/// model counts over the full universe plus sampled evaluations.
+fn assert_equivalent(
+    rng: &mut Prng,
+    a: &Manager,
+    b: &Manager,
+    num_vars: u32,
+    fa: &[Bdd],
+    fb: &[Bdd],
+) {
+    assert_eq!(fa.len(), fb.len());
+    for (i, (&x, &y)) in fa.iter().zip(fb).enumerate() {
+        assert_eq!(
+            a.sat_count(x, num_vars),
+            b.sat_count(y, num_vars),
+            "SAT count diverged for handle {i}"
+        );
+        for _ in 0..16 {
+            let bits: u64 = rng.gen_range(0..(1usize << num_vars)) as u64;
+            let assign = |v: Var| (bits >> v.index()) & 1 == 1;
+            assert_eq!(
+                a.eval(x, assign),
+                b.eval(y, assign),
+                "handle {i} at {bits:b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_builds_with_interleaved_sift_and_gc_stay_equivalent() {
+    let mut rng = Prng::seed_from_u64(0xD15EA5E);
+    for round in 0..12u64 {
+        let num_vars = 6 + (round % 5) as u32; // 6..=10
+        let mut touched = Manager::new(num_vars);
+        let untouched = &mut Manager::new(num_vars);
+        let mut fa: Vec<Bdd> = vec![touched.bot(), touched.top()];
+        let mut fb: Vec<Bdd> = vec![untouched.bot(), untouched.top()];
+        for _ in 0..4 {
+            random_build(
+                &mut rng,
+                &mut touched,
+                untouched,
+                num_vars,
+                12,
+                &mut fa,
+                &mut fb,
+            );
+            // Interleave maintenance on the touched manager only.
+            match rng.gen_range(0..3) {
+                0 => {
+                    let stats = touched.sift(&mut fa);
+                    assert!(stats.live_after <= stats.live_before);
+                }
+                1 => {
+                    let gc = touched.collect_garbage(&fa);
+                    for f in fa.iter_mut() {
+                        *f = gc.remap(*f).expect("rooted handle survives");
+                    }
+                }
+                _ => {
+                    // Both, the way the engine composes them.
+                    let _ = touched.sift(&mut fa);
+                    let gc = touched.collect_garbage(&fa);
+                    for f in fa.iter_mut() {
+                        *f = gc.remap(*f).expect("rooted handle survives");
+                    }
+                }
+            }
+            assert_equivalent(&mut rng, &touched, untouched, num_vars, &fa, &fb);
+        }
+        // The maintained arena never exceeds the untouched one at rest.
+        let gc = touched.collect_garbage(&fa);
+        for f in fa.iter_mut() {
+            *f = gc.remap(*f).expect("rooted handle survives");
+        }
+        assert!(touched.arena_size() <= untouched.arena_size() + fa.len());
+        assert_equivalent(&mut rng, &touched, untouched, num_vars, &fa, &fb);
+    }
+}
+
+#[test]
+fn sift_keeps_canonicity_with_fresh_operations() {
+    // After maintenance, rebuilding a function from scratch must land on
+    // the same node as its maintained handle (hash-consing stays sound).
+    let mut rng = Prng::seed_from_u64(0xCAFE);
+    for _ in 0..8 {
+        let num_vars = 8u32;
+        let mut m = Manager::new(num_vars);
+        let mut fs: Vec<Bdd> = vec![m.bot(), m.top()];
+        let mut mirror = Manager::new(num_vars); // only to drive the same build
+        let mut gs: Vec<Bdd> = vec![mirror.bot(), mirror.top()];
+        random_build(
+            &mut rng,
+            &mut m,
+            &mut mirror,
+            num_vars,
+            20,
+            &mut fs,
+            &mut gs,
+        );
+        let _ = m.sift(&mut fs);
+        let gc = m.collect_garbage(&fs);
+        for f in fs.iter_mut() {
+            *f = gc.remap(*f).expect("rooted");
+        }
+        // x ∧ y rebuilt twice gives the same handle; double negation is
+        // the identity on every maintained handle.
+        for &f in fs.iter().take(8) {
+            let n = m.not(f);
+            assert_eq!(m.not(n), f);
+            let idem = m.and(f, f);
+            assert_eq!(idem, f);
+        }
+    }
+}
+
+#[test]
+fn tree_bdd_maintenance_matches_untouched_translation() {
+    let mut rng = Prng::seed_from_u64(0xB0BA);
+    for seed in 0..6u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 10,
+            num_gates: 7,
+            max_children: 3,
+            vot_probability: 0.2,
+            seed: 0xFEED + seed,
+        });
+        let mut plain = bfl_fault_tree::bdd::TreeBdd::new(&tree, VariableOrdering::DfsPreorder);
+        let mut maintained = bfl_fault_tree::bdd::TreeBdd::new(&tree, VariableOrdering::Sifted);
+        for e in tree.iter() {
+            let _ = plain.element_bdd(&tree, e);
+            let _ = maintained.element_bdd(&tree, e);
+            if rng.gen_bool(0.3) {
+                let _ = maintained.sift();
+                let _ = maintained.collect_garbage();
+            }
+        }
+        let _ = maintained.sift();
+        let _ = maintained.collect_garbage();
+        for e in tree.iter() {
+            let f = plain.element_bdd(&tree, e);
+            let g = maintained.element_bdd(&tree, e);
+            for _ in 0..40 {
+                let bits: Vec<bool> = (0..tree.num_basic_events())
+                    .map(|_| rng.gen_bool(0.5))
+                    .collect();
+                let b = StatusVector::from_bits(bits);
+                assert_eq!(
+                    plain.eval_vector(&tree, f, &b),
+                    maintained.eval_vector(&tree, g, &b),
+                    "element {} at {b}",
+                    tree.name(e)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sessions_with_maintenance_agree_with_static_sessions() {
+    let mut rng = Prng::seed_from_u64(0xA11CE);
+    for seed in 0..4u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 8,
+            num_gates: 5,
+            max_children: 3,
+            vot_probability: 0.2,
+            seed: 0xACE + seed,
+        });
+        let names: Vec<String> = tree.iter().map(|e| tree.name(e).to_string()).collect();
+        let basics: Vec<String> = tree
+            .basic_event_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let stat = AnalysisSession::new(tree.clone());
+        let dynamic = AnalysisSession::builder()
+            .ordering(VariableOrdering::Sifted)
+            .reorder(ReorderPolicy::OnPrepare)
+            .gc(true)
+            .build(tree);
+        for _ in 0..6 {
+            let phi = random_formula(&mut rng, &names, &basics, 3);
+            // Full satisfaction sets and counts are order-independent.
+            match (
+                stat.satisfying_vectors(&phi),
+                dynamic.satisfying_vectors(&phi),
+            ) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{phi}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "{phi}"),
+                (a, b) => panic!("paths disagree on {phi}: {a:?} vs {b:?}"),
+            }
+            if let (Ok(a), Ok(b)) = (stat.count_satisfying(&phi), dynamic.count_satisfying(&phi)) {
+                assert_eq!(a, b, "{phi}");
+            }
+            let q = if rng.gen_bool(0.5) {
+                Query::exists(phi)
+            } else {
+                Query::forall(phi)
+            };
+            // Prepared path on the maintained session: every prepare
+            // sifts + collects, every eval restricts remapped roots.
+            if let Ok(prepared) = dynamic.prepare(&q) {
+                for _ in 0..3 {
+                    let scenario = random_scenario(&mut rng, &basics);
+                    let top = dynamic.tree().name(dynamic.tree().top()).to_string();
+                    let fast = prepared.eval(&scenario).expect("eval");
+                    let slow = stat
+                        .check_query(&scenario.specialise_query(&q, &top))
+                        .expect("static path");
+                    assert_eq!(fast.holds, slow.holds, "{q} under {scenario}");
+                }
+            }
+        }
+        // The maintained session's books balance.
+        let stats = dynamic.maintenance_stats();
+        assert!(stats.sift_runs >= 1, "OnPrepare must have sifted");
+        assert!(stats.gc_runs >= 1, "GC was enabled");
+    }
+}
+
+#[test]
+fn probabilities_survive_maintenance() {
+    let mut rng = Prng::seed_from_u64(0x9E37);
+    let tree = bfl::ft::corpus::covid();
+    let probs: Vec<Option<f64>> = (0..tree.num_basic_events())
+        .map(|_| Some(0.05 + 0.9 * rng.gen_bool(0.5) as u8 as f64 * 0.1))
+        .collect();
+    let stat = AnalysisSession::builder()
+        .probabilities(probs.clone())
+        .build(tree.clone());
+    let dynamic = AnalysisSession::builder()
+        .ordering(VariableOrdering::Sifted)
+        .probabilities(probs)
+        .build(tree);
+    for src in ["IWoS", "MCS(IWoS)", "MoT & !H1", "CP/R | SH"] {
+        let phi = parse_formula(src).unwrap();
+        let a = stat.formula_probability(&phi).unwrap();
+        dynamic.maintain();
+        let b = dynamic.formula_probability(&phi).unwrap();
+        assert!((a - b).abs() < 1e-12, "{src}: {a} vs {b}");
+    }
+    let a = stat
+        .birnbaum(&parse_formula("IWoS").unwrap(), "IW")
+        .unwrap();
+    let b = dynamic
+        .birnbaum(&parse_formula("IWoS").unwrap(), "IW")
+        .unwrap();
+    assert!((a - b).abs() < 1e-12);
+}
