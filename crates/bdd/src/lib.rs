@@ -60,6 +60,7 @@ mod dot;
 mod gc;
 mod manager;
 mod ops;
+mod prob;
 mod reorder;
 mod sat;
 mod subset;

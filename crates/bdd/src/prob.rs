@@ -1,0 +1,143 @@
+//! Weighted model counting: the node-keyed Shannon probability walk.
+//!
+//! Given a weight `w(v) ∈ [0, 1]` per variable (the probability that `v`
+//! is true, independently of the others), the probability of a BDD is
+//! defined bottom-up by the Shannon expansion
+//! `P(f) = (1 − w(v)) · P(f|v=0) + w(v) · P(f|v=1)`, memoised **per
+//! node** so shared subgraphs are walked once. The walk lives here, in
+//! the BDD crate, because everything above (fault-tree unreliability,
+//! formula probabilities, prepared-plan probability sweeps) is the same
+//! recursion with a different variable-weight map — and because the memo
+//! key is the arena node id, whose lifecycle (garbage collection,
+//! sifting) is owned by this crate.
+//!
+//! Memo lifetime: entries are keyed on [`Bdd::id`], which is stable
+//! under pure construction but **invalidated** by
+//! [`Manager::collect_garbage`](crate::Manager::collect_garbage) (ids
+//! are compacted) and by sifting (nodes are rewritten in place). Callers
+//! that cache a memo across operations must clear it whenever either
+//! runs — the session layer does this through its plan registry.
+
+use std::collections::HashMap;
+
+use crate::manager::{Bdd, Manager, Var};
+
+impl Manager {
+    /// The probability of `f` under independent per-variable weights
+    /// (`weight(v)` = probability that `v` is true).
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(Var(0));
+    /// let b = m.var(Var(1));
+    /// let or = m.or(a, b);
+    /// // P(a ∨ b) = 1 − (1 − 0.1)(1 − 0.2) = 0.28
+    /// let p = m.probability(or, |v| if v.index() == 0 { 0.1 } else { 0.2 });
+    /// assert!((p - 0.28).abs() < 1e-12);
+    /// ```
+    ///
+    /// (See [`Manager::probability_with_memo`] for the memoised form the
+    /// engine uses across many roots.)
+    pub fn probability<W: Fn(Var) -> f64>(&self, f: Bdd, weight: W) -> f64 {
+        let mut memo = HashMap::new();
+        self.probability_with_memo(f, &weight, &mut memo)
+    }
+
+    /// [`Manager::probability`] with a caller-owned node-keyed memo, so
+    /// repeated walks over diagrams sharing subgraphs (e.g. one
+    /// restriction per scenario of a sweep) pay only for the nodes they
+    /// see first.
+    ///
+    /// The caller owns the memo's lifetime: it must be cleared after any
+    /// garbage collection or sifting pass, and must only ever be used
+    /// with one fixed `weight` map.
+    pub fn probability_with_memo<W: Fn(Var) -> f64>(
+        &self,
+        f: Bdd,
+        weight: &W,
+        memo: &mut HashMap<u32, f64>,
+    ) -> f64 {
+        if f.is_false() {
+            return 0.0;
+        }
+        if f.is_true() {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&f.id()) {
+            return p;
+        }
+        let node = self.node(f);
+        let w = weight(node.var);
+        let lo = self.probability_with_memo(node.low, weight, memo);
+        let hi = self.probability_with_memo(node.high, weight, memo);
+        let p = (1.0 - w) * lo + w * hi;
+        memo.insert(f.id(), p);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_single_var() {
+        let mut m = Manager::new(1);
+        let bot = m.bot();
+        let top = m.top();
+        let x = m.var(Var(0));
+        let w = |_: Var| 0.3;
+        let mut memo = HashMap::new();
+        assert_eq!(m.probability_with_memo(bot, &w, &mut memo), 0.0);
+        assert_eq!(m.probability_with_memo(top, &w, &mut memo), 1.0);
+        assert!((m.probability_with_memo(x, &w, &mut memo) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn or_and_shannon() {
+        let mut m = Manager::new(2);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let or = m.or(a, b);
+        let and = m.and(a, b);
+        let w = |v: Var| if v.index() == 0 { 0.1 } else { 0.2 };
+        let mut memo = HashMap::new();
+        assert!((m.probability_with_memo(or, &w, &mut memo) - 0.28).abs() < 1e-15);
+        assert!((m.probability_with_memo(and, &w, &mut memo) - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memo_is_reused_across_roots() {
+        let mut m = Manager::new(4);
+        let vars: Vec<Bdd> = (0..4).map(|i| m.var(Var(i))).collect();
+        let ab = m.and(vars[0], vars[1]);
+        let abc = m.or(ab, vars[2]);
+        let w = |_: Var| 0.5;
+        let mut memo = HashMap::new();
+        let _ = m.probability_with_memo(abc, &w, &mut memo);
+        let filled = memo.len();
+        // Re-walking the diagram, or walking one of its cofactors (a
+        // shared subgraph), adds no entries.
+        let _ = m.probability_with_memo(abc, &w, &mut memo);
+        let cofactor = m.restrict(abc, Var(0), true);
+        let _ = m.probability_with_memo(cofactor, &w, &mut memo);
+        assert_eq!(memo.len(), filled);
+    }
+
+    #[test]
+    fn complement_sums_to_one() {
+        let mut m = Manager::new(3);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let c = m.var(Var(2));
+        let ab = m.and(a, b);
+        let f = m.xor(ab, c);
+        let g = m.not(f);
+        let w = |v: Var| [0.12, 0.34, 0.56][v.index() as usize];
+        let mut memo = HashMap::new();
+        let p = m.probability_with_memo(f, &w, &mut memo);
+        let q = m.probability_with_memo(g, &w, &mut memo);
+        assert!((p + q - 1.0).abs() < 1e-12);
+    }
+}

@@ -7,10 +7,13 @@
 //! cargo run -p bfl-bench --bin reproduce -- reorder --smoke  # tiny trees
 //! ```
 //!
-//! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling sweep reorder`.
-//! The `reorder` artifact additionally writes `BENCH_reorder.json` (node
-//! counts and timings of dynamic sifting + GC vs the static DFS order);
-//! `--smoke` restricts it to the tiny paper trees for CI.
+//! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling sweep reorder
+//! quant`. The `reorder` artifact additionally writes
+//! `BENCH_reorder.json` (node counts and timings of dynamic sifting + GC
+//! vs the static DFS order) and the `quant` artifact writes
+//! `BENCH_quant.json` (warm prepared probability sweeps vs naive
+//! recompute-per-scenario); `--smoke` restricts both to small trees for
+//! CI.
 
 use bfl_bench::{covid_properties, parse, property_6};
 use bfl_core::parser::{parse_formula, Spec};
@@ -56,6 +59,9 @@ fn main() {
     }
     if want("reorder") {
         reorder(args.iter().any(|a| a == "--smoke"));
+    }
+    if want("quant") {
+        quant_bench(args.iter().any(|a| a == "--smoke"));
     }
 }
 
@@ -370,6 +376,138 @@ fn sweep() {
         warm.stats.memo_hits,
         warm.stats.arena_growth()
     );
+}
+
+/// QUANT: warm prepared probability sweeps (`sweep_probabilities` on a
+/// compiled plan with its node-keyed Shannon memo) vs the naive
+/// recompute-per-scenario path (fresh checker + evidence-wrapped formula
+/// per scenario). Writes the `BENCH_quant.json` artifact.
+fn quant_bench(smoke: bool) {
+    use bfl_core::engine::AnalysisSession;
+    use bfl_core::quant;
+    use bfl_core::scenario::ScenarioSet;
+    use bfl_core::{Formula, Query};
+    use bfl_fault_tree::FaultTree;
+
+    banner("QUANT — prepared probability sweeps vs recompute-per-scenario");
+    let mut trees: Vec<(String, FaultTree)> = vec![
+        ("fig1".into(), corpus::fig1()),
+        ("covid".into(), corpus::covid()),
+    ];
+    if !smoke {
+        trees.push(("pressure_tank".into(), corpus::pressure_tank()));
+        trees.push(("attack_tree".into(), corpus::attack_tree()));
+        for &(nb, ng, seed) in &[(20, 12, 1u64), (40, 25, 7), (60, 40, 13)] {
+            let tree = random_tree(&RandomTreeConfig {
+                num_basic: nb,
+                num_gates: ng,
+                max_children: 4,
+                vot_probability: 0.1,
+                seed,
+            });
+            trees.push((format!("rand-{nb}x{ng}-s{seed}"), tree));
+        }
+    }
+
+    println!(
+        "{:<18} {:>6} {:>10} {:>11} {:>11} {:>11} {:>9}",
+        "tree", "basic", "scenarios", "naive ms", "cold ms", "warm ms", "speedup"
+    );
+    let mut rows = String::new();
+    let mut min_speedup = f64::INFINITY;
+    for (name, tree) in &trees {
+        let n = tree.num_basic_events();
+        // A deterministic probability profile (no annotations needed on
+        // the corpus trees).
+        let probs: Vec<f64> = (0..n)
+            .map(|i| 0.02 + 0.9 * (i as f64) / (n as f64))
+            .collect();
+        let top = Formula::atom(tree.name(tree.top()));
+        // MCS(top) makes the per-scenario recompile genuinely expensive.
+        let phi = top.mcs();
+        let query = Query::exists(phi.clone());
+        // Fail and fix each basic event in turn — the Section VI what-if
+        // sweep, quantitatively.
+        let mut set = ScenarioSet::new();
+        for event in tree.basic_event_names() {
+            set.push(bfl_core::Scenario::new().bind(event, true));
+            set.push(bfl_core::Scenario::new().bind(event, false));
+        }
+
+        // Naive: fresh checker + evidence-wrapped formula per scenario.
+        let start = std::time::Instant::now();
+        let mut naive_values = Vec::with_capacity(set.len());
+        for s in &set {
+            let mut mc = bfl_core::ModelChecker::new(tree);
+            let wrapped = s.specialise(&phi);
+            naive_values.push(quant::probability(&mut mc, &wrapped, &probs).expect("naive"));
+        }
+        let t_naive = start.elapsed();
+
+        // Prepared: compile once, sweep twice (cold fills the memos,
+        // warm is pure lookups).
+        let session = AnalysisSession::builder()
+            .probabilities(probs.iter().map(|&p| Some(p)).collect())
+            .build(tree.clone());
+        let start = std::time::Instant::now();
+        let prepared = session.prepare(&query).expect("prepares");
+        let cold = prepared.sweep_probabilities(&set).expect("sweeps");
+        let t_cold = start.elapsed();
+        let start = std::time::Instant::now();
+        let warm = prepared.sweep_probabilities(&set).expect("sweeps");
+        let t_warm = start.elapsed();
+
+        // Cross-check: both paths computed the same probabilities.
+        for (i, o) in cold.outcomes.iter().enumerate() {
+            let p = o.probability.expect("unconditional");
+            assert!(
+                (p - naive_values[i]).abs() < 1e-9,
+                "{name} scenario {i}: prepared {p} vs naive {}",
+                naive_values[i]
+            );
+        }
+        assert_eq!(warm.stats.memo_hits as usize, set.len());
+        assert_eq!(warm.stats.fresh_nodes, 0);
+
+        let naive_ms = t_naive.as_secs_f64() * 1000.0;
+        let cold_ms = t_cold.as_secs_f64() * 1000.0;
+        let warm_ms = t_warm.as_secs_f64() * 1000.0;
+        let speedup = naive_ms / warm_ms.max(1e-6);
+        min_speedup = min_speedup.min(speedup);
+        println!(
+            "{:<18} {:>6} {:>10} {:>11.3} {:>11.3} {:>11.3} {:>8.1}x",
+            name,
+            n,
+            set.len(),
+            naive_ms,
+            cold_ms,
+            warm_ms,
+            speedup
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "{{\"tree\":\"{name}\",\"basic_events\":{n},\"scenarios\":{},\
+             \"naive_ms\":{naive_ms:.3},\"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\
+             \"warm_speedup\":{speedup:.2},\"cold_memo_misses\":{},\"warm_memo_hits\":{},\
+             \"warm_fresh_nodes\":{}}}",
+            set.len(),
+            cold.stats.memo_misses,
+            warm.stats.memo_hits,
+            warm.stats.fresh_nodes,
+        ));
+    }
+    let json = format!(
+        "{{\"artifact\":\"quant\",\"mode\":\"{}\",\"baseline\":\"recompute-per-scenario\",\
+         \"query\":\"exists MCS(top)\",\"min_warm_speedup\":{min_speedup:.2},\"trees\":[{rows}]}}\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let path = "BENCH_quant.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path} (min warm speedup {min_speedup:.1}x)"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
 }
 
 /// REORDER: dynamic sifting + garbage collection vs the static DFS

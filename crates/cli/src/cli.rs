@@ -39,7 +39,11 @@ COMMANDS:
     ibe      influencing basic events of a formula
     render   failure propagation of a status vector through the tree
     dot      Graphviz export of the tree (optionally with a vector)
-    prob     top event probability from the model's prob= annotations
+    prob     probability of a formula (default: the top event) from the
+             model's prob= annotations; a second formula argument
+             conditions it: prob 'FORMULA' ['GIVEN']
+    importance  rank every basic event by quantitative importance for a
+             formula (Birnbaum, criticality, Fussell-Vesely, RAW, RRW)
     modules  list the gates that are independent modules
     help     print this message
 
@@ -57,7 +61,13 @@ OPTIONS:
                        points (on by default whenever --reorder is active)
     --engine <E>       mcs/mps backend: minsol (default), paper, zdd
     --json             structured JSON output (check, run, sweep, explain,
-                       sat, count, mcs, mps, ibe, prob)
+                       sat, count, mcs, mps, ibe, prob, importance)
+
+PROBABILISTIC QUERIES (check, run, sweep):
+    layer-2 judgements `P(FORMULA) ▷◁ p`, `P(FORMULA | GIVEN) ▷◁ p` and
+    `importance(FORMULA)` work wherever a query does, e.g.
+    `bfl check --ft covid.dft 'P(IWoS) <= 0.01'` — the model must carry
+    prob= annotations
 
 SCENARIO FILES (sweep):
     one scenario per line: `label: event = 0|1, event = 0|1, ...`
@@ -73,6 +83,9 @@ EXAMPLES:
     bfl sweep --ft covid.dft 'exists IWoS' whatif.scenarios
     bfl explain --ft covid.dft 'forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS'
     bfl cex --ft covid.dft --failed IW,H3,IT 'MCS(\"CP/R\")'
+    bfl check --ft covid.dft 'P(IWoS | H1) <= 0.05'
+    bfl prob --ft covid.dft 'MCS(IWoS)'
+    bfl importance --ft covid.dft IWoS --json
 ";
 
 /// Parsed common options: one configured session plus command arguments.
@@ -106,6 +119,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "render" => cmd_render(&opts),
         "dot" => cmd_dot(&opts),
         "prob" => cmd_prob(&opts),
+        "importance" => cmd_importance(&opts),
         "modules" => cmd_modules(&opts),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -446,15 +460,61 @@ fn cmd_dot(opts: &Options) -> Result<String, String> {
 }
 
 fn cmd_prob(opts: &Options) -> Result<String, String> {
-    let p = opts
-        .session
-        .top_event_probability()
-        .map_err(|e| e.to_string())?;
-    if opts.json {
-        Ok(format!("{{\"probability\":{p}}}\n"))
-    } else {
-        Ok(format!("{p}\n"))
+    let p = match opts.positional.first() {
+        // Bare `prob`: the classic top-event unreliability.
+        None => Some(
+            opts.session
+                .top_event_probability()
+                .map_err(|e| e.to_string())?,
+        ),
+        Some(src) => {
+            let phi = parse_formula(src).map_err(|e| e.to_string())?;
+            match opts.positional.get(1) {
+                None => Some(
+                    opts.session
+                        .formula_probability(&phi)
+                        .map_err(|e| e.to_string())?,
+                ),
+                // `prob 'FORMULA' 'GIVEN'`: the conditional form.
+                Some(given_src) => {
+                    let given = parse_formula(given_src).map_err(|e| e.to_string())?;
+                    opts.session
+                        .conditional_probability(&phi, &given)
+                        .map_err(|e| e.to_string())?
+                }
+            }
+        }
+    };
+    match (p, opts.json) {
+        (Some(p), true) => Ok(format!("{{\"probability\":{p}}}\n")),
+        (Some(p), false) => Ok(format!("{p}\n")),
+        (None, true) => Ok("{\"probability\":null}\n".to_string()),
+        (None, false) => Ok("undefined (condition has probability 0)\n".to_string()),
     }
+}
+
+fn cmd_importance(opts: &Options) -> Result<String, String> {
+    let phi = match opts.positional.first() {
+        Some(src) => parse_formula(src).map_err(|e| e.to_string())?,
+        None => {
+            let tree = opts.session.tree();
+            bfl_core::Formula::atom(tree.name(tree.top()))
+        }
+    };
+    let rows = opts.session.rank_events(&phi).map_err(|e| e.to_string())?;
+    if opts.json {
+        return Ok(format!("{}\n", bfl_core::report::json_importance(&rows)));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "importance ranking for `{phi}` ({} events)",
+        rows.len()
+    );
+    for r in &rows {
+        let _ = writeln!(out, "{}", bfl_core::report::importance_row(r));
+    }
+    Ok(out)
 }
 
 fn cmd_modules(opts: &Options) -> Result<String, String> {
@@ -716,6 +776,67 @@ mod tests {
         let out = run_ok(&["prob", "--ft", &f.arg()]);
         let p: f64 = out.trim().parse().unwrap();
         assert!((p - 0.02).abs() < 1e-12);
+        // Any formula, not just the top event: P(A | B) = P(A).
+        let out = run_ok(&["prob", "--ft", &f.arg(), "A | B"]);
+        let p: f64 = out.trim().parse().unwrap();
+        assert!((p - (1.0 - 0.9 * 0.8)).abs() < 1e-12);
+        // Conditional form: P(T | A) = P(B) = 0.2.
+        let out = run_ok(&["prob", "--ft", &f.arg(), "T", "A"]);
+        let p: f64 = out.trim().parse().unwrap();
+        assert!((p - 0.2).abs() < 1e-12);
+        // Impossible condition is reported, not a garbage ratio.
+        let out = run_ok(&["prob", "--ft", &f.arg(), "T", "A & !A"]);
+        assert!(out.contains("undefined"), "{out}");
+        let out = run_ok(&["prob", "--ft", &f.arg(), "--json", "T", "A & !A"]);
+        assert_eq!(out, "{\"probability\":null}\n");
+    }
+
+    #[test]
+    fn prob_judgements_through_check() {
+        let f = write_model();
+        // P(T) = 0.02.
+        let out = run_ok(&["check", "--ft", &f.arg(), "P(T) <= 0.05"]);
+        assert_eq!(out, "true\n");
+        let out = run_ok(&["check", "--ft", &f.arg(), "P(T) > 0.05"]);
+        assert_eq!(out, "false\n");
+        // Conditional judgement: P(T | A) = 0.2.
+        let out = run_ok(&["check", "--ft", &f.arg(), "P(T | A) >= 0.2"]);
+        assert_eq!(out, "true\n");
+        // JSON carries the computed probability.
+        let out = run_ok(&["check", "--ft", &f.arg(), "--json", "P(T) <= 0.05"]);
+        assert!(
+            out.contains("\"probability\":0.020000000000000004"),
+            "{out}"
+        );
+        // Sweeping a probability judgement works through the plan layer.
+        let scenarios = tempdir::TempFile::new("baseline:\nA-failed: A = 1\n", "scenarios");
+        let out = run_ok(&["sweep", "--ft", &f.arg(), "P(T) <= 0.05", &scenarios.arg()]);
+        assert!(out.contains("PASS  baseline"), "{out}");
+        assert!(out.contains("FAIL  A-failed"), "{out}");
+    }
+
+    #[test]
+    fn importance_command() {
+        let f = write_model();
+        let out = run_ok(&["importance", "--ft", &f.arg()]);
+        assert!(out.contains("importance ranking"), "{out}");
+        // AND gate: the rarer event (A, p=0.1) has the higher Birnbaum
+        // importance (P(B)=0.2 > P(A)=0.1), so A ranks first.
+        let a_pos = out.find("\nA ").unwrap();
+        let b_pos = out.find("\nB ").unwrap();
+        assert!(a_pos < b_pos, "{out}");
+        assert!(out.contains("RRW=∞"), "{out}"); // both events are in the only cut set
+        let out = run_ok(&["importance", "--ft", &f.arg(), "--json", "T"]);
+        assert!(out.contains("\"event\":\"A\""), "{out}");
+        assert!(out.contains("\"rrw\":null"), "{out}");
+        // A model without annotations reports the missing events.
+        let bare = tempdir::TempFile::new("toplevel T;\nT and A B;\n", "dft");
+        let args: Vec<String> = ["importance", "--ft", &bare.arg()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("missing prob="), "{err}");
     }
 
     #[test]

@@ -4,16 +4,24 @@
 //!
 //! ```text
 //! ϕ ::= e | ¬ϕ | ϕ∧ϕ | ϕ[e↦0] | ϕ[e↦1] | MCS(ϕ)          (layer 1, [`Formula`])
-//! ψ ::= ∃ϕ | ∀ϕ | IDP(ϕ,ϕ)                               (layer 2, [`Query`])
+//! ψ ::= ∃ϕ | ∀ϕ | IDP(ϕ,ϕ) | P(ϕ[|ψ]) ▷◁ p | importance(ϕ)   (layer 2, [`Query`])
 //! ```
 //!
 //! plus the syntactic sugar of the paper (`∨ ⇒ ≡ ≢ MPS SUP VOT▷◁k`), which
 //! is represented natively in the AST so that it pretty-prints the way the
 //! user wrote it. `MPS` carries the *maximality* semantics discussed in
 //! `DESIGN.md` §4.
+//!
+//! The quantitative extension (the paper's first future-work item,
+//! realised by the sister paper *PFL*) adds two layer-2 judgement shapes:
+//! probability thresholds `P(ϕ) ▷◁ p` / `P(ϕ | ψ) ▷◁ p`
+//! ([`Query::Prob`], bound held as a validated [`Prob`]) and the
+//! importance ranking `importance(ϕ)` ([`Query::Importance`]).
 
 use std::fmt;
 use std::sync::Arc;
+
+use crate::error::BflError;
 
 /// Comparison operator of the voting sugar `VOT▷◁k(ϕ1, …, ϕN)`
 /// (`▷◁ ∈ {<, ≤, =, ≥, >}`).
@@ -54,6 +62,67 @@ impl fmt::Display for CmpOp {
             CmpOp::Gt => ">",
         };
         f.write_str(s)
+    }
+}
+
+/// A validated probability value `p ∈ [0, 1]`: the bound of a layer-2
+/// probability judgement `P(ϕ) ▷◁ p`.
+///
+/// Construction rejects anything outside the unit interval (including
+/// `NaN` and infinities), which is what lets the type implement `Eq` and
+/// `Hash` soundly — an invalid bound is unrepresentable rather than a
+/// panic waiting in the evaluator.
+///
+/// ```
+/// use bfl_core::ast::Prob;
+/// let p = Prob::new(0.25)?;
+/// assert_eq!(p.get(), 0.25);
+/// assert!(Prob::new(1.5).is_err());
+/// assert!(Prob::new(f64::NAN).is_err());
+/// # Ok::<(), bfl_core::BflError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Prob(f64);
+
+impl Prob {
+    /// Validates and wraps a probability.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::InvalidBound`] if `p` is not finite or outside
+    /// `[0, 1]`.
+    pub fn new(p: f64) -> Result<Prob, BflError> {
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            // Normalise -0.0 so `Eq` and `Hash` agree (−0.0 == 0.0 but
+            // their bit patterns differ).
+            Ok(Prob(p + 0.0))
+        } else {
+            Err(BflError::InvalidBound {
+                bound: p.to_string(),
+            })
+        }
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+// Sound: the constructor excludes NaN, so `PartialEq` is total.
+impl Eq for Prob {}
+
+impl std::hash::Hash for Prob {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // -0.0 is normalised away at construction, so bitwise hashing is
+        // consistent with `Eq`.
+        state.write_u64(self.0.to_bits());
+    }
+}
+
+impl fmt::Display for Prob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
     }
 }
 
@@ -303,8 +372,9 @@ impl Formula {
     }
 }
 
-/// A layer-2 BFL query (`ψ`): quantification over status vectors, or
-/// independence.
+/// A layer-2 BFL query (`ψ`): quantification over status vectors,
+/// independence, or a quantitative judgement (probability threshold /
+/// importance ranking — the PFL-style extension).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Query {
     /// `∃ϕ`: some status vector satisfies `ϕ`.
@@ -315,6 +385,24 @@ pub enum Query {
     Idp(Formula, Formula),
     /// `SUP(e)`: element `e` is superfluous — sugar for `IDP(e, e_top)`.
     Sup(String),
+    /// `P(ϕ) ▷◁ p` (and the conditional form `P(ϕ | ψ) ▷◁ p`): the
+    /// probability that a random status vector satisfies `ϕ` (given `ψ`)
+    /// compares `▷◁` with the bound. Needs probability annotations at
+    /// evaluation time.
+    Prob {
+        /// The formula whose probability is bounded.
+        formula: Formula,
+        /// The conditioning formula `ψ` of `P(ϕ | ψ)`, if any.
+        given: Option<Formula>,
+        /// The comparison `▷◁`.
+        op: CmpOp,
+        /// The bound `p ∈ [0, 1]`.
+        bound: Prob,
+    },
+    /// `importance(ϕ)`: rank every basic event by its quantitative
+    /// importance for `ϕ` (Birnbaum, criticality, Fussell-Vesely,
+    /// RAW/RRW). Needs probability annotations at evaluation time.
+    Importance(Formula),
 }
 
 impl Query {
@@ -336,6 +424,50 @@ impl Query {
     /// `SUP(e)`.
     pub fn sup(name: impl Into<String>) -> Query {
         Query::Sup(name.into())
+    }
+
+    /// `P(ϕ) ▷◁ p`.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::InvalidBound`] if `bound` is not a probability.
+    pub fn prob(phi: Formula, op: CmpOp, bound: f64) -> Result<Query, BflError> {
+        Ok(Query::Prob {
+            formula: phi,
+            given: None,
+            op,
+            bound: Prob::new(bound)?,
+        })
+    }
+
+    /// `P(ϕ | ψ) ▷◁ p`.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::InvalidBound`] if `bound` is not a probability.
+    pub fn prob_given(
+        phi: Formula,
+        given: Formula,
+        op: CmpOp,
+        bound: f64,
+    ) -> Result<Query, BflError> {
+        Ok(Query::Prob {
+            formula: phi,
+            given: Some(given),
+            op,
+            bound: Prob::new(bound)?,
+        })
+    }
+
+    /// `importance(ϕ)`.
+    pub fn importance(phi: Formula) -> Query {
+        Query::Importance(phi)
+    }
+
+    /// Whether evaluating the query needs probability annotations
+    /// (`P(…) ▷◁ p` and `importance(…)`).
+    pub fn is_probabilistic(&self) -> bool {
+        matches!(self, Query::Prob { .. } | Query::Importance(_))
     }
 }
 
@@ -457,6 +589,22 @@ impl fmt::Display for Formula {
     }
 }
 
+/// Writes an operand of `P(…)` / `importance(…)`, parenthesised whenever
+/// its printed form could contain a `|` at parenthesis depth 0 — which
+/// the parser would otherwise read as the conditional separator of
+/// `P(ϕ | ψ)`. That is exactly the formulae printing at or below `∨`'s
+/// precedence (`∨`, `⇒`, `≡`, `≢` chains).
+fn write_prob_operand(f: &mut fmt::Formatter<'_>, phi: &Formula) -> fmt::Result {
+    /// `precedence` of [`Formula::Or`] — formulae binding this loosely
+    /// may print a bare `|`.
+    const OR_PRECEDENCE: u8 = 3;
+    if precedence(phi) <= OR_PRECEDENCE {
+        write!(f, "({phi})")
+    } else {
+        write!(f, "{phi}")
+    }
+}
+
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -468,6 +616,21 @@ impl fmt::Display for Query {
                 write_name(f, n)?;
                 f.write_str(")")
             }
+            Query::Prob {
+                formula,
+                given,
+                op,
+                bound,
+            } => {
+                f.write_str("P(")?;
+                write_prob_operand(f, formula)?;
+                if let Some(g) = given {
+                    f.write_str(" | ")?;
+                    write_prob_operand(f, g)?;
+                }
+                write!(f, ") {op} {bound}")
+            }
+            Query::Importance(p) => write!(f, "importance({p})"),
         }
     }
 }
@@ -538,6 +701,55 @@ mod tests {
         // Pre-order: the evidence wrapper is visited before the atom.
         let f = Formula::atom("a").with_evidence("e", true);
         assert_eq!(f.mentioned_elements(), vec!["e", "a"]);
+    }
+
+    #[test]
+    fn prob_bound_validation() {
+        assert!(Prob::new(0.0).is_ok());
+        assert!(Prob::new(1.0).is_ok());
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                Prob::new(bad),
+                Err(crate::error::BflError::InvalidBound { .. })
+            ));
+        }
+        // -0.0 normalises to 0.0 so Eq and Hash agree.
+        assert_eq!(Prob::new(-0.0).unwrap(), Prob::new(0.0).unwrap());
+        assert_eq!(
+            Prob::new(-0.0).unwrap().get().to_bits(),
+            Prob::new(0.0).unwrap().get().to_bits()
+        );
+    }
+
+    #[test]
+    fn prob_query_display() {
+        let q = Query::prob(Formula::atom("Top"), CmpOp::Le, 0.3).unwrap();
+        assert_eq!(q.to_string(), "P(Top) <= 0.3");
+        assert!(q.is_probabilistic());
+        let c = Query::prob_given(
+            Formula::atom("Top"),
+            Formula::atom("a").and(Formula::atom("b")),
+            CmpOp::Gt,
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(c.to_string(), "P(Top | a & b) > 0.5");
+        // Operands whose rendering carries a top-level `|` (or looser)
+        // are parenthesised so the printed form re-parses unambiguously.
+        let d = Query::prob(Formula::atom("a").or(Formula::atom("b")), CmpOp::Ge, 0.1).unwrap();
+        assert_eq!(d.to_string(), "P((a | b)) >= 0.1");
+        let e = Query::prob_given(
+            Formula::atom("a").implies(Formula::atom("b")),
+            Formula::atom("c"),
+            CmpOp::Lt,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(e.to_string(), "P((a => b) | c) < 1");
+        let i = Query::importance(Formula::atom("Top").mcs());
+        assert_eq!(i.to_string(), "importance(MCS(Top))");
+        assert!(i.is_probabilistic());
+        assert!(!Query::sup("x").is_probabilistic());
     }
 
     #[test]

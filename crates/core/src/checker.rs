@@ -493,6 +493,20 @@ impl ModelChecker {
                 let top = self.tree.name(self.tree.top()).to_string();
                 self.check_query(&Query::Idp(Formula::atom(name.clone()), Formula::atom(top)))
             }
+            // Probabilistic judgements need annotations the bare checker
+            // does not hold: evaluate them through
+            // [`quant::check_query`](crate::quant::check_query) with an
+            // explicit vector, or an
+            // [`AnalysisSession`](crate::engine::AnalysisSession) built
+            // with probabilities.
+            Query::Prob { .. } | Query::Importance(_) => Err(BflError::MissingProbabilities {
+                events: self
+                    .tree
+                    .basic_events()
+                    .iter()
+                    .map(|&e| self.tree.name(e).to_string())
+                    .collect(),
+            }),
         }
     }
 

@@ -482,6 +482,34 @@ impl SessionInner {
             .unwrap_or_else(|e| e.into_inner())
             .totals
     }
+
+    /// The complete, validated probability vector — the gate every
+    /// probabilistic evaluation (session or prepared-plan) passes
+    /// through.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::MissingProbabilities`] naming every unannotated basic
+    /// event (or all of them when no annotations were configured);
+    /// [`BflError::InvalidProbability`] if an annotation is outside
+    /// `[0, 1]` or not finite.
+    pub(crate) fn full_probabilities(&self) -> Result<Vec<f64>, BflError> {
+        let slots = self.probabilities.as_deref().unwrap_or(&[]);
+        let mut missing = Vec::new();
+        let mut out = Vec::with_capacity(self.tree.num_basic_events());
+        for i in 0..self.tree.num_basic_events() {
+            match slots.get(i).copied().flatten() {
+                Some(p) => out.push(p),
+                None => missing.push(self.tree.name(self.tree.basic_events()[i]).to_string()),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(BflError::MissingProbabilities { events: missing });
+        }
+        prob::validate_probabilities(&self.tree, &out)
+            .map_err(|reason| BflError::InvalidProbability { reason })?;
+        Ok(out)
+    }
 }
 
 /// An owned, thread-safe analysis session over one fault tree.
@@ -815,27 +843,10 @@ impl AnalysisSession {
     // Probability (requires annotations at build time).
     // ------------------------------------------------------------------
 
-    /// The complete probability vector.
-    ///
-    /// # Errors
-    ///
-    /// [`BflError::MissingProbabilities`] naming every unannotated basic
-    /// event (or all of them when no annotations were configured).
+    /// The complete, validated probability vector (see
+    /// [`SessionInner::full_probabilities`]).
     fn full_probabilities(&self) -> Result<Vec<f64>, BflError> {
-        let slots = self.inner.probabilities.as_deref().unwrap_or(&[]);
-        let missing: Vec<String> = (0..self.inner.tree.num_basic_events())
-            .filter(|&i| slots.get(i).copied().flatten().is_none())
-            .map(|i| {
-                self.inner
-                    .tree
-                    .name(self.inner.tree.basic_events()[i])
-                    .to_string()
-            })
-            .collect();
-        if !missing.is_empty() {
-            return Err(BflError::MissingProbabilities { events: missing });
-        }
-        Ok(slots.iter().map(|p| p.expect("checked")).collect())
+        self.inner.full_probabilities()
     }
 
     /// Top-event failure probability from the configured annotations.
@@ -845,7 +856,8 @@ impl AnalysisSession {
     /// [`BflError::MissingProbabilities`] if any annotation is absent.
     pub fn top_event_probability(&self) -> Result<f64, BflError> {
         let probs = self.full_probabilities()?;
-        Ok(prob::top_event_probability(&self.inner.tree, &probs))
+        prob::top_event_probability(&self.inner.tree, &probs)
+            .map_err(|reason| BflError::InvalidProbability { reason })
     }
 
     /// `P(⟦χ⟧)` — the probability that a random status vector satisfies
@@ -886,6 +898,25 @@ impl AnalysisSession {
     pub fn birnbaum(&self, phi: &Formula, be: &str) -> Result<f64, BflError> {
         let probs = self.full_probabilities()?;
         quant::birnbaum(&mut self.lock(), phi, be, &probs)
+    }
+
+    /// The batched importance suite: every basic event ranked by
+    /// Birnbaum importance for `ϕ`, with criticality, Fussell-Vesely,
+    /// RAW and RRW, under the configured annotations — the engine behind
+    /// the `importance(ϕ)` judgement and the CLI `importance` command.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::MissingProbabilities`] /
+    /// [`BflError::InvalidProbability`] for the annotations,
+    /// [`BflError::DivisionByZero`] when `P(ϕ)` vanishes, plus the
+    /// checker's errors.
+    pub fn rank_events(&self, phi: &Formula) -> Result<Vec<quant::EventImportance>, BflError> {
+        let probs = self.full_probabilities()?;
+        let mut mc = self.lock();
+        let rows = quant::rank_events(&mut mc, phi, &probs);
+        self.inner.maybe_maintain(&mut mc);
+        rows
     }
 
     // ------------------------------------------------------------------
@@ -940,6 +971,44 @@ impl AnalysisSession {
             Query::Sup(name) => {
                 let top = Formula::atom(self.inner.tree.name(self.inner.tree.top()));
                 self.idp_outcome(mc, label, source, &Formula::atom(name.clone()), &top)?
+            }
+            Query::Prob {
+                formula,
+                given,
+                op,
+                bound,
+            } => {
+                let probs = self.inner.full_probabilities()?;
+                let p = match given {
+                    None => Some(quant::probability(mc, formula, &probs)?),
+                    Some(g) => quant::conditional_probability(mc, formula, g, &probs)?,
+                };
+                let holds = quant::judge_bound(p, *op, bound.get());
+                let mut o = Outcome::bare(label, source, holds);
+                o.probability = p;
+                o.stats.bdd_nodes = {
+                    let f = mc.formula_bdd(formula)?;
+                    mc.bdd_size(f)
+                };
+                o
+            }
+            Query::Importance(phi) => {
+                let probs = self.inner.full_probabilities()?;
+                // A ranking of an (almost surely) false formula is
+                // undefined: "does not hold" with an empty table, the
+                // same policy as the prepared-plan evaluator.
+                let rows = match quant::rank_events(mc, phi, &probs) {
+                    Ok(rows) => Some(rows),
+                    Err(BflError::DivisionByZero { .. }) => None,
+                    Err(e) => return Err(e),
+                };
+                let mut o = Outcome::bare(label, source, rows.is_some());
+                o.stats.bdd_nodes = {
+                    let f = mc.formula_bdd(phi)?;
+                    mc.bdd_size(f)
+                };
+                o.importance = rows.unwrap_or_default();
+                o
             }
         };
         outcome.stats.arena_nodes = mc.manager().arena_size();

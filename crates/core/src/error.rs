@@ -27,6 +27,33 @@ pub enum BflError {
         /// order.
         events: Vec<String>,
     },
+    /// A probability vector does not fit the tree (wrong length, or a
+    /// value outside `[0, 1]` / not finite). Replaces the panics the
+    /// quantitative layer used to raise on malformed input.
+    InvalidProbability {
+        /// What was wrong, naming the offending event where possible.
+        reason: String,
+    },
+    /// A probability bound `p` of a threshold judgement `P(ϕ) ▷◁ p` is
+    /// outside `[0, 1]` or not finite.
+    InvalidBound {
+        /// The offending bound, rendered.
+        bound: String,
+    },
+    /// A quantitative ratio is undefined because its denominator is zero
+    /// (or too small to divide by safely): importance measures of an
+    /// almost-surely-false formula, for example.
+    DivisionByZero {
+        /// The computation whose denominator vanished.
+        context: String,
+    },
+    /// A probability was requested of a query shape that has none (e.g.
+    /// `IDP`/`SUP`, which compare supports rather than describe an
+    /// event).
+    UnsupportedProbability {
+        /// Concrete syntax of the offending query.
+        query: String,
+    },
 }
 
 impl fmt::Display for BflError {
@@ -43,6 +70,21 @@ impl fmt::Display for BflError {
             ),
             BflError::MissingProbabilities { events } => {
                 write!(f, "missing prob= annotations for: {}", events.join(", "))
+            }
+            BflError::InvalidProbability { reason } => {
+                write!(f, "invalid probability vector: {reason}")
+            }
+            BflError::InvalidBound { bound } => {
+                write!(f, "probability bound {bound} outside [0, 1]")
+            }
+            BflError::DivisionByZero { context } => {
+                write!(f, "division by zero: {context}")
+            }
+            BflError::UnsupportedProbability { query } => {
+                write!(
+                    f,
+                    "`{query}` has no probability (only formula-shaped queries do)"
+                )
             }
         }
     }
@@ -67,5 +109,25 @@ mod tests {
             limit: 20,
         };
         assert!(e.to_string().contains("30"));
+        assert!(BflError::InvalidProbability {
+            reason: "`x` is NaN".into()
+        }
+        .to_string()
+        .contains("NaN"));
+        assert!(BflError::InvalidBound {
+            bound: "1.5".into()
+        }
+        .to_string()
+        .contains("[0, 1]"));
+        assert!(BflError::DivisionByZero {
+            context: "P(phi) = 0".into()
+        }
+        .to_string()
+        .contains("zero"));
+        assert!(BflError::UnsupportedProbability {
+            query: "SUP(PP)".into()
+        }
+        .to_string()
+        .contains("SUP(PP)"));
     }
 }

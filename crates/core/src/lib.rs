@@ -115,7 +115,7 @@ pub mod scenario;
 pub mod semantics;
 pub mod synthesis;
 
-pub use ast::{CmpOp, Formula, Query};
+pub use ast::{CmpOp, Formula, Prob, Query};
 pub use checker::{MinimalityScope, ModelChecker};
 pub use counterexample::{counterexample, is_valid_counterexample, Counterexample};
 pub use engine::{
@@ -123,6 +123,10 @@ pub use engine::{
 };
 pub use error::BflError;
 pub use patterns::{Pattern, Table1Row};
-pub use plan::{Plan, PreparedQuery, PreparedStats, SweepReport, SweepStats};
+pub use plan::{
+    Plan, PreparedQuery, PreparedStats, ProbOutcome, ProbSweepReport, ProbSweepStats, SweepReport,
+    SweepStats,
+};
+pub use quant::{EventImportance, ProbQuery};
 pub use report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
 pub use scenario::{Scenario, ScenarioSet};

@@ -9,6 +9,9 @@
 //!          | ('forall' | '∀') formula
 //!          | 'IDP' '(' formula ',' formula ')'
 //!          | 'SUP' '(' name ')'
+//!          | 'P' '(' formula ('|' formula)? ')' cmp prob
+//!          | 'importance' '(' formula ')'
+//! prob    := a decimal in [0, 1], e.g. '0.01', '1', '2.5e-3'
 //! formula := iff
 //! iff     := imp (('<=>' | '≡' | '!=' | '≢') imp)*        (left-assoc)
 //! imp     := or ('=>' imp)?                               (right-assoc)
@@ -26,6 +29,15 @@
 //! Pretty-printing ([`Formula`]'s `Display`) emits exactly this grammar;
 //! `parse(format!("{f}")) == f` is enforced by property tests.
 //!
+//! **Conditional probabilities and `|`**: inside `P(…)`, a `|` at
+//! parenthesis depth 0 is the conditional separator (`P(ϕ | ψ)`), *not*
+//! disjunction — parenthesise to disambiguate (`P((a | b)) >= 0.1` is a
+//! disjunction bound, `P(a | b) >= 0.1` a conditional). The
+//! pretty-printer always emits the parenthesised form for such operands.
+//! `P` and `importance` are recognised positionally (a name followed by
+//! `(` at the head of a query), so fault-tree elements named `P` or
+//! `importance` remain usable as atoms everywhere.
+//!
 //! # Example
 //!
 //! ```
@@ -40,7 +52,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::ast::{CmpOp, Formula, Query};
+use crate::ast::{CmpOp, Formula, Prob, Query};
 
 /// A parse error with 1-based source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +81,7 @@ impl Error for ParseError {}
 enum Tok {
     Name(String),
     Number(u32),
+    Float(f64),
     KwMcs,
     KwMps,
     KwVot,
@@ -103,6 +116,7 @@ impl fmt::Display for Tok {
         let s: String = match self {
             Tok::Name(n) => format!("name `{n}`"),
             Tok::Number(n) => format!("number `{n}`"),
+            Tok::Float(x) => format!("number `{x}`"),
             Tok::KwMcs => "`MCS`".into(),
             Tok::KwMps => "`MPS`".into(),
             Tok::KwVot => "`VOT`".into(),
@@ -321,19 +335,54 @@ impl<'a> Lexer<'a> {
                 c if c.is_ascii_digit() => {
                     let start = i;
                     let mut end = i;
-                    while let Some(&(j, ch)) = self.chars.peek() {
-                        if ch.is_ascii_digit() {
-                            end = j + ch.len_utf8();
-                            self.bump();
-                        } else {
-                            break;
+                    let digits = |lx: &mut Lexer<'a>, end: &mut usize| {
+                        while let Some(&(j, ch)) = lx.chars.peek() {
+                            if ch.is_ascii_digit() {
+                                *end = j + ch.len_utf8();
+                                lx.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    };
+                    digits(&mut self, &mut end);
+                    let mut is_float = false;
+                    if matches!(self.chars.peek(), Some(&(_, '.'))) {
+                        is_float = true;
+                        let (j, _) = self.bump().expect("peeked");
+                        end = j + 1;
+                        let before = end;
+                        digits(&mut self, &mut end);
+                        if end == before {
+                            return Err(self.error("expected digits after decimal point"));
+                        }
+                    }
+                    if matches!(self.chars.peek(), Some(&(_, 'e' | 'E'))) {
+                        is_float = true;
+                        let (j, ch) = self.bump().expect("peeked");
+                        end = j + ch.len_utf8();
+                        if matches!(self.chars.peek(), Some(&(_, '+' | '-'))) {
+                            let (j, _) = self.bump().expect("peeked");
+                            end = j + 1;
+                        }
+                        let before = end;
+                        digits(&mut self, &mut end);
+                        if end == before {
+                            return Err(self.error("expected digits in exponent"));
                         }
                     }
                     let text = &self.src[start..end];
-                    let n: u32 = text
-                        .parse()
-                        .map_err(|_| self.error(format!("number `{text}` out of range")))?;
-                    push(Tok::Number(n));
+                    if is_float {
+                        let x: f64 = text
+                            .parse()
+                            .map_err(|_| self.error(format!("number `{text}` is malformed")))?;
+                        push(Tok::Float(x));
+                    } else {
+                        let n: u32 = text
+                            .parse()
+                            .map_err(|_| self.error(format!("number `{text}` out of range")))?;
+                        push(Tok::Number(n));
+                    }
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let start = i;
@@ -451,8 +500,124 @@ impl Parser {
                 self.expect(&Tok::RParen)?;
                 Ok(Query::Sup(name))
             }
-            _ => Err(self
-                .error_here("expected a layer-2 query (`exists`, `forall`, `IDP(…)` or `SUP(…)`)")),
+            _ if self.peek_call("P") => self.parse_prob_query(),
+            _ if self.peek_call("importance") => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let f = self.parse_formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Query::Importance(f))
+            }
+            _ => Err(self.error_here(
+                "expected a layer-2 query (`exists`, `forall`, `IDP(…)`, `SUP(…)`, \
+                 `P(…) ▷◁ p` or `importance(…)`)",
+            )),
+        }
+    }
+
+    /// Whether the next two tokens are `word` `(` — how the quantitative
+    /// judgements `P(…)` and `importance(…)` are recognised without
+    /// reserving their names.
+    fn peek_call(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Name(n)) if n == word)
+            && matches!(
+                self.tokens.get(self.pos + 1).map(|s| &s.tok),
+                Some(Tok::LParen)
+            )
+    }
+
+    /// `P '(' formula ('|' formula)? ')' cmp prob`. The operands are
+    /// delimited by scanning for the matching `)` and the first `|` at
+    /// parenthesis depth 0 (the conditional separator — see the module
+    /// docs), then parsed as ordinary formulae.
+    fn parse_prob_query(&mut self) -> Result<Query, ParseError> {
+        self.bump(); // `P`
+        self.expect(&Tok::LParen)?;
+        let open = self.pos;
+        let mut depth: i64 = 0;
+        let mut pipe = None;
+        let mut close = None;
+        for i in open..self.tokens.len() {
+            match &self.tokens[i].tok {
+                Tok::LParen | Tok::LBracket => depth += 1,
+                Tok::RParen if depth == 0 => {
+                    close = Some(i);
+                    break;
+                }
+                Tok::RParen | Tok::RBracket => depth -= 1,
+                Tok::Pipe if depth == 0 && pipe.is_none() => pipe = Some(i),
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            self.pos = self.tokens.len();
+            return Err(self.error_here("expected `)` closing `P(`"));
+        };
+        let formula = self.parse_operand_range(open, pipe.unwrap_or(close))?;
+        let given = pipe
+            .map(|p| self.parse_operand_range(p + 1, close))
+            .transpose()?;
+        self.pos = close + 1;
+        let op = self.parse_cmp("expected comparison (`<`, `<=`, `=`, `>=`, `>`) after `P(…)`")?;
+        let (bline, bcol) = self
+            .tokens
+            .get(self.pos)
+            .map(|s| (s.line, s.col))
+            .unwrap_or((self.end_line, self.end_col));
+        let raw = match self.bump() {
+            Some(Tok::Number(n)) => f64::from(n),
+            Some(Tok::Float(x)) => x,
+            Some(t) => {
+                self.pos -= 1;
+                return Err(self.error_here(format!("expected a probability bound, found {t}")));
+            }
+            None => return Err(self.error_here("expected a probability bound, found end of input")),
+        };
+        let bound = Prob::new(raw).map_err(|e| ParseError {
+            line: bline,
+            col: bcol,
+            message: e.to_string(),
+        })?;
+        Ok(Query::Prob {
+            formula,
+            given,
+            op,
+            bound,
+        })
+    }
+
+    /// Parses `tokens[a..b]` as a complete formula (used for the
+    /// operands of `P(…)`, which are delimited by token scanning).
+    fn parse_operand_range(&self, a: usize, b: usize) -> Result<Formula, ParseError> {
+        let (end_line, end_col) = self
+            .tokens
+            .get(b)
+            .map(|s| (s.line, s.col))
+            .unwrap_or((self.end_line, self.end_col));
+        let mut sub = Parser {
+            tokens: self.tokens[a..b].to_vec(),
+            pos: 0,
+            end_line,
+            end_col,
+        };
+        let f = sub.parse_formula()?;
+        sub.finish()?;
+        Ok(f)
+    }
+
+    /// Parses one comparison operator token.
+    fn parse_cmp(&mut self, expectation: &str) -> Result<CmpOp, ParseError> {
+        match self.bump() {
+            Some(Tok::Lt) => Ok(CmpOp::Lt),
+            Some(Tok::Le) => Ok(CmpOp::Le),
+            Some(Tok::EqCmp) => Ok(CmpOp::Eq),
+            Some(Tok::Ge) => Ok(CmpOp::Ge),
+            Some(Tok::Gt) => Ok(CmpOp::Gt),
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error_here(format!("{expectation}, found {t}")))
+            }
+            None => Err(self.error_here(format!("{expectation}, found end of input"))),
         }
     }
 
@@ -589,20 +754,7 @@ impl Parser {
             Some(Tok::KwVot) => {
                 self.bump();
                 self.expect(&Tok::LParen)?;
-                let op = match self.bump() {
-                    Some(Tok::Lt) => CmpOp::Lt,
-                    Some(Tok::Le) => CmpOp::Le,
-                    Some(Tok::EqCmp) => CmpOp::Eq,
-                    Some(Tok::Ge) => CmpOp::Ge,
-                    Some(Tok::Gt) => CmpOp::Gt,
-                    Some(t) => {
-                        self.pos -= 1;
-                        return Err(self.error_here(format!(
-                            "expected comparison (`<`, `<=`, `=`, `>=`, `>`), found {t}"
-                        )));
-                    }
-                    None => return Err(self.error_here("expected comparison, found end of input")),
-                };
+                let op = self.parse_cmp("expected comparison (`<`, `<=`, `=`, `>=`, `>`)")?;
                 let k = match self.bump() {
                     Some(Tok::Number(n)) => n,
                     Some(t) => {
@@ -704,7 +856,8 @@ pub fn parse_spec(input: &str) -> Result<Spec, ParseError> {
     let is_query = matches!(
         p.peek(),
         Some(Tok::KwExists) | Some(Tok::KwForall) | Some(Tok::KwIdp) | Some(Tok::KwSup)
-    );
+    ) || p.peek_call("P")
+        || p.peek_call("importance");
     let spec = if is_query {
         Spec::Query(p.parse_query()?)
     } else {
@@ -802,6 +955,101 @@ mod tests {
             Query::Idp(Formula::atom("CIO"), Formula::atom("CIS"))
         );
         assert_eq!(parse_query("SUP(PP)").unwrap(), Query::Sup("PP".into()));
+    }
+
+    #[test]
+    fn prob_judgements() {
+        let q = parse_query("P(IWoS) <= 0.01").unwrap();
+        assert_eq!(
+            q,
+            Query::prob(Formula::atom("IWoS"), CmpOp::Le, 0.01).unwrap()
+        );
+        // Integer bounds, equality, and scientific notation all lex.
+        assert!(parse_query("P(Top) = 1").is_ok());
+        assert!(parse_query("P(Top) >= 2.5e-3").is_ok());
+        assert!(parse_query("P(MCS(Top) & H4) > 0").is_ok());
+        // The conditional separator is a depth-0 `|`.
+        let c = parse_query("P(Top | H1 & H2) < 0.5").unwrap();
+        assert_eq!(
+            c,
+            Query::prob_given(
+                Formula::atom("Top"),
+                Formula::atom("H1").and(Formula::atom("H2")),
+                CmpOp::Lt,
+                0.5
+            )
+            .unwrap()
+        );
+        // Parenthesised `|` stays a disjunction.
+        let d = parse_query("P((a | b)) >= 0.1").unwrap();
+        assert_eq!(
+            d,
+            Query::prob(Formula::atom("a").or(Formula::atom("b")), CmpOp::Ge, 0.1).unwrap()
+        );
+        // Evidence brackets inside the operand do not confuse the scan.
+        assert!(parse_query("P(Top[H1 := 1]) <= 0.9").is_ok());
+    }
+
+    #[test]
+    fn importance_judgement() {
+        assert_eq!(
+            parse_query("importance(IWoS)").unwrap(),
+            Query::importance(Formula::atom("IWoS"))
+        );
+        assert!(parse_query("importance(MCS(Top) & H4)").is_ok());
+    }
+
+    #[test]
+    fn prob_judgement_errors() {
+        // Out-of-range bound carries the bound's position.
+        let e = parse_query("P(Top) >= 1.5").unwrap_err();
+        assert!(e.message.contains("[0, 1]"), "{e}");
+        assert_eq!(e.col, 11);
+        // Missing close paren, missing comparison, missing bound.
+        assert!(parse_query("P(Top").is_err());
+        assert!(parse_query("P(Top) Top").is_err());
+        assert!(parse_query("P(Top) >=").is_err());
+        // Empty operands around the conditional separator.
+        assert!(parse_query("P(| Top) >= 0").is_err());
+        assert!(parse_query("P(Top |) >= 0").is_err());
+        // Malformed numbers.
+        assert!(parse_formula("VOT(>=2; a, b)").is_ok());
+        assert!(parse_query("P(Top) >= 0.").is_err());
+        assert!(parse_query("P(Top) >= 1e").is_err());
+    }
+
+    #[test]
+    fn prob_query_round_trips() {
+        for src in [
+            "P(Top) <= 0.3",
+            "P((a | b)) >= 0.1",
+            "P(Top | H1 & H2) < 0.5",
+            "P((a => b) | c) = 0.25",
+            "P(MCS(Top)[e := 0]) > 0.001",
+            "importance(MCS(Top) & H4)",
+        ] {
+            let q = parse_query(src).unwrap();
+            let printed = q.to_string();
+            assert_eq!(parse_query(&printed).unwrap(), q, "printed as `{printed}`");
+        }
+    }
+
+    #[test]
+    fn prob_spec_dispatch() {
+        assert!(matches!(
+            parse_spec("P(Top) <= 0.5").unwrap(),
+            Spec::Query(Query::Prob { .. })
+        ));
+        assert!(matches!(
+            parse_spec("importance(Top)").unwrap(),
+            Spec::Query(Query::Importance(_))
+        ));
+        // A bare atom named `P` or `importance` is still a formula.
+        assert!(matches!(parse_spec("P & x").unwrap(), Spec::Formula(_)));
+        assert!(matches!(
+            parse_spec("importance").unwrap(),
+            Spec::Formula(_)
+        ));
     }
 
     #[test]

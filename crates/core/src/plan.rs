@@ -79,10 +79,11 @@ use std::time::Instant;
 use bfl_bdd::{Bdd, Var};
 use bfl_fault_tree::{FaultTree, StatusVector};
 
-use crate::ast::{Formula, Query};
+use crate::ast::{CmpOp, Formula, Query};
 use crate::checker::ModelChecker;
 use crate::engine::{MaintenanceReport, SessionInner};
 use crate::error::BflError;
+use crate::quant;
 use crate::report::{json_outcome, json_stats, json_str, EvalStats, Outcome};
 use crate::rewrite::{desugar, simplify, to_nnf};
 use crate::scenario::{Scenario, ScenarioSet};
@@ -294,6 +295,16 @@ enum Compiled {
     Quantifier { root: Bdd, exists: bool },
     /// `IDP(ϕ, ϕ′)`; `SUP(e)` compiles to its defining independence.
     Independence { left: Bdd, right: Bdd },
+    /// `P(ϕ[ | ψ]) ▷◁ p`: `joint` is `B(ϕ ∧ ψ)` (just `B(ϕ)` when
+    /// unconditioned), `given` is `B(ψ)`.
+    Prob {
+        joint: Bdd,
+        given: Option<Bdd>,
+        op: CmpOp,
+        bound: f64,
+    },
+    /// `importance(ϕ)`.
+    Importance { root: Bdd },
 }
 
 /// The remappable root slots of one prepared query.
@@ -307,12 +318,19 @@ enum Compiled {
 #[derive(Debug)]
 pub(crate) struct PlanRoots {
     compiled: Mutex<Compiled>,
+    /// Bumped by every [`PlanRoots::set_roots`], i.e. every maintenance
+    /// pass over this plan. Node-keyed caches (the probability memo)
+    /// compare against it and drop stale entries: both GC (which
+    /// renumbers nodes) and sifting (which rewrites them in place)
+    /// invalidate node-id keys.
+    generation: AtomicU64,
 }
 
 impl PlanRoots {
     fn new(compiled: Compiled) -> Arc<Self> {
         Arc::new(PlanRoots {
             compiled: Mutex::new(compiled),
+            generation: AtomicU64::new(0),
         })
     }
 
@@ -320,13 +338,24 @@ impl PlanRoots {
         *self.compiled.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The current maintenance generation (see the field docs).
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
     /// Appends this query's root handles (in slot order) to `out`.
     pub(crate) fn extend_roots(&self, out: &mut Vec<Bdd>) {
         match self.snapshot() {
-            Compiled::Quantifier { root, .. } => out.push(root),
+            Compiled::Quantifier { root, .. } | Compiled::Importance { root } => out.push(root),
             Compiled::Independence { left, right } => {
                 out.push(left);
                 out.push(right);
+            }
+            Compiled::Prob { joint, given, .. } => {
+                out.push(joint);
+                if let Some(g) = given {
+                    out.push(g);
+                }
             }
         }
     }
@@ -336,12 +365,19 @@ impl PlanRoots {
     pub(crate) fn set_roots(&self, roots: &[Bdd]) {
         let mut c = self.compiled.lock().unwrap_or_else(|e| e.into_inner());
         match &mut *c {
-            Compiled::Quantifier { root, .. } => *root = roots[0],
+            Compiled::Quantifier { root, .. } | Compiled::Importance { root } => *root = roots[0],
             Compiled::Independence { left, right } => {
                 *left = roots[0];
                 *right = roots[1];
             }
+            Compiled::Prob { joint, given, .. } => {
+                *joint = roots[0];
+                if let Some(g) = given {
+                    *g = roots[1];
+                }
+            }
         }
+        self.generation.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -352,8 +388,46 @@ struct CachedEval {
     witnesses: Vec<StatusVector>,
     counterexamples: Vec<StatusVector>,
     shared_events: Vec<String>,
+    probability: Option<f64>,
+    importance: Vec<quant::EventImportance>,
     bdd_nodes: usize,
     arena_nodes: usize,
+}
+
+impl CachedEval {
+    fn bare(holds: bool, bdd_nodes: usize, arena_nodes: usize) -> Self {
+        CachedEval {
+            holds,
+            witnesses: Vec::new(),
+            counterexamples: Vec::new(),
+            shared_events: Vec::new(),
+            probability: None,
+            importance: Vec::new(),
+            bdd_nodes,
+            arena_nodes,
+        }
+    }
+}
+
+/// One scenario's probability evaluation, memoised under the resolved
+/// bindings. The values are semantic (maintenance never changes them),
+/// so — unlike the node-keyed memo — this cache survives GC/reorder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ProbEval {
+    /// The probability; `None` for conditionals whose condition has
+    /// (effectively) zero probability.
+    probability: Option<f64>,
+    /// The threshold verdict for `P(…) ▷◁ p`-shaped plans, `None` for
+    /// plans with no bound to judge.
+    holds: Option<bool>,
+}
+
+/// The node-keyed Shannon memo of one prepared query, tagged with the
+/// plan-registry generation it was built against.
+#[derive(Debug, Default)]
+struct ProbMemo {
+    generation: u64,
+    nodes: HashMap<u32, f64>,
 }
 
 /// A layer-2 query compiled once against a session, evaluable under
@@ -377,6 +451,15 @@ pub struct PreparedQuery {
     memo: Mutex<HashMap<Vec<(usize, bool)>, CachedEval>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    /// Node-keyed Shannon memo shared by every probability evaluation of
+    /// this plan (restrictions of one diagram share almost all nodes).
+    /// Invalidated by generation whenever maintenance remaps the roots.
+    prob_memo: Mutex<ProbMemo>,
+    /// Scenario-keyed probability results (semantic — survive
+    /// maintenance).
+    prob_scenarios: Mutex<HashMap<Vec<(usize, bool)>, ProbEval>>,
+    prob_hits: AtomicU64,
+    prob_misses: AtomicU64,
 }
 
 /// Cumulative evaluation statistics of one [`PreparedQuery`].
@@ -435,6 +518,46 @@ impl PreparedQuery {
                     true,
                 )
             }
+            Query::Prob {
+                formula,
+                given,
+                op,
+                bound,
+            } => {
+                let (op_plan, root) = compile_operand(&mut mc, "operand", formula)?;
+                let mut operands = vec![op_plan];
+                let mut fast = !formula.has_minimality_operator();
+                let (joint, compiled_given) = match given {
+                    None => (root, None),
+                    Some(g) => {
+                        let (gp, groot) = compile_operand(&mut mc, "given", g)?;
+                        operands.push(gp);
+                        fast = fast && !g.has_minimality_operator();
+                        let joint = mc.tree_bdd_mut().manager_mut().and(root, groot);
+                        (joint, Some(groot))
+                    }
+                };
+                (
+                    Compiled::Prob {
+                        joint,
+                        given: compiled_given,
+                        op: *op,
+                        bound: bound.get(),
+                    },
+                    "prob",
+                    operands,
+                    fast,
+                )
+            }
+            Query::Importance(phi) => {
+                let (op_plan, root) = compile_operand(&mut mc, "operand", phi)?;
+                (
+                    Compiled::Importance { root },
+                    "importance",
+                    vec![op_plan],
+                    !phi.has_minimality_operator(),
+                )
+            }
         };
         // The `prepare` stats describe the compile alone: snapshot them
         // before the prepare-time maintenance, which reports separately.
@@ -468,6 +591,10 @@ impl PreparedQuery {
             memo: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            prob_memo: Mutex::new(ProbMemo::default()),
+            prob_scenarios: Mutex::new(HashMap::new()),
+            prob_hits: AtomicU64::new(0),
+            prob_misses: AtomicU64::new(0),
         })
     }
 
@@ -536,10 +663,33 @@ impl PreparedQuery {
     /// # Errors
     ///
     /// [`BflError::UnknownElement`] / [`BflError::EvidenceOnGate`] for
-    /// bindings that do not name a basic event of the tree.
+    /// bindings that do not name a basic event of the tree;
+    /// [`BflError::MissingProbabilities`] /
+    /// [`BflError::InvalidProbability`] when a probabilistic plan
+    /// (`P(…) ▷◁ p`, `importance(…)`) runs on a session without valid
+    /// annotations.
     pub fn eval(&self, scenario: &Scenario) -> Result<Outcome, BflError> {
         let key = self.resolve(scenario)?;
-        Ok(self.eval_resolved(scenario, key))
+        let probs = self.probabilities_if_needed()?;
+        Ok(self.eval_resolved(scenario, key, probs.as_deref()))
+    }
+
+    /// Whether the compiled shape needs probability annotations.
+    fn needs_probabilities(&self) -> bool {
+        matches!(
+            self.roots.snapshot(),
+            Compiled::Prob { .. } | Compiled::Importance { .. }
+        )
+    }
+
+    /// The session's validated probability vector, fetched only for
+    /// plans that evaluate probabilities.
+    fn probabilities_if_needed(&self) -> Result<Option<Vec<f64>>, BflError> {
+        if self.needs_probabilities() {
+            Ok(Some(self.inner.full_probabilities()?))
+        } else {
+            Ok(None)
+        }
     }
 
     /// The post-resolution evaluation core — shared by [`eval`] and
@@ -548,7 +698,12 @@ impl PreparedQuery {
     ///
     /// [`eval`]: PreparedQuery::eval
     /// [`sweep`]: PreparedQuery::sweep
-    fn eval_resolved(&self, scenario: &Scenario, key: Vec<(usize, bool)>) -> Outcome {
+    fn eval_resolved(
+        &self,
+        scenario: &Scenario,
+        key: Vec<(usize, bool)>,
+        probs: Option<&[f64]>,
+    ) -> Outcome {
         let start = Instant::now();
         let cached = self.lookup(&key);
         let (cached, memo_hit) = match cached {
@@ -557,7 +712,7 @@ impl PreparedQuery {
                 (c, true)
             }
             None => {
-                let computed = self.restrict_and_judge(&key);
+                let computed = self.restrict_and_judge(&key, probs);
                 self.memo_misses.fetch_add(1, Ordering::Relaxed);
                 self.memo
                     .lock()
@@ -577,6 +732,8 @@ impl PreparedQuery {
         o.witnesses = cached.witnesses;
         o.counterexamples = cached.counterexamples;
         o.shared_events = cached.shared_events;
+        o.probability = cached.probability;
+        o.importance = cached.importance;
         o.stats = EvalStats {
             bdd_nodes: cached.bdd_nodes,
             arena_nodes: cached.arena_nodes,
@@ -597,7 +754,9 @@ impl PreparedQuery {
 
     /// The restriction core: specialises the compiled diagram(s) to the
     /// resolved bindings in one traversal each and judges the result.
-    fn restrict_and_judge(&self, key: &[(usize, bool)]) -> CachedEval {
+    /// `probs` is `Some` exactly for probabilistic shapes (the callers
+    /// fetch and validate it up front).
+    fn restrict_and_judge(&self, key: &[(usize, bool)], probs: Option<&[f64]>) -> CachedEval {
         let limit = self.inner.witness_limit;
         let mut mc = self.inner.lock();
         // Snapshot the roots only while holding the checker lock: the
@@ -619,14 +778,10 @@ impl PreparedQuery {
                     let nr = mc.tree_bdd_mut().manager_mut().not(r);
                     counterexamples = mc.vectors_of_bdd(nr, limit);
                 }
-                CachedEval {
-                    holds,
-                    witnesses,
-                    counterexamples,
-                    shared_events: Vec::new(),
-                    bdd_nodes: mc.bdd_size(r),
-                    arena_nodes: mc.manager().arena_size(),
-                }
+                let mut c = CachedEval::bare(holds, mc.bdd_size(r), mc.manager().arena_size());
+                c.witnesses = witnesses;
+                c.counterexamples = counterexamples;
+                c
             }
             Compiled::Independence { left, right } => {
                 let m = mc.tree_bdd_mut().manager_mut();
@@ -635,20 +790,149 @@ impl PreparedQuery {
                 let ia = mc.support_basic_names(ra);
                 let ib = mc.support_basic_names(rb);
                 let shared: Vec<String> = ia.into_iter().filter(|e| ib.contains(e)).collect();
-                CachedEval {
-                    holds: shared.is_empty(),
-                    witnesses: Vec::new(),
-                    counterexamples: Vec::new(),
-                    shared_events: shared,
-                    bdd_nodes: mc.bdd_size(ra) + mc.bdd_size(rb),
-                    arena_nodes: mc.manager().arena_size(),
-                }
+                let mut c = CachedEval::bare(
+                    shared.is_empty(),
+                    mc.bdd_size(ra) + mc.bdd_size(rb),
+                    mc.manager().arena_size(),
+                );
+                c.shared_events = shared;
+                c
             }
+            Compiled::Prob {
+                joint,
+                given,
+                op,
+                bound,
+            } => match probs {
+                Some(probs) => {
+                    // Boolean eval and the probability entry points share
+                    // one computation per scenario: reuse a result the
+                    // probability path already memoised, and publish
+                    // fresh ones back so `probability`/
+                    // `sweep_probabilities` find them.
+                    let prior = self.prob_scenario_lookup(key);
+                    let (pe, r) = match prior {
+                        Some(pe) => {
+                            // Only the restriction (manager-memoised) is
+                            // redone, for the bdd_nodes statistic; the
+                            // Shannon walks are skipped.
+                            let r = mc
+                                .tree_bdd_mut()
+                                .manager_mut()
+                                .restrict_many(joint, &assignments);
+                            (pe, r)
+                        }
+                        None => {
+                            let (pe, r) = self.prob_judge_locked(
+                                &mut mc,
+                                joint,
+                                given,
+                                op,
+                                bound,
+                                &assignments,
+                                probs,
+                            );
+                            self.prob_scenario_insert(key, pe);
+                            (pe, r)
+                        }
+                    };
+                    let mut c = CachedEval::bare(
+                        pe.holds.unwrap_or(false),
+                        mc.bdd_size(r),
+                        mc.manager().arena_size(),
+                    );
+                    c.probability = pe.probability;
+                    c
+                }
+                // Unreachable: `eval`/`sweep` fetch the vector first.
+                None => CachedEval::bare(false, 0, mc.manager().arena_size()),
+            },
+            Compiled::Importance { root } => match probs {
+                Some(probs) => {
+                    let r = mc
+                        .tree_bdd_mut()
+                        .manager_mut()
+                        .restrict_many(root, &assignments);
+                    let ranked =
+                        self.with_prob_memo(|memo| quant::rank_events_bdd(&mut mc, r, probs, memo));
+                    let mut c =
+                        CachedEval::bare(ranked.is_ok(), mc.bdd_size(r), mc.manager().arena_size());
+                    // A ranking of an (almost-surely) false restricted
+                    // formula is undefined: "does not hold" with an
+                    // empty table, the same policy as the session
+                    // evaluator and `quant::check_query`. (`probs` are
+                    // pre-validated, so `DivisionByZero` is the only
+                    // error `rank_events_bdd` can produce here.)
+                    c.importance = ranked.unwrap_or_default();
+                    c
+                }
+                None => CachedEval::bare(false, 0, mc.manager().arena_size()),
+            },
         };
         // The restriction result is fully extracted (vectors, counts);
         // maintenance may now reorder/compact freely.
         self.inner.maybe_maintain(&mut mc);
         cached
+    }
+
+    /// Runs `f` over the node-keyed probability memo, clearing it first
+    /// if maintenance has remapped this plan's roots since it was
+    /// filled. Must be called with the checker lock held (maintenance
+    /// also runs under it, so generation and node ids cannot move while
+    /// `f` walks).
+    fn with_prob_memo<R>(&self, f: impl FnOnce(&mut HashMap<u32, f64>) -> R) -> R {
+        let generation = self.roots.generation();
+        let mut memo = self.prob_memo.lock().unwrap_or_else(|e| e.into_inner());
+        if memo.generation != generation {
+            memo.nodes.clear();
+            memo.generation = generation;
+        }
+        f(&mut memo.nodes)
+    }
+
+    /// The probability core shared by Boolean `eval` on `P(…)`-shaped
+    /// plans and the probability sweeps: restrict, walk with the plan
+    /// memo, judge the bound. Caller holds the checker lock. Returns the
+    /// evaluation plus the restricted joint diagram (for statistics).
+    #[allow(clippy::too_many_arguments)]
+    fn prob_judge_locked(
+        &self,
+        mc: &mut ModelChecker,
+        joint: Bdd,
+        given: Option<Bdd>,
+        op: CmpOp,
+        bound: f64,
+        assignments: &[(Var, bool)],
+        probs: &[f64],
+    ) -> (ProbEval, Bdd) {
+        let r_joint = mc
+            .tree_bdd_mut()
+            .manager_mut()
+            .restrict_many(joint, assignments);
+        let p_joint =
+            self.with_prob_memo(|memo| quant::bdd_probability_with_memo(mc, r_joint, probs, memo));
+        let probability = match given {
+            None => Some(p_joint),
+            Some(g) => {
+                let r_given = mc
+                    .tree_bdd_mut()
+                    .manager_mut()
+                    .restrict_many(g, assignments);
+                let base = self.with_prob_memo(|memo| {
+                    quant::bdd_probability_with_memo(mc, r_given, probs, memo)
+                });
+                if base < quant::MIN_CONDITIONING_PROBABILITY {
+                    None
+                } else {
+                    Some(p_joint / base)
+                }
+            }
+        };
+        let eval = ProbEval {
+            probability,
+            holds: Some(quant::judge_bound(probability, op, bound)),
+        };
+        (eval, r_joint)
     }
 
     /// **Sweeps** a whole scenario set: validates every scenario up
@@ -668,11 +952,13 @@ impl PreparedQuery {
     /// before any worker starts.
     pub fn sweep(&self, set: &ScenarioSet) -> Result<SweepReport, BflError> {
         // Validate everything first so workers cannot fail; the resolved
-        // keys are handed through so nothing is resolved twice.
+        // keys (and, for probabilistic plans, the probability vector)
+        // are handed through so nothing is resolved twice.
         let keys: Vec<Vec<(usize, bool)>> = set
             .iter()
             .map(|s| self.resolve(s))
             .collect::<Result<_, _>>()?;
+        let probs = self.probabilities_if_needed()?;
         let before = self.stats();
         let (arena_before, translation_misses0) = {
             let mc = self.inner.lock();
@@ -694,7 +980,8 @@ impl PreparedQuery {
                     if i >= n {
                         break;
                     }
-                    let o = self.eval_resolved(&set.scenarios[i], keys[i].clone());
+                    let o =
+                        self.eval_resolved(&set.scenarios[i], keys[i].clone(), probs.as_deref());
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(o);
                 });
             }
@@ -732,6 +1019,219 @@ impl PreparedQuery {
             report.outcomes.push(outcome);
         }
         Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Probability on compiled plans.
+    // ------------------------------------------------------------------
+
+    /// `P(ϕ | scenario)` on the compiled diagram: the scenario's
+    /// bindings are applied by `restrict_many` cofactoring and the
+    /// result is walked with this plan's node-keyed Shannon memo —
+    /// **never** recompiled per scenario. For `P(…)`-shaped plans the
+    /// conditional form is honoured; for `exists`/`forall`/`importance`
+    /// plans this is the probability of the (restricted) operand.
+    ///
+    /// The memo is keyed on BDD node ids and remapped plans drop it: the
+    /// session's GC/reorder registry bumps this plan's generation
+    /// whenever maintenance rewrites its roots, and the next walk starts
+    /// fresh (results are identical — only the cache is rebuilt).
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::UnsupportedProbability`] for `IDP`/`SUP` plans;
+    /// [`BflError::MissingProbabilities`] /
+    /// [`BflError::InvalidProbability`] for the session's annotations;
+    /// [`BflError::DivisionByZero`] when a conditional plan's condition
+    /// has (effectively) zero probability under the scenario; binding
+    /// resolution errors as for [`PreparedQuery::eval`].
+    pub fn probability(&self, scenario: &Scenario) -> Result<f64, BflError> {
+        if matches!(self.roots.snapshot(), Compiled::Independence { .. }) {
+            return Err(BflError::UnsupportedProbability {
+                query: self.source.clone(),
+            });
+        }
+        let key = self.resolve(scenario)?;
+        let probs = self.inner.full_probabilities()?;
+        match self.prob_eval_resolved(&key, &probs).probability {
+            Some(p) => Ok(p),
+            None => Err(BflError::DivisionByZero {
+                context: format!(
+                    "conditional `{}` has a zero-probability condition under [{}]",
+                    self.source,
+                    scenario.bindings_string()
+                ),
+            }),
+        }
+    }
+
+    /// Looks up one scenario's memoised probability evaluation.
+    fn prob_scenario_lookup(&self, key: &[(usize, bool)]) -> Option<ProbEval> {
+        self.prob_scenarios
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .copied()
+    }
+
+    /// Publishes one scenario's probability evaluation to the shared
+    /// scenario memo.
+    fn prob_scenario_insert(&self, key: &[(usize, bool)], pe: ProbEval) {
+        self.prob_scenarios
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.to_vec(), pe);
+    }
+
+    /// The scenario-memoised probability core (resolved key → result).
+    /// `Independence` shapes are rejected by the callers; `probs` is
+    /// validated by them.
+    fn prob_eval_resolved(&self, key: &[(usize, bool)], probs: &[f64]) -> ProbEval {
+        if let Some(pe) = self.prob_scenario_lookup(key) {
+            self.prob_hits.fetch_add(1, Ordering::Relaxed);
+            return pe;
+        }
+        // On `P(…)`-shaped plans the Boolean evaluator shares the
+        // computation: a scenario it has already judged carries the
+        // probability and verdict (the shape — unlike the handles — is
+        // stable across maintenance, so an unlocked snapshot suffices).
+        if matches!(self.roots.snapshot(), Compiled::Prob { .. }) {
+            if let Some(c) = self.lookup(key) {
+                let pe = ProbEval {
+                    probability: c.probability,
+                    holds: Some(c.holds),
+                };
+                self.prob_hits.fetch_add(1, Ordering::Relaxed);
+                self.prob_scenario_insert(key, pe);
+                return pe;
+            }
+        }
+        let mut mc = self.inner.lock();
+        let compiled = self.roots.snapshot();
+        let assignments = to_vars(&mc, key);
+        let pe = match compiled {
+            Compiled::Quantifier { root, .. } | Compiled::Importance { root } => {
+                let r = mc
+                    .tree_bdd_mut()
+                    .manager_mut()
+                    .restrict_many(root, &assignments);
+                let p = self
+                    .with_prob_memo(|memo| quant::bdd_probability_with_memo(&mc, r, probs, memo));
+                ProbEval {
+                    probability: Some(p),
+                    holds: None,
+                }
+            }
+            Compiled::Prob {
+                joint,
+                given,
+                op,
+                bound,
+            } => {
+                self.prob_judge_locked(&mut mc, joint, given, op, bound, &assignments, probs)
+                    .0
+            }
+            // Callers reject independence plans before resolving.
+            Compiled::Independence { .. } => ProbEval {
+                probability: None,
+                holds: None,
+            },
+        };
+        self.inner.maybe_maintain(&mut mc);
+        drop(mc);
+        self.prob_misses.fetch_add(1, Ordering::Relaxed);
+        self.prob_scenario_insert(key, pe);
+        pe
+    }
+
+    /// **Sweeps probabilities**: `P(ϕ | scenario)` for every scenario of
+    /// the set, fanned across `std::thread::scope` workers sharing the
+    /// plan's scenario memo and node-keyed Shannon memo. A warm sweep
+    /// (every scenario seen before) is pure cache lookups — the
+    /// `reproduce -- quant` artifact benchmarks this against the
+    /// recompute-per-scenario path.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedQuery::probability`], except that zero-probability
+    /// conditions are reported per-outcome (`probability: None`) rather
+    /// than as an error.
+    pub fn sweep_probabilities(&self, set: &ScenarioSet) -> Result<ProbSweepReport, BflError> {
+        if matches!(self.roots.snapshot(), Compiled::Independence { .. }) {
+            return Err(BflError::UnsupportedProbability {
+                query: self.source.clone(),
+            });
+        }
+        let keys: Vec<Vec<(usize, bool)>> = set
+            .iter()
+            .map(|s| self.resolve(s))
+            .collect::<Result<_, _>>()?;
+        let probs = self.inner.full_probabilities()?;
+        let (hits0, misses0) = (
+            self.prob_hits.load(Ordering::Relaxed),
+            self.prob_misses.load(Ordering::Relaxed),
+        );
+        let fresh0 = self
+            .prob_memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .nodes
+            .len();
+
+        let n = set.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n)
+            .max(1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ProbOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let pe = self.prob_eval_resolved(&keys[i], &probs);
+                    let s = &set.scenarios[i];
+                    let o = ProbOutcome {
+                        label: s.name().map(str::to_string),
+                        bindings: s.bindings_string(),
+                        probability: pe.probability,
+                        holds: pe.holds,
+                    };
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(o);
+                });
+            }
+        });
+
+        let fresh1 = self
+            .prob_memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .nodes
+            .len();
+        let stats = ProbSweepStats {
+            scenarios: n,
+            workers,
+            memo_hits: self.prob_hits.load(Ordering::Relaxed) - hits0,
+            memo_misses: self.prob_misses.load(Ordering::Relaxed) - misses0,
+            fresh_nodes: fresh1.saturating_sub(fresh0),
+        };
+        let mut outcomes = Vec::with_capacity(n);
+        for slot in slots {
+            outcomes.push(
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("worker filled every slot"),
+            );
+        }
+        Ok(ProbSweepReport {
+            query: self.source.clone(),
+            outcomes,
+            stats,
+        })
     }
 }
 
@@ -962,6 +1462,132 @@ impl fmt::Display for SweepReport {
             self.stats.translation_misses,
             self.stats.arena_before,
             self.stats.arena_after
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The probability-sweep report.
+// ---------------------------------------------------------------------------
+
+/// One scenario's probability in a [`ProbSweepReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbOutcome {
+    /// The scenario's name, if any.
+    pub label: Option<String>,
+    /// The scenario's bindings, rendered (`A = 1, B = 0`; empty for the
+    /// baseline).
+    pub bindings: String,
+    /// `P(ϕ | scenario)`; `None` when a conditional plan's condition has
+    /// (effectively) zero probability under the scenario.
+    pub probability: Option<f64>,
+    /// For `P(…) ▷◁ p`-shaped plans: the threshold verdict. `None` for
+    /// plans with no bound (`exists`/`forall`/`importance` operands).
+    pub holds: Option<bool>,
+}
+
+impl ProbOutcome {
+    /// `label [bindings]`, or whichever half is present.
+    pub fn title(&self) -> String {
+        match (&self.label, self.bindings.is_empty()) {
+            (Some(l), true) => l.clone(),
+            (Some(l), false) => format!("{l} [{}]", self.bindings),
+            (None, true) => "(baseline)".to_string(),
+            (None, false) => format!("[{}]", self.bindings),
+        }
+    }
+}
+
+/// Cache statistics of one [`PreparedQuery::sweep_probabilities`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbSweepStats {
+    /// Number of scenarios evaluated.
+    pub scenarios: usize,
+    /// Number of `std::thread::scope` workers spawned.
+    pub workers: usize,
+    /// Scenarios answered from the scenario memo (pure lookups — a warm
+    /// sweep is all hits).
+    pub memo_hits: u64,
+    /// Scenarios computed by restriction + Shannon walk.
+    pub memo_misses: u64,
+    /// Nodes newly entered into the plan's node-keyed Shannon memo
+    /// during the sweep — **0** on a warm sweep: restrictions of one
+    /// diagram share almost all nodes, and repeats share all of them.
+    pub fresh_nodes: usize,
+}
+
+/// The result of sweeping probabilities over a scenario set: one
+/// [`ProbOutcome`] per scenario (in set order) plus cache statistics,
+/// rendered as text ([`fmt::Display`]) or JSON
+/// ([`ProbSweepReport::to_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbSweepReport {
+    /// Concrete syntax of the prepared query.
+    pub query: String,
+    /// Per-scenario probabilities, in scenario-set order.
+    pub outcomes: Vec<ProbOutcome>,
+    /// Sweep-level cache statistics.
+    pub stats: ProbSweepStats,
+}
+
+impl ProbSweepReport {
+    /// Serialises the report as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"query\":{}", json_str(&self.query)));
+        out.push_str(",\"outcomes\":[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            match &o.label {
+                Some(l) => out.push_str(&format!("\"label\":{}", json_str(l))),
+                None => out.push_str("\"label\":null"),
+            }
+            out.push_str(&format!(",\"bindings\":{}", json_str(&o.bindings)));
+            match o.probability {
+                Some(p) => out.push_str(&format!(",\"probability\":{p}")),
+                None => out.push_str(",\"probability\":null"),
+            }
+            match o.holds {
+                Some(h) => out.push_str(&format!(",\"holds\":{h}")),
+                None => out.push_str(",\"holds\":null"),
+            }
+            out.push('}');
+        }
+        let s = &self.stats;
+        out.push_str(&format!(
+            "],\"sweep\":{{\"scenarios\":{},\"workers\":{},\"memo_hits\":{},\"memo_misses\":{},\"fresh_nodes\":{}}}",
+            s.scenarios, s.workers, s.memo_hits, s.memo_misses, s.fresh_nodes
+        ));
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for ProbSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "probability sweep `{}` over {} scenarios ({} workers)",
+            self.query, self.stats.scenarios, self.stats.workers
+        )?;
+        for o in &self.outcomes {
+            let verdict = match o.holds {
+                Some(true) => "PASS  ",
+                Some(false) => "FAIL  ",
+                None => "      ",
+            };
+            match o.probability {
+                Some(p) => writeln!(f, "{verdict}{:<40} {p}", o.title())?,
+                None => writeln!(f, "{verdict}{:<40} (condition impossible)", o.title())?,
+            }
+        }
+        writeln!(
+            f,
+            "{} computed / {} memoised · {} fresh memo nodes",
+            self.stats.memo_misses, self.stats.memo_hits, self.stats.fresh_nodes
         )
     }
 }

@@ -32,6 +32,7 @@ use bfl_fault_tree::{FaultTree, StatusVector};
 use crate::ast::{Formula, Query};
 use crate::counterexample::Counterexample;
 use crate::parser::{self, ParseError};
+use crate::quant::EventImportance;
 
 /// A batch of BFL questions to be evaluated against one fault tree.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -292,6 +293,12 @@ pub struct Outcome {
     /// For failed `IDP`/`SUP` queries: the shared influencing basic
     /// events.
     pub shared_events: Vec<String>,
+    /// For probability judgements `P(ϕ) ▷◁ p`: the computed probability
+    /// (`None` for Boolean questions, and for conditionals whose
+    /// condition has probability zero).
+    pub probability: Option<f64>,
+    /// For `importance(ϕ)` judgements: the ranked importance table.
+    pub importance: Vec<EventImportance>,
     /// Evaluation statistics.
     pub stats: EvalStats,
 }
@@ -308,6 +315,8 @@ impl Outcome {
             counterexamples: Vec::new(),
             counterexample: None,
             shared_events: Vec::new(),
+            probability: None,
+            importance: Vec::new(),
             stats: EvalStats::default(),
         }
     }
@@ -431,9 +440,41 @@ pub(crate) fn json_outcome(tree: &FaultTree, o: &Outcome) -> String {
     }
     let shared: Vec<&str> = o.shared_events.iter().map(String::as_str).collect();
     out.push_str(&format!(",\"shared_events\":{}", json_names(&shared)));
+    match o.probability {
+        Some(p) => out.push_str(&format!(",\"probability\":{p}")),
+        None => out.push_str(",\"probability\":null"),
+    }
+    out.push_str(&format!(
+        ",\"importance\":{}",
+        json_importance(&o.importance)
+    ));
     out.push_str(&format!(",\"stats\":{}", json_stats(&o.stats)));
     out.push('}');
     out
+}
+
+/// Serialises an importance table as a JSON array (rows in rank order).
+/// A diverging RRW renders as `null` (JSON has no infinity).
+pub fn json_importance(rows: &[EventImportance]) -> String {
+    let parts: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"event\":{},\"probability\":{},\"birnbaum\":{},\"criticality\":{},\
+                 \"fussell_vesely\":{},\"raw\":{},\"rrw\":{}}}",
+                json_str(&r.event),
+                r.probability,
+                r.birnbaum,
+                r.criticality,
+                r.fussell_vesely,
+                r.raw,
+                r.rrw
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "null".into())
+            )
+        })
+        .collect();
+    format!("[{}]", parts.join(","))
 }
 
 /// Serialises a string as a JSON string literal with full escaping —
@@ -475,6 +516,23 @@ pub fn json_name_sets(sets: &[Vec<String>]) -> String {
     format!("[{}]", parts.join(","))
 }
 
+/// One human-readable importance-table line, shared by the report and
+/// sweep renderers and the CLI.
+pub fn importance_row(r: &EventImportance) -> String {
+    format!(
+        "{:<12} p={:<10.6} BB={:<12.6} CR={:<12.6} FV={:<12.6} RAW={:<10.4} RRW={}",
+        r.event,
+        r.probability,
+        r.birnbaum,
+        r.criticality,
+        r.fussell_vesely,
+        r.raw,
+        r.rrw
+            .map(|x| format!("{x:.4}"))
+            .unwrap_or_else(|| "∞".into())
+    )
+}
+
 pub(crate) fn json_stats(s: &EvalStats) -> String {
     format!(
         "{{\"bdd_nodes\":{},\"arena_nodes\":{},\"cache_hits\":{},\"cache_misses\":{},\"duration_micros\":{}}}",
@@ -510,6 +568,12 @@ impl fmt::Display for Report {
             }
             if !o.shared_events.is_empty() {
                 writeln!(f, "      shared events {{{}}}", o.shared_events.join(", "))?;
+            }
+            if let Some(p) = o.probability {
+                writeln!(f, "      probability {p}")?;
+            }
+            for r in &o.importance {
+                writeln!(f, "      {}", importance_row(r))?;
             }
         }
         writeln!(

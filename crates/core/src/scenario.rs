@@ -142,6 +142,18 @@ impl Scenario {
                 self.specialise(&Formula::atom(name.clone())),
                 self.specialise(&Formula::atom(top_name)),
             ),
+            Query::Prob {
+                formula,
+                given,
+                op,
+                bound,
+            } => Query::Prob {
+                formula: self.specialise(formula),
+                given: given.as_ref().map(|g| self.specialise(g)),
+                op: *op,
+                bound: *bound,
+            },
+            Query::Importance(phi) => Query::Importance(self.specialise(phi)),
         }
     }
 

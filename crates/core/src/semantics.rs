@@ -183,6 +183,16 @@ pub fn eval_query(tree: &FaultTree, psi: &Query) -> Result<bool, BflError> {
                 &Query::Idp(Formula::atom(name.clone()), Formula::atom(top)),
             )
         }
+        // Probabilistic judgements need annotations; the reference layer
+        // is purely Boolean. `quant::probability_naive` is the reference
+        // for the quantitative layer.
+        Query::Prob { .. } | Query::Importance(_) => Err(BflError::MissingProbabilities {
+            events: tree
+                .basic_events()
+                .iter()
+                .map(|&e| tree.name(e).to_string())
+                .collect(),
+        }),
     }
 }
 

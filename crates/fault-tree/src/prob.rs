@@ -6,6 +6,11 @@
 //! Shannon recursion over the element's BDD — the classical
 //! Rauzy-style quantitative fault-tree analysis. On top of it we provide
 //! the two most common importance measures.
+//!
+//! Every entry point taking a user-supplied probability vector is
+//! **fallible**: malformed vectors come back as `Err(String)` (the
+//! message of [`validate_probabilities`]), never as panics. `bfl-core`
+//! maps these into `BflError::InvalidProbability`.
 
 use std::collections::HashMap;
 
@@ -42,43 +47,47 @@ pub fn validate_probabilities(tree: &FaultTree, probs: &[f64]) -> Result<(), Str
 /// Exact failure probability of the function `f` under independent
 /// basic-event probabilities `probs` (indexed by basic index).
 ///
+/// # Errors
+///
+/// The message of [`validate_probabilities`] if `probs` is malformed.
+///
 /// # Panics
 ///
-/// Panics if `probs` fails [`validate_probabilities`] for the `TreeBdd`'s
-/// tree, or if `f` mentions primed variables.
-pub fn bdd_probability(tree: &FaultTree, tb: &TreeBdd, f: Bdd, probs: &[f64]) -> f64 {
-    validate_probabilities(tree, probs).expect("invalid probabilities");
+/// Panics if `f` mentions primed variables (query BDDs never do).
+pub fn bdd_probability(
+    tree: &FaultTree,
+    tb: &TreeBdd,
+    f: Bdd,
+    probs: &[f64],
+) -> Result<f64, String> {
+    validate_probabilities(tree, probs)?;
     let mut memo: HashMap<u32, f64> = HashMap::new();
-    probability_rec(tree, tb, f, probs, &mut memo)
+    Ok(bdd_probability_with_memo(tb, f, probs, &mut memo))
 }
 
-fn probability_rec(
-    tree: &FaultTree,
+/// The node-keyed Shannon walk behind [`bdd_probability`]: delegates to
+/// [`bfl_bdd::Manager::probability_with_memo`] with this `TreeBdd`'s
+/// variable-to-basic-index map, sharing the memo across roots.
+///
+/// # Panics
+///
+/// Panics if `f` mentions primed variables (query BDDs never do).
+pub fn bdd_probability_with_memo(
     tb: &TreeBdd,
     f: Bdd,
     probs: &[f64],
     memo: &mut HashMap<u32, f64>,
 ) -> f64 {
-    if f.is_false() {
-        return 0.0;
-    }
-    if f.is_true() {
-        return 1.0;
-    }
-    if let Some(&p) = memo.get(&f.id()) {
-        return p;
-    }
-    let node = tb.manager().node(f);
-    let bi = tb
-        .basic_of_var(node.var)
-        .expect("probability of a primed variable");
-    let _ = tree; // tree is only used for validation and error reporting
-    let p = probs[bi];
-    let lo = probability_rec(tree, tb, node.low, probs, memo);
-    let hi = probability_rec(tree, tb, node.high, probs, memo);
-    let r = (1.0 - p) * lo + p * hi;
-    memo.insert(f.id(), r);
-    r
+    tb.manager().probability_with_memo(
+        f,
+        &|v| {
+            let bi = tb
+                .basic_of_var(v)
+                .expect("probability of a primed variable");
+            probs[bi]
+        },
+        memo,
+    )
 }
 
 /// Exact failure probability of element `e` of `tree`.
@@ -89,64 +98,90 @@ fn probability_rec(
 /// use bfl_fault_tree::{corpus, prob};
 /// let tree = corpus::or2();
 /// // P(Top) = 1 - (1-0.1)(1-0.2) = 0.28
-/// let p = prob::element_probability(&tree, tree.top(), &[0.1, 0.2]);
+/// let p = prob::element_probability(&tree, tree.top(), &[0.1, 0.2]).unwrap();
 /// assert!((p - 0.28).abs() < 1e-12);
+/// // Malformed vectors are errors, not panics.
+/// assert!(prob::element_probability(&tree, tree.top(), &[0.1]).is_err());
 /// ```
-pub fn element_probability(tree: &FaultTree, e: ElementId, probs: &[f64]) -> f64 {
+///
+/// # Errors
+///
+/// The message of [`validate_probabilities`] if `probs` is malformed.
+pub fn element_probability(tree: &FaultTree, e: ElementId, probs: &[f64]) -> Result<f64, String> {
     let mut tb = TreeBdd::new(tree, crate::order::VariableOrdering::DfsPreorder);
     let f = tb.element_bdd(tree, e);
     bdd_probability(tree, &tb, f, probs)
 }
 
 /// Top-event unreliability.
-pub fn top_event_probability(tree: &FaultTree, probs: &[f64]) -> f64 {
+///
+/// # Errors
+///
+/// As for [`element_probability`].
+pub fn top_event_probability(tree: &FaultTree, probs: &[f64]) -> Result<f64, String> {
     element_probability(tree, tree.top(), probs)
 }
 
 /// Birnbaum importance of basic event `be` for element `e`:
 /// `I_B = P(e fails | be failed) − P(e fails | be operational)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `be` is not a basic event or `probs` is invalid.
-pub fn birnbaum_importance(tree: &FaultTree, e: ElementId, be: ElementId, probs: &[f64]) -> f64 {
+/// A message naming `be` if it is not a basic event of the tree, or the
+/// message of [`validate_probabilities`] if `probs` is malformed.
+pub fn birnbaum_importance(
+    tree: &FaultTree,
+    e: ElementId,
+    be: ElementId,
+    probs: &[f64],
+) -> Result<f64, String> {
+    validate_probabilities(tree, probs)?;
     let bi = tree
         .basic_index(be)
-        .unwrap_or_else(|| panic!("`{}` is not a basic event", tree.name(be)));
+        .ok_or_else(|| format!("`{}` is not a basic event", tree.name(be)))?;
     let mut hi = probs.to_vec();
     hi[bi] = 1.0;
     let mut lo = probs.to_vec();
     lo[bi] = 0.0;
-    element_probability(tree, e, &hi) - element_probability(tree, e, &lo)
+    Ok(element_probability(tree, e, &hi)? - element_probability(tree, e, &lo)?)
 }
 
 /// Improvement potential of basic event `be` for element `e`:
 /// `I_IP = P(e fails) − P(e fails | be operational)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `be` is not a basic event or `probs` is invalid.
-pub fn improvement_potential(tree: &FaultTree, e: ElementId, be: ElementId, probs: &[f64]) -> f64 {
+/// As for [`birnbaum_importance`].
+pub fn improvement_potential(
+    tree: &FaultTree,
+    e: ElementId,
+    be: ElementId,
+    probs: &[f64],
+) -> Result<f64, String> {
+    validate_probabilities(tree, probs)?;
     let bi = tree
         .basic_index(be)
-        .unwrap_or_else(|| panic!("`{}` is not a basic event", tree.name(be)));
+        .ok_or_else(|| format!("`{}` is not a basic event", tree.name(be)))?;
     let mut lo = probs.to_vec();
     lo[bi] = 0.0;
-    element_probability(tree, e, probs) - element_probability(tree, e, &lo)
+    Ok(element_probability(tree, e, probs)? - element_probability(tree, e, &lo)?)
 }
 
 /// Exhaustive reference: probability by summing over all `2^n` vectors.
 /// Used as ground truth in tests.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the tree has more than 20 basic events.
-pub fn probability_naive(tree: &FaultTree, e: ElementId, probs: &[f64]) -> f64 {
-    assert!(
-        tree.num_basic_events() <= 20,
-        "naive engine limited to 20 events"
-    );
-    validate_probabilities(tree, probs).expect("invalid probabilities");
+/// A message if the tree has more than 20 basic events or `probs` is
+/// malformed.
+pub fn probability_naive(tree: &FaultTree, e: ElementId, probs: &[f64]) -> Result<f64, String> {
+    if tree.num_basic_events() > 20 {
+        return Err(format!(
+            "naive engine limited to 20 events, tree has {}",
+            tree.num_basic_events()
+        ));
+    }
+    validate_probabilities(tree, probs)?;
     let mut total = 0.0;
     for b in crate::status::StatusVector::enumerate_all(tree.num_basic_events()) {
         if tree.evaluate(&b, e) {
@@ -157,7 +192,7 @@ pub fn probability_naive(tree: &FaultTree, e: ElementId, probs: &[f64]) -> f64 {
             total += w;
         }
     }
-    total
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -171,7 +206,7 @@ mod tests {
         let cp = tree.element("CP").unwrap();
         // CP = AND(IW, H3); order of basics: IW H3 IT H2
         let probs = [0.3, 0.5, 0.0, 0.0];
-        let p = element_probability(&tree, cp, &probs);
+        let p = element_probability(&tree, cp, &probs).unwrap();
         assert!((p - 0.15).abs() < 1e-12);
     }
 
@@ -182,8 +217,8 @@ mod tests {
         let probs: Vec<f64> = (0..n)
             .map(|i| 0.05 + 0.9 * (i as f64) / (n as f64))
             .collect();
-        let fast = top_event_probability(&tree, &probs);
-        let slow = probability_naive(&tree, tree.top(), &probs);
+        let fast = top_event_probability(&tree, &probs).unwrap();
+        let slow = probability_naive(&tree, tree.top(), &probs).unwrap();
         assert!((fast - slow).abs() < 1e-10, "fast={fast} slow={slow}");
     }
 
@@ -194,7 +229,7 @@ mod tests {
         b.basic_event("x").unwrap();
         b.gate("top", crate::GateType::Or, ["x", "x"]).unwrap();
         let tree = b.build("top").unwrap();
-        let p = top_event_probability(&tree, &[0.3]);
+        let p = top_event_probability(&tree, &[0.3]).unwrap();
         assert!((p - 0.3).abs() < 1e-12);
     }
 
@@ -203,7 +238,7 @@ mod tests {
         // Top = OR(a, b): I_B(a) = 1 - P(b)
         let tree = corpus::or2();
         let a = tree.element("e1").unwrap();
-        let i = birnbaum_importance(&tree, tree.top(), a, &[0.1, 0.2]);
+        let i = birnbaum_importance(&tree, tree.top(), a, &[0.1, 0.2]).unwrap();
         assert!((i - 0.8).abs() < 1e-12);
     }
 
@@ -212,9 +247,9 @@ mod tests {
         let tree = corpus::covid();
         let n = tree.num_basic_events();
         let probs = vec![0.1; n];
-        let top_p = top_event_probability(&tree, &probs);
+        let top_p = top_event_probability(&tree, &probs).unwrap();
         for &be in tree.basic_events() {
-            let ip = improvement_potential(&tree, tree.top(), be, &probs);
+            let ip = improvement_potential(&tree, tree.top(), be, &probs).unwrap();
             assert!(ip >= -1e-12 && ip <= top_p + 1e-12, "{}", tree.name(be));
         }
     }
@@ -226,5 +261,19 @@ mod tests {
         assert!(validate_probabilities(&tree, &[0.5, 1.5]).is_err());
         assert!(validate_probabilities(&tree, &[0.5, f64::NAN]).is_err());
         assert!(validate_probabilities(&tree, &[0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn malformed_vectors_are_errors_not_panics() {
+        let tree = corpus::or2();
+        let top = tree.top();
+        let e1 = tree.element("e1").unwrap();
+        assert!(top_event_probability(&tree, &[0.5]).is_err());
+        assert!(top_event_probability(&tree, &[0.5, f64::NAN]).is_err());
+        assert!(probability_naive(&tree, top, &[0.5, 1.5]).is_err());
+        assert!(birnbaum_importance(&tree, top, e1, &[]).is_err());
+        assert!(improvement_potential(&tree, top, e1, &[2.0, 0.1]).is_err());
+        // A gate is not a basic event: an error, not a panic.
+        assert!(birnbaum_importance(&tree, top, top, &[0.1, 0.2]).is_err());
     }
 }

@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power = tree.require("Power")?;
     println!(
         "Birnbaum importance of Power: {:.6}",
-        bfl::ft::prob::birnbaum_importance(tree, tree.top(), power, &probs)
+        bfl::ft::prob::birnbaum_importance(tree, tree.top(), power, &probs)?
     );
 
     // Round-trip: print the tree back as Galileo.

@@ -1,10 +1,11 @@
-//! The probability layer (the paper's first future-work item): exact
-//! top-event probability, importance measures, and a probability sweep on
-//! the COVID-19 case study.
+//! The probabilistic layer (the paper's first future-work item, realised
+//! PFL-style): exact formula probabilities, layer-2 probability
+//! judgements, the batched importance suite, and memoised probability
+//! sweeps on compiled plans — all on the COVID-19 case study.
 //!
 //! Run with: `cargo run --example reliability`
 
-use bfl::ft::prob;
+use bfl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = bfl::ft::corpus::covid();
@@ -24,45 +25,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             _ => 0.10,    // human errors H1..H5
         }
     };
-    let probs: Vec<f64> = tree
+    let probs: Vec<Option<f64>> = tree
         .basic_events()
         .iter()
-        .map(|&e| p_of(tree.name(e)))
+        .map(|&e| Some(p_of(tree.name(e))))
         .collect();
+    let session = AnalysisSession::builder().probabilities(probs).build(tree);
 
-    let top = prob::top_event_probability(&tree, &probs);
+    let top = session.top_event_probability()?;
     println!("P(IWoS) = {top:.6}  ({n} basic events)\n");
 
-    println!("{:<6} {:>12} {:>14}", "event", "Birnbaum", "improvement");
-    let mut rows: Vec<(String, f64, f64)> = tree
-        .basic_events()
-        .iter()
-        .map(|&e| {
-            (
-                tree.name(e).to_string(),
-                prob::birnbaum_importance(&tree, tree.top(), e, &probs),
-                prob::improvement_potential(&tree, tree.top(), e, &probs),
-            )
-        })
-        .collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    for (name, bir, ip) in &rows {
-        println!("{name:<6} {bir:>12.6} {ip:>14.6}");
+    // Probability of *any* formula — here: that the realised failure set
+    // is exactly a minimal cut set, and a conditional.
+    let mcs = parse_formula("MCS(IWoS)")?;
+    println!(
+        "P(MCS(IWoS))       = {:.6}",
+        session.formula_probability(&mcs)?
+    );
+    let phi = parse_formula("IWoS")?;
+    let given = parse_formula("H1 & H4")?;
+    if let Some(p) = session.conditional_probability(&phi, &given)? {
+        println!("P(IWoS | H1 ∧ H4)  = {p:.6}");
     }
 
-    // Sweep: how does the top-event probability react to the rate of
-    // procedure violations (H1, the most critical event)?
-    println!("\nP(IWoS) as a function of P(H1):");
-    let h1 = tree.require("H1")?;
-    let bi = tree.basic_index(h1).expect("basic");
-    for step in 0..=10 {
-        let p = step as f64 / 10.0;
-        let mut ps = probs.clone();
-        ps[bi] = p;
+    // Layer-2 probability judgements run like any other query — also in
+    // spec files and on the CLI (`bfl check --ft … 'P(IWoS) <= 0.01'`).
+    for src in ["P(IWoS) <= 0.01", "P(IWoS | H1 & H4) >= 0.001"] {
+        let outcome = session.check_query(&parse_query(src)?)?;
         println!(
-            "  P(H1) = {p:.1}  ->  P(IWoS) = {:.6}",
-            prob::top_event_probability(&tree, &ps)
+            "{src:<28} -> {} (p = {:.6})",
+            outcome.holds,
+            outcome.probability.unwrap_or(f64::NAN)
         );
     }
+
+    // The batched importance suite: Birnbaum, criticality,
+    // Fussell-Vesely, RAW, RRW — one call, one shared Shannon memo.
+    println!("\nimportance ranking for IWoS:");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "event", "Birnbaum", "criticality", "Fussell-V.", "RAW", "RRW"
+    );
+    for r in session.rank_events(&phi)? {
+        println!(
+            "{:<6} {:>10.6} {:>12.6} {:>12.6} {:>10.4} {:>10}",
+            r.event,
+            r.birnbaum,
+            r.criticality,
+            r.fussell_vesely,
+            r.raw,
+            r.rrw
+                .map(|x| format!("{x:.4}"))
+                .unwrap_or_else(|| "∞".into()),
+        );
+    }
+
+    // Probability sweeps on a compiled plan: the query is prepared once;
+    // each scenario is BDD restriction + a memoised Shannon walk — never
+    // a recompile. Here: fail and fix each human error in turn.
+    let prepared = session.prepare(&parse_query("P(IWoS) <= 0.01")?)?;
+    let mut set = ScenarioSet::new();
+    for h in ["H1", "H2", "H3", "H4", "H5"] {
+        set.push(Scenario::named(format!("{h} failed")).bind(h, true));
+        set.push(Scenario::named(format!("{h} fixed")).bind(h, false));
+    }
+    let report = prepared.sweep_probabilities(&set)?;
+    println!("\n{report}");
+    let warm = prepared.sweep_probabilities(&set)?;
+    println!(
+        "warm sweep: {} memo hits, {} fresh nodes (pure cache lookups)",
+        warm.stats.memo_hits, warm.stats.fresh_nodes
+    );
     Ok(())
 }

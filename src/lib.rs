@@ -74,12 +74,16 @@ pub mod prelude {
         SessionBuilder,
     };
     pub use bfl_core::parser::{parse_formula, parse_query, parse_spec};
-    pub use bfl_core::plan::{Plan, PreparedQuery, PreparedStats, SweepReport, SweepStats};
+    pub use bfl_core::plan::{
+        Plan, PreparedQuery, PreparedStats, ProbOutcome, ProbSweepReport, ProbSweepStats,
+        SweepReport, SweepStats,
+    };
+    pub use bfl_core::quant::{EventImportance, ProbQuery};
     pub use bfl_core::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
     pub use bfl_core::scenario::{Scenario, ScenarioSet};
     pub use bfl_core::{
         counterexample, is_valid_counterexample, BflError, CmpOp, Counterexample, Formula,
-        MinimalityScope, ModelChecker, Pattern, Query,
+        MinimalityScope, ModelChecker, Pattern, Prob, Query,
     };
     pub use bfl_fault_tree::{
         FaultTree, FaultTreeBuilder, GateType, StatusVector, VariableOrdering,

@@ -106,10 +106,10 @@ proptest! {
         use bfl::ft::prob;
         let n = tree.num_basic_events();
         let base = vec![0.3; n];
-        let p0 = prob::top_event_probability(&tree, &base);
+        let p0 = prob::top_event_probability(&tree, &base).unwrap();
         let mut raised = base.clone();
         raised[which] = 0.8;
-        let p1 = prob::top_event_probability(&tree, &raised);
+        let p1 = prob::top_event_probability(&tree, &raised).unwrap();
         prop_assert!(p1 >= p0 - 1e-12, "p0={p0} p1={p1}");
     }
 

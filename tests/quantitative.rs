@@ -1,9 +1,16 @@
-//! Integration tests for the quantitative extension (the paper's first
-//! future-work item) on the case-study tree: probabilities of arbitrary
-//! BFL formulas, conditionals, thresholds and importance.
+//! Integration tests for the quantitative subsystem (the paper's first
+//! future-work item, PFL-style): probabilities of arbitrary BFL
+//! formulas, conditionals, threshold judgements, importance rankings,
+//! and the prepared-plan probability path — cross-checked against the
+//! exhaustive reference on the case study and on random trees.
 
+use bfl::ft::generator::{random_tree, RandomTreeConfig};
+use bfl::ft::rng::Prng;
 use bfl::logic::quant;
 use bfl::prelude::*;
+
+mod common;
+use common::random_formula;
 
 fn covid_probs(tree: &FaultTree) -> Vec<f64> {
     tree.basic_events()
@@ -81,7 +88,7 @@ fn threshold_queries_on_covid() {
     let p = quant::probability(&mut mc, &parse_formula("IWoS").unwrap(), &probs).unwrap();
     // The top event is rare under this profile.
     assert!(p < 0.01, "{p}");
-    let q = quant::ProbQuery::new(parse_formula("IWoS").unwrap(), CmpOp::Le, 0.01);
+    let q = quant::ProbQuery::try_new(parse_formula("IWoS").unwrap(), CmpOp::Le, 0.01).unwrap();
     assert!(q.check(&mut mc, &probs).unwrap());
 }
 
@@ -98,6 +105,13 @@ fn birnbaum_ranks_h1_highest() {
         let b = quant::birnbaum(&mut mc, &phi, other, &probs).unwrap();
         assert!(h1 > b, "H1={h1} vs {other}={b}");
     }
+    // The batched suite agrees with the pointwise calls and puts H1
+    // first among the human errors.
+    let rows = quant::rank_events(&mut mc, &phi, &probs).unwrap();
+    let pos = |name: &str| rows.iter().position(|r| r.event == name).unwrap();
+    for other in ["H2", "H3", "H4", "H5"] {
+        assert!(pos("H1") < pos(other), "H1 ranked below {other}");
+    }
 }
 
 #[test]
@@ -112,4 +126,400 @@ fn probability_of_mutually_exclusive_split_sums() {
     let with = quant::probability(&mut mc, &phi.clone().and(psi.clone()), &probs).unwrap();
     let without = quant::probability(&mut mc, &phi.and(psi.not()), &probs).unwrap();
     assert!((total - (with + without)).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// The three-way property suite: PreparedQuery::probability ≡
+// quant::probability ≡ probability_naive on random ≤20-event trees and
+// formulas.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prepared_probability_cross_checks_on_random_trees() {
+    let mut rng = Prng::seed_from_u64(0x9A5D);
+    for seed in 0..6u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 6 + (seed as usize % 5),
+            num_gates: 5,
+            max_children: 3,
+            vot_probability: 0.2,
+            seed: 0xBEEF + seed,
+        });
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(1..99) as f64 / 100.0)
+            .collect();
+        let names: Vec<String> = tree.iter().map(|e| tree.name(e).to_string()).collect();
+        let basics: Vec<String> = tree
+            .basic_event_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let session = AnalysisSession::builder()
+            .probabilities(probs.iter().map(|&p| Some(p)).collect())
+            .build(tree.clone());
+        let mut mc = ModelChecker::new(&tree);
+        for _ in 0..8 {
+            let phi = random_formula(&mut rng, &names, &basics, 3);
+            let direct = match quant::probability(&mut mc, &phi, &probs) {
+                Ok(p) => p,
+                Err(_) => continue, // unknown-element formulas etc.
+            };
+            let naive = quant::probability_naive(&tree, &phi, &probs).unwrap();
+            assert!(
+                (direct - naive).abs() < 1e-9,
+                "{phi}: direct={direct} naive={naive}"
+            );
+            let session_p = session.formula_probability(&phi).unwrap();
+            assert!((session_p - naive).abs() < 1e-9, "{phi}");
+            // The prepared plan computes the same value by restriction +
+            // memoised Shannon walk.
+            let prepared = session.prepare(&Query::exists(phi.clone())).unwrap();
+            let plan_p = prepared.probability(&Scenario::new()).unwrap();
+            assert!(
+                (plan_p - naive).abs() < 1e-9,
+                "{phi}: plan={plan_p} naive={naive}"
+            );
+            // And under a random scenario it agrees with the
+            // evidence-wrapped recompute path.
+            let scenario = common::random_scenario(&mut rng, &basics);
+            let wrapped = scenario.specialise(&phi);
+            let expected = quant::probability(&mut mc, &wrapped, &probs).unwrap();
+            let got = prepared.probability(&scenario).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "{phi} under {scenario}: plan={got} recompute={expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn importance_ranks_match_naive_cofactors_on_random_trees() {
+    let mut rng = Prng::seed_from_u64(0xFACE);
+    for seed in 0..4u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 7,
+            num_gates: 5,
+            max_children: 3,
+            vot_probability: 0.15,
+            seed: 0xD00D + seed,
+        });
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(5..95) as f64 / 100.0)
+            .collect();
+        let mut mc = ModelChecker::new(&tree);
+        let phi = Formula::atom(tree.name(tree.top()));
+        let p_phi = quant::probability_naive(&tree, &phi, &probs).unwrap();
+        if p_phi < 1e-9 {
+            continue;
+        }
+        let rows = quant::rank_events(&mut mc, &phi, &probs).unwrap();
+        assert_eq!(rows.len(), n);
+        for row in &rows {
+            // Naive cofactor computation: force the event in the AST and
+            // sum over all vectors.
+            let hi = quant::probability_naive(
+                &tree,
+                &phi.clone().with_evidence(&*row.event, true),
+                &probs,
+            )
+            .unwrap();
+            let lo = quant::probability_naive(
+                &tree,
+                &phi.clone().with_evidence(&*row.event, false),
+                &probs,
+            )
+            .unwrap();
+            assert!(
+                (row.birnbaum - (hi - lo)).abs() < 1e-9,
+                "{}: BB {} vs naive {}",
+                row.event,
+                row.birnbaum,
+                hi - lo
+            );
+            assert!((row.fussell_vesely - row.probability * hi / p_phi).abs() < 1e-6);
+            assert!((row.criticality - (p_phi - lo) / p_phi).abs() < 1e-6);
+            assert!((row.raw - hi / p_phi).abs() < 1e-6);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The probabilistic layer-2 judgements end-to-end: parser → session →
+// report.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prob_judgements_run_through_spec_files() {
+    let tree = bfl::ft::corpus::covid();
+    let probs = covid_probs(&tree);
+    let session = AnalysisSession::builder()
+        .probabilities(probs.iter().map(|&p| Some(p)).collect())
+        .build(tree);
+    let spec = Spec::parse(
+        "# quantitative properties\n\
+         Q1: P(IWoS) <= 0.01\n\
+         Q2: P(IWoS) > 0.5\n\
+         Q3: P(IWoS | H1 & H4) >= 0.001\n\
+         Q4: importance(IWoS)\n",
+    )
+    .unwrap();
+    let report = session.run(&spec).unwrap();
+    assert_eq!(report.outcomes.len(), 4);
+    assert!(report.outcomes[0].holds);
+    assert!(report.outcomes[0].probability.unwrap() < 0.01);
+    assert!(!report.outcomes[1].holds);
+    assert!(report.outcomes[2].holds);
+    // Conditioning can only raise the probability of a monotone top.
+    assert!(report.outcomes[2].probability.unwrap() >= report.outcomes[0].probability.unwrap());
+    assert!(report.outcomes[3].holds);
+    assert_eq!(
+        report.outcomes[3].importance.len(),
+        session.tree().num_basic_events()
+    );
+    // Text and JSON renderings carry the quantitative payload.
+    let text = report.to_string();
+    assert!(text.contains("probability"), "{text}");
+    assert!(text.contains("RRW"), "{text}");
+    let json = report.to_json();
+    assert!(json.contains("\"probability\":"), "{json}");
+    assert!(json.contains("\"fussell_vesely\":"), "{json}");
+}
+
+#[test]
+fn prob_judgements_without_annotations_error_cleanly() {
+    let session = AnalysisSession::new(bfl::ft::corpus::or2());
+    let q = parse_query("P(Top) <= 0.5").unwrap();
+    assert!(matches!(
+        session.check_query(&q),
+        Err(BflError::MissingProbabilities { .. })
+    ));
+    assert!(matches!(
+        session.rank_events(&Formula::atom("Top")),
+        Err(BflError::MissingProbabilities { .. })
+    ));
+    // The bare checker reports the same (it never holds annotations).
+    let tree = bfl::ft::corpus::or2();
+    let mut mc = ModelChecker::new(&tree);
+    assert!(matches!(
+        mc.check_query(&q),
+        Err(BflError::MissingProbabilities { .. })
+    ));
+}
+
+#[test]
+fn invalid_annotations_error_instead_of_panicking() {
+    // NaN and out-of-range values configured at build time surface as
+    // InvalidProbability from every entry point (they used to panic deep
+    // in the quantitative layer).
+    for bad in [f64::NAN, 1.5, -0.5, f64::INFINITY] {
+        let session = AnalysisSession::builder()
+            .probabilities(vec![Some(0.1), Some(bad)])
+            .build(bfl::ft::corpus::or2());
+        assert!(
+            matches!(
+                session.top_event_probability(),
+                Err(BflError::InvalidProbability { .. })
+            ),
+            "{bad}"
+        );
+        assert!(session.formula_probability(&Formula::atom("Top")).is_err());
+        assert!(session.rank_events(&Formula::atom("Top")).is_err());
+        let q = parse_query("P(Top) <= 0.5").unwrap();
+        assert!(session.check_query(&q).is_err());
+        let prepared = session.prepare(&q).unwrap();
+        assert!(prepared.probability(&Scenario::new()).is_err());
+        assert!(prepared.eval(&Scenario::new()).is_err());
+        assert!(prepared
+            .sweep_probabilities(&ScenarioSet::from_scenarios([Scenario::new()]))
+            .is_err());
+    }
+}
+
+#[test]
+fn prepared_prob_plans_judge_and_sweep() {
+    let tree = bfl::ft::corpus::or2();
+    let session = AnalysisSession::builder()
+        .probabilities(vec![Some(0.1), Some(0.2)])
+        .build(tree);
+    // P(Top) = 0.28; forcing e1 off leaves P = 0.2, on gives 1.
+    let prepared = session
+        .prepare(&parse_query("P(Top) <= 0.25").unwrap())
+        .unwrap();
+    assert_eq!(prepared.explain().kind, "prob");
+    let baseline = prepared.eval(&Scenario::new()).unwrap();
+    assert!(!baseline.holds);
+    assert!((baseline.probability.unwrap() - 0.28).abs() < 1e-12);
+    let fixed = prepared.eval(&Scenario::new().bind("e1", false)).unwrap();
+    assert!(fixed.holds);
+    assert!((fixed.probability.unwrap() - 0.2).abs() < 1e-12);
+
+    let set = ScenarioSet::parse("baseline:\nfixed: e1 = 0\nfailed: e1 = 1\n").unwrap();
+    let report = prepared.sweep_probabilities(&set).unwrap();
+    assert_eq!(report.outcomes.len(), 3);
+    assert!((report.outcomes[0].probability.unwrap() - 0.28).abs() < 1e-12);
+    assert!((report.outcomes[1].probability.unwrap() - 0.2).abs() < 1e-12);
+    assert!((report.outcomes[2].probability.unwrap() - 1.0).abs() < 1e-12);
+    assert_eq!(report.outcomes[1].holds, Some(true));
+    // The two eval() calls above already warmed their scenarios (the
+    // Boolean and probability paths share one cache): only `e1 = 1` is
+    // a fresh computation.
+    assert_eq!(report.stats.memo_misses, 1);
+    assert_eq!(report.stats.memo_hits, 2);
+    // A warm sweep is pure cache lookups: no fresh memo nodes.
+    let warm = prepared.sweep_probabilities(&set).unwrap();
+    assert_eq!(warm.stats.memo_hits, 3);
+    assert_eq!(warm.stats.memo_misses, 0);
+    assert_eq!(warm.stats.fresh_nodes, 0);
+    assert_eq!(warm.outcomes, report.outcomes);
+    // Text and JSON render.
+    let text = warm.to_string();
+    assert!(text.contains("probability sweep"), "{text}");
+    let json = warm.to_json();
+    assert!(json.contains("\"memo_hits\":3"), "{json}");
+
+    // Quantifier-shaped plans expose the operand's probability too.
+    let exists = session
+        .prepare(&parse_query("exists Top").unwrap())
+        .unwrap();
+    let p = exists.probability(&Scenario::new()).unwrap();
+    assert!((p - 0.28).abs() < 1e-12);
+    // Independence plans have no probability.
+    let sup = session.prepare(&parse_query("SUP(e1)").unwrap()).unwrap();
+    assert!(matches!(
+        sup.probability(&Scenario::new()),
+        Err(BflError::UnsupportedProbability { .. })
+    ));
+    assert!(sup
+        .sweep_probabilities(&ScenarioSet::from_scenarios([Scenario::new()]))
+        .is_err());
+}
+
+#[test]
+fn conditional_plans_handle_impossible_conditions() {
+    let session = AnalysisSession::builder()
+        .probabilities(vec![Some(0.1), Some(0.2)])
+        .build(bfl::ft::corpus::or2());
+    let q = parse_query("P(Top | e1 & !e1) >= 0").unwrap();
+    let prepared = session.prepare(&q).unwrap();
+    // The condition is unsatisfiable: no bound holds, the probability is
+    // undefined.
+    let o = prepared.eval(&Scenario::new()).unwrap();
+    assert!(!o.holds);
+    assert_eq!(o.probability, None);
+    assert!(matches!(
+        prepared.probability(&Scenario::new()),
+        Err(BflError::DivisionByZero { .. })
+    ));
+    // Sweeps report it per outcome instead of failing.
+    let sweep = prepared
+        .sweep_probabilities(&ScenarioSet::from_scenarios([Scenario::new()]))
+        .unwrap();
+    assert_eq!(sweep.outcomes[0].probability, None);
+    assert_eq!(sweep.outcomes[0].holds, Some(false));
+    // A satisfiable condition evaluates normally: P(Top | e2) = 1.
+    let ok = session
+        .prepare(&parse_query("P(Top | e2) >= 1").unwrap())
+        .unwrap();
+    assert!(ok.eval(&Scenario::new()).unwrap().holds);
+}
+
+#[test]
+fn importance_judgement_through_session_and_plan() {
+    let tree = bfl::ft::corpus::covid();
+    let probs = covid_probs(&tree);
+    let session = AnalysisSession::builder()
+        .probabilities(probs.iter().map(|&p| Some(p)).collect())
+        .build(tree);
+    let q = parse_query("importance(IWoS)").unwrap();
+    let direct = session.check_query(&q).unwrap();
+    assert!(direct.holds);
+    let n = session.tree().num_basic_events();
+    assert_eq!(direct.importance.len(), n);
+    // The prepared plan ranks the restricted diagram identically on the
+    // baseline scenario.
+    let prepared = session.prepare(&q).unwrap();
+    assert_eq!(prepared.explain().kind, "importance");
+    let o = prepared.eval(&Scenario::new()).unwrap();
+    assert!(o.holds);
+    assert_eq!(o.importance, direct.importance);
+    // rank_events agrees with the outcome's table.
+    let rows = session
+        .rank_events(&parse_formula("IWoS").unwrap())
+        .unwrap();
+    assert_eq!(rows, direct.importance);
+}
+
+#[test]
+fn boolean_and_probability_paths_share_one_scenario_cache() {
+    let tree = bfl::ft::corpus::covid();
+    let probs = covid_probs(&tree);
+    let session = AnalysisSession::builder()
+        .probabilities(probs.iter().map(|&p| Some(p)).collect())
+        .build(tree);
+    let prepared = session
+        .prepare(&parse_query("P(IWoS) <= 0.5").unwrap())
+        .unwrap();
+    let set = ScenarioSet::parse("baseline:\nfixed: H1 = 0\nfailed: H1 = 1\n").unwrap();
+    // A Boolean sweep computes each scenario's probability once…
+    let bool_sweep = prepared.sweep(&set).unwrap();
+    // …so the probability sweep over the same set is pure cache hits.
+    let prob_sweep = prepared.sweep_probabilities(&set).unwrap();
+    assert_eq!(prob_sweep.stats.memo_misses, 0);
+    assert_eq!(prob_sweep.stats.memo_hits as usize, set.len());
+    for (b, p) in bool_sweep.outcomes.iter().zip(&prob_sweep.outcomes) {
+        assert_eq!(b.probability, p.probability);
+        assert_eq!(Some(b.holds), p.holds);
+    }
+    // And the reverse direction: a fresh plan warmed by the probability
+    // path hands its results to the Boolean evaluator.
+    let prepared2 = session
+        .prepare(&parse_query("P(IWoS) <= 0.5").unwrap())
+        .unwrap();
+    let warm = prepared2.sweep_probabilities(&set).unwrap();
+    assert_eq!(warm.stats.memo_misses as usize, set.len());
+    let bool2 = prepared2.sweep(&set).unwrap();
+    for (b, p) in bool2.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(b.probability, p.probability);
+        assert_eq!(Some(b.holds), p.holds);
+    }
+}
+
+#[test]
+fn undefined_importance_fails_consistently_across_evaluators() {
+    // P(Top & !Top) = 0, so every relative importance measure is
+    // undefined. The judgement form reports "does not hold" with an
+    // empty table through *every* front-end — session, quant helper,
+    // prepared plan — while the explicit table APIs keep erroring.
+    let tree = bfl::ft::corpus::or2();
+    let probs = vec![0.1, 0.2];
+    let session = AnalysisSession::builder()
+        .probabilities(probs.iter().map(|&p| Some(p)).collect())
+        .build(tree.clone());
+    let q = parse_query("importance(Top & !Top)").unwrap();
+
+    let direct = session.check_query(&q).unwrap();
+    assert!(!direct.holds);
+    assert!(direct.importance.is_empty());
+
+    let mut mc = ModelChecker::new(&tree);
+    assert!(!quant::check_query(&mut mc, &q, &probs).unwrap());
+
+    let prepared = session.prepare(&q).unwrap();
+    let o = prepared.eval(&Scenario::new()).unwrap();
+    assert!(!o.holds);
+    assert!(o.importance.is_empty());
+
+    // The table-returning APIs still surface the division explicitly.
+    let phi = parse_formula("Top & !Top").unwrap();
+    assert!(matches!(
+        session.rank_events(&phi),
+        Err(BflError::DivisionByZero { .. })
+    ));
+    assert!(matches!(
+        quant::rank_events(&mut mc, &phi, &probs),
+        Err(BflError::DivisionByZero { .. })
+    ));
 }

@@ -270,6 +270,102 @@ fn sessions_with_maintenance_agree_with_static_sessions() {
 }
 
 #[test]
+fn prepared_probabilities_survive_interleaved_sift_and_gc() {
+    // The plan's node-keyed Shannon memo is invalidated through the
+    // GC/reorder plan registry: every maintenance pass bumps the plan
+    // generation and the next walk starts fresh. Interleaving explicit
+    // maintain() calls with probability evaluations must never change a
+    // value — cross-checked against a static session and the naive
+    // reference.
+    use bfl::logic::quant;
+
+    let mut rng = Prng::seed_from_u64(0x5EED);
+    for seed in 0..3u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 8,
+            num_gates: 6,
+            max_children: 3,
+            vot_probability: 0.2,
+            seed: 0xC0DE + seed,
+        });
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(5..95) as f64 / 100.0)
+            .collect();
+        let names: Vec<String> = tree.iter().map(|e| tree.name(e).to_string()).collect();
+        let basics: Vec<String> = tree
+            .basic_event_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let dynamic = AnalysisSession::builder()
+            .ordering(VariableOrdering::Sifted)
+            .reorder(ReorderPolicy::OnPrepare)
+            .gc(true)
+            .probabilities(probs.iter().map(|&p| Some(p)).collect())
+            .build(tree.clone());
+        for _ in 0..4 {
+            let phi = random_formula(&mut rng, &names, &basics, 3);
+            let Ok(expected) = quant::probability_naive(&tree, &phi, &probs) else {
+                continue;
+            };
+            let prepared = match dynamic.prepare(&Query::exists(phi.clone())) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let before = prepared.probability(&Scenario::new()).unwrap();
+            assert!((before - expected).abs() < 1e-9, "{phi}");
+            // Maintenance remaps the compiled roots and drops the memo;
+            // values are bit-identical afterwards.
+            dynamic.maintain();
+            let after = prepared.probability(&Scenario::new()).unwrap();
+            assert!(
+                (after - expected).abs() < 1e-12,
+                "{phi}: {before} vs {after}"
+            );
+            // Scenario probabilities agree with the evidence-wrapped
+            // recompute path across another maintenance.
+            let scenario = random_scenario(&mut rng, &basics);
+            let p1 = prepared.probability(&scenario).unwrap();
+            dynamic.maintain();
+            let p2 = prepared.probability(&scenario).unwrap();
+            assert!((p1 - p2).abs() < 1e-12, "{phi} under {scenario}");
+            let wrapped = scenario.specialise(&phi);
+            let naive = quant::probability_naive(&tree, &wrapped, &probs).unwrap();
+            assert!((p1 - naive).abs() < 1e-9, "{phi} under {scenario}");
+        }
+    }
+}
+
+#[test]
+fn importance_ranks_survive_maintenance() {
+    let tree = bfl::ft::corpus::covid();
+    let n = tree.num_basic_events();
+    let probs: Vec<Option<f64>> = (0..n).map(|i| Some(0.05 + (i as f64) * 0.02)).collect();
+    let stat = AnalysisSession::builder()
+        .probabilities(probs.clone())
+        .build(tree.clone());
+    let dynamic = AnalysisSession::builder()
+        .ordering(VariableOrdering::Sifted)
+        .probabilities(probs)
+        .build(tree);
+    let phi = parse_formula("IWoS").unwrap();
+    let reference = stat.rank_events(&phi).unwrap();
+    dynamic.maintain();
+    let maintained = dynamic.rank_events(&phi).unwrap();
+    assert_eq!(reference.len(), maintained.len());
+    for (a, b) in reference.iter().zip(&maintained) {
+        assert_eq!(a.event, b.event);
+        assert!((a.birnbaum - b.birnbaum).abs() < 1e-12, "{}", a.event);
+        assert!(
+            (a.fussell_vesely - b.fussell_vesely).abs() < 1e-12,
+            "{}",
+            a.event
+        );
+    }
+}
+
+#[test]
 fn probabilities_survive_maintenance() {
     let mut rng = Prng::seed_from_u64(0x9E37);
     let tree = bfl::ft::corpus::covid();
