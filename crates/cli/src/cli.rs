@@ -45,6 +45,10 @@ COMMANDS:
     importance  rank every basic event by quantitative importance for a
              formula (Birnbaum, criticality, Fussell-Vesely, RAW, RRW)
     modules  list the gates that are independent modules
+    serve    run the concurrent analysis service (JSON-lines over TCP);
+             no --ft — models are loaded over the protocol
+    client   send JSON-lines requests to a running server (from the
+             arguments, or stdin when none are given)
     help     print this message
 
 OPTIONS:
@@ -62,6 +66,14 @@ OPTIONS:
     --engine <E>       mcs/mps backend: minsol (default), paper, zdd
     --json             structured JSON output (check, run, sweep, explain,
                        sat, count, mcs, mps, ibe, prob, importance)
+
+SERVING (serve, client):
+    --addr <HOST:PORT> listen/connect address (default 127.0.0.1:7878;
+                       port 0 picks a free port and prints it)
+    --workers <N>      serve: worker threads (default: CPU count)
+    --queue <N>        serve: bounded request-queue capacity (default 64);
+                       a full queue answers `busy` instead of buffering
+    see docs/server.md for the protocol reference
 
 PROBABILISTIC QUERIES (check, run, sweep):
     layer-2 judgements `P(FORMULA) ▷◁ p`, `P(FORMULA | GIVEN) ▷◁ p` and
@@ -86,6 +98,8 @@ EXAMPLES:
     bfl check --ft covid.dft 'P(IWoS | H1) <= 0.05'
     bfl prob --ft covid.dft 'MCS(IWoS)'
     bfl importance --ft covid.dft IWoS --json
+    bfl serve --addr 127.0.0.1:7878 --workers 8
+    bfl client --addr 127.0.0.1:7878 '{\"op\":\"stats\"}'
 ";
 
 /// Parsed common options: one configured session plus command arguments.
@@ -103,6 +117,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
     };
     if command == "help" || command == "--help" || command == "-h" {
         return Ok(USAGE.to_string());
+    }
+    // The serving commands have no fault-tree option (models are loaded
+    // over the protocol), so they bypass the session setup entirely.
+    match command.as_str() {
+        "serve" => return cmd_serve(&args[1..]),
+        "client" => return cmd_client(&args[1..]),
+        _ => {}
     }
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
@@ -517,6 +538,153 @@ fn cmd_importance(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parsed options of the serving commands (`serve`, `client`).
+struct ServeOptions {
+    addr: String,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    positional: Vec<String>,
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: None,
+        queue: None,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                opts.addr = args
+                    .get(i)
+                    .ok_or("--addr requires a HOST:PORT argument")?
+                    .clone();
+            }
+            "--workers" => {
+                i += 1;
+                let n = args.get(i).ok_or("--workers requires a number")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("invalid worker count `{n}`"))?;
+                if n == 0 {
+                    return Err("worker count must be at least 1".to_string());
+                }
+                opts.workers = Some(n);
+            }
+            "--queue" => {
+                i += 1;
+                let n = args.get(i).ok_or("--queue requires a number")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("invalid queue capacity `{n}`"))?;
+                if n == 0 {
+                    return Err("queue capacity must be at least 1".to_string());
+                }
+                opts.queue = Some(n);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let opts = parse_serve_options(args)?;
+    if let Some(extra) = opts.positional.first() {
+        return Err(format!(
+            "serve takes no positional arguments, got `{extra}`"
+        ));
+    }
+    let mut config = bfl_server::ServerConfig {
+        addr: opts.addr,
+        ..bfl_server::ServerConfig::default()
+    };
+    if let Some(workers) = opts.workers {
+        config.workers = workers;
+    }
+    if let Some(queue) = opts.queue {
+        config.queue_capacity = queue;
+    }
+    let workers = config.workers;
+    let handle =
+        bfl_server::Server::bind(config).map_err(|e| format!("cannot bind server: {e}"))?;
+    // Announce on stderr immediately — stdout is the command's result
+    // and is only printed once the server has stopped.
+    eprintln!(
+        "bfl-server listening on {} ({} workers); send {{\"op\":\"shutdown\"}} to stop",
+        handle.addr(),
+        workers
+    );
+    let addr = handle.addr();
+    handle.join();
+    Ok(format!("server on {addr} stopped\n"))
+}
+
+fn cmd_client(args: &[String]) -> Result<String, String> {
+    use std::io::Write as _;
+    // Responses stream to stdout as they arrive — pipe mode must not
+    // sit on output until EOF, and a mid-stream transport error must
+    // not discard answers already received.
+    let stdout = std::io::stdout();
+    client_run(args, &mut |line| {
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    })?;
+    Ok(String::new())
+}
+
+/// The `client` engine: sends each request line and hands every
+/// response line to `sink` as soon as it arrives.
+fn client_run(args: &[String], sink: &mut dyn FnMut(&str)) -> Result<(), String> {
+    let opts = parse_serve_options(args)?;
+    if opts.workers.is_some() || opts.queue.is_some() {
+        return Err("--workers/--queue configure `serve`, not `client`".to_string());
+    }
+    let mut client = bfl_server::Client::connect(&opts.addr)
+        .map_err(|e| format!("cannot connect to `{}`: {e}", opts.addr))?;
+    let send = |client: &mut bfl_server::Client,
+                line: &str,
+                sink: &mut dyn FnMut(&str)|
+     -> Result<(), String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        let response = client
+            .round_trip(line)
+            .map_err(|e| format!("request failed: {e}"))?;
+        sink(&response);
+        Ok(())
+    };
+    if opts.positional.is_empty() {
+        // Pipe mode: one request per stdin line.
+        let mut buffer = String::new();
+        loop {
+            buffer.clear();
+            let n = std::io::stdin()
+                .read_line(&mut buffer)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            send(&mut client, &buffer, sink)?;
+        }
+    } else {
+        for line in &opts.positional {
+            send(&mut client, line, sink)?;
+        }
+    }
+    Ok(())
+}
+
 fn cmd_modules(opts: &Options) -> Result<String, String> {
     let tree = opts.session.tree();
     let mods = bfl_fault_tree::modules::modules(tree);
@@ -924,6 +1092,81 @@ mod tests {
         // Without a policy the field is null.
         let out = run_ok(&["explain", "--ft", &f.arg(), "--json", "exists MCS(T)"]);
         assert!(out.contains("\"maintenance\":null"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments() {
+        for bad in [
+            vec!["serve", "--workers", "0"],
+            vec!["serve", "--workers", "x"],
+            vec!["serve", "--queue", "0"],
+            vec!["serve", "--bogus"],
+            vec!["serve", "positional"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(run(&args).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn client_round_trips_against_a_live_server() {
+        let handle = bfl_server::Server::bind(bfl_server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..bfl_server::ServerConfig::default()
+        })
+        .expect("binds");
+        let addr = handle.addr().to_string();
+        let model = "toplevel T;\\nT and A B;\\nA prob=0.1;\\nB prob=0.2;\\n";
+        // Drive the streaming engine with a collecting sink (the real
+        // `bfl client` writes each line straight to stdout).
+        let client_ok = |args: &[&str]| -> Vec<String> {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut lines = Vec::new();
+            client_run(&args, &mut |line| lines.push(line.to_string())).expect("client runs");
+            lines
+        };
+        let out = client_ok(&[
+            "--addr",
+            &addr,
+            &format!("{{\"id\":1,\"op\":\"load\",\"model\":\"{model}\"}}"),
+            "{\"id\":2,\"op\":\"check\",\"session\":\"s1\",\"query\":\"forall A & B => T\"}",
+            "{\"id\":3,\"op\":\"stats\"}",
+        ]);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out[0].contains("\"session\":\"s1\""), "{out:?}");
+        assert!(out[1].contains("\"holds\":true"), "{out:?}");
+        assert!(out[2].contains("\"sessions\":[\"s1\"]"), "{out:?}");
+        // Errors come back as structured lines, not failures.
+        let out = client_ok(&["--addr", &addr, "{\"op\":\"nope\"}"]);
+        assert!(out[0].contains("\"code\":\"unknown_op\""), "{out:?}");
+        // Comments and blank lines are skipped without a round trip.
+        let out = client_ok(&["--addr", &addr, "# a comment", "   "]);
+        assert!(out.is_empty(), "{out:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_rejects_serve_only_flags() {
+        for flag in [["--workers", "4"], ["--queue", "16"]] {
+            let args: Vec<String> = ["client", "--addr", "127.0.0.1:1", flag[0], flag[1]]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let err = run(&args).unwrap_err();
+            assert!(err.contains("configure `serve`"), "{err}");
+        }
+    }
+
+    #[test]
+    fn client_reports_connection_errors() {
+        // A port nothing listens on: connect fails with a clear error.
+        let args: Vec<String> = ["client", "--addr", "127.0.0.1:1", "{\"op\":\"stats\"}"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! bfl render --ft FILE --failed A,B,C
 //! bfl dot    --ft FILE [--failed A,B,C]
 //! bfl prob   --ft FILE
+//! bfl serve  --addr HOST:PORT --workers N
+//! bfl client --addr HOST:PORT ['JSON-LINE' ...]
 //! ```
 //!
 //! Every command runs through one `AnalysisSession` configured by the

@@ -54,6 +54,15 @@ pub enum BflError {
         /// Concrete syntax of the offending query.
         query: String,
     },
+    /// An engine invariant was violated (a worker thread died without
+    /// delivering its result, a poisoned lock left shared state
+    /// unreadable). Replaces the `expect`/panic paths the sweep
+    /// machinery used to take: callers get a structured error instead of
+    /// a crashed process.
+    Internal {
+        /// What went wrong, for the log line.
+        context: String,
+    },
 }
 
 impl fmt::Display for BflError {
@@ -85,6 +94,9 @@ impl fmt::Display for BflError {
                     f,
                     "`{query}` has no probability (only formula-shaped queries do)"
                 )
+            }
+            BflError::Internal { context } => {
+                write!(f, "internal engine error: {context}")
             }
         }
     }
@@ -129,5 +141,10 @@ mod tests {
         }
         .to_string()
         .contains("SUP(PP)"));
+        assert!(BflError::Internal {
+            context: "sweep worker died".into()
+        }
+        .to_string()
+        .contains("sweep worker died"));
     }
 }

@@ -1010,11 +1010,16 @@ impl PreparedQuery {
                 arena_after,
             },
         };
-        for slot in slots {
+        for (i, slot) in slots.into_iter().enumerate() {
             let outcome = slot
                 .into_inner()
                 .unwrap_or_else(|e| e.into_inner())
-                .expect("worker filled every slot");
+                .ok_or_else(|| BflError::Internal {
+                    context: format!(
+                        "sweep worker left scenario {i} of `{}` unfilled",
+                        self.source
+                    ),
+                })?;
             report.totals.absorb(&outcome.stats);
             report.outcomes.push(outcome);
         }
@@ -1220,11 +1225,16 @@ impl PreparedQuery {
             fresh_nodes: fresh1.saturating_sub(fresh0),
         };
         let mut outcomes = Vec::with_capacity(n);
-        for slot in slots {
+        for (i, slot) in slots.into_iter().enumerate() {
             outcomes.push(
                 slot.into_inner()
                     .unwrap_or_else(|e| e.into_inner())
-                    .expect("worker filled every slot"),
+                    .ok_or_else(|| BflError::Internal {
+                        context: format!(
+                            "probability sweep worker left scenario {i} of `{}` unfilled",
+                            self.source
+                        ),
+                    })?,
             );
         }
         Ok(ProbSweepReport {

@@ -404,9 +404,10 @@ impl Report {
 }
 
 /// Serialises one [`Outcome`] as a JSON object (vectors rendered as
-/// failed-event name lists against `tree`) — shared by [`Report`] and the
-/// sweep reports of the prepared-query layer.
-pub(crate) fn json_outcome(tree: &FaultTree, o: &Outcome) -> String {
+/// failed-event name lists against `tree`) — shared by [`Report`], the
+/// sweep reports of the prepared-query layer, and the `bfl-server`
+/// `eval` endpoint.
+pub fn json_outcome(tree: &FaultTree, o: &Outcome) -> String {
     let failed_names = |v: &StatusVector| -> Vec<&str> { v.failed_names(tree) };
     let json_vectors = |vectors: &[StatusVector]| -> String {
         let parts: Vec<String> = vectors
@@ -533,7 +534,9 @@ pub fn importance_row(r: &EventImportance) -> String {
     )
 }
 
-pub(crate) fn json_stats(s: &EvalStats) -> String {
+/// Serialises [`EvalStats`] as a JSON object — the `stats` schema shared
+/// by every report renderer and the `bfl-server` `stats` endpoint.
+pub fn json_stats(s: &EvalStats) -> String {
     format!(
         "{{\"bdd_nodes\":{},\"arena_nodes\":{},\"cache_hits\":{},\"cache_misses\":{},\"duration_micros\":{}}}",
         s.bdd_nodes, s.arena_nodes, s.cache_hits, s.cache_misses, s.duration_micros

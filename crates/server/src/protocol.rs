@@ -1,0 +1,902 @@
+//! The `bfl-server` wire protocol: line-oriented JSON messages.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Requests carry an optional numeric `"id"`
+//! that the response echoes, so clients may pipeline. The full message
+//! reference (with a `netcat` transcript) lives in `docs/server.md`;
+//! the type-level summary:
+//!
+//! ```text
+//! {"id":1,"op":"load","model":"toplevel T;\n..."}      -> session id
+//! {"id":2,"op":"prepare","session":"s1","query":"..."} -> plan id
+//! {"id":3,"op":"eval","session":"s1","plan":"p1","scenario":"IW = 1"}
+//! {"id":4,"op":"sweep","session":"s1","plan":"p1","scenarios":"..."}
+//! {"id":5,"op":"check","session":"s1","query":"P1: forall IS => MoT"}
+//! {"id":6,"op":"prob","session":"s1","formula":"IWoS","given":"H1"}
+//! {"id":7,"op":"importance","session":"s1","formula":"IWoS"}
+//! {"id":8,"op":"explain","session":"s1","plan":"p1"}
+//! {"id":9,"op":"stats","session":"s1"}   (session optional)
+//! {"id":10,"op":"maintain","session":"s1"}
+//! {"id":11,"op":"unload","session":"s1"}
+//! {"id":12,"op":"shutdown"}
+//! ```
+//!
+//! Responses are `{"id":N,"ok":true,"result":…}` or
+//! `{"id":N,"ok":false,"error":{"code":"…","message":"…"}}`.
+//!
+//! Serialisation is **canonical**: fixed field order, compact rendering,
+//! report-style string escaping. The protocol suite asserts that
+//! `serialize → parse → serialize` reproduces every message
+//! byte-identically.
+
+use std::fmt;
+
+use bfl_core::engine::ReorderPolicy;
+use bfl_core::report::json_str;
+use bfl_core::MinimalityScope;
+use bfl_fault_tree::VariableOrdering;
+
+use crate::json::Json;
+
+/// Machine-readable error classes, carried in the `"code"` field of an
+/// error response. `docs/server.md` documents when each is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The line is not a well-formed protocol request (bad JSON, no
+    /// object, bad `id`).
+    ParseError,
+    /// The `"op"` field is missing or names no known operation.
+    UnknownOp,
+    /// A field the operation requires is absent.
+    MissingField,
+    /// A field is present but malformed (wrong type, unknown enum name).
+    BadField,
+    /// The named session is not (or no longer) loaded.
+    UnknownSession,
+    /// The named plan does not exist in the session.
+    UnknownPlan,
+    /// The Galileo model failed to parse or validate.
+    ModelError,
+    /// The BFL query/formula/spec/scenario text failed to parse.
+    QueryError,
+    /// Evaluation failed (unknown element, missing probabilities, …).
+    EvalError,
+    /// The bounded request queue is full — back off and retry.
+    Busy,
+    /// The server is draining after a `shutdown` request.
+    ShuttingDown,
+    /// The request line exceeded the configured size limit.
+    Oversized,
+    /// An engine invariant was violated; the connection survives.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::MissingField => "missing_field",
+            ErrorCode::BadField => "bad_field",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::UnknownPlan => "unknown_plan",
+            ErrorCode::ModelError => "model_error",
+            ErrorCode::QueryError => "query_error",
+            ErrorCode::EvalError => "eval_error",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name back into a code.
+    pub fn parse(name: &str) -> Option<ErrorCode> {
+        Some(match name {
+            "parse_error" => ErrorCode::ParseError,
+            "unknown_op" => ErrorCode::UnknownOp,
+            "missing_field" => ErrorCode::MissingField,
+            "bad_field" => ErrorCode::BadField,
+            "unknown_session" => ErrorCode::UnknownSession,
+            "unknown_plan" => ErrorCode::UnknownPlan,
+            "model_error" => ErrorCode::ModelError,
+            "query_error" => ErrorCode::QueryError,
+            "eval_error" => ErrorCode::EvalError,
+            "busy" => ErrorCode::Busy,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "oversized" => ErrorCode::Oversized,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A request-shaped failure: the (best-effort) request id plus the code
+/// and message that will be sent back.
+pub type RequestError = (Option<u64>, ErrorCode, String);
+
+/// Session configuration carried by a `load` request; every knob is
+/// optional and defaults to the [`SessionBuilder`] default.
+///
+/// [`SessionBuilder`]: bfl_core::engine::SessionBuilder
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionOptions {
+    /// BDD variable ordering: `dfs` `bfs` `declaration` `bouissou`
+    /// `sifted`.
+    pub ordering: Option<VariableOrdering>,
+    /// Minimality scope: `global` or `support`.
+    pub scope: Option<MinimalityScope>,
+    /// Cut-set backend: `minsol` `paper` `zdd`.
+    pub backend: Option<bfl_core::engine::Backend>,
+    /// Witness/counterexample cap per outcome.
+    pub witness_limit: Option<u64>,
+    /// Dynamic reordering policy: `none` `prepare` `auto` `auto:F`.
+    pub reorder: Option<ReorderPolicy>,
+    /// Garbage collection at maintenance points.
+    pub gc: Option<bool>,
+}
+
+/// The probability target of a `prob` request: a compiled plan under a
+/// scenario, or an ad-hoc (conditional) formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbTarget {
+    /// `P(plan | scenario)` on the compiled diagram.
+    Plan {
+        /// The plan id.
+        plan: String,
+        /// Scenario bindings (`A = 1, B = 0`), empty/absent = baseline.
+        scenario: Option<String>,
+    },
+    /// `P(formula [ | given])` through the session.
+    Formula {
+        /// The formula.
+        formula: String,
+        /// Optional conditioning formula.
+        given: Option<String>,
+    },
+}
+
+/// One protocol operation (the `"op"` field plus its arguments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Parse a Galileo model and open an [`AnalysisSession`] for it.
+    ///
+    /// [`AnalysisSession`]: bfl_core::engine::AnalysisSession
+    Load {
+        /// Galileo source text.
+        model: String,
+        /// Session configuration.
+        options: SessionOptions,
+    },
+    /// Compile a layer-2 query into a shared `PreparedQuery`.
+    Prepare {
+        /// Session id.
+        session: String,
+        /// BFL query source.
+        query: String,
+    },
+    /// Evaluate a spec (one or many lines) through the session.
+    Check {
+        /// Session id.
+        session: String,
+        /// Spec text (`label: query` lines, `[A,B] formula` vectors).
+        query: String,
+    },
+    /// Evaluate a compiled plan under one scenario.
+    Eval {
+        /// Session id.
+        session: String,
+        /// Plan id.
+        plan: String,
+        /// Scenario bindings (`A = 1, B = 0`); empty = baseline.
+        scenario: String,
+    },
+    /// Sweep a compiled plan over a scenario-set text.
+    Sweep {
+        /// Session id.
+        session: String,
+        /// Plan id.
+        plan: String,
+        /// Scenario file text (one scenario per line).
+        scenarios: String,
+    },
+    /// Probability of a plan-under-scenario or an ad-hoc formula.
+    Prob {
+        /// Session id.
+        session: String,
+        /// What to take the probability of.
+        target: ProbTarget,
+    },
+    /// Rank every basic event by quantitative importance.
+    Importance {
+        /// Session id.
+        session: String,
+        /// The formula to rank against.
+        formula: String,
+    },
+    /// The compiled plan of a prepared query.
+    Explain {
+        /// Session id.
+        session: String,
+        /// Plan id.
+        plan: String,
+    },
+    /// Server-wide (no session) or per-session statistics.
+    Stats {
+        /// Session id; absent = server-wide.
+        session: Option<String>,
+    },
+    /// Run GC + sifting maintenance over the session now.
+    Maintain {
+        /// Session id.
+        session: String,
+    },
+    /// Drop a session (in-flight queries holding it complete safely).
+    Unload {
+        /// Session id.
+        session: String,
+    },
+    /// Stop accepting work, drain in-flight requests, exit.
+    Shutdown,
+}
+
+impl Op {
+    /// The session the operation targets, when it targets one.
+    pub fn session_id(&self) -> Option<&str> {
+        match self {
+            Op::Load { .. } | Op::Shutdown => None,
+            Op::Stats { session } => session.as_deref(),
+            Op::Prepare { session, .. }
+            | Op::Check { session, .. }
+            | Op::Eval { session, .. }
+            | Op::Sweep { session, .. }
+            | Op::Prob { session, .. }
+            | Op::Importance { session, .. }
+            | Op::Explain { session, .. }
+            | Op::Maintain { session }
+            | Op::Unload { session } => Some(session),
+        }
+    }
+
+    /// The wire name of the operation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Load { .. } => "load",
+            Op::Prepare { .. } => "prepare",
+            Op::Check { .. } => "check",
+            Op::Eval { .. } => "eval",
+            Op::Sweep { .. } => "sweep",
+            Op::Prob { .. } => "prob",
+            Op::Importance { .. } => "importance",
+            Op::Explain { .. } => "explain",
+            Op::Stats { .. } => "stats",
+            Op::Maintain { .. } => "maintain",
+            Op::Unload { .. } => "unload",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One protocol request: optional id plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echoed verbatim in the response, when present.
+    pub id: Option<u64>,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Request {
+    /// Wraps an operation without an id.
+    pub fn new(op: Op) -> Request {
+        Request { id: None, op }
+    }
+
+    /// Wraps an operation with an id.
+    pub fn with_id(id: u64, op: Op) -> Request {
+        Request { id: Some(id), op }
+    }
+
+    /// Canonical one-line serialisation (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{");
+        if let Some(id) = self.id {
+            out.push_str(&format!("\"id\":{id},"));
+        }
+        out.push_str(&format!("\"op\":{}", json_str(self.op.name())));
+        fn field(out: &mut String, name: &str, value: &str) {
+            out.push_str(&format!(",{}:{}", json_str(name), json_str(value)));
+        }
+        match &self.op {
+            Op::Load { model, options } => {
+                field(&mut out, "model", model);
+                if let Some(o) = options.ordering {
+                    field(&mut out, "ordering", ordering_name(o));
+                }
+                if let Some(s) = options.scope {
+                    field(&mut out, "scope", scope_name(s));
+                }
+                if let Some(b) = options.backend {
+                    field(&mut out, "backend", backend_name(b));
+                }
+                if let Some(w) = options.witness_limit {
+                    out.push_str(&format!(",\"witness_limit\":{w}"));
+                }
+                if let Some(r) = options.reorder {
+                    field(&mut out, "reorder", &reorder_name(r));
+                }
+                if let Some(gc) = options.gc {
+                    out.push_str(&format!(",\"gc\":{gc}"));
+                }
+            }
+            Op::Prepare { session, query } | Op::Check { session, query } => {
+                field(&mut out, "session", session);
+                field(&mut out, "query", query);
+            }
+            Op::Eval {
+                session,
+                plan,
+                scenario,
+            } => {
+                field(&mut out, "session", session);
+                field(&mut out, "plan", plan);
+                field(&mut out, "scenario", scenario);
+            }
+            Op::Sweep {
+                session,
+                plan,
+                scenarios,
+            } => {
+                field(&mut out, "session", session);
+                field(&mut out, "plan", plan);
+                field(&mut out, "scenarios", scenarios);
+            }
+            Op::Prob { session, target } => {
+                field(&mut out, "session", session);
+                match target {
+                    ProbTarget::Plan { plan, scenario } => {
+                        field(&mut out, "plan", plan);
+                        if let Some(s) = scenario {
+                            field(&mut out, "scenario", s);
+                        }
+                    }
+                    ProbTarget::Formula { formula, given } => {
+                        field(&mut out, "formula", formula);
+                        if let Some(g) = given {
+                            field(&mut out, "given", g);
+                        }
+                    }
+                }
+            }
+            Op::Importance { session, formula } => {
+                field(&mut out, "session", session);
+                field(&mut out, "formula", formula);
+            }
+            Op::Explain { session, plan } => {
+                field(&mut out, "session", session);
+                field(&mut out, "plan", plan);
+            }
+            Op::Stats { session } => {
+                if let Some(s) = session {
+                    field(&mut out, "session", s);
+                }
+            }
+            Op::Maintain { session } | Op::Unload { session } => {
+                field(&mut out, "session", session);
+            }
+            Op::Shutdown => {}
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A [`RequestError`] carrying the request id when it could be
+    /// extracted (so the error response still correlates), the error
+    /// code and a message.
+    pub fn parse(line: &str) -> Result<Request, RequestError> {
+        let doc = Json::parse(line)
+            .map_err(|e| (None, ErrorCode::ParseError, format!("invalid JSON: {e}")))?;
+        if !matches!(doc, Json::Object(_)) {
+            return Err((
+                None,
+                ErrorCode::ParseError,
+                "request must be a JSON object".to_string(),
+            ));
+        }
+        let id = match doc.get("id") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or((
+                None,
+                ErrorCode::ParseError,
+                "`id` must be a non-negative integer".to_string(),
+            ))?),
+        };
+        let fail = |code: ErrorCode, message: String| (id, code, message);
+        let op_name = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail(ErrorCode::UnknownOp, "missing `op` field".to_string()))?;
+        let required = |name: &str| -> Result<String, RequestError> {
+            match doc.get(name) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                Some(_) => Err(fail(
+                    ErrorCode::BadField,
+                    format!("`{name}` must be a string"),
+                )),
+                None => Err(fail(
+                    ErrorCode::MissingField,
+                    format!("`{op_name}` requires a `{name}` field"),
+                )),
+            }
+        };
+        let optional = |name: &str| -> Result<Option<String>, RequestError> {
+            match doc.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Str(s)) => Ok(Some(s.clone())),
+                Some(_) => Err(fail(
+                    ErrorCode::BadField,
+                    format!("`{name}` must be a string"),
+                )),
+            }
+        };
+        let op = match op_name {
+            "load" => {
+                let model = required("model")?;
+                let options = SessionOptions {
+                    ordering: optional("ordering")?
+                        .map(|s| {
+                            parse_ordering(&s).ok_or_else(|| {
+                                fail(ErrorCode::BadField, format!("unknown ordering `{s}`"))
+                            })
+                        })
+                        .transpose()?,
+                    scope: optional("scope")?
+                        .map(|s| {
+                            parse_scope(&s).ok_or_else(|| {
+                                fail(ErrorCode::BadField, format!("unknown scope `{s}`"))
+                            })
+                        })
+                        .transpose()?,
+                    backend: optional("backend")?
+                        .map(|s| {
+                            parse_backend(&s).ok_or_else(|| {
+                                fail(ErrorCode::BadField, format!("unknown backend `{s}`"))
+                            })
+                        })
+                        .transpose()?,
+                    witness_limit: match doc.get("witness_limit") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => Some(v.as_u64().ok_or_else(|| {
+                            fail(
+                                ErrorCode::BadField,
+                                "`witness_limit` must be a non-negative integer".to_string(),
+                            )
+                        })?),
+                    },
+                    reorder: optional("reorder")?
+                        .map(|s| {
+                            parse_reorder(&s).ok_or_else(|| {
+                                fail(ErrorCode::BadField, format!("unknown reorder policy `{s}`"))
+                            })
+                        })
+                        .transpose()?,
+                    gc: match doc.get("gc") {
+                        None | Some(Json::Null) => None,
+                        Some(Json::Bool(b)) => Some(*b),
+                        Some(_) => {
+                            return Err(fail(
+                                ErrorCode::BadField,
+                                "`gc` must be a Boolean".to_string(),
+                            ))
+                        }
+                    },
+                };
+                Op::Load { model, options }
+            }
+            "prepare" => Op::Prepare {
+                session: required("session")?,
+                query: required("query")?,
+            },
+            "check" => Op::Check {
+                session: required("session")?,
+                query: required("query")?,
+            },
+            "eval" => Op::Eval {
+                session: required("session")?,
+                plan: required("plan")?,
+                scenario: optional("scenario")?.unwrap_or_default(),
+            },
+            "sweep" => Op::Sweep {
+                session: required("session")?,
+                plan: required("plan")?,
+                scenarios: required("scenarios")?,
+            },
+            "prob" => {
+                let session = required("session")?;
+                let target = match (optional("plan")?, optional("formula")?) {
+                    (Some(plan), None) => ProbTarget::Plan {
+                        plan,
+                        scenario: optional("scenario")?,
+                    },
+                    (None, Some(formula)) => ProbTarget::Formula {
+                        formula,
+                        given: optional("given")?,
+                    },
+                    (Some(_), Some(_)) => {
+                        return Err(fail(
+                            ErrorCode::BadField,
+                            "`prob` takes `plan` or `formula`, not both".to_string(),
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(fail(
+                            ErrorCode::MissingField,
+                            "`prob` requires a `plan` or a `formula` field".to_string(),
+                        ))
+                    }
+                };
+                Op::Prob { session, target }
+            }
+            "importance" => Op::Importance {
+                session: required("session")?,
+                formula: required("formula")?,
+            },
+            "explain" => Op::Explain {
+                session: required("session")?,
+                plan: required("plan")?,
+            },
+            "stats" => Op::Stats {
+                session: optional("session")?,
+            },
+            "maintain" => Op::Maintain {
+                session: required("session")?,
+            },
+            "unload" => Op::Unload {
+                session: required("session")?,
+            },
+            "shutdown" => Op::Shutdown,
+            other => {
+                return Err(fail(
+                    ErrorCode::UnknownOp,
+                    format!("unknown operation `{other}`"),
+                ))
+            }
+        };
+        Ok(Request { id, op })
+    }
+}
+
+/// One protocol response: the echoed id plus a result document or a
+/// structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id, echoed.
+    pub id: Option<u64>,
+    /// Result or error.
+    pub body: ResponseBody,
+}
+
+/// The two response shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Success; the payload is a pre-rendered JSON document.
+    Result(String),
+    /// Failure.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// A success response around a pre-rendered JSON payload.
+    pub fn ok(id: Option<u64>, result: impl Into<String>) -> Response {
+        Response {
+            id,
+            body: ResponseBody::Result(result.into()),
+        }
+    }
+
+    /// An error response.
+    pub fn error(id: Option<u64>, code: ErrorCode, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            body: ResponseBody::Error {
+                code,
+                message: message.into(),
+            },
+        }
+    }
+
+    /// Whether this is a success response.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.body, ResponseBody::Result(_))
+    }
+
+    /// Canonical one-line serialisation (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{");
+        if let Some(id) = self.id {
+            out.push_str(&format!("\"id\":{id},"));
+        }
+        match &self.body {
+            ResponseBody::Result(result) => {
+                out.push_str(&format!("\"ok\":true,\"result\":{result}"));
+            }
+            ResponseBody::Error { code, message } => {
+                out.push_str(&format!(
+                    "\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}}",
+                    json_str(code.as_str()),
+                    json_str(message)
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one response line (the client side of the protocol).
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        if !matches!(doc, Json::Object(_)) {
+            return Err("response must be a JSON object".to_string());
+        }
+        let id = match doc.get("id") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "`id` must be a non-negative integer".to_string())?,
+            ),
+        };
+        let ok = doc
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| "missing Boolean `ok` field".to_string())?;
+        if ok {
+            let result = doc
+                .get("result")
+                .ok_or_else(|| "missing `result` field".to_string())?;
+            Ok(Response::ok(id, result.to_string()))
+        } else {
+            let error = doc
+                .get("error")
+                .ok_or_else(|| "missing `error` field".to_string())?;
+            let code_name = error
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing `error.code` field".to_string())?;
+            let code = ErrorCode::parse(code_name)
+                .ok_or_else(|| format!("unknown error code `{code_name}`"))?;
+            let message = error
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            Ok(Response::error(id, code, message))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum-name tables (wire names for the session knobs).
+// ---------------------------------------------------------------------------
+
+pub(crate) fn ordering_name(o: VariableOrdering) -> &'static str {
+    match o {
+        VariableOrdering::DfsPreorder => "dfs",
+        VariableOrdering::BfsLevel => "bfs",
+        VariableOrdering::Declaration => "declaration",
+        VariableOrdering::BouissouWeight => "bouissou",
+        VariableOrdering::Sifted => "sifted",
+        // `VariableOrdering` is non_exhaustive; new orderings must be
+        // added to the wire tables before the protocol can carry them.
+        _ => "dfs",
+    }
+}
+
+pub(crate) fn parse_ordering(name: &str) -> Option<VariableOrdering> {
+    Some(match name {
+        "dfs" => VariableOrdering::DfsPreorder,
+        "bfs" => VariableOrdering::BfsLevel,
+        "declaration" => VariableOrdering::Declaration,
+        "bouissou" => VariableOrdering::BouissouWeight,
+        "sifted" => VariableOrdering::Sifted,
+        _ => return None,
+    })
+}
+
+pub(crate) fn scope_name(s: MinimalityScope) -> &'static str {
+    match s {
+        MinimalityScope::GlobalUniverse => "global",
+        MinimalityScope::FormulaSupport => "support",
+    }
+}
+
+pub(crate) fn parse_scope(name: &str) -> Option<MinimalityScope> {
+    Some(match name {
+        "global" => MinimalityScope::GlobalUniverse,
+        "support" => MinimalityScope::FormulaSupport,
+        _ => return None,
+    })
+}
+
+pub(crate) fn backend_name(b: bfl_core::engine::Backend) -> &'static str {
+    match b {
+        bfl_core::engine::Backend::Minsol => "minsol",
+        bfl_core::engine::Backend::Paper => "paper",
+        bfl_core::engine::Backend::Zdd => "zdd",
+    }
+}
+
+pub(crate) fn parse_backend(name: &str) -> Option<bfl_core::engine::Backend> {
+    Some(match name {
+        "minsol" => bfl_core::engine::Backend::Minsol,
+        "paper" => bfl_core::engine::Backend::Paper,
+        "zdd" => bfl_core::engine::Backend::Zdd,
+        _ => return None,
+    })
+}
+
+pub(crate) fn reorder_name(r: ReorderPolicy) -> String {
+    match r {
+        ReorderPolicy::None => "none".to_string(),
+        ReorderPolicy::OnPrepare => "prepare".to_string(),
+        ReorderPolicy::Auto { growth_factor } => format!("auto:{growth_factor}"),
+    }
+}
+
+pub(crate) fn parse_reorder(name: &str) -> Option<ReorderPolicy> {
+    match name {
+        "none" => Some(ReorderPolicy::None),
+        "prepare" => Some(ReorderPolicy::OnPrepare),
+        "auto" => Some(ReorderPolicy::auto()),
+        other => {
+            let factor = other.strip_prefix("auto:")?;
+            let growth_factor: f64 = factor.parse().ok()?;
+            if growth_factor > 1.0 && growth_factor.is_finite() {
+                Some(ReorderPolicy::Auto { growth_factor })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parse_extracts_id_even_on_bad_op() {
+        let err = Request::parse(r#"{"id":7,"op":"frobnicate"}"#).unwrap_err();
+        assert_eq!(err.0, Some(7));
+        assert_eq!(err.1, ErrorCode::UnknownOp);
+    }
+
+    #[test]
+    fn missing_and_bad_fields_are_distinguished() {
+        let err = Request::parse(r#"{"op":"prepare","session":"s1"}"#).unwrap_err();
+        assert_eq!(err.1, ErrorCode::MissingField);
+        let err = Request::parse(r#"{"op":"prepare","session":1,"query":"q"}"#).unwrap_err();
+        assert_eq!(err.1, ErrorCode::BadField);
+    }
+
+    #[test]
+    fn prob_requires_exactly_one_target() {
+        let err = Request::parse(r#"{"op":"prob","session":"s1"}"#).unwrap_err();
+        assert_eq!(err.1, ErrorCode::MissingField);
+        let err = Request::parse(r#"{"op":"prob","session":"s1","plan":"p1","formula":"T"}"#)
+            .unwrap_err();
+        assert_eq!(err.1, ErrorCode::BadField);
+    }
+
+    #[test]
+    fn load_options_round_trip_typed() {
+        let line = r#"{"op":"load","model":"toplevel T;","ordering":"sifted","scope":"support","backend":"zdd","witness_limit":5,"reorder":"auto:2.5","gc":false}"#;
+        let req = Request::parse(line).unwrap();
+        let Op::Load { options, .. } = &req.op else {
+            panic!("{req:?}");
+        };
+        assert_eq!(options.ordering, Some(VariableOrdering::Sifted));
+        assert_eq!(options.scope, Some(MinimalityScope::FormulaSupport));
+        assert_eq!(options.witness_limit, Some(5));
+        assert_eq!(
+            options.reorder,
+            Some(ReorderPolicy::Auto { growth_factor: 2.5 })
+        );
+        assert_eq!(options.gc, Some(false));
+        assert_eq!(req.to_json_line(), line);
+    }
+
+    #[test]
+    fn bad_enum_names_are_bad_field() {
+        for line in [
+            r#"{"op":"load","model":"m","ordering":"alphabetical"}"#,
+            r#"{"op":"load","model":"m","scope":"galactic"}"#,
+            r#"{"op":"load","model":"m","backend":"sat"}"#,
+            r#"{"op":"load","model":"m","reorder":"auto:0.5"}"#,
+            r#"{"op":"load","model":"m","gc":"yes"}"#,
+            r#"{"op":"load","model":"m","witness_limit":-1}"#,
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.1, ErrorCode::BadField, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let ok = Response::ok(Some(3), r#"{"session":"s1"}"#);
+        let line = ok.to_json_line();
+        assert_eq!(line, r#"{"id":3,"ok":true,"result":{"session":"s1"}}"#);
+        assert_eq!(Response::parse(&line).unwrap(), ok);
+        let err = Response::error(None, ErrorCode::Busy, "queue full");
+        let line = err.to_json_line();
+        assert_eq!(Response::parse(&line).unwrap(), err);
+        assert!(!err.is_ok());
+    }
+
+    #[test]
+    fn unknown_error_codes_are_rejected_by_the_client_parser() {
+        let line = r#"{"ok":false,"error":{"code":"weird","message":"?"}}"#;
+        assert!(Response::parse(line).unwrap_err().contains("weird"));
+    }
+
+    #[test]
+    fn session_id_targets_the_right_ops() {
+        let targeted = Request::parse(r#"{"op":"eval","session":"s7","plan":"p1"}"#).unwrap();
+        assert_eq!(targeted.op.session_id(), Some("s7"));
+        let optional = Request::parse(r#"{"op":"stats","session":"s2"}"#).unwrap();
+        assert_eq!(optional.op.session_id(), Some("s2"));
+        let global = Request::parse(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(global.op.session_id(), None);
+        let load = Request::parse(r#"{"op":"load","model":"toplevel T;"}"#).unwrap();
+        assert_eq!(load.op.session_id(), None);
+        assert_eq!(
+            Request::parse(r#"{"op":"shutdown"}"#)
+                .unwrap()
+                .op
+                .session_id(),
+            None
+        );
+    }
+
+    #[test]
+    fn error_code_names_round_trip() {
+        for code in [
+            ErrorCode::ParseError,
+            ErrorCode::UnknownOp,
+            ErrorCode::MissingField,
+            ErrorCode::BadField,
+            ErrorCode::UnknownSession,
+            ErrorCode::UnknownPlan,
+            ErrorCode::ModelError,
+            ErrorCode::QueryError,
+            ErrorCode::EvalError,
+            ErrorCode::Busy,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Oversized,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! A bounded multi-producer/multi-consumer job queue (std-only).
+//!
+//! `std::sync::mpsc` is single-consumer; the server's worker pool needs
+//! many consumers, explicit backpressure and drain-on-close semantics:
+//!
+//! * [`BoundedQueue::try_push`] never blocks — a full queue is an
+//!   immediate [`TryPushError::Full`], which the connection reader turns
+//!   into the protocol's `busy` error (bounded memory, no silent
+//!   buffering);
+//! * [`BoundedQueue::pop`] blocks until an item arrives, and returns
+//!   `None` only once the queue is **closed and drained** — so a
+//!   graceful shutdown processes every request accepted before it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a [`BoundedQueue::try_push`] was refused; the rejected item is
+/// handed back.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity — backpressure.
+    Full(T),
+    /// The queue was closed (server shutting down).
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded MPMC queue. See the [module docs](self).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        // Poisoning only means a worker panicked mid-push/pop; the deque
+        // itself is still structurally sound.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] at capacity, [`TryPushError::Closed`]
+    /// after [`BoundedQueue::close`]; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is empty and open. Returns
+    /// `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: further pushes fail, poppers drain the backlog
+    /// and then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_is_immediate() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(TryPushError::Full(3)) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        match q.try_push("c") {
+            Err(TryPushError::Closed("c")) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn many_consumers_see_every_item() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let total = 50usize;
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                scope.spawn(move || {
+                    while let Some(i) = q.pop() {
+                        seen.lock().unwrap().push(i);
+                    }
+                });
+            }
+            for i in 0..total {
+                while q.try_push(i).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+            q.close();
+        });
+        let mut seen = seen.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
+    }
+}

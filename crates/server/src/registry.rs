@@ -1,0 +1,199 @@
+//! The shared session registry: id → [`AnalysisSession`] + its plans.
+//!
+//! One registry is shared by every connection and worker of a server.
+//! Sessions and prepared plans live behind [`Arc`]s, which is the whole
+//! concurrency story:
+//!
+//! * lookups clone the `Arc` and release the registry lock before any
+//!   analysis runs, so a slow sweep never blocks `load`/`unload`;
+//! * [`Registry::remove`] only unlinks the entry — workers holding a
+//!   clone finish their in-flight queries safely, and the session is
+//!   dropped when the last one completes (asserted by the concurrency
+//!   suite).
+//!
+//! Plans compiled via `prepare` are owned by their session's entry, so
+//! every connection shares one [`PreparedQuery`] per plan id — and with
+//! it the scenario/probability memos that make warm served queries pure
+//! cache lookups.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use bfl_core::engine::AnalysisSession;
+use bfl_core::PreparedQuery;
+
+/// One loaded session plus its compiled plans.
+#[derive(Debug)]
+pub struct SessionEntry {
+    /// The registry id (`s1`, `s2`, …).
+    pub id: String,
+    /// The engine session (all methods take `&self`).
+    pub session: AnalysisSession,
+    plans: RwLock<HashMap<String, Arc<PreparedQuery>>>,
+    next_plan: AtomicU64,
+}
+
+impl SessionEntry {
+    /// Registers a freshly compiled plan, returning its id (`p1`, …).
+    pub fn add_plan(&self, plan: PreparedQuery) -> (String, Arc<PreparedQuery>) {
+        let id = format!("p{}", self.next_plan.fetch_add(1, Ordering::Relaxed) + 1);
+        let plan = Arc::new(plan);
+        self.plans
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id.clone(), Arc::clone(&plan));
+        (id, plan)
+    }
+
+    /// Looks a plan up by id.
+    pub fn plan(&self, id: &str) -> Option<Arc<PreparedQuery>> {
+        self.plans
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    /// All plan ids with their prepared queries, sorted by id.
+    pub fn plans(&self) -> Vec<(String, Arc<PreparedQuery>)> {
+        let mut out: Vec<(String, Arc<PreparedQuery>)> = self
+            .plans
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        // `p10` sorts after `p9`: order by the numeric suffix.
+        out.sort_by_key(|(id, _)| id[1..].parse::<u64>().unwrap_or(u64::MAX));
+        out
+    }
+
+    /// Number of compiled plans.
+    pub fn plan_count(&self) -> usize {
+        self.plans.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// The server-wide session table. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Registry {
+    sessions: RwLock<HashMap<String, Arc<SessionEntry>>>,
+    next_session: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a session, assigning it the next id.
+    pub fn insert(&self, session: AnalysisSession) -> Arc<SessionEntry> {
+        let id = format!("s{}", self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
+        let entry = Arc::new(SessionEntry {
+            id: id.clone(),
+            session,
+            plans: RwLock::new(HashMap::new()),
+            next_plan: AtomicU64::new(0),
+        });
+        self.sessions
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, Arc::clone(&entry));
+        entry
+    }
+
+    /// Looks a session up by id (cheap `Arc` clone).
+    pub fn get(&self, id: &str) -> Option<Arc<SessionEntry>> {
+        self.sessions
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    /// Unlinks a session. Workers holding a clone finish safely; the
+    /// session drops with its last holder.
+    pub fn remove(&self, id: &str) -> Option<Arc<SessionEntry>> {
+        self.sessions
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(id)
+    }
+
+    /// The loaded session ids, sorted by id.
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .sessions
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        ids.sort_by_key(|id| id[1..].parse::<u64>().unwrap_or(u64::MAX));
+        ids
+    }
+
+    /// Number of loaded sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Whether no session is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use bfl_fault_tree::corpus;
+
+    #[test]
+    fn ids_are_sequential_and_sorted_numerically() {
+        let r = Registry::new();
+        for _ in 0..11 {
+            r.insert(AnalysisSession::new(corpus::or2()));
+        }
+        let ids = r.ids();
+        assert_eq!(ids.first().map(String::as_str), Some("s1"));
+        assert_eq!(ids.last().map(String::as_str), Some("s11"));
+        assert_eq!(r.len(), 11);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn remove_keeps_in_flight_holders_alive() {
+        let r = Registry::new();
+        let entry = r.insert(AnalysisSession::new(corpus::covid()));
+        let held = r.get(&entry.id).unwrap();
+        assert!(r.remove(&entry.id).is_some());
+        assert!(r.get(&entry.id).is_none());
+        // The held Arc still answers queries.
+        let q = bfl_core::parser::parse_query("exists IWoS").unwrap();
+        assert!(held.session.check_query(&q).unwrap().holds);
+    }
+
+    #[test]
+    fn plans_register_and_sort() {
+        let r = Registry::new();
+        let entry = r.insert(AnalysisSession::new(corpus::covid()));
+        let q = bfl_core::parser::parse_query("exists IWoS").unwrap();
+        for _ in 0..10 {
+            let p = entry.session.prepare(&q).unwrap();
+            entry.add_plan(p);
+        }
+        assert_eq!(entry.plan_count(), 10);
+        let plans = entry.plans();
+        assert_eq!(plans.first().map(|(id, _)| id.as_str()), Some("p1"));
+        assert_eq!(plans.last().map(|(id, _)| id.as_str()), Some("p10"));
+        assert!(entry.plan("p3").is_some());
+        assert!(entry.plan("p11").is_none());
+    }
+}

@@ -1,0 +1,785 @@
+//! The concurrent analysis server: TCP acceptor, connection readers, a
+//! fixed worker pool over a bounded job queue, and the op handlers.
+//!
+//! ## Threading model
+//!
+//! * **acceptor** — one thread accepting connections;
+//! * **readers** — one lightweight thread per connection, parsing lines
+//!   into jobs; they never run analysis, only enqueue (or answer
+//!   `busy`/`shutting_down`/`oversized`/parse errors immediately);
+//! * **workers** — a fixed pool of `workers` threads popping jobs off
+//!   one bounded [`BoundedQueue`]; all analysis runs here, over the
+//!   shared [`Registry`].
+//!
+//! Backpressure is explicit: a full queue answers `busy` instead of
+//! buffering without bound. Graceful shutdown (`shutdown` op or
+//! [`ServerHandle::shutdown`]) stops intake, **drains** every job
+//! already accepted — no lost responses — and then joins the pool.
+//!
+//! ## Sharing
+//!
+//! Sessions and plans live in the [`Registry`] behind `Arc`s, so every
+//! connection shares one `AnalysisSession` per model and one
+//! `PreparedQuery` (with its scenario/probability memos) per plan id:
+//! a scenario any connection has evaluated is a pure cache lookup for
+//! all of them.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use bfl_core::engine::{AnalysisSession, MaintenanceReport};
+use bfl_core::error::BflError;
+use bfl_core::report::{json_importance, json_outcome, json_stats, json_str, Spec};
+use bfl_core::scenario::{Scenario, ScenarioSet};
+use bfl_fault_tree::galileo;
+
+use crate::protocol::{ErrorCode, Op, ProbTarget, Request, Response, SessionOptions};
+use crate::queue::{BoundedQueue, TryPushError};
+use crate::registry::{Registry, SessionEntry};
+
+/// Server configuration; every field has a serving-friendly default.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads (analysis parallelism).
+    pub workers: usize,
+    /// Bounded request-queue capacity; a full queue answers `busy`.
+    pub queue_capacity: usize,
+    /// Maximum accepted request-line length in bytes; longer lines
+    /// answer `oversized` (and are discarded without buffering).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_capacity: 64,
+            max_line_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Shared state of one running server.
+#[derive(Debug)]
+struct Shared {
+    registry: Registry,
+    queue: BoundedQueue<Job>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+    queue_capacity: usize,
+    max_line_bytes: usize,
+}
+
+/// One enqueued request.
+#[derive(Debug)]
+struct Job {
+    id: Option<u64>,
+    op: Op,
+    conn: Arc<ConnWriter>,
+}
+
+/// The write half of a connection, shared by the reader (immediate
+/// errors) and every worker answering its jobs.
+///
+/// Writes carry a timeout (set at accept time) and the first failure
+/// marks the connection dead: a client that stops reading its socket
+/// can stall a worker for at most one timeout, never pin the pool.
+#[derive(Debug)]
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
+}
+
+impl ConnWriter {
+    fn send(&self, response: &Response) {
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        let mut line = response.to_json_line();
+        line.push('\n');
+        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        // A vanished (or wedged — write timeout) client is not a server
+        // error; drop its responses from here on.
+        if stream.write_all(line.as_bytes()).is_err() || stream.flush().is_err() {
+            self.dead.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// The server entry point.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds the listener and starts the acceptor + worker threads.
+    /// Returns immediately; use the handle to learn the bound address
+    /// and to wait or shut down.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, if the address is unavailable.
+    pub fn bind(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: Registry::new(),
+            queue: BoundedQueue::new(config.queue_capacity.max(1)),
+            shutdown: AtomicBool::new(false),
+            addr,
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            max_line_bytes: config.max_line_bytes.max(1024),
+        });
+        let mut workers = Vec::with_capacity(shared.workers);
+        for i in 0..shared.workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("bfl-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("bfl-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, &listener))?
+        };
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// A running server: bound address plus join/shutdown control.
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Blocks until the server stops (a client sent `shutdown`), then
+    /// joins every worker — all accepted requests have been answered
+    /// when this returns.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// Initiates a graceful shutdown programmatically (equivalent to
+    /// the `shutdown` op): stops intake, drains the queue, joins.
+    pub fn shutdown(mut self) {
+        begin_shutdown(&self.shared);
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Flags the shutdown, closes the queue (poppers drain it) and pokes
+/// the acceptor awake so it observes the flag. The poke targets the
+/// loopback of the *bound family* — an IPv6 listener may not accept
+/// IPv4-mapped connections.
+fn begin_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::Release);
+    shared.queue.close();
+    let poke = if shared.addr.ip().is_unspecified() {
+        match shared.addr {
+            SocketAddr::V4(_) => SocketAddr::from(([127, 0, 0, 1], shared.addr.port())),
+            SocketAddr::V6(_) => {
+                SocketAddr::from((std::net::Ipv6Addr::LOCALHOST, shared.addr.port()))
+            }
+        }
+    } else {
+        shared.addr
+    };
+    let _ = TcpStream::connect(poke);
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses are one small line each; Nagle + delayed ACK would
+        // add ~40 ms to every round trip.
+        let _ = stream.set_nodelay(true);
+        // Bound the damage a non-reading client can do: a worker blocks
+        // in a response write for at most this long, after which the
+        // connection is marked dead (see `ConnWriter`).
+        let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
+        let shared = Arc::clone(shared);
+        // Readers are deliberately detached: they die with their
+        // connection (EOF) and hold only Arcs.
+        let _ = std::thread::Builder::new()
+            .name("bfl-conn".to_string())
+            .spawn(move || serve_connection(&shared, stream));
+    }
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The line exceeded the limit; it was discarded up to its newline.
+    Oversized,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line into `buf`, never buffering more than
+/// `max` bytes: an overlong line is discarded (streamed past) and
+/// reported as [`LineRead::Oversized`], keeping the connection usable.
+fn read_bounded_line(
+    reader: &mut impl BufRead,
+    max: usize,
+    buf: &mut Vec<u8>,
+) -> io::Result<LineRead> {
+    buf.clear();
+    let mut oversized = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            // EOF. A trailing unterminated fragment still parses as a
+            // line (netcat without a final newline).
+            return Ok(if oversized {
+                LineRead::Oversized
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            if !oversized && buf.len() + pos <= max {
+                buf.extend_from_slice(&available[..pos]);
+            } else {
+                oversized = true;
+            }
+            reader.consume(pos + 1);
+            return Ok(if oversized {
+                LineRead::Oversized
+            } else {
+                LineRead::Line
+            });
+        }
+        if !oversized {
+            if buf.len() + available.len() > max {
+                oversized = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(available);
+            }
+        }
+        let n = available.len();
+        reader.consume(n);
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnWriter {
+        stream: Mutex::new(write_half),
+        dead: AtomicBool::new(false),
+    });
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match read_bounded_line(&mut reader, shared.max_line_bytes, &mut buf) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversized) => {
+                conn.send(&Response::error(
+                    None,
+                    ErrorCode::Oversized,
+                    format!(
+                        "request line exceeds the {} byte limit",
+                        shared.max_line_bytes
+                    ),
+                ));
+            }
+            Ok(LineRead::Line) => {
+                let Ok(text) = std::str::from_utf8(&buf) else {
+                    conn.send(&Response::error(
+                        None,
+                        ErrorCode::ParseError,
+                        "request line is not valid UTF-8",
+                    ));
+                    continue;
+                };
+                let line = text.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let request = match Request::parse(line) {
+                    Ok(request) => request,
+                    Err((id, code, message)) => {
+                        conn.send(&Response::error(id, code, message));
+                        continue;
+                    }
+                };
+                if shared.shutdown.load(Ordering::Acquire) {
+                    conn.send(&Response::error(
+                        request.id,
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    ));
+                    continue;
+                }
+                let job = Job {
+                    id: request.id,
+                    op: request.op,
+                    conn: Arc::clone(&conn),
+                };
+                match shared.queue.try_push(job) {
+                    Ok(()) => {}
+                    Err(TryPushError::Full(job)) => job.conn.send(&Response::error(
+                        job.id,
+                        ErrorCode::Busy,
+                        "request queue is full, retry later",
+                    )),
+                    Err(TryPushError::Closed(job)) => job.conn.send(&Response::error(
+                        job.id,
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    )),
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        if matches!(job.op, Op::Shutdown) {
+            // Flag first so readers reject new work, answer, then close
+            // the queue: poppers drain what was already accepted.
+            shared.shutdown.store(true, Ordering::Release);
+            job.conn.send(&Response::ok(job.id, "{\"stopping\":true}"));
+            begin_shutdown(shared);
+            continue;
+        }
+        // A handler panic must never take the worker (and with it the
+        // whole pool's capacity) down; every shared lock recovers from
+        // poisoning via `into_inner`. The panicking request's *session*,
+        // however, may have been left half-mutated (e.g. mid-maintenance
+        // arena remap), so it is quarantined: unloaded from the registry
+        // so later requests fail loudly instead of serving corrupt state.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| handle_op(shared, &job.op)))
+            .unwrap_or_else(|panic| {
+                let what = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".to_string());
+                let quarantined = job
+                    .op
+                    .session_id()
+                    .and_then(|id| shared.registry.remove(id).map(|_| id));
+                match quarantined {
+                    Some(id) => Err((
+                        ErrorCode::Internal,
+                        format!("handler panicked: {what}; session `{id}` quarantined"),
+                    )),
+                    None => Err((ErrorCode::Internal, format!("handler panicked: {what}"))),
+                }
+            });
+        let response = match result {
+            Ok(result) => Response::ok(job.id, result),
+            Err((code, message)) => Response::error(job.id, code, message),
+        };
+        job.conn.send(&response);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Op handlers.
+// ---------------------------------------------------------------------------
+
+type OpError = (ErrorCode, String);
+
+fn eval_error(e: &BflError) -> OpError {
+    let code = match e {
+        BflError::Internal { .. } => ErrorCode::Internal,
+        _ => ErrorCode::EvalError,
+    };
+    (code, e.to_string())
+}
+
+fn handle_op(shared: &Shared, op: &Op) -> Result<String, OpError> {
+    match op {
+        Op::Load { model, options } => handle_load(shared, model, options),
+        Op::Prepare { session, query } => {
+            let entry = session_entry(shared, session)?;
+            let q = bfl_core::parser::parse_query(query)
+                .map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
+            let prepared = entry.session.prepare(&q).map_err(|e| eval_error(&e))?;
+            let explain = prepared.explain().to_json();
+            let (plan_id, _) = entry.add_plan(prepared);
+            Ok(format!(
+                "{{\"session\":{},\"plan\":{},\"explain\":{explain}}}",
+                json_str(&entry.id),
+                json_str(&plan_id)
+            ))
+        }
+        Op::Check { session, query } => {
+            let entry = session_entry(shared, session)?;
+            let spec = Spec::parse(query).map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
+            if spec.is_empty() {
+                return Err((
+                    ErrorCode::QueryError,
+                    "the spec contains no questions".to_string(),
+                ));
+            }
+            let report = entry.session.run(&spec).map_err(|e| eval_error(&e))?;
+            Ok(report.to_json())
+        }
+        Op::Eval {
+            session,
+            plan,
+            scenario,
+        } => {
+            let entry = session_entry(shared, session)?;
+            let prepared = plan_of(&entry, plan)?;
+            let scenario = parse_scenario(scenario)?;
+            let outcome = prepared.eval(&scenario).map_err(|e| eval_error(&e))?;
+            Ok(json_outcome(prepared.tree(), &outcome))
+        }
+        Op::Sweep {
+            session,
+            plan,
+            scenarios,
+        } => {
+            let entry = session_entry(shared, session)?;
+            let prepared = plan_of(&entry, plan)?;
+            let set = ScenarioSet::parse(scenarios)
+                .map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
+            if set.is_empty() {
+                return Err((
+                    ErrorCode::QueryError,
+                    "the scenario set is empty".to_string(),
+                ));
+            }
+            let report = prepared.sweep(&set).map_err(|e| eval_error(&e))?;
+            Ok(report.to_json())
+        }
+        Op::Prob { session, target } => handle_prob(shared, session, target),
+        Op::Importance { session, formula } => {
+            let entry = session_entry(shared, session)?;
+            let phi = bfl_core::parser::parse_formula(formula)
+                .map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
+            let rows = entry
+                .session
+                .rank_events(&phi)
+                .map_err(|e| eval_error(&e))?;
+            Ok(format!(
+                "{{\"formula\":{},\"importance\":{}}}",
+                json_str(formula),
+                json_importance(&rows)
+            ))
+        }
+        Op::Explain { session, plan } => {
+            let entry = session_entry(shared, session)?;
+            let prepared = plan_of(&entry, plan)?;
+            Ok(prepared.explain().to_json())
+        }
+        Op::Stats { session } => match session {
+            None => Ok(global_stats(shared)),
+            Some(id) => {
+                let entry = session_entry(shared, id)?;
+                Ok(session_stats(&entry))
+            }
+        },
+        Op::Maintain { session } => {
+            let entry = session_entry(shared, session)?;
+            let report = entry.session.maintain();
+            let totals = entry.session.maintenance_stats();
+            Ok(format!(
+                "{{\"session\":{},\"report\":{},\"totals\":{{\"gc_runs\":{},\"sift_runs\":{},\"nodes_collected\":{},\"swaps\":{}}}}}",
+                json_str(&entry.id),
+                maintenance_json(&report),
+                totals.gc_runs,
+                totals.sift_runs,
+                totals.nodes_collected,
+                totals.swaps
+            ))
+        }
+        Op::Unload { session } => {
+            let entry = shared.registry.remove(session).ok_or_else(|| {
+                (
+                    ErrorCode::UnknownSession,
+                    format!("no session `{session}` is loaded"),
+                )
+            })?;
+            Ok(format!(
+                "{{\"unloaded\":{},\"plans\":{}}}",
+                json_str(&entry.id),
+                entry.plan_count()
+            ))
+        }
+        // Intercepted by the worker loop before dispatch; reaching this
+        // arm is a dispatch bug, not a servable request.
+        Op::Shutdown => Err((
+            ErrorCode::Internal,
+            "shutdown must be handled by the worker loop".to_string(),
+        )),
+    }
+}
+
+fn session_entry(shared: &Shared, id: &str) -> Result<Arc<SessionEntry>, OpError> {
+    shared.registry.get(id).ok_or_else(|| {
+        (
+            ErrorCode::UnknownSession,
+            format!("no session `{id}` is loaded"),
+        )
+    })
+}
+
+fn plan_of(entry: &SessionEntry, id: &str) -> Result<Arc<bfl_core::PreparedQuery>, OpError> {
+    entry.plan(id).ok_or_else(|| {
+        (
+            ErrorCode::UnknownPlan,
+            format!("no plan `{id}` in session `{}`", entry.id),
+        )
+    })
+}
+
+fn parse_scenario(text: &str) -> Result<Scenario, OpError> {
+    if text.trim().is_empty() {
+        return Ok(Scenario::new());
+    }
+    Scenario::parse(text).map_err(|e| (ErrorCode::QueryError, e.to_string()))
+}
+
+fn handle_load(shared: &Shared, model: &str, options: &SessionOptions) -> Result<String, OpError> {
+    let parsed = galileo::parse(model).map_err(|e| (ErrorCode::ModelError, e.to_string()))?;
+    let mut builder = AnalysisSession::builder().probabilities(parsed.probabilities);
+    if let Some(ordering) = options.ordering {
+        builder = builder.ordering(ordering);
+    }
+    if let Some(scope) = options.scope {
+        builder = builder.minimality_scope(scope);
+    }
+    if let Some(backend) = options.backend {
+        builder = builder.backend(backend);
+    }
+    if let Some(limit) = options.witness_limit {
+        builder = builder.witness_limit(limit as usize);
+    }
+    if let Some(reorder) = options.reorder {
+        builder = builder.reorder(reorder);
+    }
+    if let Some(gc) = options.gc {
+        builder = builder.gc(gc);
+    }
+    let session = builder.build(parsed.tree);
+    let tree_name = session.tree().name(session.tree().top()).to_string();
+    let (basic, gates) = (
+        session.tree().num_basic_events(),
+        session.tree().num_gates(),
+    );
+    let entry = shared.registry.insert(session);
+    Ok(format!(
+        "{{\"session\":{},\"tree\":{},\"basic_events\":{basic},\"gates\":{gates}}}",
+        json_str(&entry.id),
+        json_str(&tree_name)
+    ))
+}
+
+fn handle_prob(shared: &Shared, session: &str, target: &ProbTarget) -> Result<String, OpError> {
+    let entry = session_entry(shared, session)?;
+    match target {
+        ProbTarget::Plan { plan, scenario } => {
+            let prepared = plan_of(&entry, plan)?;
+            let scenario = parse_scenario(scenario.as_deref().unwrap_or(""))?;
+            match prepared.probability(&scenario) {
+                Ok(p) => Ok(format!(
+                    "{{\"query\":{},\"probability\":{p}}}",
+                    json_str(prepared.source())
+                )),
+                // A zero-probability condition is a well-defined "no
+                // answer", matching the CLI and the sweep outcomes.
+                Err(BflError::DivisionByZero { .. }) => Ok(format!(
+                    "{{\"query\":{},\"probability\":null}}",
+                    json_str(prepared.source())
+                )),
+                Err(e) => Err(eval_error(&e)),
+            }
+        }
+        ProbTarget::Formula { formula, given } => {
+            let phi = bfl_core::parser::parse_formula(formula)
+                .map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
+            let p = match given {
+                None => Some(
+                    entry
+                        .session
+                        .formula_probability(&phi)
+                        .map_err(|e| eval_error(&e))?,
+                ),
+                Some(g) => {
+                    let given = bfl_core::parser::parse_formula(g)
+                        .map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
+                    entry
+                        .session
+                        .conditional_probability(&phi, &given)
+                        .map_err(|e| eval_error(&e))?
+                }
+            };
+            let rendered = p
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            Ok(format!(
+                "{{\"formula\":{},\"probability\":{rendered}}}",
+                json_str(formula)
+            ))
+        }
+    }
+}
+
+fn global_stats(shared: &Shared) -> String {
+    let ids: Vec<String> = shared
+        .registry
+        .ids()
+        .iter()
+        .map(|id| json_str(id))
+        .collect();
+    format!(
+        "{{\"sessions\":[{}],\"workers\":{},\"queue_capacity\":{},\"queue_depth\":{}}}",
+        ids.join(","),
+        shared.workers,
+        shared.queue_capacity,
+        shared.queue.len()
+    )
+}
+
+fn session_stats(entry: &SessionEntry) -> String {
+    let stats = entry.session.stats();
+    let m = entry.session.maintenance_stats();
+    let mut plans = String::new();
+    for (id, plan) in entry.plans() {
+        if !plans.is_empty() {
+            plans.push(',');
+        }
+        let p = plan.stats();
+        plans.push_str(&format!(
+            "{}:{{\"query\":{},\"evals\":{},\"memo_hits\":{},\"memo_misses\":{},\"distinct_scenarios\":{}}}",
+            json_str(&id),
+            json_str(plan.source()),
+            p.evals,
+            p.memo_hits,
+            p.memo_misses,
+            p.distinct_scenarios
+        ));
+    }
+    let tree_name = entry.session.tree().name(entry.session.tree().top());
+    format!(
+        "{{\"session\":{},\"tree\":{},\"stats\":{},\"maintenance\":{{\"gc_runs\":{},\"sift_runs\":{},\"nodes_collected\":{},\"swaps\":{}}},\"plans\":{{{plans}}}}}",
+        json_str(&entry.id),
+        json_str(tree_name),
+        json_stats(&stats),
+        m.gc_runs,
+        m.sift_runs,
+        m.nodes_collected,
+        m.swaps
+    )
+}
+
+fn maintenance_json(m: &MaintenanceReport) -> String {
+    let gc = match m.gc {
+        Some(gc) => format!(
+            "{{\"arena_before\":{},\"arena_after\":{},\"collected\":{}}}",
+            gc.arena_before, gc.arena_after, gc.collected
+        ),
+        None => "null".to_string(),
+    };
+    let sift = match m.sift {
+        Some(s) => format!(
+            "{{\"live_before\":{},\"live_after\":{},\"swaps\":{},\"blocks_sifted\":{}}}",
+            s.live_before, s.live_after, s.swaps, s.blocks_sifted
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"live_before\":{},\"live_after\":{},\"gc\":{gc},\"sift\":{sift}}}",
+        m.live_before, m.live_after
+    )
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn bounded_line_reader_handles_limits_and_eof() {
+        let mut buf = Vec::new();
+        // Normal lines.
+        let mut r = BufReader::new(Cursor::new(b"hello\nworld".to_vec()));
+        assert!(matches!(
+            read_bounded_line(&mut r, 16, &mut buf).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"hello");
+        // Unterminated trailing fragment still counts as a line.
+        assert!(matches!(
+            read_bounded_line(&mut r, 16, &mut buf).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"world");
+        assert!(matches!(
+            read_bounded_line(&mut r, 16, &mut buf).unwrap(),
+            LineRead::Eof
+        ));
+        // Oversized line is discarded; the next line still parses.
+        let mut r = BufReader::new(Cursor::new(b"xxxxxxxxxxxxxxxxxxxxxx\nok\n".to_vec()));
+        assert!(matches!(
+            read_bounded_line(&mut r, 8, &mut buf).unwrap(),
+            LineRead::Oversized
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 8, &mut buf).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"ok");
+    }
+
+    #[test]
+    fn oversized_exactly_at_boundary_is_kept() {
+        let mut buf = Vec::new();
+        let mut r = BufReader::new(Cursor::new(b"12345678\n".to_vec()));
+        assert!(matches!(
+            read_bounded_line(&mut r, 8, &mut buf).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"12345678");
+    }
+}

@@ -1,0 +1,352 @@
+//! Differential oracle suite: served `check`/`eval`/`prob` responses
+//! are cross-checked against the brute-force reference evaluators
+//! (`bfl_core::semantics::eval_query`, `bfl_core::quant::probability_naive`)
+//! on randomized trees × queries × scenarios (seeded SplitMix64).
+//!
+//! On any divergence the failing Galileo model + query + scenario are
+//! dumped to a tempfile whose path is part of the assertion message, so
+//! a failure seeds a deterministic repro without re-running the sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bfl_core::ast::{CmpOp, Formula, Query};
+use bfl_core::{quant, semantics};
+use bfl_fault_tree::galileo;
+use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
+use bfl_fault_tree::rng::Prng;
+use bfl_fault_tree::FaultTree;
+use bfl_server::{Client, Server, ServerConfig, ServerHandle};
+
+// ---------------------------------------------------------------------------
+// Random-case generation (seeded, deterministic).
+// ---------------------------------------------------------------------------
+
+/// A random layer-1 formula over the tree's elements: atoms, Boolean
+/// connectives, evidence (basic events only) and `MCS`/`MPS`/`VOT`.
+fn random_formula(rng: &mut Prng, names: &[String], basics: &[String], depth: usize) -> Formula {
+    if depth == 0 {
+        return if rng.gen_bool(0.1) {
+            Formula::Const(rng.gen_bool(0.5))
+        } else {
+            Formula::atom(names[rng.gen_range(0..names.len())].clone())
+        };
+    }
+    match rng.gen_range(0..10) {
+        0 => Formula::atom(names[rng.gen_range(0..names.len())].clone()),
+        1 => random_formula(rng, names, basics, depth - 1).not(),
+        2 => random_formula(rng, names, basics, depth - 1).and(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        3 => random_formula(rng, names, basics, depth - 1).or(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        4 => random_formula(rng, names, basics, depth - 1).implies(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        5 => random_formula(rng, names, basics, depth - 1).iff(random_formula(
+            rng,
+            names,
+            basics,
+            depth - 1,
+        )),
+        6 => random_formula(rng, names, basics, depth - 1).with_evidence(
+            basics[rng.gen_range(0..basics.len())].clone(),
+            rng.gen_bool(0.5),
+        ),
+        7 => random_formula(rng, names, basics, depth - 1).mcs(),
+        8 => random_formula(rng, names, basics, depth - 1).mps(),
+        _ => {
+            let n = rng.gen_range(2..=3);
+            let operands: Vec<Formula> = (0..n)
+                .map(|_| random_formula(rng, names, basics, depth - 1))
+                .collect();
+            let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt][rng.gen_range(0..5)];
+            Formula::vot(op, rng.gen_range(0..=n + 1) as u32, operands)
+        }
+    }
+}
+
+/// A random Boolean layer-2 query (`exists`/`forall`/`IDP`).
+fn random_query(rng: &mut Prng, names: &[String], basics: &[String]) -> Query {
+    let phi = random_formula(rng, names, basics, 3);
+    match rng.gen_range(0..4) {
+        0 | 1 => Query::exists(phi),
+        2 => Query::forall(phi),
+        _ => Query::idp(phi, random_formula(rng, names, basics, 2)),
+    }
+}
+
+/// A random scenario line over the basic events (0–3 bindings).
+fn random_scenario_line(rng: &mut Prng, basics: &[String]) -> String {
+    let n = rng.gen_range(0..=3);
+    let bindings: Vec<String> = (0..n)
+        .map(|_| {
+            format!(
+                "{} = {}",
+                basics[rng.gen_range(0..basics.len())],
+                u8::from(rng.gen_bool(0.5))
+            )
+        })
+        .collect();
+    bindings.join(", ")
+}
+
+/// The scenario a binding line denotes (first-binding-wins, like the
+/// engine).
+fn scenario_of_line(line: &str) -> bfl_core::Scenario {
+    if line.trim().is_empty() {
+        bfl_core::Scenario::new()
+    } else {
+        bfl_core::Scenario::parse(line).expect("scenario line parses")
+    }
+}
+
+/// Element-name vectors for the generator helpers.
+fn name_vectors(tree: &FaultTree) -> (Vec<String>, Vec<String>) {
+    let names: Vec<String> = tree
+        .basic_event_names()
+        .iter()
+        .map(|s| s.to_string())
+        .chain(tree.gates().map(|g| tree.name(g).to_string()))
+        .collect();
+    let basics: Vec<String> = tree
+        .basic_event_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    (names, basics)
+}
+
+/// Dumps a failing case to a tempfile and returns its path — the
+/// "shrunk" repro the assertion message points at.
+fn dump_failure(model: &str, detail: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "bfl-differential-failure-{}-{}.txt",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let contents = format!(
+        "# failing differential case\n# --- galileo model ---\n{model}\n# --- case ---\n{detail}\n"
+    );
+    std::fs::write(&path, contents).expect("write failure dump");
+    path
+}
+
+fn start_server() -> ServerHandle {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("binds")
+}
+
+// ---------------------------------------------------------------------------
+// The differential sweeps.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_check_and_eval_agree_with_reference_semantics() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let mut rng = Prng::seed_from_u64(0xD1FF_0001);
+    for case in 0..8u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 6 + (case as usize % 4),
+            num_gates: 4 + (case as usize % 3),
+            max_children: 3,
+            vot_probability: 0.15,
+            seed: 0x5EED_0000 + case,
+        });
+        let model = galileo::to_galileo(&tree, None);
+        let session = client.load(&model).expect("loads");
+        let (names, basics) = name_vectors(&tree);
+        for _ in 0..6 {
+            let query = random_query(&mut rng, &names, &basics);
+            let query_src = query.to_string();
+            let expected = semantics::eval_query(&tree, &query).expect("reference evaluates");
+
+            // Path 1: the `check` endpoint (full pipeline per request).
+            let report = client.check(&session, &query_src).expect("check");
+            let served = report
+                .get("outcomes")
+                .and_then(|o| o.as_array())
+                .and_then(|outcomes| outcomes.first().and_then(|o| o.get("holds")?.as_bool()));
+            if served != Some(expected) {
+                let path = dump_failure(&model, &format!("check query: {query_src}"));
+                panic!(
+                    "served check diverged from semantics::eval_query \
+                     (served {served:?}, expected {expected}); repro dumped to {}",
+                    path.display()
+                );
+            }
+
+            // Path 2: prepare once, evaluate under random scenarios by
+            // BDD restriction — against the specialised reference query.
+            let plan = client.prepare(&session, &query_src).expect("prepares");
+            let top = tree.name(tree.top()).to_string();
+            for _ in 0..4 {
+                let line = random_scenario_line(&mut rng, &basics);
+                let scenario = scenario_of_line(&line);
+                let specialised = scenario.specialise_query(&query, &top);
+                let expected =
+                    semantics::eval_query(&tree, &specialised).expect("reference evaluates");
+                let outcome = client.eval(&session, &plan, &line).expect("eval");
+                let served = outcome.get("holds").and_then(|v| v.as_bool());
+                if served != Some(expected) {
+                    let path = dump_failure(
+                        &model,
+                        &format!("eval query: {query_src}\nscenario: [{line}]"),
+                    );
+                    panic!(
+                        "served eval diverged from the reference under [{line}] \
+                         (served {served:?}, expected {expected}); repro dumped to {}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        client.unload(&session).expect("unloads");
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn served_prob_agrees_with_probability_naive() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let mut rng = Prng::seed_from_u64(0xD1FF_0002);
+    for case in 0..6u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 6 + (case as usize % 3),
+            num_gates: 4 + (case as usize % 3),
+            max_children: 3,
+            vot_probability: 0.1,
+            seed: 0x5EED_1000 + case,
+        });
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n)
+            .map(|i| 0.05 + 0.85 * (i as f64) / (n as f64))
+            .collect();
+        let annotated: Vec<Option<f64>> = probs.iter().map(|&p| Some(p)).collect();
+        let model = galileo::to_galileo(&tree, Some(&annotated));
+        let session = client.load(&model).expect("loads");
+        let (names, basics) = name_vectors(&tree);
+        for _ in 0..5 {
+            let phi = random_formula(&mut rng, &names, &basics, 3);
+            let phi_src = phi.to_string();
+            let expected = quant::probability_naive(&tree, &phi, &probs).expect("naive");
+
+            // Path 1: ad-hoc formula probability through the session.
+            let served = client
+                .prob_formula(&session, &phi_src, None)
+                .expect("prob")
+                .expect("unconditional probability is defined");
+            if (served - expected).abs() > 1e-9 {
+                let path = dump_failure(&model, &format!("prob formula: {phi_src}"));
+                panic!(
+                    "served prob diverged from probability_naive \
+                     (served {served}, expected {expected}); repro dumped to {}",
+                    path.display()
+                );
+            }
+
+            // Path 2: compiled-plan probability under random scenarios,
+            // against the naive probability of the specialised formula.
+            let plan = client
+                .prepare(&session, &Query::exists(phi.clone()).to_string())
+                .expect("prepares");
+            for _ in 0..3 {
+                let line = random_scenario_line(&mut rng, &basics);
+                let scenario = scenario_of_line(&line);
+                let specialised = scenario.specialise(&phi);
+                let expected =
+                    quant::probability_naive(&tree, &specialised, &probs).expect("naive");
+                let served = client
+                    .prob_plan(&session, &plan, Some(&line))
+                    .expect("prob")
+                    .expect("unconditional probability is defined");
+                if (served - expected).abs() > 1e-9 {
+                    let path = dump_failure(
+                        &model,
+                        &format!("prob plan formula: {phi_src}\nscenario: [{line}]"),
+                    );
+                    panic!(
+                        "served plan prob diverged from probability_naive under [{line}] \
+                         (served {served}, expected {expected}); repro dumped to {}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        client.unload(&session).expect("unloads");
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn served_conditional_prob_agrees_with_naive_ratio() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let mut rng = Prng::seed_from_u64(0xD1FF_0003);
+    let tree = random_tree(&RandomTreeConfig {
+        num_basic: 8,
+        num_gates: 5,
+        max_children: 3,
+        vot_probability: 0.1,
+        seed: 0x5EED_2000,
+    });
+    let n = tree.num_basic_events();
+    let probs: Vec<f64> = (0..n)
+        .map(|i| 0.1 + 0.7 * (i as f64) / (n as f64))
+        .collect();
+    let annotated: Vec<Option<f64>> = probs.iter().map(|&p| Some(p)).collect();
+    let model = galileo::to_galileo(&tree, Some(&annotated));
+    let session = client.load(&model).expect("loads");
+    let (names, basics) = name_vectors(&tree);
+    for _ in 0..12 {
+        let phi = random_formula(&mut rng, &names, &basics, 2);
+        let given = random_formula(&mut rng, &names, &basics, 2);
+        let p_joint = quant::probability_naive(&tree, &phi.clone().and(given.clone()), &probs)
+            .expect("naive");
+        let p_given = quant::probability_naive(&tree, &given, &probs).expect("naive");
+        let served = client
+            .prob_formula(&session, &phi.to_string(), Some(&given.to_string()))
+            .expect("prob");
+        match served {
+            Some(served) => {
+                let expected = p_joint / p_given;
+                if (served - expected).abs() > 1e-9 {
+                    let path =
+                        dump_failure(&model, &format!("conditional prob: P({phi} | {given})"));
+                    panic!(
+                        "served conditional diverged (served {served}, expected {expected}); \
+                         repro dumped to {}",
+                        path.display()
+                    );
+                }
+            }
+            // The server reports `null` exactly when the engine deems
+            // the condition (effectively) zero-probability.
+            None => assert!(
+                p_given < 1e-6,
+                "served null for P({phi} | {given}) but P(given) = {p_given}"
+            ),
+        }
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

@@ -1,0 +1,340 @@
+//! Protocol property tests: canonical serialisation round-trips
+//! byte-identically, and a live server answers malformed, truncated and
+//! oversized lines with structured errors — never by dropping the
+//! connection or killing a worker.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use bfl_core::engine::ReorderPolicy;
+use bfl_core::MinimalityScope;
+use bfl_fault_tree::VariableOrdering;
+use bfl_server::{
+    Client, ErrorCode, Op, ProbTarget, Request, Response, Server, ServerConfig, SessionOptions,
+};
+
+/// A corpus of requests covering every operation and option shape.
+fn request_corpus() -> Vec<Request> {
+    let full_options = SessionOptions {
+        ordering: Some(VariableOrdering::Sifted),
+        scope: Some(MinimalityScope::FormulaSupport),
+        backend: Some(bfl_core::engine::Backend::Zdd),
+        witness_limit: Some(5),
+        reorder: Some(ReorderPolicy::Auto { growth_factor: 2.5 }),
+        gc: Some(false),
+    };
+    vec![
+        Request::new(Op::Load {
+            model: "toplevel T;\nT and A B;\n\"we\u{eb}rd/name\" prob=0.1;\n".to_string(),
+            options: SessionOptions::default(),
+        }),
+        Request::with_id(
+            1,
+            Op::Load {
+                model: "toplevel T;".to_string(),
+                options: full_options,
+            },
+        ),
+        Request::with_id(
+            2,
+            Op::Prepare {
+                session: "s1".to_string(),
+                query: "exists MCS(IWoS) & H4".to_string(),
+            },
+        ),
+        Request::with_id(
+            3,
+            Op::Check {
+                session: "s1".to_string(),
+                query: "P1: forall IS => MoT\nP4: [IW, H3] MCS(\"CP/R\")\n".to_string(),
+            },
+        ),
+        Request::with_id(
+            4,
+            Op::Eval {
+                session: "s1".to_string(),
+                plan: "p1".to_string(),
+                scenario: "what-if: IW = 1, H3 = 0".to_string(),
+            },
+        ),
+        Request::with_id(
+            5,
+            Op::Sweep {
+                session: "s1".to_string(),
+                plan: "p1".to_string(),
+                scenarios: "baseline:\nworst: IW = 1, H5 = 1\n".to_string(),
+            },
+        ),
+        Request::with_id(
+            6,
+            Op::Prob {
+                session: "s1".to_string(),
+                target: ProbTarget::Plan {
+                    plan: "p1".to_string(),
+                    scenario: Some("IW = 1".to_string()),
+                },
+            },
+        ),
+        Request::with_id(
+            7,
+            Op::Prob {
+                session: "s1".to_string(),
+                target: ProbTarget::Plan {
+                    plan: "p2".to_string(),
+                    scenario: None,
+                },
+            },
+        ),
+        Request::with_id(
+            8,
+            Op::Prob {
+                session: "s1".to_string(),
+                target: ProbTarget::Formula {
+                    formula: "MCS(IWoS)".to_string(),
+                    given: Some("H1 | H2".to_string()),
+                },
+            },
+        ),
+        Request::with_id(
+            9,
+            Op::Importance {
+                session: "s1".to_string(),
+                formula: "IWoS".to_string(),
+            },
+        ),
+        Request::with_id(
+            10,
+            Op::Explain {
+                session: "s1".to_string(),
+                plan: "p1".to_string(),
+            },
+        ),
+        Request::with_id(11, Op::Stats { session: None }),
+        Request::with_id(
+            12,
+            Op::Stats {
+                session: Some("s1".to_string()),
+            },
+        ),
+        Request::with_id(
+            13,
+            Op::Maintain {
+                session: "s1".to_string(),
+            },
+        ),
+        Request::with_id(
+            14,
+            Op::Unload {
+                session: "s1".to_string(),
+            },
+        ),
+        Request::with_id(u64::MAX, Op::Shutdown),
+    ]
+}
+
+#[test]
+fn every_request_round_trips_byte_identically() {
+    for request in request_corpus() {
+        let line = request.to_json_line();
+        let parsed = Request::parse(&line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+        assert_eq!(parsed, request, "{line}");
+        assert_eq!(parsed.to_json_line(), line, "second serialisation drifted");
+    }
+}
+
+#[test]
+fn every_response_round_trips_byte_identically() {
+    let responses = vec![
+        Response::ok(None, "{\"session\":\"s1\"}"),
+        Response::ok(Some(3), "{\"outcomes\":[{\"holds\":true,\"probability\":0.020000000000000004}],\"totals\":{\"cache_hits\":12}}"),
+        Response::ok(Some(4), "[[\"A\",\"B\"],[\"C\"]]"),
+        Response::ok(Some(5), "null"),
+        Response::error(None, ErrorCode::ParseError, "invalid JSON: x at byte 0"),
+        Response::error(Some(6), ErrorCode::Busy, "request queue is full, retry later"),
+        Response::error(Some(7), ErrorCode::UnknownSession, "no session `s9`"),
+        Response::error(Some(8), ErrorCode::Oversized, "line too long"),
+        Response::error(Some(9), ErrorCode::ShuttingDown, "server is draining"),
+        Response::error(Some(10), ErrorCode::Internal, "handler panicked: ?"),
+    ];
+    for response in responses {
+        let line = response.to_json_line();
+        let parsed = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(parsed, response, "{line}");
+        assert_eq!(parsed.to_json_line(), line, "second serialisation drifted");
+    }
+}
+
+#[test]
+fn live_responses_reparse_to_the_same_bytes() {
+    // End-to-end: every document a real server produces survives the
+    // client-side parse → serialise cycle byte-identically.
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("binds");
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let model = "toplevel T;\nT and A B;\nA prob=0.1;\nB prob=0.2;\n";
+    let lines = [
+        format!(
+            "{{\"id\":1,\"op\":\"load\",\"model\":{}}}",
+            bfl_core::report::json_str(model)
+        ),
+        "{\"id\":2,\"op\":\"prepare\",\"session\":\"s1\",\"query\":\"exists MCS(T)\"}".to_string(),
+        "{\"id\":3,\"op\":\"check\",\"session\":\"s1\",\"query\":\"Q: forall A & B => T\"}"
+            .to_string(),
+        "{\"id\":4,\"op\":\"eval\",\"session\":\"s1\",\"plan\":\"p1\",\"scenario\":\"A = 1\"}"
+            .to_string(),
+        "{\"id\":5,\"op\":\"sweep\",\"session\":\"s1\",\"plan\":\"p1\",\"scenarios\":\"a: A = 1\\nb: B = 0\"}"
+            .to_string(),
+        "{\"id\":6,\"op\":\"prob\",\"session\":\"s1\",\"plan\":\"p1\"}".to_string(),
+        "{\"id\":7,\"op\":\"prob\",\"session\":\"s1\",\"formula\":\"T\",\"given\":\"A\"}"
+            .to_string(),
+        "{\"id\":8,\"op\":\"importance\",\"session\":\"s1\",\"formula\":\"T\"}".to_string(),
+        "{\"id\":9,\"op\":\"explain\",\"session\":\"s1\",\"plan\":\"p1\"}".to_string(),
+        "{\"id\":10,\"op\":\"stats\",\"session\":\"s1\"}".to_string(),
+        "{\"id\":11,\"op\":\"maintain\",\"session\":\"s1\"}".to_string(),
+        "{\"id\":12,\"op\":\"stats\"}".to_string(),
+        "{\"id\":13,\"op\":\"unload\",\"session\":\"s1\"}".to_string(),
+        "{\"id\":14,\"op\":\"eval\",\"session\":\"s1\",\"plan\":\"p1\"}".to_string(),
+    ];
+    for line in &lines {
+        let raw = client.round_trip(line).expect("round trip");
+        let response = Response::parse(&raw).unwrap_or_else(|e| panic!("{raw}: {e}"));
+        assert_eq!(response.to_json_line(), raw, "{line}");
+    }
+    handle.shutdown();
+}
+
+/// Sends raw bytes and reads one response line.
+fn raw_round_trip(stream: &mut TcpStream, reader: &mut impl BufRead, bytes: &[u8]) -> String {
+    stream.write_all(bytes).expect("write");
+    stream.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    line.trim_end().to_string()
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_the_connection_survives() {
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        max_line_bytes: 1 << 16,
+        ..ServerConfig::default()
+    })
+    .expect("binds");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let cases: Vec<(&[u8], &str)> = vec![
+        (b"this is not json\n", "parse_error"),
+        (b"{\"op\":\n", "parse_error"),
+        (b"{\"op\":\"load\"} trailing\n", "parse_error"),
+        (b"[1,2,3]\n", "parse_error"),
+        (b"\"just a string\"\n", "parse_error"),
+        (b"{\"id\":\"x\",\"op\":\"stats\"}\n", "parse_error"),
+        (b"{\"op\":\"frobnicate\"}\n", "unknown_op"),
+        (b"{\"no_op\":1}\n", "unknown_op"),
+        (
+            b"{\"op\":\"prepare\",\"session\":\"s1\"}\n",
+            "missing_field",
+        ),
+        (
+            b"{\"op\":\"eval\",\"session\":9,\"plan\":\"p\"}\n",
+            "bad_field",
+        ),
+        (
+            b"{\"op\":\"stats\",\"session\":\"s99\"}\n",
+            "unknown_session",
+        ),
+        (
+            b"{\"op\":\"load\",\"model\":\"not galileo\"}\n",
+            "model_error",
+        ),
+        // Invalid UTF-8 in the middle of a line.
+        (b"{\"op\":\"stats\xff}\n", "parse_error"),
+    ];
+    for (bytes, expected_code) in cases {
+        let raw = raw_round_trip(&mut stream, &mut reader, bytes);
+        let response = Response::parse(&raw).unwrap_or_else(|e| panic!("{raw}: {e}"));
+        match response.body {
+            bfl_server::ResponseBody::Error { code, .. } => {
+                assert_eq!(code.as_str(), expected_code, "{raw}");
+            }
+            other => panic!("expected an error for {bytes:?}, got {other:?}"),
+        }
+    }
+
+    // The same connection still serves valid requests afterwards.
+    let raw = raw_round_trip(&mut stream, &mut reader, b"{\"id\":42,\"op\":\"stats\"}\n");
+    let response = Response::parse(&raw).expect("parses");
+    assert!(response.is_ok(), "{raw}");
+    assert_eq!(response.id, Some(42));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_killing_the_connection() {
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        max_line_bytes: 4096,
+        ..ServerConfig::default()
+    })
+    .expect("binds");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // A 1 MiB line against a 4 KiB limit: rejected as `oversized`, and
+    // the server never buffers more than the limit.
+    let mut big = Vec::with_capacity(1 << 20);
+    big.extend_from_slice(b"{\"op\":\"load\",\"model\":\"");
+    big.resize((1 << 20) - 3, b'x');
+    big.extend_from_slice(b"\"}\n");
+    let raw = raw_round_trip(&mut stream, &mut reader, &big);
+    let response = Response::parse(&raw).expect("parses");
+    match response.body {
+        bfl_server::ResponseBody::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::Oversized, "{raw}");
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // The connection survives and the next request works.
+    let raw = raw_round_trip(&mut stream, &mut reader, b"{\"id\":1,\"op\":\"stats\"}\n");
+    assert!(Response::parse(&raw).expect("parses").is_ok(), "{raw}");
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_final_line_is_answered_before_eof() {
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("binds");
+    // A request cut off mid-document with no trailing newline: the
+    // reader treats the fragment as a final line, answers the parse
+    // error, and closes cleanly after the peer's EOF.
+    let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+    stream.write_all(b"{\"id\":5,\"op\":\"che").expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut raw = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut raw)
+        .expect("read");
+    let line = raw.lines().next().expect("one response");
+    let response = Response::parse(line).expect("parses");
+    match response.body {
+        bfl_server::ResponseBody::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::ParseError, "{line}")
+        }
+        other => panic!("{other:?}"),
+    }
+    handle.shutdown();
+}
