@@ -75,6 +75,72 @@ impl Manager {
         memo.insert(f.id(), p);
         p
     }
+
+    /// Interval twin of [`Manager::probability`]: propagates conservative
+    /// `[lo, hi]` probability bounds through the Shannon walk when each
+    /// variable's weight is only known to lie in an interval
+    /// (`weight(v) = (wl, wh)` with `0 ≤ wl ≤ wh ≤ 1`).
+    ///
+    /// At each node both endpoints of the child intervals are combined
+    /// with both endpoints of the variable weight and the extremes are
+    /// kept, so the result brackets every point probability obtainable by
+    /// picking a weight inside each variable's interval. Degenerate
+    /// intervals `(p, p)` reproduce [`Manager::probability`] **bit for
+    /// bit**: the candidate expressions collapse to the exact walk's
+    /// `(1 − w)·lo + w·hi`.
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(Var(0));
+    /// let b = m.var(Var(1));
+    /// let or = m.or(a, b);
+    /// let (lo, hi) = m.probability_interval(or, |v| {
+    ///     if v.index() == 0 { (0.1, 0.3) } else { (0.2, 0.2) }
+    /// });
+    /// // P(a ∨ b) with P(a) ∈ [0.1, 0.3]: [0.28, 0.44]
+    /// assert!((lo - 0.28).abs() < 1e-12 && (hi - 0.44).abs() < 1e-12);
+    /// ```
+    pub fn probability_interval<W: Fn(Var) -> (f64, f64)>(&self, f: Bdd, weight: W) -> (f64, f64) {
+        let mut memo = HashMap::new();
+        self.probability_interval_with_memo(f, &weight, &mut memo)
+    }
+
+    /// [`Manager::probability_interval`] with a caller-owned node-keyed
+    /// memo (same lifetime rules as [`Manager::probability_with_memo`]:
+    /// clear after garbage collection or sifting, one fixed weight map
+    /// per memo).
+    pub fn probability_interval_with_memo<W: Fn(Var) -> (f64, f64)>(
+        &self,
+        f: Bdd,
+        weight: &W,
+        memo: &mut HashMap<u32, (f64, f64)>,
+    ) -> (f64, f64) {
+        if f.is_false() {
+            return (0.0, 0.0);
+        }
+        if f.is_true() {
+            return (1.0, 1.0);
+        }
+        if let Some(&p) = memo.get(&f.id()) {
+            return p;
+        }
+        let node = self.node(f);
+        let (wl, wh) = weight(node.var);
+        let (lo_l, lo_h) = self.probability_interval_with_memo(node.low, weight, memo);
+        let (hi_l, hi_h) = self.probability_interval_with_memo(node.high, weight, memo);
+        // Both child bounds lie in [0, 1], so for each endpoint it
+        // suffices to scan the two weight extremes; the expression shape
+        // matches the exact walk so degenerate intervals stay
+        // bit-identical to `probability_with_memo`.
+        let cand_lo_wl = (1.0 - wl) * lo_l + wl * hi_l;
+        let cand_lo_wh = (1.0 - wh) * lo_l + wh * hi_l;
+        let cand_hi_wl = (1.0 - wl) * lo_h + wl * hi_h;
+        let cand_hi_wh = (1.0 - wh) * lo_h + wh * hi_h;
+        let p = (cand_lo_wl.min(cand_lo_wh), cand_hi_wl.max(cand_hi_wh));
+        memo.insert(f.id(), p);
+        p
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +188,64 @@ mod tests {
         let _ = m.probability_with_memo(abc, &w, &mut memo);
         let cofactor = m.restrict(abc, Var(0), true);
         let _ = m.probability_with_memo(cofactor, &w, &mut memo);
+        assert_eq!(memo.len(), filled);
+    }
+
+    #[test]
+    fn interval_walk_brackets_point_walk() {
+        let mut m = Manager::new(3);
+        let a = m.var(Var(0));
+        let b = m.var(Var(1));
+        let c = m.var(Var(2));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let lo_w = [0.05, 0.1, 0.2];
+        let hi_w = [0.15, 0.3, 0.4];
+        let (lo, hi) =
+            m.probability_interval(f, |v| (lo_w[v.index() as usize], hi_w[v.index() as usize]));
+        assert!(lo <= hi);
+        // Any point weight inside the per-variable intervals must land
+        // inside the propagated interval.
+        for t in 0..=4 {
+            let frac = t as f64 / 4.0;
+            let p = m.probability(f, |v| {
+                let i = v.index() as usize;
+                lo_w[i] + frac * (hi_w[i] - lo_w[i])
+            });
+            assert!(lo <= p && p <= hi, "t={t}: {p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn degenerate_intervals_are_bit_identical_to_exact() {
+        let mut m = Manager::new(4);
+        let vars: Vec<Bdd> = (0..4).map(|i| m.var(Var(i))).collect();
+        let ab = m.and(vars[0], vars[1]);
+        let cd = m.or(vars[2], vars[3]);
+        let f = m.xor(ab, cd);
+        let w = [0.123, 0.456, 0.789, 0.0321];
+        let exact = m.probability(f, |v| w[v.index() as usize]);
+        let (lo, hi) = m.probability_interval(f, |v| {
+            let p = w[v.index() as usize];
+            (p, p)
+        });
+        assert_eq!(lo.to_bits(), exact.to_bits());
+        assert_eq!(hi.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn interval_memo_is_reused_across_roots() {
+        let mut m = Manager::new(4);
+        let vars: Vec<Bdd> = (0..4).map(|i| m.var(Var(i))).collect();
+        let ab = m.and(vars[0], vars[1]);
+        let abc = m.or(ab, vars[2]);
+        let w = |_: Var| (0.4, 0.6);
+        let mut memo = HashMap::new();
+        let _ = m.probability_interval_with_memo(abc, &w, &mut memo);
+        let filled = memo.len();
+        let _ = m.probability_interval_with_memo(abc, &w, &mut memo);
+        let cofactor = m.restrict(abc, Var(0), true);
+        let _ = m.probability_interval_with_memo(cofactor, &w, &mut memo);
         assert_eq!(memo.len(), filled);
     }
 

@@ -8,16 +8,20 @@
 //! ```
 //!
 //! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling sweep reorder
-//! quant serve`. The `reorder` artifact additionally writes
+//! quant serve mc`. The `reorder` artifact additionally writes
 //! `BENCH_reorder.json` (node counts and timings of dynamic sifting + GC
 //! vs the static DFS order), the `quant` artifact writes
 //! `BENCH_quant.json` (warm prepared probability sweeps vs naive
-//! recompute-per-scenario), and the `serve` artifact boots an in-process
+//! recompute-per-scenario), the `serve` artifact boots an in-process
 //! `bfl-server`, replays a mixed check/eval/sweep/prob workload over
 //! 1→N concurrent connections and writes `BENCH_serve.json`
 //! (p50/p99 latency, throughput scaling, warm vs cold plan hit rates,
-//! zero plan rebuilds on the warm path); `--smoke` restricts all three
-//! to small configurations for CI.
+//! zero plan rebuilds on the warm path), and the `mc` artifact exercises
+//! the Monte Carlo estimator and writes `BENCH_mc.json` (samples/sec vs
+//! worker count with a byte-identity cross-check, the MC-vs-exact error
+//! curve over growing sample budgets, and an estimate + CI on a random
+//! tree far beyond what the exact BDD path is asked to compile);
+//! `--smoke` restricts all four to small configurations for CI.
 
 use bfl_bench::{covid_properties, parse, property_6};
 use bfl_core::parser::{parse_formula, Spec};
@@ -69,6 +73,9 @@ fn main() {
     }
     if want("serve") {
         serve_bench(args.iter().any(|a| a == "--smoke"));
+    }
+    if want("mc") {
+        mc_bench(args.iter().any(|a| a == "--smoke"));
     }
 }
 
@@ -777,6 +784,190 @@ fn serve_bench(smoke: bool) {
             "\nwrote {path} (max throughput {:.0} req/s)",
             throughputs.iter().cloned().fold(0.0f64, f64::max)
         ),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
+/// MC: the Monte Carlo estimator of the uncertainty engine —
+/// samples/sec over 1→N workers (with the byte-identity determinism
+/// cross-check the engine promises at any thread count), the
+/// MC-vs-exact error curve over growing sample budgets, and an
+/// estimate + Wilson CI on a random tree far beyond what this binary
+/// ever hands to the exact BDD path. Writes the `BENCH_mc.json`
+/// artifact.
+fn mc_bench(smoke: bool) {
+    use bfl_core::quant;
+    use bfl_core::uncertainty::estimate_probability;
+    use bfl_core::{Formula, ModelChecker};
+
+    banner("MC — Monte Carlo estimator: throughput, error curve, beyond-exact scale");
+
+    // Part 1: samples/sec vs worker count on the COVID tree. The same
+    // (seed, samples) pair must produce a byte-identical estimate at
+    // every worker count — chunk-owned seed streams, not per-thread
+    // ones — so the scaling series doubles as a determinism check.
+    let tree = corpus::covid();
+    let n = tree.num_basic_events();
+    let probs: Vec<f64> = (0..n)
+        .map(|i| 0.02 + 0.9 * (i as f64) / (n as f64))
+        .collect();
+    let top_name = tree.name(tree.top()).to_string();
+    let phi = Formula::atom(&top_name);
+    let samples: u64 = if smoke { 40_000 } else { 2_000_000 };
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(1, 8);
+    let mut thread_counts = vec![1usize];
+    let mut t = 2usize;
+    while t < max_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    if max_threads > 1 {
+        thread_counts.push(max_threads);
+    }
+
+    println!("throughput: P({top_name}) on covid · {samples} samples · seed 42");
+    println!("{:>8} {:>10} {:>14}", "threads", "ms", "samples/s");
+    let mut throughput_rows = String::new();
+    let mut reference_bits: Option<u64> = None;
+    for &threads in &thread_counts {
+        let start = std::time::Instant::now();
+        let est = estimate_probability(&tree, &probs, &phi, None, &[], samples, 42, 0.99, threads)
+            .expect("estimates")
+            .expect("unconditional");
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let rate = samples as f64 / (ms / 1000.0).max(1e-9);
+        match reference_bits {
+            None => reference_bits = Some(est.point.to_bits()),
+            Some(bits) => assert_eq!(
+                bits,
+                est.point.to_bits(),
+                "estimate must be byte-identical at {threads} threads"
+            ),
+        }
+        println!("{threads:>8} {ms:>10.2} {rate:>14.0}");
+        if !throughput_rows.is_empty() {
+            throughput_rows.push(',');
+        }
+        throughput_rows.push_str(&format!(
+            "{{\"threads\":{threads},\"ms\":{ms:.3},\"samples_per_sec\":{rate:.0}}}"
+        ));
+    }
+    // On a single-core host the timing loop only ran one worker count;
+    // still prove byte-identity by re-running oversubscribed.
+    if max_threads == 1 {
+        for threads in [2usize, 8] {
+            let est =
+                estimate_probability(&tree, &probs, &phi, None, &[], samples, 42, 0.99, threads)
+                    .expect("estimates")
+                    .expect("unconditional");
+            assert_eq!(
+                reference_bits,
+                Some(est.point.to_bits()),
+                "estimate must be byte-identical at {threads} threads"
+            );
+        }
+    }
+
+    // Part 2: MC vs exact — absolute error and CI coverage over growing
+    // sample budgets, against the exact Shannon-walk probability.
+    let mut checker = ModelChecker::new(&tree);
+    let exact = quant::probability(&mut checker, &phi, &probs).expect("exact");
+    let budgets: &[u64] = if smoke {
+        &[1_000, 4_000, 16_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    println!("\nerror curve: exact P({top_name}) = {exact:.6} · 99% CIs · seed 7");
+    println!(
+        "{:>10} {:>12} {:>12} {:>24} {:>7}",
+        "samples", "estimate", "abs error", "99% CI", "covers"
+    );
+    let mut curve_rows = String::new();
+    for &budget in budgets {
+        let est =
+            estimate_probability(&tree, &probs, &phi, None, &[], budget, 7, 0.99, max_threads)
+                .expect("estimates")
+                .expect("unconditional");
+        let err = (est.point - exact).abs();
+        let covers = est.ci_lo <= exact && exact <= est.ci_hi;
+        println!(
+            "{budget:>10} {:>12.6} {err:>12.6} [{:.6}, {:.6}]   {covers:>5}",
+            est.point, est.ci_lo, est.ci_hi
+        );
+        if !curve_rows.is_empty() {
+            curve_rows.push(',');
+        }
+        curve_rows.push_str(&format!(
+            "{{\"samples\":{budget},\"estimate\":{},\"abs_error\":{err:.8},\
+             \"ci_lo\":{},\"ci_hi\":{},\"ci_contains_exact\":{covers}}}",
+            est.point, est.ci_lo, est.ci_hi
+        ));
+    }
+
+    // Part 3: a random tree an order of magnitude beyond anything else
+    // this binary compiles. The estimator never builds a BDD, so cost
+    // stays linear in (tree size × samples) no matter how the ordering
+    // heuristics would fare.
+    let (nb, ng) = if smoke { (300, 200) } else { (2000, 1400) };
+    let big = random_tree(&RandomTreeConfig {
+        num_basic: nb,
+        num_gates: ng,
+        max_children: 4,
+        vot_probability: 0.1,
+        seed: 9,
+    });
+    let nb_actual = big.num_basic_events();
+    let big_probs: Vec<f64> = (0..nb_actual)
+        .map(|i| 0.001 + 0.05 * (i as f64) / (nb_actual as f64))
+        .collect();
+    let big_phi = Formula::atom(big.name(big.top()));
+    let big_samples: u64 = if smoke { 5_000 } else { 200_000 };
+    let start = std::time::Instant::now();
+    let est = estimate_probability(
+        &big,
+        &big_probs,
+        &big_phi,
+        None,
+        &[],
+        big_samples,
+        11,
+        0.99,
+        max_threads,
+    )
+    .expect("estimates")
+    .expect("unconditional");
+    let big_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let big_name = format!("rand-{nb}x{ng}-s9");
+    println!(
+        "\nbeyond-exact: {big_name} — {nb_actual} basic events, {} gates, no BDD compiled",
+        big.num_gates()
+    );
+    println!(
+        "P(top) ≈ {:.6} (99% CI [{:.6}, {:.6}], {big_samples} samples, {big_ms:.1} ms)",
+        est.point, est.ci_lo, est.ci_hi
+    );
+
+    let json = format!(
+        "{{\"artifact\":\"mc\",\"mode\":\"{}\",\"confidence\":0.99,\
+         \"throughput\":{{\"tree\":\"covid\",\"samples\":{samples},\"seed\":42,\
+         \"deterministic_across_threads\":true,\"threads\":[{throughput_rows}]}},\
+         \"error_curve\":{{\"tree\":\"covid\",\"exact\":{exact},\"seed\":7,\
+         \"points\":[{curve_rows}]}},\
+         \"beyond_exact\":{{\"tree\":\"{big_name}\",\"basic_events\":{nb_actual},\
+         \"gates\":{},\"bdd_compiled\":false,\"samples\":{big_samples},\"seed\":11,\
+         \"estimate\":{},\"ci_lo\":{},\"ci_hi\":{},\"ms\":{big_ms:.3}}}}}\n",
+        if smoke { "smoke" } else { "full" },
+        big.num_gates(),
+        est.point,
+        est.ci_lo,
+        est.ci_hi
+    );
+    let path = "BENCH_mc.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),
     }
 }

@@ -14,8 +14,11 @@ use std::fmt::Write as _;
 
 use bfl_core::engine::{AnalysisSession, Backend, ReorderPolicy};
 use bfl_core::parser::{parse_formula, parse_spec};
-use bfl_core::report::{json_name_sets, Spec, SpecItem};
+use bfl_core::report::{json_estimate, json_interval, json_name_sets, Spec, SpecItem};
 use bfl_core::scenario::ScenarioSet;
+use bfl_core::uncertainty::{
+    Method, ProbValue, DEFAULT_MC_CONFIDENCE, DEFAULT_MC_SAMPLES, DEFAULT_MC_SEED,
+};
 use bfl_core::{Counterexample, MinimalityScope};
 use bfl_fault_tree::{galileo, StatusVector, VariableOrdering};
 
@@ -41,7 +44,8 @@ COMMANDS:
     dot      Graphviz export of the tree (optionally with a vector)
     prob     probability of a formula (default: the top event) from the
              model's prob= annotations; a second formula argument
-             conditions it: prob 'FORMULA' ['GIVEN']
+             conditions it: prob 'FORMULA' ['GIVEN']; see --method for
+             interval propagation and Monte Carlo estimation
     importance  rank every basic event by quantitative importance for a
              formula (Birnbaum, criticality, Fussell-Vesely, RAW, RRW)
     modules  list the gates that are independent modules
@@ -66,6 +70,17 @@ OPTIONS:
     --engine <E>       mcs/mps backend: minsol (default), paper, zdd
     --json             structured JSON output (check, run, sweep, explain,
                        sat, count, mcs, mps, ibe, prob, importance)
+
+UNCERTAINTY (prob, check, run, sweep):
+    --method <M>       probability method: exact (default), interval
+                       (conservative [lo, hi] propagation of ranged
+                       `prob=lo..hi` annotations), mc (deterministic
+                       Monte Carlo estimation, no BDD compile)
+    --samples <N>      mc: status vectors to draw (default 100000)
+    --seed <N>         mc: base seed (default 42); equal (seed, samples)
+                       reproduce the estimate bit-for-bit at any thread
+                       count
+    --confidence <X>   mc: Wilson confidence level in (0,1), default 0.99
 
 SERVING (serve, client):
     --addr <HOST:PORT> listen/connect address (default 127.0.0.1:7878;
@@ -97,6 +112,8 @@ EXAMPLES:
     bfl cex --ft covid.dft --failed IW,H3,IT 'MCS(\"CP/R\")'
     bfl check --ft covid.dft 'P(IWoS | H1) <= 0.05'
     bfl prob --ft covid.dft 'MCS(IWoS)'
+    bfl prob --ft ranged.dft --method interval
+    bfl prob --ft huge.dft --method mc --samples 500000 --seed 7
     bfl importance --ft covid.dft IWoS --json
     bfl serve --addr 127.0.0.1:7878 --workers 8
     bfl client --addr 127.0.0.1:7878 '{\"op\":\"stats\"}'
@@ -107,6 +124,10 @@ struct Options {
     session: AnalysisSession,
     failed: Vec<String>,
     json: bool,
+    /// `Some` when any of the `--method`/sampler flags was given (the
+    /// session default is already set from it); `sweep` uses this to
+    /// route probability judgements through the method-aware sweep.
+    method: Option<Method>,
     positional: Vec<String>,
 }
 
@@ -155,6 +176,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut json = false;
     let mut reorder: Option<ReorderPolicy> = None;
     let mut gc: Option<bool> = None;
+    let mut method_name: Option<String> = None;
+    let mut samples: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut confidence: Option<f64> = None;
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -193,6 +218,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--gc" => gc = Some(true),
             "--no-gc" => gc = Some(false),
+            "--method" => {
+                i += 1;
+                let name = args.get(i).ok_or("--method requires an argument")?;
+                method_name = Some(name.clone());
+            }
+            "--samples" => {
+                i += 1;
+                let n = args.get(i).ok_or("--samples requires a number")?;
+                samples = Some(
+                    n.parse()
+                        .map_err(|_| format!("invalid sample count `{n}`"))?,
+                );
+            }
+            "--seed" => {
+                i += 1;
+                let n = args.get(i).ok_or("--seed requires a number")?;
+                seed = Some(n.parse().map_err(|_| format!("invalid seed `{n}`"))?);
+            }
+            "--confidence" => {
+                i += 1;
+                let x = args.get(i).ok_or("--confidence requires a number")?;
+                confidence = Some(x.parse().map_err(|_| format!("invalid confidence `{x}`"))?);
+            }
             "--engine" | "--backend" => {
                 i += 1;
                 let name = args.get(i).ok_or("--engine requires an argument")?;
@@ -206,6 +254,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         i += 1;
     }
     let ft_path = ft_path.ok_or("missing required option --ft <FILE>")?;
+    let method = resolve_method(method_name.as_deref(), samples, seed, confidence)?;
     let text =
         std::fs::read_to_string(&ft_path).map_err(|e| format!("cannot read `{ft_path}`: {e}"))?;
     let model = galileo::parse(&text).map_err(|e| e.to_string())?;
@@ -214,11 +263,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     } else {
         MinimalityScope::GlobalUniverse
     };
+    let has_intervals = model.has_intervals();
     let mut builder = AnalysisSession::builder()
         .ordering(ordering)
         .minimality_scope(scope)
         .backend(backend)
         .probabilities(model.probabilities);
+    if has_intervals {
+        builder = builder.intervals(model.intervals);
+    }
+    if let Some(method) = method {
+        builder = builder.method(method);
+    }
     if let Some(policy) = reorder {
         builder = builder.reorder(policy);
     }
@@ -230,8 +286,37 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         session,
         failed,
         json,
+        method,
         positional,
     })
+}
+
+/// Combines `--method` with the sampler flags. Sampler flags alone
+/// imply `--method mc`; with an explicit non-`mc` method they are an
+/// error, not silently ignored.
+fn resolve_method(
+    name: Option<&str>,
+    samples: Option<u64>,
+    seed: Option<u64>,
+    confidence: Option<f64>,
+) -> Result<Option<Method>, String> {
+    let sampler_flags = samples.is_some() || seed.is_some() || confidence.is_some();
+    let method = match name {
+        Some(name) => Some(name.parse::<Method>()?),
+        None if sampler_flags => Some(Method::mc()),
+        None => None,
+    };
+    match method {
+        Some(Method::Mc { .. }) => Ok(Some(Method::Mc {
+            samples: samples.unwrap_or(DEFAULT_MC_SAMPLES),
+            seed: seed.unwrap_or(DEFAULT_MC_SEED),
+            confidence: confidence.unwrap_or(DEFAULT_MC_CONFIDENCE),
+        })),
+        Some(other) if sampler_flags => Err(format!(
+            "--samples/--seed/--confidence apply to --method mc, not `{other}`"
+        )),
+        other => Ok(other),
+    }
 }
 
 /// Parses a `--reorder` policy: `none`, `prepare`, `auto` or
@@ -344,6 +429,19 @@ fn cmd_sweep(opts: &Options) -> Result<String, String> {
     let set = ScenarioSet::parse(&text).map_err(|e| e.to_string())?;
     if set.is_empty() {
         return Err(format!("no scenarios in `{path}`"));
+    }
+    // An explicit --method routes probability judgements through the
+    // method-aware sweep (probabilities, intervals or estimates per
+    // scenario); everything else takes the Boolean sweep.
+    if opts.method.is_some() && prepared.is_probability_judgement() {
+        let report = prepared
+            .sweep_probabilities_with(&set, None)
+            .map_err(|e| e.to_string())?;
+        return if opts.json {
+            Ok(format!("{}\n", report.to_json()))
+        } else {
+            Ok(report.to_string())
+        };
     }
     let report = prepared.sweep(&set).map_err(|e| e.to_string())?;
     if opts.json {
@@ -481,34 +579,44 @@ fn cmd_dot(opts: &Options) -> Result<String, String> {
 }
 
 fn cmd_prob(opts: &Options) -> Result<String, String> {
-    let p = match opts.positional.first() {
-        // Bare `prob`: the classic top-event unreliability.
-        None => Some(
-            opts.session
-                .top_event_probability()
-                .map_err(|e| e.to_string())?,
-        ),
-        Some(src) => {
-            let phi = parse_formula(src).map_err(|e| e.to_string())?;
-            match opts.positional.get(1) {
-                None => Some(
-                    opts.session
-                        .formula_probability(&phi)
-                        .map_err(|e| e.to_string())?,
-                ),
-                // `prob 'FORMULA' 'GIVEN'`: the conditional form.
-                Some(given_src) => {
-                    let given = parse_formula(given_src).map_err(|e| e.to_string())?;
-                    opts.session
-                        .conditional_probability(&phi, &given)
-                        .map_err(|e| e.to_string())?
-                }
-            }
+    // Bare `prob` is the classic top-event unreliability.
+    let phi = match opts.positional.first() {
+        Some(src) => parse_formula(src).map_err(|e| e.to_string())?,
+        None => {
+            let tree = opts.session.tree();
+            bfl_core::Formula::atom(tree.name(tree.top()))
         }
     };
-    match (p, opts.json) {
-        (Some(p), true) => Ok(format!("{{\"probability\":{p}}}\n")),
-        (Some(p), false) => Ok(format!("{p}\n")),
+    // `prob 'FORMULA' 'GIVEN'`: the conditional form.
+    let given = match opts.positional.get(1) {
+        Some(src) => Some(parse_formula(src).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let value = opts
+        .session
+        .probability_value(&phi, given.as_ref(), None)
+        .map_err(|e| e.to_string())?;
+    match (value, opts.json) {
+        // The exact renderings predate --method and stay byte-stable.
+        (Some(ProbValue::Exact(p)), true) => Ok(format!("{{\"probability\":{p}}}\n")),
+        (Some(ProbValue::Exact(p)), false) => Ok(format!("{p}\n")),
+        (Some(ProbValue::Interval(iv)), true) => Ok(format!(
+            "{{\"probability\":null,\"interval\":{},\"method\":\"interval\"}}\n",
+            json_interval(&iv)
+        )),
+        (Some(ProbValue::Interval(iv)), false) => Ok(format!("[{}, {}]\n", iv.lo, iv.hi)),
+        (Some(ProbValue::Estimate(e)), true) => Ok(format!(
+            "{{\"probability\":null,\"estimate\":{},\"method\":\"mc\"}}\n",
+            json_estimate(&e)
+        )),
+        (Some(ProbValue::Estimate(e)), false) => Ok(format!(
+            "≈ {} ({}% CI [{}, {}], {} samples)\n",
+            e.point,
+            e.confidence * 100.0,
+            e.ci_lo,
+            e.ci_hi,
+            e.samples
+        )),
         (None, true) => Ok("{\"probability\":null}\n".to_string()),
         (None, false) => Ok("undefined (condition has probability 0)\n".to_string()),
     }
@@ -957,6 +1065,132 @@ mod tests {
         assert!(out.contains("undefined"), "{out}");
         let out = run_ok(&["prob", "--ft", &f.arg(), "--json", "T", "A & !A"]);
         assert_eq!(out, "{\"probability\":null}\n");
+    }
+
+    fn write_interval_model() -> tempdir::TempFile {
+        tempdir::TempFile::new(
+            "toplevel T;\nT or A B;\nA prob=0.1..0.3;\nB prob=0.2;\n",
+            "dft",
+        )
+    }
+
+    #[test]
+    fn prob_method_interval() {
+        // Ranged annotations: exact refuses with the offending events,
+        // interval propagation brackets the OR.
+        let f = write_interval_model();
+        let args: Vec<String> = ["prob", "--ft", &f.arg()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("interval"), "{err}");
+        assert!(err.contains('A'), "{err}");
+        let out = run_ok(&["prob", "--ft", &f.arg(), "--method", "interval"]);
+        assert_eq!(out, "[0.28, 0.43999999999999995]\n");
+        let out = run_ok(&["prob", "--ft", &f.arg(), "--method", "interval", "--json"]);
+        assert_eq!(
+            out,
+            "{\"probability\":null,\"interval\":{\"lo\":0.28,\"hi\":0.43999999999999995},\"method\":\"interval\"}\n"
+        );
+        // Degenerate intervals on a point model reproduce the exact number.
+        let point = write_model();
+        let out = run_ok(&["prob", "--ft", &point.arg(), "--method", "interval"]);
+        assert_eq!(out, "[0.020000000000000004, 0.020000000000000004]\n");
+    }
+
+    #[test]
+    fn prob_method_mc_is_deterministic() {
+        let f = write_model();
+        let mc = [
+            "prob",
+            "--ft",
+            &f.arg(),
+            "--method",
+            "mc",
+            "--samples",
+            "20000",
+            "--seed",
+            "7",
+        ];
+        let a = run_ok(&mc);
+        let b = run_ok(&mc);
+        assert_eq!(a, b);
+        assert!(a.starts_with("≈ 0.0"), "{a}");
+        assert!(a.contains("99% CI ["), "{a}");
+        assert!(a.contains("20000 samples"), "{a}");
+        // Sampler flags alone imply --method mc; JSON carries the CI.
+        let out = run_ok(&["prob", "--ft", &f.arg(), "--json", "--samples", "20000"]);
+        assert!(out.contains("\"estimate\":{\"point\":"), "{out}");
+        assert!(out.contains("\"method\":\"mc\""), "{out}");
+        assert!(out.contains("\"samples\":20000"), "{out}");
+    }
+
+    #[test]
+    fn method_flags_reject_bad_combinations() {
+        let f = write_model();
+        let cases: Vec<(Vec<&str>, &str)> = vec![
+            (vec!["--method", "bogus"], "unknown method"),
+            (vec!["--method", "exact", "--samples", "10"], "--method mc"),
+            (vec!["--method", "interval", "--seed", "1"], "--method mc"),
+            (vec!["--samples", "x"], "invalid sample count"),
+            (vec!["--confidence", "y"], "invalid confidence"),
+        ];
+        for (extra, needle) in cases {
+            let mut args: Vec<String> = vec!["prob".into(), "--ft".into(), f.arg()];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            let err = run(&args).unwrap_err();
+            assert!(err.contains(needle), "{extra:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn method_flows_through_check_and_sweep() {
+        // Session-wide --method: P(T) ∈ [0.28, 0.44] straddles 0.3, so
+        // the judgement is undecided and conservatively does not hold.
+        let f = write_interval_model();
+        let out = run_ok(&[
+            "check",
+            "--ft",
+            &f.arg(),
+            "--method",
+            "interval",
+            "--json",
+            "P(T) >= 0.3",
+        ]);
+        assert!(out.contains("\"holds\":false"), "{out}");
+        assert!(
+            out.contains("\"interval\":{\"lo\":0.28,\"hi\":0.43999999999999995}"),
+            "{out}"
+        );
+        assert!(out.contains("\"method\":\"interval\""), "{out}");
+        let scenarios = tempdir::TempFile::new("baseline:\nA-failed: A = 1\n", "scenarios");
+        let out = run_ok(&[
+            "sweep",
+            "--ft",
+            &f.arg(),
+            "--method",
+            "interval",
+            "P(T) >= 0.3",
+            &scenarios.arg(),
+        ]);
+        assert!(out.contains("method interval"), "{out}");
+        assert!(out.contains("PASS  A-failed"), "{out}");
+        // Monte Carlo through check: the estimate rides in the JSON.
+        let point = write_model();
+        let out = run_ok(&[
+            "check",
+            "--ft",
+            &point.arg(),
+            "--method",
+            "mc",
+            "--samples",
+            "20000",
+            "--json",
+            "P(T) <= 0.05",
+        ]);
+        assert!(out.contains("\"holds\":true"), "{out}");
+        assert!(out.contains("\"estimate\":{\"point\":"), "{out}");
     }
 
     #[test]

@@ -62,6 +62,7 @@
 //! # }
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, MutexGuard, Weak};
 use std::time::Instant;
 
@@ -77,6 +78,7 @@ use crate::error::BflError;
 use crate::plan::{PlanRoots, PreparedQuery};
 use crate::quant;
 use crate::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
+use crate::uncertainty::{self, Method, ProbInterval, ProbValue};
 
 /// When the session runs dynamic BDD maintenance (sifting reordering and
 /// garbage collection) over the shared manager.
@@ -146,6 +148,38 @@ pub struct MaintenanceStats {
     pub swaps: u64,
 }
 
+/// Cumulative Monte Carlo sampler counters of one session (see
+/// [`AnalysisSession::sampler_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SamplerStats {
+    /// Monte Carlo estimations run (session calls, prepared plans and
+    /// sweeps alike).
+    pub runs: u64,
+    /// Total status vectors drawn across all runs.
+    pub samples: u64,
+}
+
+/// Lock-free accumulator behind [`SamplerStats`].
+#[derive(Debug, Default)]
+pub(crate) struct SamplerCounters {
+    runs: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl SamplerCounters {
+    pub(crate) fn record(&self, samples: u64) {
+        self.runs.fetch_add(1, AtomicOrdering::Relaxed);
+        self.samples.fetch_add(samples, AtomicOrdering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> SamplerStats {
+        SamplerStats {
+            runs: self.runs.load(AtomicOrdering::Relaxed),
+            samples: self.samples.load(AtomicOrdering::Relaxed),
+        }
+    }
+}
+
 /// Growth bookkeeping behind the automatic triggers.
 #[derive(Debug)]
 struct MaintenanceState {
@@ -157,6 +191,13 @@ struct MaintenanceState {
 /// Arenas smaller than this never auto-trigger (the fixed cost would
 /// dwarf the gain).
 const AUTO_MIN_ARENA: usize = 1 << 12;
+
+/// Worker threads for Monte Carlo estimation started from session-level
+/// entry points (sweep workers sample single-threaded instead — the
+/// sweep already owns the cores).
+pub(crate) fn default_mc_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Configures and builds an [`AnalysisSession`].
 ///
@@ -182,6 +223,8 @@ pub struct SessionBuilder {
     backend: Backend,
     witness_limit: usize,
     probabilities: Option<Vec<Option<f64>>>,
+    intervals: Option<Vec<Option<ProbInterval>>>,
+    method: Method,
     /// `None` = derive from the ordering (`Sifted` ⇒ [`ReorderPolicy::auto`]).
     reorder: Option<ReorderPolicy>,
     /// `None` = enable GC exactly when the reorder policy is active.
@@ -196,6 +239,8 @@ impl Default for SessionBuilder {
             backend: Backend::default(),
             witness_limit: 3,
             probabilities: None,
+            intervals: None,
+            method: Method::Exact,
             reorder: None,
             gc: None,
         }
@@ -243,6 +288,39 @@ impl SessionBuilder {
         self
     }
 
+    /// Per-basic-event failure-probability **intervals** (basic-index
+    /// order, `None` for events without a `prob=lo..hi` annotation),
+    /// e.g. from
+    /// [`galileo::GalileoModel::intervals`](bfl_fault_tree::galileo::GalileoModel).
+    ///
+    /// An event carries a point *or* an interval, never both; the
+    /// interval path widens points to degenerate `[p, p]` intervals,
+    /// while exact evaluation rejects any session holding intervals with
+    /// [`BflError::IntervalProbabilities`].
+    pub fn intervals(mut self, intervals: Vec<Option<ProbInterval>>) -> Self {
+        self.intervals = Some(intervals);
+        self
+    }
+
+    /// The default evaluation [`Method`] for probability queries
+    /// (default [`Method::Exact`]); individual calls can override it.
+    ///
+    /// ```
+    /// use bfl_core::engine::AnalysisSession;
+    /// use bfl_core::uncertainty::Method;
+    /// use bfl_fault_tree::corpus;
+    ///
+    /// let session = AnalysisSession::builder()
+    ///     .probabilities(vec![Some(0.1), Some(0.2)])
+    ///     .method(Method::mc())
+    ///     .build(corpus::or2());
+    /// assert_eq!(session.method().name(), "mc");
+    /// ```
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
     /// The dynamic-reordering policy (default: [`ReorderPolicy::None`],
     /// unless the ordering is [`VariableOrdering::Sifted`], which implies
     /// [`ReorderPolicy::auto`]).
@@ -276,8 +354,8 @@ impl SessionBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if probabilities were given and their length differs from
-    /// the tree's basic-event count.
+    /// Panics if probabilities (or intervals) were given and their
+    /// length differs from the tree's basic-event count.
     pub fn build(self, tree: impl Into<Arc<FaultTree>>) -> AnalysisSession {
         let tree: Arc<FaultTree> = tree.into();
         if let Some(p) = &self.probabilities {
@@ -285,6 +363,13 @@ impl SessionBuilder {
                 p.len(),
                 tree.num_basic_events(),
                 "one probability slot per basic event"
+            );
+        }
+        if let Some(iv) = &self.intervals {
+            assert_eq!(
+                iv.len(),
+                tree.num_basic_events(),
+                "one interval slot per basic event"
             );
         }
         let mut checker = ModelChecker::from_arc(Arc::clone(&tree), self.ordering);
@@ -304,8 +389,11 @@ impl SessionBuilder {
                 backend: self.backend,
                 witness_limit: self.witness_limit,
                 probabilities: self.probabilities,
+                intervals: self.intervals,
+                method: self.method,
                 reorder,
                 gc,
+                sampler: SamplerCounters::default(),
                 checker: Mutex::new(checker),
                 maintenance: Mutex::new(MaintenanceState {
                     last_arena,
@@ -329,8 +417,13 @@ pub(crate) struct SessionInner {
     pub(crate) backend: Backend,
     pub(crate) witness_limit: usize,
     pub(crate) probabilities: Option<Vec<Option<f64>>>,
+    pub(crate) intervals: Option<Vec<Option<ProbInterval>>>,
+    pub(crate) method: Method,
     pub(crate) reorder: ReorderPolicy,
     pub(crate) gc: bool,
+    /// Cumulative Monte Carlo counters (lock-free: estimation runs
+    /// outside the checker lock).
+    pub(crate) sampler: SamplerCounters,
     pub(crate) checker: Mutex<ModelChecker>,
     maintenance: Mutex<MaintenanceState>,
     /// Every live prepared query registers its compiled roots here so a
@@ -484,16 +577,25 @@ impl SessionInner {
     }
 
     /// The complete, validated probability vector — the gate every
-    /// probabilistic evaluation (session or prepared-plan) passes
-    /// through.
+    /// *exact* probabilistic evaluation (session or prepared-plan)
+    /// passes through, including Monte Carlo sampling (which needs a
+    /// point distribution to draw from).
     ///
     /// # Errors
     ///
+    /// [`BflError::IntervalProbabilities`] naming every basic event
+    /// annotated with an interval — a point answer would silently
+    /// collapse the modelled uncertainty, so the importance suite and
+    /// every other exact quantity refuse instead;
     /// [`BflError::MissingProbabilities`] naming every unannotated basic
     /// event (or all of them when no annotations were configured);
     /// [`BflError::InvalidProbability`] if an annotation is outside
     /// `[0, 1]` or not finite.
     pub(crate) fn full_probabilities(&self) -> Result<Vec<f64>, BflError> {
+        let ranged = self.interval_event_names();
+        if !ranged.is_empty() {
+            return Err(BflError::IntervalProbabilities { events: ranged });
+        }
         let slots = self.probabilities.as_deref().unwrap_or(&[]);
         let mut missing = Vec::new();
         let mut out = Vec::with_capacity(self.tree.num_basic_events());
@@ -509,6 +611,101 @@ impl SessionInner {
         prob::validate_probabilities(&self.tree, &out)
             .map_err(|reason| BflError::InvalidProbability { reason })?;
         Ok(out)
+    }
+
+    /// Names of the basic events carrying an interval annotation, in
+    /// basic-index order.
+    fn interval_event_names(&self) -> Vec<String> {
+        let slots = self.intervals.as_deref().unwrap_or(&[]);
+        (0..self.tree.num_basic_events())
+            .filter(|&i| slots.get(i).copied().flatten().is_some())
+            .map(|i| self.tree.name(self.tree.basic_events()[i]).to_string())
+            .collect()
+    }
+
+    /// The complete, validated interval vector — the gate of
+    /// [`Method::Interval`] evaluations. Point annotations widen to
+    /// degenerate `[p, p]` intervals, so interval propagation over a
+    /// point-only model reproduces the exact walk bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::MissingProbabilities`] naming every basic event with
+    /// neither a point nor an interval annotation;
+    /// [`BflError::InvalidProbability`] if any annotation is malformed.
+    pub(crate) fn full_intervals(&self) -> Result<Vec<ProbInterval>, BflError> {
+        let points = self.probabilities.as_deref().unwrap_or(&[]);
+        let ranges = self.intervals.as_deref().unwrap_or(&[]);
+        let mut missing = Vec::new();
+        let mut out = Vec::with_capacity(self.tree.num_basic_events());
+        for i in 0..self.tree.num_basic_events() {
+            let slot = match ranges.get(i).copied().flatten() {
+                Some(iv) => Some(Ok(iv)),
+                None => points.get(i).copied().flatten().map(ProbInterval::point),
+            };
+            match slot {
+                Some(Ok(iv)) => out.push(iv),
+                Some(Err(reason)) => return Err(BflError::InvalidProbability { reason }),
+                None => missing.push(self.tree.name(self.tree.basic_events()[i]).to_string()),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(BflError::MissingProbabilities { events: missing });
+        }
+        prob::validate_intervals(&self.tree, &out)
+            .map_err(|reason| BflError::InvalidProbability { reason })?;
+        Ok(out)
+    }
+
+    /// Evaluates `P(ϕ)` (or `P(ϕ | given)`) under `method` — the single
+    /// dispatch point shared by the session, prepared plans and the
+    /// server. `pins` fixes sampled basic events (scenario evidence) for
+    /// the Monte Carlo path; exact and interval evaluation receive
+    /// evidence through the formula instead. Returns `None` when the
+    /// condition has zero probability.
+    ///
+    /// The caller holds the checker lock for `Exact`/`Interval`; the
+    /// Monte Carlo path never touches the BDD manager (that is the
+    /// point) but records its sampler counters.
+    pub(crate) fn probability_value(
+        &self,
+        mc: &mut ModelChecker,
+        phi: &Formula,
+        given: Option<&Formula>,
+        method: Method,
+        pins: &[(usize, bool)],
+        threads: usize,
+    ) -> Result<Option<ProbValue>, BflError> {
+        match method {
+            Method::Exact => {
+                let probs = self.full_probabilities()?;
+                let p = match given {
+                    None => Some(quant::probability(mc, phi, &probs)?),
+                    Some(g) => quant::conditional_probability(mc, phi, g, &probs)?,
+                };
+                Ok(p.map(ProbValue::Exact))
+            }
+            Method::Interval => {
+                let intervals = self.full_intervals()?;
+                let iv = match given {
+                    None => Some(quant::probability_interval(mc, phi, &intervals)?),
+                    Some(g) => quant::conditional_probability_interval(mc, phi, g, &intervals)?,
+                };
+                Ok(iv.map(ProbValue::Interval))
+            }
+            Method::Mc {
+                samples,
+                seed,
+                confidence,
+            } => {
+                let probs = self.full_probabilities()?;
+                let est = uncertainty::estimate_probability(
+                    &self.tree, &probs, phi, given, pins, samples, seed, confidence, threads,
+                )?;
+                self.sampler.record(samples);
+                Ok(est.map(ProbValue::Estimate))
+            }
+        }
     }
 }
 
@@ -564,6 +761,23 @@ impl AnalysisSession {
     /// The configured probability annotations, if any.
     pub fn probabilities(&self) -> Option<&[Option<f64>]> {
         self.inner.probabilities.as_deref()
+    }
+
+    /// The configured interval annotations, if any.
+    pub fn intervals(&self) -> Option<&[Option<ProbInterval>]> {
+        self.inner.intervals.as_deref()
+    }
+
+    /// The session's default evaluation [`Method`] for probability
+    /// queries.
+    pub fn method(&self) -> Method {
+        self.inner.method
+    }
+
+    /// Cumulative Monte Carlo sampler counters since the session was
+    /// built.
+    pub fn sampler_stats(&self) -> SamplerStats {
+        self.inner.sampler.snapshot()
     }
 
     /// The configured dynamic-reordering policy.
@@ -886,6 +1100,57 @@ impl AnalysisSession {
         quant::conditional_probability(&mut self.lock(), phi, given, &probs)
     }
 
+    /// `P(ϕ)` (or `P(ϕ | given)`) under `method` — or the session's
+    /// default method when `None` — as a method-shaped [`ProbValue`]:
+    /// an exact point, conservative interval bounds, or a Monte Carlo
+    /// estimate with its confidence interval. `None` when the condition
+    /// has zero probability.
+    ///
+    /// ```
+    /// use bfl_core::engine::AnalysisSession;
+    /// use bfl_core::uncertainty::{Method, ProbValue};
+    /// use bfl_core::Formula;
+    /// use bfl_fault_tree::corpus;
+    ///
+    /// # fn main() -> Result<(), bfl_core::BflError> {
+    /// let session = AnalysisSession::builder()
+    ///     .probabilities(vec![Some(0.1), Some(0.2)])
+    ///     .build(corpus::or2());
+    /// let top = Formula::atom("Top");
+    /// let exact = session.probability_value(&top, None, None)?.unwrap();
+    /// let mc = session
+    ///     .probability_value(&top, None, Some(Method::mc()))?
+    ///     .unwrap();
+    /// if let (ProbValue::Exact(p), ProbValue::Estimate(e)) = (exact, mc) {
+    ///     assert!(e.ci_lo <= p && p <= e.ci_hi);
+    /// } else {
+    ///     unreachable!()
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::IntervalProbabilities`] when an exact or Monte Carlo
+    /// evaluation meets interval annotations,
+    /// [`BflError::MissingProbabilities`] /
+    /// [`BflError::InvalidProbability`] for incomplete or malformed
+    /// annotations, [`BflError::UnsupportedMethod`] for Monte Carlo on
+    /// `MCS`/`MPS` formulae or malformed sampler parameters, plus the
+    /// checker's errors.
+    pub fn probability_value(
+        &self,
+        phi: &Formula,
+        given: Option<&Formula>,
+        method: Option<Method>,
+    ) -> Result<Option<ProbValue>, BflError> {
+        let method = method.unwrap_or(self.inner.method);
+        let mut mc = self.lock();
+        self.inner
+            .probability_value(&mut mc, phi, given, method, &[], default_mc_threads())
+    }
+
     /// Birnbaum importance of basic event `be` for `ϕ`:
     /// `P(ϕ | be failed) − P(ϕ | be operational)`, computed by evidence
     /// cofactoring under the configured annotations.
@@ -978,18 +1243,38 @@ impl AnalysisSession {
                 op,
                 bound,
             } => {
-                let probs = self.inner.full_probabilities()?;
-                let p = match given {
-                    None => Some(quant::probability(mc, formula, &probs)?),
-                    Some(g) => quant::conditional_probability(mc, formula, g, &probs)?,
-                };
-                let holds = quant::judge_bound(p, *op, bound.get());
+                let method = self.inner.method;
+                let value = self.inner.probability_value(
+                    mc,
+                    formula,
+                    given.as_ref(),
+                    method,
+                    &[],
+                    default_mc_threads(),
+                )?;
+                // An undecidable interval judgement (the bounds straddle
+                // the threshold) conservatively does not hold, like a
+                // zero-probability condition.
+                let holds = value
+                    .as_ref()
+                    .and_then(|v| v.judge(*op, bound.get()))
+                    .unwrap_or(false);
                 let mut o = Outcome::bare(label, source, holds);
-                o.probability = p;
-                o.stats.bdd_nodes = {
-                    let f = mc.formula_bdd(formula)?;
-                    mc.bdd_size(f)
-                };
+                o.method = Some(method);
+                match value {
+                    Some(ProbValue::Exact(p)) => o.probability = Some(p),
+                    Some(ProbValue::Interval(iv)) => o.interval = Some(iv),
+                    Some(ProbValue::Estimate(e)) => o.estimate = Some(e),
+                    None => {}
+                }
+                // Monte Carlo never builds the diagram — that is the
+                // point — so BDD size is only reported for the walks.
+                if !matches!(method, Method::Mc { .. }) {
+                    o.stats.bdd_nodes = {
+                        let f = mc.formula_bdd(formula)?;
+                        mc.bdd_size(f)
+                    };
+                }
                 o
             }
             Query::Importance(phi) => {
@@ -1346,6 +1631,132 @@ mod tests {
             .eval(&crate::scenario::Scenario::new().bind("H4", false))
             .unwrap();
         assert!(!o.holds);
+    }
+
+    #[test]
+    fn probability_value_dispatches_on_method() {
+        let session = AnalysisSession::builder()
+            .probabilities(vec![Some(0.1), Some(0.2)])
+            .build(corpus::or2());
+        let top = Formula::atom("Top");
+        // Exact (the session default).
+        let exact = session
+            .probability_value(&top, None, None)
+            .unwrap()
+            .unwrap();
+        let ProbValue::Exact(p) = exact else {
+            panic!("{exact:?}")
+        };
+        assert!((p - 0.28).abs() < 1e-12);
+        // Interval over a point-only model: degenerate, bit-identical.
+        let iv = session
+            .probability_value(&top, None, Some(Method::Interval))
+            .unwrap()
+            .unwrap();
+        let ProbValue::Interval(iv) = iv else {
+            panic!("{iv:?}")
+        };
+        assert_eq!(iv.lo.to_bits(), p.to_bits());
+        assert_eq!(iv.hi.to_bits(), p.to_bits());
+        // Monte Carlo: CI covers the exact answer, counters advance.
+        assert_eq!(session.sampler_stats(), SamplerStats::default());
+        let mc = session
+            .probability_value(&top, None, Some(Method::mc()))
+            .unwrap()
+            .unwrap();
+        let ProbValue::Estimate(e) = mc else {
+            panic!("{mc:?}")
+        };
+        assert!(e.ci_lo <= p && p <= e.ci_hi);
+        let stats = session.sampler_stats();
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.samples, crate::uncertainty::DEFAULT_MC_SAMPLES);
+    }
+
+    #[test]
+    fn interval_annotations_reject_exact_paths() {
+        // Satellite fix: an interval-annotated model must refuse exact
+        // quantities (and Monte Carlo, which samples a point
+        // distribution) with a structured error naming the events —
+        // never silently collapse the interval to a point.
+        let session = AnalysisSession::builder()
+            .probabilities(vec![None, Some(0.2)])
+            .intervals(vec![ProbInterval::new(0.1, 0.3).ok(), None])
+            .build(corpus::or2());
+        let top = Formula::atom("Top");
+        for result in [
+            session.top_event_probability(),
+            session.formula_probability(&top),
+            session.birnbaum(&top, "e1"),
+        ] {
+            match result {
+                Err(BflError::IntervalProbabilities { events }) => {
+                    assert_eq!(events, vec!["e1"]);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(matches!(
+            session.rank_events(&top),
+            Err(BflError::IntervalProbabilities { .. })
+        ));
+        assert!(matches!(
+            session.probability_value(&top, None, Some(Method::mc())),
+            Err(BflError::IntervalProbabilities { .. })
+        ));
+        // The interval method is the supported way in: mixed point +
+        // interval annotations propagate, bracketing every point choice.
+        let iv = session
+            .probability_value(&top, None, Some(Method::Interval))
+            .unwrap()
+            .unwrap();
+        let ProbValue::Interval(iv) = iv else {
+            panic!("{iv:?}")
+        };
+        let lo = 1.0 - 0.9 * 0.8; // P(e1) = 0.1
+        let hi = 1.0 - 0.7 * 0.8; // P(e1) = 0.3
+        assert!((iv.lo - lo).abs() < 1e-12);
+        assert!((iv.hi - hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_query_outcome_carries_method_fields() {
+        let tree = Arc::new(corpus::or2());
+        let q = parse_query("P(Top) >= 0.3").unwrap();
+        // Interval session: [0.28, 0.44] straddles 0.3 → undecided,
+        // conservatively does not hold; interval lands in the outcome.
+        let session = AnalysisSession::builder()
+            .intervals(vec![
+                ProbInterval::new(0.1, 0.3).ok(),
+                ProbInterval::new(0.2, 0.2).ok(),
+            ])
+            .method(Method::Interval)
+            .build(Arc::clone(&tree));
+        let o = session.check_query(&q).unwrap();
+        assert!(!o.holds);
+        assert_eq!(o.method, Some(Method::Interval));
+        assert_eq!(o.probability, None);
+        let iv = o.interval.expect("interval outcome");
+        assert!((iv.lo - 0.28).abs() < 1e-12 && (iv.hi - 0.44).abs() < 1e-12);
+        // A bound below the whole interval is decidedly true.
+        let o = session
+            .check_query(&parse_query("P(Top) >= 0.2").unwrap())
+            .unwrap();
+        assert!(o.holds);
+        // Monte Carlo session: estimate + CI land in the outcome, and no
+        // BDD is built for the judgement.
+        let session = AnalysisSession::builder()
+            .probabilities(vec![Some(0.1), Some(0.2)])
+            .method(Method::mc())
+            .build(tree);
+        let o = session
+            .check_query(&parse_query("P(Top) >= 0.2").unwrap())
+            .unwrap();
+        assert!(o.holds);
+        assert_eq!(o.method, Some(Method::mc()));
+        let e = o.estimate.expect("estimate outcome");
+        assert!(e.ci_lo <= 0.28 && 0.28 <= e.ci_hi);
+        assert_eq!(o.stats.bdd_nodes, 0);
     }
 
     #[test]

@@ -54,6 +54,26 @@ pub enum BflError {
         /// Concrete syntax of the offending query.
         query: String,
     },
+    /// An exact (point) probability evaluation was requested against a
+    /// model whose listed basic events carry **interval** annotations
+    /// (`prob=lo..hi`). Exact quantities — including the importance
+    /// suite — are undefined under interval uncertainty; re-run with
+    /// `method=interval` or replace the intervals with points.
+    IntervalProbabilities {
+        /// Basic events annotated with an interval, in basic-index
+        /// order.
+        events: Vec<String>,
+    },
+    /// The requested evaluation [`Method`](crate::uncertainty::Method)
+    /// cannot answer this query shape (e.g. Monte Carlo estimation of a
+    /// formula containing `MCS`/`MPS`, or a non-exact importance
+    /// ranking).
+    UnsupportedMethod {
+        /// The offending method, rendered (`exact`, `interval`, `mc`).
+        method: String,
+        /// Why the method does not apply.
+        context: String,
+    },
     /// An engine invariant was violated (a worker thread died without
     /// delivering its result, a poisoned lock left shared state
     /// unreadable). Replaces the `expect`/panic paths the sweep
@@ -94,6 +114,16 @@ impl fmt::Display for BflError {
                     f,
                     "`{query}` has no probability (only formula-shaped queries do)"
                 )
+            }
+            BflError::IntervalProbabilities { events } => {
+                write!(
+                    f,
+                    "exact probabilities undefined: interval prob= annotations on: {}",
+                    events.join(", ")
+                )
+            }
+            BflError::UnsupportedMethod { method, context } => {
+                write!(f, "method `{method}` cannot answer this query: {context}")
             }
             BflError::Internal { context } => {
                 write!(f, "internal engine error: {context}")
@@ -146,5 +176,16 @@ mod tests {
         }
         .to_string()
         .contains("sweep worker died"));
+        assert!(BflError::IntervalProbabilities {
+            events: vec!["a".into(), "b".into()]
+        }
+        .to_string()
+        .contains("a, b"));
+        let e = BflError::UnsupportedMethod {
+            method: "mc".into(),
+            context: "formula contains MCS/MPS".into(),
+        };
+        assert!(e.to_string().contains("`mc`"));
+        assert!(e.to_string().contains("MCS/MPS"));
     }
 }

@@ -114,12 +114,14 @@ pub mod rewrite;
 pub mod scenario;
 pub mod semantics;
 pub mod synthesis;
+pub mod uncertainty;
 
 pub use ast::{CmpOp, Formula, Prob, Query};
 pub use checker::{MinimalityScope, ModelChecker};
 pub use counterexample::{counterexample, is_valid_counterexample, Counterexample};
 pub use engine::{
-    AnalysisSession, Backend, MaintenanceReport, MaintenanceStats, ReorderPolicy, SessionBuilder,
+    AnalysisSession, Backend, MaintenanceReport, MaintenanceStats, ReorderPolicy, SamplerStats,
+    SessionBuilder,
 };
 pub use error::BflError;
 pub use patterns::{Pattern, Table1Row};
@@ -130,3 +132,4 @@ pub use plan::{
 pub use quant::{EventImportance, ProbQuery};
 pub use report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
 pub use scenario::{Scenario, ScenarioSet};
+pub use uncertainty::{Estimate, Method, ProbInterval, ProbValue};

@@ -81,12 +81,15 @@ use bfl_fault_tree::{FaultTree, StatusVector};
 
 use crate::ast::{CmpOp, Formula, Query};
 use crate::checker::ModelChecker;
-use crate::engine::{MaintenanceReport, SessionInner};
+use crate::engine::{default_mc_threads, MaintenanceReport, SessionInner};
 use crate::error::BflError;
 use crate::quant;
-use crate::report::{json_outcome, json_stats, json_str, EvalStats, Outcome};
+use crate::report::{
+    json_estimate, json_interval, json_outcome, json_stats, json_str, EvalStats, Outcome,
+};
 use crate::rewrite::{desugar, simplify, to_nnf};
 use crate::scenario::{Scenario, ScenarioSet};
+use crate::uncertainty::{self, Estimate, Method, ProbInterval, ProbValue};
 
 /// `VOT` operators wider than this skip the (exponential) desugar pass;
 /// the native threshold translation compiles them directly.
@@ -422,12 +425,15 @@ struct ProbEval {
     holds: Option<bool>,
 }
 
-/// The node-keyed Shannon memo of one prepared query, tagged with the
-/// plan-registry generation it was built against.
+/// The node-keyed Shannon memos of one prepared query, tagged with the
+/// plan-registry generation they were built against. Point and interval
+/// walks cache separately (they memoise different value types) but
+/// share the generation-invalidation discipline.
 #[derive(Debug, Default)]
 struct ProbMemo {
     generation: u64,
     nodes: HashMap<u32, f64>,
+    interval_nodes: HashMap<u32, (f64, f64)>,
 }
 
 /// A layer-2 query compiled once against a session, evaluable under
@@ -674,6 +680,16 @@ impl PreparedQuery {
         Ok(self.eval_resolved(scenario, key, probs.as_deref()))
     }
 
+    /// Whether the plan compiles a `P(…) ▷◁ p` judgement — the shape
+    /// whose scenario rows [`sweep_probabilities`] judges against the
+    /// bound. Callers use this to route such plans through the
+    /// method-aware probability sweep instead of the Boolean one.
+    ///
+    /// [`sweep_probabilities`]: PreparedQuery::sweep_probabilities
+    pub fn is_probability_judgement(&self) -> bool {
+        matches!(self.roots.snapshot(), Compiled::Prob { .. })
+    }
+
     /// Whether the compiled shape needs probability annotations.
     fn needs_probabilities(&self) -> bool {
         matches!(
@@ -885,9 +901,23 @@ impl PreparedQuery {
         let mut memo = self.prob_memo.lock().unwrap_or_else(|e| e.into_inner());
         if memo.generation != generation {
             memo.nodes.clear();
+            memo.interval_nodes.clear();
             memo.generation = generation;
         }
         f(&mut memo.nodes)
+    }
+
+    /// The interval twin of [`PreparedQuery::with_prob_memo`] — same
+    /// locking and generation discipline, separate node-keyed cache.
+    fn with_interval_memo<R>(&self, f: impl FnOnce(&mut HashMap<u32, (f64, f64)>) -> R) -> R {
+        let generation = self.roots.generation();
+        let mut memo = self.prob_memo.lock().unwrap_or_else(|e| e.into_inner());
+        if memo.generation != generation {
+            memo.nodes.clear();
+            memo.interval_nodes.clear();
+            memo.generation = generation;
+        }
+        f(&mut memo.interval_nodes)
     }
 
     /// The probability core shared by Boolean `eval` on `P(…)`-shaped
@@ -1070,6 +1100,146 @@ impl PreparedQuery {
         }
     }
 
+    /// `P(ϕ | scenario)` under `method` — or the session's default when
+    /// `None` — as a method-shaped [`ProbValue`]. The three methods
+    /// share the compiled plan but answer differently:
+    ///
+    /// * [`Method::Exact`] — restriction + memoised Shannon walk, like
+    ///   [`PreparedQuery::probability`] (but zero-probability conditions
+    ///   return `Ok(None)` instead of erroring);
+    /// * [`Method::Interval`] — the same restriction, walked with the
+    ///   plan's node-keyed **interval** memo (same generation
+    ///   invalidation as the point memo);
+    /// * [`Method::Mc`] — deterministic sampling of the prepared
+    ///   query's formula; the scenario's bindings **pin the sampled
+    ///   bits**, the Monte Carlo analogue of BDD restriction. No
+    ///   diagram is touched.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedQuery::probability`], plus the method-specific
+    /// annotation errors of
+    /// [`AnalysisSession::probability_value`](crate::engine::AnalysisSession::probability_value).
+    pub fn probability_value(
+        &self,
+        scenario: &Scenario,
+        method: Option<Method>,
+    ) -> Result<Option<ProbValue>, BflError> {
+        if matches!(self.roots.snapshot(), Compiled::Independence { .. }) {
+            return Err(BflError::UnsupportedProbability {
+                query: self.source.clone(),
+            });
+        }
+        let method = method.unwrap_or(self.inner.method);
+        let key = self.resolve(scenario)?;
+        self.probability_value_resolved(&key, method, default_mc_threads())
+    }
+
+    /// The prepared query's operand formulae for per-sample Monte Carlo
+    /// evaluation: the target and (for conditional `P` plans) the
+    /// condition.
+    fn mc_operands(&self) -> Result<(&Formula, Option<&Formula>), BflError> {
+        match &self.query {
+            Query::Prob { formula, given, .. } => Ok((formula, given.as_ref())),
+            Query::Exists(phi) | Query::Forall(phi) | Query::Importance(phi) => Ok((phi, None)),
+            Query::Idp(..) | Query::Sup(..) => Err(BflError::UnsupportedProbability {
+                query: self.source.clone(),
+            }),
+        }
+    }
+
+    /// The post-resolution method dispatch behind
+    /// [`PreparedQuery::probability_value`] and the method-aware sweeps
+    /// (which pass `threads = 1` — the sweep already owns the cores).
+    fn probability_value_resolved(
+        &self,
+        key: &[(usize, bool)],
+        method: Method,
+        threads: usize,
+    ) -> Result<Option<ProbValue>, BflError> {
+        match method {
+            Method::Exact => {
+                let probs = self.inner.full_probabilities()?;
+                Ok(self
+                    .prob_eval_resolved(key, &probs)
+                    .probability
+                    .map(ProbValue::Exact))
+            }
+            Method::Interval => {
+                let intervals = self.inner.full_intervals()?;
+                let mut mc = self.inner.lock();
+                let compiled = self.roots.snapshot();
+                let assignments = to_vars(&mc, key);
+                let value = match compiled {
+                    Compiled::Quantifier { root, .. } | Compiled::Importance { root } => {
+                        let r = mc
+                            .tree_bdd_mut()
+                            .manager_mut()
+                            .restrict_many(root, &assignments);
+                        Some(self.with_interval_memo(|memo| {
+                            quant::bdd_probability_interval_with_memo(&mc, r, &intervals, memo)
+                        }))
+                    }
+                    Compiled::Prob { joint, given, .. } => {
+                        let r_joint = mc
+                            .tree_bdd_mut()
+                            .manager_mut()
+                            .restrict_many(joint, &assignments);
+                        let iv_joint = self.with_interval_memo(|memo| {
+                            quant::bdd_probability_interval_with_memo(
+                                &mc, r_joint, &intervals, memo,
+                            )
+                        });
+                        match given {
+                            None => Some(iv_joint),
+                            Some(g) => {
+                                let r_given = mc
+                                    .tree_bdd_mut()
+                                    .manager_mut()
+                                    .restrict_many(g, &assignments);
+                                let base = self.with_interval_memo(|memo| {
+                                    quant::bdd_probability_interval_with_memo(
+                                        &mc, r_given, &intervals, memo,
+                                    )
+                                });
+                                quant::interval_conditional(iv_joint, base)
+                            }
+                        }
+                    }
+                    // `probability_value` rejects independence plans
+                    // before resolving.
+                    Compiled::Independence { .. } => None,
+                };
+                self.inner.maybe_maintain(&mut mc);
+                drop(mc);
+                self.prob_misses.fetch_add(1, Ordering::Relaxed);
+                Ok(value.map(ProbValue::Interval))
+            }
+            Method::Mc {
+                samples,
+                seed,
+                confidence,
+            } => {
+                let probs = self.inner.full_probabilities()?;
+                let (phi, given) = self.mc_operands()?;
+                let est = uncertainty::estimate_probability(
+                    &self.inner.tree,
+                    &probs,
+                    phi,
+                    given,
+                    key,
+                    samples,
+                    seed,
+                    confidence,
+                    threads,
+                )?;
+                self.inner.sampler.record(samples);
+                self.prob_misses.fetch_add(1, Ordering::Relaxed);
+                Ok(est.map(ProbValue::Estimate))
+            }
+        }
+    }
+
     /// Looks up one scenario's memoised probability evaluation.
     fn prob_scenario_lookup(&self, key: &[(usize, bool)]) -> Option<ProbEval> {
         self.prob_scenarios
@@ -1162,26 +1332,61 @@ impl PreparedQuery {
     /// conditions are reported per-outcome (`probability: None`) rather
     /// than as an error.
     pub fn sweep_probabilities(&self, set: &ScenarioSet) -> Result<ProbSweepReport, BflError> {
+        self.sweep_probabilities_with(set, None)
+    }
+
+    /// [`PreparedQuery::sweep_probabilities`] under an explicit
+    /// [`Method`] (`None` = the session's default). Interval sweeps
+    /// share the plan's node-keyed interval memo across workers; Monte
+    /// Carlo sweeps sample **single-threaded per scenario** (the sweep
+    /// already owns the cores) with the scenario's bindings pinning the
+    /// sampled bits — results are byte-identical to evaluating each
+    /// scenario alone.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedQuery::probability_value`]; the first failing
+    /// scenario aborts the sweep.
+    pub fn sweep_probabilities_with(
+        &self,
+        set: &ScenarioSet,
+        method: Option<Method>,
+    ) -> Result<ProbSweepReport, BflError> {
         if matches!(self.roots.snapshot(), Compiled::Independence { .. }) {
             return Err(BflError::UnsupportedProbability {
                 query: self.source.clone(),
             });
         }
+        let method = method.unwrap_or(self.inner.method);
         let keys: Vec<Vec<(usize, bool)>> = set
             .iter()
             .map(|s| self.resolve(s))
             .collect::<Result<_, _>>()?;
-        let probs = self.inner.full_probabilities()?;
+        // Validate the annotations and (for Monte Carlo) the query shape
+        // once, before any worker starts.
+        match method {
+            Method::Exact => {
+                self.inner.full_probabilities()?;
+            }
+            Method::Interval => {
+                self.inner.full_intervals()?;
+            }
+            Method::Mc { .. } => {
+                self.inner.full_probabilities()?;
+                self.mc_operands()?;
+            }
+        }
+        // The threshold to judge, for `P(…) ▷◁ p`-shaped plans.
+        let judgement = match self.roots.snapshot() {
+            Compiled::Prob { op, bound, .. } => Some((op, bound)),
+            _ => None,
+        };
         let (hits0, misses0) = (
             self.prob_hits.load(Ordering::Relaxed),
             self.prob_misses.load(Ordering::Relaxed),
         );
-        let fresh0 = self
-            .prob_memo
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .nodes
-            .len();
+        let memo_len = |m: &ProbMemo| m.nodes.len() + m.interval_nodes.len();
+        let fresh0 = memo_len(&self.prob_memo.lock().unwrap_or_else(|e| e.into_inner()));
 
         let n = set.len();
         let workers = std::thread::available_parallelism()
@@ -1190,7 +1395,8 @@ impl PreparedQuery {
             .min(n)
             .max(1);
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<ProbOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<ProbOutcome, BflError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -1198,25 +1404,40 @@ impl PreparedQuery {
                     if i >= n {
                         break;
                     }
-                    let pe = self.prob_eval_resolved(&keys[i], &probs);
-                    let s = &set.scenarios[i];
-                    let o = ProbOutcome {
-                        label: s.name().map(str::to_string),
-                        bindings: s.bindings_string(),
-                        probability: pe.probability,
-                        holds: pe.holds,
-                    };
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(o);
+                    let r = self
+                        .probability_value_resolved(&keys[i], method, 1)
+                        .map(|value| {
+                            let s = &set.scenarios[i];
+                            // Impossible conditions satisfy no bound;
+                            // interval judgements straddling the bound
+                            // stay undecided (`None`).
+                            let holds = match (&judgement, &value) {
+                                (Some((op, bound)), Some(v)) => v.judge(*op, *bound),
+                                (Some(_), None) => Some(false),
+                                (None, _) => None,
+                            };
+                            let mut o = ProbOutcome {
+                                label: s.name().map(str::to_string),
+                                bindings: s.bindings_string(),
+                                probability: None,
+                                interval: None,
+                                estimate: None,
+                                holds,
+                            };
+                            match value {
+                                Some(ProbValue::Exact(p)) => o.probability = Some(p),
+                                Some(ProbValue::Interval(iv)) => o.interval = Some(iv),
+                                Some(ProbValue::Estimate(e)) => o.estimate = Some(e),
+                                None => {}
+                            }
+                            o
+                        });
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                 });
             }
         });
 
-        let fresh1 = self
-            .prob_memo
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .nodes
-            .len();
+        let fresh1 = memo_len(&self.prob_memo.lock().unwrap_or_else(|e| e.into_inner()));
         let stats = ProbSweepStats {
             scenarios: n,
             workers,
@@ -1234,11 +1455,12 @@ impl PreparedQuery {
                             "probability sweep worker left scenario {i} of `{}` unfilled",
                             self.source
                         ),
-                    })?,
+                    })??,
             );
         }
         Ok(ProbSweepReport {
             query: self.source.clone(),
+            method,
             outcomes,
             stats,
         })
@@ -1480,7 +1702,10 @@ impl fmt::Display for SweepReport {
 // The probability-sweep report.
 // ---------------------------------------------------------------------------
 
-/// One scenario's probability in a [`ProbSweepReport`].
+/// One scenario's probability in a [`ProbSweepReport`]. Exactly one of
+/// `probability` / `interval` / `estimate` is populated, matching the
+/// sweep's [`Method`] (all may be `None` when a conditional plan's
+/// condition is impossible under the scenario).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProbOutcome {
     /// The scenario's name, if any.
@@ -1488,11 +1713,18 @@ pub struct ProbOutcome {
     /// The scenario's bindings, rendered (`A = 1, B = 0`; empty for the
     /// baseline).
     pub bindings: String,
-    /// `P(ϕ | scenario)`; `None` when a conditional plan's condition has
-    /// (effectively) zero probability under the scenario.
+    /// `P(ϕ | scenario)` under [`Method::Exact`]; `None` when a
+    /// conditional plan's condition has (effectively) zero probability
+    /// under the scenario.
     pub probability: Option<f64>,
+    /// Conservative bounds under [`Method::Interval`].
+    pub interval: Option<ProbInterval>,
+    /// The Monte Carlo estimate under [`Method::Mc`].
+    pub estimate: Option<Estimate>,
     /// For `P(…) ▷◁ p`-shaped plans: the threshold verdict. `None` for
-    /// plans with no bound (`exists`/`forall`/`importance` operands).
+    /// plans with no bound (`exists`/`forall`/`importance` operands),
+    /// and for interval judgements whose bounds straddle the threshold
+    /// (undecidable from the annotations).
     pub holds: Option<bool>,
 }
 
@@ -1534,6 +1766,8 @@ pub struct ProbSweepStats {
 pub struct ProbSweepReport {
     /// Concrete syntax of the prepared query.
     pub query: String,
+    /// The evaluation method the sweep ran under.
+    pub method: Method,
     /// Per-scenario probabilities, in scenario-set order.
     pub outcomes: Vec<ProbOutcome>,
     /// Sweep-level cache statistics.
@@ -1545,6 +1779,7 @@ impl ProbSweepReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"query\":{}", json_str(&self.query)));
+        out.push_str(&format!(",\"method\":{}", json_str(self.method.name())));
         out.push_str(",\"outcomes\":[");
         for (i, o) in self.outcomes.iter().enumerate() {
             if i > 0 {
@@ -1559,6 +1794,14 @@ impl ProbSweepReport {
             match o.probability {
                 Some(p) => out.push_str(&format!(",\"probability\":{p}")),
                 None => out.push_str(",\"probability\":null"),
+            }
+            match &o.interval {
+                Some(iv) => out.push_str(&format!(",\"interval\":{}", json_interval(iv))),
+                None => out.push_str(",\"interval\":null"),
+            }
+            match &o.estimate {
+                Some(e) => out.push_str(&format!(",\"estimate\":{}", json_estimate(e))),
+                None => out.push_str(",\"estimate\":null"),
             }
             match o.holds {
                 Some(h) => out.push_str(&format!(",\"holds\":{h}")),
@@ -1580,8 +1823,8 @@ impl fmt::Display for ProbSweepReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "probability sweep `{}` over {} scenarios ({} workers)",
-            self.query, self.stats.scenarios, self.stats.workers
+            "probability sweep `{}` over {} scenarios ({} workers, method {})",
+            self.query, self.stats.scenarios, self.stats.workers, self.method
         )?;
         for o in &self.outcomes {
             let verdict = match o.holds {
@@ -1589,9 +1832,21 @@ impl fmt::Display for ProbSweepReport {
                 Some(false) => "FAIL  ",
                 None => "      ",
             };
-            match o.probability {
-                Some(p) => writeln!(f, "{verdict}{:<40} {p}", o.title())?,
-                None => writeln!(f, "{verdict}{:<40} (condition impossible)", o.title())?,
+            if let Some(p) = o.probability {
+                writeln!(f, "{verdict}{:<40} {p}", o.title())?;
+            } else if let Some(iv) = &o.interval {
+                writeln!(f, "{verdict}{:<40} [{}, {}]", o.title(), iv.lo, iv.hi)?;
+            } else if let Some(e) = &o.estimate {
+                writeln!(
+                    f,
+                    "{verdict}{:<40} ≈{} CI [{}, {}]",
+                    o.title(),
+                    e.point,
+                    e.ci_lo,
+                    e.ci_hi
+                )?;
+            } else {
+                writeln!(f, "{verdict}{:<40} (condition impossible)", o.title())?;
             }
         }
         writeln!(
@@ -1749,6 +2004,149 @@ mod tests {
         let o = prepared.eval(&Scenario::new()).unwrap();
         assert!(!o.holds);
         assert!(o.shared_events.contains(&"PP".to_string()));
+    }
+
+    #[test]
+    fn probability_value_methods_agree_on_plans() {
+        let tree = corpus::covid();
+        let n = tree.num_basic_events();
+        let probs: Vec<Option<f64>> = (0..n).map(|i| Some(0.02 + (i as f64) * 0.05)).collect();
+        let session = AnalysisSession::builder().probabilities(probs).build(tree);
+        let prepared = session
+            .prepare(&parse_query("P(IWoS) >= 0.5").unwrap())
+            .unwrap();
+        let scenario = Scenario::named("s").bind("H4", true);
+        let exact = prepared.probability(&scenario).unwrap();
+        // Exact through the method dispatch: same number.
+        let v = prepared
+            .probability_value(&scenario, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(v, ProbValue::Exact(exact));
+        // Degenerate interval propagation: bit-identical to exact.
+        let v = prepared
+            .probability_value(&scenario, Some(Method::Interval))
+            .unwrap()
+            .unwrap();
+        let ProbValue::Interval(iv) = v else {
+            panic!("{v:?}")
+        };
+        assert_eq!(iv.lo.to_bits(), exact.to_bits());
+        assert_eq!(iv.hi.to_bits(), exact.to_bits());
+        // Monte Carlo with the scenario pinning H4: deterministic, CI
+        // brackets the exact restricted probability.
+        let mc = Method::Mc {
+            samples: 40_000,
+            seed: 7,
+            confidence: 0.99,
+        };
+        let a = prepared
+            .probability_value(&scenario, Some(mc))
+            .unwrap()
+            .unwrap();
+        let b = prepared
+            .probability_value(&scenario, Some(mc))
+            .unwrap()
+            .unwrap();
+        assert_eq!(a, b);
+        let ProbValue::Estimate(e) = a else {
+            panic!("{a:?}")
+        };
+        assert!(e.ci_lo <= exact && exact <= e.ci_hi, "{e:?} vs {exact}");
+        assert!(session.sampler_stats().runs >= 2);
+    }
+
+    #[test]
+    fn method_sweeps_share_plans_and_stay_deterministic() {
+        let tree = corpus::covid();
+        let n = tree.num_basic_events();
+        let probs: Vec<Option<f64>> = (0..n).map(|i| Some(0.02 + (i as f64) * 0.05)).collect();
+        let session = AnalysisSession::builder().probabilities(probs).build(tree);
+        let prepared = session
+            .prepare(&parse_query("P(IWoS) >= 0.5").unwrap())
+            .unwrap();
+        let set = ScenarioSet::parse("baseline:\nworst: IW = 1\nsafe: VW = 0\n").unwrap();
+        let exact = prepared.sweep_probabilities(&set).unwrap();
+        assert_eq!(exact.method, Method::Exact);
+        // Interval sweep with degenerate intervals reproduces exact.
+        let interval = prepared
+            .sweep_probabilities_with(&set, Some(Method::Interval))
+            .unwrap();
+        for (e, iv) in exact.outcomes.iter().zip(&interval.outcomes) {
+            let p = e.probability.unwrap();
+            let iv = iv.interval.unwrap();
+            assert_eq!(iv.lo.to_bits(), p.to_bits());
+            assert_eq!(iv.hi.to_bits(), p.to_bits());
+        }
+        // Monte Carlo sweep: reproducible run to run, and each scenario
+        // byte-identical to its standalone evaluation (workers pin the
+        // scenario's bits; seeding is per chunk, not per worker).
+        let mc = Method::Mc {
+            samples: 20_000,
+            seed: 42,
+            confidence: 0.95,
+        };
+        let s1 = prepared.sweep_probabilities_with(&set, Some(mc)).unwrap();
+        let s2 = prepared.sweep_probabilities_with(&set, Some(mc)).unwrap();
+        assert_eq!(s1.outcomes, s2.outcomes);
+        for (i, o) in s1.outcomes.iter().enumerate() {
+            let standalone = prepared
+                .probability_value(&set.scenarios[i], Some(mc))
+                .unwrap()
+                .unwrap();
+            let ProbValue::Estimate(e) = standalone else {
+                panic!("{standalone:?}")
+            };
+            assert_eq!(o.estimate, Some(e));
+            // The sweep judged the threshold from the estimate.
+            assert_eq!(o.holds, Some(e.point >= 0.5));
+        }
+        let json = s1.to_json();
+        assert!(json.contains("\"method\":\"mc\""), "{json}");
+        assert!(json.contains("\"estimate\":{\"point\":"), "{json}");
+        let text = s1.to_string();
+        assert!(text.contains("method mc"), "{text}");
+    }
+
+    #[test]
+    fn interval_session_drives_prepared_plans() {
+        // A session whose model carries real intervals: exact plans
+        // refuse, interval plans bracket, and the undecidable judgement
+        // stays unresolved in the sweep.
+        let session = AnalysisSession::builder()
+            .intervals(vec![
+                ProbInterval::new(0.1, 0.3).ok(),
+                ProbInterval::new(0.2, 0.2).ok(),
+            ])
+            .method(Method::Interval)
+            .build(corpus::or2());
+        let prepared = session
+            .prepare(&parse_query("P(Top) >= 0.3").unwrap())
+            .unwrap();
+        assert!(matches!(
+            prepared.probability(&Scenario::new()),
+            Err(BflError::IntervalProbabilities { .. })
+        ));
+        // The session default (interval) applies when no override given.
+        let v = prepared
+            .probability_value(&Scenario::new(), None)
+            .unwrap()
+            .unwrap();
+        let ProbValue::Interval(iv) = v else {
+            panic!("{v:?}")
+        };
+        assert!((iv.lo - 0.28).abs() < 1e-12 && (iv.hi - 0.44).abs() < 1e-12);
+        let report = prepared
+            .sweep_probabilities(&ScenarioSet::parse("base:\npinned: e1 = 1\n").unwrap())
+            .unwrap();
+        // [0.28, 0.44] straddles 0.3: undecided. Pinning e1 failed
+        // forces P(Top) = 1 under every annotation choice: decided.
+        assert_eq!(report.outcomes[0].holds, None);
+        assert_eq!(report.outcomes[1].holds, Some(true));
+        assert_eq!(
+            report.outcomes[1].interval,
+            ProbInterval::new(1.0, 1.0).ok()
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@
 use std::collections::HashMap;
 
 use bfl_bdd::Bdd;
-use bfl_fault_tree::prob::validate_probabilities;
+use bfl_fault_tree::prob::{validate_intervals, validate_probabilities, ProbInterval};
 use bfl_fault_tree::StatusVector;
 
 use crate::ast::{CmpOp, Formula, Prob, Query};
@@ -140,6 +140,98 @@ pub fn probability(mc: &mut ModelChecker, phi: &Formula, probs: &[f64]) -> Resul
     let f = mc.formula_bdd(phi)?;
     let mut memo = HashMap::new();
     Ok(bdd_probability_with_memo(mc, f, probs, &mut memo))
+}
+
+/// The interval twin of [`bdd_probability_with_memo`]: the node-keyed
+/// interval Shannon walk over an already-compiled diagram, sharing
+/// `memo` across roots. `intervals` must already be validated.
+pub(crate) fn bdd_probability_interval_with_memo(
+    mc: &ModelChecker,
+    f: Bdd,
+    intervals: &[ProbInterval],
+    memo: &mut HashMap<u32, (f64, f64)>,
+) -> ProbInterval {
+    let basic_of_position = mc.basic_of_position();
+    let (lo, hi) = mc.manager().probability_interval_with_memo(
+        f,
+        &|v| {
+            debug_assert_eq!(v.index() % 2, 0, "primed variable in query BDD");
+            let iv = intervals[basic_of_position[(v.index() / 2) as usize]];
+            (iv.lo, iv.hi)
+        },
+        memo,
+    );
+    ProbInterval { lo, hi }
+}
+
+/// Interval twin of [`probability`]: conservative `[lo, hi]` bounds on
+/// `P(b ⊨ ϕ)` when each basic event's failure probability is only known
+/// to lie in an interval. Degenerate intervals `[p, p]` reproduce
+/// [`probability`] bit for bit.
+///
+/// # Errors
+///
+/// [`BflError::InvalidProbability`] if `intervals` is malformed;
+/// translation errors as for [`ModelChecker::formula_bdd`].
+pub fn probability_interval(
+    mc: &mut ModelChecker,
+    phi: &Formula,
+    intervals: &[ProbInterval],
+) -> Result<ProbInterval, BflError> {
+    validate_intervals(mc.tree(), intervals)
+        .map_err(|reason| BflError::InvalidProbability { reason })?;
+    let f = mc.formula_bdd(phi)?;
+    let mut memo = HashMap::new();
+    Ok(bdd_probability_interval_with_memo(
+        mc, f, intervals, &mut memo,
+    ))
+}
+
+/// Interval twin of [`conditional_probability`]: bounds on
+/// `P(ϕ | ψ) = P(ϕ ∧ ψ) / P(ψ)` by interval division,
+/// `[joint.lo / base.hi, joint.hi / base.lo]` clamped to `[0, 1]`.
+///
+/// Returns `None` when even the *largest* conditioning probability in
+/// the bounds (`P(ψ).hi`) falls below
+/// [`MIN_CONDITIONING_PROBABILITY`] — the condition is impossible under
+/// every choice of annotations. When only the lower end vanishes the
+/// upper bound is `1.0` (division by the vanishing end is avoided).
+///
+/// # Errors
+///
+/// As for [`probability_interval`].
+pub fn conditional_probability_interval(
+    mc: &mut ModelChecker,
+    phi: &Formula,
+    given: &Formula,
+    intervals: &[ProbInterval],
+) -> Result<Option<ProbInterval>, BflError> {
+    let joint = probability_interval(mc, &phi.clone().and(given.clone()), intervals)?;
+    let base = probability_interval(mc, given, intervals)?;
+    Ok(interval_conditional(joint, base))
+}
+
+/// Conservative interval division `joint / base` for conditional
+/// probabilities, shared by the formula-level API above and the
+/// compiled-plan evaluator. `None` when even `base.hi` is below
+/// [`MIN_CONDITIONING_PROBABILITY`] (the condition is impossible under
+/// every annotation choice).
+pub(crate) fn interval_conditional(
+    joint: ProbInterval,
+    base: ProbInterval,
+) -> Option<ProbInterval> {
+    if base.hi < MIN_CONDITIONING_PROBABILITY {
+        return None;
+    }
+    let lo = (joint.lo / base.hi).clamp(0.0, 1.0);
+    let hi = if base.lo < MIN_CONDITIONING_PROBABILITY {
+        1.0
+    } else {
+        (joint.hi / base.lo).clamp(0.0, 1.0)
+    };
+    // Conservative division can invert endpoints only through clamping
+    // artefacts; normalise so the result is a well-formed interval.
+    Some(ProbInterval { lo: lo.min(hi), hi })
 }
 
 /// Conditional probability `P(ϕ | ψ) = P(ϕ ∧ ψ) / P(ψ)`.
@@ -645,6 +737,86 @@ mod tests {
         let vw = rows.iter().find(|r| r.event == "VW").unwrap();
         assert_eq!(vw.rrw, None);
         assert!((vw.fussell_vesely - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_probability_brackets_and_degenerates() {
+        let tree = corpus::covid();
+        let mut mc = ModelChecker::new(&tree);
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n).map(|i| 0.02 + (i as f64) * 0.05).collect();
+        let phi = Formula::atom("IWoS").mcs();
+        // Degenerate intervals: bit-identical to the exact walk, even
+        // through MCS desugaring.
+        let exact = probability(&mut mc, &phi, &probs).unwrap();
+        let points: Vec<ProbInterval> = probs
+            .iter()
+            .map(|&p| ProbInterval { lo: p, hi: p })
+            .collect();
+        let iv = probability_interval(&mut mc, &phi, &points).unwrap();
+        assert_eq!(iv.lo.to_bits(), exact.to_bits());
+        assert_eq!(iv.hi.to_bits(), exact.to_bits());
+        // Widened intervals bracket the point answer.
+        let wide: Vec<ProbInterval> = probs
+            .iter()
+            .map(|&p| ProbInterval {
+                lo: (p - 0.01).max(0.0),
+                hi: (p + 0.05).min(1.0),
+            })
+            .collect();
+        let iv = probability_interval(&mut mc, &phi, &wide).unwrap();
+        assert!(iv.lo <= exact && exact <= iv.hi, "{exact} outside {iv}");
+        // Malformed intervals are structured errors.
+        let bad = vec![ProbInterval { lo: 0.9, hi: 0.1 }; n];
+        assert!(matches!(
+            probability_interval(&mut mc, &phi, &bad),
+            Err(BflError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn conditional_interval_division() {
+        let tree = corpus::or2();
+        let mut mc = ModelChecker::new(&tree);
+        let ivs = [
+            ProbInterval { lo: 0.1, hi: 0.3 },
+            ProbInterval { lo: 0.2, hi: 0.2 },
+        ];
+        // P(Top | e1) = 1 pointwise, but interval division is oblivious
+        // to the joint/base correlation: [lo/hi, min(1, hi/lo)].
+        let got = conditional_probability_interval(
+            &mut mc,
+            &Formula::atom("Top"),
+            &Formula::atom("e1"),
+            &ivs,
+        )
+        .unwrap()
+        .unwrap();
+        assert!((got.lo - 0.1 / 0.3).abs() < 1e-12, "lo = {}", got.lo);
+        assert_eq!(got.hi, 1.0);
+        // Conditioning on the impossible: None, like the exact path.
+        let none = conditional_probability_interval(
+            &mut mc,
+            &Formula::atom("Top"),
+            &Formula::atom("e1").and(Formula::atom("e1").not()),
+            &ivs,
+        )
+        .unwrap();
+        assert!(none.is_none());
+        // A condition whose lower bound vanishes: upper end widens to 1.
+        let zero_lo = [
+            ProbInterval { lo: 0.0, hi: 0.5 },
+            ProbInterval { lo: 0.2, hi: 0.2 },
+        ];
+        let wide = conditional_probability_interval(
+            &mut mc,
+            &Formula::atom("e1"),
+            &Formula::atom("e1"),
+            &zero_lo,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(wide.hi, 1.0);
     }
 
     #[test]

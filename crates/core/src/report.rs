@@ -33,6 +33,7 @@ use crate::ast::{Formula, Query};
 use crate::counterexample::Counterexample;
 use crate::parser::{self, ParseError};
 use crate::quant::EventImportance;
+use crate::uncertainty::{Estimate, Method, ProbInterval};
 
 /// A batch of BFL questions to be evaluated against one fault tree.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -297,6 +298,17 @@ pub struct Outcome {
     /// (`None` for Boolean questions, and for conditionals whose
     /// condition has probability zero).
     pub probability: Option<f64>,
+    /// For probability judgements evaluated with
+    /// [`Method::Interval`]: the conservative bounds (`probability`
+    /// stays `None`).
+    pub interval: Option<ProbInterval>,
+    /// For probability judgements evaluated with [`Method::Mc`]: the
+    /// Monte Carlo estimate with its confidence interval
+    /// (`probability` stays `None`).
+    pub estimate: Option<Estimate>,
+    /// The evaluation method of a probability judgement (`None` for
+    /// Boolean questions).
+    pub method: Option<Method>,
     /// For `importance(ϕ)` judgements: the ranked importance table.
     pub importance: Vec<EventImportance>,
     /// Evaluation statistics.
@@ -316,6 +328,9 @@ impl Outcome {
             counterexample: None,
             shared_events: Vec::new(),
             probability: None,
+            interval: None,
+            estimate: None,
+            method: None,
             importance: Vec::new(),
             stats: EvalStats::default(),
         }
@@ -445,6 +460,18 @@ pub fn json_outcome(tree: &FaultTree, o: &Outcome) -> String {
         Some(p) => out.push_str(&format!(",\"probability\":{p}")),
         None => out.push_str(",\"probability\":null"),
     }
+    match &o.interval {
+        Some(iv) => out.push_str(&format!(",\"interval\":{}", json_interval(iv))),
+        None => out.push_str(",\"interval\":null"),
+    }
+    match &o.estimate {
+        Some(e) => out.push_str(&format!(",\"estimate\":{}", json_estimate(e))),
+        None => out.push_str(",\"estimate\":null"),
+    }
+    match &o.method {
+        Some(m) => out.push_str(&format!(",\"method\":{}", json_str(m.name()))),
+        None => out.push_str(",\"method\":null"),
+    }
     out.push_str(&format!(
         ",\"importance\":{}",
         json_importance(&o.importance)
@@ -452,6 +479,21 @@ pub fn json_outcome(tree: &FaultTree, o: &Outcome) -> String {
     out.push_str(&format!(",\"stats\":{}", json_stats(&o.stats)));
     out.push('}');
     out
+}
+
+/// Serialises a [`ProbInterval`] as `{"lo": …, "hi": …}` — the schema
+/// shared by the report writers and the `bfl-server` `prob` endpoint.
+pub fn json_interval(iv: &ProbInterval) -> String {
+    format!("{{\"lo\":{},\"hi\":{}}}", iv.lo, iv.hi)
+}
+
+/// Serialises a Monte Carlo [`Estimate`] as a JSON object (same sharing
+/// as [`json_interval`]).
+pub fn json_estimate(e: &Estimate) -> String {
+    format!(
+        "{{\"point\":{},\"ci_lo\":{},\"ci_hi\":{},\"confidence\":{},\"samples\":{},\"hits\":{},\"trials\":{}}}",
+        e.point, e.ci_lo, e.ci_hi, e.confidence, e.samples, e.hits, e.trials
+    )
 }
 
 /// Serialises an importance table as a JSON array (rows in rank order).
@@ -574,6 +616,20 @@ impl fmt::Display for Report {
             }
             if let Some(p) = o.probability {
                 writeln!(f, "      probability {p}")?;
+            }
+            if let Some(iv) = &o.interval {
+                writeln!(f, "      probability in [{}, {}]", iv.lo, iv.hi)?;
+            }
+            if let Some(e) = &o.estimate {
+                writeln!(
+                    f,
+                    "      probability ≈ {} ({:.0}% CI [{}, {}], {} samples)",
+                    e.point,
+                    e.confidence * 100.0,
+                    e.ci_lo,
+                    e.ci_hi,
+                    e.samples
+                )?;
             }
             for r in &o.importance {
                 writeln!(f, "      {}", importance_row(r))?;

@@ -1,0 +1,797 @@
+//! Uncertainty engine: Monte Carlo estimation and interval propagation.
+//!
+//! The quantitative layer ([`quant`](crate::quant)) computes *exact*
+//! probabilities by a Shannon walk over an exactly-compiled BDD. Both of
+//! its assumptions fail in practice: failure-rate handbooks give
+//! **interval** bounds rather than point probabilities, and industrial
+//! trees exist whose BDDs are too large to compile at all. This module
+//! supplies the two complementary relaxations behind one knob:
+//!
+//! * [`Method::Interval`] — conservative `[lo, hi]` propagation of
+//!   per-event [`ProbInterval`] annotations through the same Shannon
+//!   walk (see [`bfl_bdd::Manager::probability_interval_with_memo`]);
+//!   degenerate intervals `[p, p]` reproduce the exact answer bit for
+//!   bit.
+//! * [`Method::Mc`] — a deterministic, seedable Monte Carlo
+//!   [`Estimate`] of `P(ϕ)` / `P(ϕ | ψ)` by direct formula evaluation
+//!   on sampled status vectors, **without compiling a BDD**. Work is
+//!   fanned across `std::thread::scope` workers in fixed-size chunks
+//!   with per-chunk seed streams, so the result is byte-identical at
+//!   any worker count.
+//!
+//! Every evaluation of either method flows through the session /
+//! prepared-plan layers behind [`Method`]; the CLI (`--method`) and the
+//! server (`method` field of the `prob` op) expose the same knob.
+
+// New quantitative code must not panic on user input: structured errors
+// only (same policy as the fallible quant API).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bfl_fault_tree::rng::Prng;
+use bfl_fault_tree::{ElementId, FaultTree, StatusVector};
+
+pub use bfl_fault_tree::prob::ProbInterval;
+
+use crate::ast::{CmpOp, Formula};
+use crate::error::BflError;
+use crate::quant::prob_compare;
+
+/// Default Monte Carlo sample count.
+pub const DEFAULT_MC_SAMPLES: u64 = 100_000;
+/// Default Monte Carlo seed.
+pub const DEFAULT_MC_SEED: u64 = 42;
+/// Default Monte Carlo confidence level.
+pub const DEFAULT_MC_CONFIDENCE: f64 = 0.99;
+
+/// Samples per work chunk. Chunks — not workers — own seed streams, so
+/// estimates are independent of the worker count.
+const MC_CHUNK: u64 = 8192;
+
+/// How a probability query is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Method {
+    /// The exact Shannon walk over point probabilities (the PR-4
+    /// behaviour; rejects models carrying interval annotations).
+    #[default]
+    Exact,
+    /// Conservative interval propagation: point annotations are widened
+    /// to degenerate intervals and the result brackets every point
+    /// choice inside the per-event bounds.
+    Interval,
+    /// Deterministic Monte Carlo estimation on sampled status vectors
+    /// (no BDD required). Rejects models carrying interval annotations
+    /// — sampling needs a point distribution.
+    Mc {
+        /// Number of status vectors to draw (≥ 1).
+        samples: u64,
+        /// Base seed; equal `(seed, samples)` give byte-identical
+        /// estimates at any thread count.
+        seed: u64,
+        /// Confidence level of the reported Wilson interval, in
+        /// `(0, 1)`.
+        confidence: f64,
+    },
+}
+
+impl Method {
+    /// Monte Carlo with the default `samples`/`seed`/`confidence`.
+    pub const fn mc() -> Self {
+        Method::Mc {
+            samples: DEFAULT_MC_SAMPLES,
+            seed: DEFAULT_MC_SEED,
+            confidence: DEFAULT_MC_CONFIDENCE,
+        }
+    }
+
+    /// The method's wire name: `exact`, `interval` or `mc`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Exact => "exact",
+            Method::Interval => "interval",
+            Method::Mc { .. } => "mc",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Method {
+    type Err = String;
+
+    /// Parses a wire name (`exact`, `interval`, `mc`); `mc` gets the
+    /// default sampler parameters.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "exact" => Ok(Method::Exact),
+            "interval" => Ok(Method::Interval),
+            "mc" => Ok(Method::mc()),
+            other => Err(format!(
+                "unknown method `{other}` (expected `exact`, `interval` or `mc`)"
+            )),
+        }
+    }
+}
+
+/// A Monte Carlo probability estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The point estimate `hits / trials`.
+    pub point: f64,
+    /// Lower end of the Wilson score interval.
+    pub ci_lo: f64,
+    /// Upper end of the Wilson score interval.
+    pub ci_hi: f64,
+    /// Confidence level of `[ci_lo, ci_hi]`.
+    pub confidence: f64,
+    /// Total status vectors drawn.
+    pub samples: u64,
+    /// Samples satisfying the target formula (and the condition, when
+    /// conditional).
+    pub hits: u64,
+    /// Denominator of the estimate: `samples` for `P(ϕ)`, the number of
+    /// condition-satisfying samples for `P(ϕ | ψ)`.
+    pub trials: u64,
+}
+
+/// The value of a probability query under some [`Method`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbValue {
+    /// An exact point probability.
+    Exact(f64),
+    /// Conservative bounds from interval propagation.
+    Interval(ProbInterval),
+    /// A Monte Carlo estimate.
+    Estimate(Estimate),
+}
+
+impl ProbValue {
+    /// A single representative number: the exact value, the interval
+    /// midpoint, or the point estimate.
+    pub fn midpoint(&self) -> f64 {
+        match self {
+            ProbValue::Exact(p) => *p,
+            ProbValue::Interval(iv) => 0.5 * (iv.lo + iv.hi),
+            ProbValue::Estimate(e) => e.point,
+        }
+    }
+
+    /// Judges a threshold `P ▷◁ bound` against this value.
+    ///
+    /// * `Exact` and `Estimate` judge their point value (the estimate's
+    ///   sampling error is reported, not folded into the verdict).
+    /// * `Interval` returns `Some(true)` when **every** probability in
+    ///   the interval satisfies the bound, `Some(false)` when none
+    ///   does, and `None` when the interval straddles the bound — the
+    ///   annotations are too coarse to decide.
+    pub fn judge(&self, op: CmpOp, bound: f64) -> Option<bool> {
+        match self {
+            ProbValue::Exact(p) => Some(prob_compare(op, *p, bound)),
+            ProbValue::Estimate(e) => Some(prob_compare(op, e.point, bound)),
+            ProbValue::Interval(iv) => {
+                let at_lo = prob_compare(op, iv.lo, bound);
+                let at_hi = prob_compare(op, iv.hi, bound);
+                match op {
+                    // Monotone predicates: endpoint agreement decides.
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                        (at_lo == at_hi).then_some(at_lo)
+                    }
+                    CmpOp::Eq => {
+                        let straddles = iv.lo <= bound && bound <= iv.hi;
+                        if at_lo && at_hi {
+                            Some(true)
+                        } else if !at_lo && !at_hi && !straddles {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A formula compiled for per-sample evaluation: names resolved to ids,
+/// minimality operators rejected up front.
+///
+/// `MCS`/`MPS` are *vector-set* predicates — deciding them on one
+/// sampled vector needs the satisfaction set, exactly the computation
+/// Monte Carlo exists to avoid — so they are not estimable and surface
+/// as [`BflError::UnsupportedMethod`] at compile time.
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledFormula {
+    Const(bool),
+    Atom(ElementId),
+    Not(Box<CompiledFormula>),
+    And(Box<CompiledFormula>, Box<CompiledFormula>),
+    Or(Box<CompiledFormula>, Box<CompiledFormula>),
+    Implies(Box<CompiledFormula>, Box<CompiledFormula>),
+    Iff(Box<CompiledFormula>, Box<CompiledFormula>),
+    Neq(Box<CompiledFormula>, Box<CompiledFormula>),
+    Evidence {
+        inner: Box<CompiledFormula>,
+        basic: usize,
+        value: bool,
+    },
+    Vot {
+        op: CmpOp,
+        k: u32,
+        operands: Vec<CompiledFormula>,
+    },
+}
+
+impl CompiledFormula {
+    /// Resolves `phi` against `tree`.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::UnsupportedMethod`] for `MCS`/`MPS`,
+    /// [`BflError::UnknownElement`] / [`BflError::EvidenceOnGate`] for
+    /// bad names.
+    pub(crate) fn compile(tree: &FaultTree, phi: &Formula) -> Result<Self, BflError> {
+        let c = |f: &Formula| CompiledFormula::compile(tree, f).map(Box::new);
+        Ok(match phi {
+            Formula::Const(b) => CompiledFormula::Const(*b),
+            Formula::Atom(name) => CompiledFormula::Atom(
+                tree.element(name)
+                    .ok_or_else(|| BflError::UnknownElement(name.clone()))?,
+            ),
+            Formula::Not(f) => CompiledFormula::Not(c(f)?),
+            Formula::And(a, b) => CompiledFormula::And(c(a)?, c(b)?),
+            Formula::Or(a, b) => CompiledFormula::Or(c(a)?, c(b)?),
+            Formula::Implies(a, b) => CompiledFormula::Implies(c(a)?, c(b)?),
+            Formula::Iff(a, b) => CompiledFormula::Iff(c(a)?, c(b)?),
+            Formula::Neq(a, b) => CompiledFormula::Neq(c(a)?, c(b)?),
+            Formula::Evidence {
+                inner,
+                element,
+                value,
+            } => {
+                let e = tree
+                    .element(element)
+                    .ok_or_else(|| BflError::UnknownElement(element.clone()))?;
+                let basic = tree
+                    .basic_index(e)
+                    .ok_or_else(|| BflError::EvidenceOnGate(element.clone()))?;
+                CompiledFormula::Evidence {
+                    inner: c(inner)?,
+                    basic,
+                    value: *value,
+                }
+            }
+            Formula::Mcs(_) | Formula::Mps(_) => {
+                return Err(BflError::UnsupportedMethod {
+                    method: "mc".to_string(),
+                    context: format!(
+                        "`{phi}` contains a minimality operator; MCS/MPS membership \
+                         is a property of the whole satisfaction set, not of one \
+                         sampled vector"
+                    ),
+                })
+            }
+            Formula::Vot { op, k, operands } => CompiledFormula::Vot {
+                op: *op,
+                k: *k,
+                operands: operands
+                    .iter()
+                    .map(|f| CompiledFormula::compile(tree, f))
+                    .collect::<Result<_, _>>()?,
+            },
+        })
+    }
+
+    /// Evaluates against one sampled vector. `statuses` is
+    /// `tree.evaluate_all(b)` — shared across the whole formula so atoms
+    /// are O(1); evidence re-evaluates on the pinned vector.
+    fn eval(&self, tree: &FaultTree, b: &StatusVector, statuses: &[bool]) -> bool {
+        match self {
+            CompiledFormula::Const(v) => *v,
+            CompiledFormula::Atom(e) => statuses[e.index()],
+            CompiledFormula::Not(f) => !f.eval(tree, b, statuses),
+            CompiledFormula::And(x, y) => x.eval(tree, b, statuses) && y.eval(tree, b, statuses),
+            CompiledFormula::Or(x, y) => x.eval(tree, b, statuses) || y.eval(tree, b, statuses),
+            CompiledFormula::Implies(x, y) => {
+                !x.eval(tree, b, statuses) || y.eval(tree, b, statuses)
+            }
+            CompiledFormula::Iff(x, y) => x.eval(tree, b, statuses) == y.eval(tree, b, statuses),
+            CompiledFormula::Neq(x, y) => x.eval(tree, b, statuses) != y.eval(tree, b, statuses),
+            CompiledFormula::Evidence {
+                inner,
+                basic,
+                value,
+            } => {
+                let pinned = b.with(*basic, *value);
+                let pinned_statuses = tree.evaluate_all(&pinned);
+                inner.eval(tree, &pinned, &pinned_statuses)
+            }
+            CompiledFormula::Vot { op, k, operands } => {
+                let count = operands
+                    .iter()
+                    .filter(|f| f.eval(tree, b, statuses))
+                    .count() as u32;
+                op.compare(count, *k)
+            }
+        }
+    }
+}
+
+/// Decorrelates per-chunk seed streams (a SplitMix64-style mix of the
+/// base seed and the chunk index).
+fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Estimates `P(ϕ)` (or `P(ϕ | ψ)` when `given` is set) by sampling
+/// `samples` status vectors from the product distribution `probs`,
+/// optionally pinning basic events to fixed values (`pins` — scenario
+/// evidence), and evaluating the formulae directly on each sample. No
+/// BDD is compiled.
+///
+/// Returns `None` when the estimate is undefined: a conditional query
+/// whose condition no sample satisfied.
+///
+/// Determinism: the sample space is split into fixed-size chunks, each
+/// with its own seed stream derived from `seed`; `threads` workers pull
+/// chunks from a shared counter and integer hit counts are summed, so
+/// equal `(seed, samples)` give byte-identical estimates at any thread
+/// count.
+///
+/// # Errors
+///
+/// [`BflError::UnsupportedMethod`] for minimality operators or a zero
+/// `samples`/out-of-range `confidence`;
+/// [`BflError::InvalidProbability`] for a malformed `probs` vector;
+/// [`BflError::UnknownElement`] / [`BflError::EvidenceOnGate`] for bad
+/// names; [`BflError::Internal`] if a worker dies.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_probability(
+    tree: &FaultTree,
+    probs: &[f64],
+    phi: &Formula,
+    given: Option<&Formula>,
+    pins: &[(usize, bool)],
+    samples: u64,
+    seed: u64,
+    confidence: f64,
+    threads: usize,
+) -> Result<Option<Estimate>, BflError> {
+    if samples == 0 {
+        return Err(BflError::UnsupportedMethod {
+            method: "mc".to_string(),
+            context: "samples must be ≥ 1".to_string(),
+        });
+    }
+    if !(confidence.is_finite() && 0.0 < confidence && confidence < 1.0) {
+        return Err(BflError::UnsupportedMethod {
+            method: "mc".to_string(),
+            context: format!("confidence {confidence} outside (0, 1)"),
+        });
+    }
+    bfl_fault_tree::prob::validate_probabilities(tree, probs)
+        .map_err(|reason| BflError::InvalidProbability { reason })?;
+    for &(bi, _) in pins {
+        if bi >= tree.num_basic_events() {
+            return Err(BflError::Internal {
+                context: format!("sampler pin index {bi} out of range"),
+            });
+        }
+    }
+    let phi_c = CompiledFormula::compile(tree, phi)?;
+    let given_c = match given {
+        Some(g) => Some(CompiledFormula::compile(tree, g)?),
+        None => None,
+    };
+    let n = tree.num_basic_events();
+    let chunk_count = samples.div_ceil(MC_CHUNK);
+    let workers = threads
+        .max(1)
+        .min(usize::try_from(chunk_count).unwrap_or(usize::MAX));
+    let next = AtomicU64::new(0);
+    let (hits, trials) = std::thread::scope(|s| -> Result<(u64, u64), BflError> {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut hits = 0u64;
+                    let mut trials = 0u64;
+                    let mut b = StatusVector::all_operational(n);
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunk_count {
+                            break;
+                        }
+                        let mut rng = Prng::seed_from_u64(chunk_seed(seed, c));
+                        let in_chunk = MC_CHUNK.min(samples - c * MC_CHUNK);
+                        for _ in 0..in_chunk {
+                            for (i, &p) in probs.iter().enumerate() {
+                                b.set(i, rng.gen_bool(p));
+                            }
+                            for &(bi, v) in pins {
+                                b.set(bi, v);
+                            }
+                            let statuses = tree.evaluate_all(&b);
+                            let in_condition = match &given_c {
+                                Some(g) => g.eval(tree, &b, &statuses),
+                                None => true,
+                            };
+                            if in_condition {
+                                trials += 1;
+                                if phi_c.eval(tree, &b, &statuses) {
+                                    hits += 1;
+                                }
+                            }
+                        }
+                    }
+                    (hits, trials)
+                })
+            })
+            .collect();
+        let mut total = (0u64, 0u64);
+        for h in handles {
+            let (hits, trials) = h.join().map_err(|_| BflError::Internal {
+                context: "monte carlo worker panicked".to_string(),
+            })?;
+            total.0 += hits;
+            total.1 += trials;
+        }
+        Ok(total)
+    })?;
+    if trials == 0 {
+        // Conditional on an event no sample hit: undefined, like the
+        // exact path's `P(ψ) = 0`.
+        return Ok(None);
+    }
+    let (ci_lo, ci_hi) = wilson_interval(hits, trials, confidence);
+    Ok(Some(Estimate {
+        point: hits as f64 / trials as f64,
+        ci_lo,
+        ci_hi,
+        confidence,
+        samples,
+        hits,
+        trials,
+    }))
+}
+
+/// The Wilson score interval for `hits` successes in `trials` Bernoulli
+/// trials at the given confidence level (clamped to `[0, 1]`).
+pub fn wilson_interval(hits: u64, trials: u64, confidence: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = probit(0.5 + 0.5 * confidence.clamp(0.0, 1.0 - f64::EPSILON));
+    let n = trials as f64;
+    let p = hits as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The standard normal quantile function (inverse CDF), by Acklam's
+/// rational approximation — relative error below `1.15e-9` across
+/// `(0, 1)`, ample for confidence-interval z-values. Keeping it in-tree
+/// keeps the workspace dependency-free.
+fn probit(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use bfl_fault_tree::corpus;
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in [Method::Exact, Method::Interval, Method::mc()] {
+            assert_eq!(m.name().parse::<Method>().unwrap().name(), m.name());
+        }
+        assert_eq!(
+            "mc".parse::<Method>().unwrap(),
+            Method::Mc {
+                samples: DEFAULT_MC_SAMPLES,
+                seed: DEFAULT_MC_SEED,
+                confidence: DEFAULT_MC_CONFIDENCE,
+            }
+        );
+        assert!("montecarlo".parse::<Method>().is_err());
+        assert_eq!(Method::default(), Method::Exact);
+        assert_eq!(Method::mc().to_string(), "mc");
+    }
+
+    #[test]
+    fn probit_matches_known_quantiles() {
+        // (p, z) pairs from standard normal tables.
+        for (p, z) in [
+            (0.5, 0.0),
+            (0.975, 1.959_963_984_540_054),
+            (0.995, 2.575_829_303_548_901),
+            (0.9995, 3.290_526_731_491_926),
+            (0.025, -1.959_963_984_540_054),
+        ] {
+            assert!((probit(p) - z).abs() < 1e-6, "probit({p}) = {}", probit(p));
+        }
+        assert!(probit(-0.1).is_nan());
+        assert!(probit(f64::NAN).is_nan());
+        assert_eq!(probit(0.0), f64::NEG_INFINITY);
+        assert_eq!(probit(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn wilson_contains_sample_proportion() {
+        let (lo, hi) = wilson_interval(280, 1000, 0.99);
+        assert!(lo < 0.28 && 0.28 < hi);
+        assert!(lo > 0.2 && hi < 0.36);
+        // Extreme counts stay clamped in [0, 1].
+        let (lo, hi) = wilson_interval(0, 10, 0.99);
+        assert!(lo < 1e-12 && hi < 1.0);
+        let (lo, hi) = wilson_interval(10, 10, 0.99);
+        assert!(lo > 0.0 && hi > 1.0 - 1e-12 && hi <= 1.0);
+        assert_eq!(wilson_interval(0, 0, 0.99), (0.0, 1.0));
+    }
+
+    #[test]
+    fn mc_estimates_or2_closely() {
+        let tree = corpus::or2();
+        let phi = parse_formula("Top").unwrap();
+        let e = estimate_probability(&tree, &[0.1, 0.2], &phi, None, &[], 200_000, 7, 0.99, 4)
+            .unwrap()
+            .unwrap();
+        // P(Top) = 0.28 exactly.
+        assert!(e.ci_lo <= 0.28 && 0.28 <= e.ci_hi, "{e:?}");
+        assert!((e.point - 0.28).abs() < 0.01);
+        assert_eq!(e.samples, 200_000);
+        assert_eq!(e.trials, 200_000);
+    }
+
+    #[test]
+    fn mc_is_deterministic_across_thread_counts() {
+        let tree = corpus::covid();
+        let n = tree.num_basic_events();
+        let probs = vec![0.15; n];
+        let phi = parse_formula("IWoS").unwrap();
+        let run = |threads| {
+            estimate_probability(&tree, &probs, &phi, None, &[], 50_000, 42, 0.99, threads)
+                .unwrap()
+                .unwrap()
+        };
+        let one = run(1);
+        for threads in [2, 8] {
+            let t = run(threads);
+            assert_eq!(one.point.to_bits(), t.point.to_bits(), "threads={threads}");
+            assert_eq!(one.hits, t.hits);
+            assert_eq!(one.ci_lo.to_bits(), t.ci_lo.to_bits());
+            assert_eq!(one.ci_hi.to_bits(), t.ci_hi.to_bits());
+        }
+        // A different seed gives a different stream (MoT's hit count is
+        // large enough that a collision would be astronomically odd —
+        // and everything here is deterministic, so this can never flake).
+        let mot = parse_formula("MoT").unwrap();
+        let with_seed = |seed| {
+            estimate_probability(&tree, &probs, &mot, None, &[], 50_000, seed, 0.99, 1)
+                .unwrap()
+                .unwrap()
+        };
+        assert_ne!(with_seed(42).hits, with_seed(43).hits);
+    }
+
+    #[test]
+    fn conditional_estimates_and_undefined_conditions() {
+        let tree = corpus::or2();
+        let phi = parse_formula("Top").unwrap();
+        let e1 = parse_formula("e1").unwrap();
+        // P(Top | e1) = 1.
+        let e = estimate_probability(
+            &tree,
+            &[0.3, 0.2],
+            &phi,
+            Some(&e1),
+            &[],
+            100_000,
+            5,
+            0.99,
+            2,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(e.point, 1.0);
+        assert!(e.trials < e.samples);
+        // Conditioning on an impossible event: undefined, not a panic.
+        let falsum = parse_formula("e1 & !e1").unwrap();
+        let und = estimate_probability(
+            &tree,
+            &[0.3, 0.2],
+            &phi,
+            Some(&falsum),
+            &[],
+            10_000,
+            5,
+            0.99,
+            2,
+        )
+        .unwrap();
+        assert!(und.is_none());
+    }
+
+    #[test]
+    fn pins_fix_sampled_bits() {
+        let tree = corpus::or2();
+        let phi = parse_formula("Top").unwrap();
+        // Pin e1 failed: Top always fails.
+        let e = estimate_probability(
+            &tree,
+            &[0.1, 0.2],
+            &phi,
+            None,
+            &[(0, true)],
+            20_000,
+            1,
+            0.99,
+            2,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(e.point, 1.0);
+        // Pin both operational: Top never fails.
+        let e = estimate_probability(
+            &tree,
+            &[0.1, 0.2],
+            &phi,
+            None,
+            &[(0, false), (1, false)],
+            20_000,
+            1,
+            0.99,
+            2,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(e.point, 0.0);
+    }
+
+    #[test]
+    fn evidence_and_vot_evaluate_on_samples() {
+        let tree = corpus::or2();
+        // Top[e1 := 0] == e2; P = 0.2.
+        let phi = parse_formula("Top[e1 := 0]").unwrap();
+        let e = estimate_probability(&tree, &[0.9, 0.2], &phi, None, &[], 100_000, 3, 0.99, 2)
+            .unwrap()
+            .unwrap();
+        assert!(e.ci_lo <= 0.2 && 0.2 <= e.ci_hi, "{e:?}");
+        // VOT(>=1; e1, e2) == Top for an OR tree.
+        let vot = parse_formula("VOT(>=1; e1, e2)").unwrap();
+        let top = parse_formula("Top").unwrap();
+        let a = estimate_probability(&tree, &[0.1, 0.2], &vot, None, &[], 50_000, 9, 0.99, 2)
+            .unwrap()
+            .unwrap();
+        let b = estimate_probability(&tree, &[0.1, 0.2], &top, None, &[], 50_000, 9, 0.99, 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.hits, b.hits);
+    }
+
+    #[test]
+    fn structured_errors_for_bad_inputs() {
+        let tree = corpus::or2();
+        let phi = parse_formula("Top").unwrap();
+        let mcs = parse_formula("MCS(Top)").unwrap();
+        assert!(matches!(
+            estimate_probability(&tree, &[0.1, 0.2], &mcs, None, &[], 100, 1, 0.99, 1),
+            Err(BflError::UnsupportedMethod { method, .. }) if method == "mc"
+        ));
+        assert!(matches!(
+            estimate_probability(&tree, &[0.1, 0.2], &phi, None, &[], 0, 1, 0.99, 1),
+            Err(BflError::UnsupportedMethod { .. })
+        ));
+        assert!(matches!(
+            estimate_probability(&tree, &[0.1, 0.2], &phi, None, &[], 100, 1, 1.5, 1),
+            Err(BflError::UnsupportedMethod { .. })
+        ));
+        assert!(matches!(
+            estimate_probability(&tree, &[0.1], &phi, None, &[], 100, 1, 0.99, 1),
+            Err(BflError::InvalidProbability { .. })
+        ));
+        let unknown = parse_formula("nope").unwrap();
+        assert!(matches!(
+            estimate_probability(&tree, &[0.1, 0.2], &unknown, None, &[], 100, 1, 0.99, 1),
+            Err(BflError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn judge_semantics_per_method() {
+        use CmpOp::*;
+        assert_eq!(ProbValue::Exact(0.3).judge(Lt, 0.5), Some(true));
+        let iv = ProbInterval { lo: 0.2, hi: 0.4 };
+        // Whole interval below the bound: certain.
+        assert_eq!(ProbValue::Interval(iv).judge(Lt, 0.5), Some(true));
+        // Bound inside the interval: undecidable.
+        assert_eq!(ProbValue::Interval(iv).judge(Lt, 0.3), None);
+        // Whole interval above: certainly false.
+        assert_eq!(ProbValue::Interval(iv).judge(Lt, 0.1), Some(false));
+        // Eq: decided only for (effectively) degenerate intervals.
+        let pt = ProbInterval { lo: 0.3, hi: 0.3 };
+        assert_eq!(ProbValue::Interval(pt).judge(Eq, 0.3), Some(true));
+        assert_eq!(ProbValue::Interval(iv).judge(Eq, 0.3), None);
+        assert_eq!(ProbValue::Interval(iv).judge(Eq, 0.9), Some(false));
+        let est = Estimate {
+            point: 0.3,
+            ci_lo: 0.29,
+            ci_hi: 0.31,
+            confidence: 0.99,
+            samples: 1000,
+            hits: 300,
+            trials: 1000,
+        };
+        assert_eq!(ProbValue::Estimate(est).judge(Ge, 0.25), Some(true));
+        assert!((ProbValue::Estimate(est).midpoint() - 0.3).abs() < 1e-12);
+        assert!((ProbValue::Interval(iv).midpoint() - 0.3).abs() < 1e-12);
+    }
+}

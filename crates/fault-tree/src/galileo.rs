@@ -10,6 +10,7 @@
 //! "MoT"  or  "CT" "DT" "AT" "CVT" "UT";
 //! "V"    2of3 "a" "b" "c";
 //! "IW"   prob=0.05;        // basic event with probability
+//! "CT"   prob=0.1..0.3;    // basic event with interval bounds
 //! "UT";                    // bare basic event
 //! ```
 //!
@@ -23,15 +24,31 @@ use std::fmt;
 
 use crate::builder::FaultTreeBuilder;
 use crate::model::{FaultTree, FaultTreeError, GateType};
+use crate::prob::ProbInterval;
 
 /// A parsed Galileo model: the tree plus any `prob=` annotations.
+///
+/// A basic event carries *either* a point probability (`prob=0.1`,
+/// recorded in [`GalileoModel::probabilities`]) *or* an interval bound
+/// (`prob=0.1..0.3`, recorded in [`GalileoModel::intervals`]) — never
+/// both.
 #[derive(Debug, Clone)]
 pub struct GalileoModel {
     /// The fault tree.
     pub tree: FaultTree,
     /// Basic-event probabilities by basic index (1.0e0-bounded), `None`
-    /// where no `prob=` was given.
+    /// where no point `prob=` was given.
     pub probabilities: Vec<Option<f64>>,
+    /// Basic-event interval bounds by basic index, `None` where no
+    /// `prob=lo..hi` was given.
+    pub intervals: Vec<Option<ProbInterval>>,
+}
+
+impl GalileoModel {
+    /// Whether any basic event carries an interval annotation.
+    pub fn has_intervals(&self) -> bool {
+        self.intervals.iter().any(Option::is_some)
+    }
 }
 
 /// Errors produced by the Galileo parser.
@@ -69,6 +86,7 @@ enum Token {
     Name(String),
     Keyword(String),
     Prob(f64),
+    ProbRange(f64, f64),
     Vot(u32, u32),
     Semicolon,
 }
@@ -126,13 +144,24 @@ fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, GalileoError> 
         }
         let word = &line[start..end];
         if let Some(rest) = word.strip_prefix("prob=") {
-            let p: f64 = rest
-                .parse()
-                .map_err(|_| err(format!("invalid probability `{rest}`")))?;
-            if !(0.0..=1.0).contains(&p) {
-                return Err(err(format!("probability {p} outside [0, 1]")));
+            if let Some((l, h)) = rest.split_once("..") {
+                let lo: f64 = l
+                    .parse()
+                    .map_err(|_| err(format!("invalid interval endpoint `{l}`")))?;
+                let hi: f64 = h
+                    .parse()
+                    .map_err(|_| err(format!("invalid interval endpoint `{h}`")))?;
+                ProbInterval::new(lo, hi).map_err(&err)?;
+                tokens.push(Token::ProbRange(lo, hi));
+            } else {
+                let p: f64 = rest
+                    .parse()
+                    .map_err(|_| err(format!("invalid probability `{rest}`")))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(err(format!("probability {p} outside [0, 1]")));
+                }
+                tokens.push(Token::Prob(p));
             }
-            tokens.push(Token::Prob(p));
         } else if let Some((k, n)) = parse_kofn(word) {
             tokens.push(Token::Vot(k, n));
         } else if word.eq_ignore_ascii_case("toplevel")
@@ -171,7 +200,7 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
     }
     let mut toplevel: Option<(String, usize)> = None;
     let mut gates: Vec<(String, GateDef)> = Vec::new();
-    let mut basics: Vec<(String, Option<f64>, usize)> = Vec::new();
+    let mut basics: Vec<(String, Option<f64>, Option<ProbInterval>, usize)> = Vec::new();
     let mut defined: HashMap<String, usize> = HashMap::new();
     let mut referenced: Vec<String> = Vec::new();
 
@@ -207,12 +236,19 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
                     }
                     defined.insert(name.clone(), lineno);
                     match stmt.get(1) {
-                        None => basics.push((name.clone(), None, lineno)),
+                        None => basics.push((name.clone(), None, None, lineno)),
                         Some(Token::Prob(p)) => {
                             if stmt.len() > 2 {
                                 return Err(err("unexpected tokens after probability".to_string()));
                             }
-                            basics.push((name.clone(), Some(*p), lineno));
+                            basics.push((name.clone(), Some(*p), None, lineno));
+                        }
+                        Some(Token::ProbRange(lo, hi)) => {
+                            if stmt.len() > 2 {
+                                return Err(err("unexpected tokens after probability".to_string()));
+                            }
+                            let iv = ProbInterval::new(*lo, *hi).map_err(&err)?;
+                            basics.push((name.clone(), None, Some(iv), lineno));
                         }
                         Some(Token::Keyword(k)) if k == "and" || k == "or" => {
                             let gate_type = if k == "and" {
@@ -289,7 +325,7 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
     for name in referenced {
         if !defined.contains_key(&name) {
             defined.insert(name.clone(), 0);
-            basics.push((name, None, 0));
+            basics.push((name, None, None, 0));
         }
     }
 
@@ -309,30 +345,45 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
     }
 
     let mut builder = FaultTreeBuilder::new();
-    let mut probs: Vec<(String, Option<f64>)> = Vec::new();
-    for (name, p, _) in &basics {
+    let mut probs: Vec<(String, Option<f64>, Option<ProbInterval>)> = Vec::new();
+    for (name, p, iv, _) in &basics {
         builder.basic_event(name)?;
-        probs.push((name.clone(), *p));
+        probs.push((name.clone(), *p, *iv));
     }
     for (name, def) in &gates {
         builder.gate(name, def.gate_type, def.children.iter().map(String::as_str))?;
     }
     let tree = builder.build(&top)?;
     let mut probabilities = vec![None; tree.num_basic_events()];
-    for (name, p) in probs {
+    let mut intervals = vec![None; tree.num_basic_events()];
+    for (name, p, iv) in probs {
         let e = tree.element(&name).expect("declared");
         let bi = tree.basic_index(e).expect("basic");
         probabilities[bi] = p;
+        intervals[bi] = iv;
     }
     Ok(GalileoModel {
         tree,
         probabilities,
+        intervals,
     })
 }
 
 /// Serialises a fault tree (and optional probabilities by basic index)
 /// back to Galileo text. The output round-trips through [`parse`].
 pub fn to_galileo(tree: &FaultTree, probabilities: Option<&[Option<f64>]>) -> String {
+    to_galileo_annotated(tree, probabilities, None)
+}
+
+/// [`to_galileo`] with optional interval annotations: basic events with
+/// an interval are written `prob=lo..hi`, those with a point probability
+/// `prob=p`, the rest bare. An interval wins over a point probability in
+/// the same slot. The output round-trips through [`parse`].
+pub fn to_galileo_annotated(
+    tree: &FaultTree,
+    probabilities: Option<&[Option<f64>]>,
+    intervals: Option<&[Option<ProbInterval>]>,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "toplevel \"{}\";", tree.name(tree.top()));
@@ -350,11 +401,16 @@ pub fn to_galileo(tree: &FaultTree, probabilities: Option<&[Option<f64>]>) -> St
         let _ = writeln!(out, "\"{}\" {kw} {};", tree.name(g), children.join(" "));
     }
     for (bi, &e) in tree.basic_events().iter().enumerate() {
-        match probabilities.and_then(|p| p.get(bi).copied().flatten()) {
-            Some(p) => {
+        let iv = intervals.and_then(|v| v.get(bi).copied().flatten());
+        let p = probabilities.and_then(|v| v.get(bi).copied().flatten());
+        match (iv, p) {
+            (Some(iv), _) => {
+                let _ = writeln!(out, "\"{}\" prob={}..{};", tree.name(e), iv.lo, iv.hi);
+            }
+            (None, Some(p)) => {
                 let _ = writeln!(out, "\"{}\" prob={p};", tree.name(e));
             }
-            None => {
+            (None, None) => {
                 let _ = writeln!(out, "\"{}\";", tree.name(e));
             }
         }
@@ -452,6 +508,57 @@ mod tests {
         let text = to_galileo(&model.tree, Some(&model.probabilities));
         let model2 = parse(&text).unwrap();
         assert_eq!(model.probabilities, model2.probabilities);
+    }
+
+    #[test]
+    fn interval_annotations_parse() {
+        let model = parse("toplevel T; T or a b; a prob=0.1..0.3; b prob=0.2;").unwrap();
+        assert!(model.has_intervals());
+        let a = model.tree.element("a").unwrap();
+        let ai = model.tree.basic_index(a).unwrap();
+        let b = model.tree.element("b").unwrap();
+        let bi = model.tree.basic_index(b).unwrap();
+        assert_eq!(
+            model.intervals[ai],
+            Some(crate::prob::ProbInterval { lo: 0.1, hi: 0.3 })
+        );
+        assert_eq!(model.probabilities[ai], None);
+        assert_eq!(model.intervals[bi], None);
+        assert_eq!(model.probabilities[bi], Some(0.2));
+    }
+
+    #[test]
+    fn malformed_intervals_rejected() {
+        for (src, needle) in [
+            ("toplevel T; T or a; a prob=0.3..0.1;", "lo > hi"),
+            ("toplevel T; T or a; a prob=0.1..1.5;", "outside"),
+            ("toplevel T; T or a; a prob=x..0.5;", "invalid interval"),
+            ("toplevel T; T or a; a prob=0.1..y;", "invalid interval"),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.message.contains(needle), "{src}: {err}");
+            assert_eq!(err.line, 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn intervals_round_trip() {
+        let model = parse("toplevel T; T or a b c; a prob=0.125..0.5; b prob=0.25; c;").unwrap();
+        let text = to_galileo_annotated(
+            &model.tree,
+            Some(&model.probabilities),
+            Some(&model.intervals),
+        );
+        let model2 = parse(&text).unwrap();
+        assert_eq!(model.probabilities, model2.probabilities);
+        assert_eq!(model.intervals, model2.intervals);
+    }
+
+    #[test]
+    fn point_models_have_no_intervals() {
+        let model = parse("toplevel T; T or a b; a prob=0.125; b prob=0.5;").unwrap();
+        assert!(!model.has_intervals());
+        assert!(model.intervals.iter().all(Option::is_none));
     }
 
     #[test]

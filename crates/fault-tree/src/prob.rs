@@ -13,11 +13,102 @@
 //! maps these into `BflError::InvalidProbability`.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use bfl_bdd::Bdd;
 
 use crate::bdd::TreeBdd;
 use crate::model::{ElementId, FaultTree};
+
+/// A closed probability interval `[lo, hi] ⊆ [0, 1]`.
+///
+/// Interval annotations model epistemic uncertainty about a basic
+/// event's failure probability (failure-rate handbooks typically give
+/// bounds, not points). A point probability `p` is the degenerate
+/// interval `[p, p]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint (`lo ≤ hi`).
+    pub hi: f64,
+}
+
+impl ProbInterval {
+    /// A validated interval.
+    ///
+    /// # Errors
+    ///
+    /// A message if an endpoint is outside `[0, 1]`, not finite, or the
+    /// endpoints are inverted.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, String> {
+        if !lo.is_finite() || !hi.is_finite() || !(0.0..=1.0).contains(&lo) {
+            return Err(format!(
+                "interval [{lo}, {hi}] has endpoints outside [0, 1]"
+            ));
+        }
+        if !(0.0..=1.0).contains(&hi) {
+            return Err(format!(
+                "interval [{lo}, {hi}] has endpoints outside [0, 1]"
+            ));
+        }
+        if lo > hi {
+            return Err(format!("interval [{lo}, {hi}] has lo > hi"));
+        }
+        Ok(ProbInterval { lo, hi })
+    }
+
+    /// The degenerate interval `[p, p]` (validated).
+    ///
+    /// # Errors
+    ///
+    /// A message if `p` is outside `[0, 1]` or not finite.
+    pub fn point(p: f64) -> Result<Self, String> {
+        ProbInterval::new(p, p)
+    }
+
+    /// Whether the interval is a single point (`lo == hi`).
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The interval width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl fmt::Display for ProbInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_point() {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}..{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// Validates an interval slice (one entry per basic index).
+///
+/// # Errors
+///
+/// Returns a message naming the offending basic event if the length is
+/// wrong or an interval is malformed (endpoint outside `[0, 1]`, not
+/// finite, or `lo > hi`).
+pub fn validate_intervals(tree: &FaultTree, intervals: &[ProbInterval]) -> Result<(), String> {
+    if intervals.len() != tree.num_basic_events() {
+        return Err(format!(
+            "expected {} intervals, got {}",
+            tree.num_basic_events(),
+            intervals.len()
+        ));
+    }
+    for (i, iv) in intervals.iter().enumerate() {
+        ProbInterval::new(iv.lo, iv.hi)
+            .map_err(|msg| format!("interval of `{}`: {msg}", tree.name(tree.basic_events()[i])))?;
+    }
+    Ok(())
+}
 
 /// Validates a probability slice (one entry per basic index).
 ///
@@ -88,6 +179,86 @@ pub fn bdd_probability_with_memo(
         },
         memo,
     )
+}
+
+/// Interval twin of [`bdd_probability`]: conservative `[lo, hi]` bounds
+/// on the failure probability of `f` when each basic event's probability
+/// is only known to lie in an interval.
+///
+/// # Errors
+///
+/// The message of [`validate_intervals`] if `intervals` is malformed.
+///
+/// # Panics
+///
+/// Panics if `f` mentions primed variables (query BDDs never do).
+pub fn bdd_probability_interval(
+    tree: &FaultTree,
+    tb: &TreeBdd,
+    f: Bdd,
+    intervals: &[ProbInterval],
+) -> Result<ProbInterval, String> {
+    validate_intervals(tree, intervals)?;
+    let mut memo: HashMap<u32, (f64, f64)> = HashMap::new();
+    Ok(bdd_probability_interval_with_memo(
+        tb, f, intervals, &mut memo,
+    ))
+}
+
+/// The node-keyed interval Shannon walk behind
+/// [`bdd_probability_interval`], sharing the memo across roots. Same
+/// memo lifetime rules as [`bdd_probability_with_memo`].
+///
+/// # Panics
+///
+/// Panics if `f` mentions primed variables (query BDDs never do).
+pub fn bdd_probability_interval_with_memo(
+    tb: &TreeBdd,
+    f: Bdd,
+    intervals: &[ProbInterval],
+    memo: &mut HashMap<u32, (f64, f64)>,
+) -> ProbInterval {
+    let (lo, hi) = tb.manager().probability_interval_with_memo(
+        f,
+        &|v| {
+            let bi = tb
+                .basic_of_var(v)
+                .expect("probability of a primed variable");
+            (intervals[bi].lo, intervals[bi].hi)
+        },
+        memo,
+    );
+    ProbInterval { lo, hi }
+}
+
+/// Interval failure probability of element `e` of `tree`.
+///
+/// # Example
+///
+/// ```
+/// use bfl_fault_tree::{corpus, prob};
+/// use bfl_fault_tree::prob::ProbInterval;
+/// let tree = corpus::or2();
+/// let ivs = [
+///     ProbInterval::new(0.1, 0.3).unwrap(),
+///     ProbInterval::point(0.2).unwrap(),
+/// ];
+/// // P(Top) with P(e1) ∈ [0.1, 0.3]: [0.28, 0.44]
+/// let p = prob::element_probability_interval(&tree, tree.top(), &ivs).unwrap();
+/// assert!((p.lo - 0.28).abs() < 1e-12 && (p.hi - 0.44).abs() < 1e-12);
+/// ```
+///
+/// # Errors
+///
+/// The message of [`validate_intervals`] if `intervals` is malformed.
+pub fn element_probability_interval(
+    tree: &FaultTree,
+    e: ElementId,
+    intervals: &[ProbInterval],
+) -> Result<ProbInterval, String> {
+    let mut tb = TreeBdd::new(tree, crate::order::VariableOrdering::DfsPreorder);
+    let f = tb.element_bdd(tree, e);
+    bdd_probability_interval(tree, &tb, f, intervals)
 }
 
 /// Exact failure probability of element `e` of `tree`.
@@ -251,6 +422,82 @@ mod tests {
         for &be in tree.basic_events() {
             let ip = improvement_potential(&tree, tree.top(), be, &probs).unwrap();
             assert!(ip >= -1e-12 && ip <= top_p + 1e-12, "{}", tree.name(be));
+        }
+    }
+
+    #[test]
+    fn interval_construction_validates() {
+        assert!(ProbInterval::new(0.1, 0.3).is_ok());
+        assert!(ProbInterval::point(0.5).is_ok());
+        assert!(ProbInterval::new(0.3, 0.1).is_err());
+        assert!(ProbInterval::new(-0.1, 0.5).is_err());
+        assert!(ProbInterval::new(0.5, 1.5).is_err());
+        assert!(ProbInterval::new(f64::NAN, 0.5).is_err());
+        assert!(ProbInterval::new(0.5, f64::NAN).is_err());
+        let iv = ProbInterval::new(0.1, 0.3).unwrap();
+        assert!(!iv.is_point());
+        assert!((iv.width() - 0.2).abs() < 1e-15);
+        assert_eq!(iv.to_string(), "0.1..0.3");
+        assert_eq!(ProbInterval::point(0.5).unwrap().to_string(), "0.5");
+    }
+
+    #[test]
+    fn interval_validation_names_offender() {
+        let tree = corpus::or2();
+        let good = [
+            ProbInterval { lo: 0.1, hi: 0.3 },
+            ProbInterval { lo: 0.2, hi: 0.2 },
+        ];
+        assert!(validate_intervals(&tree, &good).is_ok());
+        assert!(validate_intervals(&tree, &good[..1]).is_err());
+        let bad = [
+            ProbInterval { lo: 0.1, hi: 0.3 },
+            ProbInterval { lo: 0.9, hi: 0.2 },
+        ];
+        let msg = validate_intervals(&tree, &bad).unwrap_err();
+        assert!(msg.contains("e2"), "{msg}");
+    }
+
+    #[test]
+    fn degenerate_intervals_match_exact_bit_for_bit() {
+        let tree = corpus::covid();
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n)
+            .map(|i| 0.05 + 0.9 * (i as f64) / (n as f64))
+            .collect();
+        let exact = top_event_probability(&tree, &probs).unwrap();
+        let ivs: Vec<ProbInterval> = probs
+            .iter()
+            .map(|&p| ProbInterval::point(p).unwrap())
+            .collect();
+        let iv = element_probability_interval(&tree, tree.top(), &ivs).unwrap();
+        assert_eq!(iv.lo.to_bits(), exact.to_bits());
+        assert_eq!(iv.hi.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn interval_brackets_all_point_choices() {
+        let tree = corpus::covid();
+        let n = tree.num_basic_events();
+        let los: Vec<f64> = (0..n).map(|i| 0.02 + 0.01 * i as f64).collect();
+        let his: Vec<f64> = (0..n).map(|i| 0.10 + 0.02 * i as f64).collect();
+        let ivs: Vec<ProbInterval> = los
+            .iter()
+            .zip(&his)
+            .map(|(&lo, &hi)| ProbInterval::new(lo, hi).unwrap())
+            .collect();
+        let iv = element_probability_interval(&tree, tree.top(), &ivs).unwrap();
+        assert!(iv.lo <= iv.hi);
+        for t in 0..=3 {
+            let frac = t as f64 / 3.0;
+            // Clamp: `lo + frac·(hi − lo)` can land 1 ulp outside.
+            let probs: Vec<f64> = los
+                .iter()
+                .zip(&his)
+                .map(|(&lo, &hi)| (lo + frac * (hi - lo)).clamp(lo, hi))
+                .collect();
+            let p = top_event_probability(&tree, &probs).unwrap();
+            assert!(iv.lo <= p && p <= iv.hi, "t={t}: {p} outside {iv}");
         }
     }
 

@@ -25,7 +25,9 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::json::Json;
-use crate::protocol::{ErrorCode, Op, ProbTarget, Request, Response, ResponseBody, SessionOptions};
+use crate::protocol::{
+    ErrorCode, Op, ProbOptions, ProbTarget, Request, Response, ResponseBody, SessionOptions,
+};
 
 /// A client-side failure: transport, protocol or a server-reported
 /// error.
@@ -252,6 +254,7 @@ impl Client {
                 plan: plan.to_string(),
                 scenario: scenario.map(str::to_string),
             },
+            options: ProbOptions::default(),
         })?;
         Ok(result.get("probability").and_then(Json::as_f64))
     }
@@ -274,6 +277,7 @@ impl Client {
                 formula: formula.to_string(),
                 given: given.map(str::to_string),
             },
+            options: ProbOptions::default(),
         })?;
         Ok(result.get("probability").and_then(Json::as_f64))
     }

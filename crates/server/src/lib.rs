@@ -52,6 +52,8 @@ pub mod registry;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use protocol::{ErrorCode, Op, ProbTarget, Request, Response, ResponseBody, SessionOptions};
+pub use protocol::{
+    ErrorCode, Op, ProbOptions, ProbTarget, Request, Response, ResponseBody, SessionOptions,
+};
 pub use registry::{Registry, SessionEntry};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -13,6 +13,8 @@
 //! {"id":4,"op":"sweep","session":"s1","plan":"p1","scenarios":"..."}
 //! {"id":5,"op":"check","session":"s1","query":"P1: forall IS => MoT"}
 //! {"id":6,"op":"prob","session":"s1","formula":"IWoS","given":"H1"}
+//!            (+ optional "method":"exact|interval|mc", "samples",
+//!               "seed", "confidence" — the uncertainty engine)
 //! {"id":7,"op":"importance","session":"s1","formula":"IWoS"}
 //! {"id":8,"op":"explain","session":"s1","plan":"p1"}
 //! {"id":9,"op":"stats","session":"s1"}   (session optional)
@@ -33,6 +35,7 @@ use std::fmt;
 
 use bfl_core::engine::ReorderPolicy;
 use bfl_core::report::json_str;
+use bfl_core::uncertainty::{Method, DEFAULT_MC_CONFIDENCE, DEFAULT_MC_SAMPLES, DEFAULT_MC_SEED};
 use bfl_core::MinimalityScope;
 use bfl_fault_tree::VariableOrdering;
 
@@ -164,6 +167,58 @@ pub enum ProbTarget {
     },
 }
 
+/// Method selection of a `prob` request; every field is optional and
+/// the exact wire presence is preserved (canonical serialisation emits
+/// exactly the fields that were sent, in `method`, `samples`, `seed`,
+/// `confidence` order). [`ProbOptions::resolve`] combines them into a
+/// typed [`Method`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProbOptions {
+    /// `exact`, `interval` or `mc`; validated at parse time.
+    pub method: Option<String>,
+    /// `mc`: status vectors to draw.
+    pub samples: Option<u64>,
+    /// `mc`: base seed; equal `(seed, samples)` reproduce the estimate
+    /// bit-for-bit regardless of worker count.
+    pub seed: Option<u64>,
+    /// `mc`: Wilson confidence level in `(0, 1)`.
+    pub confidence: Option<f64>,
+}
+
+impl ProbOptions {
+    /// Whether any method field was sent at all.
+    pub fn is_default(&self) -> bool {
+        *self == ProbOptions::default()
+    }
+
+    /// Combines the fields into a [`Method`] override (`None` = use the
+    /// session default). Sampler fields alone imply `mc`; combined with
+    /// an explicit non-`mc` method they are an error.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown method or the invalid combination.
+    pub fn resolve(&self) -> Result<Option<Method>, String> {
+        let sampler = self.samples.is_some() || self.seed.is_some() || self.confidence.is_some();
+        let method = match self.method.as_deref() {
+            Some(name) => Some(name.parse::<Method>()?),
+            None if sampler => Some(Method::mc()),
+            None => None,
+        };
+        match method {
+            Some(Method::Mc { .. }) => Ok(Some(Method::Mc {
+                samples: self.samples.unwrap_or(DEFAULT_MC_SAMPLES),
+                seed: self.seed.unwrap_or(DEFAULT_MC_SEED),
+                confidence: self.confidence.unwrap_or(DEFAULT_MC_CONFIDENCE),
+            })),
+            Some(other) if sampler => Err(format!(
+                "`samples`/`seed`/`confidence` apply to method `mc`, not `{other}`"
+            )),
+            other => Ok(other),
+        }
+    }
+}
+
 /// One protocol operation (the `"op"` field plus its arguments).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
@@ -214,6 +269,9 @@ pub enum Op {
         session: String,
         /// What to take the probability of.
         target: ProbTarget,
+        /// Method selection (`method`/`samples`/`seed`/`confidence`);
+        /// all-absent = the session default.
+        options: ProbOptions,
     },
     /// Rank every basic event by quantitative importance.
     Importance {
@@ -359,7 +417,11 @@ impl Request {
                 field(&mut out, "plan", plan);
                 field(&mut out, "scenarios", scenarios);
             }
-            Op::Prob { session, target } => {
+            Op::Prob {
+                session,
+                target,
+                options,
+            } => {
                 field(&mut out, "session", session);
                 match target {
                     ProbTarget::Plan { plan, scenario } => {
@@ -374,6 +436,18 @@ impl Request {
                             field(&mut out, "given", g);
                         }
                     }
+                }
+                if let Some(m) = &options.method {
+                    field(&mut out, "method", m);
+                }
+                if let Some(n) = options.samples {
+                    out.push_str(&format!(",\"samples\":{n}"));
+                }
+                if let Some(n) = options.seed {
+                    out.push_str(&format!(",\"seed\":{n}"));
+                }
+                if let Some(c) = options.confidence {
+                    out.push_str(&format!(",\"confidence\":{c}"));
                 }
             }
             Op::Importance { session, formula } => {
@@ -547,7 +621,51 @@ impl Request {
                         ))
                     }
                 };
-                Op::Prob { session, target }
+                let u64_field = |name: &str| -> Result<Option<u64>, RequestError> {
+                    match doc.get(name) {
+                        None | Some(Json::Null) => Ok(None),
+                        Some(v) => Ok(Some(v.as_u64().ok_or_else(|| {
+                            fail(
+                                ErrorCode::BadField,
+                                format!("`{name}` must be a non-negative integer"),
+                            )
+                        })?)),
+                    }
+                };
+                let options = ProbOptions {
+                    method: match optional("method")? {
+                        Some(name) => {
+                            // Validate eagerly: a malformed method is a
+                            // structured bad_field, with the core
+                            // parser's message.
+                            name.parse::<Method>()
+                                .map_err(|e| fail(ErrorCode::BadField, e))?;
+                            Some(name)
+                        }
+                        None => None,
+                    },
+                    samples: u64_field("samples")?,
+                    seed: u64_field("seed")?,
+                    confidence: match doc.get("confidence") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => Some(v.as_f64().ok_or_else(|| {
+                            fail(
+                                ErrorCode::BadField,
+                                "`confidence` must be a number".to_string(),
+                            )
+                        })?),
+                    },
+                };
+                // Reject invalid combinations at the protocol boundary
+                // so they never reach a worker.
+                options
+                    .resolve()
+                    .map_err(|e| fail(ErrorCode::BadField, e))?;
+                Op::Prob {
+                    session,
+                    target,
+                    options,
+                }
             }
             "importance" => Op::Importance {
                 session: required("session")?,

@@ -33,11 +33,14 @@ use std::thread::JoinHandle;
 
 use bfl_core::engine::{AnalysisSession, MaintenanceReport};
 use bfl_core::error::BflError;
-use bfl_core::report::{json_importance, json_outcome, json_stats, json_str, Spec};
+use bfl_core::report::{
+    json_estimate, json_importance, json_interval, json_outcome, json_stats, json_str, Spec,
+};
 use bfl_core::scenario::{Scenario, ScenarioSet};
+use bfl_core::uncertainty::{Method, ProbValue};
 use bfl_fault_tree::galileo;
 
-use crate::protocol::{ErrorCode, Op, ProbTarget, Request, Response, SessionOptions};
+use crate::protocol::{ErrorCode, Op, ProbOptions, ProbTarget, Request, Response, SessionOptions};
 use crate::queue::{BoundedQueue, TryPushError};
 use crate::registry::{Registry, SessionEntry};
 
@@ -491,7 +494,11 @@ fn handle_op(shared: &Shared, op: &Op) -> Result<String, OpError> {
             let report = prepared.sweep(&set).map_err(|e| eval_error(&e))?;
             Ok(report.to_json())
         }
-        Op::Prob { session, target } => handle_prob(shared, session, target),
+        Op::Prob {
+            session,
+            target,
+            options,
+        } => handle_prob(shared, session, target, options),
         Op::Importance { session, formula } => {
             let entry = session_entry(shared, session)?;
             let phi = bfl_core::parser::parse_formula(formula)
@@ -581,7 +588,11 @@ fn parse_scenario(text: &str) -> Result<Scenario, OpError> {
 
 fn handle_load(shared: &Shared, model: &str, options: &SessionOptions) -> Result<String, OpError> {
     let parsed = galileo::parse(model).map_err(|e| (ErrorCode::ModelError, e.to_string()))?;
+    let has_intervals = parsed.has_intervals();
     let mut builder = AnalysisSession::builder().probabilities(parsed.probabilities);
+    if has_intervals {
+        builder = builder.intervals(parsed.intervals);
+    }
     if let Some(ordering) = options.ordering {
         builder = builder.ordering(ordering);
     }
@@ -614,52 +625,73 @@ fn handle_load(shared: &Shared, model: &str, options: &SessionOptions) -> Result
     ))
 }
 
-fn handle_prob(shared: &Shared, session: &str, target: &ProbTarget) -> Result<String, OpError> {
+/// Renders the value fields of a `prob` response after the `head`
+/// (`"query":…` / `"formula":…`). Exact answers keep the pre-method
+/// `"probability":p` shape byte-for-byte; interval and Monte Carlo
+/// answers carry `"interval"` / `"estimate"` plus a `"method"` tag.
+fn prob_value_json(head: &str, value: Option<&ProbValue>, method: Method) -> String {
+    let mut out = format!("{{{head}");
+    match value {
+        Some(ProbValue::Exact(p)) => out.push_str(&format!(",\"probability\":{p}")),
+        Some(ProbValue::Interval(iv)) => out.push_str(&format!(
+            ",\"probability\":null,\"interval\":{},\"method\":\"interval\"",
+            json_interval(iv)
+        )),
+        Some(ProbValue::Estimate(e)) => out.push_str(&format!(
+            ",\"probability\":null,\"estimate\":{},\"method\":\"mc\"",
+            json_estimate(e)
+        )),
+        None => {
+            out.push_str(",\"probability\":null");
+            if !matches!(method, Method::Exact) {
+                out.push_str(&format!(",\"method\":{}", json_str(method.name())));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn handle_prob(
+    shared: &Shared,
+    session: &str,
+    target: &ProbTarget,
+    options: &ProbOptions,
+) -> Result<String, OpError> {
     let entry = session_entry(shared, session)?;
+    // Parse-time validation makes this infallible for queued requests;
+    // programmatic `Op` values still get the structured error.
+    let method = options.resolve().map_err(|e| (ErrorCode::BadField, e))?;
+    let effective = method.unwrap_or_else(|| entry.session.method());
     match target {
         ProbTarget::Plan { plan, scenario } => {
             let prepared = plan_of(&entry, plan)?;
             let scenario = parse_scenario(scenario.as_deref().unwrap_or(""))?;
-            match prepared.probability(&scenario) {
-                Ok(p) => Ok(format!(
-                    "{{\"query\":{},\"probability\":{p}}}",
-                    json_str(prepared.source())
-                )),
+            let head = format!("\"query\":{}", json_str(prepared.source()));
+            match prepared.probability_value(&scenario, method) {
+                Ok(v) => Ok(prob_value_json(&head, v.as_ref(), effective)),
                 // A zero-probability condition is a well-defined "no
                 // answer", matching the CLI and the sweep outcomes.
-                Err(BflError::DivisionByZero { .. }) => Ok(format!(
-                    "{{\"query\":{},\"probability\":null}}",
-                    json_str(prepared.source())
-                )),
+                Err(BflError::DivisionByZero { .. }) => Ok(prob_value_json(&head, None, effective)),
                 Err(e) => Err(eval_error(&e)),
             }
         }
         ProbTarget::Formula { formula, given } => {
             let phi = bfl_core::parser::parse_formula(formula)
                 .map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
-            let p = match given {
-                None => Some(
-                    entry
-                        .session
-                        .formula_probability(&phi)
-                        .map_err(|e| eval_error(&e))?,
+            let given = match given {
+                None => None,
+                Some(g) => Some(
+                    bfl_core::parser::parse_formula(g)
+                        .map_err(|e| (ErrorCode::QueryError, e.to_string()))?,
                 ),
-                Some(g) => {
-                    let given = bfl_core::parser::parse_formula(g)
-                        .map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
-                    entry
-                        .session
-                        .conditional_probability(&phi, &given)
-                        .map_err(|e| eval_error(&e))?
-                }
             };
-            let rendered = p
-                .map(|p| p.to_string())
-                .unwrap_or_else(|| "null".to_string());
-            Ok(format!(
-                "{{\"formula\":{},\"probability\":{rendered}}}",
-                json_str(formula)
-            ))
+            let value = entry
+                .session
+                .probability_value(&phi, given.as_ref(), method)
+                .map_err(|e| eval_error(&e))?;
+            let head = format!("\"formula\":{}", json_str(formula));
+            Ok(prob_value_json(&head, value.as_ref(), effective))
         }
     }
 }
@@ -700,15 +732,18 @@ fn session_stats(entry: &SessionEntry) -> String {
         ));
     }
     let tree_name = entry.session.tree().name(entry.session.tree().top());
+    let sampler = entry.session.sampler_stats();
     format!(
-        "{{\"session\":{},\"tree\":{},\"stats\":{},\"maintenance\":{{\"gc_runs\":{},\"sift_runs\":{},\"nodes_collected\":{},\"swaps\":{}}},\"plans\":{{{plans}}}}}",
+        "{{\"session\":{},\"tree\":{},\"stats\":{},\"maintenance\":{{\"gc_runs\":{},\"sift_runs\":{},\"nodes_collected\":{},\"swaps\":{}}},\"sampler\":{{\"runs\":{},\"samples\":{}}},\"plans\":{{{plans}}}}}",
         json_str(&entry.id),
         json_str(tree_name),
         json_stats(&stats),
         m.gc_runs,
         m.sift_runs,
         m.nodes_collected,
-        m.swaps
+        m.swaps,
+        sampler.runs,
+        sampler.samples
     )
 }
 

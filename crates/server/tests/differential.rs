@@ -298,6 +298,105 @@ fn served_prob_agrees_with_probability_naive() {
 }
 
 #[test]
+fn mc_and_interval_methods_agree_with_exact_on_random_trees() {
+    use bfl_core::uncertainty::estimate_probability;
+    use bfl_core::{AnalysisSession, BflError, Method, ProbValue};
+
+    let mut rng = Prng::seed_from_u64(0xD1FF_0004);
+    for case in 0..4u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 6 + (case as usize % 3),
+            num_gates: 4 + (case as usize % 3),
+            max_children: 3,
+            vot_probability: 0.1,
+            seed: 0x5EED_3000 + case,
+        });
+        let n = tree.num_basic_events();
+        let probs: Vec<f64> = (0..n)
+            .map(|i| 0.1 + 0.7 * (i as f64) / (n as f64))
+            .collect();
+        let model = galileo::to_galileo(
+            &tree,
+            Some(&probs.iter().map(|&p| Some(p)).collect::<Vec<_>>()),
+        );
+        let session = AnalysisSession::builder()
+            .probabilities(probs.iter().map(|&p| Some(p)).collect())
+            .build(tree.clone());
+        let (names, basics) = name_vectors(&tree);
+        for draw in 0..3 {
+            let phi = random_formula(&mut rng, &names, &basics, 2);
+            let exact = quant::probability_naive(&tree, &phi, &probs).expect("naive");
+
+            // Degenerate intervals: a point-annotated model pushed
+            // through the interval walk must reproduce the exact
+            // Shannon walk bit for bit, [p, p].
+            let exact_walk = session
+                .probability_value(&phi, None, Some(Method::Exact))
+                .expect("exact walk")
+                .expect("unconditional probability is defined");
+            let interval_walk = session
+                .probability_value(&phi, None, Some(Method::Interval))
+                .expect("interval walk")
+                .expect("unconditional probability is defined");
+            match (&exact_walk, &interval_walk) {
+                (ProbValue::Exact(p), ProbValue::Interval(iv)) => {
+                    if p.to_bits() != iv.lo.to_bits() || p.to_bits() != iv.hi.to_bits() {
+                        let path = dump_failure(&model, &format!("degenerate interval: P({phi})"));
+                        panic!(
+                            "degenerate interval [{}, {}] is not bit-identical to exact {p}; \
+                             repro dumped to {}",
+                            iv.lo,
+                            iv.hi,
+                            path.display()
+                        );
+                    }
+                }
+                other => panic!("unexpected method result shapes: {other:?}"),
+            }
+
+            // Monte Carlo: the 99% CI must contain the exact value
+            // (seeded, so this can never flake), and equal
+            // (seed, samples) must be byte-identical at 1/2/8 workers.
+            let seed = 0xA5A5_0000 + case * 16 + draw;
+            let mc = |threads: usize| {
+                estimate_probability(&tree, &probs, &phi, None, &[], 20_000, seed, 0.99, threads)
+            };
+            let one = match mc(1) {
+                Ok(est) => est.expect("unconditional estimate is defined"),
+                // Minimality operators are exact-only; skip those draws.
+                Err(BflError::UnsupportedMethod { .. }) => continue,
+                Err(e) => panic!("estimator failed on P({phi}): {e}"),
+            };
+            if !(one.ci_lo <= exact && exact <= one.ci_hi) {
+                let path = dump_failure(&model, &format!("mc ci: P({phi}), seed {seed}"));
+                panic!(
+                    "99% CI [{}, {}] misses exact {exact}; repro dumped to {}",
+                    one.ci_lo,
+                    one.ci_hi,
+                    path.display()
+                );
+            }
+            for threads in [2usize, 8] {
+                let est = mc(threads)
+                    .expect("estimates")
+                    .expect("unconditional estimate is defined");
+                assert_eq!(
+                    one.hits, est.hits,
+                    "hit count diverged at {threads} workers"
+                );
+                assert_eq!(
+                    one.point.to_bits(),
+                    est.point.to_bits(),
+                    "estimate must be byte-identical at {threads} workers"
+                );
+                assert_eq!(one.ci_lo.to_bits(), est.ci_lo.to_bits());
+                assert_eq!(one.ci_hi.to_bits(), est.ci_hi.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
 fn served_conditional_prob_agrees_with_naive_ratio() {
     let handle = start_server();
     let mut client = Client::connect(handle.addr()).expect("connects");

@@ -10,7 +10,8 @@ use bfl_core::engine::ReorderPolicy;
 use bfl_core::MinimalityScope;
 use bfl_fault_tree::VariableOrdering;
 use bfl_server::{
-    Client, ErrorCode, Op, ProbTarget, Request, Response, Server, ServerConfig, SessionOptions,
+    Client, ErrorCode, Op, ProbOptions, ProbTarget, Request, Response, Server, ServerConfig,
+    SessionOptions,
 };
 
 /// A corpus of requests covering every operation and option shape.
@@ -73,6 +74,7 @@ fn request_corpus() -> Vec<Request> {
                     plan: "p1".to_string(),
                     scenario: Some("IW = 1".to_string()),
                 },
+                options: ProbOptions::default(),
             },
         ),
         Request::with_id(
@@ -83,6 +85,10 @@ fn request_corpus() -> Vec<Request> {
                     plan: "p2".to_string(),
                     scenario: None,
                 },
+                options: ProbOptions {
+                    method: Some("interval".to_string()),
+                    ..ProbOptions::default()
+                },
             },
         ),
         Request::with_id(
@@ -92,6 +98,12 @@ fn request_corpus() -> Vec<Request> {
                 target: ProbTarget::Formula {
                     formula: "MCS(IWoS)".to_string(),
                     given: Some("H1 | H2".to_string()),
+                },
+                options: ProbOptions {
+                    method: Some("mc".to_string()),
+                    samples: Some(50000),
+                    seed: Some(7),
+                    confidence: Some(0.95),
                 },
             },
         ),
@@ -201,6 +213,114 @@ fn live_responses_reparse_to_the_same_bytes() {
     ];
     for line in &lines {
         let raw = client.round_trip(line).expect("round trip");
+        let response = Response::parse(&raw).unwrap_or_else(|e| panic!("{raw}: {e}"));
+        assert_eq!(response.to_json_line(), raw, "{line}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn uncertainty_fields_flow_through_the_protocol() {
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("binds");
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let mut ask = |line: &str| -> String { client.round_trip(line).expect("round trip") };
+
+    // Session s1: ranged annotations. Exact evaluation refuses with a
+    // structured error naming the offending event; interval propagation
+    // answers with bracket fields.
+    let ranged = "toplevel T;\nT or A B;\nA prob=0.1..0.3;\nB prob=0.2;\n";
+    let raw = ask(&format!(
+        "{{\"op\":\"load\",\"model\":{}}}",
+        bfl_core::report::json_str(ranged)
+    ));
+    assert!(raw.contains("\"session\":\"s1\""), "{raw}");
+    let raw = ask("{\"op\":\"prob\",\"session\":\"s1\",\"formula\":\"T\"}");
+    assert!(raw.contains("\"code\":\"eval_error\""), "{raw}");
+    assert!(raw.contains('A'), "{raw}");
+    let raw = ask("{\"op\":\"prob\",\"session\":\"s1\",\"formula\":\"T\",\"method\":\"interval\"}");
+    assert!(
+        raw.contains("\"interval\":{\"lo\":0.28,\"hi\":0.43999999999999995}"),
+        "{raw}"
+    );
+    assert!(raw.contains("\"method\":\"interval\""), "{raw}");
+    // The compiled-plan arm carries the same fields.
+    let raw = ask("{\"op\":\"prepare\",\"session\":\"s1\",\"query\":\"P(T) >= 0.3\"}");
+    assert!(raw.contains("\"plan\":\"p1\""), "{raw}");
+    let raw = ask(
+        "{\"op\":\"prob\",\"session\":\"s1\",\"plan\":\"p1\",\"scenario\":\"A = 1\",\"method\":\"interval\"}",
+    );
+    assert!(raw.contains("\"interval\":{\"lo\":1,\"hi\":1}"), "{raw}");
+
+    // Session s2: point annotations. Monte Carlo answers carry the
+    // estimate with its confidence interval, and a warm plan repeats
+    // the estimate byte-identically (chunk-owned seed streams).
+    let point = "toplevel T;\nT and A B;\nA prob=0.1;\nB prob=0.2;\n";
+    let raw = ask(&format!(
+        "{{\"op\":\"load\",\"model\":{}}}",
+        bfl_core::report::json_str(point)
+    ));
+    assert!(raw.contains("\"session\":\"s2\""), "{raw}");
+    let mc = "{\"op\":\"prob\",\"session\":\"s2\",\"formula\":\"T\",\"method\":\"mc\",\"samples\":20000,\"seed\":7,\"confidence\":0.95}";
+    let first = ask(mc);
+    assert!(first.contains("\"estimate\":{\"point\":"), "{first}");
+    assert!(first.contains("\"confidence\":0.95"), "{first}");
+    assert!(first.contains("\"samples\":20000"), "{first}");
+    assert!(first.contains("\"method\":\"mc\""), "{first}");
+    for _ in 0..2 {
+        assert_eq!(ask(mc), first, "warm Monte Carlo answers must repeat");
+    }
+    // The sampler totals surface in the session stats.
+    let raw = ask("{\"op\":\"stats\",\"session\":\"s2\"}");
+    assert!(
+        raw.contains("\"sampler\":{\"runs\":3,\"samples\":60000}"),
+        "{raw}"
+    );
+
+    // Malformed method fields: structured bad_field errors, never a
+    // dropped connection or a silent default.
+    for (line, needle) in [
+        (
+            "{\"op\":\"prob\",\"session\":\"s2\",\"formula\":\"T\",\"method\":\"bogus\"}",
+            "unknown method `bogus`",
+        ),
+        (
+            "{\"op\":\"prob\",\"session\":\"s2\",\"formula\":\"T\",\"method\":\"exact\",\"samples\":10}",
+            "apply to method `mc`",
+        ),
+        (
+            "{\"op\":\"prob\",\"session\":\"s2\",\"formula\":\"T\",\"samples\":\"many\"}",
+            "`samples` must be a non-negative integer",
+        ),
+        (
+            "{\"op\":\"prob\",\"session\":\"s2\",\"formula\":\"T\",\"confidence\":true}",
+            "`confidence` must be a number",
+        ),
+    ] {
+        let raw = ask(line);
+        let response = Response::parse(&raw).unwrap_or_else(|e| panic!("{raw}: {e}"));
+        match response.body {
+            bfl_server::ResponseBody::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadField, "{raw}");
+                assert!(message.contains(needle), "{raw}");
+            }
+            other => panic!("expected bad_field for {line}, got {other:?}"),
+        }
+    }
+
+    // Every uncertainty-bearing response survives the client-side
+    // parse → serialise cycle byte-identically, like the rest of the
+    // protocol.
+    for line in [
+        "{\"op\":\"prob\",\"session\":\"s1\",\"formula\":\"T\",\"method\":\"interval\"}",
+        mc,
+        "{\"op\":\"stats\",\"session\":\"s2\"}",
+    ] {
+        let raw = ask(line);
         let response = Response::parse(&raw).unwrap_or_else(|e| panic!("{raw}: {e}"));
         assert_eq!(response.to_json_line(), raw, "{line}");
     }

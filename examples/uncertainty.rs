@@ -1,0 +1,64 @@
+//! The uncertainty engine: interval probability propagation for
+//! `prob = lo..hi` range annotations and the deterministic parallel
+//! Monte Carlo estimator, selected per query via `Method`.
+//!
+//! Run with: `cargo run --example uncertainty`
+
+use bfl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // e1's failure probability is only known to a range.
+    let session = AnalysisSession::builder()
+        .intervals(vec![
+            Some(ProbInterval::new(0.1, 0.3)?), // e1 ∈ [0.1, 0.3]
+            Some(ProbInterval::point(0.2)?),    // e2 known exactly
+        ])
+        .method(Method::Interval)
+        .build(bfl::ft::corpus::or2()); // Top = OR(e1, e2)
+
+    // Interval propagation: a guaranteed envelope for P(Top).
+    let phi = parse_formula("Top")?;
+    match session.probability_value(&phi, None, None)?.unwrap() {
+        ProbValue::Interval(iv) => {
+            println!("P(Top) ∈ [{}, {}] for any p(e1) ∈ [0.1, 0.3]", iv.lo, iv.hi);
+            assert!(iv.lo <= 0.28 && 0.28 <= iv.hi);
+        }
+        other => unreachable!("interval method returned {other:?}"),
+    }
+
+    // Ranged models refuse point-distribution methods (exact, mc) with
+    // a structured error instead of guessing a midpoint.
+    match session.probability_value(&phi, None, Some(Method::Exact)) {
+        Err(BflError::IntervalProbabilities { events }) => {
+            println!("exact path refused: ranged events {events:?}");
+        }
+        other => unreachable!("exact on a ranged model returned {other:?}"),
+    }
+
+    // Monte Carlo on a point-annotated model: samples status vectors
+    // directly on the tree — no BDD — with a Wilson CI. Deterministic:
+    // equal (seed, samples) are byte-identical at any thread count.
+    let mc = AnalysisSession::builder()
+        .probabilities(vec![Some(0.1), Some(0.2)])
+        .build(bfl::ft::corpus::or2());
+    let method = Method::Mc {
+        samples: 100_000,
+        seed: 7,
+        confidence: 0.99,
+    };
+    match mc.probability_value(&phi, None, Some(method))?.unwrap() {
+        ProbValue::Estimate(e) => {
+            println!(
+                "P(Top) ≈ {} ({:.0}% CI [{}, {}], {} samples)",
+                e.point,
+                100.0 * e.confidence,
+                e.ci_lo,
+                e.ci_hi,
+                e.samples
+            );
+            assert!(e.ci_lo <= 0.28 && 0.28 <= e.ci_hi); // true P(Top) = 0.28
+        }
+        other => unreachable!("mc method returned {other:?}"),
+    }
+    Ok(())
+}

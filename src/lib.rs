@@ -81,6 +81,7 @@ pub mod prelude {
     pub use bfl_core::quant::{EventImportance, ProbQuery};
     pub use bfl_core::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
     pub use bfl_core::scenario::{Scenario, ScenarioSet};
+    pub use bfl_core::uncertainty::{Estimate, Method, ProbInterval, ProbValue};
     pub use bfl_core::{
         counterexample, is_valid_counterexample, BflError, CmpOp, Counterexample, Formula,
         MinimalityScope, ModelChecker, Pattern, Prob, Query,
