@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling sweep reorder
-//! quant serve mc`. The `reorder` artifact additionally writes
+//! quant serve mc cause`. The `reorder` artifact additionally writes
 //! `BENCH_reorder.json` (node counts and timings of dynamic sifting + GC
 //! vs the static DFS order), the `quant` artifact writes
 //! `BENCH_quant.json` (warm prepared probability sweeps vs naive
@@ -20,8 +20,11 @@
 //! the Monte Carlo estimator and writes `BENCH_mc.json` (samples/sec vs
 //! worker count with a byte-identity cross-check, the MC-vs-exact error
 //! curve over growing sample budgets, and an estimate + CI on a random
-//! tree far beyond what the exact BDD path is asked to compile);
-//! `--smoke` restricts all four to small configurations for CI.
+//! tree far beyond what the exact BDD path is asked to compile), and the
+//! `cause` artifact sweeps a prepared `cause(ϕ, evidence)` plan over
+//! per-event what-if scenarios and writes `BENCH_cause.json` (causes/sec
+//! cold vs warm plan via the scenario memo, and witness counts vs tree
+//! size); `--smoke` restricts all five to small configurations for CI.
 
 use bfl_bench::{covid_properties, parse, property_6};
 use bfl_core::parser::{parse_formula, Spec};
@@ -76,6 +79,9 @@ fn main() {
     }
     if want("mc") {
         mc_bench(args.iter().any(|a| a == "--smoke"));
+    }
+    if want("cause") {
+        cause_bench(args.iter().any(|a| a == "--smoke"));
     }
 }
 
@@ -966,6 +972,158 @@ fn mc_bench(smoke: bool) {
         est.ci_hi
     );
     let path = "BENCH_mc.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
+/// CAUSE: the actual-causality layer — a prepared `cause(ϕ, evidence)`
+/// plan swept over per-event what-if scenarios, cold (filling the
+/// scenario memo, pinning + maximal-zeros per observation) vs warm
+/// (pure memo lookups), plus a recompile-per-scenario baseline through
+/// the session path. Records causes/sec and witness counts vs tree
+/// size. Writes the `BENCH_cause.json` artifact.
+fn cause_bench(smoke: bool) {
+    use bfl_core::engine::AnalysisSession;
+    use bfl_core::scenario::{Scenario, ScenarioSet};
+    use bfl_core::{Formula, Query};
+    use bfl_fault_tree::FaultTree;
+
+    banner("CAUSE — actual causes: prepared sweep (cold vs warm) vs session path");
+    let mut trees: Vec<(String, FaultTree)> = vec![
+        ("fig1".into(), corpus::fig1()),
+        ("covid".into(), corpus::covid()),
+    ];
+    if !smoke {
+        trees.push(("pressure_tank".into(), corpus::pressure_tank()));
+        trees.push(("attack_tree".into(), corpus::attack_tree()));
+        for &(nb, ng, seed) in &[(16, 10, 1u64), (24, 16, 7), (32, 20, 13)] {
+            let tree = random_tree(&RandomTreeConfig {
+                num_basic: nb,
+                num_gates: ng,
+                max_children: 3,
+                vot_probability: 0.1,
+                seed,
+            });
+            trees.push((format!("rand-{nb}x{ng}-s{seed}"), tree));
+        }
+    }
+
+    println!(
+        "{:<18} {:>6} {:>10} {:>8} {:>11} {:>11} {:>11} {:>12}",
+        "tree", "basic", "scenarios", "causes", "session ms", "cold ms", "warm ms", "warm c/s"
+    );
+    let mut rows = String::new();
+    for (name, tree) in &trees {
+        let n = tree.num_basic_events();
+        let top = Formula::atom(tree.name(tree.top()));
+        // The plan's own evidence fixes every other event as failed; the
+        // scenarios vary the remaining half (query evidence wins any
+        // conflict, so only the free half is swept). The all-failed
+        // baseline makes the witness count track the cut-set structure.
+        let names = tree.basic_event_names();
+        let evidence: Vec<(String, bool)> = names
+            .iter()
+            .step_by(2)
+            .map(|e| (e.to_string(), true))
+            .collect();
+        let free: Vec<&str> = names.iter().skip(1).step_by(2).copied().collect();
+        let query = Query::cause(top, evidence);
+        // Fail and repair each free event in turn, plus the all-failed
+        // worst case — "which repairs still leave this event causal?".
+        let mut set = ScenarioSet::new();
+        for event in &free {
+            set.push(Scenario::new().bind(*event, true));
+            set.push(Scenario::new().bind(*event, false));
+        }
+        let mut all_failed = Scenario::new();
+        for event in &free {
+            all_failed = all_failed.bind(*event, true);
+        }
+        set.push(all_failed);
+        let session = AnalysisSession::builder()
+            .witness_limit(1 << 16)
+            .build(tree.clone());
+
+        // Session path: re-check the full query per scenario (fresh
+        // restriction + enumeration each time, no plan reuse).
+        let t = std::time::Instant::now();
+        let topname = tree.name(tree.top()).to_string();
+        let mut session_causes = 0usize;
+        for s in &set {
+            let o = session
+                .check_query(&s.specialise_query(&query, &topname))
+                .expect("session cause");
+            session_causes += o.causes.as_ref().map_or(0, |r| r.causes.len());
+        }
+        let t_session = t.elapsed();
+
+        // Prepared path: compile once, sweep cold (fills the scenario
+        // memo) then warm (pure lookups).
+        let t = std::time::Instant::now();
+        let prepared = session.prepare(&query).expect("prepares");
+        let cold = prepared.sweep_causes(&set).expect("cold sweep");
+        let t_cold = t.elapsed();
+        let t = std::time::Instant::now();
+        let warm = prepared.sweep_causes(&set).expect("warm sweep");
+        let t_warm = t.elapsed();
+
+        // Cross-checks: all three passes agree, and the warm sweep never
+        // computed a fresh restriction.
+        let causes_of = |outcomes: &[bfl_core::report::Outcome]| -> usize {
+            outcomes
+                .iter()
+                .map(|o| o.causes.as_ref().map_or(0, |r| r.causes.len()))
+                .sum()
+        };
+        let total_causes = causes_of(&cold.outcomes);
+        assert_eq!(total_causes, session_causes, "{name}: paths diverged");
+        assert_eq!(total_causes, causes_of(&warm.outcomes));
+        assert_eq!(warm.stats.memo_misses, 0, "{name}: warm sweep missed");
+        let truncated = cold
+            .outcomes
+            .iter()
+            .any(|o| o.causes.as_ref().is_some_and(|r| r.truncated));
+        assert!(!truncated, "{name}: enumeration hit the witness limit");
+
+        let session_ms = t_session.as_secs_f64() * 1000.0;
+        let cold_ms = t_cold.as_secs_f64() * 1000.0;
+        let warm_ms = t_warm.as_secs_f64() * 1000.0;
+        let cold_cps = total_causes as f64 / (t_cold.as_secs_f64()).max(1e-9);
+        let warm_cps = total_causes as f64 / (t_warm.as_secs_f64()).max(1e-9);
+        println!(
+            "{:<18} {:>6} {:>10} {:>8} {:>11.3} {:>11.3} {:>11.3} {:>12.0}",
+            name,
+            n,
+            set.len(),
+            total_causes,
+            session_ms,
+            cold_ms,
+            warm_ms,
+            warm_cps
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "{{\"tree\":\"{name}\",\"basic_events\":{n},\"scenarios\":{},\
+             \"total_causes\":{total_causes},\"session_ms\":{session_ms:.3},\
+             \"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\
+             \"cold_causes_per_sec\":{cold_cps:.0},\"warm_causes_per_sec\":{warm_cps:.0},\
+             \"cold_memo_misses\":{},\"warm_memo_hits\":{}}}",
+            set.len(),
+            cold.stats.memo_misses,
+            warm.stats.memo_hits,
+        ));
+    }
+    let json = format!(
+        "{{\"artifact\":\"cause\",\"mode\":\"{}\",\
+         \"query\":\"cause(top, evens-failed)\",\"baseline\":\"recheck-per-scenario\",\
+         \"trees\":[{rows}]}}\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let path = "BENCH_cause.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),

@@ -42,6 +42,11 @@ COMMANDS:
     ibe      influencing basic events of a formula
     render   failure propagation of a status vector through the tree
     dot      Graphviz export of the tree (optionally with a vector)
+    cause    actual causes of a failing observation: the subset-minimal
+             sets of failed events whose repair flips the verdict of a
+             formula (default: the top event); --failed gives the
+             observation, an optional trailing count bounds the
+             enumeration like `causes(ϕ, E, k)`
     prob     probability of a formula (default: the top event) from the
              model's prob= annotations; a second formula argument
              conditions it: prob 'FORMULA' ['GIVEN']; see --method for
@@ -111,6 +116,8 @@ EXAMPLES:
     bfl explain --ft covid.dft 'forall VOT(>=2; H1, H2, H3, H4, H5) => IWoS'
     bfl cex --ft covid.dft --failed IW,H3,IT 'MCS(\"CP/R\")'
     bfl check --ft covid.dft 'P(IWoS | H1) <= 0.05'
+    bfl cause --ft covid.dft --failed IW,H3,PP,H1,VW IWoS
+    bfl check --ft covid.dft 'cause(IWoS, IW := 1, H3 := 1)'
     bfl prob --ft covid.dft 'MCS(IWoS)'
     bfl prob --ft ranged.dft --method interval
     bfl prob --ft huge.dft --method mc --samples 500000 --seed 7
@@ -157,6 +164,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "mcs" => cmd_mcs(&opts, true),
         "mps" => cmd_mcs(&opts, false),
         "cex" => cmd_cex(&opts),
+        "cause" => cmd_cause(&opts),
         "ibe" => cmd_ibe(&opts),
         "render" => cmd_render(&opts),
         "dot" => cmd_dot(&opts),
@@ -546,6 +554,36 @@ fn cmd_cex(opts: &Options) -> Result<String, String> {
             out.push_str(&bfl_core::render::counterexample_report(tree, &b, &v));
             Ok(out)
         }
+    }
+}
+
+fn cmd_cause(opts: &Options) -> Result<String, String> {
+    // The observation comes from --failed (everything else operational);
+    // the formula defaults to the top event, and an optional trailing
+    // count bounds the enumeration like the `causes(ϕ, E, k)` query.
+    let phi = match opts.positional.first() {
+        Some(src) => parse_formula(src).map_err(|e| e.to_string())?,
+        None => {
+            let tree = opts.session.tree();
+            bfl_core::Formula::atom(tree.name(tree.top()))
+        }
+    };
+    let evidence: Vec<(String, bool)> = opts.failed.iter().map(|n| (n.clone(), true)).collect();
+    let q = match opts.positional.get(1) {
+        Some(k) => {
+            let k: u32 = k
+                .parse()
+                .map_err(|_| format!("invalid cause count `{k}`"))?;
+            bfl_core::Query::causes(phi, evidence, k)
+        }
+        None => bfl_core::Query::cause(phi, evidence),
+    };
+    let spec = Spec::from_items([SpecItem::query(q)]);
+    let report = opts.session.run(&spec).map_err(|e| e.to_string())?;
+    if opts.json {
+        Ok(format!("{}\n", report.to_json()))
+    } else {
+        Ok(report.to_string())
     }
 }
 
@@ -1027,6 +1065,55 @@ mod tests {
         let out = run_ok(&["cex", "--ft", &f.arg(), "--failed", "A", "MCS(T)"]);
         assert!(out.contains("counterexample"), "{out}");
         assert!(out.contains("changed"), "{out}");
+    }
+
+    #[test]
+    fn cause_command() {
+        let f = write_model();
+        // AND gate with both inputs failed: repairing either one alone
+        // flips the verdict, so the two singletons are the causes.
+        let out = run_ok(&["cause", "--ft", &f.arg(), "--failed", "A,B"]);
+        assert!(out.contains("observation {A, B} is failing"), "{out}");
+        assert!(out.contains("cause {A}"), "{out}");
+        assert!(out.contains("cause {B}"), "{out}");
+        let out = run_ok(&["cause", "--ft", &f.arg(), "--failed", "A,B", "--json", "T"]);
+        assert!(out.contains("\"causes\":{"), "{out}");
+        assert!(out.contains("\"total\":2"), "{out}");
+        assert!(out.contains("\"truncated\":false"), "{out}");
+        // A trailing count bounds the enumeration and reports truncation.
+        let out = run_ok(&["cause", "--ft", &f.arg(), "--failed", "A,B", "T", "1"]);
+        assert!(out.contains("showing 1 of 2 causes"), "{out}");
+        // A non-failing observation has no causes and the query fails.
+        let out = run_ok(&["cause", "--ft", &f.arg(), "--failed", "A"]);
+        assert!(out.contains("is not failing"), "{out}");
+        assert!(out.contains("FAIL"), "{out}");
+        let args: Vec<String> = ["cause", "--ft", &f.arg(), "T", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("invalid cause count"));
+    }
+
+    #[test]
+    fn cause_queries_through_check_and_sweep() {
+        let f = write_model();
+        let out = run_ok(&["check", "--ft", &f.arg(), "cause(T, A := 1, B := 1)"]);
+        assert_eq!(out, "true\n");
+        let out = run_ok(&["check", "--ft", &f.arg(), "cause(T, A := 1)"]);
+        assert_eq!(out, "false\n");
+        // Sweeping a cause query: scenario bindings extend the evidence.
+        let scenarios =
+            tempdir::TempFile::new("baseline:\nB-failed: B = 1\nB-fixed: B = 0\n", "scenarios");
+        let out = run_ok(&[
+            "sweep",
+            "--ft",
+            &f.arg(),
+            "cause(T, A := 1)",
+            &scenarios.arg(),
+        ]);
+        assert!(out.contains("FAIL  baseline"), "{out}");
+        assert!(out.contains("PASS  B-failed"), "{out}");
+        assert!(out.contains("FAIL  B-fixed"), "{out}");
     }
 
     #[test]

@@ -403,6 +403,22 @@ pub enum Query {
     /// importance for `ϕ` (Birnbaum, criticality, Fussell-Vesely,
     /// RAW/RRW). Needs probability annotations at evaluation time.
     Importance(Formula),
+    /// `cause(ϕ, evidence)` / `causes(ϕ, evidence, k)`: the actual-causality
+    /// judgement. The evidence bindings fix an *observation* — a full
+    /// status vector with every unbound event operational — and the
+    /// engine computes the subset-minimal sets of failed events whose
+    /// joint repair (`S ↦ 0`) flips `ϕ` from holding to failing
+    /// (but-for causes, made minimal). `limit` bounds the enumeration
+    /// (`causes(…, k)`); `None` defers to the session witness limit.
+    Cause {
+        /// The formula whose failure is to be explained.
+        formula: Formula,
+        /// The observation bindings `e ↦ v` (first binding wins on
+        /// duplicates, matching scenario resolution).
+        evidence: Vec<(String, bool)>,
+        /// Enumeration bound `k` of the `causes(…, k)` form.
+        limit: Option<u32>,
+    },
 }
 
 impl Query {
@@ -462,6 +478,34 @@ impl Query {
     /// `importance(ϕ)`.
     pub fn importance(phi: Formula) -> Query {
         Query::Importance(phi)
+    }
+
+    /// `cause(ϕ, evidence)` — minimal actual causes, bounded only by the
+    /// session witness limit.
+    pub fn cause<I, S>(phi: Formula, evidence: I) -> Query
+    where
+        I: IntoIterator<Item = (S, bool)>,
+        S: Into<String>,
+    {
+        Query::Cause {
+            formula: phi,
+            evidence: evidence.into_iter().map(|(e, v)| (e.into(), v)).collect(),
+            limit: None,
+        }
+    }
+
+    /// `causes(ϕ, evidence, k)` — enumerate at most `k` minimal actual
+    /// causes.
+    pub fn causes<I, S>(phi: Formula, evidence: I, k: u32) -> Query
+    where
+        I: IntoIterator<Item = (S, bool)>,
+        S: Into<String>,
+    {
+        Query::Cause {
+            formula: phi,
+            evidence: evidence.into_iter().map(|(e, v)| (e.into(), v)).collect(),
+            limit: Some(k),
+        }
     }
 
     /// Whether evaluating the query needs probability annotations
@@ -631,6 +675,29 @@ impl fmt::Display for Query {
                 write!(f, ") {op} {bound}")
             }
             Query::Importance(p) => write!(f, "importance({p})"),
+            Query::Cause {
+                formula,
+                evidence,
+                limit,
+            } => {
+                // Bindings and the bound are comma-separated at depth 0;
+                // formulae never print a depth-0 comma, so the operand
+                // needs no parenthesisation to round-trip.
+                write!(
+                    f,
+                    "{}({formula}",
+                    if limit.is_some() { "causes" } else { "cause" }
+                )?;
+                for (e, v) in evidence {
+                    f.write_str(", ")?;
+                    write_name(f, e)?;
+                    write!(f, " := {}", if *v { 1 } else { 0 })?;
+                }
+                if let Some(k) = limit {
+                    write!(f, ", {k}")?;
+                }
+                f.write_str(")")
+            }
         }
     }
 }
@@ -750,6 +817,20 @@ mod tests {
         assert_eq!(i.to_string(), "importance(MCS(Top))");
         assert!(i.is_probabilistic());
         assert!(!Query::sup("x").is_probabilistic());
+    }
+
+    #[test]
+    fn cause_query_display() {
+        let q = Query::cause(Formula::atom("Top"), [("A", true), ("B", false)]);
+        assert_eq!(q.to_string(), "cause(Top, A := 1, B := 0)");
+        assert!(!q.is_probabilistic());
+        let k = Query::causes(Formula::atom("Top").mcs(), [("A", true)], 5);
+        assert_eq!(k.to_string(), "causes(MCS(Top), A := 1, 5)");
+        // Empty evidence and quoted binding names both render.
+        let bare = Query::cause(Formula::atom("Top"), Vec::<(String, bool)>::new());
+        assert_eq!(bare.to_string(), "cause(Top)");
+        let quoted = Query::cause(Formula::atom("T"), [("a b", true)]);
+        assert_eq!(quoted.to_string(), "cause(T, \"a b\" := 1)");
     }
 
     #[test]

@@ -493,6 +493,14 @@ impl ModelChecker {
                 let top = self.tree.name(self.tree.top()).to_string();
                 self.check_query(&Query::Idp(Formula::atom(name.clone()), Formula::atom(top)))
             }
+            Query::Cause {
+                formula, evidence, ..
+            } => {
+                // The verdict only needs the failing check and the exact
+                // cause count, not the witnesses: enumerate none.
+                let report = crate::causality::actual_causes(self, formula, evidence, 0)?;
+                Ok(report.holds())
+            }
             // Probabilistic judgements need annotations the bare checker
             // does not hold: evaluate them through
             // [`quant::check_query`](crate::quant::check_query) with an

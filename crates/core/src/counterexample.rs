@@ -169,6 +169,48 @@ pub fn all_counterexamples(
     Ok(out)
 }
 
+/// A bounded enumeration of Definition-7-valid counterexamples, with the
+/// exact total so truncation is *reported*, never silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterexampleSet {
+    /// Up to the requested limit of valid counterexamples, in
+    /// satisfaction-set order.
+    pub witnesses: Vec<StatusVector>,
+    /// The exact number of valid counterexamples that exist.
+    pub total: usize,
+    /// Whether `witnesses` was capped below `total`.
+    pub truncated: bool,
+}
+
+/// Bounded twin of [`all_counterexamples`]: up to `limit`
+/// Definition-7-valid counterexamples for `b, T ⊭ χ`, plus the exact
+/// total — the caller can always tell a complete enumeration from a
+/// truncated one. [`AnalysisSession::all_counterexamples`] calls this
+/// with the session's witness limit.
+///
+/// [`AnalysisSession::all_counterexamples`]:
+///     crate::engine::AnalysisSession::all_counterexamples
+///
+/// # Errors
+///
+/// As for [`ModelChecker::formula_bdd`].
+pub fn some_counterexamples(
+    mc: &mut ModelChecker,
+    b: &StatusVector,
+    phi: &Formula,
+    limit: usize,
+) -> Result<CounterexampleSet, BflError> {
+    let all = all_counterexamples(mc, b, phi)?;
+    let total = all.len();
+    let mut witnesses = all;
+    witnesses.truncate(limit);
+    Ok(CounterexampleSet {
+        truncated: total > witnesses.len(),
+        total,
+        witnesses,
+    })
+}
+
 /// Exhaustive baseline: all satisfying vectors at minimal Hamming distance
 /// from `b`. Exponential; used by tests and the `ablation_counterexample`
 /// bench to contextualise Algorithm 4 (which minimises per-bit necessity,

@@ -73,7 +73,7 @@ pub use bfl_fault_tree::backend::{Backend, CutSetEngine};
 
 use crate::ast::{Formula, Query};
 use crate::checker::{MinimalityScope, ModelChecker};
-use crate::counterexample::{counterexample, Counterexample};
+use crate::counterexample::{counterexample, Counterexample, CounterexampleSet};
 use crate::error::BflError;
 use crate::plan::{PlanRoots, PreparedQuery};
 use crate::quant;
@@ -879,6 +879,40 @@ impl AnalysisSession {
         outcome
     }
 
+    /// The **actual-causality judgement**: which minimal sets of failed
+    /// events actually caused `ϕ` to hold under the observation
+    /// `evidence` (bound events at their value, everything else
+    /// operational)? Equivalent to
+    /// [`check_query`](AnalysisSession::check_query) on
+    /// [`Query::cause`]; the outcome's `causes` field carries the
+    /// [`CauseReport`](crate::causality::CauseReport), with witness
+    /// enumeration capped at the session's witness limit (the exact
+    /// cause count is always reported).
+    ///
+    /// ```
+    /// use bfl_core::engine::AnalysisSession;
+    /// use bfl_core::Formula;
+    /// use bfl_fault_tree::corpus;
+    ///
+    /// # fn main() -> Result<(), bfl_core::BflError> {
+    /// let session = AnalysisSession::new(corpus::fig1());
+    /// let evidence: Vec<(String, bool)> =
+    ///     vec![("IW".into(), true), ("H3".into(), true)];
+    /// let o = session.cause(&Formula::atom("CP/R"), &evidence)?;
+    /// assert!(o.holds);
+    /// assert_eq!(o.causes.unwrap().total, 2); // {IW} and {H3}
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelChecker::formula_bdd`]; bad evidence bindings surface as
+    /// [`BflError::UnknownElement`] / [`BflError::EvidenceOnGate`].
+    pub fn cause(&self, phi: &Formula, evidence: &[(String, bool)]) -> Result<Outcome, BflError> {
+        self.check_query(&Query::cause(phi.clone(), evidence.iter().cloned()))
+    }
+
     /// Evaluates one prepared [`SpecItem`].
     ///
     /// # Errors
@@ -1022,6 +1056,28 @@ impl AnalysisSession {
         phi: &Formula,
     ) -> Result<Counterexample, BflError> {
         counterexample(&mut self.lock(), b, phi)
+    }
+
+    /// All Definition-7-valid counterexamples for `b, T ⊭ χ`, capped at
+    /// the session's witness limit. The returned set carries the exact
+    /// total, so a capped enumeration is reported as truncated rather
+    /// than passing silently as complete.
+    ///
+    /// # Errors
+    ///
+    /// As the underlying
+    /// [`some_counterexamples`](crate::counterexample::some_counterexamples).
+    pub fn all_counterexamples(
+        &self,
+        b: &StatusVector,
+        phi: &Formula,
+    ) -> Result<CounterexampleSet, BflError> {
+        crate::counterexample::some_counterexamples(
+            &mut self.lock(),
+            b,
+            phi,
+            self.inner.witness_limit,
+        )
     }
 
     /// Renders vectors as sorted lists of failed-event names.
@@ -1275,6 +1331,23 @@ impl AnalysisSession {
                         mc.bdd_size(f)
                     };
                 }
+                o
+            }
+            Query::Cause {
+                formula,
+                evidence,
+                limit,
+            } => {
+                // `cause(…)` caps witnesses at the session limit;
+                // `causes(…, k)` carries its own enumeration bound.
+                let cap = limit.map_or(self.inner.witness_limit, |k| k as usize);
+                let report = crate::causality::actual_causes(mc, formula, evidence, cap)?;
+                let mut o = Outcome::bare(label, source, report.holds());
+                o.stats.bdd_nodes = {
+                    let f = mc.formula_bdd(formula)?;
+                    mc.bdd_size(f)
+                };
+                o.causes = Some(report);
                 o
             }
             Query::Importance(phi) => {

@@ -74,6 +74,15 @@ pub enum BflError {
         /// Why the method does not apply.
         context: String,
     },
+    /// A shape-specific prepared-query entry point (e.g.
+    /// [`cause`](crate::plan::PreparedQuery::cause)) was called on a plan
+    /// compiled from a query of a different shape.
+    PlanShapeMismatch {
+        /// The shape the entry point expects (`cause`).
+        expected: &'static str,
+        /// Concrete syntax of the offending query.
+        query: String,
+    },
     /// An engine invariant was violated (a worker thread died without
     /// delivering its result, a poisoned lock left shared state
     /// unreadable). Replaces the `expect`/panic paths the sweep
@@ -124,6 +133,9 @@ impl fmt::Display for BflError {
             }
             BflError::UnsupportedMethod { method, context } => {
                 write!(f, "method `{method}` cannot answer this query: {context}")
+            }
+            BflError::PlanShapeMismatch { expected, query } => {
+                write!(f, "`{query}` is not a `{expected}` plan")
             }
             BflError::Internal { context } => {
                 write!(f, "internal engine error: {context}")
@@ -181,6 +193,12 @@ mod tests {
         }
         .to_string()
         .contains("a, b"));
+        let e = BflError::PlanShapeMismatch {
+            expected: "cause",
+            query: "exists Top".into(),
+        };
+        assert!(e.to_string().contains("exists Top"));
+        assert!(e.to_string().contains("`cause`"));
         let e = BflError::UnsupportedMethod {
             method: "mc".into(),
             context: "formula contains MCS/MPS".into(),

@@ -19,6 +19,9 @@
 //!   future-work item;
 //! * a fault-tree synthesis prototype for the Section V-E discussion
 //!   ([`synthesis`]);
+//! * an **actual-causality layer** ([`causality`]) — `cause(ϕ, evidence)`
+//!   computes the minimal event sets that actually caused a failing
+//!   observation, by BDD cofactoring and the `MPS` maximality machinery;
 //! * the **[`AnalysisSession`] engine** ([`engine`], [`report`]) — an
 //!   owned, `Send + Sync`, batch-first façade over all of the above;
 //! * **compiled query plans** ([`plan`], [`scenario`]) — prepare a
@@ -100,6 +103,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod causality;
 pub mod checker;
 pub mod counterexample;
 pub mod engine;
@@ -117,8 +121,12 @@ pub mod synthesis;
 pub mod uncertainty;
 
 pub use ast::{CmpOp, Formula, Prob, Query};
+pub use causality::{ActualCause, CauseReport};
 pub use checker::{MinimalityScope, ModelChecker};
-pub use counterexample::{counterexample, is_valid_counterexample, Counterexample};
+pub use counterexample::{
+    counterexample, is_valid_counterexample, some_counterexamples, Counterexample,
+    CounterexampleSet,
+};
 pub use engine::{
     AnalysisSession, Backend, MaintenanceReport, MaintenanceStats, ReorderPolicy, SamplerStats,
     SessionBuilder,

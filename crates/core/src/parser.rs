@@ -11,6 +11,9 @@
 //!          | 'SUP' '(' name ')'
 //!          | 'P' '(' formula ('|' formula)? ')' cmp prob
 //!          | 'importance' '(' formula ')'
+//!          | 'cause' '(' formula (',' binding)* ')'
+//!          | 'causes' '(' formula (',' binding)* ',' nat ')'
+//! binding := name (':=' | '=' | '↦') bit
 //! prob    := a decimal in [0, 1], e.g. '0.01', '1', '2.5e-3'
 //! formula := iff
 //! iff     := imp (('<=>' | '≡' | '!=' | '≢') imp)*        (left-assoc)
@@ -34,9 +37,9 @@
 //! disjunction — parenthesise to disambiguate (`P((a | b)) >= 0.1` is a
 //! disjunction bound, `P(a | b) >= 0.1` a conditional). The
 //! pretty-printer always emits the parenthesised form for such operands.
-//! `P` and `importance` are recognised positionally (a name followed by
-//! `(` at the head of a query), so fault-tree elements named `P` or
-//! `importance` remain usable as atoms everywhere.
+//! `P`, `importance`, `cause` and `causes` are recognised positionally (a
+//! name followed by `(` at the head of a query), so fault-tree elements
+//! with those names remain usable as atoms everywhere.
 //!
 //! # Example
 //!
@@ -508,9 +511,11 @@ impl Parser {
                 self.expect(&Tok::RParen)?;
                 Ok(Query::Importance(f))
             }
+            _ if self.peek_call("cause") => self.parse_cause_query(false),
+            _ if self.peek_call("causes") => self.parse_cause_query(true),
             _ => Err(self.error_here(
                 "expected a layer-2 query (`exists`, `forall`, `IDP(…)`, `SUP(…)`, \
-                 `P(…) ▷◁ p` or `importance(…)`)",
+                 `P(…) ▷◁ p`, `importance(…)`, `cause(…)` or `causes(…, k)`)",
             )),
         }
     }
@@ -583,6 +588,99 @@ impl Parser {
             given,
             op,
             bound,
+        })
+    }
+
+    /// `cause '(' formula (',' binding)* ')'` and
+    /// `causes '(' formula (',' binding)* ',' nat ')'` where
+    /// `binding := name (':=' | '=' | '↦') bit`. The operand and the
+    /// bindings are delimited by scanning for depth-0 commas and the
+    /// matching `)` — formulae never print a depth-0 comma, so the split
+    /// is unambiguous (same technique as [`Parser::parse_prob_query`]).
+    fn parse_cause_query(&mut self, bounded: bool) -> Result<Query, ParseError> {
+        let head = if bounded { "causes" } else { "cause" };
+        self.bump(); // `cause` / `causes`
+        self.expect(&Tok::LParen)?;
+        let open = self.pos;
+        let mut depth: i64 = 0;
+        let mut cuts = Vec::new();
+        let mut close = None;
+        for i in open..self.tokens.len() {
+            match &self.tokens[i].tok {
+                Tok::LParen | Tok::LBracket => depth += 1,
+                Tok::RParen if depth == 0 => {
+                    close = Some(i);
+                    break;
+                }
+                Tok::RParen | Tok::RBracket => depth -= 1,
+                Tok::Comma if depth == 0 => cuts.push(i),
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            self.pos = self.tokens.len();
+            return Err(self.error_here(format!("expected `)` closing `{head}(`")));
+        };
+        let formula = self.parse_operand_range(open, cuts.first().copied().unwrap_or(close))?;
+        // The comma-separated tail: evidence bindings, plus (for
+        // `causes`) the trailing enumeration bound.
+        let mut segments: Vec<(usize, usize)> = cuts
+            .iter()
+            .enumerate()
+            .map(|(i, &cut)| (cut + 1, cuts.get(i + 1).copied().unwrap_or(close)))
+            .collect();
+        let limit = if bounded {
+            let Some(&(a, b)) = segments.last() else {
+                self.pos = close;
+                return Err(self.error_here("`causes(…)` needs a trailing enumeration bound `k`"));
+            };
+            self.pos = a;
+            let k = match self.bump() {
+                Some(Tok::Number(n)) if self.pos == b => n,
+                _ => {
+                    self.pos = a;
+                    return Err(self.error_here(
+                        "expected the enumeration bound `k` (a bare number) as the \
+                         last argument of `causes(…)`",
+                    ));
+                }
+            };
+            segments.pop();
+            Some(k)
+        } else {
+            None
+        };
+        let mut evidence = Vec::with_capacity(segments.len());
+        for (a, b) in segments {
+            self.pos = a;
+            let name = self.parse_name()?;
+            match self.peek() {
+                Some(Tok::Assign) | Some(Tok::EqCmp) => {
+                    self.bump();
+                }
+                _ => return Err(self.error_here("expected `:=` or `=` in the evidence binding")),
+            }
+            let value = match self.bump() {
+                Some(Tok::Number(0)) | Some(Tok::KwFalse) => false,
+                Some(Tok::Number(1)) | Some(Tok::KwTrue) => true,
+                Some(t) => {
+                    self.pos -= 1;
+                    return Err(self.error_here(format!(
+                        "expected evidence value `0`, `1`, `true` or `false`, found {t}"
+                    )));
+                }
+                None => return Err(self.error_here("expected evidence value, found end of input")),
+            };
+            if self.pos != b {
+                return Err(self.error_here("unexpected trailing input in the evidence binding"));
+            }
+            evidence.push((name, value));
+        }
+        self.pos = close + 1;
+        Ok(Query::Cause {
+            formula,
+            evidence,
+            limit,
         })
     }
 
@@ -857,7 +955,9 @@ pub fn parse_spec(input: &str) -> Result<Spec, ParseError> {
         p.peek(),
         Some(Tok::KwExists) | Some(Tok::KwForall) | Some(Tok::KwIdp) | Some(Tok::KwSup)
     ) || p.peek_call("P")
-        || p.peek_call("importance");
+        || p.peek_call("importance")
+        || p.peek_call("cause")
+        || p.peek_call("causes");
     let spec = if is_query {
         Spec::Query(p.parse_query()?)
     } else {
@@ -1032,6 +1132,85 @@ mod tests {
             let printed = q.to_string();
             assert_eq!(parse_query(&printed).unwrap(), q, "printed as `{printed}`");
         }
+    }
+
+    #[test]
+    fn cause_queries() {
+        let q = parse_query("cause(Top, A := 1, B := 0)").unwrap();
+        assert_eq!(
+            q,
+            Query::cause(Formula::atom("Top"), [("A", true), ("B", false)])
+        );
+        // `=` and `↦` are accepted alongside `:=`; values may be words.
+        let q2 = parse_query("cause(Top, A = true, B ↦ false)").unwrap();
+        assert_eq!(
+            q2,
+            Query::cause(Formula::atom("Top"), [("A", true), ("B", false)])
+        );
+        // Bounded enumeration: trailing bare number is the bound.
+        let k = parse_query("causes(MCS(Top), A := 1, 5)").unwrap();
+        assert_eq!(
+            k,
+            Query::causes(Formula::atom("Top").mcs(), [("A", true)], 5)
+        );
+        // Empty evidence is allowed in both forms.
+        assert_eq!(
+            parse_query("cause(Top)").unwrap(),
+            Query::cause(Formula::atom("Top"), Vec::<(String, bool)>::new())
+        );
+        assert_eq!(
+            parse_query("causes(Top, 3)").unwrap(),
+            Query::causes(Formula::atom("Top"), Vec::<(String, bool)>::new(), 3)
+        );
+        // Commas inside the operand (VOT, evidence brackets) do not cut.
+        let v = parse_query("cause(VOT(>=2; a, b, c), a := 1)").unwrap();
+        assert!(matches!(v, Query::Cause { ref evidence, .. } if evidence.len() == 1));
+        assert!(parse_query("cause(Top[e := 1], A := 1)").is_ok());
+    }
+
+    #[test]
+    fn cause_query_errors() {
+        assert!(parse_query("cause(Top").is_err());
+        assert!(parse_query("cause(Top, A)").is_err());
+        assert!(parse_query("cause(Top, A := 2)").is_err());
+        assert!(parse_query("cause(Top, A := 1 x)").is_err());
+        // `causes` insists on the trailing bound; `cause` rejects one.
+        assert!(parse_query("causes(Top, A := 1)").is_err());
+        assert!(parse_query("causes(Top)").is_err());
+        assert!(parse_query("cause(Top, 5)").is_err());
+        let e = parse_query("causes(Top, A := 1)").unwrap_err();
+        assert!(e.message.contains("bound"), "{e}");
+    }
+
+    #[test]
+    fn cause_query_round_trips() {
+        for src in [
+            "cause(Top)",
+            "cause(Top, A := 1)",
+            "cause(MCS(Top) & H4, A := 1, B := 0)",
+            "causes(Top, 3)",
+            "causes(VOT(>=2; a, b, c), a := 1, b := 1, 7)",
+            "cause(\"a b\", \"c d\" := 1)",
+        ] {
+            let q = parse_query(src).unwrap();
+            let printed = q.to_string();
+            assert_eq!(parse_query(&printed).unwrap(), q, "printed as `{printed}`");
+        }
+    }
+
+    #[test]
+    fn cause_spec_dispatch() {
+        assert!(matches!(
+            parse_spec("cause(Top, A := 1)").unwrap(),
+            Spec::Query(Query::Cause { .. })
+        ));
+        assert!(matches!(
+            parse_spec("causes(Top, 2)").unwrap(),
+            Spec::Query(Query::Cause { limit: Some(2), .. })
+        ));
+        // Bare atoms named `cause`/`causes` stay formulae.
+        assert!(matches!(parse_spec("cause & x").unwrap(), Spec::Formula(_)));
+        assert!(matches!(parse_spec("causes").unwrap(), Spec::Formula(_)));
     }
 
     #[test]

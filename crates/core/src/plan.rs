@@ -308,6 +308,10 @@ enum Compiled {
     },
     /// `importance(ϕ)`.
     Importance { root: Bdd },
+    /// `cause(ϕ, evidence)` / `causes(ϕ, evidence, k)`: the observation
+    /// (query evidence + scenario bindings) and the enumeration bound
+    /// live in the stored [`Query`]; the compiled root is just `B(ϕ)`.
+    Cause { root: Bdd },
 }
 
 /// The remappable root slots of one prepared query.
@@ -349,7 +353,9 @@ impl PlanRoots {
     /// Appends this query's root handles (in slot order) to `out`.
     pub(crate) fn extend_roots(&self, out: &mut Vec<Bdd>) {
         match self.snapshot() {
-            Compiled::Quantifier { root, .. } | Compiled::Importance { root } => out.push(root),
+            Compiled::Quantifier { root, .. }
+            | Compiled::Importance { root }
+            | Compiled::Cause { root } => out.push(root),
             Compiled::Independence { left, right } => {
                 out.push(left);
                 out.push(right);
@@ -368,7 +374,9 @@ impl PlanRoots {
     pub(crate) fn set_roots(&self, roots: &[Bdd]) {
         let mut c = self.compiled.lock().unwrap_or_else(|e| e.into_inner());
         match &mut *c {
-            Compiled::Quantifier { root, .. } | Compiled::Importance { root } => *root = roots[0],
+            Compiled::Quantifier { root, .. }
+            | Compiled::Importance { root }
+            | Compiled::Cause { root } => *root = roots[0],
             Compiled::Independence { left, right } => {
                 *left = roots[0];
                 *right = roots[1];
@@ -393,6 +401,7 @@ struct CachedEval {
     shared_events: Vec<String>,
     probability: Option<f64>,
     importance: Vec<quant::EventImportance>,
+    causes: Option<crate::causality::CauseReport>,
     bdd_nodes: usize,
     arena_nodes: usize,
 }
@@ -406,6 +415,7 @@ impl CachedEval {
             shared_events: Vec::new(),
             probability: None,
             importance: Vec::new(),
+            causes: None,
             bdd_nodes,
             arena_nodes,
         }
@@ -564,6 +574,22 @@ impl PreparedQuery {
                     !phi.has_minimality_operator(),
                 )
             }
+            Query::Cause {
+                formula, evidence, ..
+            } => {
+                // Validate the query's own evidence at prepare time so a
+                // bad binding fails here, not on first eval; the bindings
+                // themselves are applied per scenario (observationally —
+                // they do not restrict the compiled root).
+                crate::semantics::observation_vector(&inner.tree, evidence)?;
+                let (op_plan, root) = compile_operand(&mut mc, "operand", formula)?;
+                (
+                    Compiled::Cause { root },
+                    "cause",
+                    vec![op_plan],
+                    !formula.has_minimality_operator(),
+                )
+            }
         };
         // The `prepare` stats describe the compile alone: snapshot them
         // before the prepare-time maintenance, which reports separately.
@@ -638,10 +664,20 @@ impl PreparedQuery {
 
     /// Resolves a scenario's bindings against the tree: basic indices,
     /// first-binding-wins for repeated events, sorted for memo keying.
+    ///
+    /// `cause` plans carry evidence of their own; it is prepended so it
+    /// wins conflicts with scenario bindings, and so a scenario-extended
+    /// observation and a query spelling the same evidence inline share
+    /// one memo entry.
     fn resolve(&self, scenario: &Scenario) -> Result<Vec<(usize, bool)>, BflError> {
         let tree = &self.inner.tree;
-        let mut resolved: Vec<(usize, bool)> = Vec::with_capacity(scenario.bindings().len());
-        for (name, value) in scenario.bindings() {
+        let own: &[(String, bool)] = match &self.query {
+            Query::Cause { evidence, .. } => evidence,
+            _ => &[],
+        };
+        let mut resolved: Vec<(usize, bool)> =
+            Vec::with_capacity(own.len() + scenario.bindings().len());
+        for (name, value) in own.iter().chain(scenario.bindings()) {
             let e = tree
                 .element(name)
                 .ok_or_else(|| BflError::UnknownElement(name.clone()))?;
@@ -750,6 +786,7 @@ impl PreparedQuery {
         o.shared_events = cached.shared_events;
         o.probability = cached.probability;
         o.importance = cached.importance;
+        o.causes = cached.causes;
         o.stats = EvalStats {
             bdd_nodes: cached.bdd_nodes,
             arena_nodes: cached.arena_nodes,
@@ -863,6 +900,25 @@ impl PreparedQuery {
                 // Unreachable: `eval`/`sweep` fetch the vector first.
                 None => CachedEval::bare(false, 0, mc.manager().arena_size()),
             },
+            Compiled::Cause { root } => {
+                // The resolved key IS the observation: bound events at
+                // their value, everything else operational. The causality
+                // core pins the non-failed events itself, so no separate
+                // restriction pass is needed.
+                let mut b = StatusVector::all_operational(self.inner.tree.num_basic_events());
+                for &(bi, v) in key {
+                    b.set(bi, v);
+                }
+                let cap = match &self.query {
+                    Query::Cause { limit: Some(k), .. } => *k as usize,
+                    _ => limit,
+                };
+                let report = crate::causality::causes_from_bdd(&mut mc, root, &b, cap);
+                let mut c =
+                    CachedEval::bare(report.holds(), mc.bdd_size(root), mc.manager().arena_size());
+                c.causes = Some(report);
+                c
+            }
             Compiled::Importance { root } => match probs {
                 Some(probs) => {
                     let r = mc
@@ -1057,6 +1113,59 @@ impl PreparedQuery {
     }
 
     // ------------------------------------------------------------------
+    // Causality on compiled plans.
+    // ------------------------------------------------------------------
+
+    /// Whether the plan compiles a `cause(…)` / `causes(…, k)` judgement —
+    /// the shape [`PreparedQuery::cause`] and
+    /// [`PreparedQuery::sweep_causes`] operate on.
+    pub fn is_cause_plan(&self) -> bool {
+        matches!(self.roots.snapshot(), Compiled::Cause { .. })
+    }
+
+    /// Evaluates a `cause(…)` plan under one scenario: the scenario's
+    /// bindings **extend the observation** (the query's own evidence wins
+    /// conflicts), the compiled `B(ϕ)` is cofactored on the non-failed
+    /// events, and the minimal actual causes come out of the `MPS`
+    /// maximality machinery — memoised in the plan's scenario memo, so
+    /// repeated observations are pure lookups. The outcome's `causes`
+    /// field carries the [`CauseReport`](crate::causality::CauseReport).
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::PlanShapeMismatch`] when the plan was not prepared
+    /// from a `cause(…)` query; binding resolution errors as for
+    /// [`PreparedQuery::eval`].
+    pub fn cause(&self, scenario: &Scenario) -> Result<Outcome, BflError> {
+        if !self.is_cause_plan() {
+            return Err(BflError::PlanShapeMismatch {
+                expected: "cause",
+                query: self.source.clone(),
+            });
+        }
+        self.eval(scenario)
+    }
+
+    /// **Sweeps causes**: [`PreparedQuery::cause`] for every scenario of
+    /// the set, fanned across the same `std::thread::scope` workers and
+    /// scenario memo as [`PreparedQuery::sweep`] — a warm sweep over seen
+    /// observations is pure cache lookups.
+    ///
+    /// # Errors
+    ///
+    /// [`BflError::PlanShapeMismatch`] on non-`cause` plans; otherwise as
+    /// for [`PreparedQuery::sweep`].
+    pub fn sweep_causes(&self, set: &ScenarioSet) -> Result<SweepReport, BflError> {
+        if !self.is_cause_plan() {
+            return Err(BflError::PlanShapeMismatch {
+                expected: "cause",
+                query: self.source.clone(),
+            });
+        }
+        self.sweep(set)
+    }
+
+    // ------------------------------------------------------------------
     // Probability on compiled plans.
     // ------------------------------------------------------------------
 
@@ -1081,7 +1190,10 @@ impl PreparedQuery {
     /// has (effectively) zero probability under the scenario; binding
     /// resolution errors as for [`PreparedQuery::eval`].
     pub fn probability(&self, scenario: &Scenario) -> Result<f64, BflError> {
-        if matches!(self.roots.snapshot(), Compiled::Independence { .. }) {
+        if matches!(
+            self.roots.snapshot(),
+            Compiled::Independence { .. } | Compiled::Cause { .. }
+        ) {
             return Err(BflError::UnsupportedProbability {
                 query: self.source.clone(),
             });
@@ -1125,7 +1237,10 @@ impl PreparedQuery {
         scenario: &Scenario,
         method: Option<Method>,
     ) -> Result<Option<ProbValue>, BflError> {
-        if matches!(self.roots.snapshot(), Compiled::Independence { .. }) {
+        if matches!(
+            self.roots.snapshot(),
+            Compiled::Independence { .. } | Compiled::Cause { .. }
+        ) {
             return Err(BflError::UnsupportedProbability {
                 query: self.source.clone(),
             });
@@ -1142,9 +1257,11 @@ impl PreparedQuery {
         match &self.query {
             Query::Prob { formula, given, .. } => Ok((formula, given.as_ref())),
             Query::Exists(phi) | Query::Forall(phi) | Query::Importance(phi) => Ok((phi, None)),
-            Query::Idp(..) | Query::Sup(..) => Err(BflError::UnsupportedProbability {
-                query: self.source.clone(),
-            }),
+            Query::Idp(..) | Query::Sup(..) | Query::Cause { .. } => {
+                Err(BflError::UnsupportedProbability {
+                    query: self.source.clone(),
+                })
+            }
         }
     }
 
@@ -1206,9 +1323,9 @@ impl PreparedQuery {
                             }
                         }
                     }
-                    // `probability_value` rejects independence plans
-                    // before resolving.
-                    Compiled::Independence { .. } => None,
+                    // `probability_value` rejects independence and cause
+                    // plans before resolving.
+                    Compiled::Independence { .. } | Compiled::Cause { .. } => None,
                 };
                 self.inner.maybe_maintain(&mut mc);
                 drop(mc);
@@ -1306,8 +1423,9 @@ impl PreparedQuery {
                 self.prob_judge_locked(&mut mc, joint, given, op, bound, &assignments, probs)
                     .0
             }
-            // Callers reject independence plans before resolving.
-            Compiled::Independence { .. } => ProbEval {
+            // Callers reject independence and cause plans before
+            // resolving.
+            Compiled::Independence { .. } | Compiled::Cause { .. } => ProbEval {
                 probability: None,
                 holds: None,
             },
@@ -1352,7 +1470,10 @@ impl PreparedQuery {
         set: &ScenarioSet,
         method: Option<Method>,
     ) -> Result<ProbSweepReport, BflError> {
-        if matches!(self.roots.snapshot(), Compiled::Independence { .. }) {
+        if matches!(
+            self.roots.snapshot(),
+            Compiled::Independence { .. } | Compiled::Cause { .. }
+        ) {
             return Err(BflError::UnsupportedProbability {
                 query: self.source.clone(),
             });

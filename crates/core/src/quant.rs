@@ -190,6 +190,8 @@ pub fn probability_interval(
 /// Interval twin of [`conditional_probability`]: bounds on
 /// `P(ϕ | ψ) = P(ϕ ∧ ψ) / P(ψ)` by interval division,
 /// `[joint.lo / base.hi, joint.hi / base.lo]` clamped to `[0, 1]`.
+/// The division is correlation-oblivious — see the caveat on
+/// [`ProbInterval`] — so the bounds are sound but not tight.
 ///
 /// Returns `None` when even the *largest* conditioning probability in
 /// the bounds (`P(ψ).hi`) falls below
@@ -636,6 +638,41 @@ mod tests {
         )
         .unwrap();
         assert!((ok.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_interval_division_clamps_to_unit() {
+        // P(Top | e2) on or2 with P(e1) ∈ [0.1, 0.9], P(e2) = [0.5, 0.5]:
+        // joint = P(Top ∧ e2) = P(e2) = 0.5 exactly, but the
+        // correlation-oblivious division pairs joint.hi = 0.5 with
+        // base.lo = 0.5 → fine; force an overflow with e2 ∈ [0.1, 0.9]:
+        // joint = P(e2) ∈ [0.1, 0.9], base = P(e2) ∈ [0.1, 0.9], so the
+        // raw upper bound is 0.9 / 0.1 = 9 and must clamp to 1.
+        let tree = corpus::or2();
+        let mut mc = ModelChecker::new(&tree);
+        let ivs = [
+            ProbInterval::new(0.2, 0.4).unwrap(),
+            ProbInterval::new(0.1, 0.9).unwrap(),
+        ];
+        let iv = conditional_probability_interval(
+            &mut mc,
+            &Formula::atom("Top"),
+            &Formula::atom("e2"),
+            &ivs,
+        )
+        .unwrap()
+        .unwrap();
+        // The true conditional is exactly 1 under every annotation
+        // choice; the clamped envelope must be well-formed, contain it,
+        // and never leave [0, 1].
+        assert!(iv.lo <= iv.hi, "inverted envelope {iv}");
+        assert!((0.0..=1.0).contains(&iv.lo) && (0.0..=1.0).contains(&iv.hi));
+        assert!((iv.hi - 1.0).abs() < 1e-12, "envelope {iv} excludes 1");
+        // The raw division helper clamps on both ends.
+        let joint = ProbInterval::new(0.1, 0.9).unwrap();
+        let base = ProbInterval::new(0.1, 0.9).unwrap();
+        let c = interval_conditional(joint, base).unwrap();
+        assert!((c.hi - 1.0).abs() < f64::EPSILON && c.lo >= 0.0);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use bfl_fault_tree::{FaultTree, StatusVector};
 
 use crate::ast::{Formula, Query};
+use crate::causality::CauseReport;
 use crate::counterexample::Counterexample;
 use crate::parser::{self, ParseError};
 use crate::quant::EventImportance;
@@ -311,6 +312,10 @@ pub struct Outcome {
     pub method: Option<Method>,
     /// For `importance(ϕ)` judgements: the ranked importance table.
     pub importance: Vec<EventImportance>,
+    /// For `cause(…)` / `causes(…, k)` judgements: the observation, the
+    /// minimal actual causes with their repaired-observation witnesses,
+    /// and the exact cause count (`None` for other question shapes).
+    pub causes: Option<CauseReport>,
     /// Evaluation statistics.
     pub stats: EvalStats,
 }
@@ -332,6 +337,7 @@ impl Outcome {
             estimate: None,
             method: None,
             importance: Vec::new(),
+            causes: None,
             stats: EvalStats::default(),
         }
     }
@@ -476,8 +482,40 @@ pub fn json_outcome(tree: &FaultTree, o: &Outcome) -> String {
         ",\"importance\":{}",
         json_importance(&o.importance)
     ));
+    match &o.causes {
+        Some(r) => out.push_str(&format!(",\"causes\":{}", json_causes(tree, r))),
+        None => out.push_str(",\"causes\":null"),
+    }
     out.push_str(&format!(",\"stats\":{}", json_stats(&o.stats)));
     out.push('}');
+    out
+}
+
+/// Serialises a [`CauseReport`] as a JSON object (vectors rendered as
+/// failed-event name lists against `tree`) — the `causes` schema shared
+/// by the report writers and the `bfl-server` `cause` endpoint.
+pub fn json_causes(tree: &FaultTree, r: &CauseReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"observation\":{}",
+        json_names(&r.observation.failed_names(tree))
+    ));
+    out.push_str(&format!(",\"failing\":{}", r.failing));
+    out.push_str(&format!(",\"total\":{}", r.total));
+    out.push_str(&format!(",\"truncated\":{}", r.truncated));
+    out.push_str(",\"sets\":[");
+    for (i, c) in r.causes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let events: Vec<&str> = c.events.iter().map(String::as_str).collect();
+        out.push_str(&format!(
+            "{{\"events\":{},\"witness\":{}}}",
+            json_names(&events),
+            json_names(&c.witness.failed_names(tree))
+        ));
+    }
+    out.push_str("]}");
     out
 }
 
@@ -633,6 +671,29 @@ impl fmt::Display for Report {
             }
             for r in &o.importance {
                 writeln!(f, "      {}", importance_row(r))?;
+            }
+            if let Some(r) = &o.causes {
+                writeln!(
+                    f,
+                    "      observation {{{}}} {}",
+                    self.failed_names(&r.observation).join(", "),
+                    if r.failing {
+                        "is failing"
+                    } else {
+                        "is not failing"
+                    }
+                )?;
+                for c in &r.causes {
+                    writeln!(
+                        f,
+                        "      cause {{{}}} · repaired {{{}}} no longer fails",
+                        c.events.join(", "),
+                        self.failed_names(&c.witness).join(", ")
+                    )?;
+                }
+                if r.truncated {
+                    writeln!(f, "      showing {} of {} causes", r.causes.len(), r.total)?;
+                }
             }
         }
         writeln!(

@@ -154,6 +154,23 @@ impl Scenario {
                 bound: *bound,
             },
             Query::Importance(phi) => Query::Importance(self.specialise(phi)),
+            // Causality evidence is *observational*, not counterfactual:
+            // scenario bindings extend the observation instead of
+            // wrapping ϕ, and the query's own evidence wins conflicts
+            // (first binding wins).
+            Query::Cause {
+                formula,
+                evidence,
+                limit,
+            } => Query::Cause {
+                formula: formula.clone(),
+                evidence: evidence
+                    .iter()
+                    .cloned()
+                    .chain(self.bindings.iter().cloned())
+                    .collect(),
+                limit: *limit,
+            },
         }
     }
 

@@ -183,6 +183,17 @@ pub fn eval_query(tree: &FaultTree, psi: &Query) -> Result<bool, BflError> {
                 &Query::Idp(Formula::atom(name.clone()), Formula::atom(top)),
             )
         }
+        Query::Cause {
+            formula, evidence, ..
+        } => {
+            // `T ⊨ cause(ϕ, E)` iff the observation is failing and at
+            // least one actual cause exists (always true for a failing
+            // observation of a monotone ϕ; the separate conjunct matters
+            // for non-monotone formulae, where un-failing events can be
+            // unable to flip the verdict).
+            let causes = actual_causes_naive(tree, formula, evidence)?;
+            Ok(!causes.is_empty())
+        }
         // Probabilistic judgements need annotations; the reference layer
         // is purely Boolean. `quant::probability_naive` is the reference
         // for the quantitative layer.
@@ -194,6 +205,102 @@ pub fn eval_query(tree: &FaultTree, psi: &Query) -> Result<bool, BflError> {
                 .collect(),
         }),
     }
+}
+
+/// The observation vector of a causality query: every bound event at its
+/// bound value (first binding wins, matching scenario resolution), every
+/// unbound event operational.
+///
+/// # Errors
+///
+/// * [`BflError::UnknownElement`] if a bound name is not in the tree;
+/// * [`BflError::EvidenceOnGate`] if a binding targets an intermediate
+///   event.
+pub fn observation_vector(
+    tree: &FaultTree,
+    evidence: &[(String, bool)],
+) -> Result<StatusVector, BflError> {
+    let n = tree.num_basic_events();
+    let mut b = StatusVector::all_operational(n);
+    let mut bound = vec![false; n];
+    for (name, value) in evidence {
+        let e = tree
+            .element(name)
+            .ok_or_else(|| BflError::UnknownElement(name.clone()))?;
+        let bi = tree
+            .basic_index(e)
+            .ok_or_else(|| BflError::EvidenceOnGate(name.clone()))?;
+        if !bound[bi] {
+            bound[bi] = true;
+            b.set(bi, *value);
+        }
+    }
+    Ok(b)
+}
+
+/// The minimal actual causes of `ϕ` under `evidence`, by brute force:
+/// every subset-minimal `S ⊆ failed(b)` whose joint repair `b[S↦0]`
+/// un-satisfies `ϕ`, as sorted basic-index sets (shortest first, then
+/// lexicographic). This is the executable ground truth the BDD engine in
+/// [`crate::causality`] is differentially tested against.
+///
+/// Returns the empty list when the observation is not failing (`b ⊭ ϕ`),
+/// or when no repair of failed events can flip the verdict (possible for
+/// non-monotone `ϕ`).
+///
+/// # Errors
+///
+/// Everything [`eval`] and [`observation_vector`] report, plus
+/// [`BflError::TooLarge`] when the tree exceeds [`NAIVE_LIMIT`] basic
+/// events.
+pub fn actual_causes_naive(
+    tree: &FaultTree,
+    phi: &Formula,
+    evidence: &[(String, bool)],
+) -> Result<Vec<Vec<usize>>, BflError> {
+    let n = tree.num_basic_events();
+    if n > NAIVE_LIMIT {
+        return Err(BflError::TooLarge {
+            actual: n,
+            limit: NAIVE_LIMIT,
+        });
+    }
+    let b = observation_vector(tree, evidence)?;
+    if !eval(tree, &b, phi)? {
+        return Ok(Vec::new());
+    }
+    let failed = b.failed_indices();
+    let k = failed.len();
+    assert!(k < 26, "too many failures for exhaustive cause enumeration");
+    // Every but-for cause: a non-empty repair set that flips the verdict.
+    let mut but_for: Vec<u32> = Vec::new();
+    for mask in 1..(1u32 << k) {
+        let mut v = b.clone();
+        for (j, &idx) in failed.iter().enumerate() {
+            if (mask >> j) & 1 == 1 {
+                v.set(idx, false);
+            }
+        }
+        if !eval(tree, &v, phi)? {
+            but_for.push(mask);
+        }
+    }
+    // Keep the subset-minimal ones.
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for &m in &but_for {
+        if but_for.iter().all(|&o| o == m || (o & m) != o) {
+            out.push(
+                failed
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| (m >> j) & 1 == 1)
+                    .map(|(_, &idx)| idx)
+                    .collect(),
+            );
+        }
+    }
+    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    Ok(out)
 }
 
 /// The influencing basic events `IBE(ϕ)` by the definition of
@@ -380,6 +487,69 @@ mod tests {
         assert!(!eval(&tree, &b, &Formula::vot(CmpOp::Gt, 2, ops.clone())).unwrap());
         assert!(eval(&tree, &b, &Formula::vot(CmpOp::Le, 2, ops.clone())).unwrap());
         assert!(!eval(&tree, &b, &Formula::vot(CmpOp::Lt, 2, ops)).unwrap());
+    }
+
+    #[test]
+    fn naive_causes_on_fig1() {
+        let tree = corpus::fig1();
+        let ev = |names: &[&str]| -> Vec<(String, bool)> {
+            names.iter().map(|e| (e.to_string(), true)).collect()
+        };
+        // All four events failed: flipping CP/R = OR(AND, AND) needs one
+        // repair per conjunct — four minimal causes of size two.
+        let phi = Formula::atom("CP/R");
+        let causes = actual_causes_naive(&tree, &phi, &ev(&["IW", "H3", "IT", "H2"])).unwrap();
+        assert_eq!(causes.len(), 4);
+        assert!(causes.iter().all(|s| s.len() == 2));
+        // Only one conjunct failing: either of its events is a singleton
+        // cause on its own.
+        let causes = actual_causes_naive(&tree, &phi, &ev(&["IW", "H3"])).unwrap();
+        assert_eq!(causes.len(), 2);
+        assert!(causes.iter().all(|s| s.len() == 1));
+        // Non-failing observation: no causes, and the query does not hold.
+        assert!(actual_causes_naive(&tree, &phi, &ev(&["IW"]))
+            .unwrap()
+            .is_empty());
+        let q = Query::cause(phi.clone(), [("IW".to_string(), true)]);
+        assert!(!eval_query(&tree, &q).unwrap());
+        // Failing observation with a cause: the query holds.
+        let q = Query::cause(phi, [("IW".to_string(), true), ("H3".to_string(), true)]);
+        assert!(eval_query(&tree, &q).unwrap());
+    }
+
+    #[test]
+    fn naive_causes_non_monotone() {
+        let tree = corpus::fig1();
+        // ϕ = IW ⊕ H3: failing with only IW failed, repaired by {IW}.
+        let phi = Formula::atom("IW").neq(Formula::atom("H3"));
+        let causes = actual_causes_naive(&tree, &phi, &[("IW".to_string(), true)]).unwrap();
+        assert_eq!(causes, vec![vec![0]]);
+        // ¬IW fails with everything operational: no failed event to
+        // repair, so the observation is failing yet has no cause.
+        let phi = Formula::atom("IW").not();
+        let causes = actual_causes_naive(&tree, &phi, &[]).unwrap();
+        assert!(causes.is_empty());
+        let q = Query::cause(Formula::atom("IW").not(), Vec::<(String, bool)>::new());
+        assert!(!eval_query(&tree, &q).unwrap());
+    }
+
+    #[test]
+    fn observation_vector_first_binding_wins() {
+        let tree = corpus::fig1();
+        let b = observation_vector(
+            &tree,
+            &[("IW".to_string(), true), ("IW".to_string(), false)],
+        )
+        .unwrap();
+        assert!(b.get(0));
+        assert_eq!(
+            observation_vector(&tree, &[("CP".to_string(), true)]).unwrap_err(),
+            BflError::EvidenceOnGate("CP".into())
+        );
+        assert_eq!(
+            observation_vector(&tree, &[("ghost".to_string(), true)]).unwrap_err(),
+            BflError::UnknownElement("ghost".into())
+        );
     }
 
     #[test]

@@ -26,6 +26,18 @@ use crate::model::{ElementId, FaultTree};
 /// event's failure probability (failure-rate handbooks typically give
 /// bounds, not points). A point probability `p` is the degenerate
 /// interval `[p, p]`.
+///
+/// # Correlation-oblivious conditionals
+///
+/// Conditional envelopes `P(ϕ | ψ)` are computed by dividing the joint
+/// and conditioning envelopes endpoint-wise,
+/// `[joint.lo / base.hi, joint.hi / base.lo]`. The two envelopes are
+/// propagated *independently*, so the division ignores that the same
+/// annotation choice drives both numerator and denominator: the raw
+/// ratio can exceed `1` (e.g. `joint.hi` paired with a `base.lo` that
+/// cannot co-occur with it). Results are therefore clamped back to
+/// `[0, 1]` — the bounds stay *sound* (they bracket every point
+/// choice) but are wider than a correlation-aware division would give.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbInterval {
     /// Lower endpoint.
@@ -228,7 +240,15 @@ pub fn bdd_probability_interval_with_memo(
         },
         memo,
     );
-    ProbInterval { lo, hi }
+    // The Shannon walk is closed over [0, 1] in exact arithmetic, but
+    // float rounding can nudge an endpoint just past it; clamp so every
+    // published envelope is a well-formed probability interval. In-range
+    // values pass through bit-identically (degenerate [p, p] inputs must
+    // keep reproducing the exact walk exactly).
+    ProbInterval {
+        lo: lo.clamp(0.0, 1.0),
+        hi: hi.clamp(0.0, 1.0),
+    }
 }
 
 /// Interval failure probability of element `e` of `tree`.

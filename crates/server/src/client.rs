@@ -236,6 +236,27 @@ impl Client {
         })
     }
 
+    /// Actual causes of a `cause(ϕ, evidence)` plan under a scenario
+    /// (extra observational evidence; empty = the plan's own evidence
+    /// only); returns the outcome document — the `causes` field carries
+    /// the observation, the cause sets and their repair witnesses.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn cause(
+        &mut self,
+        session: &str,
+        plan: &str,
+        scenario: &str,
+    ) -> Result<Json, ClientError> {
+        self.request(Op::Cause {
+            session: session.to_string(),
+            plan: plan.to_string(),
+            scenario: scenario.to_string(),
+        })
+    }
+
     /// `P(plan | scenario)` on the compiled diagram; `None` when the
     /// condition has probability zero.
     ///
@@ -248,15 +269,32 @@ impl Client {
         plan: &str,
         scenario: Option<&str>,
     ) -> Result<Option<f64>, ClientError> {
-        let result = self.request(Op::Prob {
+        let result = self.prob_plan_with(session, plan, scenario, ProbOptions::default())?;
+        Ok(result.get("probability").and_then(Json::as_f64))
+    }
+
+    /// `P(plan | scenario)` with explicit method options; returns the
+    /// full result document (`probability`, or `interval`/`estimate`
+    /// plus `method` under the non-exact methods).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn prob_plan_with(
+        &mut self,
+        session: &str,
+        plan: &str,
+        scenario: Option<&str>,
+        options: ProbOptions,
+    ) -> Result<Json, ClientError> {
+        self.request(Op::Prob {
             session: session.to_string(),
             target: ProbTarget::Plan {
                 plan: plan.to_string(),
                 scenario: scenario.map(str::to_string),
             },
-            options: ProbOptions::default(),
-        })?;
-        Ok(result.get("probability").and_then(Json::as_f64))
+            options,
+        })
     }
 
     /// `P(formula [ | given])` through the session; `None` when the
@@ -271,15 +309,32 @@ impl Client {
         formula: &str,
         given: Option<&str>,
     ) -> Result<Option<f64>, ClientError> {
-        let result = self.request(Op::Prob {
+        let result = self.prob_formula_with(session, formula, given, ProbOptions::default())?;
+        Ok(result.get("probability").and_then(Json::as_f64))
+    }
+
+    /// `P(formula [ | given])` with explicit method options; returns the
+    /// full result document (`probability`, or `interval`/`estimate`
+    /// plus `method` under the non-exact methods).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn prob_formula_with(
+        &mut self,
+        session: &str,
+        formula: &str,
+        given: Option<&str>,
+        options: ProbOptions,
+    ) -> Result<Json, ClientError> {
+        self.request(Op::Prob {
             session: session.to_string(),
             target: ProbTarget::Formula {
                 formula: formula.to_string(),
                 given: given.map(str::to_string),
             },
-            options: ProbOptions::default(),
-        })?;
-        Ok(result.get("probability").and_then(Json::as_f64))
+            options,
+        })
     }
 
     /// The ranked importance table for a formula.

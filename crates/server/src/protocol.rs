@@ -11,6 +11,7 @@
 //! {"id":2,"op":"prepare","session":"s1","query":"..."} -> plan id
 //! {"id":3,"op":"eval","session":"s1","plan":"p1","scenario":"IW = 1"}
 //! {"id":4,"op":"sweep","session":"s1","plan":"p1","scenarios":"..."}
+//! {"id":4,"op":"cause","session":"s1","plan":"p1","scenario":"IW = 1"}
 //! {"id":5,"op":"check","session":"s1","query":"P1: forall IS => MoT"}
 //! {"id":6,"op":"prob","session":"s1","formula":"IWoS","given":"H1"}
 //!            (+ optional "method":"exact|interval|mc", "samples",
@@ -254,6 +255,17 @@ pub enum Op {
         /// Scenario bindings (`A = 1, B = 0`); empty = baseline.
         scenario: String,
     },
+    /// Actual causes of a compiled `cause(ϕ, evidence)` plan under one
+    /// scenario (extra observational evidence).
+    Cause {
+        /// Session id.
+        session: String,
+        /// Plan id (must be a cause plan).
+        plan: String,
+        /// Scenario bindings (`A = 1, B = 0`); empty = the plan's own
+        /// evidence only.
+        scenario: String,
+    },
     /// Sweep a compiled plan over a scenario-set text.
     Sweep {
         /// Session id.
@@ -315,6 +327,7 @@ impl Op {
             Op::Prepare { session, .. }
             | Op::Check { session, .. }
             | Op::Eval { session, .. }
+            | Op::Cause { session, .. }
             | Op::Sweep { session, .. }
             | Op::Prob { session, .. }
             | Op::Importance { session, .. }
@@ -331,6 +344,7 @@ impl Op {
             Op::Prepare { .. } => "prepare",
             Op::Check { .. } => "check",
             Op::Eval { .. } => "eval",
+            Op::Cause { .. } => "cause",
             Op::Sweep { .. } => "sweep",
             Op::Prob { .. } => "prob",
             Op::Importance { .. } => "importance",
@@ -400,6 +414,11 @@ impl Request {
                 field(&mut out, "query", query);
             }
             Op::Eval {
+                session,
+                plan,
+                scenario,
+            }
+            | Op::Cause {
                 session,
                 plan,
                 scenario,
@@ -588,6 +607,11 @@ impl Request {
                 query: required("query")?,
             },
             "eval" => Op::Eval {
+                session: required("session")?,
+                plan: required("plan")?,
+                scenario: optional("scenario")?.unwrap_or_default(),
+            },
+            "cause" => Op::Cause {
                 session: required("session")?,
                 plan: required("plan")?,
                 scenario: optional("scenario")?.unwrap_or_default(),
@@ -958,6 +982,30 @@ mod tests {
             let err = Request::parse(line).unwrap_err();
             assert_eq!(err.1, ErrorCode::BadField, "{line}");
         }
+    }
+
+    #[test]
+    fn cause_requests_round_trip() {
+        let line = r#"{"id":4,"op":"cause","session":"s1","plan":"p1","scenario":"IW = 1"}"#;
+        let req = Request::parse(line).unwrap();
+        assert_eq!(
+            req.op,
+            Op::Cause {
+                session: "s1".to_string(),
+                plan: "p1".to_string(),
+                scenario: "IW = 1".to_string(),
+            }
+        );
+        assert_eq!(req.op.session_id(), Some("s1"));
+        assert_eq!(req.to_json_line(), line);
+        // The scenario is optional (baseline = the plan's own evidence).
+        let req = Request::parse(r#"{"op":"cause","session":"s1","plan":"p1"}"#).unwrap();
+        let Op::Cause { scenario, .. } = &req.op else {
+            panic!("{req:?}");
+        };
+        assert!(scenario.is_empty());
+        let err = Request::parse(r#"{"op":"cause","session":"s1"}"#).unwrap_err();
+        assert_eq!(err.1, ErrorCode::MissingField);
     }
 
     #[test]

@@ -476,6 +476,17 @@ fn handle_op(shared: &Shared, op: &Op) -> Result<String, OpError> {
             let outcome = prepared.eval(&scenario).map_err(|e| eval_error(&e))?;
             Ok(json_outcome(prepared.tree(), &outcome))
         }
+        Op::Cause {
+            session,
+            plan,
+            scenario,
+        } => {
+            let entry = session_entry(shared, session)?;
+            let prepared = plan_of(&entry, plan)?;
+            let scenario = parse_scenario(scenario)?;
+            let outcome = prepared.cause(&scenario).map_err(|e| eval_error(&e))?;
+            Ok(json_outcome(prepared.tree(), &outcome))
+        }
         Op::Sweep {
             session,
             plan,

@@ -15,7 +15,7 @@ use bfl_fault_tree::galileo;
 use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
 use bfl_fault_tree::rng::Prng;
 use bfl_fault_tree::FaultTree;
-use bfl_server::{Client, Server, ServerConfig, ServerHandle};
+use bfl_server::{Client, Server, ServerConfig, ServerHandle, SessionOptions};
 
 // ---------------------------------------------------------------------------
 // Random-case generation (seeded, deterministic).
@@ -289,6 +289,111 @@ fn served_prob_agrees_with_probability_naive() {
                         path.display()
                     );
                 }
+            }
+        }
+        client.unload(&session).expect("unloads");
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn served_cause_agrees_with_actual_causes_naive() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let mut rng = Prng::seed_from_u64(0xD1FF_0005);
+    for case in 0..5u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 6 + (case as usize % 3),
+            num_gates: 4 + (case as usize % 3),
+            max_children: 3,
+            vot_probability: 0.15,
+            seed: 0x5EED_4000 + case,
+        });
+        let model = galileo::to_galileo(&tree, None);
+        // The default witness limit (3) would truncate the enumeration;
+        // raise it so the served sets are exhaustive like the reference.
+        let session = client
+            .load_with(
+                &model,
+                SessionOptions {
+                    witness_limit: Some(1 << 10),
+                    ..SessionOptions::default()
+                },
+            )
+            .expect("loads");
+        let (names, basics) = name_vectors(&tree);
+        for _ in 0..5 {
+            let phi = random_formula(&mut rng, &names, &basics, 2);
+            let mut evidence: Vec<(String, bool)> = Vec::new();
+            for name in &basics {
+                if rng.gen_bool(0.6) {
+                    evidence.push((name.clone(), rng.gen_bool(0.5)));
+                }
+            }
+            let query = Query::cause(phi.clone(), evidence.clone());
+            let query_src = query.to_string();
+            let plan = client.prepare(&session, &query_src).expect("prepares");
+            for _ in 0..3 {
+                let line = random_scenario_line(&mut rng, &basics);
+                let scenario = scenario_of_line(&line);
+                // The reference observation: query evidence first, then
+                // the scenario bindings (first-binding-wins).
+                let combined: Vec<(String, bool)> = evidence
+                    .iter()
+                    .cloned()
+                    .chain(scenario.bindings().iter().map(|(n, v)| (n.clone(), *v)))
+                    .collect();
+                let expected_sets =
+                    semantics::actual_causes_naive(&tree, &phi, &combined).expect("naive");
+                let mut expected: Vec<Vec<String>> = expected_sets
+                    .iter()
+                    .map(|s| {
+                        let mut names: Vec<String> = s
+                            .iter()
+                            .map(|&bi| tree.name(tree.basic_events()[bi]).to_string())
+                            .collect();
+                        names.sort();
+                        names
+                    })
+                    .collect();
+                expected.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+                let outcome = client.cause(&session, &plan, &line).expect("cause");
+                let report = outcome.get("causes").expect("outcome carries causes");
+                let served: Vec<Vec<String>> = report
+                    .get("sets")
+                    .and_then(|v| v.as_array())
+                    .expect("sets array")
+                    .iter()
+                    .map(|set| {
+                        set.get("events")
+                            .and_then(|v| v.as_array())
+                            .expect("events array")
+                            .iter()
+                            .map(|e| e.as_str().expect("event name").to_string())
+                            .collect()
+                    })
+                    .collect();
+                let total = report.get("total").and_then(|v| v.as_u64());
+                if served != expected || total != Some(expected.len() as u64) {
+                    let path = dump_failure(
+                        &model,
+                        &format!("cause query: {query_src}\nscenario: [{line}]"),
+                    );
+                    panic!(
+                        "served cause diverged from actual_causes_naive under [{line}] \
+                         (served {served:?} total {total:?}, expected {expected:?}); \
+                         repro dumped to {}",
+                        path.display()
+                    );
+                }
+                let holds = outcome.get("holds").and_then(|v| v.as_bool());
+                let failing = report.get("failing").and_then(|v| v.as_bool());
+                assert_eq!(
+                    holds,
+                    Some(failing == Some(true) && !expected.is_empty()),
+                    "verdict is `failing with at least one cause` for {query_src}"
+                );
             }
         }
         client.unload(&session).expect("unloads");

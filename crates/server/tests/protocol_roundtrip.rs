@@ -60,6 +60,19 @@ fn request_corpus() -> Vec<Request> {
         ),
         Request::with_id(
             5,
+            Op::Cause {
+                session: "s1".to_string(),
+                plan: "p3".to_string(),
+                scenario: "IT = 1, H2 = 0".to_string(),
+            },
+        ),
+        Request::new(Op::Cause {
+            session: "s1".to_string(),
+            plan: "p3".to_string(),
+            scenario: String::new(),
+        }),
+        Request::with_id(
+            5,
             Op::Sweep {
                 session: "s1".to_string(),
                 plan: "p1".to_string(),

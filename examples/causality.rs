@@ -1,0 +1,83 @@
+//! Actual causality on the COVID running example: given the observation
+//! that the ward was infected, *which event sets actually caused the top
+//! event* — and what would repairing them have changed?
+//!
+//! A but-for cause is a set of failed events whose repair (setting them
+//! operational, everything else unchanged) flips the verdict; an actual
+//! cause is a subset-minimal one. The engine finds them by BDD
+//! cofactoring, so the same query runs as a one-off judgement, through
+//! the concrete `cause(ϕ, …)` syntax, or as a prepared plan swept over
+//! what-if scenarios.
+//!
+//! Run with: `cargo run --example causality`
+
+use bfl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = bfl::ft::corpus::covid();
+    let session = AnalysisSession::builder()
+        .witness_limit(32)
+        .build(tree.clone());
+
+    // The observation: an infected worker joined the team (IW) past a
+    // detection error (H3), in physical proximity (PP) to a vulnerable
+    // worker (VW), with outbreak procedures not respected (H1) — under
+    // it the top event IWoS holds.
+    let phi = Formula::atom("IWoS");
+    let evidence: Vec<(String, bool)> = ["IW", "H3", "PP", "H1", "VW"]
+        .iter()
+        .map(|n| (n.to_string(), true))
+        .collect();
+
+    let outcome = session.cause(&phi, &evidence)?;
+    let report = outcome.causes.as_ref().expect("cause judgement");
+    println!(
+        "observation: {{{}}}",
+        report.observation.failed_names(&tree).join(", ")
+    );
+    println!("ϕ = {phi} holds under it: {}", report.failing);
+    println!(
+        "actual causes ({} total{}):",
+        report.total,
+        if report.truncated { ", truncated" } else { "" }
+    );
+    for cause in &report.causes {
+        println!(
+            "  {{{}}}  — repaired ward: {{{}}}",
+            cause.events.join(", "),
+            cause.witness.failed_names(&tree).join(", ")
+        );
+    }
+
+    // The same question in concrete syntax, as a spec file would ask it.
+    let query = parse_query("cause(IWoS, IW := 1, H3 := 1, PP := 1, H1 := 1, VW := 1)")?;
+    let same = session.check_query(&query)?;
+    assert_eq!(same.causes, outcome.causes);
+    println!("\nconcrete syntax: {query}");
+
+    // What-if sweep on a prepared plan: do aerosol spread through the
+    // ventilation (MV) or an unknown transmission mode (UT) change what
+    // counts as a cause?
+    let prepared = session.prepare(&Query::cause(phi, evidence))?;
+    let mut scenarios = ScenarioSet::new();
+    scenarios.push(Scenario::named("baseline"));
+    scenarios.push(Scenario::named("aerosol spread").bind("MV", true));
+    scenarios.push(Scenario::named("unknown mode").bind("UT", true));
+    let sweep = prepared.sweep_causes(&scenarios)?;
+    println!();
+    for (scenario, o) in scenarios.iter().zip(&sweep.outcomes) {
+        let r = o.causes.as_ref().expect("cause judgement");
+        let sets: Vec<String> = r
+            .causes
+            .iter()
+            .map(|c| format!("{{{}}}", c.events.join(", ")))
+            .collect();
+        println!(
+            "{:<18} {} causes: {}",
+            scenario.name().unwrap_or("unlabelled"),
+            r.total,
+            sets.join(" ")
+        );
+    }
+    Ok(())
+}

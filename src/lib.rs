@@ -83,8 +83,9 @@ pub mod prelude {
     pub use bfl_core::scenario::{Scenario, ScenarioSet};
     pub use bfl_core::uncertainty::{Estimate, Method, ProbInterval, ProbValue};
     pub use bfl_core::{
-        counterexample, is_valid_counterexample, BflError, CmpOp, Counterexample, Formula,
-        MinimalityScope, ModelChecker, Pattern, Prob, Query,
+        counterexample, is_valid_counterexample, some_counterexamples, ActualCause, BflError,
+        CauseReport, CmpOp, Counterexample, CounterexampleSet, Formula, MinimalityScope,
+        ModelChecker, Pattern, Prob, Query,
     };
     pub use bfl_fault_tree::{
         FaultTree, FaultTreeBuilder, GateType, StatusVector, VariableOrdering,

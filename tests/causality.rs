@@ -1,0 +1,256 @@
+//! Differential and semantic validation of the actual-causality layer:
+//! the BDD plan path (`PreparedQuery::cause` / `sweep_causes`) must agree
+//! **exactly** — cause sets, totals, truncation — with the brute-force
+//! enumeration over all candidate subsets (`semantics::actual_causes_naive`)
+//! on seeded random trees; and every returned cause must satisfy the
+//! paper-style conditions by direct semantic re-evaluation: the
+//! observation is failing, repairing the cause flips the verdict, and no
+//! proper subset does.
+
+use bfl::prelude::*;
+use bfl_core::semantics;
+use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
+use bfl_fault_tree::rng::Prng;
+
+mod common;
+use common::random_formula;
+
+/// Brute-force causes as sorted name sets, in the BDD path's order
+/// (by size, then lexicographically).
+fn naive_cause_names(
+    tree: &FaultTree,
+    phi: &Formula,
+    evidence: &[(String, bool)],
+) -> Vec<Vec<String>> {
+    let sets = semantics::actual_causes_naive(tree, phi, evidence).expect("naive enumeration");
+    let mut named: Vec<Vec<String>> = sets
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|&bi| tree.name(tree.basic_events()[bi]).to_string())
+                .collect()
+        })
+        .collect();
+    for set in &mut named {
+        set.sort();
+    }
+    named.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    named
+}
+
+/// Re-check the definition directly with the reference recursion:
+/// `b ⊨ ϕ`, `b[S→0] ⊭ ϕ`, and every proper subset of `S` leaves the
+/// verdict intact (subset-minimality).
+fn assert_cause_is_valid(
+    tree: &FaultTree,
+    phi: &Formula,
+    observation: &StatusVector,
+    cause: &ActualCause,
+) {
+    assert!(
+        semantics::eval(tree, observation, phi).expect("eval"),
+        "observation must be failing for {phi}"
+    );
+    let idx_of = |name: &str| {
+        tree.basic_events()
+            .iter()
+            .position(|&e| tree.name(e) == name)
+            .expect("cause event is a basic event")
+    };
+    let indices: Vec<usize> = cause.events.iter().map(|n| idx_of(n)).collect();
+    let mut repaired = observation.clone();
+    for &bi in &indices {
+        assert!(
+            observation.get(bi),
+            "cause event {} must be failed in the observation",
+            cause.events[indices.iter().position(|&i| i == bi).unwrap()]
+        );
+        repaired.set(bi, false);
+    }
+    assert!(
+        !semantics::eval(tree, &repaired, phi).expect("eval"),
+        "repairing {{{}}} must flip the verdict of {phi}",
+        cause.events.join(", ")
+    );
+    assert_eq!(
+        &repaired, &cause.witness,
+        "witness must be the observation with the cause repaired"
+    );
+    // Minimality: dropping any single event from the repair (i.e. any
+    // maximal proper subset) must keep ϕ failing — and by monotonicity
+    // of the subset lattice under the but-for check performed above,
+    // checking the maximal subsets via brute force over all proper
+    // subsets keeps this exact for small causes.
+    let k = indices.len();
+    for mask in 0..(1u32 << k) {
+        if mask == (1u32 << k) - 1 {
+            continue; // the full set is the cause itself
+        }
+        let mut partial = observation.clone();
+        for (j, &bi) in indices.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                partial.set(bi, false);
+            }
+        }
+        assert!(
+            semantics::eval(tree, &partial, phi).expect("eval"),
+            "proper subset repair {{mask {mask:b}}} of {{{}}} must not flip {phi}",
+            cause.events.join(", ")
+        );
+    }
+}
+
+/// Session path ≡ brute force on seeded random trees, over random
+/// formulae and random (partial and full) evidence vectors.
+#[test]
+fn session_causes_match_brute_force_on_random_trees() {
+    let mut rng = Prng::seed_from_u64(0xB0F1_CA05);
+    let mut failing = 0usize;
+    let mut with_causes = 0usize;
+    for seed in 0..10u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 7,
+            num_gates: 5,
+            max_children: 3,
+            vot_probability: 0.2,
+            seed: 0xB0F1 + seed,
+        });
+        let names: Vec<String> = tree.iter().map(|e| tree.name(e).to_string()).collect();
+        let basics: Vec<String> = tree
+            .basic_event_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let session = AnalysisSession::builder()
+            .witness_limit(1 << 10)
+            .build(tree);
+        for round in 0..7 {
+            // Round 0 is the canonical failing case — the top event under
+            // the all-failed observation — so every tree contributes at
+            // least one observation with causes; the rest are random.
+            let phi = if round == 0 {
+                Formula::atom(session.tree().name(session.tree().top()))
+            } else {
+                random_formula(&mut rng, &names, &basics, 2)
+            };
+            // Alternate full observations with partial evidence (unbound
+            // events default to operational).
+            let evidence: Vec<(String, bool)> = if round == 0 {
+                basics.iter().map(|n| (n.clone(), true)).collect()
+            } else if round % 2 == 0 {
+                basics
+                    .iter()
+                    .map(|n| (n.clone(), rng.gen_bool(0.5)))
+                    .collect()
+            } else {
+                (0..rng.gen_range(0..=3))
+                    .map(|_| {
+                        (
+                            basics[rng.gen_range(0..basics.len())].clone(),
+                            rng.gen_bool(0.5),
+                        )
+                    })
+                    .collect()
+            };
+            let outcome = session.cause(&phi, &evidence).expect("session cause");
+            let report = outcome.causes.as_ref().expect("cause outcome has report");
+            let expected = naive_cause_names(session.tree(), &phi, &evidence);
+            let got: Vec<Vec<String>> = report.causes.iter().map(|c| c.events.clone()).collect();
+            assert_eq!(got, expected, "causes of {phi} under {evidence:?}");
+            assert_eq!(report.total, expected.len() as u128, "exact total");
+            assert!(!report.truncated, "limit is far above any cause count");
+            assert_eq!(
+                outcome.holds,
+                report.failing && !expected.is_empty(),
+                "verdict is `failing observation with at least one cause`"
+            );
+            if report.failing {
+                failing += 1;
+            }
+            for cause in &report.causes {
+                with_causes += 1;
+                assert_cause_is_valid(session.tree(), &phi, &report.observation, cause);
+            }
+        }
+    }
+    // The sweep must have exercised the interesting side of the space.
+    assert!(failing >= 10, "too few failing observations: {failing}");
+    assert!(with_causes >= 10, "too few causes validated: {with_causes}");
+}
+
+/// The prepared-plan path (BDD restriction + scenario memo) must agree
+/// with the session path (AST specialisation + fresh check) — and a
+/// repeat sweep must be pure memo hits.
+#[test]
+fn prepared_causes_agree_with_specialised_query_path() {
+    let session = AnalysisSession::new(bfl::ft::corpus::covid());
+    let top = session.tree().name(session.tree().top()).to_string();
+    let queries = [
+        "cause(IWoS, IW := 1, H3 := 1, PP := 1, H1 := 1, VW := 1)",
+        "cause(CP/R, IW := 1, H3 := 1, IT := 1, H2 := 1)",
+        "causes(IWoS, IW := 1, H3 := 1, PP := 1, H1 := 1, VW := 1, 2)",
+        "cause(SH & CIW, IW := 1, PP := 1, H1 := 1, VW := 1)",
+        "cause(IWoS, IW := 1)", // not failing: no causes
+    ];
+    let mut scenarios = vec![Scenario::new()];
+    for name in ["IT", "H2", "UT", "MV"] {
+        scenarios.push(Scenario::new().bind(name, true));
+        scenarios.push(Scenario::new().bind(name, false));
+    }
+    scenarios.push(Scenario::from_pairs([("IT", true), ("H2", true)]));
+    for src in queries {
+        let q = parse_query(src).expect(src);
+        let prepared = session.prepare(&q).expect("prepare");
+        assert!(prepared.is_cause_plan());
+        for scenario in &scenarios {
+            let fast = prepared.cause(scenario).expect("prepared cause");
+            let slow = session
+                .check_query(&scenario.specialise_query(&q, &top))
+                .expect("check_query");
+            assert_eq!(fast.holds, slow.holds, "{q} under {scenario}");
+            let fast_report = fast.causes.expect("plan path reports causes");
+            let slow_report = slow.causes.expect("session path reports causes");
+            assert_eq!(
+                fast_report, slow_report,
+                "cause reports diverge for {q} under {scenario}"
+            );
+        }
+    }
+}
+
+/// `sweep_causes` shares the plan's scenario memo: re-sweeping the same
+/// set answers every evaluation from the memo and agrees outcome-for-
+/// outcome with the first pass.
+#[test]
+fn sweep_causes_hits_memo_on_repeat() {
+    let session = AnalysisSession::new(bfl::ft::corpus::covid());
+    let q = parse_query("cause(IWoS, IW := 1, H3 := 1, PP := 1, H1 := 1, VW := 1)").unwrap();
+    let prepared = session.prepare(&q).unwrap();
+    let set = ScenarioSet::singletons(session.tree().basic_event_names(), false);
+    let cold = prepared.sweep_causes(&set).expect("cold sweep");
+    let warm = prepared.sweep_causes(&set).expect("warm sweep");
+    assert_eq!(cold.outcomes.len(), warm.outcomes.len());
+    for (a, b) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(a.holds, b.holds);
+        assert_eq!(a.causes, b.causes);
+    }
+    assert_eq!(warm.stats.memo_misses, 0, "repeat sweep must be all hits");
+    assert_eq!(warm.stats.memo_hits as usize, warm.outcomes.len());
+}
+
+/// Shape guards: `cause`/`sweep_causes` on a non-cause plan is a typed
+/// error, and probability entry points reject cause plans.
+#[test]
+fn cause_entry_points_reject_mismatched_plans() {
+    let session = AnalysisSession::new(bfl::ft::corpus::fig1());
+    let exists = session
+        .prepare(&parse_query("exists CP/R").unwrap())
+        .unwrap();
+    assert!(!exists.is_cause_plan());
+    let err = exists.cause(&Scenario::new()).unwrap_err();
+    assert!(matches!(err, BflError::PlanShapeMismatch { .. }), "{err}");
+    let err = exists
+        .sweep_causes(&ScenarioSet::singletons(["IW"], true))
+        .unwrap_err();
+    assert!(matches!(err, BflError::PlanShapeMismatch { .. }), "{err}");
+}

@@ -1,0 +1,142 @@
+//! Property coverage for counterexample enumeration under a witness
+//! limit: a capped enumeration must be *reported* as truncated (with the
+//! exact total), never silently passed off as complete, and every
+//! returned witness must still be Definition-7-valid — satisfying, with
+//! each changed bit individually necessary — on seeded random trees.
+
+use bfl::prelude::*;
+use bfl_core::semantics;
+use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
+use bfl_fault_tree::rng::Prng;
+
+mod common;
+use common::random_formula;
+
+/// Checks Definition 7 with the reference recursion (no BDDs): the
+/// witness satisfies `ϕ`, and reverting any single differing bit
+/// falsifies it again.
+fn assert_definition7(tree: &FaultTree, b: &StatusVector, witness: &StatusVector, phi: &Formula) {
+    assert!(
+        semantics::eval(tree, witness, phi).expect("eval"),
+        "witness must satisfy {phi}"
+    );
+    for i in 0..b.len() {
+        if witness.get(i) != b.get(i) {
+            let reverted = witness.with(i, b.get(i));
+            assert!(
+                !semantics::eval(tree, &reverted, phi).expect("eval"),
+                "bit {i} of the witness is not necessary for {phi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_is_reported_and_witnesses_stay_valid_on_random_trees() {
+    let mut rng = Prng::seed_from_u64(0xCE7);
+    let mut truncated_seen = 0usize;
+    let mut complete_seen = 0usize;
+    let mut witnesses_checked = 0usize;
+    for seed in 0..10u64 {
+        let tree = random_tree(&RandomTreeConfig {
+            num_basic: 6,
+            num_gates: 4,
+            max_children: 3,
+            vot_probability: 0.2,
+            seed: seed + 1,
+        });
+        let names: Vec<String> = tree.iter().map(|e| tree.name(e).to_string()).collect();
+        let basics: Vec<String> = tree
+            .basic_event_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut mc = ModelChecker::new(&tree);
+        // Round 0 is deterministic — the top atom from the all-operational
+        // vector always admits counterexamples on a satisfiable tree —
+        // the rest are random formulae.
+        for round in 0..6 {
+            let phi = if round == 0 {
+                Formula::atom(tree.name(tree.top()))
+            } else {
+                random_formula(&mut rng, &names, &basics, 2)
+            };
+            // A vector that fails ϕ, if one exists.
+            let Some(b) = StatusVector::enumerate_all(tree.num_basic_events())
+                .find(|b| !mc.holds(b, &phi).expect("holds"))
+            else {
+                continue;
+            };
+            let all = bfl_core::counterexample::all_counterexamples(&mut mc, &b, &phi)
+                .expect("full enumeration");
+            for limit in [0usize, 1, 2, usize::MAX] {
+                let set = some_counterexamples(&mut mc, &b, &phi, limit).expect("bounded");
+                // The exact total is always reported, capped or not…
+                assert_eq!(set.total, all.len(), "{phi}: total misreported");
+                assert_eq!(set.witnesses.len(), all.len().min(limit));
+                assert_eq!(set.witnesses[..], all[..all.len().min(limit)]);
+                // …and a capped enumeration says so.
+                assert_eq!(
+                    set.truncated,
+                    all.len() > limit,
+                    "{phi}: truncation at limit {limit} not reported"
+                );
+                if set.truncated {
+                    truncated_seen += 1;
+                } else {
+                    complete_seen += 1;
+                }
+                for w in &set.witnesses {
+                    assert_definition7(&tree, &b, w, &phi);
+                    witnesses_checked += 1;
+                }
+            }
+        }
+    }
+    // The sweep must actually have exercised both regimes.
+    assert!(
+        truncated_seen >= 10,
+        "too few truncated sets: {truncated_seen}"
+    );
+    assert!(
+        complete_seen >= 10,
+        "too few complete sets: {complete_seen}"
+    );
+    assert!(
+        witnesses_checked >= 30,
+        "too few witnesses validated: {witnesses_checked}"
+    );
+}
+
+#[test]
+fn session_all_counterexamples_honours_the_witness_limit() {
+    // An OR of four basics: from the all-operational vector, the valid
+    // counterexamples are exactly the four singletons (any second failed
+    // bit is unnecessary).
+    let mut b = FaultTreeBuilder::new();
+    b.gate("Top", GateType::Or, ["A", "B", "C", "D"])
+        .expect("gate");
+    b.basic_events(["A", "B", "C", "D"]).expect("basics");
+    let tree = b.build("Top").expect("tree");
+
+    let phi = Formula::atom("Top");
+    let operational = StatusVector::all_operational(4);
+
+    let capped = AnalysisSession::builder()
+        .witness_limit(2)
+        .build(tree.clone());
+    let set = capped.all_counterexamples(&operational, &phi).expect("set");
+    assert_eq!((set.witnesses.len(), set.total), (2, 4));
+    assert!(set.truncated, "a capped session must report truncation");
+
+    let roomy = AnalysisSession::builder()
+        .witness_limit(16)
+        .build(tree.clone());
+    let set = roomy.all_counterexamples(&operational, &phi).expect("set");
+    assert_eq!((set.witnesses.len(), set.total), (4, 4));
+    assert!(!set.truncated);
+    for w in &set.witnesses {
+        assert_eq!(w.count_failed(), 1, "valid counterexamples are singletons");
+        assert_definition7(&tree, &operational, w, &phi);
+    }
+}
