@@ -1,0 +1,319 @@
+//! Cross-arena import: copying diagrams between managers.
+//!
+//! Parallel construction compiles independent fault-tree modules into
+//! per-worker [`Manager`] arenas and then *stitches* the results into the
+//! parent manager. The import walks the source diagram bottom-up and
+//! rebuilds it through [`Manager::mk`], so the copy is hash-consed into
+//! the destination's unique table: importing a function twice (or a
+//! function the destination already built itself) yields the same handle,
+//! and by canonicity the imported diagram is node-for-node isomorphic to
+//! what the destination would have built sequentially.
+//!
+//! Both managers must agree on the *relative order* of every variable in
+//! the imported diagram's support (checked, with a panic on violation).
+//! [`Manager::import_substitute`] relaxes this for selected variables by
+//! composing them with destination-side functions during the copy.
+
+use std::collections::HashMap;
+
+use crate::manager::{Bdd, Manager, Var};
+
+impl Manager {
+    /// Imports `root` — a handle of the *source* manager `src` — into this
+    /// manager, returning the handle of the same Boolean function here.
+    ///
+    /// The copy is memoised per call: shared subgraphs are visited once.
+    /// Use [`Manager::import_many`] to share the memo across several
+    /// roots of the same source arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diagram mentions a variable not declared here, or if
+    /// the two managers disagree on the relative order of any pair of
+    /// variables in the diagram's support.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_bdd::{Manager, Var};
+    /// let mut worker = Manager::new(4);
+    /// let a = worker.var(Var(0));
+    /// let b = worker.var(Var(2));
+    /// let f = worker.and(a, b);
+    ///
+    /// let mut parent = Manager::new(4);
+    /// let g = parent.import(&worker, f);
+    /// // The parent built the same function, hash-consed into its arena:
+    /// let a2 = parent.var(Var(0));
+    /// let b2 = parent.var(Var(2));
+    /// let expect = parent.and(a2, b2);
+    /// assert_eq!(g, expect);
+    /// assert_eq!(parent.node_count(g), worker.node_count(f));
+    /// ```
+    pub fn import(&mut self, src: &Manager, root: Bdd) -> Bdd {
+        self.import_many(src, &[root])[0]
+    }
+
+    /// Imports several roots of the same source manager, sharing one
+    /// memo table (subgraphs shared between roots are copied once).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Manager::import`].
+    pub fn import_many(&mut self, src: &Manager, roots: &[Bdd]) -> Vec<Bdd> {
+        let mut memo: HashMap<u32, Bdd> = HashMap::new();
+        memo.insert(0, self.bot());
+        memo.insert(1, self.top());
+        for &root in roots {
+            self.import_rec(src, root, &mut memo, &mut |_| None);
+        }
+        roots.iter().map(|r| memo[&r.0]).collect()
+    }
+
+    /// Imports `root` while *substituting* selected variables: every
+    /// source node labelled with a variable in `subst` is replaced by
+    /// `ite(subst[v], high, low)` over the destination arena, i.e. the
+    /// variable is composed with a destination-side function during the
+    /// copy. Variables not in `subst` are copied verbatim (and must obey
+    /// the order rules of [`Manager::import`]).
+    ///
+    /// This is the module-substitution step of compositional analysis: a
+    /// module compiled over a placeholder variable is instantiated into
+    /// the parent by substituting the placeholder with the module's
+    /// translated diagram.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Manager::import`], for the non-substituted variables.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::collections::HashMap;
+    /// use bfl_bdd::{Manager, Var};
+    /// // Worker: f = x0 ∨ x1, where x1 stands for an unexpanded module.
+    /// let mut worker = Manager::new(2);
+    /// let x0 = worker.var(Var(0));
+    /// let x1 = worker.var(Var(1));
+    /// let f = worker.or(x0, x1);
+    ///
+    /// // Parent: the module expands to x2 ∧ x3.
+    /// let mut parent = Manager::new(4);
+    /// let x2 = parent.var(Var(2));
+    /// let x3 = parent.var(Var(3));
+    /// let module = parent.and(x2, x3);
+    /// let mut subst = HashMap::new();
+    /// subst.insert(Var(1), module);
+    ///
+    /// let g = parent.import_substitute(&worker, f, &subst);
+    /// let x0p = parent.var(Var(0));
+    /// let expect = parent.or(x0p, module);
+    /// assert_eq!(g, expect);
+    /// ```
+    pub fn import_substitute(
+        &mut self,
+        src: &Manager,
+        root: Bdd,
+        subst: &HashMap<Var, Bdd>,
+    ) -> Bdd {
+        let mut memo: HashMap<u32, Bdd> = HashMap::new();
+        memo.insert(0, self.bot());
+        memo.insert(1, self.top());
+        self.import_rec(src, root, &mut memo, &mut |v| subst.get(&v).copied());
+        memo[&root.0]
+    }
+
+    /// Iterative bottom-up copy (explicit stack: deep diagrams over
+    /// thousands of interleaved variables would overflow the call stack).
+    fn import_rec(
+        &mut self,
+        src: &Manager,
+        root: Bdd,
+        memo: &mut HashMap<u32, Bdd>,
+        subst: &mut dyn FnMut(Var) -> Option<Bdd>,
+    ) {
+        let mut stack: Vec<(Bdd, bool)> = vec![(root, false)];
+        while let Some((f, expanded)) = stack.pop() {
+            if memo.contains_key(&f.0) {
+                continue;
+            }
+            let node = src.node(f);
+            if !expanded {
+                stack.push((f, true));
+                stack.push((node.low, false));
+                stack.push((node.high, false));
+                continue;
+            }
+            let low = memo[&node.low.0];
+            let high = memo[&node.high.0];
+            let out = match subst(node.var) {
+                Some(g) => self.ite(g, high, low),
+                None => {
+                    assert!(
+                        node.var.0 < self.num_vars(),
+                        "import: variable {} not declared in the destination manager",
+                        node.var
+                    );
+                    let level = self.level_of(node.var);
+                    assert!(
+                        level < self.level(low) && level < self.level(high),
+                        "import: managers disagree on the order of {}",
+                        node.var
+                    );
+                    self.mk(node.var, low, high)
+                }
+            };
+            memo.insert(f.0, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A worker-built diagram imports to the function the parent would
+    /// have built itself, with identical reachable node count.
+    #[test]
+    fn import_is_isomorphic_and_hash_consed() {
+        let mut worker = Manager::new(6);
+        let vars: Vec<Bdd> = (0..6).map(|i| worker.var(Var(i))).collect();
+        let ab = worker.and(vars[0], vars[1]);
+        let cd = worker.and(vars[2], vars[3]);
+        let ef = worker.xor(vars[4], vars[5]);
+        let or1 = worker.or(ab, cd);
+        let f = worker.or(or1, ef);
+
+        let mut parent = Manager::new(6);
+        let g = parent.import(&worker, f);
+
+        let pv: Vec<Bdd> = (0..6).map(|i| parent.var(Var(i))).collect();
+        let ab2 = parent.and(pv[0], pv[1]);
+        let cd2 = parent.and(pv[2], pv[3]);
+        let ef2 = parent.xor(pv[4], pv[5]);
+        let or2 = parent.or(ab2, cd2);
+        let expect = parent.or(or2, ef2);
+        assert_eq!(g, expect);
+        assert_eq!(parent.node_count(g), worker.node_count(f));
+    }
+
+    /// Importing twice (or via two entry points) yields the same handle.
+    #[test]
+    fn import_is_idempotent() {
+        let mut worker = Manager::new(4);
+        let a = worker.var(Var(0));
+        let b = worker.var(Var(1));
+        let f = worker.or(a, b);
+        let mut parent = Manager::new(4);
+        let g1 = parent.import(&worker, f);
+        let size = parent.arena_size();
+        let g2 = parent.import(&worker, f);
+        assert_eq!(g1, g2);
+        assert_eq!(parent.arena_size(), size, "second import allocated nodes");
+    }
+
+    /// `import_many` shares subgraphs between roots through one memo.
+    #[test]
+    fn import_many_shares_the_memo() {
+        let mut worker = Manager::new(4);
+        let a = worker.var(Var(0));
+        let b = worker.var(Var(1));
+        let c = worker.var(Var(2));
+        let shared = worker.and(b, c);
+        let f = worker.or(a, shared);
+        let mut parent = Manager::new(4);
+        let out = parent.import_many(&worker, &[shared, f]);
+        // `shared` is the low child of `f` (Var(0) decides first); the
+        // memo reuses the copy instead of importing it twice.
+        assert_eq!(parent.node(out[1]).low, out[0]);
+    }
+
+    /// Terminal roots import to the destination terminals.
+    #[test]
+    fn terminals_import_to_terminals() {
+        let worker = Manager::new(2);
+        let mut parent = Manager::new(2);
+        assert_eq!(parent.import(&worker, worker.bot()), parent.bot());
+        assert_eq!(parent.import(&worker, worker.top()), parent.top());
+    }
+
+    /// Imports agree with evaluation on every assignment.
+    #[test]
+    fn import_preserves_semantics_exhaustively() {
+        let mut worker = Manager::new(5);
+        let v: Vec<Bdd> = (0..5).map(|i| worker.var(Var(i))).collect();
+        let t1 = worker.and(v[0], v[2]);
+        let t2 = worker.and(v[1], v[4]);
+        let t3 = worker.or(t1, t2);
+        let f = worker.xor(t3, v[3]);
+        let mut parent = Manager::new(5);
+        let g = parent.import(&worker, f);
+        for bits in 0u32..32 {
+            let assign = |var: Var| bits & (1 << var.0) != 0;
+            assert_eq!(worker.eval(f, assign), parent.eval(g, assign), "{bits:05b}");
+        }
+    }
+
+    /// Substitution composes a destination function for a source variable.
+    #[test]
+    fn import_substitute_composes() {
+        let mut worker = Manager::new(3);
+        let x0 = worker.var(Var(0));
+        let x1 = worker.var(Var(1));
+        let x2 = worker.var(Var(2));
+        let t = worker.and(x1, x2);
+        let f = worker.or(x0, t);
+
+        let mut parent = Manager::new(6);
+        let y = parent.var(Var(4));
+        let z = parent.var(Var(5));
+        let module = parent.or(y, z);
+        let mut subst = HashMap::new();
+        subst.insert(Var(1), module);
+        let g = parent.import_substitute(&worker, f, &subst);
+        for bits in 0u32..64 {
+            let assign = |var: Var| bits & (1 << var.0) != 0;
+            let expected = assign(Var(0)) || ((assign(Var(4)) || assign(Var(5))) && assign(Var(2)));
+            assert_eq!(parent.eval(g, assign), expected, "{bits:06b}");
+        }
+    }
+
+    /// A deep chain imports without recursion (stack-safety smoke).
+    #[test]
+    fn deep_chain_imports_iteratively() {
+        let n = 20_000u32;
+        let mut worker = Manager::new(n);
+        let mut f = worker.top();
+        for i in (0..n).rev() {
+            let v = worker.var(Var(i));
+            f = worker.and(v, f);
+        }
+        let mut parent = Manager::new(n);
+        let g = parent.import(&worker, f);
+        assert_eq!(parent.node_count(g), worker.node_count(f));
+        assert_eq!(parent.node_count(g) as u32, n + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_variable_panics() {
+        let mut worker = Manager::new(8);
+        let v = worker.var(Var(7));
+        let mut parent = Manager::new(2);
+        let _ = parent.import(&worker, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the order")]
+    fn incompatible_order_panics() {
+        let mut worker = Manager::new(2);
+        let a = worker.var(Var(0));
+        let b = worker.var(Var(1));
+        let f = worker.and(a, b);
+        let mut parent = Manager::new(2);
+        // Reverse the order in the parent: Var(1) above Var(0).
+        parent.swap_adjacent_levels(0);
+        assert!(parent.level_of(Var(1)) < parent.level_of(Var(0)));
+        let _ = parent.import(&worker, f);
+    }
+}

@@ -23,6 +23,13 @@
 //! * the subset/superset vector relations of the paper's Algorithm 1
 //!   ([`strict_subset`](Manager::strict_subset),
 //!   [`strict_superset`](Manager::strict_superset));
+//! * **cross-arena stitching**: [`import`](Manager::import),
+//!   [`import_many`](Manager::import_many) and
+//!   [`import_substitute`](Manager::import_substitute) copy diagrams
+//!   between managers — hash-consed into the destination's unique table
+//!   and order-checked, so per-worker arenas can compile fault-tree
+//!   modules in parallel and stitch the results into a parent manager
+//!   with node-for-node identical diagrams;
 //! * **dynamic maintenance**: Rudell-style sifting reordering
 //!   ([`sift`](Manager::sift), built on the in-place
 //!   [`swap_adjacent_levels`](Manager::swap_adjacent_levels) primitive)
@@ -58,6 +65,7 @@
 
 mod dot;
 mod gc;
+mod import;
 mod manager;
 mod ops;
 mod prob;

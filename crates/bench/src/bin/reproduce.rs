@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Artifacts: `fig1 fig2 fig3 ex2 ex3 table1 covid scaling sweep reorder
-//! quant serve mc cause`. The `reorder` artifact additionally writes
+//! quant serve mc cause scale`. The `reorder` artifact additionally writes
 //! `BENCH_reorder.json` (node counts and timings of dynamic sifting + GC
 //! vs the static DFS order), the `quant` artifact writes
 //! `BENCH_quant.json` (warm prepared probability sweeps vs naive
@@ -24,7 +24,13 @@
 //! `cause` artifact sweeps a prepared `cause(ϕ, evidence)` plan over
 //! per-event what-if scenarios and writes `BENCH_cause.json` (causes/sec
 //! cold vs warm plan via the scenario memo, and witness counts vs tree
-//! size); `--smoke` restricts all five to small configurations for CI.
+//! size), and the `scale` artifact compiles the industrial-scale corpus
+//! (1k–10k basic events) sequentially and with modular-parallel
+//! construction at 1..=4 workers, cross-checks that every diagram is
+//! node-for-node identical with bit-identical verdicts and top-event
+//! probabilities, and writes `BENCH_scale.json` (nodes/sec and
+//! speedup-vs-workers curves plus stitch overhead); `--smoke` restricts
+//! all six to small configurations for CI.
 
 use bfl_bench::{covid_properties, parse, property_6};
 use bfl_core::parser::{parse_formula, Spec};
@@ -82,6 +88,9 @@ fn main() {
     }
     if want("cause") {
         cause_bench(args.iter().any(|a| a == "--smoke"));
+    }
+    if want("scale") {
+        scale_bench(args.iter().any(|a| a == "--smoke"));
     }
 }
 
@@ -1241,6 +1250,168 @@ fn reorder(smoke: bool) {
             "\nwrote {path} ({improved}/{} trees ≥ 20% smaller)",
             trees.len()
         ),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
+/// SCALE: the industrial corpus (1k–10k basic events) compiled
+/// sequentially vs with modular-parallel construction at 1..=4 workers.
+/// Every parallel compile is cross-checked against the sequential one:
+/// node-for-node identical diagrams for every element, bit-identical
+/// verdicts on sampled status vectors and bit-identical top-event
+/// probability. Writes the `BENCH_scale.json` artifact.
+fn scale_bench(smoke: bool) {
+    use bfl_fault_tree::prob;
+
+    banner("SCALE — industrial corpus: modular parallel BDD construction");
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {host} (wall-clock speedup needs real cores)");
+    let sizes: &[usize] = if smoke {
+        &[1_000, 5_000]
+    } else {
+        &[1_000, 2_000, 5_000, 10_000]
+    };
+    let max_workers = 4usize;
+    let mut rows = String::new();
+    for &n in sizes {
+        let model = corpus::scaled_model(n);
+        let tree = &model.tree;
+        let probs: Vec<f64> = model.probabilities.iter().map(|p| p.unwrap()).collect();
+
+        // Sequential baseline: the lazy single-threaded compile.
+        let t0 = std::time::Instant::now();
+        let mut seq = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+        let top_seq = seq.element_bdd(tree, tree.top());
+        let t_seq = t0.elapsed();
+        let live_seq = seq.live_node_count(&[]);
+        let p_seq = prob::bdd_probability(tree, &seq, top_seq, &probs).expect("probability");
+        let nodes_per_sec = live_seq as f64 / t_seq.as_secs_f64().max(1e-9);
+        println!(
+            "\ntree scaled-{n}: {} elements, {} live nodes, P(top) = {p_seq:.6e}",
+            tree.len(),
+            live_seq
+        );
+        println!(
+            "{:<10} {:>10} {:>10} {:>9} {:>8} {:>9}",
+            "workers", "total ms", "stitch ms", "speedup", "modules", "nodes/s"
+        );
+        println!(
+            "{:<10} {:>10.1} {:>10} {:>9} {:>8} {:>9.2e}",
+            "seq",
+            t_seq.as_secs_f64() * 1e3,
+            "-",
+            "1.00",
+            "-",
+            nodes_per_sec
+        );
+
+        let mut wrows = String::new();
+        let mut modules_detected = 0usize;
+        let mut speedup_at_max = 1.0f64;
+        for workers in 1..=max_workers {
+            let t0 = std::time::Instant::now();
+            let mut par = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+            let stats = par.compile_parallel(tree, workers);
+            let t_par = t0.elapsed();
+            modules_detected = modules_detected.max(stats.modules_detected);
+
+            // Cross-checks: parallel construction is a strategy, not a
+            // semantics change. Node-for-node identical diagrams ...
+            let top_par = par.element_bdd(tree, tree.top());
+            assert_eq!(
+                par.manager().node_count(top_par),
+                seq.manager().node_count(top_seq),
+                "scaled-{n}: top node count diverged at {workers} workers"
+            );
+            assert_eq!(
+                par.live_node_count(&[]),
+                live_seq,
+                "scaled-{n}: live node count diverged at {workers} workers"
+            );
+            for e in tree.iter() {
+                let fp = par.element_bdd(tree, e);
+                let fs = seq.element_bdd(tree, e);
+                assert_eq!(
+                    par.manager().node_count(fp),
+                    seq.manager().node_count(fs),
+                    "scaled-{n}: node count of {} diverged",
+                    tree.name(e)
+                );
+            }
+            // ... identical verdicts on sampled vectors ...
+            for seed in 0..20u64 {
+                let bits: Vec<bool> = (0..n)
+                    .map(|i| {
+                        (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ (i as u64).wrapping_mul(0xD134_2543_DE82_EF95))
+                        .count_ones()
+                        .is_multiple_of(2)
+                    })
+                    .collect();
+                let b = StatusVector::from_bits(bits);
+                assert_eq!(
+                    par.eval_vector(tree, top_par, &b),
+                    seq.eval_vector(tree, top_seq, &b),
+                    "scaled-{n}: verdict diverged at {workers} workers"
+                );
+            }
+            // ... and a bit-identical probability (same diagram, same walk).
+            let p_par = prob::bdd_probability(tree, &par, top_par, &probs).expect("probability");
+            assert_eq!(
+                p_par.to_bits(),
+                p_seq.to_bits(),
+                "scaled-{n}: probability diverged at {workers} workers"
+            );
+
+            let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
+            if workers == max_workers {
+                speedup_at_max = speedup;
+            }
+            println!(
+                "{:<10} {:>10.1} {:>10.1} {:>9.2} {:>8} {:>9.2e}",
+                workers,
+                t_par.as_secs_f64() * 1e3,
+                stats.stitch_micros as f64 / 1e3,
+                speedup,
+                stats.modules_detected,
+                live_seq as f64 / t_par.as_secs_f64().max(1e-9)
+            );
+            if !wrows.is_empty() {
+                wrows.push(',');
+            }
+            wrows.push_str(&format!(
+                "{{\"workers\":{workers},\"total_ms\":{:.3},\"stitch_ms\":{:.3},\
+                 \"speedup\":{speedup:.3},\"nodes_per_sec\":{:.0},\
+                 \"modules_detected\":{}}}",
+                t_par.as_secs_f64() * 1e3,
+                stats.stitch_micros as f64 / 1e3,
+                live_seq as f64 / t_par.as_secs_f64().max(1e-9),
+                stats.modules_detected,
+            ));
+        }
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "{{\"tree\":\"scaled-{n}\",\"basic_events\":{n},\"elements\":{},\
+             \"modules\":{modules_detected},\"live_nodes\":{live_seq},\
+             \"probability\":{p_seq:e},\"seq_ms\":{:.3},\
+             \"seq_nodes_per_sec\":{nodes_per_sec:.0},\
+             \"speedup_at_{max_workers}_workers\":{speedup_at_max:.3},\
+             \"identical_node_counts\":true,\"identical_verdicts\":true,\
+             \"identical_probabilities\":true,\"workers\":[{wrows}]}}",
+            tree.len(),
+            t_seq.as_secs_f64() * 1e3,
+        ));
+    }
+    let json = format!(
+        "{{\"artifact\":\"scale\",\"mode\":\"{}\",\"host_parallelism\":{host},\
+         \"baseline\":\"sequential element_bdd\",\"trees\":[{rows}]}}\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let path = "BENCH_scale.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path}: {e}"),
     }
 }

@@ -54,6 +54,8 @@ COMMANDS:
     importance  rank every basic event by quantitative importance for a
              formula (Birnbaum, criticality, Fussell-Vesely, RAW, RRW)
     modules  list the gates that are independent modules
+    generate emit a seeded industrial fault tree in Galileo format to
+             stdout (no --ft); shape it with the GENERATOR flags below
     serve    run the concurrent analysis service (JSON-lines over TCP);
              no --ft — models are loaded over the protocol
     client   send JSON-lines requests to a running server (from the
@@ -72,6 +74,11 @@ OPTIONS:
                        (sift when the BDD arena grows FACTOR-fold, default 2)
     --gc               mark-and-sweep BDD garbage collection at maintenance
                        points (on by default whenever --reorder is active)
+    --parallelism <N>  worker threads for the initial BDD construction
+                       (default 1 = lazy sequential compile); independent
+                       fault-tree modules compile in parallel arenas and
+                       stitch into the session — results are identical,
+                       `explain` reports the module/stitch breakdown
     --engine <E>       mcs/mps backend: minsol (default), paper, zdd
     --json             structured JSON output (check, run, sweep, explain,
                        sat, count, mcs, mps, ibe, prob, importance)
@@ -86,6 +93,23 @@ UNCERTAINTY (prob, check, run, sweep):
                        reproduce the estimate bit-for-bit at any thread
                        count
     --confidence <X>   mc: Wilson confidence level in (0,1), default 0.99
+
+GENERATOR (generate):
+    --events <N>       basic-event count (default 1000)
+    --modules <M>      independent top-level modules (default events/64,
+                       at least 2)
+    --depth <D>        gate layers per module (default 5)
+    --fan <LO:HI>      children per gate, inclusive range (default 2:4)
+    --and-bias <X>     probability a gate is AND rather than OR, in
+                       [0,1] (default 0.4)
+    --vot <X>          VOT(k/N) gate density in [0,1] (default 0.1)
+    --sharing <X>      intra-module DAG-sharing rate in [0,1]
+                       (default 0.15)
+    --prob <LO:HI>     log-uniform basic-event probability range
+                       (default 1e-5:1e-2)
+    --bare             omit prob= annotations
+    --seed <N>         generator seed (default: derived from --events;
+                       equal flags reproduce the tree byte-for-byte)
 
 SERVING (serve, client):
     --addr <HOST:PORT> listen/connect address (default 127.0.0.1:7878;
@@ -151,6 +175,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match command.as_str() {
         "serve" => return cmd_serve(&args[1..]),
         "client" => return cmd_client(&args[1..]),
+        "generate" => return cmd_generate(&args[1..]),
         _ => {}
     }
     let opts = parse_options(&args[1..])?;
@@ -184,6 +209,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut json = false;
     let mut reorder: Option<ReorderPolicy> = None;
     let mut gc: Option<bool> = None;
+    let mut parallelism: Option<usize> = None;
     let mut method_name: Option<String> = None;
     let mut samples: Option<u64> = None;
     let mut seed: Option<u64> = None;
@@ -226,6 +252,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--gc" => gc = Some(true),
             "--no-gc" => gc = Some(false),
+            "--parallelism" => {
+                i += 1;
+                let n = args.get(i).ok_or("--parallelism requires a number")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("invalid parallelism `{n}`"))?;
+                if n == 0 {
+                    return Err("--parallelism must be at least 1".to_string());
+                }
+                parallelism = Some(n);
+            }
             "--method" => {
                 i += 1;
                 let name = args.get(i).ok_or("--method requires an argument")?;
@@ -288,6 +325,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if let Some(enabled) = gc {
         builder = builder.gc(enabled);
+    }
+    if let Some(n) = parallelism {
+        builder = builder.parallelism(n);
     }
     let session = builder.build(model.tree);
     Ok(Options {
@@ -739,6 +779,144 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
         i += 1;
     }
     Ok(opts)
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, String> {
+    use bfl_fault_tree::generator::industrial_model;
+
+    fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+        *i += 1;
+        args.get(*i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} requires an argument"))
+    }
+    fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+        value
+            .parse()
+            .map_err(|_| format!("invalid {flag} value `{value}`"))
+    }
+    fn parse_unit(value: &str, flag: &str) -> Result<f64, String> {
+        let x: f64 = parse_num(value, flag)?;
+        if !(0.0..=1.0).contains(&x) {
+            return Err(format!("{flag} must be in [0,1], got `{value}`"));
+        }
+        Ok(x)
+    }
+    fn parse_pair<T: std::str::FromStr>(value: &str, flag: &str) -> Result<(T, T), String> {
+        let (lo, hi) = value
+            .split_once(':')
+            .ok_or_else(|| format!("{flag} takes LO:HI, got `{value}`"))?;
+        Ok((parse_num(lo, flag)?, parse_num(hi, flag)?))
+    }
+
+    let mut events = 1_000usize;
+    let mut modules: Option<usize> = None;
+    let mut depth: Option<usize> = None;
+    let mut fan: Option<(usize, usize)> = None;
+    let mut and_bias: Option<f64> = None;
+    let mut vot: Option<f64> = None;
+    let mut sharing: Option<f64> = None;
+    let mut prob: Option<(f64, f64)> = None;
+    let mut seed: Option<u64> = None;
+    let mut bare = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--events" => events = parse_num(flag_value(args, &mut i, "--events")?, "--events")?,
+            "--modules" => {
+                modules = Some(parse_num(
+                    flag_value(args, &mut i, "--modules")?,
+                    "--modules",
+                )?);
+            }
+            "--depth" => {
+                depth = Some(parse_num(flag_value(args, &mut i, "--depth")?, "--depth")?);
+            }
+            "--fan" => fan = Some(parse_pair(flag_value(args, &mut i, "--fan")?, "--fan")?),
+            "--and-bias" => {
+                and_bias = Some(parse_unit(
+                    flag_value(args, &mut i, "--and-bias")?,
+                    "--and-bias",
+                )?);
+            }
+            "--vot" => vot = Some(parse_unit(flag_value(args, &mut i, "--vot")?, "--vot")?),
+            "--sharing" => {
+                sharing = Some(parse_unit(
+                    flag_value(args, &mut i, "--sharing")?,
+                    "--sharing",
+                )?);
+            }
+            "--prob" => prob = Some(parse_pair(flag_value(args, &mut i, "--prob")?, "--prob")?),
+            "--seed" => seed = Some(parse_num(flag_value(args, &mut i, "--seed")?, "--seed")?),
+            "--bare" => bare = true,
+            other => {
+                return Err(format!(
+                    "generate does not take `{other}` (see GENERATOR flags in `bfl help`)"
+                ))
+            }
+        }
+        i += 1;
+    }
+
+    // Start from the reference shape for this size, then apply overrides,
+    // validating here so shape mistakes surface as errors, not panics.
+    let mut config = bfl_fault_tree::corpus::scaled_config(events);
+    if let Some(m) = modules {
+        config.num_modules = m;
+    }
+    if let Some(d) = depth {
+        config.depth = d;
+    }
+    if let Some(f) = fan {
+        config.fan_in = f;
+    }
+    if let Some(x) = and_bias {
+        config.and_bias = x;
+    }
+    if let Some(x) = vot {
+        config.vot_density = x;
+    }
+    if let Some(x) = sharing {
+        config.sharing = x;
+    }
+    if let Some(p) = prob {
+        config.prob_range = p;
+    }
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    if config.num_modules == 0 || config.depth == 0 {
+        return Err("--modules and --depth must be at least 1".to_string());
+    }
+    if config.num_basic < 2 * config.num_modules {
+        return Err(format!(
+            "--events must be at least 2 per module (got {} events, {} modules)",
+            config.num_basic, config.num_modules
+        ));
+    }
+    if config.fan_in.0 < 2 || config.fan_in.0 > config.fan_in.1 {
+        return Err(format!(
+            "--fan must satisfy 2 <= LO <= HI, got {}:{}",
+            config.fan_in.0, config.fan_in.1
+        ));
+    }
+    if !(config.prob_range.0 > 0.0
+        && config.prob_range.0 <= config.prob_range.1
+        && config.prob_range.1 <= 1.0)
+    {
+        return Err(format!(
+            "--prob must satisfy 0 < LO <= HI <= 1, got {}:{}",
+            config.prob_range.0, config.prob_range.1
+        ));
+    }
+
+    let model = industrial_model(&config);
+    let annotations = if bare {
+        None
+    } else {
+        Some(model.probabilities.as_slice())
+    };
+    Ok(galileo::to_galileo(&model.tree, annotations))
 }
 
 fn cmd_serve(args: &[String]) -> Result<String, String> {
@@ -1371,6 +1549,80 @@ mod tests {
             args.extend(extra.iter().copied());
             args.push("forall A & B => T");
             assert_eq!(run_ok(&args), base, "{extra:?}");
+        }
+    }
+
+    #[test]
+    fn parallelism_flag_is_accepted_and_answers_agree() {
+        let f = write_model();
+        let ft = f.arg();
+        let base = run_ok(&["check", "--ft", &ft, "forall A & B => T"]);
+        for n in ["1", "2", "4"] {
+            let out = run_ok(&[
+                "check",
+                "--ft",
+                &ft,
+                "--parallelism",
+                n,
+                "forall A & B => T",
+            ]);
+            assert_eq!(out, base, "parallelism {n}");
+        }
+        for bad in ["0", "x"] {
+            let args: Vec<String> = ["check", "--ft", &ft, "--parallelism", bad, "exists T"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert!(run(&args).is_err(), "parallelism {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn generate_emits_a_parseable_deterministic_model() {
+        let args = [
+            "generate",
+            "--events",
+            "120",
+            "--modules",
+            "3",
+            "--depth",
+            "3",
+            "--fan",
+            "2:3",
+            "--vot",
+            "0.2",
+            "--seed",
+            "7",
+        ];
+        let out = run_ok(&args);
+        let model = galileo::parse(&out).expect("generated model parses");
+        assert_eq!(model.tree.num_basic_events(), 120);
+        assert!(model.probabilities.iter().all(Option::is_some));
+        assert_eq!(out, run_ok(&args), "same flags, same bytes");
+
+        // --bare drops the annotations, the tree stays identical.
+        let bare = run_ok(&["generate", "--events", "120", "--modules", "3", "--bare"]);
+        let bare_model = galileo::parse(&bare).expect("bare model parses");
+        assert!(bare_model.probabilities.iter().all(Option::is_none));
+        assert!(!bare.contains("prob="));
+    }
+
+    #[test]
+    fn generate_rejects_malformed_shapes() {
+        for bad in [
+            vec!["generate", "--events", "4", "--modules", "3"],
+            vec!["generate", "--fan", "1:3"],
+            vec!["generate", "--fan", "4:2"],
+            vec!["generate", "--fan", "2"],
+            vec!["generate", "--prob", "0:0.5"],
+            vec!["generate", "--and-bias", "1.5"],
+            vec!["generate", "--depth", "0"],
+            vec!["generate", "--events"],
+            vec!["generate", "--bogus"],
+            vec!["generate", "--ft", "x.dft"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(run(&args).is_err(), "{bad:?} accepted");
         }
     }
 

@@ -75,7 +75,7 @@ use crate::ast::{Formula, Query};
 use crate::checker::{MinimalityScope, ModelChecker};
 use crate::counterexample::{counterexample, Counterexample, CounterexampleSet};
 use crate::error::BflError;
-use crate::plan::{PlanRoots, PreparedQuery};
+use crate::plan::{ConstructionReport, PlanRoots, PreparedQuery};
 use crate::quant;
 use crate::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
 use crate::uncertainty::{self, Method, ProbInterval, ProbValue};
@@ -229,6 +229,7 @@ pub struct SessionBuilder {
     reorder: Option<ReorderPolicy>,
     /// `None` = enable GC exactly when the reorder policy is active.
     gc: Option<bool>,
+    parallelism: usize,
 }
 
 impl Default for SessionBuilder {
@@ -243,6 +244,7 @@ impl Default for SessionBuilder {
             method: Method::Exact,
             reorder: None,
             gc: None,
+            parallelism: 1,
         }
     }
 }
@@ -349,6 +351,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Worker threads for the initial BDD construction (default 1).
+    ///
+    /// With `n > 1` the session compiles every element translation
+    /// eagerly at build time, farming the tree's independent modules out
+    /// to up to `n` threads with private arenas and stitching the results
+    /// into the session arena
+    /// (see [`ModelChecker::compile_parallel`]). ROBDD canonicity makes
+    /// the result node-for-node identical to the lazy sequential compile;
+    /// the construction record surfaces via
+    /// [`AnalysisSession::construction_report`] and in every
+    /// [`Plan`](crate::plan::Plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        assert!(n >= 1, "parallelism must be at least 1");
+        self.parallelism = n;
+        self
+    }
+
     /// Builds the session. Accepts a `FaultTree` by value or an existing
     /// `Arc<FaultTree>`.
     ///
@@ -374,6 +397,12 @@ impl SessionBuilder {
         }
         let mut checker = ModelChecker::from_arc(Arc::clone(&tree), self.ordering);
         checker.set_minimality_scope(self.scope);
+        let construction = if self.parallelism > 1 {
+            let stats = checker.compile_parallel(self.parallelism);
+            Some(ConstructionReport::from_stats(&tree, &stats))
+        } else {
+            None
+        };
         let reorder = self.reorder.unwrap_or(if self.ordering.is_dynamic() {
             ReorderPolicy::auto()
         } else {
@@ -394,6 +423,7 @@ impl SessionBuilder {
                 reorder,
                 gc,
                 sampler: SamplerCounters::default(),
+                construction,
                 checker: Mutex::new(checker),
                 maintenance: Mutex::new(MaintenanceState {
                     last_arena,
@@ -424,6 +454,9 @@ pub(crate) struct SessionInner {
     /// Cumulative Monte Carlo counters (lock-free: estimation runs
     /// outside the checker lock).
     pub(crate) sampler: SamplerCounters,
+    /// The parallel-construction record when the session was built with
+    /// `parallelism > 1`; `None` for sequential (lazy) builds.
+    pub(crate) construction: Option<ConstructionReport>,
     pub(crate) checker: Mutex<ModelChecker>,
     maintenance: Mutex<MaintenanceState>,
     /// Every live prepared query registers its compiled roots here so a
@@ -788,6 +821,14 @@ impl AnalysisSession {
     /// Whether garbage collection runs at maintenance points.
     pub fn gc_enabled(&self) -> bool {
         self.inner.gc
+    }
+
+    /// The parallel-construction record, when the session was built with
+    /// [`SessionBuilder::parallelism`] `> 1`: detected module count,
+    /// per-module node counts and stitch time. `None` for sequential
+    /// (lazy) builds.
+    pub fn construction_report(&self) -> Option<&ConstructionReport> {
+        self.inner.construction.as_ref()
     }
 
     /// Runs maintenance **now** — garbage collection and sifting over

@@ -134,8 +134,8 @@ pub use engine::{
 pub use error::BflError;
 pub use patterns::{Pattern, Table1Row};
 pub use plan::{
-    Plan, PreparedQuery, PreparedStats, ProbOutcome, ProbSweepReport, ProbSweepStats, SweepReport,
-    SweepStats,
+    ConstructionReport, ModuleReport, Plan, PreparedQuery, PreparedStats, ProbOutcome,
+    ProbSweepReport, ProbSweepStats, SweepReport, SweepStats,
 };
 pub use quant::{EventImportance, ProbQuery};
 pub use report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};

@@ -135,6 +135,86 @@ pub struct OperandPlan {
     pub constant: Option<bool>,
 }
 
+/// One module compiled during parallel construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleReport {
+    /// Name of the module's root gate.
+    pub root: String,
+    /// Elements in the module's cone (root included).
+    pub cone: usize,
+    /// BDD nodes of the module root's diagram.
+    pub nodes: usize,
+    /// Worker-side compile time, µs.
+    pub micros: u64,
+    /// Index of the worker thread that compiled it.
+    pub worker: usize,
+}
+
+/// The record of a parallel session build: how the tree's independent
+/// modules were farmed out to worker arenas and stitched back (see
+/// [`SessionBuilder::parallelism`](crate::engine::SessionBuilder::parallelism)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstructionReport {
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Independent modules that met the parallelisation threshold.
+    pub modules_detected: usize,
+    /// Per-module compile statistics.
+    pub modules: Vec<ModuleReport>,
+    /// Time spent importing worker diagrams into the session arena, µs.
+    pub stitch_micros: u64,
+    /// End-to-end wall-clock of the construction, µs.
+    pub total_micros: u64,
+}
+
+impl ConstructionReport {
+    pub(crate) fn from_stats(
+        tree: &bfl_fault_tree::FaultTree,
+        stats: &bfl_fault_tree::bdd::ParallelCompileStats,
+    ) -> Self {
+        ConstructionReport {
+            workers: stats.workers,
+            modules_detected: stats.modules_detected,
+            modules: stats
+                .modules
+                .iter()
+                .map(|m| ModuleReport {
+                    root: tree.name(m.root).to_string(),
+                    cone: m.cone,
+                    nodes: m.nodes,
+                    micros: m.micros,
+                    worker: m.worker,
+                })
+                .collect(),
+            stitch_micros: stats.stitch_micros,
+            total_micros: stats.total_micros,
+        }
+    }
+
+    /// Serialises the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"workers\":{},\"modules_detected\":{},\"stitch_micros\":{},\"total_micros\":{},\"modules\":[",
+            self.workers, self.modules_detected, self.stitch_micros, self.total_micros
+        );
+        for (i, m) in self.modules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"root\":{},\"cone\":{},\"nodes\":{},\"micros\":{},\"worker\":{}}}",
+                json_str(&m.root),
+                m.cone,
+                m.nodes,
+                m.micros,
+                m.worker
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// The compiled query plan: pass-by-pass formula sizes, BDD statistics
 /// and build cost. Rendered human-readably by [`fmt::Display`] and
 /// machine-readably by [`Plan::to_json`].
@@ -158,6 +238,11 @@ pub struct Plan {
     /// before/after plus the GC and sifting statistics. `None` when no
     /// maintenance was due.
     pub maintenance: Option<MaintenanceReport>,
+    /// The session's parallel-construction record, when the session was
+    /// built with [`SessionBuilder::parallelism`](crate::engine::SessionBuilder::parallelism)
+    /// `> 1`: module count, per-module node counts and stitch time.
+    /// `None` for sequentially built sessions.
+    pub construction: Option<ConstructionReport>,
 }
 
 impl Plan {
@@ -224,6 +309,10 @@ impl Plan {
                 out.push('}');
             }
         }
+        match &self.construction {
+            None => out.push_str(",\"construction\":null"),
+            Some(c) => out.push_str(&format!(",\"construction\":{}", c.to_json())),
+        }
         out.push('}');
         out
     }
@@ -281,6 +370,20 @@ impl fmt::Display for Plan {
                 write!(f, " · gc reclaimed {}", gc.collected)?;
             }
             writeln!(f)?;
+        }
+        if let Some(c) = &self.construction {
+            writeln!(
+                f,
+                "  construction: {} modules on {} workers · stitch {} µs · total {} µs",
+                c.modules_detected, c.workers, c.stitch_micros, c.total_micros
+            )?;
+            for m in &c.modules {
+                writeln!(
+                    f,
+                    "    module {:<20} cone {:<5} {} nodes · {} µs · worker {}",
+                    m.root, m.cone, m.nodes, m.micros, m.worker
+                )?;
+            }
         }
         Ok(())
     }
@@ -612,6 +715,7 @@ impl PreparedQuery {
             operands,
             prepare,
             maintenance,
+            construction: inner.construction.clone(),
         };
         drop(mc);
         Ok(PreparedQuery {

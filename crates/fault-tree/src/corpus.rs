@@ -6,9 +6,14 @@
 //! * [`table1_tree`] — the five-element tree of Section VI / Table I;
 //! * [`covid`] — the full COVID-19 fault tree of Fig. 2 (see `DESIGN.md`
 //!   §3 for the reconstruction argument and the oracles it satisfies);
-//! * [`kofn`] and [`chain`] — parametric families for benchmarks.
+//! * [`kofn`] and [`chain`] — parametric families for benchmarks;
+//! * [`scaled`] / [`scaled_model`] — the industrial-scale family
+//!   (1k–10k basic events) used by the scale benchmarks and the
+//!   metamorphic test suite.
 
 use crate::builder::FaultTreeBuilder;
+use crate::galileo::GalileoModel;
+use crate::generator::{industrial_model, industrial_tree, IndustrialConfig};
 use crate::model::{FaultTree, GateType};
 
 /// The smallest significant tree (Fig. 3, Examples 2 and 3): a single
@@ -261,6 +266,40 @@ pub fn chain(depth: u32) -> FaultTree {
     b.build(&layer[0]).expect("well-formed")
 }
 
+/// The sizes of the industrial-scale corpus family, in basic events.
+pub const SCALED_SIZES: [usize; 4] = [1_000, 2_000, 5_000, 10_000];
+
+/// The fixed configuration behind [`scaled`]: shape and seed are pinned
+/// per size so the family is stable across releases (benchmarks and
+/// regression baselines stay comparable).
+pub fn scaled_config(num_basic: usize) -> IndustrialConfig {
+    IndustrialConfig {
+        num_basic,
+        num_modules: (num_basic / 64).max(2),
+        depth: 5,
+        fan_in: (2, 4),
+        and_bias: 0.4,
+        vot_density: 0.1,
+        sharing: 0.15,
+        prob_range: (1.0e-5, 1.0e-2),
+        seed: 0x5CA1ED ^ num_basic as u64,
+    }
+}
+
+/// An industrial-scale tree with `num_basic` basic events, deterministic
+/// per size; see [`SCALED_SIZES`] for the canonical sizes. The tree is a
+/// disjunction of ~`num_basic / 64` independent modules, each an internal
+/// DAG with shared subtrees and ~10% VOT gates.
+pub fn scaled(num_basic: usize) -> FaultTree {
+    industrial_tree(&scaled_config(num_basic))
+}
+
+/// [`scaled`] with log-uniform probability annotations (`1e-5..1e-2`),
+/// ready for the probability layer or Galileo emission.
+pub fn scaled_model(num_basic: usize) -> GalileoModel {
+    industrial_model(&scaled_config(num_basic))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +406,25 @@ mod tests {
         let t = chain(4);
         assert_eq!(t.num_basic_events(), 16);
         assert_eq!(t.num_gates(), 8 + 4 + 2 + 1);
+    }
+
+    #[test]
+    fn scaled_family_shape() {
+        let m = scaled_model(1_000);
+        assert_eq!(m.tree.num_basic_events(), 1_000);
+        // ~num_basic/64 independent modules under an OR top.
+        let roots = m.tree.children(m.tree.top()).to_vec();
+        assert_eq!(roots.len(), 15);
+        let deco = crate::modules::Decomposition::new(&m.tree);
+        assert!(roots.iter().all(|&r| deco.is_module(r)));
+        assert!(m.probabilities.iter().all(Option::is_some));
+        // Deterministic per size.
+        assert_eq!(
+            crate::galileo::to_galileo(&m.tree, Some(&m.probabilities)),
+            {
+                let m2 = scaled_model(1_000);
+                crate::galileo::to_galileo(&m2.tree, Some(&m2.probabilities))
+            }
+        );
     }
 }

@@ -10,6 +10,7 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 
+use bfl_fault_tree::{corpus, galileo, StatusVector};
 use bfl_server::{Client, ErrorCode, Response, ResponseBody, Server, ServerConfig, ServerHandle};
 
 const MODEL: &str = "toplevel T;\nT and A B;\nA prob=0.1;\nB prob=0.2;\n";
@@ -243,6 +244,177 @@ fn full_queue_answers_busy_instead_of_buffering() {
     stream.flush().expect("flush");
     reader.read_line(&mut line).expect("read");
     assert!(Response::parse(line.trim_end()).expect("parses").is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn scaled_tree_sweeps_reuse_the_compiled_plan_with_bounded_memory() {
+    // A 1000-basic-event industrial tree served over the wire: prepare
+    // once, sweep the same scenario set twice, and prove through `stats`
+    // that the warm round rebuilt nothing (translation-cache misses
+    // frozen) and allocated nothing (arena level frozen).
+    let model = corpus::scaled_model(1_000);
+    let text = galileo::to_galileo(&model.tree, Some(&model.probabilities));
+    let names: Vec<&str> = model
+        .tree
+        .basic_events()
+        .iter()
+        .map(|&e| model.tree.name(e))
+        .collect();
+    let scenarios: String = (0..24)
+        .map(|i| {
+            format!(
+                "s{i}: {} = {}, {} = {}, {} = {}\n",
+                names[(i * 37) % names.len()],
+                i % 2,
+                names[(i * 53 + 11) % names.len()],
+                (i / 2) % 2,
+                names[(i * 101 + 29) % names.len()],
+                (i / 4) % 2,
+            )
+        })
+        .collect();
+
+    let handle = start_server(2, 64);
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    // Witness enumeration is meaningless (and don't-care exponential) at
+    // 1000 events; verdict-only sessions are the scale configuration.
+    let session = client
+        .load_with(
+            &text,
+            bfl_server::SessionOptions {
+                witness_limit: Some(0),
+                ..bfl_server::SessionOptions::default()
+            },
+        )
+        .expect("loads the scaled model");
+    let plan = client.prepare(&session, "exists top").expect("prepares");
+
+    let read_counters = |client: &mut Client| {
+        let doc = client.stats(Some(&session)).expect("stats");
+        let stats = doc.get("stats").expect("session stats");
+        (
+            stats
+                .get("cache_misses")
+                .and_then(|v| v.as_u64())
+                .expect("cache_misses"),
+            stats
+                .get("arena_nodes")
+                .and_then(|v| v.as_u64())
+                .expect("arena_nodes"),
+        )
+    };
+
+    let sweep1 = client.sweep(&session, &plan, &scenarios).expect("sweeps");
+    assert_eq!(
+        sweep1
+            .get("outcomes")
+            .and_then(|o| o.as_array())
+            .map(<[_]>::len),
+        Some(24)
+    );
+    let (misses_warm, arena_warm) = read_counters(&mut client);
+    assert!(arena_warm > 0, "the compiled diagram lives in the arena");
+
+    let sweep2 = client.sweep(&session, &plan, &scenarios).expect("sweeps");
+    assert_eq!(
+        sweep2
+            .get("outcomes")
+            .and_then(|o| o.as_array())
+            .map(<[_]>::len),
+        Some(24)
+    );
+    let (misses_after, arena_after) = read_counters(&mut client);
+    assert_eq!(
+        misses_after, misses_warm,
+        "warm sweep must not rebuild any plan"
+    );
+    assert_eq!(
+        arena_after, arena_warm,
+        "warm sweep must not grow the shared arena"
+    );
+    client.unload(&session).expect("unloads");
+    handle.shutdown();
+}
+
+#[test]
+fn cause_on_a_scaled_tree_reports_the_exact_model_count() {
+    // A complete observation failing exactly one (greedily minimised)
+    // cut set keeps the cause space small; the served `total` must be
+    // the exact BDD model count — equal to the enumerated sets, no
+    // truncation — and agree with the in-process engine.
+    let model = corpus::scaled_model(1_000);
+    let tree = &model.tree;
+    let n = tree.num_basic_events();
+
+    // Greedy repair from the all-failed vector leaves a minimal cut set.
+    let mut observation = StatusVector::all_failed(n);
+    for i in 0..n {
+        let repaired = observation.with(i, false);
+        if tree.evaluate(&repaired, tree.top()) {
+            observation = repaired;
+        }
+    }
+    assert!(tree.evaluate(&observation, tree.top()));
+    let failed = observation.failed_indices();
+    assert!(!failed.is_empty());
+
+    let scenario_line: String = (0..n)
+        .map(|i| {
+            format!(
+                "{} = {}",
+                tree.name(tree.basic_events()[i]),
+                u8::from(observation.get(i))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    // Reference run through the in-process engine.
+    let reference_session = bfl_core::engine::AnalysisSession::new(tree.clone());
+    let query = bfl_core::parser::parse_query("cause(top)").expect("parses");
+    let reference_plan = reference_session.prepare(&query).expect("prepares");
+    let scenario = (0..n).fold(bfl_core::Scenario::new(), |s, i| {
+        s.bind(tree.name(tree.basic_events()[i]), observation.get(i))
+    });
+    let reference = reference_plan
+        .cause(&scenario)
+        .expect("causes")
+        .causes
+        .expect("cause outcome carries a report");
+    assert!(
+        !reference.truncated,
+        "smoke observation must enumerate fully"
+    );
+    assert_eq!(reference.total, reference.causes.len() as u128);
+
+    // The same question over the wire.
+    let handle = start_server(2, 64);
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let text = galileo::to_galileo(tree, Some(&model.probabilities));
+    let session = client.load(&text).expect("loads");
+    let plan = client.prepare(&session, "cause(top)").expect("prepares");
+    let outcome = client
+        .cause(&session, &plan, &scenario_line)
+        .expect("cause");
+    let report = outcome.get("causes").expect("outcome carries causes");
+    let total = report.get("total").and_then(|v| v.as_u64()).expect("total");
+    let sets = report
+        .get("sets")
+        .and_then(|v| v.as_array())
+        .expect("sets array");
+    assert_eq!(
+        report.get("truncated").and_then(|v| v.as_bool()),
+        Some(false),
+        "{report}"
+    );
+    assert_eq!(total, sets.len() as u64, "total must match the model count");
+    assert_eq!(
+        u128::from(total),
+        reference.total,
+        "server and engine agree"
+    );
+    client.unload(&session).expect("unloads");
     handle.shutdown();
 }
 

@@ -1,0 +1,185 @@
+//! Differential testing of the industrial fault-tree generator.
+//!
+//! The generator is trusted with the scale corpus, so here it is pinned
+//! against every independent oracle the workspace has, on trees small
+//! enough (≤ 14 basic events) to check exhaustively:
+//!
+//! * the structure function `Φ_T` by direct recursion vs the compiled
+//!   BDD, over **all** `2^n` status vectors;
+//! * layer-2 quantifiers via `semantics::eval_query` vs the
+//!   `AnalysisSession` model checker;
+//! * exact BDD probabilities vs the `2^n`-sum naive reference;
+//! * the Galileo emitter/parser fixpoint: `emit → parse → emit` must be
+//!   byte-identical, for annotated and bare trees alike.
+
+use bfl_core::ast::{Formula, Query};
+use bfl_core::engine::AnalysisSession;
+use bfl_core::{quant, semantics};
+use bfl_fault_tree::bdd::TreeBdd;
+use bfl_fault_tree::generator::{industrial_model, industrial_tree, IndustrialConfig};
+use bfl_fault_tree::{galileo, prob};
+use bfl_fault_tree::{StatusVector, VariableOrdering};
+
+/// Small shapes exercising every generator axis: module count, depth,
+/// fan-in, gate mix, VOT density and DAG sharing.
+fn shapes() -> Vec<IndustrialConfig> {
+    vec![
+        IndustrialConfig {
+            num_basic: 8,
+            num_modules: 2,
+            depth: 3,
+            fan_in: (2, 3),
+            and_bias: 0.5,
+            vot_density: 0.0,
+            sharing: 0.0,
+            ..Default::default()
+        },
+        IndustrialConfig {
+            num_basic: 12,
+            num_modules: 3,
+            depth: 2,
+            fan_in: (2, 4),
+            and_bias: 0.2,
+            vot_density: 0.5,
+            sharing: 0.3,
+            ..Default::default()
+        },
+        IndustrialConfig {
+            num_basic: 14,
+            num_modules: 1,
+            depth: 6,
+            fan_in: (2, 2),
+            and_bias: 0.8,
+            vot_density: 0.2,
+            sharing: 0.5,
+            ..Default::default()
+        },
+        IndustrialConfig {
+            num_basic: 13,
+            num_modules: 4,
+            depth: 4,
+            fan_in: (3, 4),
+            and_bias: 0.4,
+            vot_density: 1.0,
+            sharing: 0.15,
+            ..Default::default()
+        },
+    ]
+}
+
+fn seeded(mut cfg: IndustrialConfig, seed: u64) -> IndustrialConfig {
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn structure_function_matches_bdd_exhaustively() {
+    for shape in shapes() {
+        for seed in 0..5u64 {
+            let cfg = seeded(shape.clone(), 0xD1FF + seed);
+            let tree = industrial_tree(&cfg);
+            let n = tree.num_basic_events();
+            assert!(n <= 14, "differential shapes must stay exhaustive");
+            let mut tb = TreeBdd::new(&tree, VariableOrdering::DfsPreorder);
+            let top = tb.element_bdd(&tree, tree.top());
+            for v in StatusVector::enumerate_all(n) {
+                assert_eq!(
+                    tree.evaluate(&v, tree.top()),
+                    tb.eval_vector(&tree, top, &v),
+                    "Φ_T disagrees with the BDD (shape n={n}, seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quantifiers_agree_with_reference_semantics() {
+    for shape in shapes() {
+        for seed in 0..3u64 {
+            let cfg = seeded(shape.clone(), 0xBEE + seed);
+            let tree = industrial_tree(&cfg);
+            let top_name = tree.name(tree.top()).to_string();
+            let session = AnalysisSession::new(tree.clone());
+            for q in [
+                Query::exists(Formula::atom(&top_name)),
+                Query::forall(Formula::atom(&top_name)),
+                Query::exists(Formula::atom(&top_name).not()),
+                Query::forall(Formula::atom(&top_name).mcs()),
+            ] {
+                let reference = semantics::eval_query(&tree, &q).unwrap();
+                let checked = session.check_query(&q).unwrap().holds;
+                assert_eq!(reference, checked, "{q} (seed {seed})");
+            }
+        }
+    }
+}
+
+#[test]
+fn bdd_probability_matches_naive_sum() {
+    for shape in shapes() {
+        for seed in 0..3u64 {
+            let cfg = seeded(shape.clone(), 0x9B + seed);
+            let model = industrial_model(&cfg);
+            let probs: Vec<f64> = model.probabilities.iter().map(|p| p.unwrap()).collect();
+            let tree = &model.tree;
+            let exact = prob::top_event_probability(tree, &probs).unwrap();
+            let top_name = tree.name(tree.top()).to_string();
+            let naive = quant::probability_naive(tree, &Formula::atom(&top_name), &probs).unwrap();
+            assert!(
+                (exact - naive).abs() < 1e-9,
+                "P(top) {exact} vs naive {naive} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    for shape in shapes() {
+        let a = galileo::to_galileo(&industrial_tree(&shape), None);
+        let b = galileo::to_galileo(&industrial_tree(&shape), None);
+        assert_eq!(a, b, "same config must regenerate the same tree");
+        let other = industrial_tree(&seeded(shape, 0xFEED));
+        assert_ne!(
+            a,
+            galileo::to_galileo(&other, None),
+            "a different seed should perturb the tree"
+        );
+    }
+}
+
+#[test]
+fn galileo_emit_parse_emit_is_a_byte_identical_fixpoint() {
+    for shape in shapes() {
+        for seed in 0..3u64 {
+            let cfg = seeded(shape.clone(), 0x6A11 + seed);
+            // Annotated: probabilities survive the round trip verbatim.
+            let model = industrial_model(&cfg);
+            let text1 = galileo::to_galileo(&model.tree, Some(&model.probabilities));
+            let reparsed = galileo::parse(&text1).expect("emitter output must parse");
+            assert_eq!(reparsed.probabilities, model.probabilities);
+            let text2 = galileo::to_galileo(&reparsed.tree, Some(&reparsed.probabilities));
+            assert_eq!(text1, text2, "annotated emit→parse→emit moved bytes");
+
+            // Bare: same fixpoint without the probability channel.
+            let bare1 = galileo::to_galileo(&model.tree, None);
+            let bare_reparsed = galileo::parse(&bare1).expect("bare output must parse");
+            let bare2 = galileo::to_galileo(&bare_reparsed.tree, None);
+            assert_eq!(bare1, bare2, "bare emit→parse→emit moved bytes");
+
+            // And the round trip preserved semantics, not just syntax.
+            let tree = &model.tree;
+            let mut tb1 = TreeBdd::new(tree, VariableOrdering::DfsPreorder);
+            let mut tb2 = TreeBdd::new(&reparsed.tree, VariableOrdering::DfsPreorder);
+            let f1 = tb1.element_bdd(tree, tree.top());
+            let f2 = tb2.element_bdd(&reparsed.tree, reparsed.tree.top());
+            for v in StatusVector::enumerate_all(tree.num_basic_events()) {
+                assert_eq!(
+                    tb1.eval_vector(tree, f1, &v),
+                    tb2.eval_vector(&reparsed.tree, f2, &v)
+                );
+            }
+        }
+    }
+}
