@@ -154,6 +154,16 @@ impl Manager {
         self.ite_cache.clear();
         self.not_cache.clear();
         let arena_after = self.nodes.len();
+        // Debug builds re-verify the full arena after every collection —
+        // including the post-GC-only guarantee of topological sortedness.
+        #[cfg(debug_assertions)]
+        {
+            let report = self.audit();
+            assert!(
+                report.is_ok() && report.topologically_sorted,
+                "post-GC arena audit failed: {report}"
+            );
+        }
         Gc {
             stats: GcStats {
                 arena_before,

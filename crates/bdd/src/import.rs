@@ -67,6 +67,10 @@ impl Manager {
         for &root in roots {
             self.import_rec(src, root, &mut memo, &mut |_| None);
         }
+        // An import is *closed* exactly when the destination still passes
+        // the arena audit afterwards: every copied node resolved to an
+        // in-bounds, canonically interned destination node.
+        self.debug_audit();
         roots.iter().map(|r| memo[&r.0]).collect()
     }
 
@@ -120,6 +124,7 @@ impl Manager {
         memo.insert(0, self.bot());
         memo.insert(1, self.top());
         self.import_rec(src, root, &mut memo, &mut |v| subst.get(&v).copied());
+        self.debug_audit();
         memo[&root.0]
     }
 

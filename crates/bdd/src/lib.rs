@@ -36,7 +36,12 @@
 //!   and mark-and-sweep garbage collection with arena compaction
 //!   ([`collect_garbage`](Manager::collect_garbage));
 //! * Graphviz export ([`to_dot`](Manager::to_dot)) used to reproduce the
-//!   BDD figures of the paper.
+//!   BDD figures of the paper;
+//! * **self-auditing**: [`Manager::audit`] verifies the whole arena
+//!   (unique-table canonicity, reduction, order, var↔level bijectivity,
+//!   sampled cache soundness) and returns an [`AuditReport`]; debug
+//!   builds run it automatically after every sift, collection and
+//!   import.
 //!
 //! Variables are identified by a stable id: a fresh manager places
 //! [`Var(k)`](Var) at level `k`, and dynamic reordering moves variables
@@ -63,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod dot;
 mod gc;
 mod import;
@@ -74,6 +80,7 @@ mod sat;
 mod subset;
 pub mod zdd;
 
+pub use audit::AuditReport;
 pub use gc::{Gc, GcStats};
 pub use manager::{Bdd, Manager, Node, Var};
 pub use reorder::{SiftOptions, SiftStats};

@@ -260,6 +260,7 @@ impl Manager {
                 break;
             }
         }
+        self.debug_audit();
         stats
     }
 
@@ -302,7 +303,10 @@ impl Manager {
         stats: &mut SiftStats,
     ) {
         let len = layout.len();
-        let mut pos = layout.iter().position(|&b| b == bid).expect("block");
+        let mut pos = layout
+            .iter()
+            .position(|&b| b == bid)
+            .unwrap_or_else(|| unreachable!("block {bid} is always in the layout"));
         let mut best_pos = pos;
         let mut best = self.live_size(roots);
         // Downward phase.
@@ -350,7 +354,9 @@ impl Manager {
         if self.nodes.len() >= 2048 && self.nodes.len() > 4 * live {
             let gc = self.collect_garbage(roots);
             for r in roots.iter_mut() {
-                *r = gc.remap(*r).expect("sift root survives its own sweep");
+                *r = gc
+                    .remap(*r)
+                    .unwrap_or_else(|| unreachable!("sift root survives its own sweep"));
             }
         }
         live

@@ -130,7 +130,9 @@ impl Manager {
         }
         let remaining = (universe.len() - idx) as u32;
         if f.is_true() {
-            return 1u128.checked_shl(remaining).expect("sat count overflow");
+            return 1u128.checked_shl(remaining).unwrap_or_else(|| {
+                panic!("sat count overflow: universe wider than 128 variables")
+            });
         }
         debug_assert!(idx < universe.len(), "support outside universe");
         if let Some(&c) = memo.get(&(f.id(), idx)) {
@@ -141,14 +143,16 @@ impl Manager {
         let total = if node.var == v {
             let lo = self.sat_count_over_rec(node.low, universe, idx + 1, memo);
             let hi = self.sat_count_over_rec(node.high, universe, idx + 1, memo);
-            lo.checked_add(hi).expect("sat count overflow")
+            lo.checked_add(hi)
+                .unwrap_or_else(|| panic!("sat count overflow: universe wider than 128 variables"))
         } else {
             debug_assert!(
                 self.level_of(node.var) > self.level_of(v),
                 "universe must cover the support in order"
             );
             let sub = self.sat_count_over_rec(f, universe, idx + 1, memo);
-            sub.checked_mul(2).expect("sat count overflow")
+            sub.checked_mul(2)
+                .unwrap_or_else(|| panic!("sat count overflow: universe wider than 128 variables"))
         };
         memo.insert((f.id(), idx), total);
         total

@@ -387,7 +387,7 @@ impl ZddManager {
         let c = self
             .count_rec(n.lo, memo)
             .checked_add(self.count_rec(n.hi, memo))
-            .expect("family count overflow");
+            .unwrap_or_else(|| panic!("family count overflow: more than u128::MAX minimal sets"));
         memo.insert(a.0, c);
         c
     }

@@ -1,6 +1,9 @@
 //! Edge-case and robustness tests for the BDD engine beyond the
 //! property-based oracle suite.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl_bdd::{Manager, Var};
 
 #[test]

@@ -32,6 +32,10 @@
 //! speedup-vs-workers curves plus stitch overhead); `--smoke` restricts
 //! all six to small configurations for CI.
 
+// A reproduction harness, not a library: every `expect` is an assertion
+// that the paper's artifact can be rebuilt — failing loudly with the
+// offending step in the message is exactly the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl_bench::{covid_properties, parse, property_6};
 use bfl_core::parser::{parse_formula, Spec};
 use bfl_core::patterns::{table1_rows, table1_tree};

@@ -105,6 +105,7 @@ pub fn property_6(tree: &FaultTree) -> Query {
 ///
 /// Panics on invalid sources (they are compile-time constants).
 pub fn parse(source: &str) -> Spec {
+    #[allow(clippy::expect_used)] // compile-time constant sources, see above
     parse_spec(source).expect("fixture parses")
 }
 

@@ -54,6 +54,9 @@ COMMANDS:
     importance  rank every basic event by quantitative importance for a
              formula (Birnbaum, criticality, Fussell-Vesely, RAW, RRW)
     modules  list the gates that are independent modules
+    lint     static analysis of a model (and optionally a spec file):
+             structural defects, degenerate annotations, trivial or
+             contradictory formulas; see LINT below and docs/lint.md
     generate emit a seeded industrial fault tree in Galileo format to
              stdout (no --ft); shape it with the GENERATOR flags below
     serve    run the concurrent analysis service (JSON-lines over TCP);
@@ -93,6 +96,18 @@ UNCERTAINTY (prob, check, run, sweep):
                        reproduce the estimate bit-for-bit at any thread
                        count
     --confidence <X>   mc: Wilson confidence level in (0,1), default 0.99
+
+LINT (lint):
+    bfl lint --ft <FILE> [SPEC_FILE] [--json] [--deny warnings]
+             [--select L001,L005] [--ignore L004]
+    --deny <LEVEL>     exit with failure when a diagnostic at or above
+                       LEVEL remains: `warnings` (the CI gate), `info`
+                       (everything), `errors`
+    --select <CODES>   check only these comma-separated codes
+    --ignore <CODES>   drop these comma-separated codes
+    diagnostics carry `file:line:col` locations when the model source
+    declares the element explicitly; every code is documented with a
+    triggering example and its fix in docs/lint.md
 
 GENERATOR (generate):
     --events <N>       basic-event count (default 1000)
@@ -146,6 +161,8 @@ EXAMPLES:
     bfl prob --ft ranged.dft --method interval
     bfl prob --ft huge.dft --method mc --samples 500000 --seed 7
     bfl importance --ft covid.dft IWoS --json
+    bfl lint --ft covid.dft properties.bfl --deny warnings
+    bfl lint --ft covid.dft --json --ignore L004
     bfl serve --addr 127.0.0.1:7878 --workers 8
     bfl client --addr 127.0.0.1:7878 '{\"op\":\"stats\"}'
 ";
@@ -172,10 +189,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
     // The serving commands have no fault-tree option (models are loaded
     // over the protocol), so they bypass the session setup entirely.
+    // `lint` also parses its model itself: it needs the raw Galileo
+    // parse (source locations) that `parse_options` discards.
     match command.as_str() {
         "serve" => return cmd_serve(&args[1..]),
         "client" => return cmd_client(&args[1..]),
         "generate" => return cmd_generate(&args[1..]),
+        "lint" => return cmd_lint(&args[1..]),
         _ => {}
     }
     let opts = parse_options(&args[1..])?;
@@ -779,6 +799,122 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
         i += 1;
     }
     Ok(opts)
+}
+
+/// `bfl lint`: model/spec static analysis. Parses the model itself so
+/// diagnostics can point at `file:line:col` via the Galileo location
+/// table, which the shared session setup does not keep.
+fn cmd_lint(args: &[String]) -> Result<String, String> {
+    use bfl_core::lint;
+
+    let mut ft_path: Option<String> = None;
+    let mut spec_path: Option<String> = None;
+    let mut json = false;
+    let mut deny: Option<lint::Severity> = None;
+    let mut select: Option<Vec<String>> = None;
+    let mut ignore: Vec<String> = Vec::new();
+    let parse_codes = |list: &str| -> Result<Vec<String>, String> {
+        list.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|code| {
+                lint::rule(code)
+                    .map(|r| r.code.to_string())
+                    .ok_or_else(|| format!("unknown lint code `{code}` (see docs/lint.md)"))
+            })
+            .collect()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ft" => {
+                i += 1;
+                ft_path = Some(args.get(i).ok_or("--ft requires a file argument")?.clone());
+            }
+            "--json" => json = true,
+            "--deny" => {
+                i += 1;
+                let level = args.get(i).ok_or("--deny requires a level argument")?;
+                deny = Some(match level.as_str() {
+                    "warnings" | "warning" => lint::Severity::Warning,
+                    "info" | "all" => lint::Severity::Info,
+                    "errors" | "error" => lint::Severity::Error,
+                    other => {
+                        return Err(format!(
+                            "unknown deny level `{other}` (use warnings, info or errors)"
+                        ))
+                    }
+                });
+            }
+            "--select" => {
+                i += 1;
+                let list = args.get(i).ok_or("--select requires a code list")?;
+                select = Some(parse_codes(list)?);
+            }
+            "--ignore" => {
+                i += 1;
+                let list = args.get(i).ok_or("--ignore requires a code list")?;
+                ignore = parse_codes(list)?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => {
+                if spec_path.is_some() {
+                    return Err(format!("unexpected argument `{other}`"));
+                }
+                spec_path = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+    let ft_path = ft_path.ok_or("missing required option --ft <FILE>")?;
+    let text =
+        std::fs::read_to_string(&ft_path).map_err(|e| format!("cannot read `{ft_path}`: {e}"))?;
+    let model = galileo::parse(&text).map_err(|e| e.to_string())?;
+    let locations = model.locations.clone();
+    let has_intervals = model.has_intervals();
+    let mut builder = AnalysisSession::builder().probabilities(model.probabilities);
+    if has_intervals {
+        builder = builder.intervals(model.intervals);
+    }
+    let session = builder.build(model.tree);
+
+    let mut diags = match &spec_path {
+        None => session.lint(),
+        Some(path) => {
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let spec = Spec::parse(&source).map_err(|e| e.to_string())?;
+            session.lint_spec(&spec)
+        }
+    };
+    for d in &mut diags {
+        // Model rules subject the raw element name; point them at the
+        // declaration when the source text has one.
+        if let Some(&(line, col)) = locations.get(&d.subject) {
+            d.location = Some(format!("{ft_path}:{line}:{col}"));
+        }
+    }
+    if let Some(keep) = &select {
+        diags.retain(|d| keep.contains(&d.code));
+    }
+    diags.retain(|d| !ignore.contains(&d.code));
+
+    let rendered = if json {
+        format!("{}\n", lint::to_json(&diags))
+    } else {
+        format!("{}\n", lint::render_text(&diags))
+    };
+    if let Some(threshold) = deny {
+        let outstanding = diags.iter().filter(|d| d.severity >= threshold).count();
+        if outstanding > 0 {
+            return Err(format!(
+                "{rendered}lint: {outstanding} diagnostic(s) at or above `{threshold}` (--deny)"
+            ));
+        }
+    }
+    Ok(rendered)
 }
 
 fn cmd_generate(args: &[String]) -> Result<String, String> {
@@ -1767,5 +1903,63 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(run(&args).unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn lint_clean_model_and_deny_pass() {
+        let f = write_model();
+        assert_eq!(run_ok(&["lint", "--ft", &f.arg()]), "lint: clean\n");
+        assert_eq!(
+            run_ok(&["lint", "--ft", &f.arg(), "--deny", "warnings"]),
+            "lint: clean\n"
+        );
+        let out = run_ok(&["lint", "--ft", &f.arg(), "--json"]);
+        assert!(out.contains("\"diagnostics\":[]"), "{out}");
+    }
+
+    #[test]
+    fn lint_reports_locations_and_denies_warnings() {
+        let f = tempdir::TempFile::new(
+            "toplevel T;\nT and G B;\nG or A;\nA prob=1.0;\nB prob=0.2;\n",
+            "dft",
+        );
+        let out = run_ok(&["lint", "--ft", &f.arg()]);
+        // L002: G has one child (declared line 3 col 1); L006: A is
+        // certain (line 4 col 1). Locations point at the declarations.
+        assert!(out.contains("L002"), "{out}");
+        assert!(out.contains(&format!("{}:3:1", f.arg())), "{out}");
+        assert!(out.contains("L006"), "{out}");
+        assert!(out.contains(&format!("{}:4:1", f.arg())), "{out}");
+
+        let args: Vec<String> = ["lint", "--ft", &f.arg(), "--deny", "warnings"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--deny"), "{err}");
+
+        // --select narrows to one code; --ignore drops it again.
+        let out = run_ok(&["lint", "--ft", &f.arg(), "--select", "L006"]);
+        assert!(out.contains("L006") && !out.contains("L002"), "{out}");
+        let out = run_ok(&["lint", "--ft", &f.arg(), "--ignore", "L002,L006"]);
+        assert_eq!(out, "lint: clean\n");
+        let args: Vec<String> = ["lint", "--ft", &f.arg(), "--select", "L999"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("L999"));
+    }
+
+    #[test]
+    fn lint_checks_spec_files() {
+        let f = write_model();
+        let spec = tempdir::TempFile::new(
+            "P1: forall T | !T\nP1: exists A & !A\nP3: exists T\n",
+            "bfl",
+        );
+        let out = run_ok(&["lint", "--ft", &f.arg(), &spec.arg()]);
+        assert!(out.contains("L008"), "{out}"); // tautology
+        assert!(out.contains("L009"), "{out}"); // contradiction
+        assert!(out.contains("L012"), "{out}"); // shadowed label P1
     }
 }

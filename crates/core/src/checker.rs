@@ -100,7 +100,7 @@ impl ModelChecker {
         let basic_of_position = tb
             .order()
             .iter()
-            .map(|&e| tree.basic_index(e).expect("basic"))
+            .map(|&e| tree.basic_index(e).unwrap_or_else(|| unreachable!("basic")))
             .collect();
         ModelChecker {
             tree,

@@ -75,6 +75,7 @@ use crate::ast::{Formula, Query};
 use crate::checker::{MinimalityScope, ModelChecker};
 use crate::counterexample::{counterexample, Counterexample, CounterexampleSet};
 use crate::error::BflError;
+use crate::lint;
 use crate::plan::{ConstructionReport, PlanRoots, PreparedQuery};
 use crate::quant;
 use crate::report::{EvalStats, Outcome, Report, Spec, SpecItem, SpecKind};
@@ -146,6 +147,13 @@ pub struct MaintenanceStats {
     pub nodes_collected: u64,
     /// Total adjacent-level swaps performed by sifting.
     pub swaps: u64,
+    /// Arena audits run (one per maintenance cycle; see
+    /// [`bfl_bdd::Manager::audit`]).
+    pub audits_run: u64,
+    /// Total invariant violations the audits found (always `0` for a
+    /// healthy engine; debug builds panic inside the maintenance
+    /// primitives before this counter could move).
+    pub audit_violations: u64,
 }
 
 /// Cumulative Monte Carlo sampler counters of one session (see
@@ -538,8 +546,16 @@ impl SessionInner {
             p.set_roots(&handles[start..end]);
         }
         report.live_after = mc.live_node_count(&handles);
+        // Every maintenance cycle ends with an arena audit — release
+        // builds included (debug builds additionally assert inside the
+        // GC/sift primitives themselves). Violations are surfaced
+        // through the cumulative counters rather than a panic so a
+        // serving process can observe corruption in `stats`.
+        let audit = mc.manager().audit();
         let mut state = self.maintenance.lock().unwrap_or_else(|e| e.into_inner());
         state.last_arena = mc.manager().arena_size();
+        state.totals.audits_run += 1;
+        state.totals.audit_violations += audit.violation_count as u64;
         if let Some(gc) = report.gc {
             state.totals.gc_runs += 1;
             state.totals.nodes_collected += gc.collected as u64;
@@ -850,6 +866,43 @@ impl AnalysisSession {
 
     fn lock(&self) -> MutexGuard<'_, ModelChecker> {
         self.inner.lock()
+    }
+
+    /// Statically analyses the model: structural rules over the tree
+    /// and its probability/interval annotations, plus support-based
+    /// detection of absorbed basic events. Diagnostics come back in
+    /// canonical order (code, subject, message); an empty vector means
+    /// the model is clean. See the [`lint`](crate::lint) module docs
+    /// and `docs/lint.md` for every rule.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bfl_core::engine::AnalysisSession;
+    /// use bfl_fault_tree::corpus;
+    ///
+    /// let session = AnalysisSession::new(corpus::covid());
+    /// assert!(session.lint().is_empty(), "the case-study model is clean");
+    /// ```
+    pub fn lint(&self) -> Vec<lint::Diagnostic> {
+        let mut mc = self.lock();
+        let mut out = lint::lint_model(mc.tree(), self.probabilities(), self.intervals());
+        out.extend(lint::lint_support(&mut mc));
+        lint::finish(&mut out);
+        out
+    }
+
+    /// [`AnalysisSession::lint`] plus the semantic rules over every item
+    /// of `spec`: formulas are compiled through this session's shared
+    /// BDD caches, so tautology/contradiction detection and evidence
+    /// analysis are exact.
+    pub fn lint_spec(&self, spec: &Spec) -> Vec<lint::Diagnostic> {
+        let mut mc = self.lock();
+        let mut out = lint::lint_model(mc.tree(), self.probabilities(), self.intervals());
+        out.extend(lint::lint_support(&mut mc));
+        out.extend(lint::lint_spec_items(&mut mc, spec));
+        lint::finish(&mut out);
+        out
     }
 
     /// **Compiles a layer-2 query once** into an owned, `Send + Sync`

@@ -108,6 +108,7 @@ pub mod checker;
 pub mod counterexample;
 pub mod engine;
 pub mod error;
+pub mod lint;
 pub mod parser;
 pub mod patterns;
 pub mod plan;
@@ -132,6 +133,7 @@ pub use engine::{
     SessionBuilder,
 };
 pub use error::BflError;
+pub use lint::{Diagnostic, Severity};
 pub use patterns::{Pattern, Table1Row};
 pub use plan::{
     ConstructionReport, ModuleReport, Plan, PreparedQuery, PreparedStats, ProbOutcome,

@@ -1,0 +1,863 @@
+//! Static analysis of fault-tree models and BFL specs.
+//!
+//! The linter answers a question the type system and the runtime
+//! checkers cannot: *is this model/spec saying what its author meant?*
+//! Well-formed inputs routinely contain degenerate structure — events
+//! that cannot influence the top gate, voting gates that collapse to
+//! AND/OR, probabilities pinned to `0`/`1`, queries that hold (or fail)
+//! for every status vector — which waste BDD work and usually indicate
+//! an authoring bug.
+//!
+//! Two rule families:
+//!
+//! * **structural rules** walk the [`FaultTree`] and its probability
+//!   annotations directly (`L001`–`L007`);
+//! * **semantic rules** reuse the compiled-plan pipeline: formulas are
+//!   compiled to BDDs through the session's shared caches, so constant
+//!   detection, support computation and evidence restriction are exact,
+//!   not syntactic (`L000`, `L008`–`L013`).
+//!
+//! Every diagnostic carries a stable code from the [`RULES`] registry, a
+//! severity, the *subject* (the element or spec item it is about) and a
+//! concrete suggestion where one exists. Rendering is deterministic:
+//! diagnostics sort by code, then subject, then message, and
+//! [`to_json`] emits a canonical document — the CLI's `bfl lint --json`
+//! and the server's `lint` op both print exactly this function's output,
+//! so the two transports round-trip by construction.
+//!
+//! Entry points: [`AnalysisSession::lint`](crate::engine::AnalysisSession::lint)
+//! (model only) and
+//! [`AnalysisSession::lint_spec`](crate::engine::AnalysisSession::lint_spec)
+//! (model + spec); see `docs/lint.md` for every code with a triggering
+//! example and its fix.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bfl_fault_tree::{FaultTree, GateType};
+
+use crate::ast::{Formula, Query};
+use crate::checker::ModelChecker;
+use crate::report::{json_str, Spec, SpecKind};
+use crate::uncertainty::ProbInterval;
+
+/// Diagnostic severity, ordered `Info < Warning < Error`.
+///
+/// `bfl lint --deny warnings` fails on any diagnostic at
+/// [`Severity::Warning`] or above; [`Severity::Info`] diagnostics are
+/// advisory and never gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: harmless but worth knowing.
+    Info,
+    /// Almost certainly an authoring mistake.
+    Warning,
+    /// The item cannot mean what it says (e.g. it does not compile).
+    Error,
+}
+
+impl Severity {
+    /// The canonical lowercase name (`"info"` / `"warning"` / `"error"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses [`Severity::as_str`] output back.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One registered lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable diagnostic code (`"L001"`, …).
+    pub code: &'static str,
+    /// Short kebab-case rule name.
+    pub name: &'static str,
+    /// One-line description of what the rule flags.
+    pub summary: &'static str,
+    /// Severity of diagnostics produced by this rule.
+    pub severity: Severity,
+}
+
+/// The rule registry, in code order. `--select`/`--ignore` filters and
+/// `docs/lint.md` are both defined against this table.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "L000",
+        name: "invalid-item",
+        summary: "a spec item does not compile against the model",
+        severity: Severity::Error,
+    },
+    // Info, not Warning: in DAG-shaped models a shared subtree beside
+    // one of its own leaves absorbs that leaf (x ∧ (x ∨ y) = x) as a
+    // matter of course — industrial trees do this on purpose, so the
+    // finding is informational; hand-written tree models should still
+    // read it as a defect.
+    Rule {
+        code: "L001",
+        name: "unused-basic-event",
+        summary: "a basic event cannot influence the top event (absorbed)",
+        severity: Severity::Info,
+    },
+    Rule {
+        code: "L002",
+        name: "single-child-gate",
+        summary: "a gate with one child is a pass-through",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L003",
+        name: "duplicate-child",
+        summary: "a gate lists the same child more than once",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L004",
+        name: "duplicate-subtree",
+        summary: "two gates compute structurally identical subtrees",
+        severity: Severity::Info,
+    },
+    Rule {
+        code: "L005",
+        name: "degenerate-vot",
+        summary: "a voting gate with k=1 (≡ OR) or k=N (≡ AND)",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L006",
+        name: "constant-probability",
+        summary: "a basic event annotated with probability 0 or 1",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L007",
+        name: "degenerate-interval",
+        summary: "an interval annotation with lo = hi",
+        severity: Severity::Info,
+    },
+    Rule {
+        code: "L008",
+        name: "tautological-formula",
+        summary: "a formula that holds for every status vector",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L009",
+        name: "contradictory-formula",
+        summary: "a formula no status vector satisfies",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L010",
+        name: "redundant-evidence",
+        summary: "evidence that binds an event the formula ignores, or \
+                  contradicts an earlier binding",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L011",
+        name: "evidence-decides-formula",
+        summary: "evidence that makes a non-constant formula constant",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L012",
+        name: "shadowed-label",
+        summary: "two spec items share a label",
+        severity: Severity::Warning,
+    },
+    Rule {
+        code: "L013",
+        name: "impossible-condition",
+        summary: "P(ϕ | ψ) with structurally impossible ψ",
+        severity: Severity::Error,
+    },
+];
+
+/// Looks a rule up by its code.
+pub fn rule(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule code (`"L001"`, …).
+    pub code: String,
+    /// Severity, as registered for the rule.
+    pub severity: Severity,
+    /// What the finding is about: an element name for model rules, the
+    /// item label (or its source text) for spec rules.
+    pub subject: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// A concrete fix, when one exists.
+    pub suggestion: Option<String>,
+    /// Source location (`file:line:col`) when the front end tracked one.
+    pub location: Option<String>,
+}
+
+impl Diagnostic {
+    fn new(code: &'static str, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        let severity = rule(code).map_or(Severity::Warning, |r| r.severity);
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            subject: subject.into(),
+            message: message.into(),
+            suggestion: None,
+            location: None,
+        }
+    }
+
+    fn suggest(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// Renders the diagnostic as one (or two) text lines:
+    /// `severity[code] location subject: message` plus an indented
+    /// `help:` line when a suggestion exists.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]", self.severity, self.code);
+        if let Some(loc) = &self.location {
+            out.push(' ');
+            out.push_str(loc);
+        }
+        out.push(' ');
+        out.push_str(&self.subject);
+        out.push_str(": ");
+        out.push_str(&self.message);
+        if let Some(s) = &self.suggestion {
+            out.push_str("\n    help: ");
+            out.push_str(s);
+        }
+        out
+    }
+
+    /// Serialises the diagnostic as one canonical JSON object (fixed
+    /// field order: code, severity, subject, message, suggestion,
+    /// location).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":{}", json_str(&self.code)));
+        out.push_str(&format!(
+            ",\"severity\":{}",
+            json_str(self.severity.as_str())
+        ));
+        out.push_str(&format!(",\"subject\":{}", json_str(&self.subject)));
+        out.push_str(&format!(",\"message\":{}", json_str(&self.message)));
+        match &self.suggestion {
+            Some(s) => out.push_str(&format!(",\"suggestion\":{}", json_str(s))),
+            None => out.push_str(",\"suggestion\":null"),
+        }
+        match &self.location {
+            Some(l) => out.push_str(&format!(",\"location\":{}", json_str(l))),
+            None => out.push_str(",\"location\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The highest severity among `diags`, `None` when clean.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// Canonical JSON for a whole lint run: the sorted diagnostics plus a
+/// per-severity summary. This exact document flows through every
+/// transport (CLI `--json`, server `lint` op), so they round-trip.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_json());
+    }
+    let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+    out.push_str(&format!(
+        "],\"summary\":{{\"info\":{},\"warning\":{},\"error\":{}}}}}",
+        count(Severity::Info),
+        count(Severity::Warning),
+        count(Severity::Error)
+    ));
+    out
+}
+
+/// Renders diagnostics as text, one finding per paragraph, with a
+/// trailing per-severity summary line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "lint: clean".to_string();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+    out.push_str(&format!(
+        "lint: {} error(s), {} warning(s), {} info",
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info)
+    ));
+    out
+}
+
+/// Sorts diagnostics into their canonical order (code, subject,
+/// message) and drops exact duplicates.
+pub fn finish(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| (&a.code, &a.subject, &a.message).cmp(&(&b.code, &b.subject, &b.message)));
+    diags.dedup();
+}
+
+// ----------------------------------------------------------------------
+// Structural rules: L002..L007 (pure tree/annotation walks).
+// ----------------------------------------------------------------------
+
+/// Runs the structural model rules (`L002`–`L007`).
+///
+/// `probabilities`/`intervals` are per-basic-event annotation slices in
+/// [`FaultTree::basic_events`] order, as carried by sessions and Galileo
+/// models; pass `None` when the model is unannotated.
+pub fn lint_model(
+    tree: &FaultTree,
+    probabilities: Option<&[Option<f64>]>,
+    intervals: Option<&[Option<ProbInterval>]>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_gates(tree, &mut out);
+    lint_duplicate_subtrees(tree, &mut out);
+    lint_annotations(tree, probabilities, intervals, &mut out);
+    out
+}
+
+fn lint_gates(tree: &FaultTree, out: &mut Vec<Diagnostic>) {
+    for g in tree.gates() {
+        let name = tree.name(g);
+        let children = tree.children(g);
+        let n = children.len();
+        if n == 1 {
+            out.push(
+                Diagnostic::new(
+                    "L002",
+                    name,
+                    format!(
+                        "gate has a single child `{}` and is a pass-through",
+                        tree.name(children[0])
+                    ),
+                )
+                .suggest(format!(
+                    "replace references to `{name}` with `{}` directly",
+                    tree.name(children[0])
+                )),
+            );
+        }
+        // L003: duplicate children.
+        let mut seen = HashMap::new();
+        for &c in children {
+            let count = seen.entry(c).or_insert(0usize);
+            *count += 1;
+            if *count == 2 {
+                out.push(
+                    Diagnostic::new(
+                        "L003",
+                        name,
+                        format!("child `{}` is listed more than once", tree.name(c)),
+                    )
+                    .suggest(
+                        "drop the repeated child; for VOT gates it silently \
+                         changes the effective threshold",
+                    ),
+                );
+            }
+        }
+        if let Some(GateType::Vot { k }) = tree.gate_type(g) {
+            if n > 1 && k == 1 {
+                out.push(
+                    Diagnostic::new(
+                        "L005",
+                        name,
+                        format!("VOT({k}/{n}) fails when any child fails"),
+                    )
+                    .suggest("write it as an OR gate"),
+                );
+            } else if n > 1 && k as usize == n {
+                out.push(
+                    Diagnostic::new(
+                        "L005",
+                        name,
+                        format!("VOT({k}/{n}) fails only when all children fail"),
+                    )
+                    .suggest("write it as an AND gate"),
+                );
+            }
+            // k > n and k = 0 are rejected at construction time
+            // (FaultTree validation), so no rule can observe them here.
+        }
+    }
+}
+
+/// `L004`: bottom-up structural hashing over `(gate type, k, child
+/// keys)`. Elements are keyed in post-order (children strictly before
+/// parents, whatever order the front end declared them in), so each
+/// element gets a small integer key and two gates share a key exactly
+/// when their subtrees are structurally identical over identical
+/// leaves. A gate *shared* through the DAG has one `ElementId` and is
+/// keyed once — sharing is the fix, not the finding.
+fn lint_duplicate_subtrees(tree: &FaultTree, out: &mut Vec<Diagnostic>) {
+    let mut interned: HashMap<String, usize> = HashMap::new();
+    let mut first_gate: HashMap<usize, bfl_fault_tree::ElementId> = HashMap::new();
+    let mut key_of: HashMap<bfl_fault_tree::ElementId, usize> = HashMap::new();
+    let mut stack: Vec<(bfl_fault_tree::ElementId, bool)> = Vec::new();
+    for root in tree.iter() {
+        stack.push((root, false));
+        while let Some((e, expanded)) = stack.pop() {
+            if key_of.contains_key(&e) {
+                continue;
+            }
+            if !expanded {
+                stack.push((e, true));
+                for &c in tree.children(e) {
+                    if !key_of.contains_key(&c) {
+                        stack.push((c, false));
+                    }
+                }
+                continue;
+            }
+            let shape = if tree.is_basic(e) {
+                format!("b:{}", tree.name(e))
+            } else {
+                let tag = match tree.gate_type(e) {
+                    Some(GateType::And) => "and".to_string(),
+                    Some(GateType::Or) => "or".to_string(),
+                    Some(GateType::Vot { k }) => format!("vot{k}"),
+                    None => "?".to_string(),
+                };
+                // AND/OR/VOT are commutative: sort child keys so
+                // reordered children still collide.
+                let mut keys: Vec<usize> = tree.children(e).iter().map(|c| key_of[c]).collect();
+                keys.sort_unstable();
+                let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+                format!("g:{tag}:{}", keys.join(","))
+            };
+            let next = interned.len();
+            let key = *interned.entry(shape).or_insert(next);
+            key_of.insert(e, key);
+            if tree.is_basic(e) {
+                continue;
+            }
+            match first_gate.get(&key) {
+                None => {
+                    first_gate.insert(key, e);
+                }
+                Some(&first) => out.push(
+                    Diagnostic::new(
+                        "L004",
+                        tree.name(e),
+                        format!("structurally identical to gate `{}`", tree.name(first)),
+                    )
+                    .suggest(format!(
+                        "reuse `{}` instead of duplicating the subtree",
+                        tree.name(first)
+                    )),
+                ),
+            }
+        }
+    }
+}
+
+fn lint_annotations(
+    tree: &FaultTree,
+    probabilities: Option<&[Option<f64>]>,
+    intervals: Option<&[Option<ProbInterval>]>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let basics = tree.basic_events();
+    if let Some(probs) = probabilities {
+        for (i, p) in probs.iter().enumerate().take(basics.len()) {
+            let (p, name) = match p {
+                Some(p) => (*p, tree.name(basics[i])),
+                None => continue,
+            };
+            if p == 0.0 {
+                out.push(
+                    Diagnostic::new("L006", name, "probability 0: the event never fails")
+                        .suggest("remove the event, or model certainty structurally"),
+                );
+            } else if p == 1.0 {
+                out.push(
+                    Diagnostic::new("L006", name, "probability 1: the event has already failed")
+                        .suggest("remove the event, or model certainty structurally"),
+                );
+            }
+        }
+    }
+    if let Some(ivs) = intervals {
+        for (i, iv) in ivs.iter().enumerate().take(basics.len()) {
+            if let Some(iv) = iv {
+                if iv.lo == iv.hi {
+                    out.push(
+                        Diagnostic::new(
+                            "L007",
+                            tree.name(basics[i]),
+                            format!("interval [{}, {}] carries no uncertainty", iv.lo, iv.hi),
+                        )
+                        .suggest(format!("use the point probability {}", iv.lo)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Semantic rules: L000..L001, L008..L013 (through the BDD pipeline).
+// ----------------------------------------------------------------------
+
+/// `L001`: basic events absent from the BDD support of the top event —
+/// reachable in the DAG (validation guarantees that) yet *absorbed*
+/// semantically, e.g. `y` in `top = x ∧ (x ∨ y)`.
+pub fn lint_support(mc: &mut ModelChecker) -> Vec<Diagnostic> {
+    let top = Formula::Atom(mc.tree().name(mc.tree().top()).to_string());
+    let mut out = Vec::new();
+    if let Ok(f) = mc.formula_bdd(&top) {
+        let support = mc.support_basic_names(f);
+        let tree = mc.tree();
+        for &b in tree.basic_events() {
+            let name = tree.name(b);
+            if !support.iter().any(|s| s == name) {
+                out.push(
+                    Diagnostic::new(
+                        "L001",
+                        name,
+                        "cannot influence the top event (absorbed by the gate structure)",
+                    )
+                    .suggest("remove the event or rewire the gates that absorb it"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Runs the semantic rules over every item of a spec (`L000`,
+/// `L008`–`L013`).
+pub fn lint_spec_items(mc: &mut ModelChecker, spec: &Spec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // L012: shadowed labels.
+    let mut labels: HashMap<&str, usize> = HashMap::new();
+    for item in &spec.items {
+        if let Some(label) = &item.label {
+            let count = labels.entry(label.as_str()).or_insert(0);
+            *count += 1;
+            if *count == 2 {
+                out.push(
+                    Diagnostic::new(
+                        "L012",
+                        label.clone(),
+                        "label is used by more than one spec item; later results \
+                         shadow earlier ones in reports",
+                    )
+                    .suggest("give each item a unique label"),
+                );
+            }
+        }
+    }
+    for item in &spec.items {
+        let subject = item.label.clone().unwrap_or_else(|| item.source.clone());
+        match &item.kind {
+            SpecKind::Query(q) => lint_query(mc, &subject, q, &mut out),
+            SpecKind::Vector { formula, .. } => {
+                lint_formula(mc, &subject, formula, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Semantic rules for one query (`L000`, `L008`–`L011`, `L013`).
+pub fn lint_query(mc: &mut ModelChecker, subject: &str, q: &Query, out: &mut Vec<Diagnostic>) {
+    match q {
+        Query::Exists(f) | Query::Forall(f) | Query::Importance(f) => {
+            lint_formula(mc, subject, f, out);
+        }
+        Query::Idp(a, b) => {
+            lint_formula(mc, subject, a, out);
+            lint_formula(mc, subject, b, out);
+        }
+        Query::Sup(e) => {
+            // Compiles iff the element exists; surface that as L000 too.
+            if let Err(e) = mc.formula_bdd(&Formula::Atom(e.clone())) {
+                out.push(Diagnostic::new("L000", subject, e.to_string()));
+            }
+        }
+        Query::Prob { formula, given, .. } => {
+            lint_formula(mc, subject, formula, out);
+            if let Some(psi) = given {
+                match mc.formula_bdd(psi) {
+                    Err(e) => out.push(Diagnostic::new("L000", subject, e.to_string())),
+                    Ok(b) if b.is_false() => out.push(
+                        Diagnostic::new(
+                            "L013",
+                            subject,
+                            format!(
+                                "conditioning formula `{psi}` is unsatisfiable: \
+                                 P(ϕ | ψ) is undefined"
+                            ),
+                        )
+                        .suggest("fix ψ — no status vector satisfies it"),
+                    ),
+                    Ok(b) if b.is_true() => out.push(
+                        Diagnostic::new(
+                            "L008",
+                            subject,
+                            format!("conditioning formula `{psi}` always holds"),
+                        )
+                        .suggest("drop the condition: P(ϕ | ⊤) = P(ϕ)"),
+                    ),
+                    Ok(_) => {}
+                }
+            }
+        }
+        Query::Cause {
+            formula, evidence, ..
+        } => {
+            lint_formula(mc, subject, formula, out);
+            if let Ok(f) = mc.formula_bdd(formula) {
+                let support = mc.support_basic_names(f);
+                let mut bound: HashMap<&str, bool> = HashMap::new();
+                for (name, value) in evidence {
+                    match bound.get(name.as_str()) {
+                        Some(&prev) if prev != *value => out.push(
+                            Diagnostic::new(
+                                "L010",
+                                subject,
+                                format!(
+                                    "evidence binds `{name}` to both values; the first \
+                                     binding wins and the second is dead"
+                                ),
+                            )
+                            .suggest("remove the contradictory binding"),
+                        ),
+                        Some(_) => {}
+                        None => {
+                            bound.insert(name.as_str(), *value);
+                            if !support.iter().any(|s| s == name) {
+                                out.push(
+                                    Diagnostic::new(
+                                        "L010",
+                                        subject,
+                                        format!(
+                                            "evidence binds `{name}`, which the formula \
+                                             does not depend on"
+                                        ),
+                                    )
+                                    .suggest("drop the redundant binding"),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `L000`/`L008`/`L009` on a formula, plus `L010`/`L011` on every
+/// evidence annotation inside it.
+pub fn lint_formula(
+    mc: &mut ModelChecker,
+    subject: &str,
+    phi: &Formula,
+    out: &mut Vec<Diagnostic>,
+) {
+    match mc.formula_bdd(phi) {
+        Err(e) => {
+            out.push(Diagnostic::new("L000", subject, e.to_string()));
+            return;
+        }
+        Ok(b) if b.is_true() && !matches!(phi, Formula::Const(_)) => out.push(
+            Diagnostic::new(
+                "L008",
+                subject,
+                format!("`{phi}` holds for every status vector"),
+            )
+            .suggest("the check is vacuous — simplify or fix the formula"),
+        ),
+        Ok(b) if b.is_false() && !matches!(phi, Formula::Const(_)) => out.push(
+            Diagnostic::new(
+                "L009",
+                subject,
+                format!("`{phi}` holds for no status vector"),
+            )
+            .suggest("the check is vacuous — simplify or fix the formula"),
+        ),
+        Ok(_) => {}
+    }
+    let mut evidence = Vec::new();
+    collect_evidence(phi, &mut evidence);
+    for (inner, element, value) in evidence {
+        let f = match mc.formula_bdd(inner) {
+            Ok(f) => f,
+            Err(_) => continue, // already reported as L000 above
+        };
+        let support = mc.support_basic_names(f);
+        if !support.iter().any(|s| s == element) {
+            out.push(
+                Diagnostic::new(
+                    "L010",
+                    subject,
+                    format!(
+                        "evidence `[{element} -> {}]` binds an event `{inner}` does not depend on",
+                        u32::from(value)
+                    ),
+                )
+                .suggest("drop the redundant evidence"),
+            );
+            continue;
+        }
+        // Support membership implies `element` is a basic event known to
+        // the tree (gates never enter a support set).
+        let (id, tree) = match mc.tree().element(element) {
+            Some(id) => (id, mc.tree()),
+            None => continue,
+        };
+        let bi = match tree.basic_index(id) {
+            Some(bi) => bi,
+            None => continue,
+        };
+        let var = mc.var_of_basic(bi);
+        let restricted = mc
+            .tree_bdd_mut()
+            .manager_mut()
+            .restrict_many(f, &[(var, value)]);
+        if restricted.is_terminal() && !f.is_terminal() {
+            out.push(
+                Diagnostic::new(
+                    "L011",
+                    subject,
+                    format!(
+                        "evidence `[{element} -> {}]` makes `{inner}` constantly {}",
+                        u32::from(value),
+                        if restricted.is_true() {
+                            "true"
+                        } else {
+                            "false"
+                        }
+                    ),
+                )
+                .suggest("the surrounding check no longer depends on the status vector"),
+            );
+        }
+    }
+}
+
+/// Collects every `(inner, element, value)` evidence annotation in `phi`,
+/// outermost first.
+fn collect_evidence<'a>(phi: &'a Formula, out: &mut Vec<(&'a Formula, &'a str, bool)>) {
+    match phi {
+        Formula::Const(_) | Formula::Atom(_) => {}
+        Formula::Not(a) | Formula::Mcs(a) | Formula::Mps(a) => collect_evidence(a, out),
+        Formula::And(a, b)
+        | Formula::Or(a, b)
+        | Formula::Implies(a, b)
+        | Formula::Iff(a, b)
+        | Formula::Neq(a, b) => {
+            collect_evidence(a, out);
+            collect_evidence(b, out);
+        }
+        Formula::Evidence {
+            inner,
+            element,
+            value,
+        } => {
+            out.push((inner, element, *value));
+            collect_evidence(inner, out);
+        }
+        Formula::Vot { operands, .. } => {
+            for o in operands {
+                collect_evidence(o, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_unique_and_self_describing() {
+        for w in RULES.windows(2) {
+            assert!(w[0].code < w[1].code, "{} vs {}", w[0].code, w[1].code);
+        }
+        for r in RULES {
+            assert!(r.code.starts_with('L') && r.code.len() == 4);
+            assert!(!r.name.is_empty() && !r.summary.is_empty());
+            assert_eq!(rule(r.code), Some(r));
+        }
+        assert!(rule("L999").is_none());
+        assert!(RULES.len() >= 12, "the registry must stay substantial");
+    }
+
+    #[test]
+    fn severity_round_trips_and_orders() {
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse(s.as_str()), Some(s));
+        }
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert!(Severity::parse("fatal").is_none());
+    }
+
+    #[test]
+    fn diagnostics_render_and_serialise_deterministically() {
+        let mut diags = vec![
+            Diagnostic::new("L006", "pump", "probability 1"),
+            Diagnostic::new("L002", "g1", "single child").suggest("inline it"),
+            Diagnostic::new("L002", "g1", "single child").suggest("inline it"),
+        ];
+        finish(&mut diags);
+        assert_eq!(diags.len(), 2, "duplicates collapse");
+        assert_eq!(diags[0].code, "L002");
+        let text = render_text(&diags);
+        assert!(text.contains("warning[L002] g1: single child"), "{text}");
+        assert!(text.contains("help: inline it"), "{text}");
+        assert!(text.ends_with("0 error(s), 2 warning(s), 0 info"), "{text}");
+        let json = to_json(&diags);
+        assert!(
+            json.starts_with("{\"diagnostics\":[{\"code\":\"L002\""),
+            "{json}"
+        );
+        assert!(
+            json.ends_with("\"summary\":{\"info\":0,\"warning\":2,\"error\":0}}"),
+            "{json}"
+        );
+        assert!(json.contains("\"suggestion\":\"inline it\""));
+        assert!(json.contains("\"location\":null"));
+        assert_eq!(max_severity(&diags), Some(Severity::Warning));
+        assert_eq!(max_severity(&[]), None);
+        assert_eq!(render_text(&[]), "lint: clean");
+    }
+}

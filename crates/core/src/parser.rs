@@ -352,7 +352,7 @@ impl<'a> Lexer<'a> {
                     let mut is_float = false;
                     if matches!(self.chars.peek(), Some(&(_, '.'))) {
                         is_float = true;
-                        let (j, _) = self.bump().expect("peeked");
+                        let (j, _) = self.bump().unwrap_or_else(|| unreachable!("peeked"));
                         end = j + 1;
                         let before = end;
                         digits(&mut self, &mut end);
@@ -362,10 +362,10 @@ impl<'a> Lexer<'a> {
                     }
                     if matches!(self.chars.peek(), Some(&(_, 'e' | 'E'))) {
                         is_float = true;
-                        let (j, ch) = self.bump().expect("peeked");
+                        let (j, ch) = self.bump().unwrap_or_else(|| unreachable!("peeked"));
                         end = j + ch.len_utf8();
                         if matches!(self.chars.peek(), Some(&(_, '+' | '-'))) {
-                            let (j, _) = self.bump().expect("peeked");
+                            let (j, _) = self.bump().unwrap_or_else(|| unreachable!("peeked"));
                             end = j + 1;
                         }
                         let before = end;

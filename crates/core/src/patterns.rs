@@ -44,8 +44,16 @@ impl Pattern {
     pub fn instantiate(self, operands: Vec<Formula>) -> Formula {
         assert!(!operands.is_empty(), "a pattern needs at least one operand");
         match self {
-            Pattern::Mcs => operands.into_iter().next().expect("non-empty").mcs(),
-            Pattern::Mps => operands.into_iter().next().expect("non-empty").mps(),
+            Pattern::Mcs => operands
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| unreachable!("non-empty"))
+                .mcs(),
+            Pattern::Mps => operands
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| unreachable!("non-empty"))
+                .mps(),
             Pattern::McsConjunction => Formula::and_all(operands.into_iter().map(Formula::mcs)),
             Pattern::MpsConjunction => Formula::and_all(operands.into_iter().map(Formula::mps)),
         }

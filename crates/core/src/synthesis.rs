@@ -122,7 +122,7 @@ impl Candidate {
         let mut builder = FaultTreeBuilder::new();
         builder
             .basic_events(self.basic.iter().map(String::as_str))
-            .expect("fresh names");
+            .unwrap_or_else(|_| unreachable!("fresh names"));
         for (i, g) in self.gates.iter().enumerate() {
             builder
                 .gate(
@@ -130,11 +130,11 @@ impl Candidate {
                     self.gate_types[i],
                     self.children[i].iter().map(String::as_str),
                 )
-                .expect("fresh name");
+                .unwrap_or_else(|_| unreachable!("fresh name"));
         }
         self.tree = builder
             .build(&self.gates[0])
-            .expect("candidate is well-formed");
+            .unwrap_or_else(|_| unreachable!("candidate is well-formed"));
     }
 
     fn mutate(&mut self, rng: &mut Prng) {

@@ -19,7 +19,9 @@ fn main() {
     for s in &mps {
         println!("  {{{}}}", s.join(", "));
     }
-    let mot = tree.element("MoT").unwrap();
+    let mot = tree
+        .element("MoT")
+        .unwrap_or_else(|| unreachable!("MoT is a gate of the covid tree"));
     let mcs_mot = analysis::minimal_cut_sets_names(&tree, mot);
     println!("MCS(MoT) with IS:");
     for s in mcs_mot.iter().filter(|s| s.contains(&"IS".to_string())) {

@@ -169,7 +169,7 @@ pub fn dual_tree(tree: &FaultTree) -> FaultTree {
         match tree.gate_type(e) {
             None => {
                 b.basic_event(name)
-                    .expect("names are unique in a well-formed tree");
+                    .unwrap_or_else(|_| unreachable!("names are unique in a well-formed tree"));
             }
             Some(t) => {
                 let n = tree.children(e).len() as u32;
@@ -179,12 +179,13 @@ pub fn dual_tree(tree: &FaultTree) -> FaultTree {
                     GateType::Vot { k } => GateType::Vot { k: n - k + 1 },
                 };
                 let children = tree.children(e).iter().map(|&c| tree.name(c));
-                b.gate(name, dual_type, children).expect("names are unique");
+                b.gate(name, dual_type, children)
+                    .unwrap_or_else(|_| unreachable!("names are unique"));
             }
         }
     }
     b.build(tree.name(tree.top()))
-        .expect("dual of a well-formed tree is well-formed")
+        .unwrap_or_else(|_| unreachable!("dual of a well-formed tree is well-formed"))
 }
 
 #[cfg(test)]

@@ -158,7 +158,7 @@ impl TreeBdd {
             self.position
                 .iter()
                 .position(|&p| p == pos)
-                .expect("bijection")
+                .unwrap_or_else(|| unreachable!("bijection"))
         })
     }
 
@@ -229,7 +229,7 @@ impl TreeBdd {
                 .iter()
                 .map(|c| self.cache[&(c.index() as u32)])
                 .collect();
-            let b = match tree.gate_type(x).expect("gate") {
+            let b = match tree.gate_type(x).unwrap_or_else(|| unreachable!("gate")) {
                 GateType::And => self.manager.and_all(children),
                 GateType::Or => self.manager.or_all(children),
                 GateType::Vot { k } => vot_threshold(&mut self.manager, &children, k),
@@ -299,7 +299,9 @@ impl TreeBdd {
         let mut batches: Vec<Vec<ElementId>> = vec![Vec::new(); nworkers];
         let mut load = vec![0usize; nworkers];
         for i in by_size {
-            let w = (0..nworkers).min_by_key(|&w| load[w]).expect("nonempty");
+            let w = (0..nworkers)
+                .min_by_key(|&w| load[w])
+                .unwrap_or_else(|| unreachable!("nonempty"));
             batches[w].push(candidates[i]);
             load[w] += cones[i];
         }
@@ -327,7 +329,10 @@ impl TreeBdd {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("module compile worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| unreachable!("module compile worker panicked"))
+                })
                 .collect()
         });
 
@@ -349,7 +354,7 @@ impl TreeBdd {
                 let cone = cones[candidates
                     .iter()
                     .position(|&c| c == root)
-                    .expect("candidate")];
+                    .unwrap_or_else(|| unreachable!("candidate"))];
                 module_stats.push(ModuleCompileStat {
                     root,
                     cone,
@@ -365,6 +370,18 @@ impl TreeBdd {
         // The spine above the modules compiles sequentially, hitting the
         // freshly stitched cache at every module root.
         self.element_bdd(tree, tree.top());
+        // The stitched arena must satisfy every invariant the workers'
+        // private arenas did: canonical unique table, sound caches,
+        // children below parents (debug builds only — `audit` walks the
+        // whole arena).
+        #[cfg(debug_assertions)]
+        {
+            let report = self.manager.audit();
+            assert!(
+                report.is_ok(),
+                "post-parallel-compile arena audit failed: {report}"
+            );
+        }
         ParallelCompileStats {
             workers: nworkers,
             modules_detected: candidates.len(),
@@ -386,7 +403,7 @@ impl TreeBdd {
             }
             let pos = (v.index() / 2) as usize;
             let e = self.order[pos];
-            b.get(tree.basic_index(e).expect("basic"))
+            b.get(tree.basic_index(e).unwrap_or_else(|| unreachable!("basic")))
         })
     }
 
@@ -424,10 +441,14 @@ impl TreeBdd {
         roots.extend_from_slice(extra);
         let gc = self.manager.collect_garbage(&roots);
         for b in self.cache.values_mut() {
-            *b = gc.remap(*b).expect("rooted translation survives the sweep");
+            *b = gc
+                .remap(*b)
+                .unwrap_or_else(|| unreachable!("rooted translation survives the sweep"));
         }
         for b in extra.iter_mut() {
-            *b = gc.remap(*b).expect("rooted handle survives the sweep");
+            *b = gc
+                .remap(*b)
+                .unwrap_or_else(|| unreachable!("rooted handle survives the sweep"));
         }
         gc.stats()
     }
@@ -490,7 +511,10 @@ impl TreeBdd {
         let mut v = StatusVector::all_operational(tree.num_basic_events());
         for (pos, &val) in assignment.iter().enumerate() {
             let e = self.order[pos];
-            v.set(tree.basic_index(e).expect("basic"), val);
+            v.set(
+                tree.basic_index(e).unwrap_or_else(|| unreachable!("basic")),
+                val,
+            );
         }
         v
     }

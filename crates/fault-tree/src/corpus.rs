@@ -11,6 +11,11 @@
 //!   (1k–10k basic events) used by the scale benchmarks and the
 //!   metamorphic test suite.
 
+// Every tree here is built from literals: each insert is a fresh name
+// and each `build` a well-formed top by construction, so the documented
+// `expect`s are unreachable and exercised by this module's tests.
+#![allow(clippy::expect_used)]
+
 use crate::builder::FaultTreeBuilder;
 use crate::galileo::GalileoModel;
 use crate::generator::{industrial_model, industrial_tree, IndustrialConfig};

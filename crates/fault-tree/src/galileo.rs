@@ -42,6 +42,11 @@ pub struct GalileoModel {
     /// Basic-event interval bounds by basic index, `None` where no
     /// `prob=lo..hi` was given.
     pub intervals: Vec<Option<ProbInterval>>,
+    /// Source location of each *explicit* declaration: element name →
+    /// `(line, column)`, both 1-based. Implicitly declared basic events
+    /// (referenced but never defined) have no entry. Lint diagnostics
+    /// and tooling use this to print `file:line:col`.
+    pub locations: HashMap<String, (usize, usize)>,
 }
 
 impl GalileoModel {
@@ -56,6 +61,9 @@ impl GalileoModel {
 pub struct GalileoError {
     /// 1-based source line of the offence (0 when global).
     pub line: usize,
+    /// 1-based source column (in characters) of the offending token
+    /// (0 when unknown or global).
+    pub col: usize,
     /// Human-readable description.
     pub message: String,
 }
@@ -64,8 +72,14 @@ impl fmt::Display for GalileoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line == 0 {
             write!(f, "galileo: {}", self.message)
-        } else {
+        } else if self.col == 0 {
             write!(f, "galileo: line {}: {}", self.line, self.message)
+        } else {
+            write!(
+                f,
+                "galileo: line {}:{}: {}",
+                self.line, self.col, self.message
+            )
         }
     }
 }
@@ -76,6 +90,7 @@ impl From<FaultTreeError> for GalileoError {
     fn from(e: FaultTreeError) -> Self {
         GalileoError {
             line: 0,
+            col: 0,
             message: e.to_string(),
         }
     }
@@ -91,15 +106,22 @@ enum Token {
     Semicolon,
 }
 
-fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, GalileoError> {
+/// A token plus its 1-based character column on the source line.
+type SpannedToken = (Token, usize);
+
+fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<SpannedToken>, GalileoError> {
     let line = match line.find("//") {
         Some(i) => &line[..i],
         None => line,
     };
     let mut tokens = Vec::new();
     let mut chars = line.char_indices().peekable();
-    let err = |msg: String| GalileoError {
+    // 1-based character column of byte offset `i` (lines are short; the
+    // rescan only happens per token/error, not per character).
+    let col_at = |i: usize| line[..i].chars().count() + 1;
+    let err = |i: usize, msg: String| GalileoError {
         line: lineno,
+        col: col_at(i),
         message: msg,
     };
     while let Some(&(i, c)) = chars.peek() {
@@ -108,7 +130,7 @@ fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, GalileoError> 
             continue;
         }
         if c == ';' {
-            tokens.push(Token::Semicolon);
+            tokens.push((Token::Semicolon, col_at(i)));
             chars.next();
             continue;
         }
@@ -124,12 +146,12 @@ fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, GalileoError> 
                 name.push(ch);
             }
             if !closed {
-                return Err(err("unterminated quoted name".to_string()));
+                return Err(err(i, "unterminated quoted name".to_string()));
             }
             if name.is_empty() {
-                return Err(err("empty quoted name".to_string()));
+                return Err(err(i, "empty quoted name".to_string()));
             }
-            tokens.push(Token::Name(name));
+            tokens.push((Token::Name(name), col_at(i)));
             continue;
         }
         // Bare word: read until whitespace, quote or semicolon.
@@ -147,30 +169,30 @@ fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, GalileoError> 
             if let Some((l, h)) = rest.split_once("..") {
                 let lo: f64 = l
                     .parse()
-                    .map_err(|_| err(format!("invalid interval endpoint `{l}`")))?;
+                    .map_err(|_| err(start, format!("invalid interval endpoint `{l}`")))?;
                 let hi: f64 = h
                     .parse()
-                    .map_err(|_| err(format!("invalid interval endpoint `{h}`")))?;
-                ProbInterval::new(lo, hi).map_err(&err)?;
-                tokens.push(Token::ProbRange(lo, hi));
+                    .map_err(|_| err(start, format!("invalid interval endpoint `{h}`")))?;
+                ProbInterval::new(lo, hi).map_err(|m| err(start, m))?;
+                tokens.push((Token::ProbRange(lo, hi), col_at(start)));
             } else {
                 let p: f64 = rest
                     .parse()
-                    .map_err(|_| err(format!("invalid probability `{rest}`")))?;
+                    .map_err(|_| err(start, format!("invalid probability `{rest}`")))?;
                 if !(0.0..=1.0).contains(&p) {
-                    return Err(err(format!("probability {p} outside [0, 1]")));
+                    return Err(err(start, format!("probability {p} outside [0, 1]")));
                 }
-                tokens.push(Token::Prob(p));
+                tokens.push((Token::Prob(p), col_at(start)));
             }
         } else if let Some((k, n)) = parse_kofn(word) {
-            tokens.push(Token::Vot(k, n));
+            tokens.push((Token::Vot(k, n), col_at(start)));
         } else if word.eq_ignore_ascii_case("toplevel")
             || word.eq_ignore_ascii_case("and")
             || word.eq_ignore_ascii_case("or")
         {
-            tokens.push(Token::Keyword(word.to_ascii_lowercase()));
+            tokens.push((Token::Keyword(word.to_ascii_lowercase()), col_at(start)));
         } else {
-            tokens.push(Token::Name(word.to_string()));
+            tokens.push((Token::Name(word.to_string()), col_at(start)));
         }
     }
     Ok(tokens)
@@ -197,79 +219,99 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
         children: Vec<String>,
         declared_n: Option<u32>,
         line: usize,
+        col: usize,
     }
     let mut toplevel: Option<(String, usize)> = None;
     let mut gates: Vec<(String, GateDef)> = Vec::new();
-    let mut basics: Vec<(String, Option<f64>, Option<ProbInterval>, usize)> = Vec::new();
+    // Name, point probability, interval, (line, col) of the declaration.
+    type BasicDecl = (String, Option<f64>, Option<ProbInterval>, (usize, usize));
+    let mut basics: Vec<BasicDecl> = Vec::new();
     let mut defined: HashMap<String, usize> = HashMap::new();
     let mut referenced: Vec<String> = Vec::new();
 
     for (lineno0, raw_line) in input.lines().enumerate() {
         let lineno = lineno0 + 1;
         let tokens = tokenize_line(raw_line, lineno)?;
-        let err = |msg: String| GalileoError {
+        let err = |col: usize, msg: String| GalileoError {
             line: lineno,
+            col,
             message: msg,
         };
         // Split on semicolons: each statement parsed independently.
-        for stmt in tokens.split(|t| *t == Token::Semicolon) {
+        for stmt in tokens.split(|(t, _)| *t == Token::Semicolon) {
             if stmt.is_empty() {
                 continue;
             }
             match &stmt[0] {
-                Token::Keyword(k) if k == "toplevel" => {
+                (Token::Keyword(k), col0) if k == "toplevel" => {
                     let name = match stmt.get(1) {
-                        Some(Token::Name(n)) => n.clone(),
-                        _ => return Err(err("expected name after `toplevel`".to_string())),
+                        Some((Token::Name(n), _)) => n.clone(),
+                        _ => return Err(err(*col0, "expected name after `toplevel`".to_string())),
                     };
                     if stmt.len() > 2 {
-                        return Err(err("unexpected tokens after toplevel name".to_string()));
+                        return Err(err(
+                            stmt[2].1,
+                            "unexpected tokens after toplevel name".to_string(),
+                        ));
                     }
                     if toplevel.is_some() {
-                        return Err(err("duplicate `toplevel` declaration".to_string()));
+                        return Err(err(*col0, "duplicate `toplevel` declaration".to_string()));
                     }
                     toplevel = Some((name, lineno));
                 }
-                Token::Name(name) => {
+                (Token::Name(name), col0) => {
                     if let Some(prev) = defined.get(name) {
-                        return Err(err(format!("`{name}` already defined on line {prev}")));
+                        return Err(err(
+                            *col0,
+                            format!("`{name}` already defined on line {prev}"),
+                        ));
                     }
                     defined.insert(name.clone(), lineno);
+                    let child_names = |toks: &[SpannedToken],
+                                       referenced: &mut Vec<String>|
+                     -> Result<Vec<String>, GalileoError> {
+                        toks.iter()
+                            .map(|(t, tcol)| match t {
+                                Token::Name(n) => {
+                                    referenced.push(n.clone());
+                                    Ok(n.clone())
+                                }
+                                other => {
+                                    Err(err(*tcol, format!("expected child name, found {other:?}")))
+                                }
+                            })
+                            .collect()
+                    };
                     match stmt.get(1) {
-                        None => basics.push((name.clone(), None, None, lineno)),
-                        Some(Token::Prob(p)) => {
+                        None => basics.push((name.clone(), None, None, (lineno, *col0))),
+                        Some((Token::Prob(p), _)) => {
                             if stmt.len() > 2 {
-                                return Err(err("unexpected tokens after probability".to_string()));
+                                return Err(err(
+                                    stmt[2].1,
+                                    "unexpected tokens after probability".to_string(),
+                                ));
                             }
-                            basics.push((name.clone(), Some(*p), None, lineno));
+                            basics.push((name.clone(), Some(*p), None, (lineno, *col0)));
                         }
-                        Some(Token::ProbRange(lo, hi)) => {
+                        Some((Token::ProbRange(lo, hi), pcol)) => {
                             if stmt.len() > 2 {
-                                return Err(err("unexpected tokens after probability".to_string()));
+                                return Err(err(
+                                    stmt[2].1,
+                                    "unexpected tokens after probability".to_string(),
+                                ));
                             }
-                            let iv = ProbInterval::new(*lo, *hi).map_err(&err)?;
-                            basics.push((name.clone(), None, Some(iv), lineno));
+                            let iv = ProbInterval::new(*lo, *hi).map_err(|m| err(*pcol, m))?;
+                            basics.push((name.clone(), None, Some(iv), (lineno, *col0)));
                         }
-                        Some(Token::Keyword(k)) if k == "and" || k == "or" => {
+                        Some((Token::Keyword(k), _)) if k == "and" || k == "or" => {
                             let gate_type = if k == "and" {
                                 GateType::And
                             } else {
                                 GateType::Or
                             };
-                            let children = stmt[2..]
-                                .iter()
-                                .map(|t| match t {
-                                    Token::Name(n) => {
-                                        referenced.push(n.clone());
-                                        Ok(n.clone())
-                                    }
-                                    other => {
-                                        Err(err(format!("expected child name, found {other:?}")))
-                                    }
-                                })
-                                .collect::<Result<Vec<_>, _>>()?;
+                            let children = child_names(&stmt[2..], &mut referenced)?;
                             if children.is_empty() {
-                                return Err(err(format!("gate `{name}` has no children")));
+                                return Err(err(*col0, format!("gate `{name}` has no children")));
                             }
                             gates.push((
                                 name.clone(),
@@ -278,22 +320,12 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
                                     children,
                                     declared_n: None,
                                     line: lineno,
+                                    col: *col0,
                                 },
                             ));
                         }
-                        Some(Token::Vot(kk, nn)) => {
-                            let children = stmt[2..]
-                                .iter()
-                                .map(|t| match t {
-                                    Token::Name(n) => {
-                                        referenced.push(n.clone());
-                                        Ok(n.clone())
-                                    }
-                                    other => {
-                                        Err(err(format!("expected child name, found {other:?}")))
-                                    }
-                                })
-                                .collect::<Result<Vec<_>, _>>()?;
+                        Some((Token::Vot(kk, nn), _)) => {
+                            let children = child_names(&stmt[2..], &mut referenced)?;
                             gates.push((
                                 name.clone(),
                                 GateDef {
@@ -301,23 +333,26 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
                                     children,
                                     declared_n: Some(*nn),
                                     line: lineno,
+                                    col: *col0,
                                 },
                             ));
                         }
-                        Some(other) => {
-                            return Err(err(format!(
-                                "expected gate keyword or probability, found {other:?}"
-                            )))
+                        Some((other, ocol)) => {
+                            return Err(err(
+                                *ocol,
+                                format!("expected gate keyword or probability, found {other:?}"),
+                            ))
                         }
                     }
                 }
-                other => return Err(err(format!("unexpected token {other:?}"))),
+                (other, ocol) => return Err(err(*ocol, format!("unexpected token {other:?}"))),
             }
         }
     }
 
     let (top, _) = toplevel.ok_or(GalileoError {
         line: 0,
+        col: 0,
         message: "missing `toplevel` declaration".to_string(),
     })?;
 
@@ -325,7 +360,7 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
     for name in referenced {
         if !defined.contains_key(&name) {
             defined.insert(name.clone(), 0);
-            basics.push((name, None, None, 0));
+            basics.push((name, None, None, (0, 0)));
         }
     }
 
@@ -335,6 +370,7 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
             if def.children.len() != n as usize {
                 return Err(GalileoError {
                     line: def.line,
+                    col: def.col,
                     message: format!(
                         "gate `{name}` declares VOT(_/{n}) but has {} children",
                         def.children.len()
@@ -346,19 +382,26 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
 
     let mut builder = FaultTreeBuilder::new();
     let mut probs: Vec<(String, Option<f64>, Option<ProbInterval>)> = Vec::new();
-    for (name, p, iv, _) in &basics {
+    let mut locations: HashMap<String, (usize, usize)> = HashMap::new();
+    for (name, p, iv, loc) in &basics {
         builder.basic_event(name)?;
         probs.push((name.clone(), *p, *iv));
+        if loc.0 > 0 {
+            locations.insert(name.clone(), *loc);
+        }
     }
     for (name, def) in &gates {
         builder.gate(name, def.gate_type, def.children.iter().map(String::as_str))?;
+        locations.insert(name.clone(), (def.line, def.col));
     }
     let tree = builder.build(&top)?;
     let mut probabilities = vec![None; tree.num_basic_events()];
     let mut intervals = vec![None; tree.num_basic_events()];
     for (name, p, iv) in probs {
-        let e = tree.element(&name).expect("declared");
-        let bi = tree.basic_index(e).expect("basic");
+        let e = tree
+            .element(&name)
+            .unwrap_or_else(|| unreachable!("declared"));
+        let bi = tree.basic_index(e).unwrap_or_else(|| unreachable!("basic"));
         probabilities[bi] = p;
         intervals[bi] = iv;
     }
@@ -366,6 +409,7 @@ pub fn parse(input: &str) -> Result<GalileoModel, GalileoError> {
         tree,
         probabilities,
         intervals,
+        locations,
     })
 }
 
@@ -388,7 +432,7 @@ pub fn to_galileo_annotated(
     let mut out = String::new();
     let _ = writeln!(out, "toplevel \"{}\";", tree.name(tree.top()));
     for g in tree.gates() {
-        let kw = match tree.gate_type(g).expect("gate") {
+        let kw = match tree.gate_type(g).unwrap_or_else(|| unreachable!("gate")) {
             GateType::And => "and".to_string(),
             GateType::Or => "or".to_string(),
             GateType::Vot { k } => format!("{k}of{}", tree.children(g).len()),
@@ -559,6 +603,62 @@ mod tests {
         let model = parse("toplevel T; T or a b; a prob=0.125; b prob=0.5;").unwrap();
         assert!(!model.has_intervals());
         assert!(model.intervals.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // `prob=x` starts at character column 23 of line 1.
+        let err = parse("toplevel T; T or a; a prob=x;").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 23), "{err}");
+        assert_eq!(
+            err.to_string(),
+            "galileo: line 1:23: invalid probability `x`"
+        );
+
+        // The duplicate definition is the `T` opening line 3.
+        let err = parse("toplevel T;\nT or a;\nT and b;").unwrap_err();
+        assert_eq!((err.line, err.col), (3, 1), "{err}");
+
+        // VOT arity mismatch points at the gate's name token.
+        let err = parse("toplevel T;\n  T 2of3 a b;").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3), "{err}");
+
+        // The unterminated quote is the quote character itself.
+        let err = parse("toplevel \"T;").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 10), "{err}");
+
+        // Columns count characters, not bytes.
+        let err = parse("toplevel Tö; Tö or a; a prob=x;").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 25), "{err}");
+
+        // Global errors carry no location and render without one.
+        let err = parse("\"T\" or a b;").unwrap_err();
+        assert_eq!((err.line, err.col), (0, 0));
+        assert_eq!(err.to_string(), "galileo: missing `toplevel` declaration");
+    }
+
+    #[test]
+    fn declaration_locations_recorded_and_round_trip() {
+        let model =
+            parse("toplevel T;\nT or g1 b;\n  g1 and \"x\" y;\nb prob=0.5;\n\"x\";\n").unwrap();
+        assert_eq!(model.locations.get("T"), Some(&(2, 1)));
+        assert_eq!(model.locations.get("g1"), Some(&(3, 3)));
+        assert_eq!(model.locations.get("b"), Some(&(4, 1)));
+        assert_eq!(model.locations.get("x"), Some(&(5, 1)));
+        // `y` is implicit: referenced, never declared, no location.
+        assert_eq!(model.locations.get("y"), None);
+
+        // Serialise and reparse: every element of the emitted text is an
+        // explicit declaration, so the reparse locates all of them.
+        let text = to_galileo(&model.tree, Some(&model.probabilities));
+        let model2 = parse(&text).unwrap();
+        for e in model2.tree.iter() {
+            assert!(
+                model2.locations.contains_key(model2.tree.name(e)),
+                "{} has no location after round-trip",
+                model2.tree.name(e)
+            );
+        }
     }
 
     #[test]

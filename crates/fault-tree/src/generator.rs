@@ -14,6 +14,11 @@
 //!   construction what `modules::top_modules` detects, which makes these
 //!   trees the natural corpus for parallel (per-module) BDD compilation.
 
+// The generators mint their own `g{i}`/`b{i}` names from counters, so
+// every builder insert is fresh and every `expect` documents an
+// unreachable state (the differential suite re-parses each emission).
+#![allow(clippy::expect_used)]
+
 use crate::builder::FaultTreeBuilder;
 use crate::galileo::GalileoModel;
 use crate::model::{FaultTree, GateType};
@@ -255,6 +260,8 @@ pub fn industrial_model(config: &IndustrialConfig) -> GalileoModel {
         tree,
         probabilities,
         intervals,
+        // Generated models have no source text to point into.
+        locations: Default::default(),
     }
 }
 

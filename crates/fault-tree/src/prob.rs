@@ -186,7 +186,7 @@ pub fn bdd_probability_with_memo(
         &|v| {
             let bi = tb
                 .basic_of_var(v)
-                .expect("probability of a primed variable");
+                .unwrap_or_else(|| unreachable!("probability of a primed variable"));
             probs[bi]
         },
         memo,
@@ -235,7 +235,7 @@ pub fn bdd_probability_interval_with_memo(
         &|v| {
             let bi = tb
                 .basic_of_var(v)
-                .expect("probability of a primed variable");
+                .unwrap_or_else(|| unreachable!("probability of a primed variable"));
             (intervals[bi].lo, intervals[bi].hi)
         },
         memo,

@@ -48,7 +48,9 @@ impl Prng {
         };
         let hi_inclusive = match range.end_bound() {
             Bound::Included(&e) => e,
-            Bound::Excluded(&e) => e.checked_sub(1).expect("empty range"),
+            Bound::Excluded(&e) => e
+                .checked_sub(1)
+                .unwrap_or_else(|| unreachable!("empty range")),
             Bound::Unbounded => panic!("gen_range requires a bounded end"),
         };
         assert!(lo <= hi_inclusive, "empty range");

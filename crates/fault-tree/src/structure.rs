@@ -66,7 +66,7 @@ impl FaultTree {
             }
             let children = self.children(e);
             let failed_children = children.iter().filter(|&&c| value[c.index()]).count();
-            value[e.index()] = match self.gate_type(e).expect("gate") {
+            value[e.index()] = match self.gate_type(e).unwrap_or_else(|| unreachable!("gate")) {
                 GateType::And => failed_children == children.len(),
                 GateType::Or => failed_children >= 1,
                 GateType::Vot { k } => failed_children >= k as usize,

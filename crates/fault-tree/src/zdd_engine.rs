@@ -51,7 +51,8 @@ impl CutSetFamilies {
     ///
     /// Panics if `e` was outside the requested cone.
     pub fn family_of(&self, e: ElementId) -> Zdd {
-        self.families[e.index()].expect("element outside the computed cone")
+        self.families[e.index()]
+            .unwrap_or_else(|| unreachable!("element outside the computed cone"))
     }
 
     /// The ZDD variable encoding basic index `bi`.
@@ -66,7 +67,9 @@ pub fn cut_set_families(tree: &FaultTree, e: ElementId) -> CutSetFamilies {
     let order = VariableOrdering::DfsPreorder.order(tree);
     let mut position = vec![usize::MAX; tree.num_basic_events()];
     for (pos, &be) in order.iter().enumerate() {
-        position[tree.basic_index(be).expect("basic")] = pos;
+        position[tree
+            .basic_index(be)
+            .unwrap_or_else(|| unreachable!("basic"))] = pos;
     }
     let mut manager = ZddManager::new(tree.num_basic_events() as u32);
     let mut families: Vec<Option<Zdd>> = vec![None; tree.len()];
@@ -92,9 +95,9 @@ pub fn cut_set_families(tree: &FaultTree, e: ElementId) -> CutSetFamilies {
         let children: Vec<Zdd> = tree
             .children(x)
             .iter()
-            .map(|c| families[c.index()].expect("post-order"))
+            .map(|c| families[c.index()].unwrap_or_else(|| unreachable!("post-order")))
             .collect();
-        let family = match tree.gate_type(x).expect("gate") {
+        let family = match tree.gate_type(x).unwrap_or_else(|| unreachable!("gate")) {
             GateType::Or => {
                 let mut acc = manager.empty();
                 for c in children {
@@ -152,7 +155,10 @@ fn extract(tree: &FaultTree, manager: &ZddManager, family: Zdd) -> Vec<Vec<usize
         .map(|vars| {
             let mut s: Vec<usize> = vars
                 .into_iter()
-                .map(|v| tree.basic_index(order[v.0 as usize]).expect("basic"))
+                .map(|v| {
+                    tree.basic_index(order[v.0 as usize])
+                        .unwrap_or_else(|| unreachable!("basic"))
+                })
                 .collect();
             s.sort_unstable();
             s

@@ -383,6 +383,57 @@ impl Client {
         })
     }
 
+    /// Lints a session's model — and, when `spec` is given, the spec
+    /// against the model — returning typed diagnostics.
+    ///
+    /// The server answers with the canonical lint document
+    /// ([`bfl_core::lint::to_json`]); this method parses its
+    /// `diagnostics` array back into [`bfl_core::lint::Diagnostic`]
+    /// values, so the round trip is exact by construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ClientError::Protocol`] when the
+    /// response does not carry a well-formed lint document.
+    pub fn lint(
+        &mut self,
+        session: &str,
+        spec: Option<&str>,
+    ) -> Result<Vec<bfl_core::lint::Diagnostic>, ClientError> {
+        let doc = self.request(Op::Lint {
+            session: session.to_string(),
+            spec: spec.map(str::to_string),
+        })?;
+        let items = doc
+            .get("lint")
+            .and_then(|l| l.get("diagnostics"))
+            .and_then(Json::as_array)
+            .ok_or_else(|| {
+                ClientError::Protocol("response lacks a `lint.diagnostics` array".to_string())
+            })?;
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let severity = item
+                .get("severity")
+                .and_then(Json::as_str)
+                .and_then(bfl_core::lint::Severity::parse)
+                .ok_or_else(|| {
+                    ClientError::Protocol("diagnostic lacks a valid `severity`".to_string())
+                })?;
+            let text = |name: &str| field_str(item, name);
+            let opt = |name: &str| item.get(name).and_then(Json::as_str).map(str::to_string);
+            out.push(bfl_core::lint::Diagnostic {
+                code: text("code")?,
+                severity,
+                subject: text("subject")?,
+                message: text("message")?,
+                suggestion: opt("suggestion"),
+                location: opt("location"),
+            });
+        }
+        Ok(out)
+    }
+
     /// Drops a session.
     ///
     /// # Errors

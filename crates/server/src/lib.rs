@@ -41,8 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // The whole crate serves untrusted input on long-lived threads: no
-// reachable panic from request data, same gate as `bfl_core::quant`.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// reachable panic from request data. The unwrap/expect ban now comes
+// from `[workspace.lints]`, inherited by every crate.
 
 pub mod client;
 pub mod json;

@@ -309,6 +309,13 @@ pub enum Op {
         /// Session id.
         session: String,
     },
+    /// Lint the session's model (and optionally a spec) for defects.
+    Lint {
+        /// Session id.
+        session: String,
+        /// Spec source to lint against the model; absent = model only.
+        spec: Option<String>,
+    },
     /// Drop a session (in-flight queries holding it complete safely).
     Unload {
         /// Session id.
@@ -333,6 +340,7 @@ impl Op {
             | Op::Importance { session, .. }
             | Op::Explain { session, .. }
             | Op::Maintain { session }
+            | Op::Lint { session, .. }
             | Op::Unload { session } => Some(session),
         }
     }
@@ -351,6 +359,7 @@ impl Op {
             Op::Explain { .. } => "explain",
             Op::Stats { .. } => "stats",
             Op::Maintain { .. } => "maintain",
+            Op::Lint { .. } => "lint",
             Op::Unload { .. } => "unload",
             Op::Shutdown => "shutdown",
         }
@@ -484,6 +493,12 @@ impl Request {
             }
             Op::Maintain { session } | Op::Unload { session } => {
                 field(&mut out, "session", session);
+            }
+            Op::Lint { session, spec } => {
+                field(&mut out, "session", session);
+                if let Some(s) = spec {
+                    field(&mut out, "spec", s);
+                }
             }
             Op::Shutdown => {}
         }
@@ -704,6 +719,10 @@ impl Request {
             },
             "maintain" => Op::Maintain {
                 session: required("session")?,
+            },
+            "lint" => Op::Lint {
+                session: required("session")?,
+                spec: optional("spec")?,
             },
             "unload" => Op::Unload {
                 session: required("session")?,
@@ -1005,6 +1024,35 @@ mod tests {
         };
         assert!(scenario.is_empty());
         let err = Request::parse(r#"{"op":"cause","session":"s1"}"#).unwrap_err();
+        assert_eq!(err.1, ErrorCode::MissingField);
+    }
+
+    #[test]
+    fn lint_requests_round_trip() {
+        let line = r#"{"id":9,"op":"lint","session":"s1","spec":"P1: exists T"}"#;
+        let req = Request::parse(line).unwrap();
+        assert_eq!(
+            req.op,
+            Op::Lint {
+                session: "s1".to_string(),
+                spec: Some("P1: exists T".to_string()),
+            }
+        );
+        assert_eq!(req.op.session_id(), Some("s1"));
+        assert_eq!(req.op.name(), "lint");
+        assert_eq!(req.to_json_line(), line);
+        // The spec is optional (model-only lint).
+        let line = r#"{"op":"lint","session":"s1"}"#;
+        let req = Request::parse(line).unwrap();
+        assert_eq!(
+            req.op,
+            Op::Lint {
+                session: "s1".to_string(),
+                spec: None,
+            }
+        );
+        assert_eq!(req.to_json_line(), line);
+        let err = Request::parse(r#"{"op":"lint"}"#).unwrap_err();
         assert_eq!(err.1, ErrorCode::MissingField);
     }
 

@@ -541,13 +541,31 @@ fn handle_op(shared: &Shared, op: &Op) -> Result<String, OpError> {
             let report = entry.session.maintain();
             let totals = entry.session.maintenance_stats();
             Ok(format!(
-                "{{\"session\":{},\"report\":{},\"totals\":{{\"gc_runs\":{},\"sift_runs\":{},\"nodes_collected\":{},\"swaps\":{}}}}}",
+                "{{\"session\":{},\"report\":{},\"totals\":{{\"gc_runs\":{},\"sift_runs\":{},\"nodes_collected\":{},\"swaps\":{},\"audits_run\":{},\"audit_violations\":{}}}}}",
                 json_str(&entry.id),
                 maintenance_json(&report),
                 totals.gc_runs,
                 totals.sift_runs,
                 totals.nodes_collected,
-                totals.swaps
+                totals.swaps,
+                totals.audits_run,
+                totals.audit_violations
+            ))
+        }
+        Op::Lint { session, spec } => {
+            let entry = session_entry(shared, session)?;
+            let diagnostics = match spec {
+                None => entry.session.lint(),
+                Some(source) => {
+                    let spec =
+                        Spec::parse(source).map_err(|e| (ErrorCode::QueryError, e.to_string()))?;
+                    entry.session.lint_spec(&spec)
+                }
+            };
+            Ok(format!(
+                "{{\"session\":{},\"lint\":{}}}",
+                json_str(&entry.id),
+                bfl_core::lint::to_json(&diagnostics)
             ))
         }
         Op::Unload { session } => {
@@ -745,7 +763,7 @@ fn session_stats(entry: &SessionEntry) -> String {
     let tree_name = entry.session.tree().name(entry.session.tree().top());
     let sampler = entry.session.sampler_stats();
     format!(
-        "{{\"session\":{},\"tree\":{},\"stats\":{},\"maintenance\":{{\"gc_runs\":{},\"sift_runs\":{},\"nodes_collected\":{},\"swaps\":{}}},\"sampler\":{{\"runs\":{},\"samples\":{}}},\"plans\":{{{plans}}}}}",
+        "{{\"session\":{},\"tree\":{},\"stats\":{},\"maintenance\":{{\"gc_runs\":{},\"sift_runs\":{},\"nodes_collected\":{},\"swaps\":{},\"audits_run\":{},\"audit_violations\":{}}},\"sampler\":{{\"runs\":{},\"samples\":{}}},\"plans\":{{{plans}}}}}",
         json_str(&entry.id),
         json_str(tree_name),
         json_stats(&stats),
@@ -753,6 +771,8 @@ fn session_stats(entry: &SessionEntry) -> String {
         m.sift_runs,
         m.nodes_collected,
         m.swaps,
+        m.audits_run,
+        m.audit_violations,
         sampler.runs,
         sampler.samples
     )

@@ -7,6 +7,9 @@
 //! dumped to a tempfile whose path is part of the assertion message, so
 //! a failure seeds a deterministic repro without re-running the sweep.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bfl_core::ast::{CmpOp, Formula, Query};

@@ -3,6 +3,10 @@
 //! oversized lines with structured errors — never by dropping the
 //! connection or killing a worker.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
@@ -149,6 +153,20 @@ fn request_corpus() -> Vec<Request> {
         ),
         Request::with_id(
             14,
+            Op::Lint {
+                session: "s1".to_string(),
+                spec: None,
+            },
+        ),
+        Request::with_id(
+            15,
+            Op::Lint {
+                session: "s1".to_string(),
+                spec: Some("P1: exists T\nP2: forall T | !T\n".to_string()),
+            },
+        ),
+        Request::with_id(
+            16,
             Op::Unload {
                 session: "s1".to_string(),
             },
@@ -220,6 +238,8 @@ fn live_responses_reparse_to_the_same_bytes() {
         "{\"id\":9,\"op\":\"explain\",\"session\":\"s1\",\"plan\":\"p1\"}".to_string(),
         "{\"id\":10,\"op\":\"stats\",\"session\":\"s1\"}".to_string(),
         "{\"id\":11,\"op\":\"maintain\",\"session\":\"s1\"}".to_string(),
+        "{\"id\":90,\"op\":\"lint\",\"session\":\"s1\"}".to_string(),
+        "{\"id\":91,\"op\":\"lint\",\"session\":\"s1\",\"spec\":\"P: exists T | !T\"}".to_string(),
         "{\"id\":12,\"op\":\"stats\"}".to_string(),
         "{\"id\":13,\"op\":\"unload\",\"session\":\"s1\"}".to_string(),
         "{\"id\":14,\"op\":\"eval\",\"session\":\"s1\",\"plan\":\"p1\"}".to_string(),
@@ -229,6 +249,51 @@ fn live_responses_reparse_to_the_same_bytes() {
         let response = Response::parse(&raw).unwrap_or_else(|e| panic!("{raw}: {e}"));
         assert_eq!(response.to_json_line(), raw, "{line}");
     }
+    handle.shutdown();
+}
+
+#[test]
+fn lint_diagnostics_round_trip_through_the_typed_client() {
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("binds");
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    // `A prob=1.0` is a certain event (L006) and `G` has one child
+    // (L002), so the model lint is deterministically non-empty.
+    let model = "toplevel T;\nT and G B;\nG or A;\nA prob=1.0;\nB prob=0.2;\n";
+    client.load(model).expect("loads");
+
+    let diags = client.lint("s1", None).expect("lints");
+    let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+    assert!(codes.contains(&"L002"), "{codes:?}");
+    assert!(codes.contains(&"L006"), "{codes:?}");
+
+    // The typed diagnostics re-serialise to the exact document the
+    // engine produces locally for the same model: the round trip
+    // through the wire is lossless.
+    let parsed = bfl_fault_tree::galileo::parse(model).expect("parses");
+    let local = bfl_core::engine::AnalysisSession::builder()
+        .probabilities(parsed.probabilities)
+        .build(parsed.tree)
+        .lint();
+    assert_eq!(
+        bfl_core::lint::to_json(&diags),
+        bfl_core::lint::to_json(&local)
+    );
+
+    // Spec lint flows through the same channel: a tautology earns L008.
+    let diags = client
+        .lint("s1", Some("P: exists B | !B\n"))
+        .expect("lints spec");
+    assert!(
+        diags.iter().any(|d| d.code == "L008"),
+        "{:?}",
+        diags.iter().map(|d| &d.code).collect::<Vec<_>>()
+    );
+
     handle.shutdown();
 }
 

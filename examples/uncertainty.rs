@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --example uncertainty`
 
+// An example, not a library: panicking on the impossible is fine.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -7,6 +7,9 @@
 //! observation is failing, repairing the cause flips the verdict, and no
 //! proper subset does.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::prelude::*;
 use bfl_core::semantics;
 use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};

@@ -4,6 +4,9 @@
 //! returned witness must still be Definition-7-valid — satisfying, with
 //! each changed bit individually necessary — on seeded random trees.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::prelude::*;
 use bfl_core::semantics;
 use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};

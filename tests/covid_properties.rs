@@ -4,6 +4,9 @@
 //! Every assertion in this file is an oracle taken verbatim from the
 //! paper; `EXPERIMENTS.md` cross-references them.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::prelude::*;
 
 fn covid() -> FaultTree {

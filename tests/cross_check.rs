@@ -2,6 +2,10 @@
 //! reference semantics on random trees, formulae and vectors, plus
 //! structural invariants of the analyses.
 
+
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::ft::generator::{random_tree, RandomTreeConfig};
 use bfl::logic::semantics;
 use bfl::prelude::*;

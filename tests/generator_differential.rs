@@ -12,6 +12,9 @@
 //! * the Galileo emitter/parser fixpoint: `emit → parse → emit` must be
 //!   byte-identical, for annotated and bare trees alike.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl_core::ast::{Formula, Query};
 use bfl_core::engine::AnalysisSession;
 use bfl_core::{quant, semantics};

@@ -1,6 +1,10 @@
 //! Structural invariants of fault-tree analysis, checked on random trees
 //! and under random model mutations.
 
+
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::ft::generator::{random_tree, RandomTreeConfig};
 use bfl::prelude::*;
 use proptest::prelude::*;

@@ -7,6 +7,9 @@
 //! case-study results, which use *maximal* vectors. These tests pin down
 //! both readings.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::prelude::*;
 
 /// The literal reading `MCS(¬e1)` has exactly one satisfying vector: all

@@ -1,6 +1,9 @@
 //! The small worked examples of the paper: Fig. 1 (Section II), Fig. 3 and
 //! Examples 2–3 (Section V).
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::prelude::*;
 
 /// Section II: the MCSs and MPSs of the Fig. 1 subtree.

@@ -5,6 +5,10 @@
 //! `prepare`, a sweep must never rebuild a BDD (no formula-translation
 //! misses; repeated sweeps are pure memo hits with zero arena growth).
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use bfl::prelude::*;
 use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
 use bfl_fault_tree::rng::Prng;

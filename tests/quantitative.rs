@@ -4,6 +4,9 @@
 //! and the prepared-plan probability path — cross-checked against the
 //! exhaustive reference on the case study and on random trees.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::ft::generator::{random_tree, RandomTreeConfig};
 use bfl::ft::rng::Prng;
 use bfl::logic::quant;

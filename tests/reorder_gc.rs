@@ -3,6 +3,9 @@
 //! to an untouched manager — SAT counts, evaluations and witness sets
 //! agree, and handles remapped by a collection evaluate identically.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::bdd::{Bdd, Manager, Var};
 use bfl::prelude::*;
 use bfl_fault_tree::generator::{random_tree, RandomTreeConfig};
@@ -116,6 +119,10 @@ fn random_builds_with_interleaved_sift_and_gc_stay_equivalent() {
                     }
                 }
             }
+            // Every maintenance primitive leaves a fully auditable
+            // arena behind — canonical, sound caches, ordered edges.
+            let report = touched.audit();
+            assert!(report.is_ok(), "touched arena after maintenance: {report}");
             assert_equivalent(&mut rng, &touched, untouched, num_vars, &fa, &fb);
         }
         // The maintained arena never exceeds the untouched one at rest.
@@ -125,6 +132,10 @@ fn random_builds_with_interleaved_sift_and_gc_stay_equivalent() {
         }
         assert!(touched.arena_size() <= untouched.arena_size() + fa.len());
         assert_equivalent(&mut rng, &touched, untouched, num_vars, &fa, &fb);
+        let touched_report = touched.audit();
+        let untouched_report = untouched.audit();
+        assert!(touched_report.is_ok(), "{touched_report}");
+        assert!(untouched_report.is_ok(), "{untouched_report}");
     }
 }
 
@@ -153,6 +164,8 @@ fn sift_keeps_canonicity_with_fresh_operations() {
         for f in fs.iter_mut() {
             *f = gc.remap(*f).expect("rooted");
         }
+        let report = m.audit();
+        assert!(report.is_ok(), "arena after sift + gc: {report}");
         // x ∧ y rebuilt twice gives the same handle; double negation is
         // the identity on every maintained handle.
         for &f in fs.iter().take(8) {
@@ -187,6 +200,8 @@ fn tree_bdd_maintenance_matches_untouched_translation() {
         }
         let _ = maintained.sift();
         let _ = maintained.collect_garbage();
+        let report = maintained.manager().audit();
+        assert!(report.is_ok(), "maintained arena: {report}");
         for e in tree.iter() {
             let f = plain.element_bdd(&tree, e);
             let g = maintained.element_bdd(&tree, e);
@@ -266,6 +281,8 @@ fn sessions_with_maintenance_agree_with_static_sessions() {
         let stats = dynamic.maintenance_stats();
         assert!(stats.sift_runs >= 1, "OnPrepare must have sifted");
         assert!(stats.gc_runs >= 1, "GC was enabled");
+        assert!(stats.audits_run >= 1, "every maintenance cycle audits");
+        assert_eq!(stats.audit_violations, 0, "arena must audit clean");
     }
 }
 
@@ -334,6 +351,9 @@ fn prepared_probabilities_survive_interleaved_sift_and_gc() {
             let naive = quant::probability_naive(&tree, &wrapped, &probs).unwrap();
             assert!((p1 - naive).abs() < 1e-9, "{phi} under {scenario}");
         }
+        let stats = dynamic.maintenance_stats();
+        assert!(stats.audits_run >= 1, "explicit maintain() cycles audit");
+        assert_eq!(stats.audit_violations, 0, "arena must audit clean");
     }
 }
 
@@ -352,6 +372,7 @@ fn importance_ranks_survive_maintenance() {
     let phi = parse_formula("IWoS").unwrap();
     let reference = stat.rank_events(&phi).unwrap();
     dynamic.maintain();
+    assert_eq!(dynamic.maintenance_stats().audit_violations, 0);
     let maintained = dynamic.rank_events(&phi).unwrap();
     assert_eq!(reference.len(), maintained.len());
     for (a, b) in reference.iter().zip(&maintained) {

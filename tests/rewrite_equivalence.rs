@@ -6,6 +6,9 @@
 //! trickiest rewritings (subset expansion, comparison flipping,
 //! commuting with negation).
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::prelude::*;
 use bfl_core::rewrite::{desugar, simplify, to_nnf};
 use bfl_core::semantics;

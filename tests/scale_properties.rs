@@ -18,6 +18,9 @@
 //! * **engine surface** — `SessionBuilder::parallelism(n)` threads the
 //!   construction report through to `Plan::explain()`.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl_core::engine::AnalysisSession;
 use bfl_core::{parser, Scenario};
 use bfl_fault_tree::bdd::TreeBdd;
@@ -128,7 +131,13 @@ fn parallel_compile_matches_sequential_node_for_node() {
             assert_eq!(seq.eval_vector(&tree, top_s, &v), expected);
             assert_eq!(par.eval_vector(&tree, top_p, &v), expected);
         }
+        // The stitched arena is indistinguishable from a sequential
+        // build under the full invariant audit.
+        let report = par.manager().audit();
+        assert!(report.is_ok(), "arena after {workers}-way import: {report}");
     }
+    let report = seq.manager().audit();
+    assert!(report.is_ok(), "sequential arena: {report}");
 }
 
 #[test]
@@ -164,6 +173,8 @@ fn gc_and_sift_are_idempotent_after_stitching() {
         sift2.live_after, sift1.live_after,
         "second sift changed the diagram size"
     );
+    let audit = tb.manager().audit();
+    assert!(audit.is_ok(), "arena after gc+sift fixpoint: {audit}");
 
     // Maintenance preserved semantics.
     let top = tb.element_bdd(&tree, tree.top());
@@ -219,4 +230,20 @@ fn session_parallelism_reports_construction_in_plans() {
             .contains("\"construction\":null"),
         "sequential plans must say construction is absent"
     );
+
+    // An explicit maintenance cycle on a parallel-built session runs
+    // the arena audit and finds nothing to complain about. Exercised on
+    // the 100-event corpus entry: maintain() sifts, and debug-mode
+    // sifting is quadratic in the variable count, so the 1000-event
+    // session above would dominate the whole suite's runtime.
+    let small = corpus::scaled_model(100);
+    let maintained = AnalysisSession::builder()
+        .parallelism(4)
+        .probabilities(small.probabilities)
+        .build(small.tree);
+    let _ = maintained.prepare(&q).unwrap();
+    maintained.maintain();
+    let stats = maintained.maintenance_stats();
+    assert!(stats.audits_run >= 1);
+    assert_eq!(stats.audit_violations, 0, "stitched arena must audit clean");
 }

@@ -2,6 +2,9 @@
 //! permutations, batch/one-by-one equivalence, thread-safety guarantees,
 //! and the COVID case-study verdicts through the new façade.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::sync::Arc;
 
 use bfl::logic::report::SpecKind;

@@ -2,6 +2,9 @@
 //! Section VI tree, with the published example vectors and
 //! counterexamples.
 
+// Test-support helpers outside `#[test]` fns: panicking is the
+// correct failure mode here, same as in the tests themselves.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bfl::logic::patterns::{table1_rows, table1_tree};
 use bfl::prelude::*;
 
