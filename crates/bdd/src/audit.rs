@@ -124,8 +124,8 @@ fn assignment_bit(sample: u64, v: Var) -> bool {
 }
 
 impl Manager {
-    /// Verifies the arena invariants (see the [module docs](self)),
-    /// sampling [`DEFAULT_CACHE_SAMPLES`] entries per operation cache.
+    /// Verifies the arena invariants (see the module docs above),
+    /// sampling `DEFAULT_CACHE_SAMPLES` entries per operation cache.
     ///
     /// The audit never mutates the manager and never panics on a corrupt
     /// arena — every violation is collected into the report (use

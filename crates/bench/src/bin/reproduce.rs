@@ -13,10 +13,13 @@
 //! vs the static DFS order), the `quant` artifact writes
 //! `BENCH_quant.json` (warm prepared probability sweeps vs naive
 //! recompute-per-scenario), the `serve` artifact boots an in-process
-//! `bfl-server`, replays a mixed check/eval/sweep/prob workload over
-//! 1→N concurrent connections and writes `BENCH_serve.json`
-//! (p50/p99 latency, throughput scaling, warm vs cold plan hit rates,
-//! zero plan rebuilds on the warm path), and the `mc` artifact exercises
+//! sharded `bfl-server`, replays a mixed check/eval/sweep/prob workload
+//! over 1→250 concurrent connections (multiplexed onto a bounded pool
+//! of driver threads) and writes `BENCH_serve.json` (p50/p99/p999
+//! latency with log-bucketed histograms, throughput scaling, proof the
+//! server thread count stays fixed as connections grow, warm vs cold
+//! plan hit rates, zero plan rebuilds on the warm path), and the `mc`
+//! artifact exercises
 //! the Monte Carlo estimator and writes `BENCH_mc.json` (samples/sec vs
 //! worker count with a byte-identity cross-check, the MC-vs-exact error
 //! curve over growing sample budgets, and an estimate + CI on a random
@@ -543,16 +546,66 @@ fn quant_bench(smoke: bool) {
     }
 }
 
-/// SERVE: the concurrent analysis service under a mixed
-/// check/eval/sweep/prob workload replayed over 1→N connections against
-/// an in-process `bfl-server`. Measures p50/p99 latency and throughput
-/// per connection count, and proves the warm path never rebuilds a plan
-/// (zero translation-cache misses across the measured phases). Writes
-/// the `BENCH_serve.json` artifact.
+/// Latency histogram bucket upper bounds, in microseconds; the last
+/// implicit bucket is `> 100ms`.
+const HIST_BOUNDS_US: [u64; 10] = [
+    100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000, 100_000,
+];
+
+/// Buckets a latency sample set into [`HIST_BOUNDS_US`] + overflow.
+fn latency_histogram(latencies_us: &[u64]) -> [u64; 11] {
+    let mut hist = [0u64; 11];
+    for &l in latencies_us {
+        let idx = HIST_BOUNDS_US
+            .iter()
+            .position(|&bound| l <= bound)
+            .unwrap_or(HIST_BOUNDS_US.len());
+        hist[idx] += 1;
+    }
+    hist
+}
+
+/// Live threads of this process whose name starts with `bfl-` — the
+/// server's acceptor + shard + worker threads (everything it spawns is
+/// so prefixed). `None` off Linux, where `/proc` is unavailable.
+#[cfg(target_os = "linux")]
+fn server_thread_count() -> Option<usize> {
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    let mut count = 0;
+    for task in tasks.flatten() {
+        let comm = std::fs::read_to_string(task.path().join("comm")).unwrap_or_default();
+        if comm.starts_with("bfl-") {
+            count += 1;
+        }
+    }
+    Some(count)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn server_thread_count() -> Option<usize> {
+    None
+}
+
+/// SERVE: the sharded analysis service under a mixed
+/// check/eval/sweep/prob workload replayed over 1→250 concurrent
+/// connections against an in-process `bfl-server`. A bounded pool of
+/// driver threads multiplexes the connections in lock-step rounds, so
+/// hundreds of sockets are genuinely open and in flight at once.
+/// Measures throughput and p50/p99/p999 latency (plus a log-bucketed
+/// latency histogram) per connection count, proves the server thread
+/// count stays fixed while connections scale, and proves the warm path
+/// never rebuilds a plan (zero translation-cache misses across the
+/// measured phases). Writes the `BENCH_serve.json` artifact.
 fn serve_bench(smoke: bool) {
-    use bfl_server::{Client, Server, ServerConfig};
+    use bfl_server::{
+        Client, Op, ProbOptions, ProbTarget, Request, Response, Server, ServerConfig,
+    };
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
 
     banner("SERVE — bfl-server: mixed workload over concurrent connections");
+    let shards = if smoke { 2 } else { 4 };
     let workers = if smoke {
         2
     } else {
@@ -564,7 +617,9 @@ fn serve_bench(smoke: bool) {
     let handle = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
+        shards,
         queue_capacity: 4096,
+        max_connections: 1024,
         ..ServerConfig::default()
     })
     .expect("bind server");
@@ -611,7 +666,7 @@ fn serve_bench(smoke: bool) {
         Prob(usize),
         Sweep,
     }
-    let total = if smoke { 200 } else { 1000 };
+    let total = if smoke { 400 } else { 2000 };
     let items: Vec<Item> = (0..total)
         .map(|i| match i % 10 {
             0..=4 => Item::Eval(i),
@@ -688,73 +743,180 @@ fn serve_bench(smoke: bool) {
     let misses_after_warmup = cache_misses(&mut admin);
     let (cold_hits, cold_misses) = plan_memo(&mut admin, &plan_bool);
 
-    // Measured phases: the same mixed workload over 1→workers
-    // connections; every request is warm (scenario memos populated).
-    let mut connection_counts: Vec<usize> = Vec::new();
-    let mut c = 1;
-    while c < workers {
-        connection_counts.push(c);
-        c *= 2;
-    }
-    connection_counts.push(workers);
-    println!(
-        "workload: {total} requests (50% eval, 20% check, 20% prob, 10% sweep) · {} workers",
-        workers
-    );
-    println!(
-        "{:>12} {:>12} {:>10} {:>10} {:>10}",
-        "connections", "total ms", "req/s", "p50 µs", "p99 µs"
-    );
-    let mut scaling_rows = String::new();
-    let mut throughputs: Vec<f64> = Vec::new();
-    for &connections in &connection_counts {
-        let started = std::time::Instant::now();
-        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+    // The wire form of one workload item, for the raw multiplexed
+    // drivers below (the `Client` convenience wrapper is one-at-a-time;
+    // here we keep hundreds of sockets in flight from a few threads).
+    let build_op = |item: Item| -> Op {
+        match item {
+            Item::Eval(i) => Op::Eval {
+                session: session.clone(),
+                plan: plan_bool.clone(),
+                scenario: scenario_pool[i % scenario_pool.len()].clone(),
+            },
+            Item::Check(i) => Op::Check {
+                session: session.clone(),
+                query: spec_pool[i % spec_pool.len()].to_string(),
+            },
+            Item::Prob(i) => Op::Prob {
+                session: session.clone(),
+                target: ProbTarget::Plan {
+                    plan: plan_prob.clone(),
+                    scenario: Some(scenario_pool[i % scenario_pool.len()].clone()),
+                },
+                options: ProbOptions::default(),
+            },
+            Item::Sweep => Op::Sweep {
+                session: session.clone(),
+                plan: plan_bool.clone(),
+                scenarios: sweep_set.clone(),
+                stream: false,
+            },
+        }
+    };
+
+    // One measured phase: `connections` open sockets driven by at most
+    // 8 threads. Each driver owns a slice of the connections and runs
+    // them in lock-step rounds — send one pipelined request per owned
+    // socket, then collect each response — so all sockets stay in
+    // flight while the driver pool stays bounded.
+    let drive_phase = |connections: usize| -> (f64, Vec<u64>) {
+        let drivers = connections.min(8);
+        let started = Instant::now();
+        let latencies: Vec<u64> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for shard in 0..connections {
+            for d in 0..drivers {
                 let items = &items;
-                let run_item = &run_item;
+                let build_op = &build_op;
                 handles.push(scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
+                    struct DrivenConn {
+                        reader: BufReader<TcpStream>,
+                        writer: TcpStream,
+                        queue: Vec<usize>,
+                    }
+                    let mut conns: Vec<DrivenConn> = (0..connections)
+                        .filter(|c| c % drivers == d)
+                        .map(|c| {
+                            let writer = TcpStream::connect(addr).expect("connect");
+                            writer.set_nodelay(true).ok();
+                            let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+                            let queue: Vec<usize> =
+                                (0..items.len()).filter(|i| i % connections == c).collect();
+                            DrivenConn {
+                                reader,
+                                writer,
+                                queue,
+                            }
+                        })
+                        .collect();
                     let mut latencies = Vec::new();
-                    for item in items.iter().skip(shard).step_by(connections) {
-                        let t = std::time::Instant::now();
-                        run_item(&mut client, *item);
-                        latencies.push(t.elapsed().as_micros() as u64);
+                    let mut round = 0usize;
+                    loop {
+                        let mut sent: Vec<(usize, Instant)> = Vec::new();
+                        for (k, conn) in conns.iter_mut().enumerate() {
+                            if let Some(&item_idx) = conn.queue.get(round) {
+                                let request =
+                                    Request::with_id(item_idx as u64, build_op(items[item_idx]));
+                                let mut line = request.to_json_line();
+                                line.push('\n');
+                                let t = Instant::now();
+                                conn.writer.write_all(line.as_bytes()).expect("send");
+                                sent.push((k, t));
+                            }
+                        }
+                        if sent.is_empty() {
+                            break;
+                        }
+                        for (k, t) in sent {
+                            let mut line = String::new();
+                            conns[k].reader.read_line(&mut line).expect("recv");
+                            let response =
+                                Response::parse(line.trim_end()).expect("parse response");
+                            assert!(response.is_ok(), "request failed: {line}");
+                            latencies.push(t.elapsed().as_micros() as u64);
+                        }
+                        round += 1;
                     }
                     latencies
                 }));
             }
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("shard"))
+                .flat_map(|h| h.join().expect("driver"))
                 .collect()
         });
-        let wall = started.elapsed();
+        (started.elapsed().as_secs_f64(), latencies)
+    };
+
+    // Measured phases: the same mixed workload over a rising connection
+    // count; every request is warm (scenario memos populated). The
+    // server thread count is sampled at each point — the whole point of
+    // the sharded architecture is that it must not move.
+    let connection_counts: Vec<usize> = if smoke {
+        vec![1, 8, 100]
+    } else {
+        vec![1, 2, 8, 32, 100, 250]
+    };
+    println!(
+        "workload: {total} requests (50% eval, 20% check, 20% prob, 10% sweep) · \
+         {shards} shards · {workers} workers"
+    );
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "connections", "total ms", "req/s", "p50 µs", "p99 µs", "p999 µs", "threads"
+    );
+    let mut scaling_rows = String::new();
+    let mut throughputs: Vec<f64> = Vec::new();
+    let mut thread_samples: Vec<usize> = Vec::new();
+    for &connections in &connection_counts {
+        let (wall_s, mut latencies) = drive_phase(connections);
+        let threads = server_thread_count();
+        if let Some(n) = threads {
+            thread_samples.push(n);
+        }
         latencies.sort_unstable();
         let percentile = |q: f64| -> u64 {
             let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
             latencies[idx]
         };
-        let (p50, p99) = (percentile(0.50), percentile(0.99));
-        let throughput = total as f64 / wall.as_secs_f64();
+        let (p50, p99, p999) = (percentile(0.50), percentile(0.99), percentile(0.999));
+        let hist = latency_histogram(&latencies);
+        let throughput = total as f64 / wall_s;
         throughputs.push(throughput);
         println!(
-            "{:>12} {:>12.2} {:>10.0} {:>10} {:>10}",
+            "{:>12} {:>12.2} {:>10.0} {:>10} {:>10} {:>10} {:>10}",
             connections,
-            wall.as_secs_f64() * 1000.0,
+            wall_s * 1000.0,
             throughput,
             p50,
-            p99
+            p99,
+            p999,
+            threads.map_or("n/a".to_string(), |n| n.to_string()),
         );
         if !scaling_rows.is_empty() {
             scaling_rows.push(',');
         }
+        let hist_json: Vec<String> = hist.iter().map(|c| c.to_string()).collect();
         scaling_rows.push_str(&format!(
-            "{{\"connections\":{connections},\"total_ms\":{:.3},\"throughput_rps\":{throughput:.1},\
-             \"p50_us\":{p50},\"p99_us\":{p99}}}",
-            wall.as_secs_f64() * 1000.0
+            "{{\"connections\":{connections},\"driver_threads\":{},\"total_ms\":{:.3},\
+             \"throughput_rps\":{throughput:.1},\"p50_us\":{p50},\"p99_us\":{p99},\
+             \"p999_us\":{p999},\"server_threads\":{},\"histogram\":[{}]}}",
+            connections.min(8),
+            wall_s * 1000.0,
+            threads.map_or("null".to_string(), |n| n.to_string()),
+            hist_json.join(",")
         ));
+    }
+
+    // Acceptance: the serving layer is a fixed set of threads — the
+    // 250-connection point must run on exactly the same acceptor +
+    // shard + worker threads as the 1-connection point.
+    let expected_threads = 1 + shards + workers;
+    for &n in &thread_samples {
+        assert_eq!(
+            n, expected_threads,
+            "server thread count must stay fixed at 1 acceptor + {shards} shards + \
+             {workers} workers while connections scale"
+        );
     }
 
     // Acceptance: the warm phases never rebuilt a plan or recompiled a
@@ -786,14 +948,17 @@ fn serve_bench(smoke: bool) {
     let cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let hist_bounds: Vec<String> = HIST_BOUNDS_US.iter().map(|b| b.to_string()).collect();
     let json = format!(
         "{{\"artifact\":\"serve\",\"mode\":\"{}\",\"tree\":\"covid\",\"workers\":{workers},\
-         \"cpus\":{cpus},\
+         \"shards\":{shards},\"server_threads_expected\":{expected_threads},\"cpus\":{cpus},\
          \"requests_per_phase\":{total},\"mix\":{{\"eval\":0.5,\"check\":0.2,\"prob\":0.2,\"sweep\":0.1}},\
+         \"histogram_bounds_us\":[{}],\
          \"cold\":{{\"warmup_ms\":{cold_ms:.3},\"plan_memo_misses\":{cold_misses},\"plan_memo_hits\":{cold_hits}}},\
          \"warm\":{{\"plan_rebuilds\":{plan_rebuilds},\"plan_memo_misses_added\":{},\"plan_memo_hits_added\":{}}},\
          \"scaling\":[{scaling_rows}]}}\n",
         if smoke { "smoke" } else { "full" },
+        hist_bounds.join(","),
         warm_misses - cold_misses,
         warm_hits - cold_hits
     );

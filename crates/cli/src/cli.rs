@@ -130,8 +130,19 @@ SERVING (serve, client):
     --addr <HOST:PORT> listen/connect address (default 127.0.0.1:7878;
                        port 0 picks a free port and prints it)
     --workers <N>      serve: worker threads (default: CPU count)
+    --shards <N>       serve: connection shard threads (default: CPU
+                       count capped at 4); connections scale without
+                       growing the thread count
     --queue <N>        serve: bounded request-queue capacity (default 64);
                        a full queue answers `busy` instead of buffering
+    --max-connections <N>  serve: connection cap (default 1024); beyond
+                       it new sockets get a structured `overloaded`
+    --max-sessions <N> serve: resident session cap; the least recently
+                       used session is evicted at capacity
+    --session-inflight <N>  serve: per-session concurrent-request cap;
+                       over it requests answer `busy`
+    --idle-timeout <SECS>  serve: reap connections silent this long
+                       (default: never)
     see docs/server.md for the protocol reference
 
 PROBABILISTIC QUERIES (check, run, sweep):
@@ -748,17 +759,52 @@ fn cmd_importance(opts: &Options) -> Result<String, String> {
 struct ServeOptions {
     addr: String,
     workers: Option<usize>,
+    shards: Option<usize>,
     queue: Option<usize>,
+    max_connections: Option<usize>,
+    max_sessions: Option<usize>,
+    session_inflight: Option<usize>,
+    idle_timeout: Option<u64>,
     positional: Vec<String>,
+}
+
+impl ServeOptions {
+    /// Whether any `serve`-only tuning flag was given (the `client`
+    /// command shares the parser but rejects these).
+    fn has_serve_flags(&self) -> bool {
+        self.workers.is_some()
+            || self.shards.is_some()
+            || self.queue.is_some()
+            || self.max_connections.is_some()
+            || self.max_sessions.is_some()
+            || self.session_inflight.is_some()
+            || self.idle_timeout.is_some()
+    }
 }
 
 fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
     let mut opts = ServeOptions {
         addr: "127.0.0.1:7878".to_string(),
         workers: None,
+        shards: None,
         queue: None,
+        max_connections: None,
+        max_sessions: None,
+        session_inflight: None,
+        idle_timeout: None,
         positional: Vec::new(),
     };
+    // `--flag N` with a ≥1 check shared by every count-valued knob.
+    fn positive(args: &[String], i: usize, flag: &str, what: &str) -> Result<usize, String> {
+        let n = args
+            .get(i)
+            .ok_or_else(|| format!("{flag} requires a number"))?;
+        let n: usize = n.parse().map_err(|_| format!("invalid {what} `{n}`"))?;
+        if n == 0 {
+            return Err(format!("{what} must be at least 1"));
+        }
+        Ok(n)
+    }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -771,25 +817,44 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
             }
             "--workers" => {
                 i += 1;
-                let n = args.get(i).ok_or("--workers requires a number")?;
-                let n: usize = n
-                    .parse()
-                    .map_err(|_| format!("invalid worker count `{n}`"))?;
-                if n == 0 {
-                    return Err("worker count must be at least 1".to_string());
-                }
-                opts.workers = Some(n);
+                opts.workers = Some(positive(args, i, "--workers", "worker count")?);
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = Some(positive(args, i, "--shards", "shard count")?);
             }
             "--queue" => {
                 i += 1;
-                let n = args.get(i).ok_or("--queue requires a number")?;
-                let n: usize = n
+                opts.queue = Some(positive(args, i, "--queue", "queue capacity")?);
+            }
+            "--max-connections" => {
+                i += 1;
+                opts.max_connections =
+                    Some(positive(args, i, "--max-connections", "connection cap")?);
+            }
+            "--max-sessions" => {
+                i += 1;
+                opts.max_sessions = Some(positive(args, i, "--max-sessions", "session cap")?);
+            }
+            "--session-inflight" => {
+                i += 1;
+                opts.session_inflight = Some(positive(
+                    args,
+                    i,
+                    "--session-inflight",
+                    "per-session in-flight cap",
+                )?);
+            }
+            "--idle-timeout" => {
+                i += 1;
+                let n = args.get(i).ok_or("--idle-timeout requires seconds")?;
+                let n: u64 = n
                     .parse()
-                    .map_err(|_| format!("invalid queue capacity `{n}`"))?;
+                    .map_err(|_| format!("invalid idle timeout `{n}`"))?;
                 if n == 0 {
-                    return Err("queue capacity must be at least 1".to_string());
+                    return Err("idle timeout must be at least 1 second".to_string());
                 }
-                opts.queue = Some(n);
+                opts.idle_timeout = Some(n);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
@@ -1069,18 +1134,28 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     if let Some(workers) = opts.workers {
         config.workers = workers;
     }
+    if let Some(shards) = opts.shards {
+        config.shards = shards;
+    }
     if let Some(queue) = opts.queue {
         config.queue_capacity = queue;
     }
-    let workers = config.workers;
+    if let Some(max) = opts.max_connections {
+        config.max_connections = max;
+    }
+    config.max_sessions = opts.max_sessions;
+    config.session_inflight = opts.session_inflight;
+    config.idle_timeout = opts.idle_timeout.map(std::time::Duration::from_secs);
+    let (workers, shards) = (config.workers, config.shards);
     let handle =
         bfl_server::Server::bind(config).map_err(|e| format!("cannot bind server: {e}"))?;
     // Announce on stderr immediately — stdout is the command's result
     // and is only printed once the server has stopped.
     eprintln!(
-        "bfl-server listening on {} ({} workers); send {{\"op\":\"shutdown\"}} to stop",
+        "bfl-server listening on {} ({} workers, {} shards); send {{\"op\":\"shutdown\"}} to stop",
         handle.addr(),
-        workers
+        workers,
+        shards
     );
     let addr = handle.addr();
     handle.join();
@@ -1105,8 +1180,12 @@ fn cmd_client(args: &[String]) -> Result<String, String> {
 /// response line to `sink` as soon as it arrives.
 fn client_run(args: &[String], sink: &mut dyn FnMut(&str)) -> Result<(), String> {
     let opts = parse_serve_options(args)?;
-    if opts.workers.is_some() || opts.queue.is_some() {
-        return Err("--workers/--queue configure `serve`, not `client`".to_string());
+    if opts.has_serve_flags() {
+        return Err(
+            "--workers/--shards/--queue/--max-connections/--max-sessions/--session-inflight/\
+             --idle-timeout configure `serve`, not `client`"
+                .to_string(),
+        );
     }
     let mut client = bfl_server::Client::connect(&opts.addr)
         .map_err(|e| format!("cannot connect to `{}`: {e}", opts.addr))?;
@@ -1809,12 +1888,55 @@ mod tests {
             vec!["serve", "--workers", "0"],
             vec!["serve", "--workers", "x"],
             vec!["serve", "--queue", "0"],
+            vec!["serve", "--shards", "0"],
+            vec!["serve", "--shards", "x"],
+            vec!["serve", "--max-connections", "0"],
+            vec!["serve", "--max-sessions", "0"],
+            vec!["serve", "--session-inflight", "0"],
+            vec!["serve", "--idle-timeout", "0"],
+            vec!["serve", "--idle-timeout", "soon"],
             vec!["serve", "--bogus"],
             vec!["serve", "positional"],
         ] {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(run(&args).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn serve_parses_every_tuning_knob() {
+        let args: Vec<String> = [
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--shards",
+            "2",
+            "--queue",
+            "128",
+            "--max-connections",
+            "64",
+            "--max-sessions",
+            "8",
+            "--session-inflight",
+            "4",
+            "--idle-timeout",
+            "30",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_serve_options(&args).expect("parses");
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.workers, Some(3));
+        assert_eq!(opts.shards, Some(2));
+        assert_eq!(opts.queue, Some(128));
+        assert_eq!(opts.max_connections, Some(64));
+        assert_eq!(opts.max_sessions, Some(8));
+        assert_eq!(opts.session_inflight, Some(4));
+        assert_eq!(opts.idle_timeout, Some(30));
+        assert!(opts.has_serve_flags());
+        assert!(opts.positional.is_empty());
     }
 
     #[test]
@@ -1857,7 +1979,15 @@ mod tests {
 
     #[test]
     fn client_rejects_serve_only_flags() {
-        for flag in [["--workers", "4"], ["--queue", "16"]] {
+        for flag in [
+            ["--workers", "4"],
+            ["--queue", "16"],
+            ["--shards", "2"],
+            ["--max-connections", "64"],
+            ["--max-sessions", "8"],
+            ["--session-inflight", "2"],
+            ["--idle-timeout", "30"],
+        ] {
             let args: Vec<String> = ["client", "--addr", "127.0.0.1:1", flag[0], flag[1]]
                 .iter()
                 .map(|s| s.to_string())

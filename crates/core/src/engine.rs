@@ -872,7 +872,7 @@ impl AnalysisSession {
     /// and its probability/interval annotations, plus support-based
     /// detection of absorbed basic events. Diagnostics come back in
     /// canonical order (code, subject, message); an empty vector means
-    /// the model is clean. See the [`lint`](crate::lint) module docs
+    /// the model is clean. See the [`lint`] module docs
     /// and `docs/lint.md` for every rule.
     ///
     /// # Example

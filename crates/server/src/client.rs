@@ -148,6 +148,83 @@ impl Client {
         Ok(response.trim_end().to_string())
     }
 
+    /// Reads one response line for request `id` and returns its parsed
+    /// result document.
+    fn read_frame(&mut self, id: u64) -> Result<Json, ClientError> {
+        let mut raw = String::new();
+        let n = self.reader.read_line(&mut raw)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection mid-stream".to_string(),
+            ));
+        }
+        let response = Response::parse(raw.trim_end()).map_err(ClientError::Protocol)?;
+        if response.id != Some(id) {
+            return Err(ClientError::Protocol(format!(
+                "response id {:?} does not match request id {id}",
+                response.id
+            )));
+        }
+        match response.body {
+            ResponseBody::Result(result) => {
+                Json::parse(&result).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
+        }
+    }
+
+    /// Sends a `stream:true` operation and reassembles its
+    /// `begin`/`chunk`/`end` frames back into the full result document.
+    /// A server that answers with a plain structured error (unknown
+    /// session, busy, …) surfaces it as [`ClientError::Server`] exactly
+    /// like an unstreamed request.
+    fn streamed_request(&mut self, op: Op) -> Result<Json, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let line = Request::with_id(id, op).to_json_line();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let begin = self.read_frame(id)?;
+        if begin.get("stream").and_then(Json::as_str) != Some("begin") {
+            return Err(ClientError::Protocol(
+                "expected a `begin` stream frame".to_string(),
+            ));
+        }
+        let chunks = begin.get("chunks").and_then(Json::as_u64).ok_or_else(|| {
+            ClientError::Protocol("`begin` frame lacks a `chunks` count".to_string())
+        })?;
+        let bytes = begin.get("bytes").and_then(Json::as_u64).unwrap_or(0);
+        let mut doc = String::with_capacity(bytes as usize);
+        for seq in 1..=chunks {
+            let frame = self.read_frame(id)?;
+            if frame.get("stream").and_then(Json::as_str) != Some("chunk")
+                || frame.get("seq").and_then(Json::as_u64) != Some(seq)
+            {
+                return Err(ClientError::Protocol(format!(
+                    "expected stream chunk {seq} of {chunks}"
+                )));
+            }
+            let part = frame.get("part").and_then(Json::as_str).ok_or_else(|| {
+                ClientError::Protocol("stream chunk lacks a `part` string".to_string())
+            })?;
+            doc.push_str(part);
+        }
+        let end = self.read_frame(id)?;
+        if end.get("stream").and_then(Json::as_str) != Some("end") {
+            return Err(ClientError::Protocol(
+                "expected an `end` stream frame".to_string(),
+            ));
+        }
+        if doc.len() as u64 != bytes {
+            return Err(ClientError::Protocol(format!(
+                "stream delivered {} bytes but `begin` announced {bytes}",
+                doc.len()
+            )));
+        }
+        Json::parse(&doc).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
     // ------------------------------------------------------------------
     // Convenience wrappers (one method per op).
     // ------------------------------------------------------------------
@@ -233,6 +310,30 @@ impl Client {
             session: session.to_string(),
             plan: plan.to_string(),
             scenarios: scenarios.to_string(),
+            stream: false,
+        })
+    }
+
+    /// Like [`Client::sweep`], but asks the server to deliver the
+    /// report as `begin`/`chunk`/`end` stream frames and reassembles
+    /// them; the parsed document is byte-identical to the unstreamed
+    /// one. Use for sweeps whose reports run to many megabytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ClientError::Protocol`] when the
+    /// stream framing is malformed.
+    pub fn sweep_streamed(
+        &mut self,
+        session: &str,
+        plan: &str,
+        scenarios: &str,
+    ) -> Result<Json, ClientError> {
+        self.streamed_request(Op::Sweep {
+            session: session.to_string(),
+            plan: plan.to_string(),
+            scenarios: scenarios.to_string(),
+            stream: true,
         })
     }
 
@@ -254,6 +355,28 @@ impl Client {
             session: session.to_string(),
             plan: plan.to_string(),
             scenario: scenario.to_string(),
+            stream: false,
+        })
+    }
+
+    /// Like [`Client::cause`], but streamed — see
+    /// [`Client::sweep_streamed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ClientError::Protocol`] when the
+    /// stream framing is malformed.
+    pub fn cause_streamed(
+        &mut self,
+        session: &str,
+        plan: &str,
+        scenario: &str,
+    ) -> Result<Json, ClientError> {
+        self.streamed_request(Op::Cause {
+            session: session.to_string(),
+            plan: plan.to_string(),
+            scenario: scenario.to_string(),
+            stream: true,
         })
     }
 

@@ -11,9 +11,16 @@
 //! in `docs/server.md`): `load` a Galileo model into a session,
 //! `prepare` a query into a shared plan, then `check`/`eval`/`sweep`/
 //! `prob`/`importance`/`explain`/`stats`/`maintain`/`unload` against it,
-//! and `shutdown` to drain gracefully. Backpressure is explicit — a full
-//! request queue answers `busy` — and malformed input always gets a
-//! structured error, never a dropped connection.
+//! and `shutdown` to drain gracefully. Connections are multiplexed over
+//! a **fixed** number of nonblocking shard threads ([`server`]), so
+//! hundreds of concurrent clients never grow the thread count.
+//! Backpressure is explicit at every layer — a full request queue, a
+//! session at its in-flight cap and a server at its connection cap all
+//! answer structured `busy`/`overloaded` errors — and malformed input
+//! always gets a structured error, never a dropped connection. Large
+//! `sweep`/`cause` results can be streamed in bounded chunks
+//! (`"stream":true`), and idle connections are reaped when
+//! `--idle-timeout` is set.
 //!
 //! ```no_run
 //! use bfl_server::client::Client;
@@ -50,10 +57,11 @@ pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
+mod shard;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
     ErrorCode, Op, ProbOptions, ProbTarget, Request, Response, ResponseBody, SessionOptions,
 };
-pub use registry::{Registry, SessionEntry};
+pub use registry::{AdmissionGuard, Registry, SessionEntry};
 pub use server::{Server, ServerConfig, ServerHandle};

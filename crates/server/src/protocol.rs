@@ -72,6 +72,12 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The request line exceeded the configured size limit.
     Oversized,
+    /// The server is at its connection limit; the connection is closed
+    /// after this response.
+    Overloaded,
+    /// The connection was idle past the configured timeout and is being
+    /// closed after this response.
+    IdleTimeout,
     /// An engine invariant was violated; the connection survives.
     Internal,
 }
@@ -92,6 +98,8 @@ impl ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Oversized => "oversized",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::IdleTimeout => "idle_timeout",
             ErrorCode::Internal => "internal",
         }
     }
@@ -111,6 +119,8 @@ impl ErrorCode {
             "busy" => ErrorCode::Busy,
             "shutting_down" => ErrorCode::ShuttingDown,
             "oversized" => ErrorCode::Oversized,
+            "overloaded" => ErrorCode::Overloaded,
+            "idle_timeout" => ErrorCode::IdleTimeout,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -265,6 +275,9 @@ pub enum Op {
         /// Scenario bindings (`A = 1, B = 0`); empty = the plan's own
         /// evidence only.
         scenario: String,
+        /// Deliver the result as `begin`/`chunk`/`end` stream frames
+        /// instead of one response line.
+        stream: bool,
     },
     /// Sweep a compiled plan over a scenario-set text.
     Sweep {
@@ -274,6 +287,9 @@ pub enum Op {
         plan: String,
         /// Scenario file text (one scenario per line).
         scenarios: String,
+        /// Deliver the result as `begin`/`chunk`/`end` stream frames
+        /// instead of one response line.
+        stream: bool,
     },
     /// Probability of a plan-under-scenario or an ad-hoc formula.
     Prob {
@@ -426,24 +442,38 @@ impl Request {
                 session,
                 plan,
                 scenario,
-            }
-            | Op::Cause {
-                session,
-                plan,
-                scenario,
             } => {
                 field(&mut out, "session", session);
                 field(&mut out, "plan", plan);
                 field(&mut out, "scenario", scenario);
             }
+            Op::Cause {
+                session,
+                plan,
+                scenario,
+                stream,
+            } => {
+                field(&mut out, "session", session);
+                field(&mut out, "plan", plan);
+                field(&mut out, "scenario", scenario);
+                // Canonical form omits the default, so pre-streaming
+                // request lines round-trip byte-identically.
+                if *stream {
+                    out.push_str(",\"stream\":true");
+                }
+            }
             Op::Sweep {
                 session,
                 plan,
                 scenarios,
+                stream,
             } => {
                 field(&mut out, "session", session);
                 field(&mut out, "plan", plan);
                 field(&mut out, "scenarios", scenarios);
+                if *stream {
+                    out.push_str(",\"stream\":true");
+                }
             }
             Op::Prob {
                 session,
@@ -630,11 +660,13 @@ impl Request {
                 session: required("session")?,
                 plan: required("plan")?,
                 scenario: optional("scenario")?.unwrap_or_default(),
+                stream: bool_field(&doc, "stream", &fail)?,
             },
             "sweep" => Op::Sweep {
                 session: required("session")?,
                 plan: required("plan")?,
                 scenarios: required("scenarios")?,
+                stream: bool_field(&doc, "stream", &fail)?,
             },
             "prob" => {
                 let session = required("session")?;
@@ -857,6 +889,26 @@ impl Response {
 }
 
 // ---------------------------------------------------------------------------
+// Parse helpers.
+// ---------------------------------------------------------------------------
+
+/// Parses an optional Boolean request field; absent/`null` = `false`.
+fn bool_field(
+    doc: &Json,
+    name: &str,
+    fail: &impl Fn(ErrorCode, String) -> RequestError,
+) -> Result<bool, RequestError> {
+    match doc.get(name) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(fail(
+            ErrorCode::BadField,
+            format!("`{name}` must be a Boolean"),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Enum-name tables (wire names for the session knobs).
 // ---------------------------------------------------------------------------
 
@@ -1013,6 +1065,7 @@ mod tests {
                 session: "s1".to_string(),
                 plan: "p1".to_string(),
                 scenario: "IW = 1".to_string(),
+                stream: false,
             }
         );
         assert_eq!(req.op.session_id(), Some("s1"));
@@ -1025,6 +1078,45 @@ mod tests {
         assert!(scenario.is_empty());
         let err = Request::parse(r#"{"op":"cause","session":"s1"}"#).unwrap_err();
         assert_eq!(err.1, ErrorCode::MissingField);
+    }
+
+    #[test]
+    fn stream_flag_parses_and_round_trips() {
+        // Absent / null / false all mean "one response line", and the
+        // canonical form omits the field in every such case.
+        for line in [
+            r#"{"op":"sweep","session":"s1","plan":"p1","scenarios":"IW = 1"}"#,
+            r#"{"op":"sweep","session":"s1","plan":"p1","scenarios":"IW = 1","stream":null}"#,
+            r#"{"op":"sweep","session":"s1","plan":"p1","scenarios":"IW = 1","stream":false}"#,
+        ] {
+            let req = Request::parse(line).unwrap();
+            let Op::Sweep { stream, .. } = &req.op else {
+                panic!("{req:?}");
+            };
+            assert!(!stream, "{line}");
+            assert_eq!(
+                req.to_json_line(),
+                r#"{"op":"sweep","session":"s1","plan":"p1","scenarios":"IW = 1"}"#
+            );
+        }
+        let line =
+            r#"{"id":6,"op":"cause","session":"s1","plan":"p1","scenario":"","stream":true}"#;
+        let req = Request::parse(line).unwrap();
+        assert_eq!(
+            req.op,
+            Op::Cause {
+                session: "s1".to_string(),
+                plan: "p1".to_string(),
+                scenario: String::new(),
+                stream: true,
+            }
+        );
+        assert_eq!(req.to_json_line(), line);
+        let err = Request::parse(
+            r#"{"op":"sweep","session":"s1","plan":"p1","scenarios":"IW = 1","stream":"yes"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.1, ErrorCode::BadField);
     }
 
     #[test]
@@ -1108,6 +1200,8 @@ mod tests {
             ErrorCode::Busy,
             ErrorCode::ShuttingDown,
             ErrorCode::Oversized,
+            ErrorCode::Overloaded,
+            ErrorCode::IdleTimeout,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));

@@ -15,13 +15,38 @@
 //! every connection shares one [`PreparedQuery`] per plan id — and with
 //! it the scenario/probability memos that make warm served queries pure
 //! cache lookups.
+//!
+//! ## Capacity and admission
+//!
+//! A registry built with [`Registry::with_capacity`] holds at most
+//! `max_sessions` entries: inserting past the cap evicts the
+//! least-recently-*used* session (every [`Registry::get`] bumps a
+//! logical clock), counted in [`Registry::evictions`]. Eviction is the
+//! same safe unlink as `remove` — in-flight queries on the evicted
+//! session complete on their own `Arc`.
+//!
+//! Per-session admission control rides on the entries themselves:
+//! [`SessionEntry::try_admit`] atomically claims one of a bounded number
+//! of in-flight slots and hands back an [`AdmissionGuard`] that releases
+//! the slot on drop, so a session swamped by one client answers a
+//! structured `busy` instead of monopolising the worker pool.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use bfl_core::engine::AnalysisSession;
 use bfl_core::PreparedQuery;
+
+/// Numeric rank of a registry id (`s7` → 7, `p12` → 12) for sorting:
+/// `p10` must sort after `p9`. Ids with no parseable suffix — including
+/// empty or single-character ids, and ids whose first character is
+/// multi-byte — rank last instead of panicking.
+fn suffix_rank(id: &str) -> u64 {
+    id.get(1..)
+        .and_then(|suffix| suffix.parse::<u64>().ok())
+        .unwrap_or(u64::MAX)
+}
 
 /// One loaded session plus its compiled plans.
 #[derive(Debug)]
@@ -32,6 +57,11 @@ pub struct SessionEntry {
     pub session: AnalysisSession,
     plans: RwLock<HashMap<String, Arc<PreparedQuery>>>,
     next_plan: AtomicU64,
+    /// Logical-clock tick of the last lookup — the LRU key.
+    last_used: AtomicU64,
+    /// Requests currently admitted (enqueued or running) against this
+    /// session.
+    in_flight: AtomicUsize,
 }
 
 impl SessionEntry {
@@ -64,14 +94,46 @@ impl SessionEntry {
             .iter()
             .map(|(k, v)| (k.clone(), Arc::clone(v)))
             .collect();
-        // `p10` sorts after `p9`: order by the numeric suffix.
-        out.sort_by_key(|(id, _)| id[1..].parse::<u64>().unwrap_or(u64::MAX));
+        out.sort_by_key(|(id, _)| suffix_rank(id));
         out
     }
 
     /// Number of compiled plans.
     pub fn plan_count(&self) -> usize {
         self.plans.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Requests currently admitted against this session.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Atomically claims one in-flight slot if fewer than `cap` are
+    /// taken; the returned guard releases the slot when dropped. `None`
+    /// means the session is at its cap — answer `busy`.
+    pub fn try_admit(self: &Arc<Self>, cap: usize) -> Option<AdmissionGuard> {
+        self.in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| AdmissionGuard {
+                entry: Arc::clone(self),
+            })
+    }
+}
+
+/// Releases one admitted in-flight slot of a session when dropped —
+/// held by the job through queueing and execution, so the slot frees
+/// exactly when the response is on its way.
+#[derive(Debug)]
+pub struct AdmissionGuard {
+    entry: Arc<SessionEntry>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.entry.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -80,15 +142,46 @@ impl SessionEntry {
 pub struct Registry {
     sessions: RwLock<HashMap<String, Arc<SessionEntry>>>,
     next_session: AtomicU64,
+    /// Monotonic logical clock; every lookup/insert takes a tick.
+    clock: AtomicU64,
+    /// Resident-session cap; `None` = unbounded.
+    max_sessions: Option<usize>,
+    evictions: AtomicU64,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty, unbounded registry.
     pub fn new() -> Registry {
         Registry::default()
     }
 
-    /// Registers a session, assigning it the next id.
+    /// An empty registry holding at most `max_sessions` entries
+    /// (`None` = unbounded); inserting past the cap evicts the
+    /// least-recently-used session.
+    pub fn with_capacity(max_sessions: Option<usize>) -> Registry {
+        Registry {
+            max_sessions: max_sessions.map(|m| m.max(1)),
+            ..Registry::default()
+        }
+    }
+
+    /// The configured session cap, if any.
+    pub fn max_sessions(&self) -> Option<usize> {
+        self.max_sessions
+    }
+
+    /// Sessions evicted by the LRU cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Registers a session, assigning it the next id. At the session
+    /// cap the least-recently-used resident session is evicted first
+    /// (safely: in-flight holders keep their `Arc`).
     pub fn insert(&self, session: AnalysisSession) -> Arc<SessionEntry> {
         let id = format!("s{}", self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
         let entry = Arc::new(SessionEntry {
@@ -96,21 +189,38 @@ impl Registry {
             session,
             plans: RwLock::new(HashMap::new()),
             next_plan: AtomicU64::new(0),
+            last_used: AtomicU64::new(self.tick()),
+            in_flight: AtomicUsize::new(0),
         });
-        self.sessions
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, Arc::clone(&entry));
+        let mut sessions = self.sessions.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(cap) = self.max_sessions {
+            while sessions.len() >= cap {
+                let Some(lru) = sessions
+                    .values()
+                    .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
+                    .map(|e| e.id.clone())
+                else {
+                    break;
+                };
+                sessions.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        sessions.insert(id, Arc::clone(&entry));
         entry
     }
 
-    /// Looks a session up by id (cheap `Arc` clone).
+    /// Looks a session up by id (cheap `Arc` clone); marks it
+    /// most-recently-used.
     pub fn get(&self, id: &str) -> Option<Arc<SessionEntry>> {
-        self.sessions
+        let entry = self
+            .sessions
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .get(id)
-            .cloned()
+            .cloned()?;
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(entry)
     }
 
     /// Unlinks a session. Workers holding a clone finish safely; the
@@ -131,7 +241,7 @@ impl Registry {
             .keys()
             .cloned()
             .collect();
-        ids.sort_by_key(|id| id[1..].parse::<u64>().unwrap_or(u64::MAX));
+        ids.sort_by_key(|id| suffix_rank(id));
         ids
     }
 
@@ -169,6 +279,24 @@ mod tests {
     }
 
     #[test]
+    fn suffix_rank_never_panics_on_degenerate_ids() {
+        // The old `id[1..]` slice panicked on "" (out of range) and on a
+        // multi-byte first character (not a char boundary).
+        assert_eq!(suffix_rank(""), u64::MAX);
+        assert_eq!(suffix_rank("s"), u64::MAX);
+        assert_eq!(suffix_rank("é7"), u64::MAX);
+        assert_eq!(suffix_rank("s10"), 10);
+        assert_eq!(suffix_rank("p3"), 3);
+        assert_eq!(suffix_rank("sx"), u64::MAX);
+        // Sorting a mixed bag of well-formed and degenerate ids is
+        // total and panic-free.
+        let mut ids = ["s10", "", "s2", "é", "s"].map(String::from);
+        ids.sort_by_key(|id| suffix_rank(id));
+        assert_eq!(ids[0], "s2");
+        assert_eq!(ids[1], "s10");
+    }
+
+    #[test]
     fn remove_keeps_in_flight_holders_alive() {
         let r = Registry::new();
         let entry = r.insert(AnalysisSession::new(corpus::covid()));
@@ -195,5 +323,49 @@ mod tests {
         assert_eq!(plans.last().map(|(id, _)| id.as_str()), Some("p10"));
         assert!(entry.plan("p3").is_some());
         assert!(entry.plan("p11").is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_used_session() {
+        let r = Registry::with_capacity(Some(2));
+        let s1 = r.insert(AnalysisSession::new(corpus::or2())).id.clone();
+        let s2 = r.insert(AnalysisSession::new(corpus::or2())).id.clone();
+        // Touch s1 so s2 is the LRU entry.
+        assert!(r.get(&s1).is_some());
+        let s3 = r.insert(AnalysisSession::new(corpus::or2())).id.clone();
+        assert_eq!(r.evictions(), 1);
+        assert!(r.get(&s2).is_none(), "LRU entry must be evicted");
+        assert!(r.get(&s1).is_some());
+        assert!(r.get(&s3).is_some());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.max_sessions(), Some(2));
+    }
+
+    #[test]
+    fn eviction_keeps_in_flight_holders_alive() {
+        let r = Registry::with_capacity(Some(1));
+        let first = r.insert(AnalysisSession::new(corpus::covid()));
+        let held = r.get(&first.id).unwrap();
+        let _second = r.insert(AnalysisSession::new(corpus::or2()));
+        assert_eq!(r.evictions(), 1);
+        assert!(r.get(&first.id).is_none());
+        let q = bfl_core::parser::parse_query("exists IWoS").unwrap();
+        assert!(held.session.check_query(&q).unwrap().holds);
+    }
+
+    #[test]
+    fn admission_slots_are_bounded_and_released_on_drop() {
+        let r = Registry::new();
+        let entry = r.insert(AnalysisSession::new(corpus::or2()));
+        let g1 = entry.try_admit(2).expect("first slot");
+        let g2 = entry.try_admit(2).expect("second slot");
+        assert!(entry.try_admit(2).is_none(), "cap reached");
+        assert_eq!(entry.in_flight(), 2);
+        drop(g1);
+        assert_eq!(entry.in_flight(), 1);
+        let g3 = entry.try_admit(2).expect("slot freed by drop");
+        drop(g2);
+        drop(g3);
+        assert_eq!(entry.in_flight(), 0);
     }
 }

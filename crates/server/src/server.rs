@@ -1,20 +1,31 @@
-//! The concurrent analysis server: TCP acceptor, connection readers, a
-//! fixed worker pool over a bounded job queue, and the op handlers.
+//! The concurrent analysis server: TCP acceptor, a fixed set of
+//! connection *shards*, a fixed worker pool over a bounded job queue,
+//! and the op handlers.
 //!
 //! ## Threading model
 //!
-//! * **acceptor** — one thread accepting connections;
-//! * **readers** — one lightweight thread per connection, parsing lines
-//!   into jobs; they never run analysis, only enqueue (or answer
-//!   `busy`/`shutting_down`/`oversized`/parse errors immediately);
+//! * **acceptor** — one thread accepting connections, with exponential
+//!   backoff on accept errors (EMFILE under fd exhaustion must cost
+//!   sleeps, not a hot-spinning core) and a hard connection cap
+//!   (excess connections get a structured `overloaded` error, never a
+//!   silent drop);
+//! * **shards** — `shards` threads, each owning a bounded set of
+//!   *nonblocking* connections multiplexed by a readiness loop
+//!   (the private `shard` module): read-accumulate lines → parse/admit →
+//!   enqueue → write-drain per-connection output buffers. Thread count
+//!   is fixed regardless of connection count;
 //! * **workers** — a fixed pool of `workers` threads popping jobs off
 //!   one bounded [`BoundedQueue`]; all analysis runs here, over the
 //!   shared [`Registry`].
 //!
-//! Backpressure is explicit: a full queue answers `busy` instead of
-//! buffering without bound. Graceful shutdown (`shutdown` op or
-//! [`ServerHandle::shutdown`]) stops intake, **drains** every job
-//! already accepted — no lost responses — and then joins the pool.
+//! Backpressure is explicit at every layer: a full queue answers
+//! `busy`, a session past its in-flight cap answers `busy`, a server
+//! past its connection cap answers `overloaded`, and a connection whose
+//! client stops reading has its output buffer capped (workers stall
+//! briefly, then the connection is declared dead). Graceful shutdown
+//! (`shutdown` op or [`ServerHandle::shutdown`]) stops intake,
+//! **drains** every job already accepted — no lost responses — and then
+//! joins acceptor, workers and shards.
 //!
 //! ## Sharing
 //!
@@ -22,14 +33,27 @@
 //! connection shares one `AnalysisSession` per model and one
 //! `PreparedQuery` (with its scenario/probability memos) per plan id:
 //! a scenario any connection has evaluated is a pure cache lookup for
-//! all of them.
+//! all of them. A `--max-sessions` cap turns the registry into an LRU:
+//! loading past the cap evicts the least-recently-used session
+//! (counted in `stats`), safely — in-flight queries finish on their
+//! own `Arc`.
+//!
+//! ## Streaming
+//!
+//! `sweep` and `cause` accept `"stream":true`: the (possibly huge)
+//! result document is then delivered as bounded `begin`/`chunk`/`end`
+//! frames sharing the request id, so one giant reply flows through the
+//! per-connection output buffer in pieces instead of sitting in memory
+//! whole — see [`docs/server.md`](https://example.invalid) for the
+//! frame shapes.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, OnceLock};
+use std::thread::{JoinHandle, Thread};
+use std::time::Duration;
 
 use bfl_core::engine::{AnalysisSession, MaintenanceReport};
 use bfl_core::error::BflError;
@@ -42,7 +66,11 @@ use bfl_fault_tree::galileo;
 
 use crate::protocol::{ErrorCode, Op, ProbOptions, ProbTarget, Request, Response, SessionOptions};
 use crate::queue::{BoundedQueue, TryPushError};
-use crate::registry::{Registry, SessionEntry};
+use crate::registry::{AdmissionGuard, Registry, SessionEntry};
+use crate::shard::{shard_loop, AcceptBackoff, ConnOut, ServeCounters, ShardInbox, ShardOptions};
+
+/// Response bytes per streamed `chunk` frame (before JSON escaping).
+const STREAM_CHUNK_BYTES: usize = 64 * 1024;
 
 /// Server configuration; every field has a serving-friendly default.
 #[derive(Debug, Clone)]
@@ -51,37 +79,101 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads (analysis parallelism).
     pub workers: usize,
+    /// Shard threads (connection multiplexing); thread count stays
+    /// fixed no matter how many connections are open.
+    pub shards: usize,
     /// Bounded request-queue capacity; a full queue answers `busy`.
     pub queue_capacity: usize,
     /// Maximum accepted request-line length in bytes; longer lines
     /// answer `oversized` (and are discarded without buffering).
     pub max_line_bytes: usize,
+    /// Maximum concurrently open connections; excess connections are
+    /// answered with a structured `overloaded` error and closed.
+    pub max_connections: usize,
+    /// Resident-session cap (`None` = unbounded): loading past it
+    /// evicts the least-recently-used session.
+    pub max_sessions: Option<usize>,
+    /// Per-session in-flight request cap (`None` = unbounded): a
+    /// session at its cap answers `busy` at admission time.
+    pub session_inflight: Option<usize>,
+    /// Reap connections with no read activity and no pending work for
+    /// this long (`None` = never): each gets a structured
+    /// `idle_timeout` error before the close, counted in `stats`.
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection output-buffer high-water mark in bytes: above it
+    /// the shard stops reading from the connection and workers stall
+    /// (bounded memory per slow client).
+    pub write_high_water: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        let workers = std::thread::available_parallelism()
+        let parallelism = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(2);
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers,
+            workers: parallelism,
+            shards: parallelism.clamp(1, 4),
             queue_capacity: 64,
             max_line_bytes: 4 << 20,
+            max_connections: 1024,
+            max_sessions: None,
+            session_inflight: None,
+            idle_timeout: None,
+            write_high_water: 8 << 20,
         }
     }
 }
 
+/// The acceptor's handle to one shard: where to drop accepted streams,
+/// and which thread to wake afterwards.
+#[derive(Debug, Clone)]
+struct ShardLink {
+    inbox: Arc<ShardInbox>,
+    thread: Thread,
+}
+
 /// Shared state of one running server.
 #[derive(Debug)]
-struct Shared {
+pub(crate) struct Shared {
     registry: Registry,
     queue: BoundedQueue<Job>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     workers: usize,
+    shard_count: usize,
     queue_capacity: usize,
     max_line_bytes: usize,
+    max_connections: usize,
+    session_inflight: Option<usize>,
+    idle_timeout: Option<Duration>,
+    counters: ServeCounters,
+    /// Set once in [`Server::bind`] after the shards spawn, before the
+    /// acceptor does; the acceptor and `begin_shutdown` read it.
+    shards: OnceLock<Vec<ShardLink>>,
+}
+
+/// Holds one slot of a connection's in-flight count from enqueue to
+/// response, so shards know when a connection has quiesced (safe to
+/// close on EOF/shutdown) — released on drop, whatever path the job
+/// takes.
+#[derive(Debug)]
+struct JobTicket {
+    out: Arc<ConnOut>,
+}
+
+impl JobTicket {
+    fn new(out: Arc<ConnOut>) -> JobTicket {
+        out.job_started();
+        JobTicket { out }
+    }
+}
+
+impl Drop for JobTicket {
+    fn drop(&mut self) {
+        self.out.job_finished();
+    }
 }
 
 /// One enqueued request.
@@ -89,35 +181,13 @@ struct Shared {
 struct Job {
     id: Option<u64>,
     op: Op,
-    conn: Arc<ConnWriter>,
-}
-
-/// The write half of a connection, shared by the reader (immediate
-/// errors) and every worker answering its jobs.
-///
-/// Writes carry a timeout (set at accept time) and the first failure
-/// marks the connection dead: a client that stops reading its socket
-/// can stall a worker for at most one timeout, never pin the pool.
-#[derive(Debug)]
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
-    dead: AtomicBool,
-}
-
-impl ConnWriter {
-    fn send(&self, response: &Response) {
-        if self.dead.load(Ordering::Acquire) {
-            return;
-        }
-        let mut line = response.to_json_line();
-        line.push('\n');
-        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        // A vanished (or wedged — write timeout) client is not a server
-        // error; drop its responses from here on.
-        if stream.write_all(line.as_bytes()).is_err() || stream.flush().is_err() {
-            self.dead.store(true, Ordering::Release);
-        }
-    }
+    out: Arc<ConnOut>,
+    /// Connection in-flight accounting (drop = done); never read, held
+    /// for its `Drop`.
+    _ticket: JobTicket,
+    /// Session in-flight slot, when admission control is on; held for
+    /// its `Drop`.
+    _admission: Option<AdmissionGuard>,
 }
 
 /// The server entry point.
@@ -125,9 +195,9 @@ impl ConnWriter {
 pub struct Server;
 
 impl Server {
-    /// Binds the listener and starts the acceptor + worker threads.
-    /// Returns immediately; use the handle to learn the bound address
-    /// and to wait or shut down.
+    /// Binds the listener and starts the acceptor, shard and worker
+    /// threads. Returns immediately; use the handle to learn the bound
+    /// address and to wait or shut down.
     ///
     /// # Errors
     ///
@@ -136,13 +206,19 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            registry: Registry::new(),
+            registry: Registry::with_capacity(config.max_sessions),
             queue: BoundedQueue::new(config.queue_capacity.max(1)),
             shutdown: AtomicBool::new(false),
             addr,
             workers: config.workers.max(1),
+            shard_count: config.shards.max(1),
             queue_capacity: config.queue_capacity.max(1),
             max_line_bytes: config.max_line_bytes.max(1024),
+            max_connections: config.max_connections.max(1),
+            session_inflight: config.session_inflight.map(|c| c.max(1)),
+            idle_timeout: config.idle_timeout,
+            counters: ServeCounters::default(),
+            shards: OnceLock::new(),
         });
         let mut workers = Vec::with_capacity(shared.workers);
         for i in 0..shared.workers {
@@ -153,6 +229,38 @@ impl Server {
                     .spawn(move || worker_loop(&shared))?,
             );
         }
+        let opts = ShardOptions {
+            max_line_bytes: shared.max_line_bytes,
+            high_water: config.write_high_water.max(64 * 1024),
+            idle_timeout: shared.idle_timeout,
+        };
+        let mut shard_handles = Vec::with_capacity(shared.shard_count);
+        let mut links = Vec::with_capacity(shared.shard_count);
+        for i in 0..shared.shard_count {
+            let inbox = Arc::new(ShardInbox::default());
+            let handle = {
+                let inbox = Arc::clone(&inbox);
+                let shared = Arc::clone(&shared);
+                let opts = opts.clone();
+                std::thread::Builder::new()
+                    .name(format!("bfl-shard-{i}"))
+                    .spawn(move || {
+                        shard_loop(
+                            &inbox,
+                            &shared.shutdown,
+                            &opts,
+                            &shared.counters,
+                            |out, line| process_request_line(&shared, out, line),
+                        );
+                    })?
+            };
+            links.push(ShardLink {
+                inbox,
+                thread: handle.thread().clone(),
+            });
+            shard_handles.push(handle);
+        }
+        let _ = shared.shards.set(links);
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -163,6 +271,7 @@ impl Server {
             shared,
             acceptor: Some(acceptor),
             workers,
+            shards: shard_handles,
         })
     }
 }
@@ -173,6 +282,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -182,14 +292,15 @@ impl ServerHandle {
     }
 
     /// Blocks until the server stops (a client sent `shutdown`), then
-    /// joins every worker — all accepted requests have been answered
-    /// when this returns.
+    /// joins every worker and shard — all accepted requests have been
+    /// answered and flushed when this returns.
     pub fn join(mut self) {
         self.join_threads();
     }
 
     /// Initiates a graceful shutdown programmatically (equivalent to
-    /// the `shutdown` op): stops intake, drains the queue, joins.
+    /// the `shutdown` op): stops intake, drains the queue and every
+    /// shard's output buffers, joins.
     pub fn shutdown(mut self) {
         begin_shutdown(&self.shared);
         self.join_threads();
@@ -199,19 +310,29 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // Workers first: their final responses land in shard output
+        // buffers, which the shards flush before exiting.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
         }
     }
 }
 
-/// Flags the shutdown, closes the queue (poppers drain it) and pokes
-/// the acceptor awake so it observes the flag. The poke targets the
-/// loopback of the *bound family* — an IPv6 listener may not accept
-/// IPv4-mapped connections.
+/// Flags the shutdown, closes the queue (poppers drain it), unparks
+/// every shard so it observes the flag, and pokes the acceptor awake.
+/// The poke targets the loopback of the *bound family* — an IPv6
+/// listener may not accept IPv4-mapped connections.
 fn begin_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::Release);
     shared.queue.close();
+    if let Some(links) = shared.shards.get() {
+        for link in links {
+            link.thread.unpark();
+        }
+    }
     let poke = if shared.addr.ip().is_unspecified() {
         match shared.addr {
             SocketAddr::V4(_) => SocketAddr::from(([127, 0, 0, 1], shared.addr.port())),
@@ -226,156 +347,175 @@ fn begin_shutdown(shared: &Shared) {
 }
 
 fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    for stream in listener.incoming() {
+    let Some(links) = shared.shards.get() else {
+        return;
+    };
+    let mut backoff = AcceptBackoff::new();
+    let mut next_shard = 0usize;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff.on_success();
+                stream
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // EMFILE/ENFILE and friends persist across retries:
+                // back off exponentially instead of hot-spinning a
+                // core, and account for the error in `stats`.
+                shared
+                    .counters
+                    .accept_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff.on_error());
+                continue;
+            }
+        };
         if shared.shutdown.load(Ordering::Acquire) {
-            break;
+            return;
         }
-        let Ok(stream) = stream else { continue };
         // Responses are one small line each; Nagle + delayed ACK would
         // add ~40 ms to every round trip.
         let _ = stream.set_nodelay(true);
-        // Bound the damage a non-reading client can do: a worker blocks
-        // in a response write for at most this long, after which the
-        // connection is marked dead (see `ConnWriter`).
-        let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
-        let shared = Arc::clone(shared);
-        // Readers are deliberately detached: they die with their
-        // connection (EOF) and hold only Arcs.
-        let _ = std::thread::Builder::new()
-            .name("bfl-conn".to_string())
-            .spawn(move || serve_connection(&shared, stream));
+        let open = shared.counters.open_connections.load(Ordering::Acquire);
+        if open >= shared.max_connections {
+            // Never drop a connection silently: past the cap the client
+            // gets a structured `overloaded` error before the close.
+            shared
+                .counters
+                .overload_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            reject_overloaded(stream, shared.max_connections);
+            continue;
+        }
+        shared
+            .counters
+            .open_connections
+            .fetch_add(1, Ordering::AcqRel);
+        shared
+            .counters
+            .peak_connections
+            .fetch_max(open + 1, Ordering::AcqRel);
+        let link = &links[next_shard % links.len()];
+        next_shard = next_shard.wrapping_add(1);
+        link.inbox
+            .streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(stream);
+        link.thread.unpark();
     }
 }
 
-/// Outcome of one bounded line read.
-enum LineRead {
-    /// A complete line is in the buffer (newline stripped).
-    Line,
-    /// The line exceeded the limit; it was discarded up to its newline.
-    Oversized,
-    /// The peer closed the connection.
-    Eof,
+/// Answers a connection over the cap with a structured error, then
+/// closes it. Bounded: a peer that won't read costs at most the write
+/// timeout, on the acceptor thread only.
+fn reject_overloaded(mut stream: TcpStream, max_connections: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut line = Response::error(
+        None,
+        ErrorCode::Overloaded,
+        format!("server is at its connection limit ({max_connections}), retry later"),
+    )
+    .to_json_line();
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
 }
 
-/// Reads one `\n`-terminated line into `buf`, never buffering more than
-/// `max` bytes: an overlong line is discarded (streamed past) and
-/// reported as [`LineRead::Oversized`], keeping the connection usable.
-fn read_bounded_line(
-    reader: &mut impl BufRead,
-    max: usize,
-    buf: &mut Vec<u8>,
-) -> io::Result<LineRead> {
-    buf.clear();
-    let mut oversized = false;
-    loop {
-        let available = reader.fill_buf()?;
-        if available.is_empty() {
-            // EOF. A trailing unterminated fragment still parses as a
-            // line (netcat without a final newline).
-            return Ok(if oversized {
-                LineRead::Oversized
-            } else if buf.is_empty() {
-                LineRead::Eof
-            } else {
-                LineRead::Line
-            });
-        }
-        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
-            if !oversized && buf.len() + pos <= max {
-                buf.extend_from_slice(&available[..pos]);
-            } else {
-                oversized = true;
-            }
-            reader.consume(pos + 1);
-            return Ok(if oversized {
-                LineRead::Oversized
-            } else {
-                LineRead::Line
-            });
-        }
-        if !oversized {
-            if buf.len() + available.len() > max {
-                oversized = true;
-                buf.clear();
-            } else {
-                buf.extend_from_slice(available);
-            }
-        }
-        let n = available.len();
-        reader.consume(n);
-    }
-}
-
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else {
+/// Handles one complete request line on its shard thread: parse,
+/// admission, enqueue. Never blocks — immediate answers (`busy`,
+/// parse errors, `shutting_down`) go straight into the connection's
+/// output buffer.
+fn process_request_line(shared: &Shared, out: &Arc<ConnOut>, bytes: &[u8]) {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        out.push_line(&Response::error(
+            None,
+            ErrorCode::ParseError,
+            "request line is not valid UTF-8",
+        ));
         return;
     };
-    let conn = Arc::new(ConnWriter {
-        stream: Mutex::new(write_half),
-        dead: AtomicBool::new(false),
-    });
-    let mut reader = BufReader::new(stream);
-    let mut buf = Vec::new();
-    loop {
-        match read_bounded_line(&mut reader, shared.max_line_bytes, &mut buf) {
-            Err(_) | Ok(LineRead::Eof) => break,
-            Ok(LineRead::Oversized) => {
-                conn.send(&Response::error(
-                    None,
-                    ErrorCode::Oversized,
-                    format!(
-                        "request line exceeds the {} byte limit",
-                        shared.max_line_bytes
-                    ),
-                ));
-            }
-            Ok(LineRead::Line) => {
-                let Ok(text) = std::str::from_utf8(&buf) else {
-                    conn.send(&Response::error(
-                        None,
-                        ErrorCode::ParseError,
-                        "request line is not valid UTF-8",
-                    ));
-                    continue;
-                };
-                let line = text.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                let request = match Request::parse(line) {
-                    Ok(request) => request,
-                    Err((id, code, message)) => {
-                        conn.send(&Response::error(id, code, message));
-                        continue;
-                    }
-                };
-                if shared.shutdown.load(Ordering::Acquire) {
-                    conn.send(&Response::error(
-                        request.id,
-                        ErrorCode::ShuttingDown,
-                        "server is draining",
-                    ));
-                    continue;
-                }
-                let job = Job {
-                    id: request.id,
-                    op: request.op,
-                    conn: Arc::clone(&conn),
-                };
-                match shared.queue.try_push(job) {
-                    Ok(()) => {}
-                    Err(TryPushError::Full(job)) => job.conn.send(&Response::error(
-                        job.id,
-                        ErrorCode::Busy,
-                        "request queue is full, retry later",
-                    )),
-                    Err(TryPushError::Closed(job)) => job.conn.send(&Response::error(
-                        job.id,
-                        ErrorCode::ShuttingDown,
-                        "server is draining",
-                    )),
-                }
-            }
+    let line = text.trim();
+    if line.is_empty() {
+        return;
+    }
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err((id, code, message)) => {
+            out.push_line(&Response::error(id, code, message));
+            return;
+        }
+    };
+    if shared.shutdown.load(Ordering::Acquire) {
+        out.push_line(&Response::error(
+            request.id,
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+        return;
+    }
+    let admission = match admit(shared, &request) {
+        Ok(admission) => admission,
+        Err(response) => {
+            out.push_line(&response);
+            return;
+        }
+    };
+    let job = Job {
+        id: request.id,
+        op: request.op,
+        out: Arc::clone(out),
+        _ticket: JobTicket::new(Arc::clone(out)),
+        _admission: admission,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(TryPushError::Full(job)) => job.out.push_line(&Response::error(
+            job.id,
+            ErrorCode::Busy,
+            "request queue is full, retry later",
+        )),
+        Err(TryPushError::Closed(job)) => job.out.push_line(&Response::error(
+            job.id,
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        )),
+    }
+}
+
+/// Per-session admission control: with `--session-inflight` set and the
+/// request addressing a loaded session, claim one of its in-flight
+/// slots (released when the job drops). A session at its cap answers
+/// `busy` without touching the queue, so one swamped session cannot
+/// monopolise the worker pool.
+fn admit(shared: &Shared, request: &Request) -> Result<Option<AdmissionGuard>, Response> {
+    let Some(cap) = shared.session_inflight else {
+        return Ok(None);
+    };
+    let Some(session) = request.op.session_id() else {
+        return Ok(None);
+    };
+    // An unknown session is not an admission matter: let the job fail
+    // downstream with the structured `unknown_session` error.
+    let Some(entry) = shared.registry.get(session) else {
+        return Ok(None);
+    };
+    match entry.try_admit(cap) {
+        Some(guard) => Ok(Some(guard)),
+        None => {
+            shared
+                .counters
+                .admission_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            Err(Response::error(
+                request.id,
+                ErrorCode::Busy,
+                format!("session `{session}` is at its in-flight limit ({cap}), retry later"),
+            ))
         }
     }
 }
@@ -383,10 +523,10 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         if matches!(job.op, Op::Shutdown) {
-            // Flag first so readers reject new work, answer, then close
+            // Flag first so shards reject new work, answer, then close
             // the queue: poppers drain what was already accepted.
             shared.shutdown.store(true, Ordering::Release);
-            job.conn.send(&Response::ok(job.id, "{\"stopping\":true}"));
+            job.out.send(&Response::ok(job.id, "{\"stopping\":true}"));
             begin_shutdown(shared);
             continue;
         }
@@ -415,12 +555,75 @@ fn worker_loop(shared: &Arc<Shared>) {
                     None => Err((ErrorCode::Internal, format!("handler panicked: {what}"))),
                 }
             });
-        let response = match result {
-            Ok(result) => Response::ok(job.id, result),
-            Err((code, message)) => Response::error(job.id, code, message),
-        };
-        job.conn.send(&response);
+        let streaming = matches!(
+            &job.op,
+            Op::Sweep { stream: true, .. } | Op::Cause { stream: true, .. }
+        );
+        match result {
+            Ok(doc) if streaming => send_streamed(&job.out, job.id, &doc),
+            Ok(doc) => job.out.send(&Response::ok(job.id, doc)),
+            Err((code, message)) => job.out.send(&Response::error(job.id, code, message)),
+        }
+        // `job` drops here: the ticket marks the connection quiescent
+        // (after the response is buffered) and any admission slot frees.
     }
+}
+
+/// Splits a result document at `size`-byte boundaries, never inside a
+/// UTF-8 character.
+fn stream_chunks(doc: &str, size: usize) -> Vec<&str> {
+    // Floor of 4 so a multi-byte character can never stall the cut
+    // below 1 (a UTF-8 scalar is at most 4 bytes).
+    let size = size.max(4);
+    let mut parts = Vec::with_capacity(doc.len() / size + 1);
+    let mut rest = doc;
+    while rest.len() > size {
+        let mut cut = size;
+        while !rest.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let (head, tail) = rest.split_at(cut);
+        parts.push(head);
+        rest = tail;
+    }
+    parts.push(rest);
+    parts
+}
+
+/// Delivers a large result as `begin`/`chunk`/`end` frames sharing the
+/// request id. Each frame is a normal ok-response whose result carries
+/// a `"stream"` tag; chunks are 1-based and the concatenated `part`s
+/// reproduce the unstreamed document byte-for-byte. Flow control is the
+/// connection's ordinary output buffer — the worker stalls between
+/// chunks while the client catches up, and aborts if the connection
+/// dies mid-stream.
+fn send_streamed(out: &ConnOut, id: Option<u64>, doc: &str) {
+    let parts = stream_chunks(doc, STREAM_CHUNK_BYTES);
+    out.send(&Response::ok(
+        id,
+        format!(
+            "{{\"stream\":\"begin\",\"chunks\":{},\"bytes\":{}}}",
+            parts.len(),
+            doc.len()
+        ),
+    ));
+    for (seq, part) in parts.iter().enumerate() {
+        if out.is_dead() {
+            return;
+        }
+        out.send(&Response::ok(
+            id,
+            format!(
+                "{{\"stream\":\"chunk\",\"seq\":{},\"part\":{}}}",
+                seq + 1,
+                json_str(part)
+            ),
+        ));
+    }
+    out.send(&Response::ok(
+        id,
+        format!("{{\"stream\":\"end\",\"chunks\":{}}}", parts.len()),
+    ));
 }
 
 // ---------------------------------------------------------------------------
@@ -480,6 +683,7 @@ fn handle_op(shared: &Shared, op: &Op) -> Result<String, OpError> {
             session,
             plan,
             scenario,
+            ..
         } => {
             let entry = session_entry(shared, session)?;
             let prepared = plan_of(&entry, plan)?;
@@ -491,6 +695,7 @@ fn handle_op(shared: &Shared, op: &Op) -> Result<String, OpError> {
             session,
             plan,
             scenarios,
+            ..
         } => {
             let entry = session_entry(shared, session)?;
             let prepared = plan_of(&entry, plan)?;
@@ -725,6 +930,10 @@ fn handle_prob(
     }
 }
 
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
 fn global_stats(shared: &Shared) -> String {
     let ids: Vec<String> = shared
         .registry
@@ -732,12 +941,27 @@ fn global_stats(shared: &Shared) -> String {
         .iter()
         .map(|id| json_str(id))
         .collect();
+    let c = &shared.counters;
     format!(
-        "{{\"sessions\":[{}],\"workers\":{},\"queue_capacity\":{},\"queue_depth\":{}}}",
+        "{{\"sessions\":[{}],\"workers\":{},\"queue_capacity\":{},\"queue_depth\":{},\"shards\":{},\"connections\":{{\"open\":{},\"peak\":{},\"max\":{}}},\"counters\":{{\"accept_errors\":{},\"overload_rejects\":{},\"idle_reaped\":{},\"admission_rejects\":{},\"evictions\":{}}},\"limits\":{{\"max_sessions\":{},\"session_inflight\":{},\"idle_timeout_ms\":{}}}}}",
         ids.join(","),
         shared.workers,
         shared.queue_capacity,
-        shared.queue.len()
+        shared.queue.len(),
+        shared.shard_count,
+        c.open_connections.load(Ordering::Acquire),
+        c.peak_connections.load(Ordering::Acquire),
+        shared.max_connections,
+        c.accept_errors.load(Ordering::Relaxed),
+        c.overload_rejects.load(Ordering::Relaxed),
+        c.idle_reaped.load(Ordering::Relaxed),
+        c.admission_rejects.load(Ordering::Relaxed),
+        shared.registry.evictions(),
+        json_opt_usize(shared.registry.max_sessions()),
+        json_opt_usize(shared.session_inflight),
+        shared
+            .idle_timeout
+            .map_or_else(|| "null".to_string(), |d| d.as_millis().to_string())
     )
 }
 
@@ -803,49 +1027,32 @@ fn maintenance_json(m: &MaintenanceReport) -> String {
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
 
     #[test]
-    fn bounded_line_reader_handles_limits_and_eof() {
-        let mut buf = Vec::new();
-        // Normal lines.
-        let mut r = BufReader::new(Cursor::new(b"hello\nworld".to_vec()));
-        assert!(matches!(
-            read_bounded_line(&mut r, 16, &mut buf).unwrap(),
-            LineRead::Line
-        ));
-        assert_eq!(buf, b"hello");
-        // Unterminated trailing fragment still counts as a line.
-        assert!(matches!(
-            read_bounded_line(&mut r, 16, &mut buf).unwrap(),
-            LineRead::Line
-        ));
-        assert_eq!(buf, b"world");
-        assert!(matches!(
-            read_bounded_line(&mut r, 16, &mut buf).unwrap(),
-            LineRead::Eof
-        ));
-        // Oversized line is discarded; the next line still parses.
-        let mut r = BufReader::new(Cursor::new(b"xxxxxxxxxxxxxxxxxxxxxx\nok\n".to_vec()));
-        assert!(matches!(
-            read_bounded_line(&mut r, 8, &mut buf).unwrap(),
-            LineRead::Oversized
-        ));
-        assert!(matches!(
-            read_bounded_line(&mut r, 8, &mut buf).unwrap(),
-            LineRead::Line
-        ));
-        assert_eq!(buf, b"ok");
+    fn stream_chunks_reassemble_byte_identically() {
+        let doc = "a".repeat(200_000);
+        let parts = stream_chunks(&doc, STREAM_CHUNK_BYTES);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.concat(), doc);
+        // Every chunk but the last is exactly the chunk size for pure
+        // ASCII documents.
+        assert!(parts[..3].iter().all(|p| p.len() == STREAM_CHUNK_BYTES));
     }
 
     #[test]
-    fn oversized_exactly_at_boundary_is_kept() {
-        let mut buf = Vec::new();
-        let mut r = BufReader::new(Cursor::new(b"12345678\n".to_vec()));
-        assert!(matches!(
-            read_bounded_line(&mut r, 8, &mut buf).unwrap(),
-            LineRead::Line
-        ));
-        assert_eq!(buf, b"12345678");
+    fn stream_chunks_never_split_inside_a_character() {
+        // Multi-byte characters straddling the cut must move the
+        // boundary back, and a tiny chunk size must not loop forever
+        // (the regression this test guards).
+        let doc = "é".repeat(1000);
+        for size in [1usize, 2, 3, 4, 5, 7, 64] {
+            let parts = stream_chunks(&doc, size);
+            assert_eq!(parts.concat(), doc, "size {size}");
+            assert!(parts
+                .iter()
+                .all(|p| std::str::from_utf8(p.as_bytes()).is_ok()));
+        }
+        // Empty documents still produce one (empty) chunk.
+        assert_eq!(stream_chunks("", 8), vec![""]);
     }
 }

@@ -1,0 +1,655 @@
+//! The sharded nonblocking connection layer (std-only).
+//!
+//! The server runs a **fixed** number of shard threads; every accepted
+//! connection is handed to one shard and stays there for its lifetime.
+//! A shard owns its connections outright and runs a readiness loop over
+//! their nonblocking sockets:
+//!
+//! 1. adopt connections handed off by the acceptor;
+//! 2. read-accumulate bytes into bounded line buffers
+//!    ([`LineAccumulator`] — oversized lines are discarded and answered
+//!    with a structured `oversized` error, exactly like the previous
+//!    per-connection reader);
+//! 3. hand complete lines to the server (parse → admission → enqueue);
+//! 4. write-drain every connection's bounded output buffer
+//!    ([`ConnOut`]);
+//! 5. reap idle connections and close finished ones.
+//!
+//! Thread count is therefore **constant in the connection count**:
+//! hundreds of concurrent connections are multiplexed over a handful of
+//! shard threads with bounded memory per connection. With no readiness
+//! syscall in std, the loop parks briefly when a full pass makes no
+//! progress ([`PARK_INTERVAL`]); workers and the acceptor `unpark` the
+//! shard the moment new output or a new connection is ready, so the
+//! loaded path never sleeps and the idle path costs a few wakeups per
+//! millisecond.
+//!
+//! Flow control is explicit in both directions. A worker pushing a
+//! response blocks (with a stall timeout) once the connection's output
+//! buffer crosses its high-water mark, so one slow client throttles at
+//! most the workers answering *its* requests, never a shard. A shard
+//! stops *reading* from a connection whose output buffer is above the
+//! high-water mark, so a pipelining client that refuses to read its
+//! responses cannot grow server memory without bound.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{ErrorCode, Response};
+
+/// How long a shard parks when a full pass over its connections made no
+/// progress. Short enough that fresh request bytes (which cannot unpark
+/// the shard — there is no readiness syscall in std) are picked up at
+/// sub-millisecond latency; long enough that an idle shard burns ~0.1%
+/// of a core.
+pub(crate) const PARK_INTERVAL: Duration = Duration::from_micros(250);
+
+/// How long a worker may wait for a connection's output buffer to drain
+/// below its high-water mark before the connection is declared dead —
+/// the successor of the old per-write 10 s socket timeout.
+pub(crate) const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long after shutdown a shard keeps trying to flush drained
+/// responses to clients that have stopped reading before force-closing
+/// them.
+pub(crate) const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Read chunk size per `read` call, and the per-connection fairness cap
+/// (at most `READ_BURST` chunks per pass, so one firehose connection
+/// cannot starve its shard siblings).
+const READ_CHUNK: usize = 16 * 1024;
+const READ_BURST: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Accept backoff.
+// ---------------------------------------------------------------------------
+
+/// Exponential backoff for `accept` errors (EMFILE/ENFILE under fd
+/// exhaustion): without it the acceptor hot-spins at 100% CPU on a
+/// persistent error. Delays double from [`AcceptBackoff::INITIAL`] to
+/// [`AcceptBackoff::CAP`] and reset on the next successful accept.
+#[derive(Debug)]
+pub(crate) struct AcceptBackoff {
+    next_delay: Duration,
+}
+
+impl AcceptBackoff {
+    pub(crate) const INITIAL: Duration = Duration::from_millis(1);
+    pub(crate) const CAP: Duration = Duration::from_millis(100);
+
+    pub(crate) fn new() -> AcceptBackoff {
+        AcceptBackoff {
+            next_delay: Self::INITIAL,
+        }
+    }
+
+    /// A successful accept resets the backoff.
+    pub(crate) fn on_success(&mut self) {
+        self.next_delay = Self::INITIAL;
+    }
+
+    /// An accept error: returns how long to sleep before retrying, and
+    /// doubles the next delay up to the cap.
+    pub(crate) fn on_error(&mut self) -> Duration {
+        let delay = self.next_delay;
+        self.next_delay = (self.next_delay * 2).min(Self::CAP);
+        delay
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line accumulation.
+// ---------------------------------------------------------------------------
+
+/// One event produced by feeding bytes into a [`LineAccumulator`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum LineEvent {
+    /// A complete line (newline stripped).
+    Line(Vec<u8>),
+    /// A line exceeded the byte limit; it was discarded up to (and
+    /// including) its newline.
+    Oversized,
+}
+
+/// Incremental bounded line splitter: the nonblocking twin of the old
+/// blocking `read_bounded_line`. Bytes arrive in arbitrary chunks; the
+/// accumulator buffers at most `max` bytes of the current line, streams
+/// past anything longer (reporting it as one [`LineEvent::Oversized`]
+/// per offending line) and treats a trailing unterminated fragment at
+/// EOF as a line — netcat without a final newline still gets answered.
+#[derive(Debug)]
+pub(crate) struct LineAccumulator {
+    max: usize,
+    buf: Vec<u8>,
+    oversized: bool,
+}
+
+impl LineAccumulator {
+    pub(crate) fn new(max: usize) -> LineAccumulator {
+        LineAccumulator {
+            max,
+            buf: Vec::new(),
+            oversized: false,
+        }
+    }
+
+    /// Feeds one chunk, invoking `on_event` for every completed line.
+    pub(crate) fn feed(&mut self, chunk: &[u8], mut on_event: impl FnMut(LineEvent)) {
+        let mut rest = chunk;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let part = &rest[..pos];
+            if self.oversized || self.buf.len() + part.len() > self.max {
+                self.buf.clear();
+                self.oversized = false;
+                on_event(LineEvent::Oversized);
+            } else {
+                self.buf.extend_from_slice(part);
+                on_event(LineEvent::Line(std::mem::take(&mut self.buf)));
+            }
+            rest = &rest[pos + 1..];
+        }
+        if !rest.is_empty() {
+            if self.oversized || self.buf.len() + rest.len() > self.max {
+                self.oversized = true;
+                self.buf.clear();
+            } else {
+                self.buf.extend_from_slice(rest);
+            }
+        }
+    }
+
+    /// EOF: the trailing unterminated fragment, if any.
+    pub(crate) fn finish(&mut self) -> Option<LineEvent> {
+        if self.oversized {
+            self.oversized = false;
+            self.buf.clear();
+            Some(LineEvent::Oversized)
+        } else if self.buf.is_empty() {
+            None
+        } else {
+            Some(LineEvent::Line(std::mem::take(&mut self.buf)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection output buffer.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct OutBuf {
+    bytes: Vec<u8>,
+    written: usize,
+}
+
+impl OutBuf {
+    fn pending(&self) -> usize {
+        self.bytes.len() - self.written
+    }
+}
+
+/// The write half of one connection, shared between its shard (which
+/// drains it to the nonblocking socket) and every worker answering its
+/// jobs (which append response lines).
+///
+/// Appends by workers are flow-controlled: past `high_water` pending
+/// bytes the worker blocks on a condvar until the shard drains the
+/// buffer, with [`WRITE_STALL_TIMEOUT`] as the overall deadline after
+/// which the connection is marked dead — a client that stops reading
+/// its socket stalls the workers answering its own requests for at most
+/// that long, and never wedges a shard (shards only ever take the lock
+/// for nonblocking byte shuffling).
+#[derive(Debug)]
+pub(crate) struct ConnOut {
+    state: Mutex<OutBuf>,
+    space: Condvar,
+    dead: AtomicBool,
+    /// Jobs enqueued for this connection and not yet answered.
+    in_flight: AtomicUsize,
+    /// The owning shard's thread, unparked whenever output is appended
+    /// or a job completes.
+    shard: Thread,
+    high_water: usize,
+}
+
+impl ConnOut {
+    pub(crate) fn new(shard: Thread, high_water: usize) -> ConnOut {
+        ConnOut {
+            state: Mutex::new(OutBuf::default()),
+            space: Condvar::new(),
+            dead: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            shard,
+            high_water: high_water.max(1),
+        }
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+        // Free any worker waiting for buffer space.
+        self.space.notify_all();
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pending()
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn job_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn job_finished(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.shard.unpark();
+    }
+
+    /// Appends a response line from a worker, blocking above the
+    /// high-water mark until the shard drains the buffer (or the stall
+    /// timeout declares the connection dead).
+    pub(crate) fn send(&self, response: &Response) {
+        let mut line = response.to_json_line();
+        line.push('\n');
+        if self.is_dead() {
+            return;
+        }
+        let deadline = Instant::now() + WRITE_STALL_TIMEOUT;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.pending() + line.len() > self.high_water && !self.is_dead() {
+            let now = Instant::now();
+            if now >= deadline {
+                drop(state);
+                self.mark_dead();
+                self.shard.unpark();
+                return;
+            }
+            let (guard, _) = self
+                .space
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+        if self.is_dead() {
+            return;
+        }
+        state.bytes.extend_from_slice(line.as_bytes());
+        drop(state);
+        self.shard.unpark();
+    }
+
+    /// Appends a response line from the shard itself — immediate
+    /// protocol errors (`busy`, `oversized`, parse errors). Never
+    /// blocks: the shard enforces flow control by not *reading* from a
+    /// connection whose buffer is above the high-water mark, so these
+    /// appends are bounded too.
+    pub(crate) fn push_line(&self, response: &Response) {
+        if self.is_dead() {
+            return;
+        }
+        let mut line = response.to_json_line();
+        line.push('\n');
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.bytes.extend_from_slice(line.as_bytes());
+    }
+
+    /// Drains buffered bytes into the nonblocking socket. Returns
+    /// whether any bytes moved; a hard write error marks the connection
+    /// dead.
+    fn write_to(&self, stream: &mut TcpStream) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut progress = false;
+        while state.pending() > 0 {
+            let at = state.written;
+            match stream.write(&state.bytes[at..]) {
+                Ok(0) => {
+                    drop(state);
+                    self.mark_dead();
+                    return progress;
+                }
+                Ok(n) => {
+                    state.written += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    drop(state);
+                    self.mark_dead();
+                    return progress;
+                }
+            }
+        }
+        if state.pending() == 0 && !state.bytes.is_empty() {
+            state.bytes.clear();
+            state.written = 0;
+        }
+        let below_high_water = state.pending() < self.high_water;
+        drop(state);
+        if below_high_water {
+            self.space.notify_all();
+        }
+        progress
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shard itself.
+// ---------------------------------------------------------------------------
+
+/// Serving-layer counters surfaced in the global `stats` document.
+#[derive(Debug, Default)]
+pub(crate) struct ServeCounters {
+    pub accept_errors: AtomicU64,
+    pub overload_rejects: AtomicU64,
+    pub idle_reaped: AtomicU64,
+    pub admission_rejects: AtomicU64,
+    pub open_connections: AtomicUsize,
+    pub peak_connections: AtomicUsize,
+}
+
+/// Static configuration a shard loop needs.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardOptions {
+    pub max_line_bytes: usize,
+    pub high_water: usize,
+    pub idle_timeout: Option<Duration>,
+}
+
+/// The acceptor's handoff slot for one shard: accepted streams land in
+/// the inbox, then the shard's thread is unparked to adopt them.
+#[derive(Debug, Default)]
+pub(crate) struct ShardInbox {
+    pub streams: Mutex<Vec<TcpStream>>,
+}
+
+/// One connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    accum: LineAccumulator,
+    out: Arc<ConnOut>,
+    last_activity: Instant,
+    /// Peer closed its write half; drain our output, then close.
+    eof: bool,
+    /// We decided to close (idle reap); drain the notice, then close.
+    closing: bool,
+    /// Force-close deadline once `eof`/`closing`/shutdown applies, so a
+    /// peer that never reads its final bytes cannot pin the slot.
+    drain_deadline: Option<Instant>,
+}
+
+impl Conn {
+    fn quiesced(&self) -> bool {
+        self.out.in_flight() == 0 && self.out.pending() == 0
+    }
+}
+
+/// Runs one shard until shutdown completes. `on_line` receives every
+/// complete request line (parse → admission → enqueue lives with the
+/// caller); oversized lines are answered here.
+pub(crate) fn shard_loop<F>(
+    inbox: &ShardInbox,
+    shutdown: &AtomicBool,
+    opts: &ShardOptions,
+    counters: &ServeCounters,
+    mut on_line: F,
+) where
+    F: FnMut(&Arc<ConnOut>, &[u8]),
+{
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut shutdown_since: Option<Instant> = None;
+    loop {
+        let mut progress = false;
+
+        // Adopt connections handed off by the acceptor.
+        {
+            let mut incoming = inbox.streams.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in incoming.drain(..) {
+                progress = true;
+                if stream.set_nonblocking(true).is_err() {
+                    counters.open_connections.fetch_sub(1, Ordering::AcqRel);
+                    continue;
+                }
+                conns.push(Conn {
+                    stream,
+                    accum: LineAccumulator::new(opts.max_line_bytes),
+                    out: Arc::new(ConnOut::new(std::thread::current(), opts.high_water)),
+                    last_activity: Instant::now(),
+                    eof: false,
+                    closing: false,
+                    drain_deadline: None,
+                });
+            }
+        }
+
+        let shutting_down = shutdown.load(Ordering::Acquire);
+        if shutting_down && shutdown_since.is_none() {
+            shutdown_since = Some(Instant::now());
+        }
+
+        let now = Instant::now();
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+
+            // Read + split lines, unless the peer is done or its output
+            // buffer is over the high-water mark (read-side flow
+            // control: a client that won't read its responses stops
+            // being read from).
+            if !conn.eof
+                && !conn.closing
+                && !conn.out.is_dead()
+                && conn.out.pending() < conn.out.high_water
+            {
+                for _ in 0..READ_BURST {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            conn.eof = true;
+                            if let Some(event) = conn.accum.finish() {
+                                handle_event(conn, event, opts, &mut on_line);
+                            }
+                            progress = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            progress = true;
+                            conn.last_activity = now;
+                            let mut events = Vec::new();
+                            conn.accum.feed(&scratch[..n], |ev| events.push(ev));
+                            for event in events {
+                                handle_event(conn, event, opts, &mut on_line);
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn.out.mark_dead();
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Write-drain the output buffer.
+            if !conn.out.is_dead() {
+                progress |= conn.out.write_to(&mut conn.stream);
+            }
+
+            // Idle reaping: a connection with nothing in flight, nothing
+            // buffered and no read activity for the timeout gets a
+            // structured notice and is closed.
+            if let Some(idle) = opts.idle_timeout {
+                if !conn.eof
+                    && !conn.closing
+                    && !conn.out.is_dead()
+                    && conn.quiesced()
+                    && now.duration_since(conn.last_activity) >= idle
+                {
+                    counters.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                    conn.out.push_line(&Response::error(
+                        None,
+                        ErrorCode::IdleTimeout,
+                        format!(
+                            "connection idle for more than {} ms, closing",
+                            idle.as_millis()
+                        ),
+                    ));
+                    conn.out.write_to(&mut conn.stream);
+                    conn.closing = true;
+                    progress = true;
+                }
+            }
+
+            // Close bookkeeping: once a connection is finishing (peer
+            // EOF, reaped, or server shutdown), give it a bounded grace
+            // period to drain and then drop it.
+            let finishing = conn.eof || conn.closing || shutting_down;
+            if finishing && conn.drain_deadline.is_none() {
+                conn.drain_deadline = Some(now + SHUTDOWN_DRAIN_GRACE);
+            }
+            let overdue = conn.drain_deadline.is_some_and(|d| now >= d);
+            if conn.out.is_dead() || (finishing && (conn.quiesced() || overdue)) {
+                conn.out.mark_dead();
+                counters.open_connections.fetch_sub(1, Ordering::AcqRel);
+                conns.swap_remove(i);
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if shutting_down && conns.is_empty() {
+            return;
+        }
+
+        if !progress {
+            std::thread::park_timeout(PARK_INTERVAL);
+        }
+    }
+}
+
+fn handle_event<F>(conn: &mut Conn, event: LineEvent, opts: &ShardOptions, on_line: &mut F)
+where
+    F: FnMut(&Arc<ConnOut>, &[u8]),
+{
+    match event {
+        LineEvent::Oversized => conn.out.push_line(&Response::error(
+            None,
+            ErrorCode::Oversized,
+            format!(
+                "request line exceeds the {} byte limit",
+                opts.max_line_bytes
+            ),
+        )),
+        LineEvent::Line(bytes) => on_line(&conn.out, &bytes),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_grows_to_cap_and_resets_on_success() {
+        let mut b = AcceptBackoff::new();
+        // Injected failure burst: delays double from the initial value…
+        assert_eq!(b.on_error(), Duration::from_millis(1));
+        assert_eq!(b.on_error(), Duration::from_millis(2));
+        assert_eq!(b.on_error(), Duration::from_millis(4));
+        // …and saturate at the cap instead of growing without bound.
+        for _ in 0..16 {
+            b.on_error();
+        }
+        assert_eq!(b.on_error(), AcceptBackoff::CAP);
+        assert_eq!(b.on_error(), AcceptBackoff::CAP);
+        // One successful accept resets the schedule.
+        b.on_success();
+        assert_eq!(b.on_error(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn accept_backoff_total_sleep_is_bounded_per_error() {
+        // The hot-spin bug: a persistent EMFILE must cost sleeps, not
+        // CPU. Sum of delays over N errors is Θ(N · cap) — i.e. the
+        // loop runs at most ~10 accept attempts per second once
+        // saturated, not millions.
+        let mut b = AcceptBackoff::new();
+        let total: Duration = (0..50).map(|_| b.on_error()).sum();
+        assert!(total >= Duration::from_secs(4), "{total:?}");
+        assert!(total <= Duration::from_secs(5), "{total:?}");
+    }
+
+    fn collect(acc: &mut LineAccumulator, chunk: &[u8]) -> Vec<LineEvent> {
+        let mut events = Vec::new();
+        acc.feed(chunk, |e| events.push(e));
+        events
+    }
+
+    #[test]
+    fn accumulator_splits_lines_across_chunks() {
+        let mut acc = LineAccumulator::new(64);
+        assert_eq!(collect(&mut acc, b"hel"), vec![]);
+        assert_eq!(
+            collect(&mut acc, b"lo\nwor"),
+            vec![LineEvent::Line(b"hello".to_vec())]
+        );
+        assert_eq!(collect(&mut acc, b"ld"), vec![]);
+        // EOF: the trailing fragment still counts as a line.
+        assert_eq!(acc.finish(), Some(LineEvent::Line(b"world".to_vec())));
+        assert_eq!(acc.finish(), None);
+    }
+
+    #[test]
+    fn accumulator_discards_oversized_lines_and_recovers() {
+        let mut acc = LineAccumulator::new(8);
+        // One oversized line arriving in many chunks is one event, and
+        // the following line still parses.
+        assert_eq!(collect(&mut acc, b"xxxxxxx"), vec![]);
+        assert_eq!(collect(&mut acc, b"xxxxxxx"), vec![]);
+        assert_eq!(
+            collect(&mut acc, b"x\nok\n"),
+            vec![LineEvent::Oversized, LineEvent::Line(b"ok".to_vec())]
+        );
+        // A line of exactly the limit is kept.
+        assert_eq!(
+            collect(&mut acc, b"12345678\n"),
+            vec![LineEvent::Line(b"12345678".to_vec())]
+        );
+        // An oversized trailing fragment at EOF is reported too.
+        assert_eq!(collect(&mut acc, b"yyyyyyyyyyyy"), vec![]);
+        assert_eq!(acc.finish(), Some(LineEvent::Oversized));
+    }
+
+    #[test]
+    fn conn_out_appends_and_tracks_in_flight() {
+        let out = ConnOut::new(std::thread::current(), 1 << 20);
+        assert_eq!(out.pending(), 0);
+        out.push_line(&Response::ok(Some(1), "{}"));
+        assert!(out.pending() > 0);
+        assert_eq!(out.in_flight(), 0);
+        out.job_started();
+        out.job_started();
+        assert_eq!(out.in_flight(), 2);
+        out.job_finished();
+        assert_eq!(out.in_flight(), 1);
+        out.mark_dead();
+        assert!(out.is_dead());
+        // Dead connections ignore further sends.
+        out.send(&Response::ok(Some(2), "{}"));
+    }
+}

@@ -68,19 +68,40 @@ fn request_corpus() -> Vec<Request> {
                 session: "s1".to_string(),
                 plan: "p3".to_string(),
                 scenario: "IT = 1, H2 = 0".to_string(),
+                stream: false,
             },
         ),
         Request::new(Op::Cause {
             session: "s1".to_string(),
             plan: "p3".to_string(),
             scenario: String::new(),
+            stream: false,
         }),
+        Request::with_id(
+            44,
+            Op::Cause {
+                session: "s1".to_string(),
+                plan: "p3".to_string(),
+                scenario: "IT = 1".to_string(),
+                stream: true,
+            },
+        ),
         Request::with_id(
             5,
             Op::Sweep {
                 session: "s1".to_string(),
                 plan: "p1".to_string(),
                 scenarios: "baseline:\nworst: IW = 1, H5 = 1\n".to_string(),
+                stream: false,
+            },
+        ),
+        Request::with_id(
+            55,
+            Op::Sweep {
+                session: "s1".to_string(),
+                plan: "p1".to_string(),
+                scenarios: "baseline:\nworst: IW = 1, H5 = 1\n".to_string(),
+                stream: true,
             },
         ),
         Request::with_id(
