@@ -47,7 +47,7 @@
 //! whole — see [`docs/server.md`](https://example.invalid) for the
 //! frame shapes.
 
-use std::io::{self, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,7 +67,10 @@ use bfl_fault_tree::galileo;
 use crate::protocol::{ErrorCode, Op, ProbOptions, ProbTarget, Request, Response, SessionOptions};
 use crate::queue::{BoundedQueue, TryPushError};
 use crate::registry::{AdmissionGuard, Registry, SessionEntry};
-use crate::shard::{shard_loop, AcceptBackoff, ConnOut, ServeCounters, ShardInbox, ShardOptions};
+use crate::shard::{
+    shard_loop, AcceptBackoff, ConnOut, Handoff, ServeCounters, ShardInbox, ShardOptions,
+    SHUTDOWN_DRAIN_GRACE,
+};
 
 /// Response bytes per streamed `chunk` frame (before JSON escaping).
 const STREAM_CHUNK_BYTES: usize = 64 * 1024;
@@ -233,6 +236,7 @@ impl Server {
             max_line_bytes: shared.max_line_bytes,
             high_water: config.write_high_water.max(64 * 1024),
             idle_timeout: shared.idle_timeout,
+            drain_grace: SHUTDOWN_DRAIN_GRACE,
         };
         let mut shard_handles = Vec::with_capacity(shared.shard_count);
         let mut links = Vec::with_capacity(shared.shard_count);
@@ -381,49 +385,44 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         // add ~40 ms to every round trip.
         let _ = stream.set_nodelay(true);
         let open = shared.counters.open_connections.load(Ordering::Acquire);
-        if open >= shared.max_connections {
+        let reject = if open >= shared.max_connections {
             // Never drop a connection silently: past the cap the client
             // gets a structured `overloaded` error before the close.
+            // The notice is written by a shard's nonblocking loop, not
+            // here — a burst of rejects from peers that don't read must
+            // never serialize the acceptor behind blocking writes.
             shared
                 .counters
                 .overload_rejects
                 .fetch_add(1, Ordering::Relaxed);
-            reject_overloaded(stream, shared.max_connections);
-            continue;
-        }
-        shared
-            .counters
-            .open_connections
-            .fetch_add(1, Ordering::AcqRel);
-        shared
-            .counters
-            .peak_connections
-            .fetch_max(open + 1, Ordering::AcqRel);
+            Some(Response::error(
+                None,
+                ErrorCode::Overloaded,
+                format!(
+                    "server is at its connection limit ({}), retry later",
+                    shared.max_connections
+                ),
+            ))
+        } else {
+            shared
+                .counters
+                .open_connections
+                .fetch_add(1, Ordering::AcqRel);
+            shared
+                .counters
+                .peak_connections
+                .fetch_max(open + 1, Ordering::AcqRel);
+            None
+        };
         let link = &links[next_shard % links.len()];
         next_shard = next_shard.wrapping_add(1);
         link.inbox
-            .streams
+            .handoffs
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(stream);
+            .push(Handoff { stream, reject });
         link.thread.unpark();
     }
-}
-
-/// Answers a connection over the cap with a structured error, then
-/// closes it. Bounded: a peer that won't read costs at most the write
-/// timeout, on the acceptor thread only.
-fn reject_overloaded(mut stream: TcpStream, max_connections: usize) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let mut line = Response::error(
-        None,
-        ErrorCode::Overloaded,
-        format!("server is at its connection limit ({max_connections}), retry later"),
-    )
-    .to_json_line();
-    line.push('\n');
-    let _ = stream.write_all(line.as_bytes());
-    let _ = stream.flush();
 }
 
 /// Handles one complete request line on its shard thread: parse,

@@ -27,10 +27,14 @@
 //! Flow control is explicit in both directions. A worker pushing a
 //! response blocks (with a stall timeout) once the connection's output
 //! buffer crosses its high-water mark, so one slow client throttles at
-//! most the workers answering *its* requests, never a shard. A shard
-//! stops *reading* from a connection whose output buffer is above the
-//! high-water mark, so a pipelining client that refuses to read its
-//! responses cannot grow server memory without bound.
+//! most the workers answering *its* requests, never a shard. A single
+//! line larger than the mark is admitted whenever the buffer has
+//! drained empty — memory per connection is bounded by
+//! `max(high_water, one line)`, and a giant unstreamed response still
+//! reaches its client. A shard stops *reading* from a connection whose
+//! output buffer is above the high-water mark, so a pipelining client
+//! that refuses to read its responses cannot grow server memory
+//! without bound.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -53,9 +57,11 @@ pub(crate) const PARK_INTERVAL: Duration = Duration::from_micros(250);
 /// the successor of the old per-write 10 s socket timeout.
 pub(crate) const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// How long after shutdown a shard keeps trying to flush drained
-/// responses to clients that have stopped reading before force-closing
-/// them.
+/// Default for [`ShardOptions::drain_grace`]: how long a finishing
+/// connection (peer EOF, idle reap, shutdown) with **no jobs in
+/// flight** may keep unflushed output before it is force-closed. The
+/// grace covers flushing only — a connection whose requests are still
+/// computing is not on the clock.
 pub(crate) const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// Read chunk size per `read` call, and the per-connection fairness cap
@@ -190,6 +196,25 @@ impl OutBuf {
     fn pending(&self) -> usize {
         self.bytes.len() - self.written
     }
+
+    /// Reclaims the consumed prefix: a cheap `clear` once fully
+    /// drained, and a memmove compaction once the prefix alone reaches
+    /// `threshold` — without the latter, a connection that stays
+    /// backlogged (workers refilling as fast as the client reads)
+    /// would grow `bytes` toward the full response size even though
+    /// `pending()` stays bounded.
+    fn compact(&mut self, threshold: usize) {
+        if self.written == 0 {
+            return;
+        }
+        if self.pending() == 0 {
+            self.bytes.clear();
+            self.written = 0;
+        } else if self.written >= threshold {
+            self.bytes.drain(..self.written);
+            self.written = 0;
+        }
+    }
 }
 
 /// The write half of one connection, shared between its shard (which
@@ -260,7 +285,12 @@ impl ConnOut {
 
     /// Appends a response line from a worker, blocking above the
     /// high-water mark until the shard drains the buffer (or the stall
-    /// timeout declares the connection dead).
+    /// timeout declares the connection dead). A line larger than the
+    /// high-water mark on its own is admitted once the buffer is empty
+    /// — waiting for `pending + line` to fit would be unsatisfiable
+    /// and would kill the connection after the stall timeout — so
+    /// memory stays bounded at `max(high_water, one line)` and large
+    /// unstreamed responses drain incrementally.
     pub(crate) fn send(&self, response: &Response) {
         let mut line = response.to_json_line();
         line.push('\n');
@@ -269,7 +299,10 @@ impl ConnOut {
         }
         let deadline = Instant::now() + WRITE_STALL_TIMEOUT;
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        while state.pending() + line.len() > self.high_water && !self.is_dead() {
+        while state.pending() > 0
+            && state.pending() + line.len() > self.high_water
+            && !self.is_dead()
+        {
             let now = Instant::now();
             if now >= deadline {
                 drop(state);
@@ -333,10 +366,7 @@ impl ConnOut {
                 }
             }
         }
-        if state.pending() == 0 && !state.bytes.is_empty() {
-            state.bytes.clear();
-            state.written = 0;
-        }
+        state.compact(self.high_water);
         let below_high_water = state.pending() < self.high_water;
         drop(state);
         if below_high_water {
@@ -367,13 +397,27 @@ pub(crate) struct ShardOptions {
     pub max_line_bytes: usize,
     pub high_water: usize,
     pub idle_timeout: Option<Duration>,
+    /// Flush grace for finishing connections with nothing in flight;
+    /// [`SHUTDOWN_DRAIN_GRACE`] in production, shrunk by tests.
+    pub drain_grace: Duration,
+}
+
+/// One stream the acceptor hands to a shard.
+#[derive(Debug)]
+pub(crate) struct Handoff {
+    pub stream: TcpStream,
+    /// `Some`: an over-cap connection the acceptor rejected. The shard
+    /// writes this one notice nonblockingly and closes — rejection
+    /// never blocks the acceptor, and the stream is not counted in
+    /// `open_connections`.
+    pub reject: Option<Response>,
 }
 
 /// The acceptor's handoff slot for one shard: accepted streams land in
 /// the inbox, then the shard's thread is unparked to adopt them.
 #[derive(Debug, Default)]
 pub(crate) struct ShardInbox {
-    pub streams: Mutex<Vec<TcpStream>>,
+    pub handoffs: Mutex<Vec<Handoff>>,
 }
 
 /// One connection owned by a shard.
@@ -384,10 +428,17 @@ struct Conn {
     last_activity: Instant,
     /// Peer closed its write half; drain our output, then close.
     eof: bool,
-    /// We decided to close (idle reap); drain the notice, then close.
+    /// We decided to close (idle reap, overload reject); drain the
+    /// notice, then close.
     closing: bool,
-    /// Force-close deadline once `eof`/`closing`/shutdown applies, so a
-    /// peer that never reads its final bytes cannot pin the slot.
+    /// Whether this connection holds an `open_connections` slot
+    /// (overload rejects don't — they were never admitted).
+    counted: bool,
+    /// Force-close deadline once the connection is finishing *and* has
+    /// no jobs in flight, so a peer that never reads its final bytes
+    /// cannot pin the slot. The grace covers flushing output only —
+    /// requests still computing keep the connection alive, preserving
+    /// the "drains every accepted job" shutdown contract.
     drain_deadline: Option<Instant>,
 }
 
@@ -411,35 +462,43 @@ pub(crate) fn shard_loop<F>(
 {
     let mut conns: Vec<Conn> = Vec::new();
     let mut scratch = vec![0u8; READ_CHUNK];
-    let mut shutdown_since: Option<Instant> = None;
     loop {
         let mut progress = false;
 
         // Adopt connections handed off by the acceptor.
         {
-            let mut incoming = inbox.streams.lock().unwrap_or_else(|e| e.into_inner());
-            for stream in incoming.drain(..) {
+            let mut incoming = inbox.handoffs.lock().unwrap_or_else(|e| e.into_inner());
+            for handoff in incoming.drain(..) {
                 progress = true;
-                if stream.set_nonblocking(true).is_err() {
-                    counters.open_connections.fetch_sub(1, Ordering::AcqRel);
+                let counted = handoff.reject.is_none();
+                if handoff.stream.set_nonblocking(true).is_err() {
+                    if counted {
+                        counters.open_connections.fetch_sub(1, Ordering::AcqRel);
+                    }
                     continue;
                 }
+                let out = Arc::new(ConnOut::new(std::thread::current(), opts.high_water));
+                let closing = match &handoff.reject {
+                    Some(notice) => {
+                        out.push_line(notice);
+                        true
+                    }
+                    None => false,
+                };
                 conns.push(Conn {
-                    stream,
+                    stream: handoff.stream,
                     accum: LineAccumulator::new(opts.max_line_bytes),
-                    out: Arc::new(ConnOut::new(std::thread::current(), opts.high_water)),
+                    out,
                     last_activity: Instant::now(),
                     eof: false,
-                    closing: false,
+                    closing,
+                    counted,
                     drain_deadline: None,
                 });
             }
         }
 
         let shutting_down = shutdown.load(Ordering::Acquire);
-        if shutting_down && shutdown_since.is_none() {
-            shutdown_since = Some(Instant::now());
-        }
 
         let now = Instant::now();
         let mut i = 0;
@@ -515,16 +574,23 @@ pub(crate) fn shard_loop<F>(
             }
 
             // Close bookkeeping: once a connection is finishing (peer
-            // EOF, reaped, or server shutdown), give it a bounded grace
-            // period to drain and then drop it.
+            // EOF, reaped, or server shutdown) *and* its jobs have all
+            // completed, give it a bounded grace period to flush and
+            // then drop it. The clock starts only when nothing is in
+            // flight: a request still computing when its client
+            // half-closes (a normal send-then-shutdown(WR) client) or
+            // when shutdown begins is never on the clock — the grace
+            // bounds flushing to a non-reading peer, not analysis time.
             let finishing = conn.eof || conn.closing || shutting_down;
-            if finishing && conn.drain_deadline.is_none() {
-                conn.drain_deadline = Some(now + SHUTDOWN_DRAIN_GRACE);
+            if finishing && conn.drain_deadline.is_none() && conn.out.in_flight() == 0 {
+                conn.drain_deadline = Some(now + opts.drain_grace);
             }
             let overdue = conn.drain_deadline.is_some_and(|d| now >= d);
             if conn.out.is_dead() || (finishing && (conn.quiesced() || overdue)) {
                 conn.out.mark_dead();
-                counters.open_connections.fetch_sub(1, Ordering::AcqRel);
+                if conn.counted {
+                    counters.open_connections.fetch_sub(1, Ordering::AcqRel);
+                }
                 conns.swap_remove(i);
                 progress = true;
             } else {
@@ -633,6 +699,164 @@ mod tests {
         // An oversized trailing fragment at EOF is reported too.
         assert_eq!(collect(&mut acc, b"yyyyyyyyyyyy"), vec![]);
         assert_eq!(acc.finish(), Some(LineEvent::Oversized));
+    }
+
+    #[test]
+    fn send_admits_a_line_larger_than_high_water_into_an_empty_buffer() {
+        // Regression: `send` used to wait for `pending + line` to fit
+        // under the high-water mark — unsatisfiable for a single line
+        // larger than the mark, so the worker stalled the full
+        // WRITE_STALL_TIMEOUT and then killed the connection, silently
+        // dropping any unstreamed response bigger than the mark. An
+        // oversized line must be admitted immediately when the buffer
+        // is empty.
+        let out = ConnOut::new(std::thread::current(), 64);
+        let doc = "x".repeat(4096);
+        let started = Instant::now();
+        out.send(&Response::ok(Some(1), doc));
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "oversized line stalled: {:?}",
+            started.elapsed()
+        );
+        assert!(!out.is_dead(), "oversized line killed the connection");
+        assert!(out.pending() > 4096, "line was not buffered");
+    }
+
+    #[test]
+    fn out_buf_reclaims_consumed_prefix_under_backlog() {
+        // Regression: the consumed prefix was only reclaimed once the
+        // buffer fully drained, so a connection that stayed backlogged
+        // grew `bytes` toward the full response size.
+        let mut buf = OutBuf::default();
+        buf.bytes.extend_from_slice(&[7u8; 1000]);
+        buf.written = 900;
+        // Below the threshold nothing moves (no memmove churn on every
+        // partial write)...
+        buf.compact(1024);
+        assert_eq!(buf.bytes.len(), 1000);
+        assert_eq!(buf.written, 900);
+        // ...past it the prefix is dropped and pending is preserved...
+        buf.compact(512);
+        assert_eq!(buf.bytes.len(), 100);
+        assert_eq!(buf.written, 0);
+        assert_eq!(buf.pending(), 100);
+        // ...and a fully drained buffer clears outright, whatever the
+        // threshold.
+        buf.written = 100;
+        buf.compact(1 << 20);
+        assert!(buf.bytes.is_empty());
+        assert_eq!(buf.written, 0);
+    }
+
+    /// Spawns `shard_loop` over one adopted handoff with a tiny drain
+    /// grace; returns the client-side stream, the shutdown flag, the
+    /// counters and the join handle.
+    fn one_conn_shard<F>(
+        handoff_reject: Option<Response>,
+        drain_grace: Duration,
+        on_line: F,
+    ) -> (
+        TcpStream,
+        Arc<AtomicBool>,
+        Arc<ServeCounters>,
+        std::thread::JoinHandle<()>,
+    )
+    where
+        F: FnMut(&Arc<ConnOut>, &[u8]) + Send + 'static,
+    {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        let counted = handoff_reject.is_none();
+        let inbox = Arc::new(ShardInbox::default());
+        inbox.handoffs.lock().unwrap().push(Handoff {
+            stream: served,
+            reject: handoff_reject,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServeCounters::default());
+        if counted {
+            counters.open_connections.store(1, Ordering::Release);
+        }
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            let opts = ShardOptions {
+                max_line_bytes: 1024,
+                high_water: 1 << 20,
+                idle_timeout: None,
+                drain_grace,
+            };
+            let mut on_line = on_line;
+            std::thread::spawn(move || {
+                shard_loop(&inbox, &shutdown, &opts, &counters, |out, line| {
+                    on_line(out, line);
+                });
+            })
+        };
+        (client, shutdown, counters, handle)
+    }
+
+    #[test]
+    fn half_close_drain_waits_for_jobs_still_computing() {
+        // Regression: the drain grace used to start the moment the peer
+        // half-closed, covering computation as well as flushing — any
+        // request whose analysis outlived the grace after a normal
+        // send-then-shutdown(WR) client closed its write half was
+        // force-closed and its response lost. The deadline must start
+        // only once the connection has no jobs in flight.
+        use std::io::BufRead;
+        let grace = Duration::from_millis(25);
+        let (mut client, shutdown, _counters, handle) =
+            one_conn_shard(None, grace, move |out, _line| {
+                // "Worker": answers after 8x the drain grace, holding
+                // the in-flight slot the whole time (mirrors JobTicket).
+                out.job_started();
+                let out = Arc::clone(out);
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(200));
+                    out.send(&Response::ok(Some(1), "{\"slow\":true}"));
+                    out.job_finished();
+                });
+            });
+        client.write_all(b"{\"id\":1}\n").unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reader = std::io::BufReader::new(client);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"slow\":true"),
+            "slow response lost after half-close: {line:?}"
+        );
+        shutdown.store(true, Ordering::Release);
+        handle.thread().unpark();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn reject_handoffs_get_the_notice_without_an_open_slot() {
+        // An over-cap reject is flushed by the shard's nonblocking loop
+        // and closed, and never touches `open_connections` (it was
+        // never admitted).
+        use std::io::BufRead;
+        let notice = Response::error(None, ErrorCode::Overloaded, "server is at its limit");
+        let (client, shutdown, counters, handle) =
+            one_conn_shard(Some(notice), Duration::from_millis(25), |_out, _line| {
+                panic!("a rejected connection must not serve requests");
+            });
+        let mut reader = std::io::BufReader::new(client);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("overloaded"), "{line:?}");
+        // ...then the close.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "{line:?}");
+        assert_eq!(counters.open_connections.load(Ordering::Acquire), 0);
+        shutdown.store(true, Ordering::Release);
+        handle.thread().unpark();
+        handle.join().unwrap();
     }
 
     #[test]

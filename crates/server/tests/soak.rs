@@ -288,6 +288,41 @@ fn connection_cap_rejects_with_a_structured_overloaded_error() {
         Some(3),
         "{stats}"
     );
+
+    // A burst of over-cap peers that never read their rejection must
+    // not serialize the acceptor: the notices are flushed by the shards'
+    // nonblocking loops, so a later well-behaved over-cap client still
+    // gets its structured `overloaded` line promptly, admitted
+    // connections keep round-tripping, and the rejects never consume
+    // `open` connection slots.
+    let lagging: Vec<TcpStream> = (0..5)
+        .map(|_| TcpStream::connect(addr).expect("connects"))
+        .collect();
+    let started = std::time::Instant::now();
+    let prompt = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(prompt);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let response = Response::parse(line.trim_end()).expect("parses");
+    let ResponseBody::Error { code, .. } = response.body else {
+        panic!("expected an error response, got {line}");
+    };
+    assert_eq!(code, ErrorCode::Overloaded, "{line}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "rejection took {:?} behind non-reading peers",
+        started.elapsed()
+    );
+    let stats = held[0].stats(None).expect("stats");
+    assert_eq!(
+        stats
+            .get("connections")
+            .and_then(|c| c.get("open"))
+            .and_then(|v| v.as_u64()),
+        Some(3),
+        "rejects must not hold open-connection slots: {stats}"
+    );
+    drop(lagging);
     handle.shutdown();
 }
 
